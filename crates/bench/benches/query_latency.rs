@@ -1,0 +1,79 @@
+//! Wall-clock query latency: the paper's techniques side by side on one
+//! relation (N = 2000, small objects, selectivity 10–15 %).
+//!
+//! Complements the page-access harness binaries: page counts determine the
+//! 1999-hardware story, wall-clock shows the same ordering holds in memory.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cdb_bench::{RplusBed, T2Bed};
+use cdb_core::Strategy;
+use cdb_workload::{CalibratedQuery, DatasetSpec, ObjectSize, QueryGen};
+
+fn bench_queries(c: &mut Criterion) {
+    let n = 2000;
+    let spec = DatasetSpec::paper_1999(n, ObjectSize::Small, 0xBE);
+    let tuples = spec.generate();
+    let mut t2 = T2Bed::build(spec, 4);
+    let mut rp = RplusBed::build(&tuples);
+    let mut qg = QueryGen::new(0xBF);
+    let battery: Vec<CalibratedQuery> = qg.battery(&tuples, 6, 0.10, 0.15);
+
+    let mut group = c.benchmark_group("query_latency_n2000");
+    for strat in [Strategy::T1, Strategy::T2] {
+        group.bench_with_input(
+            BenchmarkId::new("dual_index", format!("{strat:?}")),
+            &strat,
+            |b, &strat| {
+                let mut i = 0;
+                b.iter(|| {
+                    let q = &battery[i % battery.len()];
+                    i += 1;
+                    std::hint::black_box(t2.run(q, strat))
+                });
+            },
+        );
+    }
+    group.bench_function("rplus_tree", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let q = &battery[i % battery.len()];
+            i += 1;
+            std::hint::black_box(rp.run(q))
+        });
+    });
+    group.bench_function("sequential_scan_oracle", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let q = &battery[i % battery.len()];
+            i += 1;
+            std::hint::black_box(rp.oracle(q))
+        });
+    });
+    group.finish();
+
+    // Restricted queries (slope in S): the exact fast path.
+    let mut group = c.benchmark_group("restricted_vs_approx");
+    let s0 = {
+        let rel = t2.db.relation("r").expect("exists");
+        rel.index().expect("built").slopes().get(1)
+    };
+    group.bench_function("restricted_member_slope", |b| {
+        b.iter(|| {
+            let q = cdb_geometry::HalfPlane::above(s0, 0.0);
+            std::hint::black_box(
+                t2.db
+                    .query_with("r", cdb_core::Selection::exist(q), Strategy::Restricted)
+                    .expect("member slope"),
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_queries
+}
+criterion_main!(benches);

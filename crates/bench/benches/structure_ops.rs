@@ -1,0 +1,99 @@
+//! Micro-benchmarks of the substrates: B⁺-tree operations, R⁺-tree packing
+//! and search, LP surface evaluation, polygon construction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cdb_btree::BTree;
+use cdb_geometry::dual;
+use cdb_geometry::polygon::Polygon;
+use cdb_rplustree::RPlusTree;
+use cdb_storage::MemPager;
+use cdb_workload::{tuple_mbr, DatasetSpec, ObjectSize, TupleGen};
+
+fn bench_btree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("btree");
+    group.bench_function("insert_4k_random_keys", |b| {
+        b.iter(|| {
+            let mut pager = MemPager::paper_1999();
+            let mut t = BTree::new(&mut pager);
+            for i in 0..4000u32 {
+                t.insert(&mut pager, ((i * 2654435761) % 100000) as f64, i);
+            }
+            std::hint::black_box(t.len())
+        });
+    });
+    let entries: Vec<(f64, u32)> = (0..4000).map(|i| (i as f64 * 0.5, i as u32)).collect();
+    group.bench_function("bulk_load_4k", |b| {
+        b.iter(|| {
+            let mut pager = MemPager::paper_1999();
+            let t = BTree::bulk_load(&mut pager, &entries, 1.0);
+            std::hint::black_box(t.page_count())
+        });
+    });
+    let mut pager = MemPager::paper_1999();
+    let tree = BTree::bulk_load(&mut pager, &entries, 1.0);
+    group.bench_function("range_scan_10pct", |b| {
+        b.iter(|| std::hint::black_box(tree.range(&mut pager, 0.0, 200.0).len()));
+    });
+    group.finish();
+}
+
+fn bench_rplus(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rplus_tree");
+    let tuples = DatasetSpec::paper_1999(4000, ObjectSize::Small, 3).generate();
+    let items: Vec<_> = tuples
+        .iter()
+        .enumerate()
+        .map(|(i, t)| (tuple_mbr(t), i as u32))
+        .collect();
+    group.bench_function("pack_4k", |b| {
+        b.iter(|| {
+            let mut pager = MemPager::paper_1999();
+            let t = RPlusTree::pack(&mut pager, &items, 1.0);
+            std::hint::black_box(t.page_count())
+        });
+    });
+    let mut pager = MemPager::paper_1999();
+    let tree = RPlusTree::pack(&mut pager, &items, 1.0);
+    let q = cdb_geometry::HalfPlane::above(0.4, 20.0);
+    group.bench_function("halfplane_search", |b| {
+        b.iter(|| std::hint::black_box(tree.search_halfplane(&mut pager, &q).0.len()));
+    });
+    group.finish();
+}
+
+fn bench_geometry(c: &mut Criterion) {
+    let mut group = c.benchmark_group("geometry");
+    let mut g = TupleGen::new(7, cdb_geometry::Rect::paper_window(), ObjectSize::Small);
+    let tuples: Vec<_> = (0..64).map(|_| g.bounded_tuple()).collect();
+    group.bench_with_input(BenchmarkId::new("top_lp_eval", 64), &tuples, |b, ts| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for t in ts {
+                acc += dual::top(t, &[0.37]).unwrap();
+            }
+            std::hint::black_box(acc)
+        });
+    });
+    group.bench_with_input(
+        BenchmarkId::new("polygon_from_tuple", 64),
+        &tuples,
+        |b, ts| {
+            b.iter(|| {
+                let mut n = 0;
+                for t in ts {
+                    n += Polygon::from_tuple(t).unwrap().points().len();
+                }
+                std::hint::black_box(n)
+            });
+        },
+    );
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_btree, bench_rplus, bench_geometry
+}
+criterion_main!(benches);

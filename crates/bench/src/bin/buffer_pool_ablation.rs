@@ -1,0 +1,83 @@
+//! Buffer-pool ablation: how the T2-vs-R⁺ comparison shifts when a modern
+//! LRU cache sits between the structures and the device.
+//!
+//! The paper's 1999 testbed had no meaningful buffer cache; this run shows
+//! the physical I/O per query for pool sizes from "none" to "index fits in
+//! memory". The dual index benefits more from small pools (its hot set is
+//! the root/inner pages of 2k narrow trees), while both converge to zero
+//! physical reads once everything fits.
+//!
+//! ```text
+//! cargo run --release -p cdb-bench --bin buffer_pool_ablation [--quick]
+//! ```
+
+use cdb_core::{DualIndex, Selection, SlopeSet, Strategy};
+use cdb_geometry::tuple::GeneralizedTuple;
+use cdb_rplustree::RPlusTree;
+use cdb_storage::{BufferPool, MemPager, Pager};
+use cdb_workload::{tuple_mbr, DatasetSpec, ObjectSize, QueryGen, QueryKind};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let n = if quick { 1000 } else { 4000 };
+    let k = 4;
+    let tuples = DatasetSpec::paper_1999(n, ObjectSize::Small, 0xCAC4E).generate();
+    let pairs: Vec<(u32, GeneralizedTuple)> = tuples
+        .iter()
+        .cloned()
+        .enumerate()
+        .map(|(i, t)| (i as u32, t))
+        .collect();
+    let mut qg = QueryGen::new(0xCAC4F);
+    let battery = qg.battery(&tuples, 6, 0.10, 0.15);
+
+    println!("Buffer-pool ablation — N={n}, k={k}, physical index reads per query");
+    println!(
+        "{:>12}{:>16}{:>16}",
+        "pool pages", "T2 physical", "R+ physical"
+    );
+    let mut csv = String::from("pool_pages,t2_physical,rp_physical\n");
+    for pool_pages in [1usize, 8, 64, 512] {
+        // T2 side.
+        let mut t2_pool = BufferPool::new(MemPager::paper_1999(), pool_pages);
+        let idx = DualIndex::build(&mut t2_pool, SlopeSet::uniform_tan(k), &pairs);
+        let lookup: std::collections::HashMap<u32, GeneralizedTuple> =
+            pairs.iter().cloned().collect();
+        // Warm + measure: physical reads attributable to queries only.
+        let mut t2_phys = 0u64;
+        for q in &battery {
+            let sel = match q.kind {
+                QueryKind::All => Selection::all(q.halfplane.clone()),
+                QueryKind::Exist => Selection::exist(q.halfplane.clone()),
+            };
+            let before = t2_pool.physical_stats();
+            let mut fetch = |_: &mut dyn Pager, id: u32| lookup[&id].clone();
+            idx.execute(&mut t2_pool, &sel, Strategy::T2, &mut fetch)
+                .expect("query");
+            t2_phys += t2_pool.physical_stats().since(&before).reads;
+        }
+
+        // R+ side.
+        let mut rp_pool = BufferPool::new(MemPager::paper_1999(), pool_pages);
+        let items: Vec<_> = tuples
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (tuple_mbr(t), i as u32))
+            .collect();
+        let tree = RPlusTree::pack(&mut rp_pool, &items, 1.0);
+        let mut rp_phys = 0u64;
+        for q in &battery {
+            let before = rp_pool.physical_stats();
+            let _ = tree.search_halfplane(&mut rp_pool, &q.halfplane);
+            rp_phys += rp_pool.physical_stats().since(&before).reads;
+        }
+
+        let t2m = t2_phys as f64 / battery.len() as f64;
+        let rpm = rp_phys as f64 / battery.len() as f64;
+        println!("{pool_pages:>12}{t2m:>16.1}{rpm:>16.1}");
+        csv.push_str(&format!("{pool_pages},{t2m:.1},{rpm:.1}\n"));
+    }
+    std::fs::create_dir_all("results").expect("results dir");
+    std::fs::write("results/buffer_pool_ablation.csv", csv).expect("write CSV");
+    println!("\nwrote results/buffer_pool_ablation.csv");
+}

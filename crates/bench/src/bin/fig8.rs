@@ -1,0 +1,36 @@
+//! Figure 8: EXIST and ALL performance on **small objects** (1–5 % of the
+//! working window), technique T2 with k ∈ {2,3,4,5} vs the R⁺-tree.
+//!
+//! ```text
+//! cargo run --release -p cdb-bench --bin fig8 [--quick]
+//! ```
+//!
+//! `--quick` restricts the cardinality sweep for smoke runs.
+
+use cdb_bench::{
+    print_figure, run_time_experiment, write_csv, PAPER_CARDINALITIES, PAPER_KS,
+    PAPER_SELECTIVITY,
+};
+use cdb_workload::ObjectSize;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let ns: Vec<usize> = if quick {
+        vec![500, 2000]
+    } else {
+        PAPER_CARDINALITIES.to_vec()
+    };
+    let points = run_time_experiment(
+        ObjectSize::Small,
+        &ns,
+        &PAPER_KS,
+        PAPER_SELECTIVITY,
+        0x0F19_9908,
+    );
+    print_figure(
+        "Figure 8 — small objects, selectivity 10-15%",
+        &points,
+    );
+    write_csv("fig8_small_objects", &points).expect("write results CSV");
+    println!("\nwrote results/fig8_small_objects.csv");
+}

@@ -1,0 +1,38 @@
+//! Figure 9: EXIST and ALL performance on **medium objects** (up to 50 % of
+//! the working window), technique T2 with k ∈ {2,3,4,5} vs the R⁺-tree.
+//!
+//! The paper's observation to reproduce: the R⁺-tree degrades on larger
+//! objects (more clipping, more overlap work), while T2's behaviour barely
+//! changes with object size.
+//!
+//! ```text
+//! cargo run --release -p cdb-bench --bin fig9 [--quick]
+//! ```
+
+use cdb_bench::{
+    print_figure, run_time_experiment, write_csv, PAPER_CARDINALITIES, PAPER_KS,
+    PAPER_SELECTIVITY,
+};
+use cdb_workload::ObjectSize;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let ns: Vec<usize> = if quick {
+        vec![500, 2000]
+    } else {
+        PAPER_CARDINALITIES.to_vec()
+    };
+    let points = run_time_experiment(
+        ObjectSize::Medium,
+        &ns,
+        &PAPER_KS,
+        PAPER_SELECTIVITY,
+        0x0F19_9909,
+    );
+    print_figure(
+        "Figure 9 — medium objects, selectivity 10-15%",
+        &points,
+    );
+    write_csv("fig9_medium_objects", &points).expect("write results CSV");
+    println!("\nwrote results/fig9_medium_objects.csv");
+}

@@ -1,0 +1,61 @@
+//! Selectivity sweep (Section 5, "Query selectivity"): the paper varies
+//! selectivity over 5–60 % and reports that "performance results obtained
+//! for other selectivities appeared to be similar" — i.e. the T2/R⁺
+//! relationship is stable across the range and costs grow with the output
+//! size for both.
+//!
+//! ```text
+//! cargo run --release -p cdb-bench --bin selectivity_sweep [--quick]
+//! ```
+
+use cdb_bench::{mean_accesses, RplusBed, T2Bed};
+use cdb_core::Strategy;
+use cdb_workload::{DatasetSpec, ObjectSize, QueryGen};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let n = if quick { 1000 } else { 4000 };
+    let k = 4;
+    let spec = DatasetSpec::paper_1999(n, ObjectSize::Small, 0x5E1);
+    let tuples = spec.generate();
+    let mut t2 = T2Bed::build(spec, k);
+    let mut rp = RplusBed::build(&tuples);
+    let bands: [(f64, f64); 6] = [
+        (0.05, 0.07),
+        (0.10, 0.15),
+        (0.18, 0.22),
+        (0.28, 0.32),
+        (0.43, 0.47),
+        (0.55, 0.60),
+    ];
+    println!("Selectivity sweep — N={n}, small objects, T2 k={k} vs R+-tree");
+    println!(
+        "{:>14}{:>14}{:>14}{:>14}{:>14}",
+        "selectivity", "T2 EXIST", "R+ EXIST", "T2 ALL", "R+ ALL"
+    );
+    let mut csv = String::from("selectivity,t2_exist,rp_exist,t2_all,rp_all\n");
+    for (i, &(lo, hi)) in bands.iter().enumerate() {
+        let mut qg = QueryGen::new(0xBEEF + i as u64);
+        let battery = qg.battery(&tuples, 6, lo, hi);
+        let mut ts = Vec::new();
+        let mut rs = Vec::new();
+        for q in &battery {
+            let (s, ids) = t2.run(q, Strategy::T2);
+            let (s2, ids2) = rp.run(q);
+            assert_eq!(ids, ids2, "structures disagree");
+            ts.push((q.kind, s));
+            rs.push((q.kind, s2));
+        }
+        let (te, ta) = mean_accesses(&ts);
+        let (re, ra) = mean_accesses(&rs);
+        let mid = (lo + hi) / 2.0;
+        println!(
+            "{:>13}%{te:>14.1}{re:>14.1}{ta:>14.1}{ra:>14.1}",
+            format!("{:.0}", mid * 100.0)
+        );
+        csv.push_str(&format!("{mid:.3},{te:.1},{re:.1},{ta:.1},{ra:.1}\n"));
+    }
+    std::fs::create_dir_all("results").expect("results dir");
+    std::fs::write("results/selectivity_sweep.csv", csv).expect("write CSV");
+    println!("\nwrote results/selectivity_sweep.csv");
+}

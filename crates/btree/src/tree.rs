@@ -1,0 +1,1037 @@
+//! The B⁺-tree proper: search, insert, delete, bulk load and leaf sweeps.
+//!
+//! Trees do not own their pager — many trees (the `2k` `B^up`/`B^down`
+//! forests of Section 3) share one, so the pager's live-page count is the
+//! space metric of Figure 10. Every operation takes `&mut dyn Pager`
+//! explicitly and its page accesses are counted there.
+//!
+//! **Deletion policy.** Entries are removed in place; leaves are never
+//! merged (the PostgreSQL-style relaxed deletion): an emptied leaf stays in
+//! the chain and is skipped by sweeps. Space therefore tracks the high-water
+//! mark; [`BTree::rebuild`] compacts. This keeps the duplicate-heavy delete
+//! path simple and does not affect any experiment (the paper's workloads are
+//! build-then-query); the paper's `O(log_B n)` amortized update bound still
+//! holds since no operation exceeds one root-to-leaf path plus splits.
+
+use cdb_storage::{PageId, Pager};
+
+use crate::layout::{internal_capacity, leaf_capacity, Handicaps, NULL_PAGE};
+use crate::node::{is_leaf, Internal, Leaf};
+
+/// Flow control for leaf sweeps.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SweepControl {
+    /// Keep sweeping into the next leaf.
+    Continue,
+    /// Stop after this leaf.
+    Stop,
+}
+
+/// What a sweep callback sees for each visited leaf.
+#[derive(Clone, Debug)]
+pub struct LeafSnapshot {
+    /// Page id of the leaf (one page access per visit).
+    pub page: PageId,
+    /// The leaf's handicap slots.
+    pub handicaps: Handicaps,
+    /// Entries within the sweep range, in sweep order
+    /// (ascending keys for upward sweeps, descending for downward).
+    pub entries: Vec<(f64, u32)>,
+}
+
+/// Summary of one leaf, in chain order (for handicap rebuilds).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LeafInfo {
+    /// Page id.
+    pub page: PageId,
+    /// Smallest key stored (`NaN`-free; `f64::NAN` never enters the tree).
+    pub min_key: f64,
+    /// Largest key stored.
+    pub max_key: f64,
+    /// Number of entries.
+    pub count: usize,
+}
+
+/// A disk-based B⁺-tree multi-map from `f64` keys (stored as `f32`) to
+/// `u32` values.
+///
+/// ```
+/// use cdb_btree::{BTree, SweepControl};
+/// use cdb_storage::{MemPager, Pager};
+///
+/// let mut pager = MemPager::paper_1999();
+/// let mut tree = BTree::new(&mut pager);
+/// for (k, v) in [(3.5, 1), (-2.0, 2), (f64::INFINITY, 3), (3.5, 4)] {
+///     tree.insert(&mut pager, k, v);
+/// }
+/// // Range scan: duplicates kept, infinities ordered last.
+/// let hits = tree.range(&mut pager, 0.0, 10.0);
+/// assert_eq!(hits.len(), 2);
+/// // Leaf sweep with early stop.
+/// let mut seen = 0;
+/// tree.sweep_up(&mut pager, -10.0, |leaf| {
+///     seen += leaf.entries.len();
+///     SweepControl::Continue
+/// });
+/// assert_eq!(seen, 4);
+/// ```
+#[derive(Clone, Debug)]
+pub struct BTree {
+    page_size: usize,
+    root: PageId,
+    height: usize, // 0 = root is a leaf
+    len: u64,
+    first_leaf: PageId,
+    last_leaf: PageId,
+    pages: u64,
+}
+
+impl BTree {
+    /// Creates an empty tree, allocating its root leaf from `pager`.
+    pub fn new(pager: &mut dyn Pager) -> Self {
+        let page_size = pager.page_size();
+        let root = pager.allocate();
+        let mut buf = vec![0u8; page_size];
+        Leaf::init(&mut buf);
+        pager.write(root, &buf);
+        BTree {
+            page_size,
+            root,
+            height: 0,
+            len: 0,
+            first_leaf: root,
+            last_leaf: root,
+            pages: 1,
+        }
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// `true` if no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Tree height (`0` when the root is a leaf).
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Pages owned by this tree (leaves + internals).
+    pub fn page_count(&self) -> u64 {
+        self.pages
+    }
+
+    fn read(&self, pager: &mut dyn Pager, id: PageId, buf: &mut [u8]) {
+        pager.read(id, buf);
+    }
+
+    // ------------------------------------------------------------- insert --
+
+    /// Inserts `(key, value)`. Duplicate keys are allowed; `NaN` is not.
+    ///
+    /// # Panics
+    /// Panics on a `NaN` key.
+    pub fn insert(&mut self, pager: &mut dyn Pager, key: f64, value: u32) {
+        assert!(!key.is_nan(), "NaN keys are not allowed");
+        // Descend, remembering the path.
+        let mut path: Vec<(PageId, usize)> = Vec::with_capacity(self.height);
+        let mut page = self.root;
+        let mut buf = vec![0u8; self.page_size];
+        for _ in 0..self.height {
+            self.read(pager, page, &mut buf);
+            let node = Internal::new(&mut buf);
+            let idx = node.descend_index(key);
+            let child = node.child(idx);
+            path.push((page, idx));
+            page = child;
+        }
+        self.read(pager, page, &mut buf);
+        let mut leaf = Leaf::new(&mut buf);
+        if leaf.count() < leaf_capacity(self.page_size) {
+            leaf.insert(self.page_size, key, value);
+            pager.write(page, &buf);
+            self.len += 1;
+            return;
+        }
+        // Split the leaf. Both halves inherit the original handicap values:
+        // a handicap is a conservative sweep bound, and keeping the
+        // pre-split bound in both halves can only widen (never corrupt) the
+        // second sweep of technique T2 — incremental index updates rely on
+        // this (they re-tighten lazily via a rebuild).
+        let new_page = pager.allocate();
+        self.pages += 1;
+        let mut rbuf = vec![0u8; self.page_size];
+        let mut right = Leaf::init(&mut rbuf);
+        let mut leaf = Leaf::new(&mut buf);
+        right.set_handicaps(leaf.handicaps());
+        let sep = leaf.split_into(&mut right);
+        // Fix the chain.
+        let old_next = leaf.next();
+        leaf.set_next(new_page);
+        right.set_prev(page);
+        right.set_next(old_next);
+        if old_next == NULL_PAGE {
+            self.last_leaf = new_page;
+        } else {
+            let mut nbuf = vec![0u8; self.page_size];
+            self.read(pager, old_next, &mut nbuf);
+            Leaf::new(&mut nbuf).set_prev(new_page);
+            pager.write(old_next, &nbuf);
+        }
+        // Insert into the correct half. Duplicates of `sep` may span the
+        // boundary; route by comparison with the separator.
+        if key < sep {
+            Leaf::new(&mut buf).insert(self.page_size, key, value);
+        } else {
+            Leaf::new(&mut rbuf).insert(self.page_size, key, value);
+        }
+        pager.write(page, &buf);
+        pager.write(new_page, &rbuf);
+        self.len += 1;
+        self.insert_separator(pager, path, sep, new_page);
+    }
+
+    /// Propagates a split upward: inserts `(sep, right_child)` along `path`.
+    fn insert_separator(
+        &mut self,
+        pager: &mut dyn Pager,
+        mut path: Vec<(PageId, usize)>,
+        mut sep: f64,
+        mut right_child: PageId,
+    ) {
+        let mut buf = vec![0u8; self.page_size];
+        while let Some((page, idx)) = path.pop() {
+            self.read(pager, page, &mut buf);
+            let mut node = Internal::new(&mut buf);
+            if node.count() < internal_capacity(self.page_size) {
+                node.insert_at(self.page_size, idx, sep, right_child);
+                pager.write(page, &buf);
+                return;
+            }
+            // Split this internal node. Insert first into a widened copy is
+            // avoided by splitting first, then placing into the proper half.
+            let new_page = pager.allocate();
+            self.pages += 1;
+            let mut rbuf = vec![0u8; self.page_size];
+            let mut right = Internal::init(&mut rbuf, 0);
+            let promoted = node.split_into(&mut right);
+            if sep < promoted {
+                let mut left = Internal::new(&mut buf);
+                let pos = left.descend_index(sep);
+                left.insert_at(self.page_size, pos, sep, right_child);
+            } else {
+                let mut r = Internal::new(&mut rbuf);
+                let pos = r.descend_index(sep);
+                r.insert_at(self.page_size, pos, sep, right_child);
+            }
+            pager.write(page, &buf);
+            pager.write(new_page, &rbuf);
+            sep = promoted;
+            right_child = new_page;
+        }
+        // Root split.
+        let new_root = pager.allocate();
+        self.pages += 1;
+        let mut buf = vec![0u8; self.page_size];
+        let mut root = Internal::init(&mut buf, self.root);
+        root.insert_at(self.page_size, 0, sep, right_child);
+        pager.write(new_root, &buf);
+        self.root = new_root;
+        self.height += 1;
+    }
+
+    // ------------------------------------------------------------- delete --
+
+    /// Removes one entry equal to `(key, value)` (key compared after the
+    /// same `f32` rounding applied at insert). Returns `true` if found.
+    pub fn delete(&mut self, pager: &mut dyn Pager, key: f64, value: u32) -> bool {
+        assert!(!key.is_nan(), "NaN keys are not allowed");
+        let k32 = key as f32 as f64;
+        let Some((mut page, mut slot)) = self.find_first_geq(pager, k32) else {
+            return false;
+        };
+        let mut buf = vec![0u8; self.page_size];
+        loop {
+            self.read(pager, page, &mut buf);
+            let mut leaf = Leaf::new(&mut buf);
+            while slot < leaf.count() {
+                let k = leaf.key(slot);
+                if k > k32 {
+                    return false;
+                }
+                if k == k32 && leaf.value(slot) == value {
+                    leaf.remove(slot);
+                    let emptied = leaf.count() == 0;
+                    let (prev, next, h) = (leaf.prev(), leaf.next(), leaf.handicaps());
+                    pager.write(page, &buf);
+                    self.len -= 1;
+                    if emptied {
+                        // Preserve handicap reachability: an emptied leaf may
+                        // be skipped by future sweep starts, so its `low`
+                        // bounds migrate upward (next leaf) and its `high`
+                        // bounds downward (previous leaf). Folding is
+                        // conservative (min/max), cascading through later
+                        // deletions, so technique T2 stays correct without a
+                        // rebuild.
+                        if next != NULL_PAGE {
+                            let mut nbuf = vec![0u8; self.page_size];
+                            self.read(pager, next, &mut nbuf);
+                            let mut nleaf = Leaf::new(&mut nbuf);
+                            let mut nh = nleaf.handicaps();
+                            nh.low_prev = nh.low_prev.min(h.low_prev);
+                            nh.low_next = nh.low_next.min(h.low_next);
+                            nleaf.set_handicaps(nh);
+                            pager.write(next, &nbuf);
+                        }
+                        if prev != NULL_PAGE {
+                            let mut pbuf = vec![0u8; self.page_size];
+                            self.read(pager, prev, &mut pbuf);
+                            let mut pleaf = Leaf::new(&mut pbuf);
+                            let mut ph = pleaf.handicaps();
+                            ph.high_prev = ph.high_prev.max(h.high_prev);
+                            ph.high_next = ph.high_next.max(h.high_next);
+                            pleaf.set_handicaps(ph);
+                            pager.write(prev, &pbuf);
+                        }
+                    }
+                    return true;
+                }
+                slot += 1;
+            }
+            let next = leaf.next();
+            if next == NULL_PAGE {
+                return false;
+            }
+            page = next;
+            slot = 0;
+        }
+    }
+
+    // ------------------------------------------------------------- search --
+
+    /// Locates the first entry with key `≥ key`: `(leaf page, slot)`.
+    /// Returns `None` when every key is smaller.
+    pub fn find_first_geq(&self, pager: &mut dyn Pager, key: f64) -> Option<(PageId, usize)> {
+        let mut page = self.root;
+        let mut buf = vec![0u8; self.page_size];
+        for _ in 0..self.height {
+            self.read(pager, page, &mut buf);
+            let node = Internal::new(&mut buf);
+            page = node.child(node.descend_index_left(key));
+        }
+        loop {
+            self.read(pager, page, &mut buf);
+            let leaf = Leaf::new(&mut buf);
+            let slot = leaf.lower_bound(key);
+            if slot < leaf.count() {
+                return Some((page, slot));
+            }
+            let next = leaf.next();
+            if next == NULL_PAGE {
+                return None;
+            }
+            page = next;
+        }
+    }
+
+    /// Locates the last entry with key `≤ key`: `(leaf page, slot)`.
+    /// Returns `None` when every key is larger.
+    pub fn find_last_leq(&self, pager: &mut dyn Pager, key: f64) -> Option<(PageId, usize)> {
+        let mut page = self.root;
+        let mut buf = vec![0u8; self.page_size];
+        for _ in 0..self.height {
+            self.read(pager, page, &mut buf);
+            let node = Internal::new(&mut buf);
+            page = node.child(node.descend_index(key));
+        }
+        loop {
+            self.read(pager, page, &mut buf);
+            let leaf = Leaf::new(&mut buf);
+            // Last index with key <= key.
+            let mut ub = leaf.lower_bound(key);
+            while ub < leaf.count() && leaf.key(ub) <= key {
+                ub += 1;
+            }
+            if ub > 0 {
+                return Some((page, ub - 1));
+            }
+            let prev = leaf.prev();
+            if prev == NULL_PAGE {
+                return None;
+            }
+            page = prev;
+        }
+    }
+
+    /// Collects all values whose key lies in `[lo, hi]` (both inclusive).
+    pub fn range(&self, pager: &mut dyn Pager, lo: f64, hi: f64) -> Vec<(f64, u32)> {
+        let mut out = Vec::new();
+        self.sweep_up(pager, lo, |snap| {
+            for &(k, v) in &snap.entries {
+                if k > hi {
+                    return SweepControl::Stop;
+                }
+                out.push((k, v));
+            }
+            SweepControl::Continue
+        });
+        out
+    }
+
+    // ------------------------------------------------------------- sweeps --
+
+    /// Sweeps leaves upward starting from the first entry with key `≥ from`,
+    /// invoking `visit` once per leaf (ascending entries ≥ `from`).
+    pub fn sweep_up<F>(&self, pager: &mut dyn Pager, from: f64, mut visit: F)
+    where
+        F: FnMut(&LeafSnapshot) -> SweepControl,
+    {
+        let Some((mut page, slot)) = self.find_first_geq(pager, from) else {
+            return;
+        };
+        let mut first_slot = slot;
+        let mut buf = vec![0u8; self.page_size];
+        loop {
+            self.read(pager, page, &mut buf);
+            let leaf = Leaf::new(&mut buf);
+            let entries: Vec<(f64, u32)> = (first_slot..leaf.count())
+                .map(|i| (leaf.key(i), leaf.value(i)))
+                .collect();
+            let snap = LeafSnapshot {
+                page,
+                handicaps: leaf.handicaps(),
+                entries,
+            };
+            if visit(&snap) == SweepControl::Stop {
+                return;
+            }
+            let next = leaf.next();
+            if next == NULL_PAGE {
+                return;
+            }
+            page = next;
+            first_slot = 0;
+        }
+    }
+
+    /// Sweeps leaves downward starting from the last entry with key `≤ from`,
+    /// invoking `visit` once per leaf (descending entries ≤ `from`).
+    pub fn sweep_down<F>(&self, pager: &mut dyn Pager, from: f64, mut visit: F)
+    where
+        F: FnMut(&LeafSnapshot) -> SweepControl,
+    {
+        let Some((mut page, slot)) = self.find_last_leq(pager, from) else {
+            return;
+        };
+        let mut last_slot = Some(slot);
+        let mut buf = vec![0u8; self.page_size];
+        loop {
+            self.read(pager, page, &mut buf);
+            let leaf = Leaf::new(&mut buf);
+            let hi = last_slot.unwrap_or_else(|| leaf.count().wrapping_sub(1));
+            let entries: Vec<(f64, u32)> = if leaf.count() == 0 {
+                Vec::new()
+            } else {
+                (0..=hi).rev().map(|i| (leaf.key(i), leaf.value(i))).collect()
+            };
+            let snap = LeafSnapshot {
+                page,
+                handicaps: leaf.handicaps(),
+                entries,
+            };
+            if visit(&snap) == SweepControl::Stop {
+                return;
+            }
+            let prev = leaf.prev();
+            if prev == NULL_PAGE {
+                return;
+            }
+            page = prev;
+            last_slot = None;
+        }
+    }
+
+    // ---------------------------------------------------------- bulk load --
+
+    /// Builds a tree from entries **sorted by key** (duplicates allowed).
+    /// Leaves are filled to `fill` (0.5–1.0) of capacity.
+    ///
+    /// # Panics
+    /// Panics if the input is unsorted or `fill` is out of range.
+    pub fn bulk_load(
+        pager: &mut dyn Pager,
+        entries: &[(f64, u32)],
+        fill: f64,
+    ) -> Self {
+        assert!((0.5..=1.0).contains(&fill), "fill factor out of range");
+        let page_size = pager.page_size();
+        if entries.is_empty() {
+            return BTree::new(pager);
+        }
+        let per_leaf = ((leaf_capacity(page_size) as f64 * fill) as usize).max(1);
+        let mut buf = vec![0u8; page_size];
+        let mut leaves: Vec<(PageId, f64)> = Vec::new(); // (page, first key)
+        let mut pages = 0u64;
+        let mut prev_key = f64::NEG_INFINITY;
+        let mut prev_page = NULL_PAGE;
+        for chunk in entries.chunks(per_leaf) {
+            let page = pager.allocate();
+            pages += 1;
+            let mut leaf = Leaf::init(&mut buf);
+            for &(k, v) in chunk {
+                assert!(!k.is_nan(), "NaN keys are not allowed");
+                assert!(k >= prev_key || (k as f32 as f64) >= prev_key, "unsorted bulk load");
+                prev_key = k as f32 as f64;
+                leaf.insert(page_size, k, v);
+            }
+            leaf.set_prev(prev_page);
+            pager.write(page, &buf);
+            if prev_page != NULL_PAGE {
+                let mut pbuf = vec![0u8; page_size];
+                pager.read(prev_page, &mut pbuf);
+                Leaf::new(&mut pbuf).set_next(page);
+                pager.write(prev_page, &pbuf);
+            }
+            leaves.push((page, chunk[0].0 as f32 as f64));
+            prev_page = page;
+        }
+        let first_leaf = leaves[0].0;
+        let last_leaf = leaves[leaves.len() - 1].0;
+
+        // Build internal levels bottom-up.
+        let mut level: Vec<(PageId, f64)> = leaves;
+        let mut height = 0usize;
+        let per_node = internal_capacity(page_size); // keys per node
+        while level.len() > 1 {
+            height += 1;
+            let mut next_level = Vec::new();
+            // Each node takes up to per_node+1 children; a trailing group of
+            // a single child would make a keyless internal node, so borrow
+            // one child from its left neighbour in that case.
+            let cap = per_node + 1;
+            let mut bounds: Vec<usize> = (0..level.len()).step_by(cap).collect();
+            bounds.push(level.len());
+            if bounds.len() >= 3 && bounds[bounds.len() - 1] - bounds[bounds.len() - 2] == 1 {
+                let n = bounds.len();
+                bounds[n - 2] -= 1;
+            }
+            let groups = bounds.windows(2).map(|w| &level[w[0]..w[1]]);
+            for group in groups {
+                let page = pager.allocate();
+                pages += 1;
+                let mut node = Internal::init(&mut buf, group[0].0);
+                for (i, &(child, first_key)) in group.iter().enumerate().skip(1) {
+                    node.insert_at(page_size, i - 1, first_key, child);
+                }
+                pager.write(page, &buf);
+                next_level.push((page, group[0].1));
+            }
+            level = next_level;
+        }
+        BTree {
+            page_size,
+            root: level[0].0,
+            height,
+            len: entries.len() as u64,
+            first_leaf,
+            last_leaf,
+            pages,
+        }
+    }
+
+    /// Rewrites the tree compactly (full leaves) and frees the old pages.
+    pub fn rebuild(&mut self, pager: &mut dyn Pager) {
+        let mut entries = Vec::with_capacity(self.len as usize);
+        self.sweep_up(pager, f64::NEG_INFINITY, |snap| {
+            entries.extend_from_slice(&snap.entries);
+            SweepControl::Continue
+        });
+        let old_pages = self.collect_pages(pager);
+        let rebuilt = BTree::bulk_load(pager, &entries, 1.0);
+        for p in old_pages {
+            pager.free(p);
+        }
+        *self = rebuilt;
+    }
+
+    /// All page ids owned by the tree (BFS).
+    fn collect_pages(&self, pager: &mut dyn Pager) -> Vec<PageId> {
+        let mut out = Vec::new();
+        let mut queue = vec![self.root];
+        let mut buf = vec![0u8; self.page_size];
+        while let Some(page) = queue.pop() {
+            out.push(page);
+            self.read(pager, page, &mut buf);
+            if !is_leaf(&buf) {
+                let node = Internal::new(&mut buf);
+                for i in 0..=node.count() {
+                    queue.push(node.child(i));
+                }
+            }
+        }
+        out
+    }
+
+    /// Frees every page of the tree.
+    pub fn destroy(self, pager: &mut dyn Pager) {
+        for p in self.collect_pages(pager) {
+            pager.free(p);
+        }
+    }
+
+    // ----------------------------------------------------------- handicaps --
+
+    /// Walks the leaf chain left to right.
+    pub fn leaves(&self, pager: &mut dyn Pager) -> Vec<LeafInfo> {
+        let mut out = Vec::new();
+        let mut page = self.first_leaf;
+        let mut buf = vec![0u8; self.page_size];
+        loop {
+            self.read(pager, page, &mut buf);
+            let leaf = Leaf::new(&mut buf);
+            let count = leaf.count();
+            out.push(LeafInfo {
+                page,
+                min_key: if count > 0 { leaf.key(0) } else { f64::NAN },
+                max_key: if count > 0 { leaf.key(count - 1) } else { f64::NAN },
+                count,
+            });
+            let next = leaf.next();
+            if next == NULL_PAGE {
+                return out;
+            }
+            page = next;
+        }
+    }
+
+    /// First leaf in chain order.
+    pub fn first_leaf(&self) -> PageId {
+        self.first_leaf
+    }
+
+    /// Last leaf in chain order.
+    pub fn last_leaf(&self) -> PageId {
+        self.last_leaf
+    }
+
+    /// Reads the handicap slots of a leaf page (one page access).
+    pub fn read_handicaps(&self, pager: &mut dyn Pager, page: PageId) -> Handicaps {
+        let mut buf = vec![0u8; self.page_size];
+        self.read(pager, page, &mut buf);
+        Leaf::new(&mut buf).handicaps()
+    }
+
+    /// Overwrites the handicap slots of `page` (must be a leaf of this tree).
+    pub fn set_handicaps(&self, pager: &mut dyn Pager, page: PageId, h: Handicaps) {
+        let mut buf = vec![0u8; self.page_size];
+        self.read(pager, page, &mut buf);
+        let mut leaf = Leaf::new(&mut buf);
+        leaf.set_handicaps(h);
+        pager.write(page, &buf);
+    }
+
+    // ----------------------------------------------------------- validation --
+
+    /// Exhaustively checks structural invariants (tests/debugging):
+    /// key order within and across leaves, chain consistency, separator
+    /// bounds, entry count. Panics with a description on violation.
+    pub fn validate(&self, pager: &mut dyn Pager) {
+        // Leaf chain: ordered keys, consistent prev links, count total.
+        let mut total = 0u64;
+        let mut prev_page = NULL_PAGE;
+        let mut prev_key = f64::NEG_INFINITY;
+        let mut page = self.first_leaf;
+        let mut buf = vec![0u8; self.page_size];
+        loop {
+            self.read(pager, page, &mut buf);
+            let leaf = Leaf::new(&mut buf);
+            assert_eq!(leaf.prev(), prev_page, "broken prev link at {page}");
+            for i in 0..leaf.count() {
+                let k = leaf.key(i);
+                assert!(k >= prev_key, "key order violation at page {page} slot {i}");
+                prev_key = k;
+            }
+            total += leaf.count() as u64;
+            let next = leaf.next();
+            if next == NULL_PAGE {
+                assert_eq!(page, self.last_leaf, "last_leaf out of date");
+                break;
+            }
+            prev_page = page;
+            page = next;
+        }
+        assert_eq!(total, self.len, "len out of sync");
+        // Separator sanity: every key reachable via find_first_geq of itself.
+        self.check_node(pager, self.root, self.height, f64::NEG_INFINITY, f64::INFINITY);
+    }
+
+    fn check_node(&self, pager: &mut dyn Pager, page: PageId, depth: usize, lo: f64, hi: f64) {
+        let mut buf = vec![0u8; self.page_size];
+        self.read(pager, page, &mut buf);
+        if depth == 0 {
+            let leaf = Leaf::new(&mut buf);
+            for i in 0..leaf.count() {
+                let k = leaf.key(i);
+                assert!(k >= lo && k <= hi, "leaf key {k} outside [{lo}, {hi}]");
+            }
+            return;
+        }
+        let node = Internal::new(&mut buf);
+        assert!(node.count() >= 1, "empty internal node {page}");
+        let mut prev = lo;
+        for i in 0..node.count() {
+            let k = node.key(i);
+            assert!(k >= prev && k <= hi, "separator {k} outside [{prev}, {hi}]");
+            prev = k;
+        }
+        let n = node.count();
+        let children: Vec<PageId> = (0..=n).map(|i| node.child(i)).collect();
+        let keys: Vec<f64> = (0..n).map(|i| node.key(i)).collect();
+        drop(buf);
+        for (i, &child) in children.iter().enumerate() {
+            let clo = if i == 0 { lo } else { keys[i - 1] };
+            let chi = if i == n { hi } else { keys[i] };
+            self.check_node(pager, child, depth - 1, clo, chi);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdb_storage::MemPager;
+
+    const P: usize = 128; // 10 leaf entries -> forces splits quickly
+
+    fn collect_all(tree: &BTree, pager: &mut dyn Pager) -> Vec<(f64, u32)> {
+        let mut out = Vec::new();
+        tree.sweep_up(pager, f64::NEG_INFINITY, |s| {
+            out.extend_from_slice(&s.entries);
+            SweepControl::Continue
+        });
+        out
+    }
+
+    #[test]
+    fn insert_and_range() {
+        let mut pager = MemPager::new(P);
+        let mut t = BTree::new(&mut pager);
+        for i in 0..100u32 {
+            t.insert(&mut pager, (i * 7 % 100) as f64, i);
+        }
+        assert_eq!(t.len(), 100);
+        t.validate(&mut pager);
+        let all = collect_all(&t, &mut pager);
+        assert_eq!(all.len(), 100);
+        assert!(all.windows(2).all(|w| w[0].0 <= w[1].0), "sorted output");
+        let r = t.range(&mut pager, 10.0, 19.0);
+        assert_eq!(r.len(), 10);
+        assert!(r.iter().all(|&(k, _)| (10.0..=19.0).contains(&k)));
+    }
+
+    #[test]
+    fn duplicates_are_kept() {
+        let mut pager = MemPager::new(P);
+        let mut t = BTree::new(&mut pager);
+        for v in 0..50u32 {
+            t.insert(&mut pager, 1.0, v);
+        }
+        for v in 0..50u32 {
+            t.insert(&mut pager, 2.0, v + 100);
+        }
+        t.validate(&mut pager);
+        let r = t.range(&mut pager, 1.0, 1.0);
+        assert_eq!(r.len(), 50);
+        let r2 = t.range(&mut pager, 2.0, 2.0);
+        assert_eq!(r2.len(), 50);
+    }
+
+    #[test]
+    fn descending_insert_order() {
+        let mut pager = MemPager::new(P);
+        let mut t = BTree::new(&mut pager);
+        for i in (0..200u32).rev() {
+            t.insert(&mut pager, i as f64, i);
+        }
+        t.validate(&mut pager);
+        assert_eq!(t.len(), 200);
+        assert!(t.height() >= 1);
+        let all = collect_all(&t, &mut pager);
+        assert_eq!(all.first().unwrap().1, 0);
+        assert_eq!(all.last().unwrap().1, 199);
+    }
+
+    #[test]
+    fn infinite_keys() {
+        let mut pager = MemPager::new(P);
+        let mut t = BTree::new(&mut pager);
+        t.insert(&mut pager, f64::INFINITY, 1);
+        t.insert(&mut pager, f64::NEG_INFINITY, 2);
+        t.insert(&mut pager, 0.0, 3);
+        let all = collect_all(&t, &mut pager);
+        assert_eq!(all[0], (f64::NEG_INFINITY, 2));
+        assert_eq!(all[2], (f64::INFINITY, 1));
+        // Sweep from a finite key sees only the +inf and finite entries.
+        let r = t.range(&mut pager, -10.0, f64::INFINITY);
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn delete_specific_duplicate() {
+        let mut pager = MemPager::new(P);
+        let mut t = BTree::new(&mut pager);
+        for v in 0..30u32 {
+            t.insert(&mut pager, 5.0, v);
+        }
+        assert!(t.delete(&mut pager, 5.0, 17));
+        assert!(!t.delete(&mut pager, 5.0, 17), "already gone");
+        assert!(!t.delete(&mut pager, 6.0, 0), "absent key");
+        assert_eq!(t.len(), 29);
+        let vals: Vec<u32> = t.range(&mut pager, 5.0, 5.0).iter().map(|e| e.1).collect();
+        assert!(!vals.contains(&17));
+        assert_eq!(vals.len(), 29);
+        t.validate(&mut pager);
+    }
+
+    #[test]
+    fn delete_everything_then_reinsert() {
+        let mut pager = MemPager::new(P);
+        let mut t = BTree::new(&mut pager);
+        for i in 0..100u32 {
+            t.insert(&mut pager, i as f64, i);
+        }
+        for i in 0..100u32 {
+            assert!(t.delete(&mut pager, i as f64, i), "delete {i}");
+        }
+        assert_eq!(t.len(), 0);
+        t.validate(&mut pager);
+        for i in 0..50u32 {
+            t.insert(&mut pager, i as f64, i + 1000);
+        }
+        t.validate(&mut pager);
+        assert_eq!(collect_all(&t, &mut pager).len(), 50);
+    }
+
+    #[test]
+    fn find_first_geq_and_last_leq() {
+        let mut pager = MemPager::new(P);
+        let mut t = BTree::new(&mut pager);
+        for i in 0..50 {
+            t.insert(&mut pager, (i * 2) as f64, i as u32); // evens 0..98
+        }
+        let (page, slot) = t.find_first_geq(&mut pager, 51.0).unwrap();
+        let mut buf = vec![0u8; P];
+        pager.read(page, &mut buf);
+        let leaf = Leaf::new(&mut buf);
+        assert_eq!(leaf.key(slot), 52.0);
+        let (page, slot) = t.find_last_leq(&mut pager, 51.0).unwrap();
+        pager.read(page, &mut buf);
+        let leaf = Leaf::new(&mut buf);
+        assert_eq!(leaf.key(slot), 50.0);
+        assert!(t.find_first_geq(&mut pager, 99.0).is_none());
+        assert!(t.find_last_leq(&mut pager, -1.0).is_none());
+    }
+
+    #[test]
+    fn sweep_down_descends() {
+        let mut pager = MemPager::new(P);
+        let mut t = BTree::new(&mut pager);
+        for i in 0..100u32 {
+            t.insert(&mut pager, i as f64, i);
+        }
+        let mut seen = Vec::new();
+        t.sweep_down(&mut pager, 42.5, |snap| {
+            seen.extend(snap.entries.iter().map(|e| e.0));
+            SweepControl::Continue
+        });
+        assert_eq!(seen.len(), 43); // keys 0..=42
+        assert!(seen.windows(2).all(|w| w[0] >= w[1]), "descending order");
+        assert_eq!(seen[0], 42.0);
+        assert_eq!(*seen.last().unwrap(), 0.0);
+    }
+
+    #[test]
+    fn sweep_stop_is_respected() {
+        let mut pager = MemPager::new(P);
+        let mut t = BTree::new(&mut pager);
+        for i in 0..500u32 {
+            t.insert(&mut pager, i as f64, i);
+        }
+        let mut leaves = 0;
+        t.sweep_up(&mut pager, 0.0, |_| {
+            leaves += 1;
+            if leaves == 3 {
+                SweepControl::Stop
+            } else {
+                SweepControl::Continue
+            }
+        });
+        assert_eq!(leaves, 3);
+    }
+
+    #[test]
+    fn bulk_load_matches_inserts() {
+        let mut pager = MemPager::new(P);
+        let entries: Vec<(f64, u32)> = (0..1000).map(|i| (i as f64 / 3.0, i as u32)).collect();
+        let t = BTree::bulk_load(&mut pager, &entries, 1.0);
+        t.validate(&mut pager);
+        assert_eq!(t.len(), 1000);
+        let all = collect_all(&t, &mut pager);
+        assert_eq!(all.len(), 1000);
+        // Same multiset of values as a tree built by inserts.
+        let mut pager2 = MemPager::new(P);
+        let mut t2 = BTree::new(&mut pager2);
+        for &(k, v) in &entries {
+            t2.insert(&mut pager2, k, v);
+        }
+        let mut a: Vec<u32> = all.iter().map(|e| e.1).collect();
+        let mut b: Vec<u32> = collect_all(&t2, &mut pager2).iter().map(|e| e.1).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bulk_load_empty_and_single() {
+        let mut pager = MemPager::new(P);
+        let t = BTree::bulk_load(&mut pager, &[], 1.0);
+        assert!(t.is_empty());
+        let t2 = BTree::bulk_load(&mut pager, &[(1.5, 9)], 0.7);
+        assert_eq!(t2.len(), 1);
+        assert_eq!(t2.range(&mut pager, 1.0, 2.0), vec![(1.5, 9)]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn bulk_load_unsorted_panics() {
+        let mut pager = MemPager::new(P);
+        BTree::bulk_load(&mut pager, &[(2.0, 0), (1.0, 1)], 1.0);
+    }
+
+    #[test]
+    fn handicaps_round_trip_through_sweeps() {
+        let mut pager = MemPager::new(P);
+        let entries: Vec<(f64, u32)> = (0..100).map(|i| (i as f64, i as u32)).collect();
+        let t = BTree::bulk_load(&mut pager, &entries, 1.0);
+        let leaves = t.leaves(&mut pager);
+        assert!(leaves.len() > 3);
+        for (i, l) in leaves.iter().enumerate() {
+            t.set_handicaps(
+                &mut pager,
+                l.page,
+                Handicaps {
+                    low_prev: i as f64,
+                    low_next: i as f64 + 0.25,
+                    high_prev: -(i as f64),
+                    high_next: f64::NEG_INFINITY,
+                },
+            );
+        }
+        let mut seen = Vec::new();
+        t.sweep_up(&mut pager, f64::NEG_INFINITY, |snap| {
+            seen.push(snap.handicaps.low_prev);
+            SweepControl::Continue
+        });
+        assert_eq!(seen, (0..leaves.len()).map(|i| i as f64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn leaves_report_ranges() {
+        let mut pager = MemPager::new(P);
+        let entries: Vec<(f64, u32)> = (0..95).map(|i| (i as f64, i as u32)).collect();
+        let t = BTree::bulk_load(&mut pager, &entries, 1.0);
+        let leaves = t.leaves(&mut pager);
+        assert_eq!(leaves.iter().map(|l| l.count).sum::<usize>(), 95);
+        assert_eq!(leaves[0].min_key, 0.0);
+        assert_eq!(leaves.last().unwrap().max_key, 94.0);
+        // Ranges are increasing and non-overlapping.
+        for w in leaves.windows(2) {
+            assert!(w[0].max_key <= w[1].min_key);
+        }
+    }
+
+    #[test]
+    fn rebuild_compacts() {
+        let mut pager = MemPager::new(P);
+        let mut t = BTree::new(&mut pager);
+        for i in 0..300u32 {
+            t.insert(&mut pager, i as f64, i);
+        }
+        for i in 0..280u32 {
+            t.delete(&mut pager, i as f64, i);
+        }
+        let before = pager.live_pages();
+        t.rebuild(&mut pager);
+        t.validate(&mut pager);
+        assert_eq!(t.len(), 20);
+        assert!(pager.live_pages() < before, "rebuild reclaims pages");
+        let all = collect_all(&t, &mut pager);
+        assert_eq!(all.len(), 20);
+        assert_eq!(all[0].1, 280);
+    }
+
+    #[test]
+    fn destroy_frees_all_pages() {
+        let mut pager = MemPager::new(P);
+        let mut t = BTree::new(&mut pager);
+        for i in 0..500u32 {
+            t.insert(&mut pager, i as f64, i);
+        }
+        assert!(pager.live_pages() > 10);
+        t.destroy(&mut pager);
+        assert_eq!(pager.live_pages(), 0);
+    }
+
+    #[test]
+    fn page_count_tracks_allocations() {
+        let mut pager = MemPager::new(P);
+        let mut t = BTree::new(&mut pager);
+        for i in 0..500u32 {
+            t.insert(&mut pager, i as f64, i);
+        }
+        assert_eq!(t.page_count() as usize, pager.live_pages());
+    }
+
+    #[test]
+    fn randomized_against_btreemap() {
+        use std::collections::BTreeMap;
+        let mut pager = MemPager::new(P);
+        let mut t = BTree::new(&mut pager);
+        let mut oracle: BTreeMap<(i64, u32), ()> = BTreeMap::new();
+        let mut seed = 0x12345678u64;
+        let mut rand = || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (seed >> 33) as u32
+        };
+        for step in 0..3000u32 {
+            let k = (rand() % 200) as f64 - 100.0;
+            if rand() % 4 == 0 {
+                // Delete a random oracle entry with this key if present.
+                let lo = (k as i64, 0u32);
+                let hi = (k as i64, u32::MAX);
+                if let Some(&(ok, ov)) = oracle.range(lo..=hi).next().map(|(kv, _)| kv) {
+                    assert!(t.delete(&mut pager, ok as f64, ov));
+                    oracle.remove(&(ok, ov));
+                }
+            } else {
+                t.insert(&mut pager, k, step);
+                oracle.insert((k as i64, step), ());
+            }
+            if step % 500 == 0 {
+                t.validate(&mut pager);
+            }
+        }
+        t.validate(&mut pager);
+        assert_eq!(t.len() as usize, oracle.len());
+        let all = collect_all(&t, &mut pager);
+        let mut got: Vec<(i64, u32)> = all.iter().map(|&(k, v)| (k as i64, v)).collect();
+        got.sort_unstable();
+        let mut want: Vec<(i64, u32)> = oracle.keys().copied().collect();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+}

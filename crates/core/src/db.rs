@@ -1,0 +1,640 @@
+//! A small constraint-database engine facade: relations (heap files of
+//! generalized tuples), dual indexes and query execution, all over one
+//! instrumented pager.
+
+use std::collections::HashMap;
+
+use cdb_geometry::halfplane::HalfPlane;
+use cdb_geometry::predicates;
+use cdb_geometry::tuple::GeneralizedTuple;
+use cdb_storage::{HeapFile, IoStats, MemPager, Pager, RecordId, DEFAULT_PAGE_SIZE};
+
+use crate::error::CdbError;
+use crate::index::DualIndex;
+use crate::query::{QueryResult, QueryStats, Selection, SelectionKind, Strategy};
+use crate::slopes::SlopeSet;
+
+/// Engine configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct DbConfig {
+    /// Page size for every structure.
+    pub page_size: usize,
+    /// Default query strategy.
+    pub strategy: Strategy,
+}
+
+impl DbConfig {
+    /// The paper's setup: 1024-byte pages, automatic strategy choice
+    /// (restricted for slopes in `S`, T2 otherwise).
+    pub fn paper_1999() -> Self {
+        DbConfig {
+            page_size: DEFAULT_PAGE_SIZE,
+            strategy: Strategy::Auto,
+        }
+    }
+}
+
+impl Default for DbConfig {
+    fn default() -> Self {
+        Self::paper_1999()
+    }
+}
+
+/// A stored generalized relation: tuples in a heap file, plus an optional
+/// dual index.
+pub struct Relation {
+    name: String,
+    dim: usize,
+    heap: HeapFile,
+    slots: Vec<Option<RecordId>>, // tuple id -> heap record
+    live: u64,
+    index: Option<DualIndex>,
+}
+
+impl Relation {
+    /// Relation name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Dimension of the tuples.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of live tuples.
+    pub fn len(&self) -> u64 {
+        self.live
+    }
+
+    /// `true` when the relation holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// `true` when a dual index exists.
+    pub fn is_indexed(&self) -> bool {
+        self.index.is_some()
+    }
+
+    /// The dual index, if built.
+    pub fn index(&self) -> Option<&DualIndex> {
+        self.index.as_ref()
+    }
+
+    /// Heap + index pages currently owned.
+    pub fn page_count(&self) -> u64 {
+        self.heap.page_count() as u64
+            + self.index.as_ref().map(|i| i.page_count()).unwrap_or(0)
+    }
+
+    /// Fetches a tuple by id, charging the page read to `pager`.
+    pub fn fetch(&self, pager: &mut dyn Pager, id: u32) -> Result<GeneralizedTuple, CdbError> {
+        let rid = self
+            .slots
+            .get(id as usize)
+            .and_then(|r| *r)
+            .ok_or(CdbError::NoSuchTuple(id))?;
+        let bytes = self.heap.get(pager, rid).ok_or(CdbError::NoSuchTuple(id))?;
+        Ok(GeneralizedTuple::decode(&bytes).expect("corrupt tuple record"))
+    }
+
+    /// Iterates `(id, tuple)` for all live tuples (one scan of the heap).
+    pub fn scan(&self, pager: &mut dyn Pager) -> Vec<(u32, GeneralizedTuple)> {
+        let by_record: HashMap<RecordId, u32> = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter_map(|(id, r)| r.map(|r| (r, id as u32)))
+            .collect();
+        self.heap
+            .scan(pager)
+            .into_iter()
+            .filter_map(|(rid, bytes)| {
+                by_record.get(&rid).map(|&id| {
+                    (id, GeneralizedTuple::decode(&bytes).expect("corrupt tuple record"))
+                })
+            })
+            .collect()
+    }
+}
+
+/// Page-batched [`crate::index::TupleSource`] over a relation's heap:
+/// candidate fetches cost one page access per *distinct* heap page.
+struct HeapSource<'a> {
+    heap: &'a HeapFile,
+    slots: &'a [Option<RecordId>],
+}
+
+impl crate::index::TupleSource for HeapSource<'_> {
+    fn fetch_batch(&mut self, pager: &mut dyn Pager, ids: &[u32]) -> Vec<GeneralizedTuple> {
+        let rids: Vec<RecordId> = ids
+            .iter()
+            .map(|&id| self.slots[id as usize].expect("index returned a dead tuple id"))
+            .collect();
+        self.heap
+            .get_many(pager, &rids)
+            .into_iter()
+            .map(|bytes| {
+                GeneralizedTuple::decode(&bytes.expect("index returned a dead tuple id"))
+                    .expect("corrupt tuple record")
+            })
+            .collect()
+    }
+}
+
+/// The engine: a pager, a catalog of relations, and query execution.
+pub struct ConstraintDb {
+    pager: Box<dyn Pager>,
+    config: DbConfig,
+    relations: HashMap<String, Relation>,
+}
+
+impl ConstraintDb {
+    /// An engine over an in-memory pager (the experimental substrate).
+    pub fn in_memory(config: DbConfig) -> Self {
+        ConstraintDb {
+            pager: Box::new(MemPager::new(config.page_size)),
+            config,
+            relations: HashMap::new(),
+        }
+    }
+
+    /// An engine over a caller-supplied pager (e.g. a
+    /// [`cdb_storage::file::FilePager`] or a buffer pool).
+    pub fn with_pager(pager: Box<dyn Pager>, config: DbConfig) -> Self {
+        assert_eq!(pager.page_size(), config.page_size, "page size mismatch");
+        ConstraintDb {
+            pager,
+            config,
+            relations: HashMap::new(),
+        }
+    }
+
+    /// I/O accounting of the underlying pager.
+    pub fn io_stats(&self) -> IoStats {
+        self.pager.stats()
+    }
+
+    /// Zeroes the pager's counters.
+    pub fn reset_io_stats(&mut self) {
+        self.pager.reset_stats();
+    }
+
+    /// Live pages across all relations and indexes (the space metric).
+    pub fn live_pages(&self) -> usize {
+        self.pager.live_pages()
+    }
+
+    /// Creates an empty relation of the given dimension.
+    ///
+    /// # Errors
+    /// [`CdbError::RelationExists`] if the name is taken.
+    pub fn create_relation(&mut self, name: &str, dim: usize) -> Result<&Relation, CdbError> {
+        if self.relations.contains_key(name) {
+            return Err(CdbError::RelationExists(name.into()));
+        }
+        assert!(dim >= 1, "dimension must be positive");
+        let heap = HeapFile::new(self.pager.as_mut());
+        self.relations.insert(
+            name.to_string(),
+            Relation {
+                name: name.to_string(),
+                dim,
+                heap,
+                slots: Vec::new(),
+                live: 0,
+                index: None,
+            },
+        );
+        Ok(&self.relations[name])
+    }
+
+    /// Names of all relations, sorted.
+    pub fn relation_names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.relations.keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Drops a relation, freeing its heap and index pages.
+    pub fn drop_relation(&mut self, name: &str) -> Result<(), CdbError> {
+        let rel = self
+            .relations
+            .remove(name)
+            .ok_or_else(|| CdbError::RelationNotFound(name.into()))?;
+        let pager = self.pager.as_mut();
+        rel.heap.destroy(pager);
+        // Indexes own plain B+-trees; rebuilding a DualIndex exposes no
+        // page list, so free through the pager's bookkeeping: the index is
+        // dropped with the struct and its pages reclaimed via destroy().
+        if let Some(idx) = rel.index {
+            idx.destroy(pager);
+        }
+        Ok(())
+    }
+
+    /// The named relation.
+    pub fn relation(&self, name: &str) -> Result<&Relation, CdbError> {
+        self.relations
+            .get(name)
+            .ok_or_else(|| CdbError::RelationNotFound(name.into()))
+    }
+
+    /// Fetches one tuple by id.
+    pub fn fetch_tuple(&mut self, name: &str, id: u32) -> Result<GeneralizedTuple, CdbError> {
+        let rel = self
+            .relations
+            .get(name)
+            .ok_or_else(|| CdbError::RelationNotFound(name.into()))?;
+        rel.fetch(self.pager.as_mut(), id)
+    }
+
+    /// All live `(id, tuple)` pairs of a relation.
+    pub fn scan_relation(
+        &mut self,
+        name: &str,
+    ) -> Result<Vec<(u32, GeneralizedTuple)>, CdbError> {
+        let rel = self
+            .relations
+            .get(name)
+            .ok_or_else(|| CdbError::RelationNotFound(name.into()))?;
+        Ok(rel.scan(self.pager.as_mut()))
+    }
+
+    /// Inserts a satisfiable tuple, returning its id. Maintains the dual
+    /// index if one exists (`O(k log_B n)` tree inserts; handicaps are
+    /// refreshed lazily before the next T2 query).
+    pub fn insert(&mut self, name: &str, tuple: GeneralizedTuple) -> Result<u32, CdbError> {
+        let rel_dim = self.relation(name)?.dim;
+        if rel_dim != tuple.dim() {
+            return Err(CdbError::DimensionMismatch {
+                expected: rel_dim,
+                got: tuple.dim(),
+            });
+        }
+        if !tuple.is_satisfiable() {
+            return Err(CdbError::UnsatisfiableTuple);
+        }
+        let pager = self.pager.as_mut();
+        let rel = self.relations.get_mut(name).expect("checked above");
+        let rid = rel.heap.insert(pager, &tuple.encode());
+        let id = rel.slots.len() as u32;
+        rel.slots.push(Some(rid));
+        rel.live += 1;
+        if let Some(idx) = rel.index.as_mut() {
+            idx.insert(pager, id, &tuple);
+        }
+        Ok(id)
+    }
+
+    /// Deletes a tuple by id. Returns the removed tuple.
+    pub fn delete(&mut self, name: &str, id: u32) -> Result<GeneralizedTuple, CdbError> {
+        let pager = self.pager.as_mut();
+        let rel = self
+            .relations
+            .get_mut(name)
+            .ok_or_else(|| CdbError::RelationNotFound(name.into()))?;
+        let tuple = rel.fetch(pager, id)?;
+        let rid = rel.slots[id as usize].take().expect("checked by fetch");
+        rel.heap.delete(pager, rid);
+        rel.live -= 1;
+        if let Some(idx) = rel.index.as_mut() {
+            idx.remove(pager, id, &tuple);
+        }
+        Ok(tuple)
+    }
+
+    /// Builds (or rebuilds) the dual index of a 2-D relation over `slopes`.
+    pub fn build_dual_index(&mut self, name: &str, slopes: SlopeSet) -> Result<(), CdbError> {
+        let pager = self.pager.as_mut();
+        let rel = self
+            .relations
+            .get_mut(name)
+            .ok_or_else(|| CdbError::RelationNotFound(name.into()))?;
+        if rel.dim != 2 {
+            return Err(CdbError::UnsupportedQuery(
+                "the 2-D dual index requires a 2-D relation (see ddim for E^d)".into(),
+            ));
+        }
+        let tuples = rel.scan(pager);
+        rel.index = Some(DualIndex::build(pager, slopes, &tuples));
+        Ok(())
+    }
+
+    /// Re-tightens a relation's index handicaps after heavy update traffic
+    /// (incremental maintenance keeps them correct but increasingly loose;
+    /// see [`DualIndex::refresh_handicaps`]).
+    pub fn tighten_index(&mut self, name: &str) -> Result<(), CdbError> {
+        let pager = self.pager.as_mut();
+        let rel = self
+            .relations
+            .get_mut(name)
+            .ok_or_else(|| CdbError::RelationNotFound(name.into()))?;
+        let tuples = rel.scan(pager);
+        let Some(idx) = rel.index.as_mut() else {
+            return Err(CdbError::NoIndex(name.into()));
+        };
+        idx.refresh_handicaps(pager, &tuples);
+        Ok(())
+    }
+
+    /// Executes a selection with the engine's default strategy.
+    pub fn query(&mut self, name: &str, sel: Selection) -> Result<QueryResult, CdbError> {
+        self.query_with(name, sel, self.config.strategy)
+    }
+
+    /// Executes a selection with an explicit strategy.
+    pub fn query_with(
+        &mut self,
+        name: &str,
+        sel: Selection,
+        strategy: Strategy,
+    ) -> Result<QueryResult, CdbError> {
+        let rel_dim = self.relation(name)?.dim;
+        if rel_dim != sel.halfplane.dim() {
+            return Err(CdbError::DimensionMismatch {
+                expected: rel_dim,
+                got: sel.halfplane.dim(),
+            });
+        }
+        if strategy == Strategy::Scan {
+            return self.scan_query(name, &sel);
+        }
+        let pager = self.pager.as_mut();
+        let rel = self
+            .relations
+            .get_mut(name)
+            .ok_or_else(|| CdbError::RelationNotFound(name.into()))?;
+        let Some(idx) = rel.index.as_ref() else {
+            return Err(CdbError::NoIndex(name.into()));
+        };
+        let mut source = HeapSource {
+            heap: &rel.heap,
+            slots: &rel.slots,
+        };
+        idx.execute(pager, &sel, strategy, &mut source)
+    }
+
+    /// Sequential-scan execution: the no-index baseline and the oracle.
+    fn scan_query(&mut self, name: &str, sel: &Selection) -> Result<QueryResult, CdbError> {
+        let before = self.pager.stats();
+        let pager = self.pager.as_mut();
+        let rel = self
+            .relations
+            .get(name)
+            .ok_or_else(|| CdbError::RelationNotFound(name.into()))?;
+        let tuples = rel.scan(pager);
+        let mut ids = Vec::new();
+        for (id, t) in &tuples {
+            let keep = match sel.kind {
+                SelectionKind::All => predicates::all(&sel.halfplane, t),
+                SelectionKind::Exist => predicates::exist(&sel.halfplane, t),
+            };
+            if keep {
+                ids.push(*id);
+            }
+        }
+        let mut stats = QueryStats {
+            candidates: tuples.len() as u64,
+            ..QueryStats::default()
+        };
+        stats.heap_io = self.pager.stats().since(&before);
+        Ok(QueryResult::new(ids, stats))
+    }
+
+    /// Equality-query convenience (the paper's footnote 2): tuples whose
+    /// extension intersects the line `y = a·x + c`.
+    pub fn exist_line(&mut self, name: &str, a: f64, c: f64) -> Result<QueryResult, CdbError> {
+        self.hyperplane_query(name, a, c, SelectionKind::Exist)
+    }
+
+    /// Tuples whose extension lies entirely on the line `y = a·x + c`
+    /// (degenerate segments/lines).
+    pub fn all_line(&mut self, name: &str, a: f64, c: f64) -> Result<QueryResult, CdbError> {
+        self.hyperplane_query(name, a, c, SelectionKind::All)
+    }
+
+    fn hyperplane_query(
+        &mut self,
+        name: &str,
+        a: f64,
+        c: f64,
+        kind: SelectionKind,
+    ) -> Result<QueryResult, CdbError> {
+        let strategy = self.config.strategy;
+        let pager = self.pager.as_mut();
+        let rel = self
+            .relations
+            .get(name)
+            .ok_or_else(|| CdbError::RelationNotFound(name.into()))?;
+        if rel.dim != 2 {
+            return Err(CdbError::DimensionMismatch {
+                expected: rel.dim,
+                got: 2,
+            });
+        }
+        let Some(idx) = rel.index.as_ref() else {
+            return Err(CdbError::NoIndex(name.into()));
+        };
+        let mut source = HeapSource {
+            heap: &rel.heap,
+            slots: &rel.slots,
+        };
+        idx.execute_hyperplane(pager, a, c, kind, strategy, &mut source)
+    }
+
+    /// Convenience: EXIST selection via the default strategy.
+    pub fn exist(&mut self, name: &str, q: HalfPlane) -> Result<QueryResult, CdbError> {
+        self.query(name, Selection::exist(q))
+    }
+
+    /// Convenience: ALL selection via the default strategy.
+    pub fn all(&mut self, name: &str, q: HalfPlane) -> Result<QueryResult, CdbError> {
+        self.query(name, Selection::all(q))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdb_geometry::parse::parse_tuple;
+
+    fn sample_db() -> ConstraintDb {
+        let mut db = ConstraintDb::in_memory(DbConfig::paper_1999());
+        db.create_relation("land", 2).unwrap();
+        for s in [
+            "y >= 0 && y <= 2 && x >= 0 && x + y <= 4",
+            "y >= x && y <= x + 1 && x >= 10",
+            "y >= -1 && y <= 1 && x >= -3 && x <= -1",
+            "y >= 5 && y <= 7 && x >= 5 && x <= 8",
+        ] {
+            db.insert("land", parse_tuple(s).unwrap()).unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn create_insert_fetch() {
+        let mut db = sample_db();
+        assert_eq!(db.relation("land").unwrap().len(), 4);
+        let t = db.fetch_tuple("land", 0).unwrap();
+        assert!(t.contains(&[1.0, 1.0]));
+        assert!(db.relation("missing").is_err());
+        assert!(matches!(
+            db.create_relation("land", 2),
+            Err(CdbError::RelationExists(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_tuples() {
+        let mut db = sample_db();
+        let t3 = parse_tuple("z >= 0").unwrap();
+        assert!(matches!(
+            db.insert("land", t3),
+            Err(CdbError::DimensionMismatch { expected: 2, got: 3 })
+        ));
+        let unsat = parse_tuple("x >= 1 && x <= 0 && y >= 0").unwrap();
+        assert!(matches!(db.insert("land", unsat), Err(CdbError::UnsatisfiableTuple)));
+    }
+
+    #[test]
+    fn scan_query_works_without_index() {
+        let mut db = sample_db();
+        let r = db
+            .query_with("land", Selection::exist(HalfPlane::above(0.0, 4.5)), Strategy::Scan)
+            .unwrap();
+        // Tuples 1 (unbounded strip) and 3 (high square) reach y >= 4.5.
+        assert_eq!(r.ids(), &[1, 3]);
+    }
+
+    #[test]
+    fn query_without_index_errors() {
+        let mut db = sample_db();
+        let err = db.exist("land", HalfPlane::above(0.3, 0.0)).unwrap_err();
+        assert!(matches!(err, CdbError::NoIndex(_)));
+    }
+
+    #[test]
+    fn indexed_queries_match_scan() {
+        let mut db = sample_db();
+        db.build_dual_index("land", SlopeSet::uniform_tan(4)).unwrap();
+        for (a, b) in [(0.3, -5.0), (1.0, 0.0), (-0.7, 2.0), (4.0, 1.0)] {
+            for sel in [
+                Selection::exist(HalfPlane::above(a, b)),
+                Selection::exist(HalfPlane::below(a, b)),
+                Selection::all(HalfPlane::above(a, b)),
+                Selection::all(HalfPlane::below(a, b)),
+            ] {
+                let want = db.query_with("land", sel.clone(), Strategy::Scan).unwrap();
+                for st in [Strategy::T1, Strategy::T2, Strategy::Auto] {
+                    let got = db.query_with("land", sel.clone(), st).unwrap();
+                    assert_eq!(got.ids(), want.ids(), "{st:?} a={a} b={b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn insert_after_index_then_query() {
+        let mut db = sample_db();
+        db.build_dual_index("land", SlopeSet::uniform_tan(3)).unwrap();
+        db.insert("land", parse_tuple("y >= 90 && y <= 95 && x >= 0 && x <= 5").unwrap())
+            .unwrap();
+        let r = db.exist("land", HalfPlane::above(0.11, 80.0)).unwrap();
+        // Tuple 1 is an unbounded strip with TOP = +∞, so it also qualifies.
+        assert_eq!(r.ids(), &[1, 4], "the new tuple is found through the index");
+    }
+
+    #[test]
+    fn delete_removes_from_results() {
+        let mut db = sample_db();
+        db.build_dual_index("land", SlopeSet::uniform_tan(3)).unwrap();
+        let before = db.exist("land", HalfPlane::above(0.11, 4.0)).unwrap();
+        assert!(before.ids().contains(&3));
+        let removed = db.delete("land", 3).unwrap();
+        assert!(removed.contains(&[6.0, 6.0]));
+        let after = db.exist("land", HalfPlane::above(0.11, 4.0)).unwrap();
+        assert!(!after.ids().contains(&3));
+        assert!(matches!(db.delete("land", 3), Err(CdbError::NoSuchTuple(3))));
+    }
+
+    #[test]
+    fn io_stats_accumulate_and_reset() {
+        let mut db = sample_db();
+        db.build_dual_index("land", SlopeSet::uniform_tan(2)).unwrap();
+        assert!(db.io_stats().accesses() > 0);
+        db.reset_io_stats();
+        assert_eq!(db.io_stats().accesses(), 0);
+        let _ = db.exist("land", HalfPlane::above(0.37, 0.0)).unwrap();
+        assert!(db.io_stats().reads > 0, "queries cost page reads");
+        assert!(db.live_pages() > 0);
+    }
+
+    #[test]
+    fn dimension_checked_on_query() {
+        let mut db = sample_db();
+        db.build_dual_index("land", SlopeSet::uniform_tan(2)).unwrap();
+        let q3 = HalfPlane::new(vec![1.0, 1.0], 0.0, cdb_geometry::RelOp::Ge);
+        assert!(matches!(
+            db.query("land", Selection::exist(q3)),
+            Err(CdbError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn line_queries_through_facade() {
+        let mut db = sample_db();
+        db.build_dual_index("land", SlopeSet::uniform_tan(3)).unwrap();
+        // The unbounded strip (tuple 1) straddles y = x + 0.5 far from the
+        // window; the line query must still find it.
+        let r = db.exist_line("land", 1.0, 0.5).unwrap();
+        assert!(r.ids().contains(&1));
+        // y = 50 still hits the unbounded strip (it climbs forever).
+        let r = db.exist_line("land", 0.0, 50.0).unwrap();
+        assert_eq!(r.ids(), &[1]);
+        // A line parallel to the strip but below it misses everything.
+        let r = db.exist_line("land", 1.0, -5.0).unwrap();
+        assert!(r.is_empty());
+        // Nothing is contained in a line here.
+        let r = db.all_line("land", 1.0, 0.5).unwrap();
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn unbounded_tuples_round_trip_through_storage() {
+        let mut db = ConstraintDb::in_memory(DbConfig::paper_1999());
+        db.create_relation("r", 2).unwrap();
+        let t = parse_tuple("y >= x").unwrap();
+        let id = db.insert("r", t.clone()).unwrap();
+        let back = db.fetch_tuple("r", id).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn drop_relation_frees_all_pages() {
+        let mut db = sample_db();
+        db.build_dual_index("land", SlopeSet::uniform_tan(3)).unwrap();
+        db.create_relation("other", 2).unwrap();
+        db.insert("other", parse_tuple("x >= 0 && x <= 1 && y >= 0 && y <= 1").unwrap())
+            .unwrap();
+        assert_eq!(db.relation_names(), vec!["land".to_string(), "other".to_string()]);
+        let other_pages = db.relation("other").unwrap().page_count() as usize;
+        db.drop_relation("land").unwrap();
+        assert!(db.relation("land").is_err());
+        assert_eq!(db.live_pages(), other_pages, "land's pages reclaimed");
+        assert!(matches!(
+            db.drop_relation("land"),
+            Err(CdbError::RelationNotFound(_))
+        ));
+    }
+
+    #[test]
+    fn page_accounting_matches_pager() {
+        let mut db = sample_db();
+        db.build_dual_index("land", SlopeSet::uniform_tan(2)).unwrap();
+        let rel_pages = db.relation("land").unwrap().page_count();
+        assert_eq!(rel_pages as usize, db.live_pages());
+    }
+}

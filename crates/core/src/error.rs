@@ -1,0 +1,61 @@
+//! Error type of the engine facade.
+
+/// Errors surfaced by the `cdb-core` public API.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CdbError {
+    /// The named relation does not exist.
+    RelationNotFound(String),
+    /// A relation with that name already exists.
+    RelationExists(String),
+    /// Tuple/query dimension differs from the relation's.
+    DimensionMismatch {
+        /// Dimension the relation was created with.
+        expected: usize,
+        /// Dimension of the offending tuple or query.
+        got: usize,
+    },
+    /// The tuple's extension is empty; constraint relations store
+    /// satisfiable generalized tuples only.
+    UnsatisfiableTuple,
+    /// The tuple id does not name a live tuple.
+    NoSuchTuple(u32),
+    /// The relation has no dual index, or its index does not support the
+    /// requested operation.
+    NoIndex(String),
+    /// The query cannot be handled by the chosen strategy (e.g. a vertical
+    /// query boundary, or a d-dimensional slope outside the hull of `S`).
+    UnsupportedQuery(String),
+}
+
+impl std::fmt::Display for CdbError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CdbError::RelationNotFound(n) => write!(f, "relation '{n}' not found"),
+            CdbError::RelationExists(n) => write!(f, "relation '{n}' already exists"),
+            CdbError::DimensionMismatch { expected, got } => {
+                write!(f, "dimension mismatch: relation is {expected}-D, got {got}-D")
+            }
+            CdbError::UnsatisfiableTuple => {
+                write!(f, "tuple is unsatisfiable (empty extension)")
+            }
+            CdbError::NoSuchTuple(id) => write!(f, "no tuple with id {id}"),
+            CdbError::NoIndex(n) => write!(f, "relation '{n}' has no dual index"),
+            CdbError::UnsupportedQuery(m) => write!(f, "unsupported query: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CdbError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = CdbError::DimensionMismatch { expected: 2, got: 3 };
+        assert!(e.to_string().contains("2-D"));
+        assert!(e.to_string().contains("3-D"));
+        assert!(CdbError::RelationNotFound("r".into()).to_string().contains("'r'"));
+    }
+}

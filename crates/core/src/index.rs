@@ -1,0 +1,1148 @@
+//! The 2-D dual index: `B^up`/`B^down` forests over a slope set, with the
+//! restricted (Section 3), T1 (Section 4.1) and T2 (Sections 4.2–4.3) query
+//! strategies.
+
+use cdb_btree::{key_slack, BTree, Handicaps, SweepControl};
+use cdb_geometry::constraint::RelOp;
+use cdb_geometry::tuple::GeneralizedTuple;
+use cdb_geometry::halfplane::HalfPlane;
+use cdb_geometry::{dual, predicates};
+use cdb_storage::Pager;
+
+use crate::error::CdbError;
+use crate::handicap::{assign_high, assign_low};
+use crate::query::{
+    tree_and_direction, QueryResult, QueryStats, Selection, SelectionKind, Side, Strategy,
+};
+use crate::slopes::{Bracket, SlopeSet};
+
+/// Source of tuples for the exact refinement step.
+///
+/// The batch signature lets real implementations group candidate fetches by
+/// heap page — one page access per *distinct* page, the way a production
+/// executor refines. Any `FnMut(&mut dyn Pager, u32) -> GeneralizedTuple`
+/// closure is also a (non-batching) source, which the tests use.
+pub trait TupleSource {
+    /// Fetches the tuples for `ids` (result aligned with the input),
+    /// charging page accesses to `pager`.
+    fn fetch_batch(&mut self, pager: &mut dyn Pager, ids: &[u32]) -> Vec<GeneralizedTuple>;
+}
+
+impl<F> TupleSource for F
+where
+    F: FnMut(&mut dyn Pager, u32) -> GeneralizedTuple,
+{
+    fn fetch_batch(&mut self, pager: &mut dyn Pager, ids: &[u32]) -> Vec<GeneralizedTuple> {
+        ids.iter().map(|&id| self(pager, id)).collect()
+    }
+}
+
+/// The two B⁺-trees of one slope: `B^up` keyed by `TOP_P`, `B^down` by
+/// `BOT_P`.
+#[derive(Clone, Debug)]
+struct TreePair {
+    up: BTree,
+    down: BTree,
+}
+
+/// Dual-representation index over a 2-D generalized relation.
+///
+/// ```
+/// use cdb_core::{DualIndex, Selection, SlopeSet, Strategy};
+/// use cdb_geometry::parse::parse_tuple;
+/// use cdb_geometry::tuple::GeneralizedTuple;
+/// use cdb_geometry::HalfPlane;
+/// use cdb_storage::{MemPager, Pager};
+///
+/// let tuples = vec![
+///     (0, parse_tuple("y >= 0 && y <= 1 && x >= 0 && x <= 1").unwrap()),
+///     (1, parse_tuple("y >= x && x >= 5").unwrap()), // unbounded wedge
+/// ];
+/// let mut pager = MemPager::paper_1999();
+/// let idx = DualIndex::build(&mut pager, SlopeSet::uniform_tan(3), &tuples);
+///
+/// let lookup = tuples.clone();
+/// let mut fetch = move |_: &mut dyn Pager, id: u32| -> GeneralizedTuple {
+///     lookup.iter().find(|(i, _)| *i == id).unwrap().1.clone()
+/// };
+/// // EXIST with an arbitrary slope runs technique T2.
+/// let sel = Selection::exist(HalfPlane::above(0.25, 3.0)); // y >= x/4 + 3
+/// let r = idx.execute(&mut pager, &sel, Strategy::T2, &mut fetch).unwrap();
+/// assert_eq!(r.ids(), &[1], "only the wedge reaches that high");
+/// assert_eq!(r.stats.duplicates, 0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct DualIndex {
+    slopes: SlopeSet,
+    pairs: Vec<TreePair>,
+    /// Where the app-query lines of T1 are anchored: the x coordinate of the
+    /// point `P` on the query line (Section 4.1, "choice of b1, b2"). The
+    /// centre of the data distribution minimizes expected false hits.
+    anchor_x: f64,
+    dirty: bool,
+}
+
+impl DualIndex {
+    /// Bulk-builds the index over `(id, tuple)` pairs. All tuples must be
+    /// satisfiable and 2-D.
+    pub fn build(
+        pager: &mut dyn Pager,
+        slopes: SlopeSet,
+        tuples: &[(u32, GeneralizedTuple)],
+    ) -> Self {
+        let mut pairs = Vec::with_capacity(slopes.len());
+        for i in 0..slopes.len() {
+            let s = slopes.get(i);
+            let mut up_entries: Vec<(f64, u32)> = tuples
+                .iter()
+                .map(|(id, t)| (top_at(t, s), *id))
+                .collect();
+            let mut down_entries: Vec<(f64, u32)> = tuples
+                .iter()
+                .map(|(id, t)| (bot_at(t, s), *id))
+                .collect();
+            up_entries.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN key"));
+            down_entries.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN key"));
+            pairs.push(TreePair {
+                up: BTree::bulk_load(pager, &up_entries, 1.0),
+                down: BTree::bulk_load(pager, &down_entries, 1.0),
+            });
+        }
+        let mut idx = DualIndex {
+            slopes,
+            pairs,
+            anchor_x: 0.0,
+            dirty: true,
+        };
+        idx.refresh_handicaps(pager, tuples);
+        idx
+    }
+
+    /// The slope set `S`.
+    pub fn slopes(&self) -> &SlopeSet {
+        &self.slopes
+    }
+
+    /// Sets the x coordinate of T1's app-query anchor point.
+    pub fn set_anchor_x(&mut self, x: f64) {
+        self.anchor_x = x;
+    }
+
+    /// Pages owned by the index (the space metric of Figure 10).
+    pub fn page_count(&self) -> u64 {
+        self.pairs.iter().map(|p| p.up.page_count() + p.down.page_count()).sum()
+    }
+
+    /// Number of indexed entries per tree (should equal the relation size).
+    pub fn len(&self) -> u64 {
+        self.pairs.first().map(|p| p.up.len()).unwrap_or(0)
+    }
+
+    /// `true` when no tuples are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `true` when updates have *loosened* the handicaps since the last
+    /// rebuild. T2 queries remain correct either way (incremental
+    /// maintenance is conservative); a
+    /// [`refresh_handicaps`](Self::refresh_handicaps) re-tightens them and
+    /// restores the best second-sweep bounds.
+    pub fn needs_refresh(&self) -> bool {
+        self.dirty
+    }
+
+    /// Adds one tuple to every tree and folds its reach values into the
+    /// bucket leaves' handicaps — the paper's `O(k log_B n)` amortized
+    /// update (Theorems 3.1/4.2). The fold is monotone (min/max), so
+    /// correctness is maintained incrementally; handicaps only become
+    /// *looser* over time and can be re-tightened with
+    /// [`refresh_handicaps`](Self::refresh_handicaps).
+    pub fn insert(&mut self, pager: &mut dyn Pager, id: u32, tuple: &GeneralizedTuple) {
+        for i in 0..self.slopes.len() {
+            let s = self.slopes.get(i);
+            let top = top_at(tuple, s);
+            let bot = bot_at(tuple, s);
+            self.pairs[i].up.insert(pager, top, id);
+            self.pairs[i].down.insert(pager, bot, id);
+            for side in [Side::Prev, Side::Next] {
+                let Some(mid) = self.slopes.mid(i, side) else {
+                    continue;
+                };
+                // Strip extrema at the endpoints (TOP convex, BOT concave).
+                let low_reach = top.max(top_at(tuple, mid));
+                let high_reach = bot.min(bot_at(tuple, mid));
+                for (tree, key) in [(&self.pairs[i].up, top), (&self.pairs[i].down, bot)] {
+                    fold_low(pager, tree, side, low_reach, key);
+                    fold_high(pager, tree, side, high_reach, key);
+                }
+            }
+        }
+        self.dirty = true; // loose, not invalid
+    }
+
+    /// Removes one tuple from every tree. Handicaps are left in place
+    /// (conservative: they may over-cover deleted tuples, never under-cover
+    /// live ones; emptied leaves migrate their bounds inside the B⁺-tree).
+    pub fn remove(&mut self, pager: &mut dyn Pager, id: u32, tuple: &GeneralizedTuple) -> bool {
+        let mut found = true;
+        for i in 0..self.slopes.len() {
+            let s = self.slopes.get(i);
+            found &= self.pairs[i].up.delete(pager, top_at(tuple, s), id);
+            found &= self.pairs[i].down.delete(pager, bot_at(tuple, s), id);
+        }
+        self.dirty = true; // loose, not invalid
+        found
+    }
+
+    /// Recomputes every leaf's handicap values from the current relation
+    /// snapshot (Section 4.2 Steps 1–2), restoring the tightest bounds.
+    ///
+    /// Incremental updates keep handicaps *correct* at `O(k log_B n)` cost
+    /// per update (the paper's amortized bound) but only ever loosen them:
+    /// inserts fold monotonically, deletes leave bounds behind, splits copy
+    /// them. After heavy update traffic this linear rebuild re-tightens the
+    /// second-sweep bounds; build-then-query workloads (the paper's
+    /// experiments) run it exactly once at build time.
+    pub fn refresh_handicaps(
+        &mut self,
+        pager: &mut dyn Pager,
+        tuples: &[(u32, GeneralizedTuple)],
+    ) {
+        for i in 0..self.slopes.len() {
+            let s = self.slopes.get(i);
+            // Surface values at the tree slope.
+            let tops: Vec<f64> = tuples.iter().map(|(_, t)| top_at(t, s)).collect();
+            let bots: Vec<f64> = tuples.iter().map(|(_, t)| bot_at(t, s)).collect();
+            // Reaches per side (None at the ends of S).
+            type ReachTables = Option<(Vec<(f64, f64)>, Vec<(f64, f64)>)>;
+            let side_pairs = |side: Side| -> ReachTables {
+                let mid = self.slopes.mid(i, side)?;
+                let mut low_reach = Vec::with_capacity(tuples.len());
+                let mut high_reach = Vec::with_capacity(tuples.len());
+                for (j, (_, t)) in tuples.iter().enumerate() {
+                    // TOP convex / BOT concave ⇒ strip extrema at endpoints.
+                    low_reach.push(tops[j].max(top_at(t, mid)));
+                    high_reach.push(bots[j].min(bot_at(t, mid)));
+                }
+                Some((
+                    low_reach.iter().copied().zip(tops.iter().copied()).collect(),
+                    high_reach.iter().copied().zip(tops.iter().copied()).collect(),
+                ))
+            };
+            // For B^up the key is TOP; for B^down it is BOT. Build the four
+            // (reach, key) tables per tree.
+            for up_tree in [true, false] {
+                let keys = if up_tree { &tops } else { &bots };
+                let tree = if up_tree {
+                    &self.pairs[i].up
+                } else {
+                    &self.pairs[i].down
+                };
+                let leaves = tree.leaves(pager);
+                let mut low = [vec![f64::INFINITY; leaves.len()], vec![f64::INFINITY; leaves.len()]];
+                let mut high = [
+                    vec![f64::NEG_INFINITY; leaves.len()],
+                    vec![f64::NEG_INFINITY; leaves.len()],
+                ];
+                for (si, side) in [Side::Prev, Side::Next].into_iter().enumerate() {
+                    let Some((low_base, high_base)) = side_pairs(side) else {
+                        continue;
+                    };
+                    // Rekey to this tree's keys.
+                    let low_pairs: Vec<(f64, f64)> = low_base
+                        .iter()
+                        .zip(keys)
+                        .map(|(&(reach, _), &k)| (reach, k))
+                        .collect();
+                    let high_pairs: Vec<(f64, f64)> = high_base
+                        .iter()
+                        .zip(keys)
+                        .map(|(&(reach, _), &k)| (reach, k))
+                        .collect();
+                    low[si] = assign_low(&leaves, &low_pairs);
+                    high[si] = assign_high(&leaves, &high_pairs);
+                }
+                for (li, leaf) in leaves.iter().enumerate() {
+                    tree.set_handicaps(
+                        pager,
+                        leaf.page,
+                        Handicaps {
+                            low_prev: low[0][li],
+                            low_next: low[1][li],
+                            high_prev: high[0][li],
+                            high_next: high[1][li],
+                        },
+                    );
+                }
+            }
+        }
+        self.dirty = false;
+    }
+
+    /// Executes a selection with the requested strategy.
+    ///
+    /// `fetch` loads a tuple for the exact refinement step, charging its
+    /// page accesses to `pager`.
+    ///
+    /// # Errors
+    /// [`CdbError::UnsupportedQuery`] — `Restricted` with a slope outside
+    /// `S`, a non-2-D query, or `Scan` (handled a level up).
+    pub fn execute(
+        &self,
+        pager: &mut dyn Pager,
+        sel: &Selection,
+        strategy: Strategy,
+        fetch: &mut dyn TupleSource,
+    ) -> Result<QueryResult, CdbError> {
+        if sel.halfplane.dim() != 2 {
+            return Err(CdbError::DimensionMismatch {
+                expected: 2,
+                got: sel.halfplane.dim(),
+            });
+        }
+        let a = sel.halfplane.slope2d();
+        let bracket = self.slopes.bracket(a);
+        match (strategy, bracket) {
+            (Strategy::Restricted, Bracket::Member(i)) => self.restricted(pager, sel, i, fetch),
+            (Strategy::Restricted, _) => Err(CdbError::UnsupportedQuery(format!(
+                "slope {a} is not in the predefined set S"
+            ))),
+            (Strategy::Auto, Bracket::Member(i)) => self.restricted(pager, sel, i, fetch),
+            (Strategy::T1 | Strategy::T2, Bracket::Member(i)) => {
+                self.restricted(pager, sel, i, fetch)
+            }
+            (Strategy::T1, _) => self.t1(pager, sel, fetch),
+            (Strategy::T2 | Strategy::Auto, Bracket::Between(i, j)) => {
+                self.t2(pager, sel, i, j, fetch)
+            }
+            // The paper details T2 for the main case a1 < a < a2 only; the
+            // wrapped cases fall back to T1 exactly like Section 4.1.
+            (Strategy::T2 | Strategy::Auto, Bracket::Wrapped(..)) => self.t1(pager, sel, fetch),
+            (Strategy::Scan, _) => Err(CdbError::UnsupportedQuery(
+                "Scan is executed by the relation, not the index".into(),
+            )),
+        }
+    }
+
+    // ---------------------------------------------------------- restricted --
+
+    /// Section 3: one tree search plus a leaf sweep. With the paper's
+    /// 4-byte stored keys the entries within one `f32` quantum of the
+    /// threshold cannot be decided from the page alone; only those few are
+    /// verified exactly (tuple fetch), every other entry is accepted by key.
+    fn restricted(
+        &self,
+        pager: &mut dyn Pager,
+        sel: &Selection,
+        slope_idx: usize,
+        fetch: &mut dyn TupleSource,
+    ) -> Result<QueryResult, CdbError> {
+        let before = pager.stats();
+        let b = sel.halfplane.intercept;
+        let (use_up, upward) = tree_and_direction(sel.kind, sel.halfplane.op);
+        let tree = self.tree(slope_idx, use_up);
+        let (mut sure, check) = sweep_candidates(tree, pager, b, upward);
+        let mut stats = QueryStats {
+            candidates: (sure.len() + check.len()) as u64,
+            accepted_by_key: sure.len() as u64,
+            ..QueryStats::default()
+        };
+        stats.index_io = pager.stats().since(&before);
+        let heap_before = pager.stats();
+        // The boundary-band predicate at the tree's own slope equals the
+        // exact selection predicate, so refine() decides it exactly.
+        let kept = refine(pager, sel, check, fetch, &mut stats);
+        stats.heap_io = pager.stats().since(&heap_before);
+        sure.extend(kept);
+        Ok(QueryResult::new(sure, stats))
+    }
+
+    // ----------------------------------------------------------------- T1 --
+
+    /// Section 4.1: approximate an arbitrary-slope query with two
+    /// app-queries (Table 1), then refine exactly.
+    fn t1(
+        &self,
+        pager: &mut dyn Pager,
+        sel: &Selection,
+        fetch: &mut dyn TupleSource,
+    ) -> Result<QueryResult, CdbError> {
+        let before = pager.stats();
+        let a = sel.halfplane.slope2d();
+        let b = sel.halfplane.intercept;
+        let theta = sel.halfplane.op;
+        let (i1, i2, th1, th2) = self.app_query_plan(a, theta);
+        // Both app-query lines pass through P = (anchor_x, a·anchor_x + b).
+        let py = a * self.anchor_x + b;
+        let legs = [(i1, th1), (i2, th2)];
+        let mut raw: Vec<u32> = Vec::new();
+        for (li, (si, th)) in legs.into_iter().enumerate() {
+            let s = self.slopes.get(si);
+            let bi = py - s * self.anchor_x;
+            // ALL original: first leg keeps ALL, second leg must be EXIST
+            // (Figure 4: two ALL app-queries are incorrect).
+            let kind = match (sel.kind, li) {
+                (SelectionKind::All, 0) => SelectionKind::All,
+                (SelectionKind::All, _) => SelectionKind::Exist,
+                (SelectionKind::Exist, _) => SelectionKind::Exist,
+            };
+            let (use_up, upward) = tree_and_direction(kind, th);
+            let tree = self.tree(si, use_up);
+            let (sure, check) = sweep_candidates(tree, pager, bi, upward);
+            raw.extend(sure);
+            raw.extend(check);
+        }
+        let mut stats = QueryStats {
+            candidates: raw.len() as u64,
+            ..QueryStats::default()
+        };
+        stats.index_io = pager.stats().since(&before);
+        // Dedupe (T1's duplication problem), then exact refinement.
+        raw.sort_unstable();
+        let before_len = raw.len();
+        raw.dedup();
+        stats.duplicates = (before_len - raw.len()) as u64;
+        let heap_before = pager.stats();
+        let ids = refine(pager, sel, raw, fetch, &mut stats);
+        stats.heap_io = pager.stats().since(&heap_before);
+        Ok(QueryResult::new(ids, stats))
+    }
+
+    /// Table 1: picks the app-query slopes (clockwise/anticlockwise
+    /// neighbours) and operators for an original operator `θ`.
+    fn app_query_plan(&self, a: f64, theta: RelOp) -> (usize, usize, RelOp, RelOp) {
+        match self.slopes.bracket(a) {
+            Bracket::Member(i) => (i, i, theta, theta),
+            // a1 < a < a2: both operators keep θ.
+            Bracket::Between(i, j) => (i, j, theta, theta),
+            Bracket::Wrapped(cw, acw) => {
+                if a > self.slopes.get(cw) {
+                    // a beyond max(S): a1 = max (clockwise), a2 = min; both
+                    // smaller than a — Table 1 row 2: θ1 = θ, θ2 = ¬θ.
+                    (cw, acw, theta, theta.negated())
+                } else {
+                    // a below min(S) — Table 1 row 3: θ1 = ¬θ, θ2 = θ,
+                    // with a1 the clockwise (here: max) neighbour.
+                    (cw, acw, theta.negated(), theta)
+                }
+            }
+        }
+    }
+
+    // ----------------------------------------------------------------- T2 --
+
+    /// Sections 4.2–4.3: one tree, two disjoint sweeps guided by handicaps.
+    fn t2(
+        &self,
+        pager: &mut dyn Pager,
+        sel: &Selection,
+        lo_idx: usize,
+        hi_idx: usize,
+        fetch: &mut dyn TupleSource,
+    ) -> Result<QueryResult, CdbError> {
+        let before = pager.stats();
+        let a = sel.halfplane.slope2d();
+        let b = sel.halfplane.intercept;
+        // Nearest slope in *slope* distance (the paper's |a1−a| < |a2−a|),
+        // i.e. by comparison with a_mid — this must match the handicap
+        // strips, which are computed over the slope intervals
+        // [aᵢ, (aᵢ+aⱼ)/2]: routing by any other metric (e.g. angle) can
+        // send a query to a tree whose strip does not contain its slope,
+        // under-covering the reaches and missing results.
+        let mid = (self.slopes.get(lo_idx) + self.slopes.get(hi_idx)) / 2.0;
+        let (near, side) = if a <= mid {
+            (lo_idx, Side::Next)
+        } else {
+            (hi_idx, Side::Prev)
+        };
+        let (use_up, upward) = tree_and_direction(sel.kind, sel.halfplane.op);
+        let tree = self.tree(near, use_up);
+        let raw = handicap_guided_candidates(
+            tree,
+            pager,
+            b,
+            upward,
+            &|h| side_low(h, side),
+            &|h| side_high(h, side),
+        );
+        let mut stats = QueryStats {
+            candidates: raw.len() as u64,
+            ..QueryStats::default()
+        };
+        stats.index_io = pager.stats().since(&before);
+        // The two sweeps visit disjoint leaf sets and every tuple occurs
+        // once per tree: no duplicates by construction.
+        debug_assert!(
+            {
+                let mut v = raw.clone();
+                v.sort_unstable();
+                v.windows(2).all(|w| w[0] != w[1])
+            },
+            "T2 must not produce duplicates"
+        );
+        let heap_before = pager.stats();
+        let ids = refine(pager, sel, raw, fetch, &mut stats);
+        stats.heap_io = pager.stats().since(&heap_before);
+        Ok(QueryResult::new(ids, stats))
+    }
+
+    /// Footnote 2 of the paper: *equality* queries. Retrieves tuples whose
+    /// extension intersects (`Exist`) or is contained in (`All`) the
+    /// hyperplane `x_d = a·x' + c` — e.g. the query generalized tuple
+    /// `y = a x + c`. A tuple meets the line iff `BOT ≤ c ≤ TOP`, so the
+    /// exact `EXIST(x_d ≥ a·x' + c)` answer (`TOP ≥ c`) is a candidate
+    /// superset; one extra refinement pass against the hyperplane predicate
+    /// finishes the job.
+    pub fn execute_hyperplane(
+        &self,
+        pager: &mut dyn Pager,
+        slope: f64,
+        c: f64,
+        kind: SelectionKind,
+        strategy: Strategy,
+        fetch: &mut dyn TupleSource,
+    ) -> Result<QueryResult, CdbError> {
+        let sup = self.execute(
+            pager,
+            &Selection::exist(HalfPlane::new2d(slope, c, RelOp::Ge)),
+            strategy,
+            fetch,
+        )?;
+        let mut stats = sup.stats;
+        let heap_before = pager.stats();
+        let candidates: Vec<u32> = sup.ids().to_vec();
+        let tuples = fetch.fetch_batch(pager, &candidates);
+        let mut ids = Vec::with_capacity(candidates.len());
+        for (id, t) in candidates.into_iter().zip(&tuples) {
+            let keep = match kind {
+                SelectionKind::Exist => predicates::exist_hyperplane(&[slope], c, t),
+                SelectionKind::All => predicates::all_hyperplane(&[slope], c, t),
+            };
+            if keep {
+                ids.push(id);
+            } else {
+                stats.false_hits += 1;
+            }
+        }
+        stats.heap_io = stats.heap_io.plus(&pager.stats().since(&heap_before));
+        Ok(QueryResult::new(ids, stats))
+    }
+
+    /// Frees every page of every tree back to the pager.
+    pub fn destroy(self, pager: &mut dyn Pager) {
+        for pair in self.pairs {
+            pair.up.destroy(pager);
+            pair.down.destroy(pager);
+        }
+    }
+
+    fn tree(&self, i: usize, up: bool) -> &BTree {
+        if up {
+            &self.pairs[i].up
+        } else {
+            &self.pairs[i].down
+        }
+    }
+}
+
+/// `TOP_P` for index keys; panics on unsatisfiable tuples (the relation
+/// layer rejects them at insert).
+fn top_at(t: &GeneralizedTuple, slope: f64) -> f64 {
+    dual::top(t, &[slope]).expect("indexed tuples are satisfiable")
+}
+
+/// `BOT_P` for index keys.
+fn bot_at(t: &GeneralizedTuple, slope: f64) -> f64 {
+    dual::bot(t, &[slope]).expect("indexed tuples are satisfiable")
+}
+
+fn side_low(h: &Handicaps, side: Side) -> f64 {
+    match side {
+        Side::Prev => h.low_prev,
+        Side::Next => h.low_next,
+    }
+}
+
+fn side_high(h: &Handicaps, side: Side) -> f64 {
+    match side {
+        Side::Prev => h.high_prev,
+        Side::Next => h.high_next,
+    }
+}
+
+/// The two handicap-guided sweeps of technique T2 (Section 4.2 Step 3),
+/// shared by the 2-D index and the d-dimensional grid extension.
+///
+/// First sweep: from `b` in the query direction, collecting candidates and
+/// folding the relevant handicap of every visited leaf into the bound for
+/// the second, opposite sweep. The sweeps cover disjoint key ranges, so the
+/// result is duplicate-free by construction.
+pub(crate) fn handicap_guided_candidates(
+    tree: &BTree,
+    pager: &mut dyn Pager,
+    b: f64,
+    upward: bool,
+    low_of: &dyn Fn(&Handicaps) -> f64,
+    high_of: &dyn Fn(&Handicaps) -> f64,
+) -> Vec<u32> {
+    let mut raw: Vec<u32> = Vec::new();
+    if upward {
+        // First sweep: upward from b, folding the low handicap.
+        let start = b - key_slack(b);
+        let mut low_q = f64::INFINITY;
+        let mut visited = false;
+        tree.sweep_up(pager, start, |snap| {
+            visited = true;
+            low_q = low_q.min(low_of(&snap.handicaps));
+            raw.extend(snap.entries.iter().map(|e| e.1));
+            SweepControl::Continue
+        });
+        if !visited {
+            // b beyond every key: bucketed reaches clamp to the last leaf,
+            // whose handicap must still be honoured.
+            let h = tree.read_handicaps(pager, tree.last_leaf());
+            low_q = low_of(&h);
+        }
+        // Second sweep: downward, disjoint from the first, to low(q).
+        if low_q < f64::INFINITY {
+            let bound = low_q - key_slack(low_q);
+            let from = start.next_down();
+            tree.sweep_down(pager, from, |snap| {
+                for &(k, v) in &snap.entries {
+                    if k < bound {
+                        return SweepControl::Stop;
+                    }
+                    raw.push(v);
+                }
+                SweepControl::Continue
+            });
+        }
+    } else {
+        // Mirror image: downward first, folding the high handicap.
+        let start = b + key_slack(b);
+        let mut high_q = f64::NEG_INFINITY;
+        let mut visited = false;
+        tree.sweep_down(pager, start, |snap| {
+            visited = true;
+            high_q = high_q.max(high_of(&snap.handicaps));
+            raw.extend(snap.entries.iter().map(|e| e.1));
+            SweepControl::Continue
+        });
+        if !visited {
+            let h = tree.read_handicaps(pager, tree.first_leaf());
+            high_q = high_of(&h);
+        }
+        if high_q > f64::NEG_INFINITY {
+            let bound = high_q + key_slack(high_q);
+            let from = start.next_up();
+            tree.sweep_up(pager, from, |snap| {
+                for &(k, v) in &snap.entries {
+                    if k > bound {
+                        return SweepControl::Stop;
+                    }
+                    raw.push(v);
+                }
+                SweepControl::Continue
+            });
+        }
+    }
+    raw
+}
+
+/// Folds one `(reach, key)` pair into the low handicap of its bucket leaf:
+/// the leaf holding the first entry `≥ reach` (clamped to the last leaf).
+pub(crate) fn fold_low(pager: &mut dyn Pager, tree: &BTree, side: Side, reach: f64, key: f64) {
+    let page = tree
+        .find_first_geq(pager, reach)
+        .map(|(p, _)| p)
+        .unwrap_or_else(|| tree.last_leaf());
+    let mut h = tree.read_handicaps(pager, page);
+    let slot = match side {
+        Side::Prev => &mut h.low_prev,
+        Side::Next => &mut h.low_next,
+    };
+    if key < *slot {
+        *slot = key;
+        tree.set_handicaps(pager, page, h);
+    }
+}
+
+/// Folds one `(reach, key)` pair into the high handicap of its bucket leaf:
+/// the leaf holding the last entry `≤ reach` (clamped to the first leaf).
+pub(crate) fn fold_high(pager: &mut dyn Pager, tree: &BTree, side: Side, reach: f64, key: f64) {
+    let page = tree
+        .find_last_leq(pager, reach)
+        .map(|(p, _)| p)
+        .unwrap_or_else(|| tree.first_leaf());
+    let mut h = tree.read_handicaps(pager, page);
+    let slot = match side {
+        Side::Prev => &mut h.high_prev,
+        Side::Next => &mut h.high_next,
+    };
+    if key > *slot {
+        *slot = key;
+        tree.set_handicaps(pager, page, h);
+    }
+}
+
+/// One-direction threshold sweep with `f32`-rounding bands: returns
+/// `(sure, boundary)` ids — `sure` certainly satisfy the key test, the
+/// boundary band is within one rounding quantum of `b`.
+pub(crate) fn sweep_candidates(
+    tree: &BTree,
+    pager: &mut dyn Pager,
+    b: f64,
+    upward: bool,
+) -> (Vec<u32>, Vec<u32>) {
+    let slack = key_slack(b);
+    let mut sure = Vec::new();
+    let mut band = Vec::new();
+    if upward {
+        tree.sweep_up(pager, b - slack, |snap| {
+            for &(k, v) in &snap.entries {
+                if k > b + slack {
+                    sure.push(v);
+                } else {
+                    band.push(v);
+                }
+            }
+            SweepControl::Continue
+        });
+    } else {
+        tree.sweep_down(pager, b + slack, |snap| {
+            for &(k, v) in &snap.entries {
+                if k < b - slack {
+                    sure.push(v);
+                } else {
+                    band.push(v);
+                }
+            }
+            SweepControl::Continue
+        });
+    }
+    (sure, band)
+}
+
+/// Exact refinement: fetches the candidates (batched by the source, so the
+/// cost is one page access per distinct heap page) and keeps those
+/// satisfying the original selection (Proposition 2.2 evaluated by LP).
+pub(crate) fn refine(
+    pager: &mut dyn Pager,
+    sel: &Selection,
+    candidates: Vec<u32>,
+    fetch: &mut dyn TupleSource,
+    stats: &mut QueryStats,
+) -> Vec<u32> {
+    let tuples = fetch.fetch_batch(pager, &candidates);
+    let mut out = Vec::with_capacity(candidates.len());
+    for (id, t) in candidates.into_iter().zip(&tuples) {
+        let keep = match sel.kind {
+            SelectionKind::All => predicates::all(&sel.halfplane, t),
+            SelectionKind::Exist => predicates::exist(&sel.halfplane, t),
+        };
+        if keep {
+            out.push(id);
+        } else {
+            stats.false_hits += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdb_geometry::halfplane::HalfPlane;
+    use cdb_geometry::predicates::oracle_select;
+    use cdb_storage::MemPager;
+    use cdb_workload::{DatasetSpec, ObjectSize, QueryGen, QueryKind, TupleGen};
+
+    fn build_index(
+        pager: &mut MemPager,
+        tuples: &[GeneralizedTuple],
+        k: usize,
+    ) -> (DualIndex, Vec<(u32, GeneralizedTuple)>) {
+        let pairs: Vec<(u32, GeneralizedTuple)> = tuples
+            .iter()
+            .cloned()
+            .enumerate()
+            .map(|(i, t)| (i as u32, t))
+            .collect();
+        let idx = DualIndex::build(pager, SlopeSet::uniform_tan(k), &pairs);
+        (idx, pairs)
+    }
+
+    fn run(
+        idx: &DualIndex,
+        pager: &mut MemPager,
+        pairs: &[(u32, GeneralizedTuple)],
+        sel: &Selection,
+        strategy: Strategy,
+    ) -> QueryResult {
+        let lookup: std::collections::HashMap<u32, GeneralizedTuple> =
+            pairs.iter().cloned().collect();
+        let mut fetch = move |_: &mut dyn Pager, id: u32| lookup[&id].clone();
+        idx.execute(pager, sel, strategy, &mut fetch).expect("query")
+    }
+
+    fn oracle(pairs: &[(u32, GeneralizedTuple)], sel: &Selection) -> Vec<u32> {
+        let tuples: Vec<&GeneralizedTuple> = pairs.iter().map(|(_, t)| t).collect();
+        oracle_select(&sel.halfplane, sel.kind == SelectionKind::All, tuples)
+            .into_iter()
+            .map(|i| pairs[i].0)
+            .collect()
+    }
+
+    #[test]
+    fn restricted_matches_oracle_on_member_slopes() {
+        let mut pager = MemPager::paper_1999();
+        let tuples = DatasetSpec::paper_1999(300, ObjectSize::Small, 1).generate();
+        let (idx, pairs) = build_index(&mut pager, &tuples, 4);
+        for i in 0..idx.slopes().len() {
+            let s = idx.slopes().get(i);
+            for b in [-30.0, 0.0, 25.0] {
+                for kind in [SelectionKind::All, SelectionKind::Exist] {
+                    for op in [RelOp::Ge, RelOp::Le] {
+                        let sel = Selection {
+                            kind,
+                            halfplane: HalfPlane::new2d(s, b, op),
+                        };
+                        let got = run(&idx, &mut pager, &pairs, &sel, Strategy::Restricted);
+                        assert_eq!(got.ids(), oracle(&pairs, &sel), "{kind:?} {op:?} s={s} b={b}");
+                        assert_eq!(got.stats.duplicates, 0);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn restricted_rejects_foreign_slope() {
+        let mut pager = MemPager::paper_1999();
+        let tuples = DatasetSpec::paper_1999(20, ObjectSize::Small, 2).generate();
+        let (idx, pairs) = build_index(&mut pager, &tuples, 3);
+        let sel = Selection::exist(HalfPlane::above(0.123456, 0.0));
+        let lookup: std::collections::HashMap<u32, GeneralizedTuple> =
+            pairs.iter().cloned().collect();
+        let mut fetch = move |_: &mut dyn Pager, id: u32| lookup[&id].clone();
+        let err = idx
+            .execute(&mut pager, &sel, Strategy::Restricted, &mut fetch)
+            .unwrap_err();
+        assert!(matches!(err, CdbError::UnsupportedQuery(_)));
+    }
+
+    #[test]
+    fn t1_matches_oracle_arbitrary_slopes() {
+        let mut pager = MemPager::paper_1999();
+        let tuples = DatasetSpec::paper_1999(250, ObjectSize::Small, 3).generate();
+        let (idx, pairs) = build_index(&mut pager, &tuples, 3);
+        let mut qg = QueryGen::new(77);
+        for kind in [QueryKind::All, QueryKind::Exist] {
+            for sel_frac in [0.1, 0.3] {
+                let q = qg.calibrated(&tuples, kind, sel_frac);
+                let sel = Selection {
+                    kind: if kind == QueryKind::All {
+                        SelectionKind::All
+                    } else {
+                        SelectionKind::Exist
+                    },
+                    halfplane: q.halfplane,
+                };
+                let got = run(&idx, &mut pager, &pairs, &sel, Strategy::T1);
+                assert_eq!(got.ids(), oracle(&pairs, &sel), "{kind:?} {sel_frac}");
+            }
+        }
+    }
+
+    #[test]
+    fn t1_wrapped_slopes() {
+        // Query slopes outside [min S, max S]: Table 1 rows 2 and 3.
+        let mut pager = MemPager::paper_1999();
+        let tuples = DatasetSpec::paper_1999(150, ObjectSize::Small, 4).generate();
+        let pairs: Vec<(u32, GeneralizedTuple)> = tuples
+            .iter()
+            .cloned()
+            .enumerate()
+            .map(|(i, t)| (i as u32, t))
+            .collect();
+        let idx = DualIndex::build(&mut pager, SlopeSet::new(vec![-0.5, 0.7]), &pairs);
+        for a in [5.0, -4.0, 1.5, -1.0] {
+            for kind in [SelectionKind::All, SelectionKind::Exist] {
+                for op in [RelOp::Ge, RelOp::Le] {
+                    let sel = Selection {
+                        kind,
+                        halfplane: HalfPlane::new2d(a, 3.0, op),
+                    };
+                    let got = run(&idx, &mut pager, &pairs, &sel, Strategy::T1);
+                    assert_eq!(got.ids(), oracle(&pairs, &sel), "{kind:?} {op:?} a={a}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn t2_matches_oracle_and_produces_no_duplicates() {
+        let mut pager = MemPager::paper_1999();
+        let tuples = DatasetSpec::paper_1999(400, ObjectSize::Small, 5).generate();
+        let (idx, pairs) = build_index(&mut pager, &tuples, 4);
+        let mut qg = QueryGen::new(13);
+        for kind in [QueryKind::All, QueryKind::Exist] {
+            for sel_frac in [0.05, 0.15, 0.4] {
+                let q = qg.calibrated(&tuples, kind, sel_frac);
+                let sel = Selection {
+                    kind: if kind == QueryKind::All {
+                        SelectionKind::All
+                    } else {
+                        SelectionKind::Exist
+                    },
+                    halfplane: q.halfplane,
+                };
+                let got = run(&idx, &mut pager, &pairs, &sel, Strategy::T2);
+                assert_eq!(got.ids(), oracle(&pairs, &sel), "{kind:?} {sel_frac}");
+                // Wrapped slopes legitimately fall back to T1 (which may
+                // produce duplicates); the no-duplicate guarantee applies to
+                // the main case the paper details.
+                if matches!(
+                    idx.slopes().bracket(sel.halfplane.slope2d()),
+                    Bracket::Between(..)
+                ) {
+                    assert_eq!(got.stats.duplicates, 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn t2_handles_unbounded_tuples() {
+        let mut pager = MemPager::paper_1999();
+        let mut g = TupleGen::new(9, cdb_geometry::Rect::paper_window(), ObjectSize::Small);
+        let mut tuples: Vec<GeneralizedTuple> = (0..60).map(|_| g.bounded_tuple()).collect();
+        tuples.extend((0..40).map(|_| g.unbounded_tuple()));
+        let (idx, pairs) = build_index(&mut pager, &tuples, 4);
+        for a in [0.3, -0.8, 2.0] {
+            for kind in [SelectionKind::All, SelectionKind::Exist] {
+                for op in [RelOp::Ge, RelOp::Le] {
+                    let sel = Selection {
+                        kind,
+                        halfplane: HalfPlane::new2d(a, -5.0, op),
+                    };
+                    let got = run(&idx, &mut pager, &pairs, &sel, Strategy::T2);
+                    assert_eq!(got.ids(), oracle(&pairs, &sel), "{kind:?} {op:?} a={a}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn insert_then_query_after_refresh() {
+        let mut pager = MemPager::paper_1999();
+        let tuples = DatasetSpec::paper_1999(100, ObjectSize::Small, 6).generate();
+        let (mut idx, mut pairs) = build_index(&mut pager, &tuples, 3);
+        // Insert 50 more.
+        let more = DatasetSpec::paper_1999(50, ObjectSize::Small, 60).generate();
+        for (j, t) in more.into_iter().enumerate() {
+            let id = 1000 + j as u32;
+            idx.insert(&mut pager, id, &t);
+            pairs.push((id, t));
+        }
+        assert!(idx.needs_refresh());
+        idx.refresh_handicaps(&mut pager, &pairs);
+        assert!(!idx.needs_refresh());
+        let sel = Selection::exist(HalfPlane::above(0.37, -3.0));
+        let got = run(&idx, &mut pager, &pairs, &sel, Strategy::T2);
+        assert_eq!(got.ids(), oracle(&pairs, &sel));
+    }
+
+    #[test]
+    fn remove_then_query() {
+        let mut pager = MemPager::paper_1999();
+        let tuples = DatasetSpec::paper_1999(120, ObjectSize::Small, 8).generate();
+        let (mut idx, mut pairs) = build_index(&mut pager, &tuples, 3);
+        // Remove every third tuple.
+        let removed: Vec<(u32, GeneralizedTuple)> = pairs
+            .iter()
+            .filter(|(id, _)| id % 3 == 0)
+            .cloned()
+            .collect();
+        for (id, t) in &removed {
+            assert!(idx.remove(&mut pager, *id, t), "remove {id}");
+        }
+        pairs.retain(|(id, _)| id % 3 != 0);
+        idx.refresh_handicaps(&mut pager, &pairs);
+        let sel = Selection::all(HalfPlane::below(-0.21, 40.0));
+        let got = run(&idx, &mut pager, &pairs, &sel, Strategy::T2);
+        assert_eq!(got.ids(), oracle(&pairs, &sel));
+        // Removing an absent tuple reports false.
+        let (id, t) = &removed[0];
+        assert!(!idx.remove(&mut pager, *id, t));
+    }
+
+    #[test]
+    fn t2_is_correct_without_refresh_after_updates() {
+        // Incremental maintenance: inserts and deletes keep the handicaps
+        // conservative, so T2 stays exact with no rebuild at all.
+        let mut pager = MemPager::paper_1999();
+        let tuples = DatasetSpec::paper_1999(120, ObjectSize::Small, 10).generate();
+        let (mut idx, mut pairs) = build_index(&mut pager, &tuples, 3);
+        let more = DatasetSpec::paper_1999(80, ObjectSize::Medium, 11).generate();
+        for (j, t) in more.into_iter().enumerate() {
+            let id = 5000 + j as u32;
+            idx.insert(&mut pager, id, &t);
+            pairs.push((id, t));
+        }
+        let removed: Vec<(u32, GeneralizedTuple)> = pairs
+            .iter()
+            .filter(|(id, _)| id % 4 == 1)
+            .cloned()
+            .collect();
+        for (id, t) in &removed {
+            assert!(idx.remove(&mut pager, *id, t));
+        }
+        pairs.retain(|(id, _)| id % 4 != 1);
+        assert!(idx.needs_refresh(), "updates loosen the handicaps");
+        for (a, b) in [(0.37, 0.0), (-1.1, 12.0), (0.9, -25.0)] {
+            for kind in [SelectionKind::All, SelectionKind::Exist] {
+                for op in [RelOp::Ge, RelOp::Le] {
+                    let sel = Selection {
+                        kind,
+                        halfplane: HalfPlane::new2d(a, b, op),
+                    };
+                    let got = run(&idx, &mut pager, &pairs, &sel, Strategy::T2);
+                    assert_eq!(got.ids(), oracle(&pairs, &sel), "{kind:?} {op:?} a={a}");
+                }
+            }
+        }
+        // A refresh re-tightens and of course stays correct.
+        idx.refresh_handicaps(&mut pager, &pairs);
+        assert!(!idx.needs_refresh());
+        let sel = Selection::exist(HalfPlane::above(0.41, 3.0));
+        let got = run(&idx, &mut pager, &pairs, &sel, Strategy::T2);
+        assert_eq!(got.ids(), oracle(&pairs, &sel));
+    }
+
+    #[test]
+    fn auto_uses_restricted_for_member_slopes() {
+        let mut pager = MemPager::paper_1999();
+        let tuples = DatasetSpec::paper_1999(80, ObjectSize::Small, 12).generate();
+        let (idx, pairs) = build_index(&mut pager, &tuples, 3);
+        let s = idx.slopes().get(1);
+        let sel = Selection::exist(HalfPlane::above(s, 0.0));
+        let got = run(&idx, &mut pager, &pairs, &sel, Strategy::Auto);
+        assert_eq!(got.ids(), oracle(&pairs, &sel));
+        // Restricted executions never fetch tuples.
+        assert_eq!(got.stats.heap_io.accesses(), 0);
+    }
+
+    #[test]
+    fn space_grows_linearly_in_k() {
+        let mut pager2 = MemPager::paper_1999();
+        let mut pager4 = MemPager::paper_1999();
+        let tuples = DatasetSpec::paper_1999(500, ObjectSize::Small, 14).generate();
+        let (idx2, _) = build_index(&mut pager2, &tuples, 2);
+        let (idx4, _) = build_index(&mut pager4, &tuples, 4);
+        let ratio = idx4.page_count() as f64 / idx2.page_count() as f64;
+        assert!(
+            (1.6..=2.4).contains(&ratio),
+            "k=4 should use ~2x the pages of k=2, got {ratio}"
+        );
+    }
+
+    #[test]
+    fn hyperplane_equality_queries() {
+        let mut pager = MemPager::paper_1999();
+        let mut g = cdb_workload::TupleGen::new(
+            3,
+            cdb_geometry::Rect::paper_window(),
+            ObjectSize::Small,
+        );
+        let mut tuples: Vec<GeneralizedTuple> = (0..150).map(|_| g.bounded_tuple()).collect();
+        tuples.extend((0..30).map(|_| g.unbounded_tuple()));
+        let (idx, pairs) = build_index(&mut pager, &tuples, 4);
+        let lookup: std::collections::HashMap<u32, GeneralizedTuple> =
+            pairs.iter().cloned().collect();
+        for (a, c) in [(0.3, 0.0), (-1.2, 15.0), (2.0, -30.0), (0.7, 44.0)] {
+            for kind in [SelectionKind::Exist, SelectionKind::All] {
+                let l1 = lookup.clone();
+                let mut fetch = move |_: &mut dyn Pager, id: u32| l1[&id].clone();
+                let got = idx
+                    .execute_hyperplane(&mut pager, a, c, kind, Strategy::T2, &mut fetch)
+                    .unwrap();
+                let want: Vec<u32> = pairs
+                    .iter()
+                    .filter(|(_, t)| match kind {
+                        SelectionKind::Exist => {
+                            cdb_geometry::predicates::exist_hyperplane(&[a], c, t)
+                        }
+                        SelectionKind::All => {
+                            cdb_geometry::predicates::all_hyperplane(&[a], c, t)
+                        }
+                    })
+                    .map(|(id, _)| *id)
+                    .collect();
+                assert_eq!(got.ids(), want, "{kind:?} line y = {a}x + {c}");
+            }
+        }
+        // A degenerate tuple lying exactly on a line is ALL-selected by it.
+        let segment = cdb_geometry::parse::parse_tuple(
+            "y = 0.5x + 2 && x >= 0 && x <= 10",
+        )
+        .unwrap();
+        let mut pairs2 = pairs.clone();
+        let mut idx2 = idx.clone();
+        idx2.insert(&mut pager, 9000, &segment);
+        pairs2.push((9000, segment));
+        let lookup2: std::collections::HashMap<u32, GeneralizedTuple> =
+            pairs2.iter().cloned().collect();
+        let mut fetch = move |_: &mut dyn Pager, id: u32| lookup2[&id].clone();
+        let got = idx2
+            .execute_hyperplane(&mut pager, 0.5, 2.0, SelectionKind::All, Strategy::T2, &mut fetch)
+            .unwrap();
+        assert_eq!(got.ids(), &[9000]);
+    }
+
+    /// Regression: routing T2 by angle distance instead of slope distance
+    /// sent slope −1.159 (between −2.414 and −0.414, k = 4) to the tree at
+    /// −2.414, whose handicap strip [−2.414, −1.414] does not contain the
+    /// query slope — and EXIST results were silently missed.
+    #[test]
+    fn t2_routing_matches_handicap_strips() {
+        let mut pager = MemPager::paper_1999();
+        let tuples = DatasetSpec::paper_1999(4000, ObjectSize::Small, 0x5E1).generate();
+        let (idx, pairs) = build_index(&mut pager, &tuples, 4);
+        let sel = Selection::exist(HalfPlane::below(-1.1591839945660445, -13.65694655564986));
+        let got = run(&idx, &mut pager, &pairs, &sel, Strategy::T2);
+        assert_eq!(got.ids(), oracle(&pairs, &sel));
+        // And a sweep of slopes straddling both halves of every gap.
+        for a in [-2.0, -1.5, -1.2, -0.9, -0.5, -0.2, 0.2, 0.9, 1.2, 2.0] {
+            for op in [RelOp::Ge, RelOp::Le] {
+                for kind in [SelectionKind::All, SelectionKind::Exist] {
+                    let sel = Selection {
+                        kind,
+                        halfplane: HalfPlane::new2d(a, -10.0, op),
+                    };
+                    let got = run(&idx, &mut pager, &pairs, &sel, Strategy::T2);
+                    assert_eq!(got.ids(), oracle(&pairs, &sel), "{kind:?} {op:?} a={a}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn t1_reports_duplicates_t2_none() {
+        let mut pager = MemPager::paper_1999();
+        let tuples = DatasetSpec::paper_1999(300, ObjectSize::Medium, 15).generate();
+        let (idx, pairs) = build_index(&mut pager, &tuples, 2);
+        let sel = Selection::exist(HalfPlane::above(0.41, -10.0));
+        let r1 = run(&idx, &mut pager, &pairs, &sel, Strategy::T1);
+        let r2 = run(&idx, &mut pager, &pairs, &sel, Strategy::T2);
+        assert_eq!(r1.ids(), r2.ids());
+        assert_eq!(r2.stats.duplicates, 0);
+        // Medium objects + EXIST: the two T1 legs overlap heavily.
+        assert!(
+            r1.stats.duplicates > 0,
+            "expected duplicates from T1, stats {:?}",
+            r1.stats
+        );
+    }
+}

@@ -1,0 +1,43 @@
+//! The paper's contribution: **dual-representation indexing for linear
+//! constraint databases** (Bertino, Catania & Chidlovskii, ICDE 1999).
+//!
+//! A [`DualIndex`] stores, for every slope `aᵢ` of a predefined
+//! [`slopes::SlopeSet`] `S`, two B⁺-trees over the relation: `Bᵢ^up` keyed by
+//! `TOP_P(aᵢ)` and `Bᵢ^down` keyed by `BOT_P(aᵢ)` (Section 3). ALL and EXIST
+//! half-plane selections are then:
+//!
+//! * **exact** — one tree search plus a leaf sweep — when the query slope is
+//!   in `S` ([`query::Strategy::Restricted`]);
+//! * **approximated by two app-queries** with slopes bracketing the query
+//!   slope, operators per Table 1, followed by an exact refinement step
+//!   ([`query::Strategy::T1`], Section 4.1) — duplicates possible;
+//! * **approximated by a single handicap-guided search** in the tree of the
+//!   nearest slope ([`query::Strategy::T2`], Sections 4.2–4.3) — an upward
+//!   and a downward sweep over *disjoint* leaf sets, so no duplicates, with
+//!   per-leaf handicap values bounding how far the second sweep must go.
+//!
+//! Both finite and infinite (unbounded) polyhedra are supported uniformly —
+//! unbounded tuples simply contribute `±∞` keys.
+//!
+//! [`ddim::DualIndexD`] extends the scheme to `E^d` (Section 4.4): `S`
+//! becomes a point set in slope space `E^{d-1}`, queries with slopes in `S`
+//! stay exact, and arbitrary queries are covered by `d` app-queries whose
+//! slopes span a containing simplex.
+//!
+//! [`db::ConstraintDb`] is a small engine facade tying relations (heap
+//! files), indexes and queries together; see the crate-level examples of
+//! `constraint-db`.
+
+pub mod db;
+pub mod ddim;
+pub mod error;
+pub mod handicap;
+pub mod index;
+pub mod query;
+pub mod slopes;
+
+pub use db::{ConstraintDb, DbConfig};
+pub use error::CdbError;
+pub use index::DualIndex;
+pub use query::{QueryResult, QueryStats, Selection, SelectionKind, Strategy};
+pub use slopes::SlopeSet;

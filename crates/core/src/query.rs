@@ -1,0 +1,185 @@
+//! Query model: selections, strategies, results and cost accounting.
+
+use cdb_geometry::constraint::RelOp;
+use cdb_geometry::halfplane::HalfPlane;
+use cdb_storage::IoStats;
+
+/// ALL (containment) or EXIST (intersection) selection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SelectionKind {
+    /// Retrieve tuples whose extension is contained in the query half-plane.
+    All,
+    /// Retrieve tuples whose extension intersects the query half-plane.
+    Exist,
+}
+
+/// A half-plane selection.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Selection {
+    /// Selection type.
+    pub kind: SelectionKind,
+    /// The query half-plane.
+    pub halfplane: HalfPlane,
+}
+
+impl Selection {
+    /// `ALL(q)` — containment selection.
+    pub fn all(halfplane: HalfPlane) -> Self {
+        Selection {
+            kind: SelectionKind::All,
+            halfplane,
+        }
+    }
+
+    /// `EXIST(q)` — intersection selection.
+    pub fn exist(halfplane: HalfPlane) -> Self {
+        Selection {
+            kind: SelectionKind::Exist,
+            halfplane,
+        }
+    }
+}
+
+/// Which query technique of the paper to use.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Strategy {
+    /// Section 3: exact single-tree search; the query slope must belong to
+    /// `S` (errors otherwise).
+    Restricted,
+    /// Section 4.1: two app-queries with slopes in `S`; duplicates possible,
+    /// false hits removed by refinement.
+    T1,
+    /// Sections 4.2–4.3: single handicap-guided search, duplicate-free;
+    /// falls back to T1 in the wrapped-slope cases, which the paper leaves
+    /// to "similar handling".
+    T2,
+    /// Restricted when the slope is in `S`, otherwise T2 (the paper's
+    /// intended deployment).
+    Auto,
+    /// Sequential scan with exact predicates (the no-index baseline and
+    /// correctness oracle).
+    Scan,
+}
+
+/// Which neighbour of a slope a strip extends toward.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Side {
+    /// Toward the previous (smaller) slope in `S`.
+    Prev,
+    /// Toward the next (larger) slope in `S`.
+    Next,
+}
+
+/// Sweep/tree selection shared by all techniques (the table of Section 3).
+///
+/// Returns `(use_up_tree, sweep_upward)`:
+/// * `ALL(q(≥))`   → `B^down`, upward;
+/// * `ALL(q(≤))`   → `B^up`, downward;
+/// * `EXIST(q(≥))` → `B^up`, upward;
+/// * `EXIST(q(≤))` → `B^down`, downward.
+pub fn tree_and_direction(kind: SelectionKind, op: RelOp) -> (bool, bool) {
+    match (kind, op) {
+        (SelectionKind::All, RelOp::Ge) => (false, true),
+        (SelectionKind::All, RelOp::Le) => (true, false),
+        (SelectionKind::Exist, RelOp::Ge) => (true, true),
+        (SelectionKind::Exist, RelOp::Le) => (false, false),
+    }
+}
+
+/// Cost and quality accounting for one query execution.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct QueryStats {
+    /// Page accesses in index structures (tree descents + leaf sweeps).
+    pub index_io: IoStats,
+    /// Page accesses fetching candidate tuples for refinement.
+    pub heap_io: IoStats,
+    /// Candidate tuples produced by the index phase (before refinement),
+    /// duplicates included.
+    pub candidates: u64,
+    /// Candidates that appeared more than once (T1's duplication problem;
+    /// always 0 for T2 and Restricted).
+    pub duplicates: u64,
+    /// Candidates discarded by the exact refinement step.
+    pub false_hits: u64,
+    /// Candidates accepted without fetching the tuple (exact-by-key in the
+    /// restricted technique).
+    pub accepted_by_key: u64,
+}
+
+impl QueryStats {
+    /// Total page accesses charged to the query.
+    pub fn total_accesses(&self) -> u64 {
+        self.index_io.accesses() + self.heap_io.accesses()
+    }
+}
+
+/// The outcome of a query: matching tuple ids plus cost accounting.
+#[derive(Clone, Debug, Default)]
+pub struct QueryResult {
+    ids: Vec<u32>,
+    /// Execution statistics.
+    pub stats: QueryStats,
+}
+
+impl QueryResult {
+    /// Builds a result, sorting and asserting uniqueness of ids.
+    pub fn new(mut ids: Vec<u32>, stats: QueryStats) -> Self {
+        ids.sort_unstable();
+        debug_assert!(ids.windows(2).all(|w| w[0] != w[1]), "duplicate result id");
+        QueryResult { ids, stats }
+    }
+
+    /// Matching tuple ids, ascending.
+    pub fn ids(&self) -> &[u32] {
+        &self.ids
+    }
+
+    /// Number of matches.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// `true` when nothing matched.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tree_direction_table() {
+        use RelOp::*;
+        use SelectionKind::*;
+        assert_eq!(tree_and_direction(All, Ge), (false, true));
+        assert_eq!(tree_and_direction(All, Le), (true, false));
+        assert_eq!(tree_and_direction(Exist, Ge), (true, true));
+        assert_eq!(tree_and_direction(Exist, Le), (false, false));
+    }
+
+    #[test]
+    fn result_sorts_ids() {
+        let r = QueryResult::new(vec![5, 1, 3], QueryStats::default());
+        assert_eq!(r.ids(), &[1, 3, 5]);
+        assert_eq!(r.len(), 3);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn stats_total() {
+        let mut s = QueryStats::default();
+        s.index_io.reads = 7;
+        s.heap_io.reads = 3;
+        s.heap_io.writes = 1;
+        assert_eq!(s.total_accesses(), 11);
+    }
+
+    #[test]
+    fn selection_constructors() {
+        let q = HalfPlane::above(1.0, 0.0);
+        assert_eq!(Selection::all(q.clone()).kind, SelectionKind::All);
+        assert_eq!(Selection::exist(q).kind, SelectionKind::Exist);
+    }
+}

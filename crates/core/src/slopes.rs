@@ -1,0 +1,246 @@
+//! The predefined slope set `S` and its neighbourhood structure.
+//!
+//! Slopes are angular coefficients of non-vertical lines. The natural
+//! topology is the *angle* `φ = atan(a) mod π ∈ (0, π)`: rotating a line
+//! continuously walks `tan φ` from `0` up through `+∞`, wraps to `−∞` and
+//! returns to `0`. The paper's Table 1 cases correspond to the cyclic
+//! predecessor/successor in this angle order:
+//!
+//! * `a₁ < a < a₂` — the query slope lies between two slopes of `S`;
+//! * `a₁ < a, a₂ < a` / `a < a₁, a < a₂` — the rotation wraps through the
+//!   vertical.
+
+use crate::query::Side;
+
+/// A predefined, sorted set of `k ≥ 2` distinct slopes.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SlopeSet {
+    /// Slope values, ascending.
+    slopes: Vec<f64>,
+}
+
+/// Neighbourhood of a query slope (Table 1 of the paper).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Bracket {
+    /// The slope is (numerically) a member of `S`.
+    Member(usize),
+    /// `slopes[i] < a < slopes[i+1]`: the main case.
+    Between(usize, usize),
+    /// `a` is outside `[min S, max S]`: the rotation wraps through the
+    /// vertical; `(clockwise, anticlockwise)` neighbour indices.
+    Wrapped(usize, usize),
+}
+
+impl SlopeSet {
+    /// Builds a slope set from arbitrary values (sorted, deduplicated).
+    ///
+    /// # Panics
+    /// Panics with fewer than 2 distinct finite slopes.
+    pub fn new(mut slopes: Vec<f64>) -> Self {
+        assert!(slopes.iter().all(|s| s.is_finite()), "slopes must be finite");
+        slopes.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        slopes.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+        assert!(slopes.len() >= 2, "a slope set needs at least 2 slopes");
+        SlopeSet { slopes }
+    }
+
+    /// `k` slopes `tan(φ)` at angles `φ` evenly spread over `(0, π)` away
+    /// from the vertical — the paper's experimental configuration for
+    /// `k ∈ {2, 3, 4, 5}`.
+    pub fn uniform_tan(k: usize) -> Self {
+        assert!(k >= 2, "k must be at least 2");
+        let slopes = (0..k)
+            .map(|i| {
+                let phi = std::f64::consts::PI * (i as f64 + 0.5) / k as f64;
+                // Nudge angles that fall on the vertical.
+                let phi = if (phi - std::f64::consts::FRAC_PI_2).abs() < 0.05 {
+                    phi + 0.1
+                } else {
+                    phi
+                };
+                phi.tan()
+            })
+            .collect();
+        SlopeSet::new(slopes)
+    }
+
+    /// Number of slopes `k`.
+    pub fn len(&self) -> usize {
+        self.slopes.len()
+    }
+
+    /// Never true: construction requires `k ≥ 2`.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Slope value at index `i`.
+    pub fn get(&self, i: usize) -> f64 {
+        self.slopes[i]
+    }
+
+    /// All slopes, ascending.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.slopes
+    }
+
+    /// Index of `a` if it is (numerically) in the set.
+    pub fn position(&self, a: f64) -> Option<usize> {
+        self.slopes
+            .iter()
+            .position(|&s| (s - a).abs() <= 1e-9 * 1.0_f64.max(a.abs()))
+    }
+
+    /// Classifies a query slope per Table 1.
+    pub fn bracket(&self, a: f64) -> Bracket {
+        if let Some(i) = self.position(a) {
+            return Bracket::Member(i);
+        }
+        let k = self.slopes.len();
+        if a < self.slopes[0] || a > self.slopes[k - 1] {
+            // Wrapped through the vertical: clockwise neighbour is the
+            // largest slope, anticlockwise the smallest (in angle order the
+            // extremes are cyclically adjacent through φ = 0/π).
+            return Bracket::Wrapped(k - 1, 0);
+        }
+        let i = self.slopes.partition_point(|&s| s < a) - 1;
+        Bracket::Between(i, i + 1)
+    }
+
+    /// Index of the slope nearest to `a` **in angle distance** (robust to
+    /// the tan scale; ties break low).
+    pub fn nearest(&self, a: f64) -> usize {
+        let phi = angle_of(a);
+        let mut best = 0;
+        let mut best_d = f64::INFINITY;
+        for (i, &s) in self.slopes.iter().enumerate() {
+            let d = angle_dist(phi, angle_of(s));
+            if d < best_d {
+                best_d = d;
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// The strip midpoint `(sᵢ + sⱼ)/2` toward the given side of slope `i`
+    /// (Section 4.2 Step 1), or `None` at the ends of the set.
+    pub fn mid(&self, i: usize, side: Side) -> Option<f64> {
+        match side {
+            Side::Prev if i > 0 => Some((self.slopes[i - 1] + self.slopes[i]) / 2.0),
+            Side::Next if i + 1 < self.slopes.len() => {
+                Some((self.slopes[i] + self.slopes[i + 1]) / 2.0)
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Angle `φ ∈ (0, π)` of the line with slope `a`.
+pub fn angle_of(a: f64) -> f64 {
+    let phi = a.atan(); // (−π/2, π/2)
+    if phi < 0.0 {
+        phi + std::f64::consts::PI
+    } else {
+        phi
+    }
+}
+
+/// Cyclic distance between two line angles (period π).
+pub fn angle_dist(p: f64, q: f64) -> f64 {
+    let d = (p - q).abs() % std::f64::consts::PI;
+    d.min(std::f64::consts::PI - d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_tan_counts_and_order() {
+        for k in 2..=5 {
+            let s = SlopeSet::uniform_tan(k);
+            assert_eq!(s.len(), k);
+            for w in s.as_slice().windows(2) {
+                assert!(w[0] < w[1], "ascending");
+            }
+            // Mixed signs: angles spread over (0, π) on both sides of the
+            // vertical (slopes are sorted, so the negative ones come first).
+            assert!(s.get(0) < 0.0, "some angle beyond π/2 gives a negative slope");
+            assert!(s.get(k - 1) > 0.0, "some angle below π/2 gives a positive slope");
+        }
+    }
+
+    #[test]
+    fn bracket_member() {
+        let s = SlopeSet::new(vec![-1.0, 0.5, 2.0]);
+        assert_eq!(s.bracket(0.5), Bracket::Member(1));
+        assert_eq!(s.position(0.5 + 1e-12), Some(1));
+    }
+
+    #[test]
+    fn bracket_between() {
+        let s = SlopeSet::new(vec![-1.0, 0.5, 2.0]);
+        assert_eq!(s.bracket(0.0), Bracket::Between(0, 1));
+        assert_eq!(s.bracket(1.0), Bracket::Between(1, 2));
+    }
+
+    #[test]
+    fn bracket_wrapped() {
+        let s = SlopeSet::new(vec![-1.0, 0.5, 2.0]);
+        assert_eq!(s.bracket(5.0), Bracket::Wrapped(2, 0));
+        assert_eq!(s.bracket(-3.0), Bracket::Wrapped(2, 0));
+    }
+
+    #[test]
+    fn nearest_uses_angle_metric() {
+        let s = SlopeSet::new(vec![0.0, 10.0]);
+        // Slope 100 is very close to 10 in slope distance? No: in angle
+        // space, 100 (φ≈1.56) is near vertical, 10 (φ≈1.47) is much closer
+        // to it than 0 (φ=0).
+        assert_eq!(s.nearest(100.0), 1);
+        // Slope -100 is also near the vertical: nearest is 10, through the
+        // wrap (φ(-100)≈1.58, φ(10)≈1.47).
+        assert_eq!(s.nearest(-100.0), 1);
+        assert_eq!(s.nearest(0.1), 0);
+    }
+
+    #[test]
+    fn mid_points() {
+        let s = SlopeSet::new(vec![-1.0, 1.0, 3.0]);
+        assert_eq!(s.mid(1, Side::Prev), Some(0.0));
+        assert_eq!(s.mid(1, Side::Next), Some(2.0));
+        assert_eq!(s.mid(0, Side::Prev), None);
+        assert_eq!(s.mid(2, Side::Next), None);
+    }
+
+    #[test]
+    fn angle_roundtrip() {
+        for a in [-5.0, -1.0, -0.1, 0.0, 0.3, 2.0, 40.0] {
+            let phi = angle_of(a);
+            assert!((0.0..std::f64::consts::PI).contains(&phi));
+            assert!((phi.tan() - a).abs() < 1e-9 * (1.0 + a.abs() * a.abs()));
+        }
+    }
+
+    #[test]
+    fn angle_dist_wraps() {
+        // Slopes 100 and -100: angles straddle π/2, tiny cyclic distance.
+        let d = angle_dist(angle_of(100.0), angle_of(-100.0));
+        assert!(d < 0.03, "wrap distance {d}");
+        let d2 = angle_dist(angle_of(0.0), angle_of(1.0));
+        assert!((d2 - std::f64::consts::FRAC_PI_4).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_single_slope() {
+        SlopeSet::new(vec![1.0, 1.0 + 1e-15]);
+    }
+
+    #[test]
+    fn dedups_and_sorts() {
+        let s = SlopeSet::new(vec![2.0, -1.0, 2.0, 0.0]);
+        assert_eq!(s.as_slice(), &[-1.0, 0.0, 2.0]);
+    }
+}

@@ -1,0 +1,621 @@
+//! Explicit 2-D convex polyhedra: generating points plus recession rays.
+//!
+//! A (possibly unbounded) convex polyhedron `P ⊆ E²` is represented as
+//! `P = conv(points) + cone(rays)`. For a *pointed* polyhedron the points are
+//! its vertices; for non-pointed cases (half-planes, strips, lines, the whole
+//! plane) the points lie on the minimal faces so the identity still holds.
+//!
+//! This module provides the H→V conversion ([`Polygon::from_tuple`]), the
+//! inverse V→H conversion for bounded polygons ([`Polygon::to_tuple`]), and
+//! direct vertex/ray evaluation of the `TOP_P`/`BOT_P` dual surfaces — an
+//! independent cross-check of the LP evaluator in [`crate::dual`], used by
+//! the property tests and by the workload generator (which constructs
+//! polygons first and derives their constraints).
+
+use crate::constraint::{LinearConstraint, RelOp};
+use crate::rect::Rect;
+use crate::scalar::{approx_zero, EPS};
+use crate::tuple::GeneralizedTuple;
+
+/// A convex polyhedron in `E²` as generating points + recession rays.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Polygon {
+    /// Generating points; convex-hull-ordered (CCW) when pointed.
+    points: Vec<[f64; 2]>,
+    /// Recession-cone generators, unit length.
+    rays: Vec<[f64; 2]>,
+}
+
+impl Polygon {
+    /// Builds a polygon directly from generating points and rays.
+    ///
+    /// Points are reduced to their convex hull and ordered CCW; rays are
+    /// normalized. Panics if `points` is empty.
+    pub fn from_parts(points: Vec<[f64; 2]>, rays: Vec<[f64; 2]>) -> Self {
+        assert!(!points.is_empty(), "a polygon needs at least one point");
+        let hull = convex_hull(points);
+        let rays = rays
+            .into_iter()
+            .map(|r| {
+                let n = (r[0] * r[0] + r[1] * r[1]).sqrt();
+                assert!(n > EPS, "zero-length ray");
+                [r[0] / n, r[1] / n]
+            })
+            .collect();
+        Polygon { points: hull, rays }
+    }
+
+    /// Builds the bounded convex polygon spanned by `points` (their hull).
+    pub fn bounded(points: Vec<[f64; 2]>) -> Self {
+        Self::from_parts(points, Vec::new())
+    }
+
+    /// H→V conversion: computes the polygon of a 2-D generalized tuple.
+    ///
+    /// Returns `None` when the extension is empty.
+    ///
+    /// # Panics
+    /// Panics if `tuple.dim() != 2`.
+    pub fn from_tuple(tuple: &GeneralizedTuple) -> Option<Polygon> {
+        assert_eq!(tuple.dim(), 2, "Polygon is 2-D only");
+        let (rows, rhs) = tuple.as_le_system();
+        // Trivially-false constraint => empty.
+        for (a, &b) in rows.iter().zip(&rhs) {
+            if approx_zero(a[0]) && approx_zero(a[1]) && b < -EPS {
+                return None;
+            }
+        }
+        // Effective (non-trivial) constraints only.
+        let eff: Vec<([f64; 2], f64)> = rows
+            .iter()
+            .zip(&rhs)
+            .filter(|(a, _)| !(approx_zero(a[0]) && approx_zero(a[1])))
+            .map(|(a, &b)| ([a[0], a[1]], b))
+            .collect();
+
+        let feasible = |p: &[f64; 2]| {
+            eff.iter().all(|(a, b)| {
+                let v = a[0] * p[0] + a[1] * p[1];
+                v <= b + EPS * 1.0_f64.max(v.abs()).max(b.abs())
+            })
+        };
+
+        // Candidate vertices: feasible pairwise boundary intersections.
+        let mut pts: Vec<[f64; 2]> = Vec::new();
+        for i in 0..eff.len() {
+            for j in (i + 1)..eff.len() {
+                let (a1, b1) = eff[i];
+                let (a2, b2) = eff[j];
+                let det = a1[0] * a2[1] - a1[1] * a2[0];
+                let scale = (a1[0].abs() + a1[1].abs()) * (a2[0].abs() + a2[1].abs());
+                if det.abs() <= EPS * scale.max(1.0) {
+                    continue; // parallel boundaries
+                }
+                let x = (b1 * a2[1] - a1[1] * b2) / det;
+                let y = (a1[0] * b2 - b1 * a2[0]) / det;
+                let p = [x, y];
+                if feasible(&p) && !pts.iter().any(|q| points_eq(q, &p)) {
+                    pts.push(p);
+                }
+            }
+        }
+
+        let rays = recession_rays(&eff);
+
+        if pts.is_empty() {
+            // No vertices: empty, or a non-pointed polyhedron (half-plane,
+            // strip, line, whole plane). All effective normals are parallel.
+            let p0 = tuple.any_point()?;
+            let p0 = [p0[0], p0[1]];
+            if eff.is_empty() {
+                return Some(Polygon::from_parts(vec![p0], rays));
+            }
+            // Common unit normal.
+            let (a0, _) = eff[0];
+            let n0 = (a0[0] * a0[0] + a0[1] * a0[1]).sqrt();
+            let n = [a0[0] / n0, a0[1] / n0];
+            // Tightest bounds on n·x over P from the parallel constraints.
+            let mut upper = f64::INFINITY; // n·x <= upper
+            let mut lower = f64::NEG_INFINITY; // n·x >= lower
+            for (a, b) in &eff {
+                let c = a[0] * n[0] + a[1] * n[1]; // a = c * n
+                if c > 0.0 {
+                    upper = upper.min(b / c);
+                } else {
+                    lower = lower.max(b / c);
+                }
+            }
+            if upper < lower - EPS {
+                return None; // contradictory strip: empty
+            }
+            let proj = n[0] * p0[0] + n[1] * p0[1];
+            let mut points = Vec::new();
+            if upper.is_finite() {
+                points.push([p0[0] + (upper - proj) * n[0], p0[1] + (upper - proj) * n[1]]);
+            }
+            if lower.is_finite() && (upper - lower).abs() > EPS {
+                points.push([p0[0] + (lower - proj) * n[0], p0[1] + (lower - proj) * n[1]]);
+            }
+            if points.is_empty() {
+                points.push(p0);
+            }
+            return Some(Polygon::from_parts(points, rays));
+        }
+
+        Some(Polygon::from_parts(pts, rays))
+    }
+
+    /// V→H conversion for bounded polygons with positive area: the tuple of
+    /// inward edge constraints (CCW order).
+    ///
+    /// # Panics
+    /// Panics if the polygon is unbounded or has fewer than 3 hull vertices.
+    pub fn to_tuple(&self) -> GeneralizedTuple {
+        assert!(self.rays.is_empty(), "to_tuple requires a bounded polygon");
+        assert!(
+            self.points.len() >= 3,
+            "to_tuple requires a full-dimensional polygon"
+        );
+        let mut cs = Vec::with_capacity(self.points.len());
+        let n = self.points.len();
+        for i in 0..n {
+            let p = self.points[i];
+            let q = self.points[(i + 1) % n];
+            let e = [q[0] - p[0], q[1] - p[1]];
+            // CCW ordering: the interior is to the left of each edge.
+            let normal = [-e[1], e[0]];
+            let c = -(normal[0] * p[0] + normal[1] * p[1]);
+            cs.push(LinearConstraint::new2d(normal[0], normal[1], c, RelOp::Ge));
+        }
+        GeneralizedTuple::new(cs)
+    }
+
+    /// Generating points (hull-ordered CCW when pointed).
+    pub fn points(&self) -> &[[f64; 2]] {
+        &self.points
+    }
+
+    /// Recession-ray generators (unit length).
+    pub fn rays(&self) -> &[[f64; 2]] {
+        &self.rays
+    }
+
+    /// `true` when the recession cone is trivial.
+    pub fn is_bounded(&self) -> bool {
+        self.rays.is_empty()
+    }
+
+    /// Area: finite for bounded polygons, `+∞` otherwise.
+    pub fn area(&self) -> f64 {
+        if !self.is_bounded() {
+            return f64::INFINITY;
+        }
+        shoelace(&self.points)
+    }
+
+    /// Axis-aligned bounding box; `None` if unbounded.
+    pub fn bbox(&self) -> Option<Rect> {
+        if !self.is_bounded() {
+            return None;
+        }
+        let mut r = Rect::empty();
+        for p in &self.points {
+            r = r.union(&Rect::new(p[0], p[1], p[0], p[1]));
+        }
+        Some(r)
+    }
+
+    /// Centroid of the generating points (the workload's "weight-center").
+    pub fn point_centroid(&self) -> (f64, f64) {
+        let n = self.points.len() as f64;
+        let (sx, sy) = self
+            .points
+            .iter()
+            .fold((0.0, 0.0), |(sx, sy), p| (sx + p[0], sy + p[1]));
+        (sx / n, sy / n)
+    }
+
+    /// `TOP_P(a)` evaluated from the V-representation:
+    /// `max over points of (p_y − a·p_x)`, `+∞` if a ray ascends relative to
+    /// slope `a`.
+    pub fn top(&self, a: f64) -> f64 {
+        for r in &self.rays {
+            if r[1] - a * r[0] > EPS * (1.0 + a.abs()) {
+                return f64::INFINITY;
+            }
+        }
+        self.points
+            .iter()
+            .map(|p| p[1] - a * p[0])
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// `BOT_P(a)` from the V-representation; `−∞` if a ray descends.
+    pub fn bot(&self, a: f64) -> f64 {
+        for r in &self.rays {
+            if r[1] - a * r[0] < -EPS * (1.0 + a.abs()) {
+                return f64::NEG_INFINITY;
+            }
+        }
+        self.points
+            .iter()
+            .map(|p| p[1] - a * p[0])
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Translates the polygon by `(dx, dy)`.
+    pub fn translate(&self, dx: f64, dy: f64) -> Polygon {
+        Polygon {
+            points: self.points.iter().map(|p| [p[0] + dx, p[1] + dy]).collect(),
+            rays: self.rays.clone(),
+        }
+    }
+
+    /// Scales the polygon about the origin by `(sx, sy)` (both positive).
+    pub fn scale(&self, sx: f64, sy: f64) -> Polygon {
+        assert!(sx > 0.0 && sy > 0.0, "scale factors must be positive");
+        Polygon {
+            points: self.points.iter().map(|p| [p[0] * sx, p[1] * sy]).collect(),
+            rays: self
+                .rays
+                .iter()
+                .map(|r| {
+                    let v = [r[0] * sx, r[1] * sy];
+                    let n = (v[0] * v[0] + v[1] * v[1]).sqrt();
+                    [v[0] / n, v[1] / n]
+                })
+                .collect(),
+        }
+    }
+}
+
+/// `true` if two points coincide under the workspace tolerance.
+fn points_eq(a: &[f64; 2], b: &[f64; 2]) -> bool {
+    crate::scalar::approx_eq(a[0], b[0]) && crate::scalar::approx_eq(a[1], b[1])
+}
+
+/// Signed shoelace area of a CCW-ordered point list (absolute value).
+fn shoelace(pts: &[[f64; 2]]) -> f64 {
+    if pts.len() < 3 {
+        return 0.0;
+    }
+    let n = pts.len();
+    let mut s = 0.0;
+    for i in 0..n {
+        let p = pts[i];
+        let q = pts[(i + 1) % n];
+        s += p[0] * q[1] - q[0] * p[1];
+    }
+    s.abs() / 2.0
+}
+
+/// Andrew's monotone chain; returns hull vertices in CCW order.
+/// Degenerate inputs (1 point, collinear points) return the extreme points.
+fn convex_hull(mut pts: Vec<[f64; 2]>) -> Vec<[f64; 2]> {
+    pts.sort_by(|a, b| {
+        a[0].partial_cmp(&b[0])
+            .unwrap()
+            .then(a[1].partial_cmp(&b[1]).unwrap())
+    });
+    pts.dedup_by(|a, b| points_eq(a, b));
+    if pts.len() <= 2 {
+        return pts;
+    }
+    let cross = |o: &[f64; 2], a: &[f64; 2], b: &[f64; 2]| -> f64 {
+        (a[0] - o[0]) * (b[1] - o[1]) - (a[1] - o[1]) * (b[0] - o[0])
+    };
+    let mut lower: Vec<[f64; 2]> = Vec::new();
+    for p in &pts {
+        while lower.len() >= 2 && cross(&lower[lower.len() - 2], &lower[lower.len() - 1], p) <= 0.0
+        {
+            lower.pop();
+        }
+        lower.push(*p);
+    }
+    let mut upper: Vec<[f64; 2]> = Vec::new();
+    for p in pts.iter().rev() {
+        while upper.len() >= 2 && cross(&upper[upper.len() - 2], &upper[upper.len() - 1], p) <= 0.0
+        {
+            upper.pop();
+        }
+        upper.push(*p);
+    }
+    lower.pop();
+    upper.pop();
+    lower.extend(upper);
+    if lower.len() < 3 {
+        // All points collinear: keep the two extremes.
+        return vec![pts[0], pts[pts.len() - 1]];
+    }
+    lower
+}
+
+/// Computes the recession-cone generators of `{x : a·x ≤ b}` constraints:
+/// the directions `d` with `a·d ≤ 0` for every row, as unit rays.
+///
+/// The cone is an angular arc of the unit circle; the generators are its
+/// endpoints, plus a middle ray when the arc spans exactly π (two opposite
+/// endpoint rays alone would only generate a line), plus spanning rays for
+/// the full circle (no effective constraints).
+fn recession_rays(eff: &[([f64; 2], f64)]) -> Vec<[f64; 2]> {
+    use std::f64::consts::PI;
+    if eff.is_empty() {
+        // Whole plane: four rays generate R² as a cone.
+        return vec![[1.0, 0.0], [0.0, 1.0], [-1.0, 0.0], [0.0, -1.0]];
+    }
+    // Feasible direction angles: intersection of closed arcs
+    // [angle(a)+π/2, angle(a)+3π/2] of length π.
+    // Represent the running intersection as a list of [start, len] arcs.
+    let mut arcs: Vec<(f64, f64)> = vec![(0.0, 2.0 * PI)];
+    for (a, _) in eff {
+        let theta = a[1].atan2(a[0]);
+        let start = normalize_angle(theta + PI / 2.0);
+        let mut next: Vec<(f64, f64)> = Vec::new();
+        for &(s, len) in &arcs {
+            // Intersect [s, s+len] with [start, start+π] on the circle.
+            for shift in [-2.0 * PI, 0.0, 2.0 * PI] {
+                let qs = start + shift;
+                let lo = s.max(qs);
+                let hi = (s + len).min(qs + PI);
+                if hi >= lo - EPS {
+                    next.push((lo, (hi - lo).max(0.0)));
+                }
+            }
+        }
+        arcs = merge_arcs(next);
+        if arcs.is_empty() {
+            return Vec::new();
+        }
+    }
+    let mut rays = Vec::new();
+    let mut push = |ang: f64| {
+        let r = [ang.cos(), ang.sin()];
+        if !rays.iter().any(|q: &[f64; 2]| points_eq(q, &r)) {
+            rays.push(r);
+        }
+    };
+    for (s, len) in arcs {
+        if len <= EPS {
+            push(s);
+        } else {
+            push(s);
+            push(s + len);
+            if len >= PI - EPS {
+                push(s + len / 2.0);
+            }
+        }
+    }
+    rays
+}
+
+fn normalize_angle(a: f64) -> f64 {
+    use std::f64::consts::PI;
+    let mut a = a % (2.0 * PI);
+    if a < 0.0 {
+        a += 2.0 * PI;
+    }
+    a
+}
+
+/// Merges overlapping `(start, len)` arcs produced by the intersection step.
+fn merge_arcs(mut arcs: Vec<(f64, f64)>) -> Vec<(f64, f64)> {
+    arcs.retain(|&(_, len)| len >= 0.0);
+    arcs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+    let mut out: Vec<(f64, f64)> = Vec::new();
+    for (s, len) in arcs {
+        if let Some(last) = out.last_mut() {
+            if s <= last.0 + last.1 + EPS {
+                let end = (s + len).max(last.0 + last.1);
+                last.1 = end - last.0;
+                continue;
+            }
+        }
+        out.push((s, len));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dual;
+
+    fn tuple_of(parts: &[(f64, f64, f64, RelOp)]) -> GeneralizedTuple {
+        GeneralizedTuple::new(
+            parts
+                .iter()
+                .map(|&(a, b, c, op)| LinearConstraint::new2d(a, b, c, op))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn triangle_vertices() {
+        // x >= 0, y >= 0, x + y <= 4.
+        let t = tuple_of(&[
+            (1.0, 0.0, 0.0, RelOp::Ge),
+            (0.0, 1.0, 0.0, RelOp::Ge),
+            (1.0, 1.0, -4.0, RelOp::Le),
+        ]);
+        let p = Polygon::from_tuple(&t).unwrap();
+        assert!(p.is_bounded());
+        assert_eq!(p.points().len(), 3);
+        assert!((p.area() - 8.0).abs() < 1e-7);
+        let bb = p.bbox().unwrap();
+        assert_eq!(bb, Rect::new(0.0, 0.0, 4.0, 4.0));
+    }
+
+    #[test]
+    fn empty_tuple_is_none() {
+        let t = tuple_of(&[(1.0, 0.0, 0.0, RelOp::Ge), (1.0, 0.0, 1.0, RelOp::Le)]);
+        assert!(Polygon::from_tuple(&t).is_none());
+    }
+
+    #[test]
+    fn trivially_false_is_none() {
+        let t = tuple_of(&[(0.0, 0.0, 1.0, RelOp::Le), (1.0, 1.0, 0.0, RelOp::Ge)]);
+        assert!(Polygon::from_tuple(&t).is_none());
+    }
+
+    #[test]
+    fn quadrant_rays() {
+        // x <= 2 && y >= 3 (Figure-1-style unbounded region).
+        let t = tuple_of(&[(1.0, 0.0, -2.0, RelOp::Le), (0.0, 1.0, -3.0, RelOp::Ge)]);
+        let p = Polygon::from_tuple(&t).unwrap();
+        assert!(!p.is_bounded());
+        assert_eq!(p.points().len(), 1);
+        assert!(points_eq(&p.points()[0], &[2.0, 3.0]));
+        // Rays: (-1, 0) and (0, 1).
+        assert_eq!(p.rays().len(), 2);
+        assert_eq!(p.area(), f64::INFINITY);
+        assert!(p.bbox().is_none());
+    }
+
+    #[test]
+    fn halfplane_nonpointed() {
+        let t = tuple_of(&[(0.0, 1.0, 0.0, RelOp::Ge)]); // y >= 0
+        let p = Polygon::from_tuple(&t).unwrap();
+        // One point on the boundary line, three rays spanning the upper half.
+        assert_eq!(p.points().len(), 1);
+        assert!(p.points()[0][1].abs() < 1e-7, "point on minimal face y=0");
+        assert_eq!(p.rays().len(), 3);
+        // TOP is +inf everywhere, BOT finite at slope 0.
+        assert_eq!(p.top(0.0), f64::INFINITY);
+        assert!(p.bot(0.0).abs() < 1e-7);
+        assert_eq!(p.bot(1.0), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn strip_nonpointed() {
+        // 0 <= y <= 1.
+        let t = tuple_of(&[(0.0, 1.0, 0.0, RelOp::Ge), (0.0, -1.0, 1.0, RelOp::Ge)]);
+        let p = Polygon::from_tuple(&t).unwrap();
+        assert_eq!(p.points().len(), 2, "one point per boundary line");
+        assert_eq!(p.rays().len(), 2, "lineality split into two rays");
+        assert!((p.top(0.0) - 1.0).abs() < 1e-7);
+        assert!(p.bot(0.0).abs() < 1e-7);
+        assert_eq!(p.top(0.5), f64::INFINITY);
+        assert_eq!(p.bot(0.5), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn whole_plane() {
+        let t = GeneralizedTuple::whole_space(2);
+        let p = Polygon::from_tuple(&t).unwrap();
+        assert_eq!(p.rays().len(), 4);
+        assert_eq!(p.top(0.7), f64::INFINITY);
+        assert_eq!(p.bot(0.7), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn vertex_and_lp_surfaces_agree() {
+        let cases = vec![
+            tuple_of(&[
+                (1.0, 0.0, -1.0, RelOp::Ge),
+                (-1.0, 0.0, 3.0, RelOp::Ge),
+                (0.0, 1.0, -1.0, RelOp::Ge),
+                (0.0, -1.0, 4.0, RelOp::Ge),
+            ]),
+            tuple_of(&[
+                (1.0, 0.0, 0.0, RelOp::Ge),
+                (0.0, 1.0, 0.0, RelOp::Ge),
+                (1.0, 1.0, -4.0, RelOp::Le),
+            ]),
+            tuple_of(&[(1.0, 0.0, -2.0, RelOp::Le), (0.0, 1.0, -3.0, RelOp::Ge)]),
+            tuple_of(&[(-1.0, 1.0, 0.0, RelOp::Ge), (1.0, -1.0, 1.0, RelOp::Ge)]),
+        ];
+        for t in &cases {
+            let p = Polygon::from_tuple(t).unwrap();
+            for a in [-2.0, -1.0, -0.3, 0.0, 0.5, 1.0, 1.5, 3.0] {
+                let lp_top = dual::top(t, &[a]).unwrap();
+                let lp_bot = dual::bot(t, &[a]).unwrap();
+                let v_top = p.top(a);
+                let v_bot = p.bot(a);
+                assert!(
+                    (lp_top.is_infinite() && v_top == lp_top)
+                        || (lp_top - v_top).abs() < 1e-6,
+                    "TOP mismatch at a={a}: lp={lp_top} v={v_top} for {t}"
+                );
+                assert!(
+                    (lp_bot.is_infinite() && v_bot == lp_bot)
+                        || (lp_bot - v_bot).abs() < 1e-6,
+                    "BOT mismatch at a={a}: lp={lp_bot} v={v_bot} for {t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn to_tuple_round_trip() {
+        let square = Polygon::bounded(vec![[0.0, 0.0], [2.0, 0.0], [2.0, 2.0], [0.0, 2.0]]);
+        let t = square.to_tuple();
+        assert!(t.contains(&[1.0, 1.0]));
+        assert!(t.contains(&[0.0, 0.0]));
+        assert!(!t.contains(&[3.0, 1.0]));
+        let back = Polygon::from_tuple(&t).unwrap();
+        assert!((back.area() - 4.0).abs() < 1e-7);
+        assert_eq!(back.points().len(), 4);
+    }
+
+    #[test]
+    fn hull_reduces_interior_points() {
+        let p = Polygon::bounded(vec![
+            [0.0, 0.0],
+            [4.0, 0.0],
+            [4.0, 4.0],
+            [0.0, 4.0],
+            [2.0, 2.0], // interior
+            [2.0, 0.0], // edge midpoint (eliminated by strict hull)
+        ]);
+        assert_eq!(p.points().len(), 4);
+        assert!((p.area() - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hull_is_ccw() {
+        let p = Polygon::bounded(vec![[0.0, 0.0], [1.0, 0.0], [0.0, 1.0]]);
+        // CCW order => positive signed area.
+        let pts = p.points();
+        let mut s = 0.0;
+        for i in 0..pts.len() {
+            let a = pts[i];
+            let b = pts[(i + 1) % pts.len()];
+            s += a[0] * b[1] - b[0] * a[1];
+        }
+        assert!(s > 0.0, "hull must be CCW, signed area {s}");
+    }
+
+    #[test]
+    fn translate_and_scale() {
+        let p = Polygon::bounded(vec![[0.0, 0.0], [1.0, 0.0], [1.0, 1.0], [0.0, 1.0]]);
+        let q = p.translate(10.0, -5.0);
+        assert_eq!(q.bbox().unwrap(), Rect::new(10.0, -5.0, 11.0, -4.0));
+        let r = p.scale(2.0, 3.0);
+        assert!((r.area() - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn redundant_constraints_ignored() {
+        // Triangle plus a slack constraint far away.
+        let t = tuple_of(&[
+            (1.0, 0.0, 0.0, RelOp::Ge),
+            (0.0, 1.0, 0.0, RelOp::Ge),
+            (1.0, 1.0, -4.0, RelOp::Le),
+            (1.0, 1.0, -100.0, RelOp::Le), // redundant
+        ]);
+        let p = Polygon::from_tuple(&t).unwrap();
+        assert_eq!(p.points().len(), 3);
+        assert!((p.area() - 8.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn single_line_polyhedron() {
+        // y = 5 as a pair of inequalities: a line (non-pointed, width-0 strip).
+        let t = tuple_of(&[(0.0, 1.0, -5.0, RelOp::Ge), (0.0, 1.0, -5.0, RelOp::Le)]);
+        let p = Polygon::from_tuple(&t).unwrap();
+        assert!(!p.is_bounded());
+        assert!((p.top(0.0) - 5.0).abs() < 1e-7);
+        assert!((p.bot(0.0) - 5.0).abs() < 1e-7);
+        assert_eq!(p.top(1.0), f64::INFINITY);
+    }
+}

@@ -1,0 +1,281 @@
+//! Axis-aligned 2-D rectangles.
+//!
+//! Used as the bounding-box approximation of the R⁺-tree baseline and by the
+//! workload generators (the paper's "working window" `[-50:50, -50:50]`).
+
+use crate::constraint::RelOp;
+use crate::halfplane::HalfPlane;
+
+/// A closed axis-aligned rectangle `[x0, x1] × [y0, y1]`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Rect {
+    pub x0: f64,
+    pub y0: f64,
+    pub x1: f64,
+    pub y1: f64,
+}
+
+impl Rect {
+    /// Creates a rectangle, normalizing corner order.
+    pub fn new(x0: f64, y0: f64, x1: f64, y1: f64) -> Self {
+        Rect {
+            x0: x0.min(x1),
+            y0: y0.min(y1),
+            x1: x0.max(x1),
+            y1: y0.max(y1),
+        }
+    }
+
+    /// The paper's working window `[-50, 50]²`.
+    pub fn paper_window() -> Self {
+        Rect::new(-50.0, -50.0, 50.0, 50.0)
+    }
+
+    /// An empty/inverted sentinel suitable as a fold seed for unions.
+    pub fn empty() -> Self {
+        Rect {
+            x0: f64::INFINITY,
+            y0: f64::INFINITY,
+            x1: f64::NEG_INFINITY,
+            y1: f64::NEG_INFINITY,
+        }
+    }
+
+    /// `true` if this is the [`empty`](Self::empty) sentinel (or inverted).
+    pub fn is_empty(&self) -> bool {
+        self.x0 > self.x1 || self.y0 > self.y1
+    }
+
+    /// Width along x.
+    pub fn width(&self) -> f64 {
+        (self.x1 - self.x0).max(0.0)
+    }
+
+    /// Height along y.
+    pub fn height(&self) -> f64 {
+        (self.y1 - self.y0).max(0.0)
+    }
+
+    /// Area.
+    pub fn area(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.width() * self.height()
+        }
+    }
+
+    /// Centre point.
+    pub fn center(&self) -> (f64, f64) {
+        ((self.x0 + self.x1) / 2.0, (self.y0 + self.y1) / 2.0)
+    }
+
+    /// `true` if the rectangles share at least a boundary point.
+    pub fn intersects(&self, other: &Rect) -> bool {
+        !self.is_empty()
+            && !other.is_empty()
+            && self.x0 <= other.x1
+            && other.x0 <= self.x1
+            && self.y0 <= other.y1
+            && other.y0 <= self.y1
+    }
+
+    /// `true` if `other` is fully inside `self` (boundaries allowed).
+    pub fn contains_rect(&self, other: &Rect) -> bool {
+        !other.is_empty()
+            && self.x0 <= other.x0
+            && self.y0 <= other.y0
+            && other.x1 <= self.x1
+            && other.y1 <= self.y1
+    }
+
+    /// `true` if the point is inside (boundaries allowed).
+    pub fn contains_point(&self, x: f64, y: f64) -> bool {
+        self.x0 <= x && x <= self.x1 && self.y0 <= y && y <= self.y1
+    }
+
+    /// Smallest rectangle covering both.
+    pub fn union(&self, other: &Rect) -> Rect {
+        if self.is_empty() {
+            return *other;
+        }
+        if other.is_empty() {
+            return *self;
+        }
+        Rect {
+            x0: self.x0.min(other.x0),
+            y0: self.y0.min(other.y0),
+            x1: self.x1.max(other.x1),
+            y1: self.y1.max(other.y1),
+        }
+    }
+
+    /// Intersection, or `None` if disjoint.
+    pub fn intersection(&self, other: &Rect) -> Option<Rect> {
+        if !self.intersects(other) {
+            return None;
+        }
+        Some(Rect {
+            x0: self.x0.max(other.x0),
+            y0: self.y0.max(other.y0),
+            x1: self.x1.min(other.x1),
+            y1: self.y1.min(other.y1),
+        })
+    }
+
+    /// `true` if the rectangle has at least one point in the half-plane.
+    ///
+    /// For `y ≥ ax + b` the best corner is the one maximizing `y − ax`; the
+    /// rectangle intersects iff that corner qualifies.
+    pub fn intersects_halfplane(&self, q: &HalfPlane) -> bool {
+        if self.is_empty() {
+            return false;
+        }
+        let a = q.slope2d();
+        let best_x = |maximize: bool| {
+            // Maximizing y - a x picks x0 when a >= 0, x1 when a < 0 (and the
+            // converse for minimizing).
+            if (a >= 0.0) == maximize {
+                self.x0
+            } else {
+                self.x1
+            }
+        };
+        match q.op {
+            RelOp::Ge => {
+                let x = best_x(true);
+                self.y1 >= a * x + q.intercept - crate::scalar::EPS
+            }
+            RelOp::Le => {
+                let x = best_x(false);
+                self.y0 <= a * x + q.intercept + crate::scalar::EPS
+            }
+        }
+    }
+
+    /// `true` if the rectangle lies fully in the half-plane.
+    pub fn inside_halfplane(&self, q: &HalfPlane) -> bool {
+        if self.is_empty() {
+            return false;
+        }
+        let a = q.slope2d();
+        match q.op {
+            RelOp::Ge => {
+                // The worst corner minimizes y - a x.
+                let x = if a >= 0.0 { self.x1 } else { self.x0 };
+                self.y0 >= a * x + q.intercept - crate::scalar::EPS
+            }
+            RelOp::Le => {
+                let x = if a >= 0.0 { self.x0 } else { self.x1 };
+                self.y1 <= a * x + q.intercept + crate::scalar::EPS
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_normalizes() {
+        let r = Rect::new(3.0, 4.0, 1.0, 2.0);
+        assert_eq!(r, Rect::new(1.0, 2.0, 3.0, 4.0));
+        assert_eq!(r.width(), 2.0);
+        assert_eq!(r.height(), 2.0);
+        assert_eq!(r.area(), 4.0);
+    }
+
+    #[test]
+    fn union_and_intersection() {
+        let a = Rect::new(0.0, 0.0, 2.0, 2.0);
+        let b = Rect::new(1.0, 1.0, 3.0, 3.0);
+        assert_eq!(a.union(&b), Rect::new(0.0, 0.0, 3.0, 3.0));
+        assert_eq!(a.intersection(&b), Some(Rect::new(1.0, 1.0, 2.0, 2.0)));
+        let c = Rect::new(5.0, 5.0, 6.0, 6.0);
+        assert!(a.intersection(&c).is_none());
+        assert!(!a.intersects(&c));
+        // Boundary touch counts.
+        let d = Rect::new(2.0, 0.0, 4.0, 2.0);
+        assert!(a.intersects(&d));
+    }
+
+    #[test]
+    fn empty_behaviour() {
+        let e = Rect::empty();
+        assert!(e.is_empty());
+        assert_eq!(e.area(), 0.0);
+        let a = Rect::new(0.0, 0.0, 1.0, 1.0);
+        assert_eq!(e.union(&a), a);
+        assert!(!e.intersects(&a));
+        assert!(!a.contains_rect(&e));
+    }
+
+    #[test]
+    fn containment() {
+        let outer = Rect::new(0.0, 0.0, 10.0, 10.0);
+        let inner = Rect::new(2.0, 2.0, 3.0, 3.0);
+        assert!(outer.contains_rect(&inner));
+        assert!(!inner.contains_rect(&outer));
+        assert!(outer.contains_rect(&outer));
+        assert!(outer.contains_point(0.0, 10.0));
+        assert!(!outer.contains_point(-0.1, 5.0));
+    }
+
+    #[test]
+    fn halfplane_intersection_positive_slope() {
+        let r = Rect::new(0.0, 0.0, 2.0, 2.0);
+        // y >= x - 3: whole rect above the line.
+        assert!(r.intersects_halfplane(&HalfPlane::above(1.0, -3.0)));
+        assert!(r.inside_halfplane(&HalfPlane::above(1.0, -3.0)));
+        // y >= x + 3: line passes above the rect entirely.
+        assert!(!r.intersects_halfplane(&HalfPlane::above(1.0, 3.0)));
+        // y >= x: cuts the rect diagonally.
+        let q = HalfPlane::above(1.0, 0.0);
+        assert!(r.intersects_halfplane(&q));
+        assert!(!r.inside_halfplane(&q));
+    }
+
+    #[test]
+    fn halfplane_intersection_negative_slope() {
+        let r = Rect::new(0.0, 0.0, 2.0, 2.0);
+        // y <= -x + 1 clips the lower-left corner.
+        let q = HalfPlane::below(-1.0, 1.0);
+        assert!(r.intersects_halfplane(&q));
+        assert!(!r.inside_halfplane(&q));
+        // y <= -x - 1 misses entirely.
+        assert!(!r.intersects_halfplane(&HalfPlane::below(-1.0, -1.0)));
+        // y <= -x + 10 contains the rect.
+        assert!(r.inside_halfplane(&HalfPlane::below(-1.0, 10.0)));
+    }
+
+    #[test]
+    fn halfplane_boundary_touch() {
+        let r = Rect::new(0.0, 0.0, 1.0, 1.0);
+        // y >= 1 touches the top edge.
+        assert!(r.intersects_halfplane(&HalfPlane::above(0.0, 1.0)));
+        // y >= 0 contains it with the bottom edge on the boundary.
+        assert!(r.inside_halfplane(&HalfPlane::above(0.0, 0.0)));
+    }
+
+    #[test]
+    fn inside_implies_intersects_sampled() {
+        let r = Rect::new(-1.0, -2.0, 4.0, 3.0);
+        for a in [-2.0, -0.5, 0.0, 0.3, 1.7] {
+            for b in [-5.0, -1.0, 0.0, 2.0, 6.0] {
+                for q in [HalfPlane::above(a, b), HalfPlane::below(a, b)] {
+                    if r.inside_halfplane(&q) {
+                        assert!(r.intersects_halfplane(&q), "{q}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn paper_window_dimensions() {
+        let w = Rect::paper_window();
+        assert_eq!(w.area(), 10000.0);
+        assert_eq!(w.center(), (0.0, 0.0));
+    }
+}

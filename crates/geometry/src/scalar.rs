@@ -1,0 +1,128 @@
+//! Scalar comparison policy.
+//!
+//! All geometric code in this workspace compares `f64` values through the
+//! helpers below so that the tolerance policy lives in exactly one place.
+//! The tolerance is absolute-plus-relative: two values are considered equal
+//! when they differ by less than `EPS * max(1, |a|, |b|)`.
+
+/// Base tolerance used by all approximate comparisons.
+pub const EPS: f64 = 1e-9;
+
+/// Returns `true` if `a` and `b` are equal under the workspace tolerance.
+#[inline]
+pub fn approx_eq(a: f64, b: f64) -> bool {
+    if a == b {
+        // Covers exact equality including equal infinities.
+        return true;
+    }
+    if !a.is_finite() || !b.is_finite() {
+        return false;
+    }
+    (a - b).abs() <= EPS * 1.0_f64.max(a.abs()).max(b.abs())
+}
+
+/// Returns `true` if `a` is strictly less than `b` beyond the tolerance.
+#[inline]
+pub fn approx_lt(a: f64, b: f64) -> bool {
+    a < b && !approx_eq(a, b)
+}
+
+/// Returns `true` if `a ≤ b` up to the tolerance.
+#[inline]
+pub fn approx_le(a: f64, b: f64) -> bool {
+    a <= b || approx_eq(a, b)
+}
+
+/// Returns `true` if `a ≥ b` up to the tolerance.
+#[inline]
+pub fn approx_ge(a: f64, b: f64) -> bool {
+    a >= b || approx_eq(a, b)
+}
+
+/// Returns `true` if `a` is approximately zero.
+#[inline]
+pub fn approx_zero(a: f64) -> bool {
+    a.abs() <= EPS
+}
+
+/// A total order over `f64` that treats `NaN` as an error.
+///
+/// Keys stored in the index structures are either finite or `±∞`; `NaN`
+/// indicates a logic error upstream, so ordering panics on it rather than
+/// silently misplacing an entry.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct OrdF64(pub f64);
+
+impl Eq for OrdF64 {}
+
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0
+            .partial_cmp(&other.0)
+            .expect("NaN key in ordered context")
+    }
+}
+
+impl From<f64> for OrdF64 {
+    fn from(v: f64) -> Self {
+        OrdF64(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq_is_tolerant() {
+        assert!(approx_eq(1.0, 1.0 + 1e-12));
+        assert!(!approx_eq(1.0, 1.0 + 1e-6));
+    }
+
+    #[test]
+    fn eq_scales_with_magnitude() {
+        assert!(approx_eq(1e12, 1e12 + 1.0));
+        assert!(!approx_eq(1.0, 2.0));
+    }
+
+    #[test]
+    fn infinities() {
+        assert!(approx_eq(f64::INFINITY, f64::INFINITY));
+        assert!(approx_eq(f64::NEG_INFINITY, f64::NEG_INFINITY));
+        assert!(!approx_eq(f64::INFINITY, f64::NEG_INFINITY));
+        assert!(!approx_eq(f64::INFINITY, 1e300));
+        assert!(approx_lt(1e300, f64::INFINITY));
+        assert!(approx_le(f64::NEG_INFINITY, -5.0));
+    }
+
+    #[test]
+    fn strict_comparisons_respect_tolerance() {
+        assert!(!approx_lt(1.0, 1.0 + 1e-12));
+        assert!(approx_lt(1.0, 1.1));
+        assert!(approx_le(1.0 + 1e-12, 1.0));
+        assert!(approx_ge(1.0 - 1e-12, 1.0));
+    }
+
+    #[test]
+    fn ord_f64_total_order() {
+        let mut v = [OrdF64(3.0),
+            OrdF64(f64::NEG_INFINITY),
+            OrdF64(0.0),
+            OrdF64(f64::INFINITY)];
+        v.sort();
+        assert_eq!(v[0], OrdF64(f64::NEG_INFINITY));
+        assert_eq!(v[3], OrdF64(f64::INFINITY));
+    }
+
+    #[test]
+    #[should_panic]
+    fn ord_f64_rejects_nan() {
+        let _ = OrdF64(f64::NAN).cmp(&OrdF64(0.0));
+    }
+}

@@ -1,0 +1,461 @@
+//! A small dense two-phase simplex solver.
+//!
+//! This is the exact evaluation engine behind the `TOP_P`/`BOT_P` dual
+//! surfaces: evaluating `TOP_P(b)` is the linear program
+//! `max x_d − b·x_{1..d-1}` over the polyhedron `P`, which is finite,
+//! `+∞` (unbounded objective) or undefined (`P = ∅`). The solver therefore
+//! reports all three outcomes explicitly.
+//!
+//! The LPs solved here are tiny (`d ≤ 4` variables, a handful of
+//! constraints), so the implementation favours clarity and robustness over
+//! asymptotics: a dense tableau, Bland's anti-cycling rule, and a single
+//! absolute tolerance. Free variables are handled by the classical
+//! `x = x⁺ − x⁻` split.
+
+#![allow(clippy::needless_range_loop)] // index-parallel array math reads clearer here
+/// Outcome of a linear program.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LpResult {
+    /// The feasible region is empty.
+    Infeasible,
+    /// The objective is unbounded over the (non-empty) feasible region.
+    Unbounded,
+    /// An optimal solution exists.
+    Optimal {
+        /// Optimal objective value.
+        value: f64,
+        /// A maximizer (one optimal point; not unique in general).
+        point: Vec<f64>,
+    },
+}
+
+impl LpResult {
+    /// The optimal value, mapping `Unbounded` to `+∞`.
+    ///
+    /// # Panics
+    /// Panics on `Infeasible`: callers must check satisfiability first.
+    pub fn value_or_infinity(&self) -> f64 {
+        match self {
+            LpResult::Infeasible => panic!("LP over an empty polyhedron"),
+            LpResult::Unbounded => f64::INFINITY,
+            LpResult::Optimal { value, .. } => *value,
+        }
+    }
+
+    /// `true` if the LP had at least one feasible point.
+    pub fn is_feasible(&self) -> bool {
+        !matches!(self, LpResult::Infeasible)
+    }
+}
+
+const TOL: f64 = 1e-9;
+
+/// Maximizes `objective · x` subject to `rows[i] · x ≤ rhs[i]` with `x` free.
+///
+/// # Panics
+/// Panics if the row lengths disagree with the objective length or if
+/// `rows.len() != rhs.len()`.
+pub fn maximize(objective: &[f64], rows: &[Vec<f64>], rhs: &[f64]) -> LpResult {
+    assert_eq!(rows.len(), rhs.len(), "rows/rhs length mismatch");
+    for r in rows {
+        assert_eq!(r.len(), objective.len(), "row width mismatch");
+    }
+    let n_orig = objective.len();
+    // Split free variables: x_j = u_j - v_j, u, v >= 0.
+    let n = 2 * n_orig;
+    let split = |row: &[f64]| -> Vec<f64> {
+        let mut out = Vec::with_capacity(n);
+        out.extend(row.iter().copied());
+        out.extend(row.iter().map(|a| -a));
+        out
+    };
+    let obj = split(objective);
+    let a: Vec<Vec<f64>> = rows.iter().map(|r| split(r)).collect();
+    match solve_standard(&obj, &a, rhs) {
+        StdResult::Infeasible => LpResult::Infeasible,
+        StdResult::Unbounded => LpResult::Unbounded,
+        StdResult::Optimal { value, x } => {
+            let point = (0..n_orig).map(|j| x[j] - x[j + n_orig]).collect();
+            LpResult::Optimal { value, point }
+        }
+    }
+}
+
+/// Minimizes `objective · x` subject to `rows[i] · x ≤ rhs[i]` with `x` free.
+///
+/// `Unbounded` here means the objective can be made arbitrarily *negative*.
+pub fn minimize(objective: &[f64], rows: &[Vec<f64>], rhs: &[f64]) -> LpResult {
+    let neg: Vec<f64> = objective.iter().map(|c| -c).collect();
+    match maximize(&neg, rows, rhs) {
+        LpResult::Optimal { value, point } => LpResult::Optimal {
+            value: -value,
+            point,
+        },
+        other => other,
+    }
+}
+
+/// Finds any feasible point of `rows[i] · x ≤ rhs[i]`, or `None` if empty.
+pub fn feasible_point(dim: usize, rows: &[Vec<f64>], rhs: &[f64]) -> Option<Vec<f64>> {
+    let zero = vec![0.0; dim];
+    match maximize(&zero, rows, rhs) {
+        LpResult::Infeasible => None,
+        LpResult::Unbounded => unreachable!("constant objective cannot be unbounded"),
+        LpResult::Optimal { point, .. } => Some(point),
+    }
+}
+
+enum StdResult {
+    Infeasible,
+    Unbounded,
+    Optimal { value: f64, x: Vec<f64> },
+}
+
+/// Solves `max c·x  s.t.  A x ≤ b, x ≥ 0` with a two-phase dense tableau.
+fn solve_standard(c: &[f64], a: &[Vec<f64>], b: &[f64]) -> StdResult {
+    let m = a.len();
+    let n = c.len();
+    // Column layout: [ structural 0..n | slack n..n+m | artificial ... | rhs ].
+    // One slack per row; artificial variables only for rows with b_i < 0
+    // (after negating those rows so every rhs is non-negative).
+    let mut need_artificial: Vec<bool> = b.iter().map(|&bi| bi < 0.0).collect();
+    let n_art = need_artificial.iter().filter(|&&x| x).count();
+    let width = n + m + n_art + 1;
+    let mut t: Vec<Vec<f64>> = vec![vec![0.0; width]; m];
+    let mut basis: Vec<usize> = vec![0; m];
+    let mut art_col = n + m;
+    for i in 0..m {
+        let sign = if need_artificial[i] { -1.0 } else { 1.0 };
+        for j in 0..n {
+            t[i][j] = sign * a[i][j];
+        }
+        t[i][n + i] = sign; // slack (coefficient −1 after row negation)
+        t[i][width - 1] = sign * b[i];
+        if need_artificial[i] {
+            t[i][art_col] = 1.0;
+            basis[i] = art_col;
+            art_col += 1;
+        } else {
+            basis[i] = n + i;
+        }
+    }
+
+    if n_art > 0 {
+        // Phase 1: minimize the sum of artificials, i.e. maximize −Σ a_k.
+        let mut obj = vec![0.0; width];
+        for col in (n + m)..(n + m + n_art) {
+            obj[col] = -1.0;
+        }
+        // The artificials start basic, so express the objective in terms of
+        // the basis before pricing.
+        reduce_objective(&t, &basis, &mut obj);
+        // Price structural + slack columns only, so artificials never
+        // re-enter once driven out.
+        let ok = run_simplex(&mut t, &mut basis, &mut obj, n + m);
+        debug_assert!(ok, "phase 1 cannot be unbounded");
+        // The rhs slot of the objective row holds −(objective value) =
+        // Σ artificials at the optimum; positive means no feasible point.
+        if obj[width - 1] > TOL {
+            return StdResult::Infeasible;
+        }
+        // Drive any artificial still in the basis out (degenerate rows).
+        for i in 0..m {
+            if basis[i] >= n + m {
+                // Find a non-artificial column with a non-zero pivot.
+                let mut pivoted = false;
+                for j in 0..(n + m) {
+                    if t[i][j].abs() > TOL {
+                        pivot(&mut t, &mut basis, i, j, &mut obj);
+                        pivoted = true;
+                        break;
+                    }
+                }
+                if !pivoted {
+                    // Row is all zeros over real columns: redundant; leave the
+                    // artificial basic at value 0. Mark it unusable below by
+                    // keeping its column out of the phase-2 pricing.
+                }
+            }
+        }
+        need_artificial.clear();
+    }
+
+    // Phase 2: maximize c over structural + slack columns only.
+    let mut obj = vec![0.0; width];
+    obj[..n].copy_from_slice(c);
+    // Express the objective in terms of the current basis (reduced costs).
+    reduce_objective(&t, &basis, &mut obj);
+    if !run_simplex(&mut t, &mut basis, &mut obj, n + m) {
+        return StdResult::Unbounded;
+    }
+    let mut x = vec![0.0; n + m];
+    for i in 0..m {
+        if basis[i] < n + m {
+            x[basis[i]] = t[i][width - 1];
+        }
+    }
+    let value = c.iter().zip(&x).map(|(ci, xi)| ci * xi).sum();
+    StdResult::Optimal {
+        value,
+        x: x[..n].to_vec(),
+    }
+}
+
+/// Rewrites `obj` so that reduced costs of basic columns are zero and the
+/// last entry holds the current objective value.
+fn reduce_objective(t: &[Vec<f64>], basis: &[usize], obj: &mut [f64]) {
+    let m = t.len();
+    for i in 0..m {
+        let coef = obj[basis[i]];
+        if coef.abs() > 0.0 {
+            let row = &t[i];
+            for (o, r) in obj.iter_mut().zip(row.iter()) {
+                *o -= coef * r;
+            }
+            // rhs column is included in the zip above (same width).
+        }
+    }
+}
+
+/// Runs primal simplex iterations with Bland's rule over columns
+/// `0..n_price`. Returns `false` when the LP is unbounded.
+///
+/// Invariants: `obj` stores reduced costs with basic columns at zero and the
+/// negated objective value in the rhs slot.
+fn run_simplex(
+    t: &mut [Vec<f64>],
+    basis: &mut [usize],
+    obj: &mut [f64],
+    n_price: usize,
+) -> bool {
+    let m = t.len();
+    let width = obj.len();
+    let rhs = width - 1;
+    loop {
+        // Bland: entering column = lowest index with positive reduced cost.
+        let mut entering = None;
+        for j in 0..n_price {
+            if obj[j] > TOL {
+                entering = Some(j);
+                break;
+            }
+        }
+        let Some(e) = entering else {
+            return true; // optimal
+        };
+        // Ratio test; Bland tie-break on the leaving basic variable index.
+        let mut leave: Option<(usize, f64)> = None;
+        for i in 0..m {
+            if t[i][e] > TOL {
+                let ratio = t[i][rhs] / t[i][e];
+                match leave {
+                    None => leave = Some((i, ratio)),
+                    Some((li, lr)) => {
+                        if ratio < lr - TOL || (ratio < lr + TOL && basis[i] < basis[li]) {
+                            leave = Some((i, ratio));
+                        }
+                    }
+                }
+            }
+        }
+        let Some((l, _)) = leave else {
+            return false; // unbounded
+        };
+        pivot(t, basis, l, e, obj);
+    }
+}
+
+/// Performs a pivot on `(row, col)` updating the tableau, basis and
+/// objective row.
+fn pivot(t: &mut [Vec<f64>], basis: &mut [usize], row: usize, col: usize, obj: &mut [f64]) {
+    let m = t.len();
+    let p = t[row][col];
+    debug_assert!(p.abs() > TOL * TOL, "pivot on (near-)zero element");
+    let inv = 1.0 / p;
+    for v in t[row].iter_mut() {
+        *v *= inv;
+    }
+    // Snapshot the pivot row to keep the borrow checker happy.
+    let prow = t[row].clone();
+    for i in 0..m {
+        if i != row {
+            let f = t[i][col];
+            if f != 0.0 {
+                for (v, pv) in t[i].iter_mut().zip(&prow) {
+                    *v -= f * pv;
+                }
+            }
+        }
+    }
+    let f = obj[col];
+    if f != 0.0 {
+        for (v, pv) in obj.iter_mut().zip(&prow) {
+            *v -= f * pv;
+        }
+    }
+    basis[row] = col;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opt(r: LpResult) -> (f64, Vec<f64>) {
+        match r {
+            LpResult::Optimal { value, point } => (value, point),
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn simple_box() {
+        // max x + y s.t. x <= 2, y <= 3, -x <= 0, -y <= 0
+        let r = maximize(
+            &[1.0, 1.0],
+            &[
+                vec![1.0, 0.0],
+                vec![0.0, 1.0],
+                vec![-1.0, 0.0],
+                vec![0.0, -1.0],
+            ],
+            &[2.0, 3.0, 0.0, 0.0],
+        );
+        let (v, p) = opt(r);
+        assert!((v - 5.0).abs() < 1e-7, "{v}");
+        assert!((p[0] - 2.0).abs() < 1e-7 && (p[1] - 3.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn free_variables_negative_optimum() {
+        // max -x s.t. x >= 5  (i.e. -x <= -5): optimum -5 at x = 5.
+        let r = maximize(&[-1.0], &[vec![-1.0]], &[-5.0]);
+        let (v, p) = opt(r);
+        assert!((v + 5.0).abs() < 1e-7);
+        assert!((p[0] - 5.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn unbounded() {
+        // max x s.t. y <= 1 (x unconstrained above).
+        let r = maximize(&[1.0, 0.0], &[vec![0.0, 1.0]], &[1.0]);
+        assert_eq!(r, LpResult::Unbounded);
+    }
+
+    #[test]
+    fn infeasible() {
+        // x <= 0 and -x <= -1 (x >= 1): empty.
+        let r = maximize(&[1.0], &[vec![1.0], vec![-1.0]], &[0.0, -1.0]);
+        assert_eq!(r, LpResult::Infeasible);
+    }
+
+    #[test]
+    fn triangle_vertex_optimum() {
+        // Triangle with vertices (0,0), (4,0), (0,4): x+y <= 4, x,y >= 0.
+        // max 2x + y -> at (4, 0) value 8.
+        let rows = vec![vec![1.0, 1.0], vec![-1.0, 0.0], vec![0.0, -1.0]];
+        let rhs = vec![4.0, 0.0, 0.0];
+        let (v, p) = opt(maximize(&[2.0, 1.0], &rows, &rhs));
+        assert!((v - 8.0).abs() < 1e-7);
+        assert!((p[0] - 4.0).abs() < 1e-7 && p[1].abs() < 1e-7);
+    }
+
+    #[test]
+    fn minimize_matches_negated_maximize() {
+        let rows = vec![vec![1.0, 1.0], vec![-1.0, 0.0], vec![0.0, -1.0]];
+        let rhs = vec![4.0, 0.0, 0.0];
+        let (v, _) = opt(minimize(&[1.0, 1.0], &rows, &rhs));
+        assert!(v.abs() < 1e-7, "min x+y over triangle is 0, got {v}");
+    }
+
+    #[test]
+    fn minimize_unbounded_below() {
+        // min x s.t. x <= 3 is unbounded below.
+        let r = minimize(&[1.0], &[vec![1.0]], &[3.0]);
+        assert_eq!(r, LpResult::Unbounded);
+    }
+
+    #[test]
+    fn feasible_point_in_shifted_region() {
+        // x >= 10, y >= -2, x + y <= 100
+        let rows = vec![vec![-1.0, 0.0], vec![0.0, -1.0], vec![1.0, 1.0]];
+        let rhs = vec![-10.0, 2.0, 100.0];
+        let p = feasible_point(2, &rows, &rhs).expect("region is non-empty");
+        assert!(p[0] >= 10.0 - 1e-7);
+        assert!(p[1] >= -2.0 - 1e-7);
+        assert!(p[0] + p[1] <= 100.0 + 1e-7);
+    }
+
+    #[test]
+    fn feasible_point_empty_region() {
+        let rows = vec![vec![1.0, 0.0], vec![-1.0, 0.0]];
+        let rhs = vec![-1.0, -1.0]; // x <= -1 and x >= 1
+        assert!(feasible_point(2, &rows, &rhs).is_none());
+    }
+
+    #[test]
+    fn equality_via_pair() {
+        // y = 2x (pair), x <= 3, x >= 1; max y -> 6 at x = 3.
+        let rows = vec![
+            vec![-2.0, 1.0], // y - 2x <= 0
+            vec![2.0, -1.0], // 2x - y <= 0
+            vec![1.0, 0.0],
+            vec![-1.0, 0.0],
+        ];
+        let rhs = vec![0.0, 0.0, 3.0, -1.0];
+        let (v, p) = opt(maximize(&[0.0, 1.0], &rows, &rhs));
+        assert!((v - 6.0).abs() < 1e-7);
+        assert!((p[1] - 2.0 * p[0]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn degenerate_vertex_no_cycle() {
+        // Many constraints meeting at the origin; Bland's rule must terminate.
+        let rows = vec![
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 1.0],
+            vec![1.0, 2.0],
+            vec![2.0, 1.0],
+        ];
+        let rhs = vec![0.0, 0.0, 0.0, 0.0, 0.0];
+        let (v, _) = opt(maximize(&[1.0, 1.0], &rows, &rhs));
+        assert!(v.abs() < 1e-7);
+    }
+
+    #[test]
+    fn objective_value_infinity_mapping() {
+        let r = maximize(&[1.0, 0.0], &[vec![0.0, 1.0]], &[1.0]);
+        assert_eq!(r.value_or_infinity(), f64::INFINITY);
+        assert!(r.is_feasible());
+        assert!(!LpResult::Infeasible.is_feasible());
+    }
+
+    #[test]
+    #[should_panic]
+    fn value_of_infeasible_panics() {
+        LpResult::Infeasible.value_or_infinity();
+    }
+
+    #[test]
+    fn four_dimensional() {
+        // max x1+x2+x3+x4 over the simplex sum <= 1, xi >= 0 in 4-D.
+        let mut rows = vec![vec![1.0; 4]];
+        for i in 0..4 {
+            let mut r = vec![0.0; 4];
+            r[i] = -1.0;
+            rows.push(r);
+        }
+        let rhs = vec![1.0, 0.0, 0.0, 0.0, 0.0];
+        let (v, _) = opt(maximize(&[1.0, 1.0, 1.0, 1.0], &rows, &rhs));
+        assert!((v - 1.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn redundant_rows_are_harmless() {
+        // Same constraint three times.
+        let rows = vec![vec![1.0], vec![1.0], vec![1.0], vec![-1.0]];
+        let rhs = vec![2.0, 2.0, 2.0, 0.0];
+        let (v, _) = opt(maximize(&[1.0], &rows, &rhs));
+        assert!((v - 2.0).abs() < 1e-7);
+    }
+}

@@ -1,0 +1,169 @@
+//! Property tests of the geometry substrate: the LP solver against
+//! brute-force vertex enumeration, the dual transform's algebra, and the
+//! parser's round-trip behaviour.
+
+use proptest::prelude::*;
+
+use cdb_geometry::constraint::{LinearConstraint, RelOp};
+use cdb_geometry::simplex::{self, LpResult};
+use cdb_geometry::tuple::GeneralizedTuple;
+use cdb_geometry::vertex_enum;
+use cdb_geometry::{dual, parse, HalfPlane};
+
+/// A random *bounded* tuple: a box plus extra random cuts, so vertex
+/// enumeration terminates and the LP optimum is finite.
+fn arb_bounded_tuple(dim: usize) -> impl Strategy<Value = GeneralizedTuple> {
+    let boxes = prop::collection::vec((-30.0..30.0f64, 0.5..20.0f64), dim);
+    let cuts = prop::collection::vec(
+        (prop::collection::vec(-1.0..1.0f64, dim), -50.0..50.0f64),
+        0..3,
+    );
+    (boxes, cuts).prop_map(move |(ranges, cuts)| {
+        let mut cs = Vec::new();
+        for (axis, &(lo, w)) in ranges.iter().enumerate() {
+            let mut a = vec![0.0; dim];
+            a[axis] = 1.0;
+            cs.push(LinearConstraint::new(a.clone(), -lo, RelOp::Ge));
+            cs.push(LinearConstraint::new(a, -(lo + w), RelOp::Le));
+        }
+        for (coef, c) in cuts {
+            if coef.iter().any(|x| x.abs() > 0.05) {
+                cs.push(LinearConstraint::new(coef, c, RelOp::Le));
+            }
+        }
+        GeneralizedTuple::new(cs)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// LP optimum == max over enumerated vertices, in 2-D and 3-D.
+    #[test]
+    fn lp_agrees_with_vertex_enumeration(
+        dim in 2usize..4,
+        seedless in arb_bounded_tuple(3),
+        obj in prop::collection::vec(-2.0..2.0f64, 3),
+    ) {
+        // Use the right dimensionality (the strategy builds 3-D; shrink).
+        let t = if dim == 3 {
+            seedless
+        } else {
+            // Project: keep the first 2*dim constraints (the box part).
+            let cs: Vec<LinearConstraint> = seedless
+                .constraints()
+                .iter()
+                .take(2 * dim)
+                .map(|c| LinearConstraint::new(c.coeffs[..dim].to_vec(), c.constant, c.op))
+                .collect();
+            GeneralizedTuple::new(cs)
+        };
+        let obj = &obj[..dim];
+        prop_assume!(t.is_satisfiable());
+        let v = vertex_enum::enumerate(&t);
+        prop_assume!(!v.vertices.is_empty());
+        let brute = v
+            .vertices
+            .iter()
+            .map(|p| p.iter().zip(obj).map(|(x, c)| x * c).sum::<f64>())
+            .fold(f64::NEG_INFINITY, f64::max);
+        match t.maximize(obj) {
+            LpResult::Optimal { value, point } => {
+                prop_assert!((value - brute).abs() <= 1e-6 * (1.0 + brute.abs()),
+                    "LP {value} vs brute {brute}");
+                prop_assert!(t.contains(&point), "LP point not in extension");
+            }
+            other => prop_assert!(false, "expected optimal, got {:?}", other),
+        }
+    }
+
+    /// Infeasibility detection agrees with a direct certificate: a bounded
+    /// box plus a contradicting constraint is reported empty.
+    #[test]
+    fn contradictions_are_infeasible(t in arb_bounded_tuple(2), gap in 1.0..100.0f64) {
+        prop_assume!(t.is_satisfiable());
+        // x <= max_x and x >= max_x + gap cannot both hold.
+        let max_x = match t.maximize(&[1.0, 0.0]) {
+            LpResult::Optimal { value, .. } => value,
+            _ => return Err(TestCaseError::reject("unbounded")),
+        };
+        let mut cs = t.constraints().to_vec();
+        cs.push(LinearConstraint::new2d(1.0, 0.0, -(max_x + gap), RelOp::Ge));
+        let contradicted = GeneralizedTuple::new(cs);
+        prop_assert!(!contradicted.is_satisfiable());
+        prop_assert!(dual::top(&contradicted, &[0.0]).is_none());
+    }
+
+    /// Duality order reversal on random points and lines.
+    #[test]
+    fn dual_transform_reverses_orientation(
+        px in -40.0..40.0f64, py in -40.0..40.0f64,
+        a in -5.0..5.0f64, b in -40.0..40.0f64,
+    ) {
+        use cdb_geometry::dual::{classify, dual_hyperplane_of, dual_point_of, Position};
+        let h = HalfPlane::above(a, b);
+        let p = [px, py];
+        let primal = classify(&p, &h.slope, h.intercept);
+        let dh = dual_point_of(&h);
+        let (ds, di) = dual_hyperplane_of(&p);
+        let dual_pos = classify(&dh, &ds, di);
+        let expected = match primal {
+            Position::Above => Position::Below,
+            Position::On => Position::On,
+            Position::Below => Position::Above,
+        };
+        prop_assert_eq!(dual_pos, expected);
+    }
+
+    /// Display → parse round-trips tuples (the parser accepts the printer).
+    #[test]
+    fn parse_accepts_displayed_tuples(t in arb_bounded_tuple(2)) {
+        let shown = format!("{t}");
+        let back = parse::parse_tuple(&shown);
+        prop_assert!(back.is_ok(), "failed to reparse '{shown}': {back:?}");
+        let back = back.unwrap();
+        // Same membership on sample points.
+        for p in [[0.0, 0.0], [5.0, -3.0], [-20.0, 20.0], [31.0, 7.0]] {
+            prop_assert_eq!(t.contains(&p), back.contains(&p), "point {:?} of '{}'", p, shown);
+        }
+    }
+
+    /// The parser never panics on arbitrary input (errors are values).
+    #[test]
+    fn parser_never_panics(input in "\\PC{0,60}") {
+        let _ = parse::parse_tuple(&input);
+        let _ = parse::parse_constraint(&input);
+    }
+
+    /// The parser never panics on inputs drawn from its own alphabet.
+    #[test]
+    fn parser_never_panics_on_near_misses(input in "[xyzw0-9 .*+<>=&-]{0,40}") {
+        let _ = parse::parse_tuple(&input);
+    }
+
+    /// `feasible_point` always returns a member.
+    #[test]
+    fn feasible_points_are_members(t in arb_bounded_tuple(3)) {
+        let (rows, rhs) = t.as_le_system();
+        match simplex::feasible_point(t.dim(), &rows, &rhs) {
+            Some(p) => prop_assert!(t.contains(&p)),
+            None => prop_assert!(!t.is_satisfiable()),
+        }
+    }
+
+    /// Segment extrema of the dual surfaces really are endpoint values
+    /// (convexity/concavity), verified against dense sampling.
+    #[test]
+    fn strip_extrema_at_endpoints(t in arb_bounded_tuple(2), a1 in -2.0..0.0f64, a2 in 0.0..2.0f64) {
+        prop_assume!(t.is_satisfiable());
+        let max_top = dual::max_top_on_segment(&t, &[a1], &[a2]).unwrap();
+        let min_bot = dual::min_bot_on_segment(&t, &[a1], &[a2]).unwrap();
+        for i in 0..=20 {
+            let a = a1 + (a2 - a1) * i as f64 / 20.0;
+            let top = dual::top(&t, &[a]).unwrap();
+            let bot = dual::bot(&t, &[a]).unwrap();
+            prop_assert!(top <= max_top + 1e-6 * (1.0 + top.abs()));
+            prop_assert!(bot >= min_bot - 1e-6 * (1.0 + bot.abs()));
+        }
+    }
+}

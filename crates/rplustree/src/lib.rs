@@ -1,0 +1,32 @@
+//! An R⁺-tree (Sellis, Roussopoulos & Faloutsos, VLDB 1987) over
+//! `cdb-storage` pages — the baseline structure of the paper's evaluation.
+//!
+//! The R⁺-tree is an R-tree variant in which sibling directory rectangles
+//! never overlap; objects whose rectangle spans several regions are *clipped*
+//! and appear in every spanned subtree. Point queries follow a single path,
+//! but region queries can report the same object several times — the
+//! duplication problem that Section 4.2 of the 1999 paper sets out to avoid.
+//!
+//! Notes on fidelity:
+//!
+//! * Entries are 20 bytes (4 × `f32` rectangle + `u32` pointer/oid) on the
+//!   paper's 1024-byte pages: fan-out 51. Rectangles are rounded *outward*
+//!   when narrowed to `f32`, so clipping can only add false hits, which the
+//!   caller's exact refinement step removes.
+//! * Only bounded objects are representable — the very limitation (Figure 1)
+//!   motivating the dual-representation techniques; the experiments
+//!   therefore compare on bounded workloads, like the paper's.
+//! * Bulk builds ([`RPlusTree::pack`]) guarantee the sibling-disjointness
+//!   invariant exactly. Dynamic inserts ([`RPlusTree::insert`]) keep it in
+//!   all but one documented corner (uncoverable leftover space, a known gap
+//!   in the published insertion algorithm), where the affected child is
+//!   enlarged minimally instead; searches stay correct because they visit
+//!   every intersecting child.
+//! * ALL (containment) selections are processed as the paper prescribes for
+//!   non-rectangular queries: approximated by an EXIST search plus exact
+//!   refinement by the caller.
+
+pub mod node;
+pub mod tree;
+
+pub use tree::{RPlusTree, SearchStats};

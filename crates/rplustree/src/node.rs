@@ -1,0 +1,226 @@
+//! On-page layout of R⁺-tree nodes.
+//!
+//! ```text
+//!   0  u8   kind (0 = leaf, 1 = internal)
+//!   1  u8   (unused)
+//!   2  u16  entry count
+//!   4  ...  entries: (f32 x0, f32 y0, f32 x1, f32 y1, u32 ptr) × count
+//! ```
+//!
+//! 20-byte entries give fan-out 51 on the paper's 1024-byte pages. In leaves
+//! `ptr` is the object id; in internal nodes it is a child page id.
+
+use cdb_geometry::Rect;
+use cdb_storage::codec::{get_f32, get_u16, get_u32, put_f32, put_u16, put_u32};
+
+/// Leaf node tag.
+pub const KIND_LEAF: u8 = 0;
+/// Internal node tag.
+pub const KIND_INTERNAL: u8 = 1;
+
+const HDR: usize = 4;
+const ENTRY: usize = 20;
+
+/// Maximum entries per node for a page size.
+pub const fn capacity(page_size: usize) -> usize {
+    (page_size - HDR) / ENTRY
+}
+
+/// Rounds a rectangle outward to `f32` grid so no covered point is lost.
+pub fn round_outward(r: &Rect) -> Rect {
+    // Nudge each side one ulp past the f32 rounding.
+    let lo = |v: f64| {
+        let f = v as f32;
+        if f as f64 > v {
+            f32_prev(f) as f64
+        } else {
+            f as f64
+        }
+    };
+    let hi = |v: f64| {
+        let f = v as f32;
+        if (f as f64) < v {
+            f32_next(f) as f64
+        } else {
+            f as f64
+        }
+    };
+    Rect {
+        x0: lo(r.x0),
+        y0: lo(r.y0),
+        x1: hi(r.x1),
+        y1: hi(r.y1),
+    }
+}
+
+fn f32_next(v: f32) -> f32 {
+    if v == f32::INFINITY {
+        return v;
+    }
+    f32::from_bits(if v >= 0.0 {
+        v.to_bits() + 1
+    } else {
+        v.to_bits() - 1
+    })
+}
+
+fn f32_prev(v: f32) -> f32 {
+    -f32_next(-v)
+}
+
+/// Mutable view over a node page (leaf or internal share the layout).
+pub struct Node<'a> {
+    buf: &'a mut [u8],
+}
+
+impl<'a> Node<'a> {
+    /// Wraps an existing node page.
+    pub fn new(buf: &'a mut [u8]) -> Self {
+        Node { buf }
+    }
+
+    /// Formats `buf` as an empty node of the given kind.
+    pub fn init(buf: &'a mut [u8], kind: u8) -> Self {
+        buf.fill(0);
+        buf[0] = kind;
+        Node { buf }
+    }
+
+    /// `true` for leaf nodes.
+    pub fn is_leaf(&self) -> bool {
+        self.buf[0] == KIND_LEAF
+    }
+
+    /// Number of entries.
+    pub fn count(&self) -> usize {
+        get_u16(self.buf, 2) as usize
+    }
+
+    fn set_count(&mut self, n: usize) {
+        put_u16(self.buf, 2, n as u16);
+    }
+
+    /// Rectangle of entry `i`.
+    pub fn rect(&self, i: usize) -> Rect {
+        debug_assert!(i < self.count());
+        let off = HDR + i * ENTRY;
+        Rect {
+            x0: get_f32(self.buf, off) as f64,
+            y0: get_f32(self.buf, off + 4) as f64,
+            x1: get_f32(self.buf, off + 8) as f64,
+            y1: get_f32(self.buf, off + 12) as f64,
+        }
+    }
+
+    /// Pointer (oid or child page) of entry `i`.
+    pub fn ptr(&self, i: usize) -> u32 {
+        debug_assert!(i < self.count());
+        get_u32(self.buf, HDR + i * ENTRY + 16)
+    }
+
+    /// All `(rect, ptr)` entries.
+    pub fn entries(&self) -> Vec<(Rect, u32)> {
+        (0..self.count()).map(|i| (self.rect(i), self.ptr(i))).collect()
+    }
+
+    /// Appends an entry (rectangle rounded outward to `f32`).
+    ///
+    /// # Panics
+    /// Panics if the node is full.
+    pub fn push(&mut self, page_size: usize, r: &Rect, ptr: u32) {
+        let n = self.count();
+        assert!(n < capacity(page_size), "node overflow");
+        let r = round_outward(r);
+        let off = HDR + n * ENTRY;
+        put_f32(self.buf, off, r.x0 as f32);
+        put_f32(self.buf, off + 4, r.y0 as f32);
+        put_f32(self.buf, off + 8, r.x1 as f32);
+        put_f32(self.buf, off + 12, r.y1 as f32);
+        put_u32(self.buf, off + 16, ptr);
+        self.set_count(n + 1);
+    }
+
+    /// Replaces entry `i`.
+    pub fn set(&mut self, i: usize, r: &Rect, ptr: u32) {
+        assert!(i < self.count());
+        let r = round_outward(r);
+        let off = HDR + i * ENTRY;
+        put_f32(self.buf, off, r.x0 as f32);
+        put_f32(self.buf, off + 4, r.y0 as f32);
+        put_f32(self.buf, off + 8, r.x1 as f32);
+        put_f32(self.buf, off + 12, r.y1 as f32);
+        put_u32(self.buf, off + 16, ptr);
+    }
+
+    /// Removes all entries.
+    pub fn clear(&mut self) {
+        self.set_count(0);
+    }
+
+    /// Minimum bounding rectangle of all entries.
+    pub fn mbr(&self) -> Rect {
+        let mut m = Rect::empty();
+        for i in 0..self.count() {
+            m = m.union(&self.rect(i));
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_fanout() {
+        assert_eq!(capacity(1024), 51);
+    }
+
+    #[test]
+    fn push_and_read() {
+        let mut buf = vec![0u8; 256];
+        let mut n = Node::init(&mut buf, KIND_LEAF);
+        assert!(n.is_leaf());
+        n.push(256, &Rect::new(0.0, 1.0, 2.0, 3.0), 7);
+        n.push(256, &Rect::new(-1.0, -1.0, 0.0, 0.0), 9);
+        assert_eq!(n.count(), 2);
+        assert_eq!(n.rect(0), Rect::new(0.0, 1.0, 2.0, 3.0));
+        assert_eq!(n.ptr(1), 9);
+        let m = n.mbr();
+        assert_eq!(m, Rect::new(-1.0, -1.0, 2.0, 3.0));
+    }
+
+    #[test]
+    fn outward_rounding_never_shrinks() {
+        // A value not representable in f32.
+        let r = Rect::new(0.1, -0.3, 50.000001, 1e-12);
+        let o = round_outward(&r);
+        assert!(o.x0 <= r.x0 && o.y0 <= r.y0);
+        assert!(o.x1 >= r.x1 && o.y1 >= r.y1);
+        assert!(o.contains_rect(&r));
+        // And stays tight: within a couple of f32 ulps.
+        assert!((o.x0 - r.x0).abs() < 1e-6);
+        assert!((o.x1 - r.x1).abs() < 1e-5);
+    }
+
+    #[test]
+    fn set_overwrites() {
+        let mut buf = vec![0u8; 256];
+        let mut n = Node::init(&mut buf, KIND_INTERNAL);
+        assert!(!n.is_leaf());
+        n.push(256, &Rect::new(0.0, 0.0, 1.0, 1.0), 1);
+        n.set(0, &Rect::new(5.0, 5.0, 6.0, 6.0), 2);
+        assert_eq!(n.rect(0), Rect::new(5.0, 5.0, 6.0, 6.0));
+        assert_eq!(n.ptr(0), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn overflow_panics() {
+        let mut buf = vec![0u8; 64]; // capacity 3
+        let mut n = Node::init(&mut buf, KIND_LEAF);
+        for i in 0..4 {
+            n.push(64, &Rect::new(0.0, 0.0, 1.0, 1.0), i);
+        }
+    }
+}

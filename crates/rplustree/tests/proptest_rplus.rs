@@ -1,0 +1,112 @@
+//! Property tests: R⁺-tree search against a brute-force oracle under random
+//! rectangle sets, random queries, packed and dynamically-built trees.
+
+use proptest::prelude::*;
+
+use cdb_geometry::{HalfPlane, Rect};
+use cdb_rplustree::RPlusTree;
+use cdb_storage::{MemPager, Pager};
+
+fn arb_rect() -> impl Strategy<Value = Rect> {
+    (-50.0..50.0f64, -50.0..50.0f64, 0.01..20.0f64, 0.01..20.0f64)
+        .prop_map(|(x, y, w, h)| Rect::new(x, y, x + w, y + h))
+}
+
+fn oracle<'a>(
+    items: impl Iterator<Item = &'a (Rect, u32)>,
+    pred: impl Fn(&Rect) -> bool,
+) -> Vec<u32> {
+    let mut v: Vec<u32> = items.filter(|(r, _)| pred(r)).map(|(_, p)| *p).collect();
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn packed_tree_matches_oracle(
+        rects in prop::collection::vec(arb_rect(), 1..250),
+        window in arb_rect(),
+        a in -3.0..3.0f64,
+        b in -60.0..60.0f64,
+    ) {
+        let items: Vec<(Rect, u32)> = rects
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| (r, i as u32))
+            .collect();
+        let mut pager = MemPager::new(256);
+        let tree = RPlusTree::pack(&mut pager, &items, 1.0);
+        tree.validate(&mut pager, false);
+        prop_assert_eq!(tree.len() as usize, items.len());
+
+        let (got, stats) = tree.search_rect(&mut pager, &window);
+        prop_assert_eq!(got, oracle(items.iter(), |r| r.intersects(&window)));
+        prop_assert!(stats.nodes_visited >= 1);
+
+        for q in [HalfPlane::above(a, b), HalfPlane::below(a, b)] {
+            let (got, _) = tree.search_halfplane(&mut pager, &q);
+            prop_assert_eq!(got, oracle(items.iter(), |r| r.intersects_halfplane(&q)));
+        }
+    }
+
+    #[test]
+    fn dynamic_tree_matches_oracle(
+        rects in prop::collection::vec(arb_rect(), 1..150),
+        a in -2.0..2.0f64,
+        b in -60.0..60.0f64,
+    ) {
+        let items: Vec<(Rect, u32)> = rects
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| (r, i as u32))
+            .collect();
+        let mut pager = MemPager::new(256);
+        let mut tree = RPlusTree::new(&mut pager);
+        for (r, p) in &items {
+            tree.insert(&mut pager, *r, *p);
+        }
+        tree.validate(&mut pager, false);
+        let q = HalfPlane::above(a, b);
+        let (got, _) = tree.search_halfplane(&mut pager, &q);
+        prop_assert_eq!(got, oracle(items.iter(), |r| r.intersects_halfplane(&q)));
+    }
+
+    #[test]
+    fn mixed_build_matches_oracle(
+        base in prop::collection::vec(arb_rect(), 1..120),
+        extra in prop::collection::vec(arb_rect(), 0..60),
+        window in arb_rect(),
+    ) {
+        let mut items: Vec<(Rect, u32)> = base
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| (r, i as u32))
+            .collect();
+        let mut pager = MemPager::new(256);
+        let mut tree = RPlusTree::pack(&mut pager, &items, 0.8);
+        for (j, r) in extra.into_iter().enumerate() {
+            let id = 10_000 + j as u32;
+            tree.insert(&mut pager, r, id);
+            items.push((r, id));
+        }
+        let (got, _) = tree.search_rect(&mut pager, &window);
+        prop_assert_eq!(got, oracle(items.iter(), |r| r.intersects(&window)));
+    }
+
+    #[test]
+    fn page_accounting_is_exact(rects in prop::collection::vec(arb_rect(), 1..200)) {
+        let items: Vec<(Rect, u32)> = rects
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| (r, i as u32))
+            .collect();
+        let mut pager = MemPager::new(256);
+        let tree = RPlusTree::pack(&mut pager, &items, 1.0);
+        prop_assert_eq!(tree.page_count() as usize, pager.live_pages());
+        tree.destroy(&mut pager);
+        prop_assert_eq!(pager.live_pages(), 0);
+    }
+}

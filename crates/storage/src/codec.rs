@@ -1,0 +1,92 @@
+//! Little-endian field helpers for on-page layouts.
+//!
+//! The tree crates serialize node contents by hand so that the on-page
+//! layout — and therefore the fan-out that drives the experimental curves —
+//! is explicit and matches the paper's sizing (4-byte keys and pointers).
+
+/// Writes a `u16` at `off`.
+#[inline]
+pub fn put_u16(buf: &mut [u8], off: usize, v: u16) {
+    buf[off..off + 2].copy_from_slice(&v.to_le_bytes());
+}
+
+/// Reads a `u16` at `off`.
+#[inline]
+pub fn get_u16(buf: &[u8], off: usize) -> u16 {
+    u16::from_le_bytes([buf[off], buf[off + 1]])
+}
+
+/// Writes a `u32` at `off`.
+#[inline]
+pub fn put_u32(buf: &mut [u8], off: usize, v: u32) {
+    buf[off..off + 4].copy_from_slice(&v.to_le_bytes());
+}
+
+/// Reads a `u32` at `off`.
+#[inline]
+pub fn get_u32(buf: &[u8], off: usize) -> u32 {
+    u32::from_le_bytes([buf[off], buf[off + 1], buf[off + 2], buf[off + 3]])
+}
+
+/// Writes an `f32` at `off` (the paper's 4-byte stored values).
+#[inline]
+pub fn put_f32(buf: &mut [u8], off: usize, v: f32) {
+    buf[off..off + 4].copy_from_slice(&v.to_le_bytes());
+}
+
+/// Reads an `f32` at `off`.
+#[inline]
+pub fn get_f32(buf: &[u8], off: usize) -> f32 {
+    f32::from_le_bytes([buf[off], buf[off + 1], buf[off + 2], buf[off + 3]])
+}
+
+/// Writes an `f64` at `off` (used by handicap slots, which need the full
+/// precision of the computed surface values).
+#[inline]
+pub fn put_f64(buf: &mut [u8], off: usize, v: f64) {
+    buf[off..off + 8].copy_from_slice(&v.to_le_bytes());
+}
+
+/// Reads an `f64` at `off`.
+#[inline]
+pub fn get_f64(buf: &[u8], off: usize) -> f64 {
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&buf[off..off + 8]);
+    f64::from_le_bytes(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips() {
+        let mut buf = vec![0u8; 32];
+        put_u16(&mut buf, 0, 0xBEEF);
+        put_u32(&mut buf, 2, 0xDEAD_BEEF);
+        put_f32(&mut buf, 6, -1.5);
+        put_f64(&mut buf, 10, std::f64::consts::PI);
+        assert_eq!(get_u16(&buf, 0), 0xBEEF);
+        assert_eq!(get_u32(&buf, 2), 0xDEAD_BEEF);
+        assert_eq!(get_f32(&buf, 6), -1.5);
+        assert_eq!(get_f64(&buf, 10), std::f64::consts::PI);
+    }
+
+    #[test]
+    fn infinities_round_trip() {
+        let mut buf = vec![0u8; 16];
+        put_f32(&mut buf, 0, f32::INFINITY);
+        put_f32(&mut buf, 4, f32::NEG_INFINITY);
+        put_f64(&mut buf, 8, f64::INFINITY);
+        assert_eq!(get_f32(&buf, 0), f32::INFINITY);
+        assert_eq!(get_f32(&buf, 4), f32::NEG_INFINITY);
+        assert_eq!(get_f64(&buf, 8), f64::INFINITY);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_panics() {
+        let mut buf = vec![0u8; 4];
+        put_u32(&mut buf, 2, 1);
+    }
+}

@@ -1,0 +1,274 @@
+//! File-backed pager.
+//!
+//! Same contract as [`MemPager`](crate::MemPager) but persisted to a real
+//! file, one page per `page_size` slice. The free list lives in page 0
+//! (the header page), so a file can be closed and reopened.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+use crate::codec::{get_u32, put_u32};
+use crate::pager::{PageId, Pager};
+use crate::stats::IoStats;
+
+const MAGIC: u32 = 0x43_44_42_31; // "CDB1"
+
+/// A pager persisting pages to a file.
+///
+/// Page 0 is a header (`magic, page_size, page_count, free_count, free[..]`);
+/// user pages are numbered from 1. The header is rewritten on drop.
+pub struct FilePager {
+    file: File,
+    page_size: usize,
+    page_count: u32,
+    free_list: Vec<PageId>,
+    allocated: Vec<bool>, // index 0 unused (header)
+    stats: IoStats,
+}
+
+impl FilePager {
+    /// Creates a new paged file, truncating any existing content.
+    ///
+    /// # Panics
+    /// Panics if `page_size < 64` or the free list cannot fit the header
+    /// page as the file grows (more than `page_size/4 − 4` free pages).
+    pub fn create(path: &Path, page_size: usize) -> std::io::Result<Self> {
+        assert!(page_size >= 64, "page size too small");
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        let mut p = FilePager {
+            file,
+            page_size,
+            page_count: 1,
+            free_list: Vec::new(),
+            allocated: vec![false],
+            stats: IoStats::default(),
+        };
+        p.write_header()?;
+        Ok(p)
+    }
+
+    /// Opens an existing paged file created by [`create`](Self::create).
+    pub fn open(path: &Path) -> std::io::Result<Self> {
+        let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+        let mut head = vec![0u8; 16];
+        file.seek(SeekFrom::Start(0))?;
+        file.read_exact(&mut head)?;
+        if get_u32(&head, 0) != MAGIC {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "not a cdb paged file",
+            ));
+        }
+        let page_size = get_u32(&head, 4) as usize;
+        let page_count = get_u32(&head, 8);
+        let free_count = get_u32(&head, 12) as usize;
+        let mut rest = vec![0u8; page_size - 16];
+        file.read_exact(&mut rest)?;
+        let mut free_list = Vec::with_capacity(free_count);
+        for i in 0..free_count {
+            free_list.push(get_u32(&rest, i * 4));
+        }
+        let mut allocated = vec![true; page_count as usize];
+        allocated[0] = false;
+        for &f in &free_list {
+            allocated[f as usize] = false;
+        }
+        Ok(FilePager {
+            file,
+            page_size,
+            page_count,
+            free_list,
+            allocated,
+            stats: IoStats::default(),
+        })
+    }
+
+    fn write_header(&mut self) -> std::io::Result<()> {
+        let mut head = vec![0u8; self.page_size];
+        put_u32(&mut head, 0, MAGIC);
+        put_u32(&mut head, 4, self.page_size as u32);
+        put_u32(&mut head, 8, self.page_count);
+        put_u32(&mut head, 12, self.free_list.len() as u32);
+        assert!(
+            16 + self.free_list.len() * 4 <= self.page_size,
+            "free list overflows the header page"
+        );
+        for (i, &f) in self.free_list.iter().enumerate() {
+            put_u32(&mut head, 16 + i * 4, f);
+        }
+        self.file.seek(SeekFrom::Start(0))?;
+        self.file.write_all(&head)?;
+        Ok(())
+    }
+
+    /// Flushes the header and file contents.
+    pub fn sync(&mut self) -> std::io::Result<()> {
+        self.write_header()?;
+        self.file.sync_all()
+    }
+
+    fn offset(&self, id: PageId) -> u64 {
+        id as u64 * self.page_size as u64
+    }
+}
+
+impl Drop for FilePager {
+    fn drop(&mut self) {
+        let _ = self.write_header();
+    }
+}
+
+impl Pager for FilePager {
+    fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    fn allocate(&mut self) -> PageId {
+        self.stats.allocations += 1;
+        let id = if let Some(id) = self.free_list.pop() {
+            id
+        } else {
+            let id = self.page_count;
+            self.page_count += 1;
+            self.allocated.push(false);
+            id
+        };
+        self.allocated[id as usize] = true;
+        // Zero the page on disk.
+        let zero = vec![0u8; self.page_size];
+        self.file
+            .seek(SeekFrom::Start(self.offset(id)))
+            .and_then(|_| self.file.write_all(&zero))
+            .expect("file pager write");
+        id
+    }
+
+    fn read(&mut self, id: PageId, buf: &mut [u8]) {
+        assert_eq!(buf.len(), self.page_size);
+        assert!(
+            (id as usize) < self.allocated.len() && self.allocated[id as usize],
+            "read of unallocated page {id}"
+        );
+        self.file
+            .seek(SeekFrom::Start(self.offset(id)))
+            .and_then(|_| self.file.read_exact(buf))
+            .expect("file pager read");
+        self.stats.reads += 1;
+    }
+
+    fn write(&mut self, id: PageId, data: &[u8]) {
+        assert_eq!(data.len(), self.page_size);
+        assert!(
+            (id as usize) < self.allocated.len() && self.allocated[id as usize],
+            "write of unallocated page {id}"
+        );
+        self.file
+            .seek(SeekFrom::Start(self.offset(id)))
+            .and_then(|_| self.file.write_all(data))
+            .expect("file pager write");
+        self.stats.writes += 1;
+    }
+
+    fn free(&mut self, id: PageId) {
+        assert!(
+            (id as usize) < self.allocated.len() && self.allocated[id as usize],
+            "free of unallocated page {id}"
+        );
+        self.allocated[id as usize] = false;
+        self.free_list.push(id);
+        self.stats.frees += 1;
+    }
+
+    fn live_pages(&self) -> usize {
+        self.allocated.iter().filter(|&&a| a).count()
+    }
+
+    fn stats(&self) -> IoStats {
+        self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = IoStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("cdb_filepager_{name}_{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn round_trip() {
+        let path = tmp("rt");
+        let mut p = FilePager::create(&path, 128).unwrap();
+        let a = p.allocate();
+        let mut data = vec![0u8; 128];
+        data[3] = 99;
+        p.write(a, &data);
+        let mut buf = vec![0u8; 128];
+        p.read(a, &mut buf);
+        assert_eq!(buf, data);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn persistence_across_reopen() {
+        let path = tmp("persist");
+        let (a, b);
+        {
+            let mut p = FilePager::create(&path, 128).unwrap();
+            a = p.allocate();
+            b = p.allocate();
+            p.write(a, &[7u8; 128]);
+            p.free(b);
+            p.sync().unwrap();
+        }
+        {
+            let mut p = FilePager::open(&path).unwrap();
+            assert_eq!(p.page_size(), 128);
+            assert_eq!(p.live_pages(), 1);
+            let mut buf = vec![0u8; 128];
+            p.read(a, &mut buf);
+            assert!(buf.iter().all(|&x| x == 7));
+            // The freed page is reused.
+            let c = p.allocate();
+            assert_eq!(c, b);
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn open_rejects_garbage() {
+        let path = tmp("garbage");
+        std::fs::write(&path, vec![1u8; 256]).unwrap();
+        assert!(FilePager::open(&path).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn recycled_page_is_zeroed() {
+        let path = tmp("zero");
+        let mut p = FilePager::create(&path, 128).unwrap();
+        let a = p.allocate();
+        p.write(a, &[5u8; 128]);
+        p.free(a);
+        let b = p.allocate();
+        assert_eq!(a, b);
+        let mut buf = vec![9u8; 128];
+        p.read(b, &mut buf);
+        assert!(buf.iter().all(|&x| x == 0));
+        drop(p);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,320 @@
+//! A slotted-page heap file for variable-length records.
+//!
+//! Tuple payloads (the serialized constraint conjunctions) live here; the
+//! refinement step of the approximate query techniques fetches candidate
+//! tuples through this file, so those page accesses are part of the measured
+//! query cost.
+//!
+//! Page layout:
+//!
+//! ```text
+//! [u16 slot_count][u16 free_off] [slot0: u16 off, u16 len] [slot1] ...
+//!                                              ... data grows downward ...
+//! ```
+//!
+//! Deleted slots keep their directory entry with `len = 0xFFFF` (tombstone)
+//! so record ids remain stable.
+
+use crate::codec::{get_u16, put_u16};
+use crate::pager::{PageId, Pager};
+
+const HDR: usize = 4;
+const SLOT: usize = 4;
+const TOMBSTONE: u16 = u16::MAX;
+
+/// Stable identifier of a record: `(page, slot)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RecordId {
+    /// Page holding the record.
+    pub page: PageId,
+    /// Slot within the page.
+    pub slot: u16,
+}
+
+/// A heap file over a pager. Pages are owned exclusively by the heap.
+pub struct HeapFile {
+    pages: Vec<PageId>,
+    page_size: usize,
+}
+
+impl HeapFile {
+    /// Creates an empty heap file allocating from `pager`.
+    pub fn new(pager: &mut dyn Pager) -> Self {
+        let _ = pager; // first page allocated lazily
+        HeapFile {
+            pages: Vec::new(),
+            page_size: pager.page_size(),
+        }
+    }
+
+    /// Largest record storable on a page of this heap.
+    pub fn max_record_len(&self) -> usize {
+        self.page_size - HDR - SLOT
+    }
+
+    /// Number of pages owned by the heap (the space metric).
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Inserts a record and returns its id.
+    ///
+    /// # Panics
+    /// Panics if `data.len() > max_record_len()` or `data` is empty.
+    pub fn insert(&mut self, pager: &mut dyn Pager, data: &[u8]) -> RecordId {
+        assert!(!data.is_empty(), "empty records are not supported");
+        assert!(
+            data.len() <= self.max_record_len(),
+            "record of {} bytes exceeds page capacity {}",
+            data.len(),
+            self.max_record_len()
+        );
+        let mut buf = vec![0u8; self.page_size];
+        // Try the last page first (append-mostly workloads).
+        if let Some(&last) = self.pages.last() {
+            pager.read(last, &mut buf);
+            if let Some(slot) = try_insert(&mut buf, data, self.page_size) {
+                pager.write(last, &buf);
+                return RecordId { page: last, slot };
+            }
+        }
+        // Fresh page.
+        let id = pager.allocate();
+        buf.fill(0);
+        put_u16(&mut buf, 2, self.page_size as u16); // free_off = page end
+        let slot = try_insert(&mut buf, data, self.page_size).expect("fits in a fresh page");
+        pager.write(id, &buf);
+        self.pages.push(id);
+        RecordId { page: id, slot }
+    }
+
+    /// Reads a record. Returns `None` for a tombstoned slot.
+    ///
+    /// # Panics
+    /// Panics if the id does not refer to a heap page/slot.
+    pub fn get(&self, pager: &mut dyn Pager, id: RecordId) -> Option<Vec<u8>> {
+        assert!(self.pages.contains(&id.page), "foreign page in RecordId");
+        let mut buf = vec![0u8; self.page_size];
+        pager.read(id.page, &mut buf);
+        let n = get_u16(&buf, 0);
+        assert!(id.slot < n, "slot {} out of range {n}", id.slot);
+        let off = get_u16(&buf, HDR + id.slot as usize * SLOT) as usize;
+        let len = get_u16(&buf, HDR + id.slot as usize * SLOT + 2);
+        if len == TOMBSTONE {
+            return None;
+        }
+        Some(buf[off..off + len as usize].to_vec())
+    }
+
+    /// Reads many records with one page access per *distinct page*: the
+    /// batched fetch used by query refinement (candidates are grouped by
+    /// page before reading). Results align with `ids`; tombstoned slots
+    /// yield `None`.
+    pub fn get_many(&self, pager: &mut dyn Pager, ids: &[RecordId]) -> Vec<Option<Vec<u8>>> {
+        let mut order: Vec<usize> = (0..ids.len()).collect();
+        order.sort_by_key(|&i| (ids[i].page, ids[i].slot));
+        let mut out: Vec<Option<Vec<u8>>> = vec![None; ids.len()];
+        let mut buf = vec![0u8; self.page_size];
+        let mut loaded: Option<PageId> = None;
+        for i in order {
+            let id = ids[i];
+            assert!(self.pages.contains(&id.page), "foreign page in RecordId");
+            if loaded != Some(id.page) {
+                pager.read(id.page, &mut buf);
+                loaded = Some(id.page);
+            }
+            let n = get_u16(&buf, 0);
+            assert!(id.slot < n, "slot {} out of range {n}", id.slot);
+            let off = get_u16(&buf, HDR + id.slot as usize * SLOT) as usize;
+            let len = get_u16(&buf, HDR + id.slot as usize * SLOT + 2);
+            if len != TOMBSTONE {
+                out[i] = Some(buf[off..off + len as usize].to_vec());
+            }
+        }
+        out
+    }
+
+    /// Tombstones a record. Returns `true` if it was live.
+    pub fn delete(&mut self, pager: &mut dyn Pager, id: RecordId) -> bool {
+        assert!(self.pages.contains(&id.page), "foreign page in RecordId");
+        let mut buf = vec![0u8; self.page_size];
+        pager.read(id.page, &mut buf);
+        let n = get_u16(&buf, 0);
+        assert!(id.slot < n, "slot out of range");
+        let len_off = HDR + id.slot as usize * SLOT + 2;
+        if get_u16(&buf, len_off) == TOMBSTONE {
+            return false;
+        }
+        put_u16(&mut buf, len_off, TOMBSTONE);
+        pager.write(id.page, &buf);
+        true
+    }
+
+    /// Scans all live records in storage order.
+    pub fn scan(&self, pager: &mut dyn Pager) -> Vec<(RecordId, Vec<u8>)> {
+        let mut out = Vec::new();
+        let mut buf = vec![0u8; self.page_size];
+        for &page in &self.pages {
+            pager.read(page, &mut buf);
+            let n = get_u16(&buf, 0);
+            for slot in 0..n {
+                let off = get_u16(&buf, HDR + slot as usize * SLOT) as usize;
+                let len = get_u16(&buf, HDR + slot as usize * SLOT + 2);
+                if len != TOMBSTONE {
+                    out.push((
+                        RecordId { page, slot },
+                        buf[off..off + len as usize].to_vec(),
+                    ));
+                }
+            }
+        }
+        out
+    }
+
+    /// Frees every heap page back to the pager.
+    pub fn destroy(self, pager: &mut dyn Pager) {
+        for page in self.pages {
+            pager.free(page);
+        }
+    }
+}
+
+/// Tries to append `data` to the page image; returns the new slot on success.
+fn try_insert(buf: &mut [u8], data: &[u8], page_size: usize) -> Option<u16> {
+    let n = get_u16(buf, 0) as usize;
+    let free_off = {
+        let f = get_u16(buf, 2) as usize;
+        if f == 0 {
+            page_size
+        } else {
+            f
+        }
+    };
+    let dir_end = HDR + (n + 1) * SLOT;
+    if dir_end + data.len() > free_off {
+        return None; // no room for slot + data
+    }
+    let new_off = free_off - data.len();
+    buf[new_off..free_off].copy_from_slice(data);
+    put_u16(buf, HDR + n * SLOT, new_off as u16);
+    put_u16(buf, HDR + n * SLOT + 2, data.len() as u16);
+    put_u16(buf, 0, (n + 1) as u16);
+    put_u16(buf, 2, new_off as u16);
+    Some(n as u16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pager::MemPager;
+
+    #[test]
+    fn insert_and_get() {
+        let mut pager = MemPager::new(128);
+        let mut heap = HeapFile::new(&mut pager);
+        let a = heap.insert(&mut pager, b"hello");
+        let b = heap.insert(&mut pager, b"world!");
+        assert_eq!(heap.get(&mut pager, a).unwrap(), b"hello");
+        assert_eq!(heap.get(&mut pager, b).unwrap(), b"world!");
+        assert_eq!(heap.page_count(), 1);
+    }
+
+    #[test]
+    fn spills_to_new_pages() {
+        let mut pager = MemPager::new(128);
+        let mut heap = HeapFile::new(&mut pager);
+        let payload = vec![7u8; 40];
+        let ids: Vec<_> = (0..10).map(|_| heap.insert(&mut pager, &payload)).collect();
+        assert!(heap.page_count() > 1, "should overflow a 128-byte page");
+        for id in ids {
+            assert_eq!(heap.get(&mut pager, id).unwrap(), payload);
+        }
+    }
+
+    #[test]
+    fn delete_tombstones() {
+        let mut pager = MemPager::new(128);
+        let mut heap = HeapFile::new(&mut pager);
+        let a = heap.insert(&mut pager, b"abc");
+        let b = heap.insert(&mut pager, b"def");
+        assert!(heap.delete(&mut pager, a));
+        assert!(!heap.delete(&mut pager, a), "second delete is a no-op");
+        assert!(heap.get(&mut pager, a).is_none());
+        assert_eq!(heap.get(&mut pager, b).unwrap(), b"def");
+    }
+
+    #[test]
+    fn scan_returns_live_records_in_order() {
+        let mut pager = MemPager::new(256);
+        let mut heap = HeapFile::new(&mut pager);
+        let ids: Vec<_> = (0..5u8)
+            .map(|i| heap.insert(&mut pager, &[i; 10]))
+            .collect();
+        heap.delete(&mut pager, ids[2]);
+        let all = heap.scan(&mut pager);
+        assert_eq!(all.len(), 4);
+        assert_eq!(all[0].1, vec![0u8; 10]);
+        assert_eq!(all[2].1, vec![3u8; 10], "deleted record skipped");
+    }
+
+    #[test]
+    fn max_record_roundtrips() {
+        let mut pager = MemPager::new(128);
+        let mut heap = HeapFile::new(&mut pager);
+        let big = vec![1u8; heap.max_record_len()];
+        let id = heap.insert(&mut pager, &big);
+        assert_eq!(heap.get(&mut pager, id).unwrap(), big);
+    }
+
+    #[test]
+    #[should_panic]
+    fn oversized_record_panics() {
+        let mut pager = MemPager::new(128);
+        let mut heap = HeapFile::new(&mut pager);
+        heap.insert(&mut pager, &vec![0u8; 1000]);
+    }
+
+    #[test]
+    fn destroy_frees_pages() {
+        let mut pager = MemPager::new(128);
+        let mut heap = HeapFile::new(&mut pager);
+        for i in 0..20u8 {
+            heap.insert(&mut pager, &[i; 30]);
+        }
+        let pages = heap.page_count();
+        assert!(pages > 0);
+        heap.destroy(&mut pager);
+        assert_eq!(pager.live_pages(), 0);
+    }
+
+    #[test]
+    fn get_many_batches_page_reads() {
+        let mut pager = MemPager::new(256);
+        let mut heap = HeapFile::new(&mut pager);
+        let ids: Vec<_> = (0..30u8).map(|i| heap.insert(&mut pager, &[i; 10])).collect();
+        heap.delete(&mut pager, ids[7]);
+        pager.reset_stats();
+        // Fetch everything in a scrambled order.
+        let mut order: Vec<RecordId> = ids.clone();
+        order.reverse();
+        let got = heap.get_many(&mut pager, &order);
+        assert_eq!(got.len(), 30);
+        assert_eq!(got[29], Some(vec![0u8; 10]), "alignment with input order");
+        assert_eq!(got[30 - 1 - 7], None, "tombstone yields None");
+        assert_eq!(
+            pager.stats().reads as usize,
+            heap.page_count(),
+            "one read per distinct page"
+        );
+    }
+
+    #[test]
+    fn reads_cost_io() {
+        let mut pager = MemPager::new(128);
+        let mut heap = HeapFile::new(&mut pager);
+        let id = heap.insert(&mut pager, b"x");
+        pager.reset_stats();
+        heap.get(&mut pager, id);
+        assert_eq!(pager.stats().reads, 1, "each fetch is one page read");
+    }
+}

@@ -1,0 +1,28 @@
+//! Paged secondary-storage substrate with I/O accounting.
+//!
+//! The 1999 paper evaluates index structures on a Pentium 133 by timing
+//! queries against structures with 1024-byte pages and 4-byte stored values.
+//! This crate reproduces that substrate in simulation: structures allocate
+//! fixed-size pages through a [`Pager`] and every page access is counted in
+//! [`IoStats`] — at late-90s disk speeds elapsed time is proportional to page
+//! I/O, so the access counts are the experiment metric.
+//!
+//! * [`MemPager`] — in-memory page store (the default for experiments);
+//! * [`file::FilePager`] — the same interface persisted to a real file;
+//! * [`buffer::BufferPool`] — an LRU cache decorating any pager, separating
+//!   logical from physical I/O;
+//! * [`heap::HeapFile`] — a slotted-page heap for variable-length records
+//!   (tuple payloads fetched by the refinement step);
+//! * [`codec`] — little-endian page field helpers shared by the tree crates.
+
+pub mod buffer;
+pub mod codec;
+pub mod file;
+pub mod heap;
+pub mod pager;
+pub mod stats;
+
+pub use buffer::BufferPool;
+pub use heap::{HeapFile, RecordId};
+pub use pager::{MemPager, PageId, Pager, DEFAULT_PAGE_SIZE};
+pub use stats::IoStats;

@@ -1,0 +1,230 @@
+//! The pager abstraction and the in-memory implementation.
+
+use crate::stats::IoStats;
+
+/// Page identifier. `u32` keeps on-page child pointers at 4 bytes, matching
+/// the paper's "each stored value takes 4 bytes".
+pub type PageId = u32;
+
+/// The paper's page size: 1024 bytes.
+pub const DEFAULT_PAGE_SIZE: usize = 1024;
+
+/// A fixed-page storage device with access accounting.
+///
+/// Every `read`/`write` counts one page access in [`IoStats`]; the index
+/// structures funnel all node visits through this interface so that the
+/// experiment harness can report I/O exactly.
+pub trait Pager {
+    /// Size in bytes of every page.
+    fn page_size(&self) -> usize;
+
+    /// Allocates a zeroed page and returns its id.
+    fn allocate(&mut self) -> PageId;
+
+    /// Reads page `id` into `buf` (`buf.len() == page_size()`).
+    ///
+    /// # Panics
+    /// Panics if `id` is not an allocated page or `buf` has the wrong size.
+    fn read(&mut self, id: PageId, buf: &mut [u8]);
+
+    /// Writes `data` (`data.len() == page_size()`) to page `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` is not an allocated page or `data` has the wrong size.
+    fn write(&mut self, id: PageId, data: &[u8]);
+
+    /// Frees page `id`, making it available for reallocation.
+    fn free(&mut self, id: PageId);
+
+    /// Number of live (allocated, not freed) pages — the space metric.
+    fn live_pages(&self) -> usize;
+
+    /// Access counters since creation or the last [`reset_stats`](Pager::reset_stats).
+    fn stats(&self) -> IoStats;
+
+    /// Zeroes the access counters (not the space usage).
+    fn reset_stats(&mut self);
+}
+
+/// In-memory pager: the experiment substrate.
+#[derive(Debug)]
+pub struct MemPager {
+    page_size: usize,
+    pages: Vec<Option<Box<[u8]>>>,
+    free_list: Vec<PageId>,
+    stats: IoStats,
+}
+
+impl MemPager {
+    /// Creates a pager with the given page size.
+    ///
+    /// # Panics
+    /// Panics if `page_size < 64` (too small for any node header).
+    pub fn new(page_size: usize) -> Self {
+        assert!(page_size >= 64, "page size {page_size} too small");
+        MemPager {
+            page_size,
+            pages: Vec::new(),
+            free_list: Vec::new(),
+            stats: IoStats::default(),
+        }
+    }
+
+    /// Creates a pager with the paper's 1024-byte pages.
+    pub fn paper_1999() -> Self {
+        Self::new(DEFAULT_PAGE_SIZE)
+    }
+}
+
+impl Default for MemPager {
+    fn default() -> Self {
+        Self::paper_1999()
+    }
+}
+
+impl Pager for MemPager {
+    fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    fn allocate(&mut self) -> PageId {
+        self.stats.allocations += 1;
+        if let Some(id) = self.free_list.pop() {
+            self.pages[id as usize] = Some(vec![0u8; self.page_size].into_boxed_slice());
+            return id;
+        }
+        let id = self.pages.len() as PageId;
+        self.pages
+            .push(Some(vec![0u8; self.page_size].into_boxed_slice()));
+        id
+    }
+
+    fn read(&mut self, id: PageId, buf: &mut [u8]) {
+        assert_eq!(buf.len(), self.page_size, "read buffer size mismatch");
+        let page = self
+            .pages
+            .get(id as usize)
+            .and_then(|p| p.as_ref())
+            .unwrap_or_else(|| panic!("read of unallocated page {id}"));
+        buf.copy_from_slice(page);
+        self.stats.reads += 1;
+    }
+
+    fn write(&mut self, id: PageId, data: &[u8]) {
+        assert_eq!(data.len(), self.page_size, "write size mismatch");
+        let page = self
+            .pages
+            .get_mut(id as usize)
+            .and_then(|p| p.as_mut())
+            .unwrap_or_else(|| panic!("write of unallocated page {id}"));
+        page.copy_from_slice(data);
+        self.stats.writes += 1;
+    }
+
+    fn free(&mut self, id: PageId) {
+        let slot = self
+            .pages
+            .get_mut(id as usize)
+            .unwrap_or_else(|| panic!("free of unknown page {id}"));
+        assert!(slot.is_some(), "double free of page {id}");
+        *slot = None;
+        self.free_list.push(id);
+        self.stats.frees += 1;
+    }
+
+    fn live_pages(&self) -> usize {
+        self.pages.iter().filter(|p| p.is_some()).count()
+    }
+
+    fn stats(&self) -> IoStats {
+        self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = IoStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_read_write_round_trip() {
+        let mut p = MemPager::new(128);
+        let a = p.allocate();
+        let mut data = vec![0u8; 128];
+        data[0] = 42;
+        data[127] = 7;
+        p.write(a, &data);
+        let mut buf = vec![0u8; 128];
+        p.read(a, &mut buf);
+        assert_eq!(buf, data);
+        assert_eq!(p.stats().reads, 1);
+        assert_eq!(p.stats().writes, 1);
+        assert_eq!(p.stats().allocations, 1);
+    }
+
+    #[test]
+    fn fresh_pages_are_zeroed() {
+        let mut p = MemPager::new(64);
+        let a = p.allocate();
+        let mut buf = vec![1u8; 64];
+        p.read(a, &mut buf);
+        assert!(buf.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn free_and_reuse() {
+        let mut p = MemPager::new(64);
+        let a = p.allocate();
+        let _b = p.allocate();
+        assert_eq!(p.live_pages(), 2);
+        // Dirty the page, free, reallocate: must come back zeroed.
+        p.write(a, &[9u8; 64]);
+        p.free(a);
+        assert_eq!(p.live_pages(), 1);
+        let c = p.allocate();
+        assert_eq!(c, a, "free list reuses page ids");
+        let mut buf = vec![1u8; 64];
+        p.read(c, &mut buf);
+        assert!(buf.iter().all(|&b| b == 0), "recycled page must be zeroed");
+    }
+
+    #[test]
+    fn stats_reset() {
+        let mut p = MemPager::new(64);
+        let a = p.allocate();
+        let mut buf = vec![0u8; 64];
+        p.read(a, &mut buf);
+        p.reset_stats();
+        assert_eq!(p.stats(), IoStats::default());
+        assert_eq!(p.live_pages(), 1, "reset does not touch space usage");
+    }
+
+    #[test]
+    #[should_panic]
+    fn read_unallocated_panics() {
+        let mut p = MemPager::new(64);
+        let mut buf = vec![0u8; 64];
+        p.read(5, &mut buf);
+    }
+
+    #[test]
+    #[should_panic]
+    fn double_free_panics() {
+        let mut p = MemPager::new(64);
+        let a = p.allocate();
+        p.free(a);
+        p.free(a);
+    }
+
+    #[test]
+    #[should_panic]
+    fn wrong_buffer_size_panics() {
+        let mut p = MemPager::new(64);
+        let a = p.allocate();
+        let mut buf = vec![0u8; 32];
+        p.read(a, &mut buf);
+    }
+}

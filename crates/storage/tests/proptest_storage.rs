@@ -1,0 +1,128 @@
+//! Property tests of the storage substrate: heap files against a `HashMap`
+//! oracle, and the buffer pool's transparency over a raw pager.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+use cdb_storage::{BufferPool, HeapFile, MemPager, Pager, RecordId};
+
+#[derive(Clone, Debug)]
+enum Op {
+    Insert(Vec<u8>),
+    Delete(usize),
+    Get(usize),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => prop::collection::vec(any::<u8>(), 1..60).prop_map(Op::Insert),
+        1 => any::<usize>().prop_map(Op::Delete),
+        2 => any::<usize>().prop_map(Op::Get),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn heap_matches_hashmap(ops in prop::collection::vec(arb_op(), 1..200)) {
+        let mut pager = MemPager::new(128);
+        let mut heap = HeapFile::new(&mut pager);
+        let mut ids: Vec<RecordId> = Vec::new();
+        let mut oracle: HashMap<RecordId, Option<Vec<u8>>> = HashMap::new();
+        for op in ops {
+            match op {
+                Op::Insert(data) => {
+                    let id = heap.insert(&mut pager, &data);
+                    ids.push(id);
+                    oracle.insert(id, Some(data));
+                }
+                Op::Delete(i) if !ids.is_empty() => {
+                    let id = ids[i % ids.len()];
+                    let was_live = oracle[&id].is_some();
+                    prop_assert_eq!(heap.delete(&mut pager, id), was_live);
+                    oracle.insert(id, None);
+                }
+                Op::Get(i) if !ids.is_empty() => {
+                    let id = ids[i % ids.len()];
+                    prop_assert_eq!(&heap.get(&mut pager, id), &oracle[&id]);
+                }
+                _ => {}
+            }
+        }
+        // Scan returns exactly the live set.
+        let mut live: Vec<(RecordId, Vec<u8>)> = oracle
+            .iter()
+            .filter_map(|(id, v)| v.clone().map(|v| (*id, v)))
+            .collect();
+        live.sort_by_key(|(id, _)| *id);
+        let mut scanned = heap.scan(&mut pager);
+        scanned.sort_by_key(|(id, _)| *id);
+        prop_assert_eq!(scanned, live);
+        // Batched get agrees with singles.
+        let batch = heap.get_many(&mut pager, &ids);
+        for (id, got) in ids.iter().zip(batch) {
+            prop_assert_eq!(&got, &oracle[id]);
+        }
+    }
+
+    /// A buffer pool of any capacity is observably identical to the raw
+    /// pager (contents), while never increasing physical I/O.
+    #[test]
+    fn buffer_pool_is_transparent(
+        writes in prop::collection::vec((0usize..12, any::<u8>()), 1..120),
+        capacity in 1usize..16,
+    ) {
+        let mut raw = MemPager::new(64);
+        let mut pooled = BufferPool::new(MemPager::new(64), capacity);
+        let n_pages = 12;
+        let raw_ids: Vec<_> = (0..n_pages).map(|_| raw.allocate()).collect();
+        let pool_ids: Vec<_> = (0..n_pages).map(|_| pooled.allocate()).collect();
+        prop_assert_eq!(&raw_ids, &pool_ids);
+        for &(page, byte) in &writes {
+            let data = vec![byte; 64];
+            raw.write(raw_ids[page], &data);
+            pooled.write(pool_ids[page], &data);
+        }
+        pooled.flush();
+        let mut a = vec![0u8; 64];
+        let mut b = vec![0u8; 64];
+        for page in 0..n_pages {
+            raw.read(raw_ids[page], &mut a);
+            pooled.read(pool_ids[page], &mut b);
+            prop_assert_eq!(&a, &b, "page {} differs", page);
+        }
+        // Physical reads through the pool never exceed logical reads.
+        prop_assert!(pooled.physical_stats().reads <= pooled.stats().reads);
+    }
+
+    /// FilePager and MemPager behave identically for the same op sequence.
+    #[test]
+    fn file_pager_matches_mem_pager(
+        writes in prop::collection::vec((0usize..8, any::<u8>()), 1..60),
+    ) {
+        let path = std::env::temp_dir().join(format!(
+            "cdb_prop_{}_{}",
+            std::process::id(),
+            writes.len() * 31 + writes.first().map(|w| w.0).unwrap_or(0)
+        ));
+        {
+            let mut fp = cdb_storage::file::FilePager::create(&path, 64).unwrap();
+            let mut mp = MemPager::new(64);
+            let fids: Vec<_> = (0..8).map(|_| fp.allocate()).collect();
+            let mids: Vec<_> = (0..8).map(|_| mp.allocate()).collect();
+            for &(page, byte) in &writes {
+                fp.write(fids[page], &[byte; 64]);
+                mp.write(mids[page], &[byte; 64]);
+            }
+            let mut a = vec![0u8; 64];
+            let mut b = vec![0u8; 64];
+            for i in 0..8 {
+                fp.read(fids[i], &mut a);
+                mp.read(mids[i], &mut b);
+                prop_assert_eq!(&a, &b);
+            }
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+}

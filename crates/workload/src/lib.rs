@@ -1,0 +1,486 @@
+//! Seeded synthetic workloads reproducing the experimental setup of
+//! Section 5 of the paper.
+//!
+//! The paper's datasets are not published; every disclosed parameter is
+//! honoured here:
+//!
+//! * each satisfiable tuple is a conjunction of **3 to 6 linear
+//!   constraints** with non-vertical boundaries (constraint angles drawn
+//!   from `[0, π/2) ∪ (π/2, π)`);
+//! * tuple weight-centres are **uniform in the working window
+//!   `[-50, 50]²`**;
+//! * two object-size classes: **small** objects occupying 1–5 % of the area
+//!   of the dataset bounding rectangle `R`, and **medium** objects up to
+//!   50 % of it;
+//! * relation cardinalities 500–12000; query selectivities 5–60 %.
+//!
+//! Queries are *calibrated*: [`QueryGen`] draws a slope, then sets the
+//! intercept at the exact quantile of the dataset's `TOP`/`BOT` surface
+//! values so a requested selectivity is met exactly — the robust equivalent
+//! of the paper's "six queries with selectivities in range X".
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use cdb_geometry::constraint::RelOp;
+use cdb_geometry::dual;
+use cdb_geometry::halfplane::HalfPlane;
+use cdb_geometry::polygon::Polygon;
+use cdb_geometry::rect::Rect;
+use cdb_geometry::tuple::GeneralizedTuple;
+
+/// Object-size class of Section 5.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ObjectSize {
+    /// 1–5 % of the working-window area.
+    Small,
+    /// 5–50 % of the working-window area.
+    Medium,
+}
+
+impl ObjectSize {
+    /// Area-fraction range of the class.
+    pub fn fraction_range(self) -> (f64, f64) {
+        match self {
+            ObjectSize::Small => (0.01, 0.05),
+            ObjectSize::Medium => (0.05, 0.50),
+        }
+    }
+}
+
+/// Specification of a synthetic relation.
+///
+/// ```
+/// use cdb_workload::{DatasetSpec, ObjectSize};
+///
+/// let spec = DatasetSpec::paper_1999(100, ObjectSize::Small, 42);
+/// let tuples = spec.generate();
+/// assert_eq!(tuples.len(), 100);
+/// assert!(tuples.iter().all(|t| t.is_satisfiable() && t.is_bounded()));
+/// // Deterministic per seed.
+/// assert_eq!(tuples, spec.generate());
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct DatasetSpec {
+    /// Number of tuples.
+    pub cardinality: usize,
+    /// Object-size class.
+    pub size: ObjectSize,
+    /// Working window for the weight-centres (the paper's `[-50,50]²`).
+    pub window: Rect,
+    /// RNG seed (same seed ⇒ same dataset).
+    pub seed: u64,
+}
+
+impl DatasetSpec {
+    /// The paper's configuration for a given cardinality/size/seed.
+    pub fn paper_1999(cardinality: usize, size: ObjectSize, seed: u64) -> Self {
+        DatasetSpec {
+            cardinality,
+            size,
+            window: Rect::paper_window(),
+            seed,
+        }
+    }
+
+    /// Generates the relation.
+    pub fn generate(&self) -> Vec<GeneralizedTuple> {
+        let mut g = TupleGen::new(self.seed, self.window, self.size);
+        (0..self.cardinality).map(|_| g.bounded_tuple()).collect()
+    }
+}
+
+/// Generator of random generalized tuples.
+pub struct TupleGen {
+    rng: StdRng,
+    window: Rect,
+    size: ObjectSize,
+}
+
+impl TupleGen {
+    /// Creates a generator over `window` for the given size class.
+    pub fn new(seed: u64, window: Rect, size: ObjectSize) -> Self {
+        TupleGen {
+            rng: StdRng::seed_from_u64(seed),
+            window,
+            size,
+        }
+    }
+
+    /// A random satisfiable bounded tuple: a convex polygon with 3–6
+    /// non-vertical edges, centre uniform in the window, area in the size
+    /// class's range.
+    pub fn bounded_tuple(&mut self) -> GeneralizedTuple {
+        self.bounded_polygon().to_tuple()
+    }
+
+    /// Same as [`bounded_tuple`](Self::bounded_tuple) but returns the
+    /// explicit polygon (the R⁺-tree baseline needs the MBR).
+    pub fn bounded_polygon(&mut self) -> Polygon {
+        loop {
+            let m = self.rng.gen_range(3..=6usize);
+            let cx = self.rng.gen_range(self.window.x0..self.window.x1);
+            let cy = self.rng.gen_range(self.window.y0..self.window.y1);
+            let (f_lo, f_hi) = self.size.fraction_range();
+            let target = self.window.area() * self.rng.gen_range(f_lo..f_hi);
+            let aspect: f64 = self.rng.gen_range(0.5..2.0);
+
+            // m sorted angles on an ellipse, spaced at least 0.2 rad so the
+            // polygon does not degenerate.
+            let mut angles: Vec<f64> = (0..m)
+                .map(|_| self.rng.gen_range(0.0..std::f64::consts::TAU))
+                .collect();
+            angles.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let mut ok = true;
+            for i in 0..m {
+                let next = if i + 1 == m {
+                    angles[0] + std::f64::consts::TAU
+                } else {
+                    angles[i + 1]
+                };
+                if next - angles[i] < 0.2 || next - angles[i] > std::f64::consts::PI - 0.1 {
+                    ok = false;
+                    break;
+                }
+            }
+            if !ok {
+                continue;
+            }
+            // Inscribed-polygon area = rx·ry · ½ Σ sin Δθ; solve for rx·ry.
+            let mut s = 0.0;
+            for i in 0..m {
+                let next = if i + 1 == m {
+                    angles[0] + std::f64::consts::TAU
+                } else {
+                    angles[i + 1]
+                };
+                s += (next - angles[i]).sin();
+            }
+            s /= 2.0;
+            if s <= 0.1 {
+                continue;
+            }
+            let rxry = target / s;
+            let rx = (rxry * aspect).sqrt();
+            let ry = (rxry / aspect).sqrt();
+            let verts: Vec<[f64; 2]> = angles
+                .iter()
+                .map(|t| [cx + rx * t.cos(), cy + ry * t.sin()])
+                .collect();
+            // Reject vertical edges (the paper's slope distribution excludes
+            // them; the dual transform needs non-vertical boundaries).
+            let mut vertical = false;
+            for i in 0..m {
+                let a = verts[i];
+                let b = verts[(i + 1) % m];
+                if (b[0] - a[0]).abs() < 1e-3 * (b[1] - a[1]).abs().max(1.0) {
+                    vertical = true;
+                    break;
+                }
+            }
+            if vertical {
+                continue;
+            }
+            let poly = Polygon::bounded(verts);
+            if poly.points().len() != m {
+                continue; // hull degenerated
+            }
+            return poly;
+        }
+    }
+
+    /// A random *unbounded* satisfiable tuple (1–3 non-vertical
+    /// half-planes): half-planes, wedges and strips, for the
+    /// infinite-object code paths no R-tree variant can store.
+    pub fn unbounded_tuple(&mut self) -> GeneralizedTuple {
+        loop {
+            let m = self.rng.gen_range(1..=3usize);
+            let mut cs = Vec::with_capacity(m);
+            for _ in 0..m {
+                // Non-vertical boundary: y θ a x + b.
+                let a = self.slope();
+                let x = self.rng.gen_range(self.window.x0..self.window.x1);
+                let y = self.rng.gen_range(self.window.y0..self.window.y1);
+                let b = y - a * x;
+                let op = if self.rng.gen_bool(0.5) { RelOp::Ge } else { RelOp::Le };
+                cs.push(HalfPlane::new2d(a, b, op).to_constraint());
+            }
+            let t = GeneralizedTuple::new(cs);
+            if t.is_satisfiable() {
+                return t;
+            }
+        }
+    }
+
+    /// A random slope `tan(φ)` with `φ` uniform in `[0, π/2) ∪ (π/2, π)`,
+    /// clamped away from the vertical.
+    pub fn slope(&mut self) -> f64 {
+        loop {
+            let phi: f64 = self.rng.gen_range(0.0..std::f64::consts::PI);
+            if (phi - std::f64::consts::FRAC_PI_2).abs() < 0.05 {
+                continue;
+            }
+            let t = phi.tan();
+            if t.abs() < 20.0 {
+                return t;
+            }
+        }
+    }
+}
+
+/// Selection type requested from the query generator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QueryKind {
+    /// Containment selection.
+    All,
+    /// Intersection selection.
+    Exist,
+}
+
+/// A calibrated query: the half-plane plus its exact selectivity.
+#[derive(Clone, Debug)]
+pub struct CalibratedQuery {
+    /// The half-plane.
+    pub halfplane: HalfPlane,
+    /// Selection type it was calibrated for.
+    pub kind: QueryKind,
+    /// Fraction of the relation it selects (exact, by construction).
+    pub selectivity: f64,
+}
+
+/// Generates half-plane queries hitting a requested selectivity exactly.
+pub struct QueryGen {
+    rng: StdRng,
+}
+
+impl QueryGen {
+    /// Creates a query generator.
+    pub fn new(seed: u64) -> Self {
+        QueryGen {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Draws a random slope/operator and calibrates the intercept so the
+    /// selection matches `selectivity` (fraction of `tuples`) as closely as
+    /// the value distribution allows.
+    pub fn calibrated(
+        &mut self,
+        tuples: &[GeneralizedTuple],
+        kind: QueryKind,
+        selectivity: f64,
+    ) -> CalibratedQuery {
+        assert!(!tuples.is_empty(), "cannot calibrate against no tuples");
+        assert!((0.0..=1.0).contains(&selectivity), "selectivity out of range");
+        let mut tg = TupleGen::new(self.rng.gen(), Rect::paper_window(), ObjectSize::Small);
+        let a = tg.slope();
+        let ge = self.rng.gen_bool(0.5);
+        // Proposition 2.2: the answer set of each (kind, op) pair is a
+        // threshold set of one surface's values.
+        let values: Vec<f64> = tuples
+            .iter()
+            .map(|t| match (kind, ge) {
+                (QueryKind::All, true) => dual::bot(t, &[a]).expect("satisfiable tuple"),
+                (QueryKind::All, false) => dual::top(t, &[a]).expect("satisfiable tuple"),
+                (QueryKind::Exist, true) => dual::top(t, &[a]).expect("satisfiable tuple"),
+                (QueryKind::Exist, false) => dual::bot(t, &[a]).expect("satisfiable tuple"),
+            })
+            .collect();
+        let mut sorted = values.clone();
+        sorted.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        let n = tuples.len();
+        let want = ((n as f64) * selectivity).round().clamp(0.0, n as f64) as usize;
+        // For q(≥): tuples with value ≥ b qualify → b at the (n-want)-th
+        // value. For q(≤): tuples with value ≤ b qualify → b at want-th.
+        let b = if ge {
+            if want == 0 {
+                sorted[n - 1] + 1.0
+            } else {
+                sorted[n - want]
+            }
+        } else if want == 0 {
+            sorted[0] - 1.0
+        } else {
+            sorted[want - 1]
+        };
+        // Infinite quantiles (many unbounded tuples) fall back to 0.
+        let b = if b.is_finite() { b } else { 0.0 };
+        let halfplane = if ge {
+            HalfPlane::above(a, b)
+        } else {
+            HalfPlane::below(a, b)
+        };
+        let matched = values
+            .iter()
+            .filter(|&&v| if ge { v >= b } else { v <= b })
+            .count();
+        CalibratedQuery {
+            halfplane,
+            kind,
+            selectivity: matched as f64 / n as f64,
+        }
+    }
+
+    /// The paper's query battery: `count` ALL and `count` EXIST queries with
+    /// selectivities uniform in `[lo, hi]`.
+    pub fn battery(
+        &mut self,
+        tuples: &[GeneralizedTuple],
+        count: usize,
+        lo: f64,
+        hi: f64,
+    ) -> Vec<CalibratedQuery> {
+        let mut out = Vec::with_capacity(2 * count);
+        for kind in [QueryKind::All, QueryKind::Exist] {
+            for _ in 0..count {
+                let s = self.rng.gen_range(lo..=hi);
+                out.push(self.calibrated(tuples, kind, s));
+            }
+        }
+        out
+    }
+}
+
+/// The object MBR of a bounded tuple (panics if unbounded): helper for
+/// feeding the R⁺-tree baseline.
+pub fn tuple_mbr(t: &GeneralizedTuple) -> Rect {
+    let (lo, hi) = t
+        .bounding_box()
+        .expect("R+-tree baseline requires bounded objects");
+    Rect::new(lo[0], lo[1], hi[0], hi[1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdb_geometry::predicates;
+
+    #[test]
+    fn dataset_is_deterministic() {
+        let spec = DatasetSpec::paper_1999(50, ObjectSize::Small, 7);
+        let a = spec.generate();
+        let b = spec.generate();
+        assert_eq!(a, b);
+        let c = DatasetSpec::paper_1999(50, ObjectSize::Small, 8).generate();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn bounded_tuples_respect_constraints() {
+        let mut g = TupleGen::new(3, Rect::paper_window(), ObjectSize::Small);
+        for _ in 0..50 {
+            let poly = g.bounded_polygon();
+            let t = poly.to_tuple();
+            let m = t.constraints().len();
+            assert!((3..=6).contains(&m), "constraint count {m}");
+            assert!(t.is_satisfiable());
+            assert!(t.is_bounded());
+            // No vertical boundary.
+            for c in t.constraints() {
+                assert!(!c.is_vertical(), "vertical edge in {t}");
+            }
+            // Area in class range (±slack: the window is the R proxy).
+            let frac = poly.area() / Rect::paper_window().area();
+            assert!(
+                (0.008..0.06).contains(&frac),
+                "small-object area fraction {frac}"
+            );
+        }
+    }
+
+    #[test]
+    fn medium_objects_are_larger() {
+        let mut gs = TupleGen::new(5, Rect::paper_window(), ObjectSize::Small);
+        let mut gm = TupleGen::new(5, Rect::paper_window(), ObjectSize::Medium);
+        let small: f64 = (0..30).map(|_| gs.bounded_polygon().area()).sum();
+        let medium: f64 = (0..30).map(|_| gm.bounded_polygon().area()).sum();
+        assert!(medium > 2.0 * small, "medium {medium} vs small {small}");
+    }
+
+    #[test]
+    fn centres_spread_over_window() {
+        let mut g = TupleGen::new(11, Rect::paper_window(), ObjectSize::Small);
+        let mut quads = [0usize; 4];
+        for _ in 0..100 {
+            let p = g.bounded_polygon();
+            let (cx, cy) = p.point_centroid();
+            let q = (usize::from(cx > 0.0)) * 2 + usize::from(cy > 0.0);
+            quads[q] += 1;
+        }
+        assert!(quads.iter().all(|&q| q > 10), "quadrants {quads:?}");
+    }
+
+    #[test]
+    fn unbounded_tuples_are_unbounded_and_satisfiable() {
+        let mut g = TupleGen::new(13, Rect::paper_window(), ObjectSize::Small);
+        let mut saw_unbounded = 0;
+        for _ in 0..25 {
+            let t = g.unbounded_tuple();
+            assert!(t.is_satisfiable());
+            if !t.is_bounded() {
+                saw_unbounded += 1;
+            }
+        }
+        assert!(saw_unbounded > 20, "almost all should be unbounded");
+    }
+
+    #[test]
+    fn slopes_avoid_vertical_and_cover_signs() {
+        let mut g = TupleGen::new(17, Rect::paper_window(), ObjectSize::Small);
+        let slopes: Vec<f64> = (0..200).map(|_| g.slope()).collect();
+        assert!(slopes.iter().any(|&s| s > 0.1));
+        assert!(slopes.iter().any(|&s| s < -0.1));
+        assert!(slopes.iter().all(|&s| s.abs() < 20.0));
+    }
+
+    #[test]
+    fn calibration_hits_selectivity() {
+        let tuples = DatasetSpec::paper_1999(200, ObjectSize::Small, 23).generate();
+        let mut qg = QueryGen::new(5);
+        for kind in [QueryKind::All, QueryKind::Exist] {
+            for want in [0.10, 0.25, 0.50] {
+                let q = qg.calibrated(&tuples, kind, want);
+                // Verify against the exact oracle.
+                let hits = predicates::oracle_select(
+                    &q.halfplane,
+                    kind == QueryKind::All,
+                    tuples.iter(),
+                );
+                let got = hits.len() as f64 / tuples.len() as f64;
+                assert!(
+                    (got - want).abs() <= 0.02,
+                    "{kind:?} wanted {want}, calibrated {} measured {got}",
+                    q.selectivity
+                );
+                assert!((q.selectivity - got).abs() < 1e-9, "self-report exact");
+            }
+        }
+    }
+
+    #[test]
+    fn battery_produces_both_kinds() {
+        let tuples = DatasetSpec::paper_1999(100, ObjectSize::Small, 31).generate();
+        let mut qg = QueryGen::new(9);
+        let batch = qg.battery(&tuples, 6, 0.10, 0.15);
+        assert_eq!(batch.len(), 12);
+        assert_eq!(batch.iter().filter(|q| q.kind == QueryKind::All).count(), 6);
+        for q in &batch {
+            assert!(
+                (0.05..=0.25).contains(&q.selectivity),
+                "selectivity {} outside tolerance",
+                q.selectivity
+            );
+        }
+    }
+
+    #[test]
+    fn tuple_mbr_matches_bbox() {
+        let mut g = TupleGen::new(41, Rect::paper_window(), ObjectSize::Small);
+        let p = g.bounded_polygon();
+        let t = p.to_tuple();
+        let mbr = tuple_mbr(&t);
+        let bb = p.bbox().unwrap();
+        assert!((mbr.x0 - bb.x0).abs() < 1e-6);
+        assert!((mbr.y1 - bb.y1).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,83 @@
+//! Operations-research scenario (the paper's Section 1 motivation for
+//! *infinite* objects, citing Brodsky/Jaffar/Maher): a catalogue of linear
+//! programs stored as their feasible regions — generalized tuples that are
+//! typically **unbounded** polyhedra.
+//!
+//! Planning queries:
+//! * "Which problems stay feasible under the new regulation
+//!   y ≥ 0.8x − 40?" — feasible region intersects the allowed half-plane:
+//!   an EXIST selection.
+//! * "Which problems are *guaranteed* compliant (entire feasible region
+//!   inside the half-plane)?" — an ALL selection.
+//!
+//! Figure 1 of the paper shows why clipping unbounded regions to an "object
+//! window" is incorrect; this example constructs exactly such a case and
+//! shows the dual index getting it right.
+//!
+//! ```text
+//! cargo run --release --example operations_research
+//! ```
+
+use constraint_db::prelude::*;
+
+fn main() {
+    let mut db = ConstraintDb::in_memory(DbConfig::paper_1999());
+    db.create_relation("lps", 2).unwrap();
+
+    // A mix of unbounded feasible regions (generated) and hand-written ones.
+    let mut gen = TupleGen::new(7, Rect::paper_window(), ObjectSize::Small);
+    let mut n_unbounded = 0;
+    for _ in 0..500 {
+        let t = gen.unbounded_tuple();
+        if !t.is_bounded() {
+            n_unbounded += 1;
+        }
+        db.insert("lps", t).unwrap();
+    }
+    // The Figure-1 tuple: a wedge that leaves the working window and only
+    // meets the query half-plane far outside it.
+    let figure1 = parse_tuple("y >= x - 200 && y <= x - 190 && x >= 60").unwrap();
+    let fig1_id = db.insert("lps", figure1).unwrap();
+    println!(
+        "stored {} feasible regions ({} unbounded) + the Figure-1 wedge as id {}",
+        db.relation("lps").unwrap().len(),
+        n_unbounded,
+        fig1_id
+    );
+
+    db.build_dual_index("lps", SlopeSet::uniform_tan(5)).unwrap();
+
+    let regulation = HalfPlane::above(0.8, -40.0);
+    let feasible = db.exist("lps", regulation.clone()).unwrap();
+    let compliant = db.all("lps", regulation.clone()).unwrap();
+    println!("\nregulation half-plane: {regulation}");
+    println!(
+        "  EXIST (still feasible):      {} / {}",
+        feasible.len(),
+        db.relation("lps").unwrap().len()
+    );
+    println!(
+        "  ALL   (guaranteed compliant): {} / {}",
+        compliant.len(),
+        db.relation("lps").unwrap().len()
+    );
+
+    // The Figure-1 check: the wedge lives below y = x - 190 with x >= 60,
+    // entirely outside the [-50,50]^2 window. A window-clipped bounding-box
+    // index would see nothing at all; the dual representation stores its
+    // exact TOP/BOT surfaces, so intersection with a half-plane is decided
+    // correctly however far away it happens.
+    let q = HalfPlane::below(1.0, -195.0); // y <= x - 195: cuts the wedge
+    let r = db.exist("lps", q.clone()).unwrap();
+    assert!(
+        r.ids().contains(&fig1_id),
+        "the dual index must find the far-away wedge"
+    );
+    println!("\nFigure-1 style query {q}: wedge id {fig1_id} correctly reported");
+
+    // Contrast: the R+-tree baseline cannot even store these objects —
+    // unbounded tuples have no bounding box.
+    let t = db.fetch_tuple("lps", fig1_id).unwrap();
+    assert!(t.is_bounded() || t.bounding_box().is_none());
+    println!("(no bounding box exists for unbounded tuples: R-tree variants are inapplicable)");
+}

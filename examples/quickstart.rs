@@ -1,0 +1,63 @@
+//! Quickstart: store generalized tuples, build the dual index, run ALL and
+//! EXIST half-plane selections — including the paper's Example 2.1.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use constraint_db::prelude::*;
+
+fn main() {
+    // --- Example 2.1 of the paper, on a concrete polygon -----------------
+    // A box [1,3] x [1,4.5]: TOP(0) = 4.5, so q2 ≡ y >= 4.5 touches it.
+    let t = parse_tuple("x >= 1 && x <= 3 && y >= 1 && y <= 4.5").unwrap();
+    let q1 = HalfPlane::above(-1.0, -1.0); // y >= -x - 1
+    let q2 = HalfPlane::above(0.0, 4.5); //   y >= 4.5
+    let q3 = HalfPlane::above(1.0, 0.0); //   y >= x
+    use constraint_db::geometry::predicates::{all, exist};
+    println!("Example 2.1 (Proposition 2.2 in action):");
+    println!("  ALL(q1, t)   = {}   (expected true)", all(&q1, &t));
+    println!("  EXIST(q2, t) = {}   (expected true)", exist(&q2, &t));
+    println!("  ALL(q2, t)   = {}  (expected false)", all(&q2, &t));
+    println!("  EXIST(q3, t) = {}   (expected true)", exist(&q3, &t));
+
+    // --- A tiny database --------------------------------------------------
+    let mut db = ConstraintDb::in_memory(DbConfig::paper_1999());
+    db.create_relation("parcels", 2).unwrap();
+    let parcels = [
+        "y >= 0 && y <= 2 && x >= 0 && x + y <= 4", // bounded quadrilateral
+        "y >= x && y <= x + 1 && x >= 10",          // unbounded strip
+        "y >= -1 && y <= 1 && x >= -3 && x <= -1",  // small box
+        "y >= 5 && y <= 7 && x >= 5 && x <= 8",     // high box
+    ];
+    for p in &parcels {
+        let id = db.insert("parcels", parse_tuple(p).unwrap()).unwrap();
+        println!("inserted tuple {id}: {p}");
+    }
+
+    // Index on 4 predefined slopes; arbitrary-slope queries use technique T2.
+    db.build_dual_index("parcels", SlopeSet::uniform_tan(4))
+        .unwrap();
+
+    let q = HalfPlane::above(0.3, -5.0); // y >= 0.3x - 5
+    let hits = db.query("parcels", Selection::exist(q.clone())).unwrap();
+    println!("\nEXIST({q}) -> ids {:?}", hits.ids());
+    println!(
+        "  stats: {} index page accesses, {} heap page accesses, {} candidates, {} false hits",
+        hits.stats.index_io.accesses(),
+        hits.stats.heap_io.accesses(),
+        hits.stats.candidates,
+        hits.stats.false_hits
+    );
+
+    let hits = db.query("parcels", Selection::all(q.clone())).unwrap();
+    println!("ALL({q})  -> ids {:?}", hits.ids());
+
+    // The unbounded strip is contained in y >= x (its own lower boundary):
+    // something no bounding-box index can even represent.
+    let strip_container = HalfPlane::above(1.0, 0.0);
+    let hits = db
+        .query("parcels", Selection::all(strip_container.clone()))
+        .unwrap();
+    println!("ALL({strip_container})  -> ids {:?} (the infinite strip!)", hits.ids());
+}

@@ -1,0 +1,137 @@
+//! Renders a half-plane selection as an SVG: parcels coloured by whether
+//! they are contained in (ALL), intersect (EXIST) or miss the query
+//! half-plane — including an unbounded strip, drawn clipped to the viewport
+//! the way Figure 1 of the paper sketches it.
+//!
+//! ```text
+//! cargo run --release --example visualize [output.svg]
+//! ```
+
+use constraint_db::geometry::polygon::Polygon;
+use constraint_db::geometry::tuple::GeneralizedTuple;
+use constraint_db::prelude::*;
+
+fn main() {
+    let out = std::env::args().nth(1).unwrap_or_else(|| "parcels.svg".into());
+
+    // Dataset: generated parcels plus two hand-made unbounded regions.
+    let mut gen = TupleGen::new(4, Rect::paper_window(), ObjectSize::Small);
+    let mut tuples: Vec<GeneralizedTuple> = (0..80).map(|_| gen.bounded_tuple()).collect();
+    tuples.push(parse_tuple("y >= x - 60 && y <= x - 45 && x >= 10").unwrap()); // strip
+    tuples.push(parse_tuple("y >= 30 && y >= -2x - 40").unwrap()); // wedge
+
+    let mut db = ConstraintDb::in_memory(DbConfig::paper_1999());
+    db.create_relation("p", 2).unwrap();
+    for t in &tuples {
+        db.insert("p", t.clone()).unwrap();
+    }
+    db.build_dual_index("p", SlopeSet::uniform_tan(4)).unwrap();
+
+    let q = HalfPlane::above(0.45, 8.0); // y >= 0.45x + 8
+    let exist = db.exist("p", q.clone()).unwrap();
+    let all = db.all("p", q.clone()).unwrap();
+    println!(
+        "query {q}: {} intersecting, {} contained",
+        exist.len(),
+        all.len()
+    );
+
+    // ---- draw ------------------------------------------------------------
+    let view = Rect::new(-55.0, -55.0, 55.0, 55.0);
+    let scale = 6.0;
+    let w = (view.width() * scale) as i32;
+    let h = (view.height() * scale) as i32;
+    let tx = |x: f64| (x - view.x0) * scale;
+    let ty = |y: f64| (view.y1 - y) * scale; // SVG y grows downward
+
+    let mut svg = String::new();
+    svg.push_str(&format!(
+        "<svg xmlns='http://www.w3.org/2000/svg' width='{w}' height='{h}' \
+         viewBox='0 0 {w} {h}'>\n<rect width='{w}' height='{h}' fill='#fbfaf7'/>\n"
+    ));
+
+    // The query half-plane, shaded.
+    let shade = clip_to_view(&q.to_constraint().into_tuple(), &view);
+    if let Some(p) = shade {
+        svg.push_str(&poly_path(&p, &tx, &ty, "#2563eb22", "none", 0.0));
+    }
+
+    // Parcels.
+    for (i, t) in tuples.iter().enumerate() {
+        let id = i as u32;
+        let (fill, stroke) = if all.ids().contains(&id) {
+            ("#14532dcc", "#14532d") // contained: dark green
+        } else if exist.ids().contains(&id) {
+            ("#65a30d99", "#3f6212") // intersecting: light green
+        } else {
+            ("#9ca3af55", "#6b7280") // miss: grey
+        };
+        if let Some(p) = clip_to_view(t, &view) {
+            svg.push_str(&poly_path(&p, &tx, &ty, fill, stroke, 1.0));
+        }
+    }
+
+    // The query boundary line.
+    let (x0, x1) = (view.x0, view.x1);
+    let a = q.slope2d();
+    let b = q.intercept;
+    svg.push_str(&format!(
+        "<line x1='{:.1}' y1='{:.1}' x2='{:.1}' y2='{:.1}' stroke='#dc2626' stroke-width='2.5' stroke-dasharray='8 4'/>\n",
+        tx(x0), ty(a * x0 + b), tx(x1), ty(a * x1 + b)
+    ));
+    svg.push_str(&format!(
+        "<text x='12' y='24' font-family='sans-serif' font-size='16' fill='#111'>EXIST({}) = {}   ALL = {}</text>\n",
+        q, exist.len(), all.len()
+    ));
+    svg.push_str("</svg>\n");
+    std::fs::write(&out, svg).expect("write SVG");
+    println!("wrote {out}");
+}
+
+/// Clips a (possibly unbounded) tuple to the viewport and returns its
+/// polygon, `None` if it misses the viewport entirely.
+fn clip_to_view(t: &GeneralizedTuple, view: &Rect) -> Option<Polygon> {
+    let mut cs = t.constraints().to_vec();
+    let frame = Polygon::bounded(vec![
+        [view.x0, view.y0],
+        [view.x1, view.y0],
+        [view.x1, view.y1],
+        [view.x0, view.y1],
+    ])
+    .to_tuple();
+    cs.extend(frame.constraints().iter().cloned());
+    Polygon::from_tuple(&GeneralizedTuple::new(cs))
+}
+
+/// Serializes a bounded polygon as an SVG path element.
+fn poly_path(
+    p: &Polygon,
+    tx: &dyn Fn(f64) -> f64,
+    ty: &dyn Fn(f64) -> f64,
+    fill: &str,
+    stroke: &str,
+    width: f64,
+) -> String {
+    let mut d = String::new();
+    for (i, v) in p.points().iter().enumerate() {
+        d.push_str(&format!(
+            "{}{:.1} {:.1} ",
+            if i == 0 { "M" } else { "L" },
+            tx(v[0]),
+            ty(v[1])
+        ));
+    }
+    d.push('Z');
+    format!("<path d='{d}' fill='{fill}' stroke='{stroke}' stroke-width='{width}'/>\n")
+}
+
+/// Tiny helper: a single constraint as a one-constraint tuple.
+trait IntoTuple {
+    fn into_tuple(self) -> GeneralizedTuple;
+}
+
+impl IntoTuple for constraint_db::geometry::LinearConstraint {
+    fn into_tuple(self) -> GeneralizedTuple {
+        GeneralizedTuple::new(vec![self])
+    }
+}

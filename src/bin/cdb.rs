@@ -1,0 +1,204 @@
+//! `cdb` — a tiny interactive shell over the constraint database engine.
+//!
+//! ```text
+//! cargo run --release --bin cdb
+//! cdb> create parcels 2
+//! cdb> insert parcels y >= 0 && y <= 2 && x >= 0 && x + y <= 4
+//! cdb> insert parcels y >= x && x >= 10
+//! cdb> index parcels 4
+//! cdb> exist parcels y >= 0.3x - 5
+//! cdb> all parcels y <= 100
+//! cdb> stats
+//! ```
+//!
+//! Also usable non-interactively: `echo "..." | cdb` or `cdb script.cdb`.
+
+use std::io::{BufRead, Write};
+
+use constraint_db::index::query::Strategy;
+use constraint_db::prelude::*;
+
+fn main() {
+    let mut db = ConstraintDb::in_memory(DbConfig::paper_1999());
+    let interactive = std::env::args().len() == 1 && atty_stdin();
+    let source: Box<dyn BufRead> = match std::env::args().nth(1) {
+        Some(path) => match std::fs::File::open(&path) {
+            Ok(f) => Box::new(std::io::BufReader::new(f)),
+            Err(e) => {
+                eprintln!("cannot open {path}: {e}");
+                std::process::exit(1);
+            }
+        },
+        None => Box::new(std::io::BufReader::new(std::io::stdin())),
+    };
+    if interactive {
+        println!("constraint-db shell — 'help' for commands, 'quit' to exit");
+    }
+    let mut out = std::io::stdout();
+    for line in source.lines() {
+        if interactive {
+            print!("cdb> ");
+            let _ = out.flush();
+        }
+        let Ok(line) = line else { break };
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "quit" || line == "exit" {
+            break;
+        }
+        match run_command(&mut db, line) {
+            Ok(msg) => println!("{msg}"),
+            Err(e) => println!("error: {e}"),
+        }
+    }
+}
+
+/// Best-effort TTY detection without external crates.
+fn atty_stdin() -> bool {
+    // If stdin is a file or pipe, reading its metadata length usually
+    // succeeds; for a terminal this is not reliable cross-platform, so fall
+    // back to the conservative default of printing prompts only when the
+    // TERM variable is present.
+    std::env::var_os("TERM").is_some()
+}
+
+fn run_command(db: &mut ConstraintDb, line: &str) -> Result<String, String> {
+    let (cmd, rest) = line.split_once(' ').unwrap_or((line, ""));
+    match cmd {
+        "help" => Ok(HELP.trim().to_string()),
+        "create" => {
+            let mut it = rest.split_whitespace();
+            let name = it.next().ok_or("usage: create <name> <dim>")?;
+            let dim: usize = it
+                .next()
+                .ok_or("usage: create <name> <dim>")?
+                .parse()
+                .map_err(|_| "dim must be a number")?;
+            db.create_relation(name, dim).map_err(|e| e.to_string())?;
+            Ok(format!("created {dim}-D relation '{name}'"))
+        }
+        "insert" => {
+            let (name, expr) = rest.split_once(' ').ok_or("usage: insert <rel> <tuple>")?;
+            let t = parse_tuple(expr).map_err(|e| e.to_string())?;
+            let id = db.insert(name, t).map_err(|e| e.to_string())?;
+            Ok(format!("tuple {id}"))
+        }
+        "delete" => {
+            let mut it = rest.split_whitespace();
+            let name = it.next().ok_or("usage: delete <rel> <id>")?;
+            let id: u32 = it
+                .next()
+                .ok_or("usage: delete <rel> <id>")?
+                .parse()
+                .map_err(|_| "id must be a number")?;
+            db.delete(name, id).map_err(|e| e.to_string())?;
+            Ok(format!("deleted tuple {id}"))
+        }
+        "index" => {
+            let mut it = rest.split_whitespace();
+            let name = it.next().ok_or("usage: index <rel> <k>")?;
+            let k: usize = it
+                .next()
+                .ok_or("usage: index <rel> <k>")?
+                .parse()
+                .map_err(|_| "k must be a number >= 2")?;
+            db.build_dual_index(name, SlopeSet::uniform_tan(k))
+                .map_err(|e| e.to_string())?;
+            Ok(format!("dual index built over {k} slopes"))
+        }
+        "line" => {
+            let (name, expr) = rest.split_once(' ').ok_or("usage: line <rel> <y = ax + c>")?;
+            let t = parse_tuple(expr).map_err(|e| e.to_string())?;
+            if t.constraints().len() != 2 {
+                return Err("a line query must be a single equality, e.g. y = 0.5x + 2".into());
+            }
+            let h = HalfPlane::from_constraint(&t.constraints()[0])
+                .ok_or("vertical lines are not supported by the dual transform")?;
+            let r = db
+                .exist_line(name, h.slope2d(), h.intercept)
+                .map_err(|e| e.to_string())?;
+            Ok(format!(
+                "{} matches: {:?} ({} index + {} heap page accesses)",
+                r.len(),
+                preview(r.ids()),
+                r.stats.index_io.accesses(),
+                r.stats.heap_io.accesses(),
+            ))
+        }
+        "exist" | "all" | "scan" => {
+            let (name, expr) = rest.split_once(' ').ok_or("usage: <kind> <rel> <halfplane>")?;
+            let q = parse_halfplane(expr)?;
+            let sel = if cmd == "all" {
+                Selection::all(q)
+            } else {
+                Selection::exist(q)
+            };
+            let strategy = if cmd == "scan" { Strategy::Scan } else { Strategy::Auto };
+            let r = db
+                .query_with(name, sel, strategy)
+                .map_err(|e| e.to_string())?;
+            Ok(format!(
+                "{} matches: {:?}\n  {} index + {} heap page accesses, {} candidates, {} false hits, {} duplicates",
+                r.len(),
+                preview(r.ids()),
+                r.stats.index_io.accesses(),
+                r.stats.heap_io.accesses(),
+                r.stats.candidates,
+                r.stats.false_hits,
+                r.stats.duplicates,
+            ))
+        }
+        "show" => {
+            let mut it = rest.split_whitespace();
+            let name = it.next().ok_or("usage: show <rel> <id>")?;
+            let id: u32 = it
+                .next()
+                .ok_or("usage: show <rel> <id>")?
+                .parse()
+                .map_err(|_| "id must be a number")?;
+            let t = db.fetch_tuple(name, id).map_err(|e| e.to_string())?;
+            Ok(format!("{t}"))
+        }
+        "stats" => {
+            let io = db.io_stats();
+            Ok(format!(
+                "pager: {} live pages, {} reads, {} writes since start",
+                db.live_pages(),
+                io.reads,
+                io.writes
+            ))
+        }
+        other => Err(format!("unknown command '{other}' — try 'help'")),
+    }
+}
+
+/// Parses a half-plane in solved form, e.g. `y >= 0.3x - 5`.
+fn parse_halfplane(expr: &str) -> Result<HalfPlane, String> {
+    let t = parse_tuple(expr).map_err(|e| e.to_string())?;
+    if t.constraints().len() != 1 {
+        return Err("a query must be a single half-plane".into());
+    }
+    HalfPlane::from_constraint(&t.constraints()[0])
+        .ok_or_else(|| "vertical query boundaries are not supported by the dual transform".into())
+}
+
+fn preview(ids: &[u32]) -> Vec<u32> {
+    ids.iter().take(20).copied().collect()
+}
+
+const HELP: &str = r#"
+commands:
+  create <rel> <dim>        create a relation (dim 2 for the 2-D index)
+  insert <rel> <tuple>      e.g. insert r y >= 0 && y <= 2 && x + y <= 4
+  delete <rel> <id>
+  index <rel> <k>           build the dual index over k predefined slopes
+  exist <rel> <halfplane>   EXIST selection, e.g. exist r y >= 0.3x - 5
+  all <rel> <halfplane>     ALL (containment) selection
+  line <rel> <y = ax + c>   EXIST against an equality (line) query
+  scan <rel> <halfplane>    sequential-scan EXIST (no index needed)
+  show <rel> <id>           print a stored tuple
+  stats                     pager statistics
+  quit
+"#;
