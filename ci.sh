@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Tier-1 gate: everything a PR must keep green, in the order that fails
+# fastest. Run from the repo root. Works fully offline (the workspace has
+# no external dependencies; Cargo.lock is committed).
+set -euo pipefail
+
+cargo build --release
+cargo test -q --workspace
+cargo clippy --workspace --all-targets -- -D warnings
+cargo fmt --all --check
+
+echo "ci: all green"

@@ -1,7 +1,11 @@
 //! Micro-benchmarks of the substrates: B⁺-tree operations, R⁺-tree packing
 //! and search, LP surface evaluation, polygon construction.
+//!
+//! Dependency-free harness (`harness = false`): each case is warmed up and
+//! then timed over a fixed batch, reporting mean ns/op. Run with
+//! `cargo bench -p cdb-bench --bench structure_ops`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Instant;
 
 use cdb_btree::BTree;
 use cdb_geometry::dual;
@@ -10,90 +14,95 @@ use cdb_rplustree::RPlusTree;
 use cdb_storage::MemPager;
 use cdb_workload::{tuple_mbr, DatasetSpec, ObjectSize, TupleGen};
 
-fn bench_btree(c: &mut Criterion) {
-    let mut group = c.benchmark_group("btree");
-    group.bench_function("insert_4k_random_keys", |b| {
-        b.iter(|| {
-            let mut pager = MemPager::paper_1999();
-            let mut t = BTree::new(&mut pager);
-            for i in 0..4000u32 {
-                t.insert(&mut pager, ((i * 2654435761) % 100000) as f64, i);
-            }
-            std::hint::black_box(t.len())
-        });
-    });
-    let entries: Vec<(f64, u32)> = (0..4000).map(|i| (i as f64 * 0.5, i as u32)).collect();
-    group.bench_function("bulk_load_4k", |b| {
-        b.iter(|| {
-            let mut pager = MemPager::paper_1999();
-            let t = BTree::bulk_load(&mut pager, &entries, 1.0);
-            std::hint::black_box(t.page_count())
-        });
-    });
-    let mut pager = MemPager::paper_1999();
-    let tree = BTree::bulk_load(&mut pager, &entries, 1.0);
-    group.bench_function("range_scan_10pct", |b| {
-        b.iter(|| std::hint::black_box(tree.range(&mut pager, 0.0, 200.0).len()));
-    });
-    group.finish();
+/// Times `op` over `iters` calls after `warmup` untimed ones; mean ns/op.
+fn time_ns(warmup: usize, iters: usize, mut op: impl FnMut()) -> f64 {
+    for _ in 0..warmup {
+        op();
+    }
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        op();
+    }
+    t0.elapsed().as_nanos() as f64 / iters as f64
 }
 
-fn bench_rplus(c: &mut Criterion) {
-    let mut group = c.benchmark_group("rplus_tree");
+fn report(name: &str, ns: f64) {
+    println!("{name:<36} {:>12.0} ns/op   ({:>9.2} µs)", ns, ns / 1e3);
+}
+
+fn bench_btree() {
+    println!("btree");
+    let ns = time_ns(2, 10, || {
+        let mut pager = MemPager::paper_1999();
+        let mut t = BTree::new(&mut pager);
+        for i in 0..4000u32 {
+            t.insert(&mut pager, ((i * 2654435761) % 100000) as f64, i);
+        }
+        std::hint::black_box(t.len());
+    });
+    report("insert_4k_random_keys", ns);
+    let entries: Vec<(f64, u32)> = (0..4000).map(|i| (i as f64 * 0.5, i as u32)).collect();
+    let ns = time_ns(2, 20, || {
+        let mut pager = MemPager::paper_1999();
+        let t = BTree::bulk_load(&mut pager, &entries, 1.0);
+        std::hint::black_box(t.page_count());
+    });
+    report("bulk_load_4k", ns);
+    let mut pager = MemPager::paper_1999();
+    let tree = BTree::bulk_load(&mut pager, &entries, 1.0);
+    let ns = time_ns(10, 200, || {
+        std::hint::black_box(tree.range(&pager, 0.0, 200.0).len());
+    });
+    report("range_scan_10pct", ns);
+}
+
+fn bench_rplus() {
+    println!("rplus_tree");
     let tuples = DatasetSpec::paper_1999(4000, ObjectSize::Small, 3).generate();
     let items: Vec<_> = tuples
         .iter()
         .enumerate()
         .map(|(i, t)| (tuple_mbr(t), i as u32))
         .collect();
-    group.bench_function("pack_4k", |b| {
-        b.iter(|| {
-            let mut pager = MemPager::paper_1999();
-            let t = RPlusTree::pack(&mut pager, &items, 1.0);
-            std::hint::black_box(t.page_count())
-        });
+    let ns = time_ns(2, 10, || {
+        let mut pager = MemPager::paper_1999();
+        let t = RPlusTree::pack(&mut pager, &items, 1.0);
+        std::hint::black_box(t.page_count());
     });
+    report("pack_4k", ns);
     let mut pager = MemPager::paper_1999();
     let tree = RPlusTree::pack(&mut pager, &items, 1.0);
     let q = cdb_geometry::HalfPlane::above(0.4, 20.0);
-    group.bench_function("halfplane_search", |b| {
-        b.iter(|| std::hint::black_box(tree.search_halfplane(&mut pager, &q).0.len()));
+    let ns = time_ns(10, 200, || {
+        std::hint::black_box(tree.search_halfplane(&pager, &q).0.len());
     });
-    group.finish();
+    report("halfplane_search", ns);
 }
 
-fn bench_geometry(c: &mut Criterion) {
-    let mut group = c.benchmark_group("geometry");
+fn bench_geometry() {
+    println!("geometry");
     let mut g = TupleGen::new(7, cdb_geometry::Rect::paper_window(), ObjectSize::Small);
     let tuples: Vec<_> = (0..64).map(|_| g.bounded_tuple()).collect();
-    group.bench_with_input(BenchmarkId::new("top_lp_eval", 64), &tuples, |b, ts| {
-        b.iter(|| {
-            let mut acc = 0.0;
-            for t in ts {
-                acc += dual::top(t, &[0.37]).unwrap();
-            }
-            std::hint::black_box(acc)
-        });
+    let ns = time_ns(5, 100, || {
+        let mut acc = 0.0;
+        for t in &tuples {
+            acc += dual::top(t, &[0.37]).unwrap();
+        }
+        std::hint::black_box(acc);
     });
-    group.bench_with_input(
-        BenchmarkId::new("polygon_from_tuple", 64),
-        &tuples,
-        |b, ts| {
-            b.iter(|| {
-                let mut n = 0;
-                for t in ts {
-                    n += Polygon::from_tuple(t).unwrap().points().len();
-                }
-                std::hint::black_box(n)
-            });
-        },
-    );
-    group.finish();
+    report("top_lp_eval/64", ns);
+    let ns = time_ns(5, 100, || {
+        let mut n = 0;
+        for t in &tuples {
+            n += Polygon::from_tuple(t).unwrap().points().len();
+        }
+        std::hint::black_box(n);
+    });
+    report("polygon_from_tuple/64", ns);
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_btree, bench_rplus, bench_geometry
+fn main() {
+    bench_btree();
+    bench_rplus();
+    bench_geometry();
 }
-criterion_main!(benches);

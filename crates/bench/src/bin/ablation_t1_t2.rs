@@ -34,14 +34,22 @@ fn main() {
     println!("T1 vs T2 ablation — medium objects, k={k}, selectivity 10-15%");
     println!(
         "{:>8}{:>6} | {:>11}{:>11}{:>11}{:>10} | {:>11}{:>11}{:>11}{:>10}",
-        "N", "kind", "T1 cand", "T1 dup", "T1 false", "T1 I/O", "T2 cand", "T2 dup", "T2 false", "T2 I/O"
+        "N",
+        "kind",
+        "T1 cand",
+        "T1 dup",
+        "T1 false",
+        "T1 I/O",
+        "T2 cand",
+        "T2 dup",
+        "T2 false",
+        "T2 I/O"
     );
-    let mut csv =
-        String::from("n,kind,strategy,candidates,duplicates,false_hits,accesses\n");
+    let mut csv = String::from("n,kind,strategy,candidates,duplicates,false_hits,accesses\n");
     for (i, &n) in ns.iter().enumerate() {
         let spec = DatasetSpec::paper_1999(n, ObjectSize::Medium, 0xAB1 + i as u64);
         let tuples = spec.generate();
-        let mut bed = T2Bed::build(spec, k);
+        let bed = T2Bed::build(spec, k);
         let mut qg = QueryGen::new(0xAB2 + i as u64);
         let battery = qg.battery(&tuples, 6, 0.10, 0.15);
         for kind in [QueryKind::Exist, QueryKind::All] {
@@ -59,7 +67,14 @@ fn main() {
             println!(
                 "{n:>8}{:>6} | {:>11.1}{:>11.1}{:>11.1}{:>10.1} | {:>11.1}{:>11.1}{:>11.1}{:>10.1}",
                 format!("{kind:?}"),
-                a1.0, a1.1, a1.2, a1.3, a2.0, a2.1, a2.2, a2.3
+                a1.0,
+                a1.1,
+                a1.2,
+                a1.3,
+                a2.0,
+                a2.1,
+                a2.2,
+                a2.3
             );
             csv.push_str(&format!(
                 "{n},{kind:?},T1,{:.1},{:.1},{:.1},{:.1}\n",

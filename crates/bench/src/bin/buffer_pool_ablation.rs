@@ -14,7 +14,7 @@
 use cdb_core::{DualIndex, Selection, SlopeSet, Strategy};
 use cdb_geometry::tuple::GeneralizedTuple;
 use cdb_rplustree::RPlusTree;
-use cdb_storage::{BufferPool, MemPager, Pager};
+use cdb_storage::{BufferPool, MemPager, PageReader};
 use cdb_workload::{tuple_mbr, DatasetSpec, ObjectSize, QueryGen, QueryKind};
 
 fn main() {
@@ -51,8 +51,8 @@ fn main() {
                 QueryKind::Exist => Selection::exist(q.halfplane.clone()),
             };
             let before = t2_pool.physical_stats();
-            let mut fetch = |_: &mut dyn Pager, id: u32| lookup[&id].clone();
-            idx.execute(&mut t2_pool, &sel, Strategy::T2, &mut fetch)
+            let fetch = |_: &dyn PageReader, id: u32| lookup[&id].clone();
+            idx.execute(&t2_pool, &sel, Strategy::T2, &fetch)
                 .expect("query");
             t2_phys += t2_pool.physical_stats().since(&before).reads;
         }
@@ -68,7 +68,7 @@ fn main() {
         let mut rp_phys = 0u64;
         for q in &battery {
             let before = rp_pool.physical_stats();
-            let _ = tree.search_halfplane(&mut rp_pool, &q.halfplane);
+            let _ = tree.search_halfplane(&rp_pool, &q.halfplane);
             rp_phys += rp_pool.physical_stats().since(&before).reads;
         }
 

@@ -19,9 +19,8 @@ use cdb_geometry::constraint::{LinearConstraint, RelOp};
 use cdb_geometry::halfplane::HalfPlane;
 use cdb_geometry::predicates;
 use cdb_geometry::tuple::GeneralizedTuple;
-use cdb_storage::{MemPager, Pager};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use cdb_prng::StdRng;
+use cdb_storage::{MemPager, PageReader};
 
 fn random_boxes(dim: usize, n: usize, seed: u64) -> Vec<(u32, GeneralizedTuple)> {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -49,9 +48,8 @@ fn main() {
         "{:>4}{:>8}{:>14}{:>14}{:>14}{:>14}{:>14}",
         "d", "k", "T2 EXIST", "T2 ALL", "T1 EXIST", "T1 ALL", "scan"
     );
-    let mut csv = String::from(
-        "d,k,t2_exist_accesses,t2_all_accesses,t1_exist,t1_all,scan_accesses\n",
-    );
+    let mut csv =
+        String::from("d,k,t2_exist_accesses,t2_all_accesses,t1_exist,t1_all,scan_accesses\n");
     for dim in [2usize, 3, 4] {
         let pairs = random_boxes(dim, n, 0xD1 + dim as u64);
         let mut pager = MemPager::paper_1999();
@@ -82,9 +80,8 @@ fn main() {
                 halfplane: HalfPlane::new(slope, b, op),
             };
             let before = pager.stats();
-            let mut fetch =
-                |_: &mut dyn Pager, id: u32| -> GeneralizedTuple { lookup[&id].clone() };
-            let r = idx.execute(&mut pager, &sel, &mut fetch).expect("in-hull query");
+            let fetch = |_: &dyn PageReader, id: u32| -> GeneralizedTuple { lookup[&id].clone() };
+            let r = idx.execute(&pager, &sel, &fetch).expect("in-hull query");
             // Cross-check against the oracle.
             let want: Vec<u32> = pairs
                 .iter()
@@ -103,10 +100,9 @@ fn main() {
             }
             // The simplex-covering path, for comparison.
             let before = pager.stats();
-            let mut fetch =
-                |_: &mut dyn Pager, id: u32| -> GeneralizedTuple { lookup[&id].clone() };
+            let fetch = |_: &dyn PageReader, id: u32| -> GeneralizedTuple { lookup[&id].clone() };
             let r1 = idx
-                .execute_simplex(&mut pager, &sel, &mut fetch)
+                .execute_simplex(&pager, &sel, &fetch)
                 .expect("in-hull query");
             assert_eq!(r1.ids(), r.ids(), "simplex and T2 agree");
             let io1 = pager.stats().since(&before).accesses();
@@ -126,7 +122,9 @@ fn main() {
         let e1 = t1_exist_io as f64 / (queries / 2) as f64;
         let a1 = t1_all_io as f64 / (queries / 2) as f64;
         println!("{dim:>4}{k:>8}{e:>14.1}{a:>14.1}{e1:>14.1}{a1:>14.1}{scan_pages:>14}");
-        csv.push_str(&format!("{dim},{k},{e:.1},{a:.1},{e1:.1},{a1:.1},{scan_pages}\n"));
+        csv.push_str(&format!(
+            "{dim},{k},{e:.1},{a:.1},{e1:.1},{a1:.1},{scan_pages}\n"
+        ));
     }
     std::fs::create_dir_all("results").expect("results dir");
     std::fs::write("results/dimension_sweep.csv", csv).expect("write CSV");

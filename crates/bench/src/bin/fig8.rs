@@ -8,8 +8,7 @@
 //! `--quick` restricts the cardinality sweep for smoke runs.
 
 use cdb_bench::{
-    print_figure, run_time_experiment, write_csv, PAPER_CARDINALITIES, PAPER_KS,
-    PAPER_SELECTIVITY,
+    print_figure, run_time_experiment, write_csv, PAPER_CARDINALITIES, PAPER_KS, PAPER_SELECTIVITY,
 };
 use cdb_workload::ObjectSize;
 
@@ -27,10 +26,7 @@ fn main() {
         PAPER_SELECTIVITY,
         0x0F19_9908,
     );
-    print_figure(
-        "Figure 8 — small objects, selectivity 10-15%",
-        &points,
-    );
+    print_figure("Figure 8 — small objects, selectivity 10-15%", &points);
     write_csv("fig8_small_objects", &points).expect("write results CSV");
     println!("\nwrote results/fig8_small_objects.csv");
 }

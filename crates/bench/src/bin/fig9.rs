@@ -10,8 +10,7 @@
 //! ```
 
 use cdb_bench::{
-    print_figure, run_time_experiment, write_csv, PAPER_CARDINALITIES, PAPER_KS,
-    PAPER_SELECTIVITY,
+    print_figure, run_time_experiment, write_csv, PAPER_CARDINALITIES, PAPER_KS, PAPER_SELECTIVITY,
 };
 use cdb_workload::ObjectSize;
 
@@ -29,10 +28,7 @@ fn main() {
         PAPER_SELECTIVITY,
         0x0F19_9909,
     );
-    print_figure(
-        "Figure 9 — medium objects, selectivity 10-15%",
-        &points,
-    );
+    print_figure("Figure 9 — medium objects, selectivity 10-15%", &points);
     write_csv("fig9_medium_objects", &points).expect("write results CSV");
     println!("\nwrote results/fig9_medium_objects.csv");
 }

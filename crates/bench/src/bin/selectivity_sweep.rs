@@ -18,8 +18,8 @@ fn main() {
     let k = 4;
     let spec = DatasetSpec::paper_1999(n, ObjectSize::Small, 0x5E1);
     let tuples = spec.generate();
-    let mut t2 = T2Bed::build(spec, k);
-    let mut rp = RplusBed::build(&tuples);
+    let t2 = T2Bed::build(spec, k);
+    let rp = RplusBed::build(&tuples);
     let bands: [(f64, f64); 6] = [
         (0.05, 0.07),
         (0.10, 0.15),

@@ -1,0 +1,87 @@
+//! Concurrent query throughput over one shared index snapshot.
+//!
+//! The paper's metric is page accesses per query, which is oblivious to
+//! concurrency; this run measures what the `&self` read path buys on modern
+//! hardware: a batch of calibrated selections executed by
+//! [`cdb_core::QueryExecutor`] at 1, 2, 4 and 8 workers over the paper's
+//! largest configuration (N = 12000, k = 4, small objects, 10–15 %
+//! selectivity). Every parallel run is cross-checked result-for-result
+//! against the sequential answers.
+//!
+//! ```text
+//! cargo run --release -p cdb-bench --bin throughput [--quick]
+//! ```
+
+use std::time::Instant;
+
+use cdb_bench::{selection_of, T2Bed};
+use cdb_core::{Selection, Strategy};
+use cdb_workload::{DatasetSpec, ObjectSize, QueryGen};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let n = if quick { 2000 } else { 12000 };
+    let k = 4;
+    let batch_len = if quick { 48 } else { 192 };
+    let repeats = 3;
+
+    let spec = DatasetSpec::paper_1999(n, ObjectSize::Small, 0x7412);
+    let bed = T2Bed::build(spec, k);
+    let mut qg = QueryGen::new(0x7413);
+    let battery = qg.battery(&bed.tuples, batch_len / 2, 0.10, 0.15);
+    let batch: Vec<(Selection, Strategy)> = battery
+        .iter()
+        .map(|q| (selection_of(q), Strategy::T2))
+        .collect();
+
+    let cores = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(1);
+    println!(
+        "Throughput — N={n}, k={k}, {} T2 queries/batch, best of {repeats} runs, \
+         {cores} core(s) available",
+        batch.len()
+    );
+    if cores == 1 {
+        println!("(single-core host: expect ~1.0x at every worker count)");
+    }
+
+    // Sequential truth, also the 1-thread warmup.
+    let sequential: Vec<Vec<u32>> = bed
+        .db
+        .query_batch("r", &batch, 1)
+        .expect("indexed relation")
+        .into_iter()
+        .map(|r| r.expect("calibrated query").ids().to_vec())
+        .collect();
+
+    println!("{:>10}{:>16}{:>12}", "threads", "queries/sec", "speedup");
+    let mut csv = String::from("threads,queries_per_sec,speedup\n");
+    let mut base_qps = 0.0;
+    for threads in [1usize, 2, 4, 8] {
+        let mut best_qps = 0.0f64;
+        for _ in 0..repeats {
+            let t0 = Instant::now();
+            let results = bed
+                .db
+                .query_batch("r", &batch, threads)
+                .expect("indexed relation");
+            let dt = t0.elapsed().as_secs_f64();
+            for (i, r) in results.iter().enumerate() {
+                let ids = r.as_ref().expect("calibrated query").ids();
+                assert_eq!(ids, sequential[i], "query {i} at {threads} threads");
+            }
+            best_qps = best_qps.max(batch.len() as f64 / dt);
+        }
+        if threads == 1 {
+            base_qps = best_qps;
+        }
+        let speedup = best_qps / base_qps;
+        println!("{threads:>10}{best_qps:>16.0}{speedup:>11.2}x");
+        csv.push_str(&format!("{threads},{best_qps:.0},{speedup:.3}\n"));
+    }
+    std::fs::create_dir_all("results").expect("results dir");
+    std::fs::write("results/throughput.csv", csv).expect("write CSV");
+    println!("\nall parallel results matched the sequential answers");
+    println!("wrote results/throughput.csv");
+}

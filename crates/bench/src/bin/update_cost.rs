@@ -16,7 +16,7 @@ use cdb_geometry::predicates;
 use cdb_geometry::tuple::GeneralizedTuple;
 use cdb_geometry::{HalfPlane, Rect};
 use cdb_rplustree::RPlusTree;
-use cdb_storage::{MemPager, Pager};
+use cdb_storage::{MemPager, PageReader, Pager};
 use cdb_workload::{tuple_mbr, DatasetSpec, ObjectSize, TupleGen};
 
 fn main() {
@@ -82,13 +82,13 @@ fn main() {
             let q = HalfPlane::above(0.37, -5.0);
             let lookup: std::collections::HashMap<u32, GeneralizedTuple> =
                 pairs.iter().cloned().collect();
-            let mut fetch = |_: &mut dyn Pager, id: u32| lookup[&id].clone();
+            let fetch = |_: &dyn PageReader, id: u32| lookup[&id].clone();
             let got = idx
                 .execute(
-                    &mut pager,
+                    &pager,
                     &Selection::exist(q.clone()),
                     cdb_core::Strategy::T2,
-                    &mut fetch,
+                    &fetch,
                 )
                 .expect("query");
             let want: Vec<u32> = pairs

@@ -19,7 +19,7 @@ use cdb_core::{ConstraintDb, DbConfig, QueryStats, Selection, SelectionKind, Slo
 use cdb_geometry::predicates;
 use cdb_geometry::tuple::GeneralizedTuple;
 use cdb_rplustree::RPlusTree;
-use cdb_storage::{HeapFile, MemPager, Pager, RecordId};
+use cdb_storage::{HeapFile, MemPager, PageReader, RecordId, TrackedReader};
 use cdb_workload::{tuple_mbr, CalibratedQuery, DatasetSpec, ObjectSize, QueryGen, QueryKind};
 
 /// The paper's relation cardinalities (Section 5).
@@ -50,7 +50,8 @@ impl T2Bed {
         let mut db = ConstraintDb::in_memory(DbConfig::paper_1999());
         db.create_relation("r", 2).expect("fresh db");
         for t in &tuples {
-            db.insert("r", t.clone()).expect("satisfiable by construction");
+            db.insert("r", t.clone())
+                .expect("satisfiable by construction");
         }
         db.build_dual_index("r", SlopeSet::uniform_tan(k))
             .expect("2-D relation");
@@ -68,7 +69,7 @@ impl T2Bed {
     }
 
     /// Runs one calibrated query, returning `(stats, result ids)`.
-    pub fn run(&mut self, q: &CalibratedQuery, strategy: Strategy) -> (QueryStats, Vec<u32>) {
+    pub fn run(&self, q: &CalibratedQuery, strategy: Strategy) -> (QueryStats, Vec<u32>) {
         let sel = selection_of(q);
         let r = self
             .db
@@ -100,7 +101,7 @@ impl RplusBed {
             items.push((tuple_mbr(t), i as u32));
         }
         let tree = RPlusTree::pack(&mut pager, &items, 1.0);
-        tree.validate(&mut pager, false);
+        tree.validate(&pager, false);
         RplusBed {
             pager,
             tree,
@@ -119,16 +120,20 @@ impl RplusBed {
     /// (ALL is approximated by EXIST, Section 1), then exact refinement of
     /// every candidate against the fetched tuples (page-batched, like the
     /// dual index's refinement).
-    pub fn run(&mut self, q: &CalibratedQuery) -> (QueryStats, Vec<u32>) {
+    pub fn run(&self, q: &CalibratedQuery) -> (QueryStats, Vec<u32>) {
         let mut stats = QueryStats::default();
-        let before = self.pager.stats();
-        let (candidates, search) = self.tree.search_halfplane(&mut self.pager, &q.halfplane);
-        stats.index_io = self.pager.stats().since(&before);
+        let tracked = TrackedReader::new(&self.pager);
+        let before = tracked.stats();
+        let (candidates, search) = self.tree.search_halfplane(&tracked, &q.halfplane);
+        stats.index_io = tracked.stats().since(&before);
         stats.candidates = search.raw_hits;
         stats.duplicates = search.duplicates;
-        let heap_before = self.pager.stats();
-        let rids: Vec<_> = candidates.iter().map(|&id| self.slots[id as usize]).collect();
-        let records = self.heap.get_many(&mut self.pager, &rids);
+        let heap_before = tracked.stats();
+        let rids: Vec<_> = candidates
+            .iter()
+            .map(|&id| self.slots[id as usize])
+            .collect();
+        let records = self.heap.get_many(&tracked, &rids);
         let mut ids = Vec::with_capacity(candidates.len());
         for (id, bytes) in candidates.into_iter().zip(records) {
             let t = GeneralizedTuple::decode(&bytes.expect("live record")).expect("valid record");
@@ -142,20 +147,16 @@ impl RplusBed {
                 stats.false_hits += 1;
             }
         }
-        stats.heap_io = self.pager.stats().since(&heap_before);
+        stats.heap_io = tracked.stats().since(&heap_before);
         (stats, ids)
     }
 
     /// Brute-force oracle over the stored tuples.
     pub fn oracle(&self, q: &CalibratedQuery) -> Vec<u32> {
-        predicates::oracle_select(
-            &q.halfplane,
-            q.kind == QueryKind::All,
-            self.tuples.iter(),
-        )
-        .into_iter()
-        .map(|i| i as u32)
-        .collect()
+        predicates::oracle_select(&q.halfplane, q.kind == QueryKind::All, self.tuples.iter())
+            .into_iter()
+            .map(|i| i as u32)
+            .collect()
     }
 }
 
@@ -234,7 +235,7 @@ pub fn run_time_experiment(
         let battery = qg.battery(&tuples, QUERIES_PER_KIND, selectivity.0, selectivity.1);
 
         // Baseline first (also provides the oracle).
-        let mut rbed = RplusBed::build(&tuples);
+        let rbed = RplusBed::build(&tuples);
         let mut rstats = Vec::new();
         let mut expected: Vec<Vec<u32>> = Vec::new();
         for q in &battery {
@@ -256,7 +257,7 @@ pub fn run_time_experiment(
         });
 
         for &k in ks {
-            let mut bed = T2Bed::build(spec, k);
+            let bed = T2Bed::build(spec, k);
             let mut tstats = Vec::new();
             for (qi, q) in battery.iter().enumerate() {
                 let (s, ids) = bed.run(q, Strategy::T2);
@@ -362,7 +363,10 @@ mod tests {
         // single R+-tree for larger k. (The paper's constant is 1.32·k with
         // its insertion-built trees; our bulk-packed structures differ in
         // fill and clipping duplication, so only the shape is asserted.)
-        assert!(t5.index_pages() > r.index_pages(), "5 tree pairs beat 1 R+ tree");
+        assert!(
+            t5.index_pages() > r.index_pages(),
+            "5 tree pairs beat 1 R+ tree"
+        );
         let ratio = t5.index_pages() as f64 / t2.index_pages() as f64;
         assert!((2.0..3.2).contains(&ratio), "k=5/k=2 page ratio {ratio}");
     }

@@ -104,7 +104,9 @@ impl<'a> Leaf<'a> {
 
     /// All entries in key order.
     pub fn entries(&self) -> Vec<(f64, u32)> {
-        (0..self.count()).map(|i| (self.key(i), self.value(i))).collect()
+        (0..self.count())
+            .map(|i| (self.key(i), self.value(i)))
+            .collect()
     }
 
     /// First index whose key is `≥ k` (lower bound), or `count()`.

@@ -2,8 +2,10 @@
 //!
 //! Trees do not own their pager — many trees (the `2k` `B^up`/`B^down`
 //! forests of Section 3) share one, so the pager's live-page count is the
-//! space metric of Figure 10. Every operation takes `&mut dyn Pager`
-//! explicitly and its page accesses are counted there.
+//! space metric of Figure 10. Mutating operations take `&mut dyn Pager`
+//! explicitly; searches and sweeps only need a `&dyn PageReader`, so a
+//! built tree can serve concurrent queries. Page accesses are counted in
+//! the pager either way.
 //!
 //! **Deletion policy.** Entries are removed in place; leaves are never
 //! merged (the PostgreSQL-style relaxed deletion): an emptied leaf stays in
@@ -13,7 +15,7 @@
 //! build-then-query); the paper's `O(log_B n)` amortized update bound still
 //! holds since no operation exceeds one root-to-leaf path plus splits.
 
-use cdb_storage::{PageId, Pager};
+use cdb_storage::{PageId, PageReader, Pager};
 
 use crate::layout::{internal_capacity, leaf_capacity, Handicaps, NULL_PAGE};
 use crate::node::{is_leaf, Internal, Leaf};
@@ -125,7 +127,7 @@ impl BTree {
         self.pages
     }
 
-    fn read(&self, pager: &mut dyn Pager, id: PageId, buf: &mut [u8]) {
+    fn read(&self, pager: &dyn PageReader, id: PageId, buf: &mut [u8]) {
         pager.read(id, buf);
     }
 
@@ -142,14 +144,14 @@ impl BTree {
         let mut page = self.root;
         let mut buf = vec![0u8; self.page_size];
         for _ in 0..self.height {
-            self.read(pager, page, &mut buf);
+            self.read(&*pager, page, &mut buf);
             let node = Internal::new(&mut buf);
             let idx = node.descend_index(key);
             let child = node.child(idx);
             path.push((page, idx));
             page = child;
         }
-        self.read(pager, page, &mut buf);
+        self.read(&*pager, page, &mut buf);
         let mut leaf = Leaf::new(&mut buf);
         if leaf.count() < leaf_capacity(self.page_size) {
             leaf.insert(self.page_size, key, value);
@@ -178,7 +180,7 @@ impl BTree {
             self.last_leaf = new_page;
         } else {
             let mut nbuf = vec![0u8; self.page_size];
-            self.read(pager, old_next, &mut nbuf);
+            self.read(&*pager, old_next, &mut nbuf);
             Leaf::new(&mut nbuf).set_prev(new_page);
             pager.write(old_next, &nbuf);
         }
@@ -205,7 +207,7 @@ impl BTree {
     ) {
         let mut buf = vec![0u8; self.page_size];
         while let Some((page, idx)) = path.pop() {
-            self.read(pager, page, &mut buf);
+            self.read(&*pager, page, &mut buf);
             let mut node = Internal::new(&mut buf);
             if node.count() < internal_capacity(self.page_size) {
                 node.insert_at(self.page_size, idx, sep, right_child);
@@ -251,12 +253,12 @@ impl BTree {
     pub fn delete(&mut self, pager: &mut dyn Pager, key: f64, value: u32) -> bool {
         assert!(!key.is_nan(), "NaN keys are not allowed");
         let k32 = key as f32 as f64;
-        let Some((mut page, mut slot)) = self.find_first_geq(pager, k32) else {
+        let Some((mut page, mut slot)) = self.find_first_geq(&*pager, k32) else {
             return false;
         };
         let mut buf = vec![0u8; self.page_size];
         loop {
-            self.read(pager, page, &mut buf);
+            self.read(&*pager, page, &mut buf);
             let mut leaf = Leaf::new(&mut buf);
             while slot < leaf.count() {
                 let k = leaf.key(slot);
@@ -279,7 +281,7 @@ impl BTree {
                         // rebuild.
                         if next != NULL_PAGE {
                             let mut nbuf = vec![0u8; self.page_size];
-                            self.read(pager, next, &mut nbuf);
+                            self.read(&*pager, next, &mut nbuf);
                             let mut nleaf = Leaf::new(&mut nbuf);
                             let mut nh = nleaf.handicaps();
                             nh.low_prev = nh.low_prev.min(h.low_prev);
@@ -289,7 +291,7 @@ impl BTree {
                         }
                         if prev != NULL_PAGE {
                             let mut pbuf = vec![0u8; self.page_size];
-                            self.read(pager, prev, &mut pbuf);
+                            self.read(&*pager, prev, &mut pbuf);
                             let mut pleaf = Leaf::new(&mut pbuf);
                             let mut ph = pleaf.handicaps();
                             ph.high_prev = ph.high_prev.max(h.high_prev);
@@ -315,7 +317,7 @@ impl BTree {
 
     /// Locates the first entry with key `≥ key`: `(leaf page, slot)`.
     /// Returns `None` when every key is smaller.
-    pub fn find_first_geq(&self, pager: &mut dyn Pager, key: f64) -> Option<(PageId, usize)> {
+    pub fn find_first_geq(&self, pager: &dyn PageReader, key: f64) -> Option<(PageId, usize)> {
         let mut page = self.root;
         let mut buf = vec![0u8; self.page_size];
         for _ in 0..self.height {
@@ -340,7 +342,7 @@ impl BTree {
 
     /// Locates the last entry with key `≤ key`: `(leaf page, slot)`.
     /// Returns `None` when every key is larger.
-    pub fn find_last_leq(&self, pager: &mut dyn Pager, key: f64) -> Option<(PageId, usize)> {
+    pub fn find_last_leq(&self, pager: &dyn PageReader, key: f64) -> Option<(PageId, usize)> {
         let mut page = self.root;
         let mut buf = vec![0u8; self.page_size];
         for _ in 0..self.height {
@@ -368,7 +370,7 @@ impl BTree {
     }
 
     /// Collects all values whose key lies in `[lo, hi]` (both inclusive).
-    pub fn range(&self, pager: &mut dyn Pager, lo: f64, hi: f64) -> Vec<(f64, u32)> {
+    pub fn range(&self, pager: &dyn PageReader, lo: f64, hi: f64) -> Vec<(f64, u32)> {
         let mut out = Vec::new();
         self.sweep_up(pager, lo, |snap| {
             for &(k, v) in &snap.entries {
@@ -386,7 +388,7 @@ impl BTree {
 
     /// Sweeps leaves upward starting from the first entry with key `≥ from`,
     /// invoking `visit` once per leaf (ascending entries ≥ `from`).
-    pub fn sweep_up<F>(&self, pager: &mut dyn Pager, from: f64, mut visit: F)
+    pub fn sweep_up<F>(&self, pager: &dyn PageReader, from: f64, mut visit: F)
     where
         F: FnMut(&LeafSnapshot) -> SweepControl,
     {
@@ -420,7 +422,7 @@ impl BTree {
 
     /// Sweeps leaves downward starting from the last entry with key `≤ from`,
     /// invoking `visit` once per leaf (descending entries ≤ `from`).
-    pub fn sweep_down<F>(&self, pager: &mut dyn Pager, from: f64, mut visit: F)
+    pub fn sweep_down<F>(&self, pager: &dyn PageReader, from: f64, mut visit: F)
     where
         F: FnMut(&LeafSnapshot) -> SweepControl,
     {
@@ -436,7 +438,10 @@ impl BTree {
             let entries: Vec<(f64, u32)> = if leaf.count() == 0 {
                 Vec::new()
             } else {
-                (0..=hi).rev().map(|i| (leaf.key(i), leaf.value(i))).collect()
+                (0..=hi)
+                    .rev()
+                    .map(|i| (leaf.key(i), leaf.value(i)))
+                    .collect()
             };
             let snap = LeafSnapshot {
                 page,
@@ -462,11 +467,7 @@ impl BTree {
     ///
     /// # Panics
     /// Panics if the input is unsorted or `fill` is out of range.
-    pub fn bulk_load(
-        pager: &mut dyn Pager,
-        entries: &[(f64, u32)],
-        fill: f64,
-    ) -> Self {
+    pub fn bulk_load(pager: &mut dyn Pager, entries: &[(f64, u32)], fill: f64) -> Self {
         assert!((0.5..=1.0).contains(&fill), "fill factor out of range");
         let page_size = pager.page_size();
         if entries.is_empty() {
@@ -484,7 +485,10 @@ impl BTree {
             let mut leaf = Leaf::init(&mut buf);
             for &(k, v) in chunk {
                 assert!(!k.is_nan(), "NaN keys are not allowed");
-                assert!(k >= prev_key || (k as f32 as f64) >= prev_key, "unsorted bulk load");
+                assert!(
+                    k >= prev_key || (k as f32 as f64) >= prev_key,
+                    "unsorted bulk load"
+                );
                 prev_key = k as f32 as f64;
                 leaf.insert(page_size, k, v);
             }
@@ -546,11 +550,11 @@ impl BTree {
     /// Rewrites the tree compactly (full leaves) and frees the old pages.
     pub fn rebuild(&mut self, pager: &mut dyn Pager) {
         let mut entries = Vec::with_capacity(self.len as usize);
-        self.sweep_up(pager, f64::NEG_INFINITY, |snap| {
+        self.sweep_up(&*pager, f64::NEG_INFINITY, |snap| {
             entries.extend_from_slice(&snap.entries);
             SweepControl::Continue
         });
-        let old_pages = self.collect_pages(pager);
+        let old_pages = self.collect_pages(&*pager);
         let rebuilt = BTree::bulk_load(pager, &entries, 1.0);
         for p in old_pages {
             pager.free(p);
@@ -559,7 +563,7 @@ impl BTree {
     }
 
     /// All page ids owned by the tree (BFS).
-    fn collect_pages(&self, pager: &mut dyn Pager) -> Vec<PageId> {
+    fn collect_pages(&self, pager: &dyn PageReader) -> Vec<PageId> {
         let mut out = Vec::new();
         let mut queue = vec![self.root];
         let mut buf = vec![0u8; self.page_size];
@@ -578,7 +582,7 @@ impl BTree {
 
     /// Frees every page of the tree.
     pub fn destroy(self, pager: &mut dyn Pager) {
-        for p in self.collect_pages(pager) {
+        for p in self.collect_pages(&*pager) {
             pager.free(p);
         }
     }
@@ -586,7 +590,7 @@ impl BTree {
     // ----------------------------------------------------------- handicaps --
 
     /// Walks the leaf chain left to right.
-    pub fn leaves(&self, pager: &mut dyn Pager) -> Vec<LeafInfo> {
+    pub fn leaves(&self, pager: &dyn PageReader) -> Vec<LeafInfo> {
         let mut out = Vec::new();
         let mut page = self.first_leaf;
         let mut buf = vec![0u8; self.page_size];
@@ -597,7 +601,11 @@ impl BTree {
             out.push(LeafInfo {
                 page,
                 min_key: if count > 0 { leaf.key(0) } else { f64::NAN },
-                max_key: if count > 0 { leaf.key(count - 1) } else { f64::NAN },
+                max_key: if count > 0 {
+                    leaf.key(count - 1)
+                } else {
+                    f64::NAN
+                },
                 count,
             });
             let next = leaf.next();
@@ -619,7 +627,7 @@ impl BTree {
     }
 
     /// Reads the handicap slots of a leaf page (one page access).
-    pub fn read_handicaps(&self, pager: &mut dyn Pager, page: PageId) -> Handicaps {
+    pub fn read_handicaps(&self, pager: &dyn PageReader, page: PageId) -> Handicaps {
         let mut buf = vec![0u8; self.page_size];
         self.read(pager, page, &mut buf);
         Leaf::new(&mut buf).handicaps()
@@ -628,7 +636,7 @@ impl BTree {
     /// Overwrites the handicap slots of `page` (must be a leaf of this tree).
     pub fn set_handicaps(&self, pager: &mut dyn Pager, page: PageId, h: Handicaps) {
         let mut buf = vec![0u8; self.page_size];
-        self.read(pager, page, &mut buf);
+        self.read(&*pager, page, &mut buf);
         let mut leaf = Leaf::new(&mut buf);
         leaf.set_handicaps(h);
         pager.write(page, &buf);
@@ -639,7 +647,7 @@ impl BTree {
     /// Exhaustively checks structural invariants (tests/debugging):
     /// key order within and across leaves, chain consistency, separator
     /// bounds, entry count. Panics with a description on violation.
-    pub fn validate(&self, pager: &mut dyn Pager) {
+    pub fn validate(&self, pager: &dyn PageReader) {
         // Leaf chain: ordered keys, consistent prev links, count total.
         let mut total = 0u64;
         let mut prev_page = NULL_PAGE;
@@ -666,10 +674,16 @@ impl BTree {
         }
         assert_eq!(total, self.len, "len out of sync");
         // Separator sanity: every key reachable via find_first_geq of itself.
-        self.check_node(pager, self.root, self.height, f64::NEG_INFINITY, f64::INFINITY);
+        self.check_node(
+            pager,
+            self.root,
+            self.height,
+            f64::NEG_INFINITY,
+            f64::INFINITY,
+        );
     }
 
-    fn check_node(&self, pager: &mut dyn Pager, page: PageId, depth: usize, lo: f64, hi: f64) {
+    fn check_node(&self, pager: &dyn PageReader, page: PageId, depth: usize, lo: f64, hi: f64) {
         let mut buf = vec![0u8; self.page_size];
         self.read(pager, page, &mut buf);
         if depth == 0 {
@@ -724,11 +738,11 @@ mod tests {
             t.insert(&mut pager, (i * 7 % 100) as f64, i);
         }
         assert_eq!(t.len(), 100);
-        t.validate(&mut pager);
+        t.validate(&pager);
         let all = collect_all(&t, &mut pager);
         assert_eq!(all.len(), 100);
         assert!(all.windows(2).all(|w| w[0].0 <= w[1].0), "sorted output");
-        let r = t.range(&mut pager, 10.0, 19.0);
+        let r = t.range(&pager, 10.0, 19.0);
         assert_eq!(r.len(), 10);
         assert!(r.iter().all(|&(k, _)| (10.0..=19.0).contains(&k)));
     }
@@ -743,10 +757,10 @@ mod tests {
         for v in 0..50u32 {
             t.insert(&mut pager, 2.0, v + 100);
         }
-        t.validate(&mut pager);
-        let r = t.range(&mut pager, 1.0, 1.0);
+        t.validate(&pager);
+        let r = t.range(&pager, 1.0, 1.0);
         assert_eq!(r.len(), 50);
-        let r2 = t.range(&mut pager, 2.0, 2.0);
+        let r2 = t.range(&pager, 2.0, 2.0);
         assert_eq!(r2.len(), 50);
     }
 
@@ -757,7 +771,7 @@ mod tests {
         for i in (0..200u32).rev() {
             t.insert(&mut pager, i as f64, i);
         }
-        t.validate(&mut pager);
+        t.validate(&pager);
         assert_eq!(t.len(), 200);
         assert!(t.height() >= 1);
         let all = collect_all(&t, &mut pager);
@@ -776,7 +790,7 @@ mod tests {
         assert_eq!(all[0], (f64::NEG_INFINITY, 2));
         assert_eq!(all[2], (f64::INFINITY, 1));
         // Sweep from a finite key sees only the +inf and finite entries.
-        let r = t.range(&mut pager, -10.0, f64::INFINITY);
+        let r = t.range(&pager, -10.0, f64::INFINITY);
         assert_eq!(r.len(), 2);
     }
 
@@ -791,10 +805,10 @@ mod tests {
         assert!(!t.delete(&mut pager, 5.0, 17), "already gone");
         assert!(!t.delete(&mut pager, 6.0, 0), "absent key");
         assert_eq!(t.len(), 29);
-        let vals: Vec<u32> = t.range(&mut pager, 5.0, 5.0).iter().map(|e| e.1).collect();
+        let vals: Vec<u32> = t.range(&pager, 5.0, 5.0).iter().map(|e| e.1).collect();
         assert!(!vals.contains(&17));
         assert_eq!(vals.len(), 29);
-        t.validate(&mut pager);
+        t.validate(&pager);
     }
 
     #[test]
@@ -808,11 +822,11 @@ mod tests {
             assert!(t.delete(&mut pager, i as f64, i), "delete {i}");
         }
         assert_eq!(t.len(), 0);
-        t.validate(&mut pager);
+        t.validate(&pager);
         for i in 0..50u32 {
             t.insert(&mut pager, i as f64, i + 1000);
         }
-        t.validate(&mut pager);
+        t.validate(&pager);
         assert_eq!(collect_all(&t, &mut pager).len(), 50);
     }
 
@@ -823,17 +837,17 @@ mod tests {
         for i in 0..50 {
             t.insert(&mut pager, (i * 2) as f64, i as u32); // evens 0..98
         }
-        let (page, slot) = t.find_first_geq(&mut pager, 51.0).unwrap();
+        let (page, slot) = t.find_first_geq(&pager, 51.0).unwrap();
         let mut buf = vec![0u8; P];
         pager.read(page, &mut buf);
         let leaf = Leaf::new(&mut buf);
         assert_eq!(leaf.key(slot), 52.0);
-        let (page, slot) = t.find_last_leq(&mut pager, 51.0).unwrap();
+        let (page, slot) = t.find_last_leq(&pager, 51.0).unwrap();
         pager.read(page, &mut buf);
         let leaf = Leaf::new(&mut buf);
         assert_eq!(leaf.key(slot), 50.0);
-        assert!(t.find_first_geq(&mut pager, 99.0).is_none());
-        assert!(t.find_last_leq(&mut pager, -1.0).is_none());
+        assert!(t.find_first_geq(&pager, 99.0).is_none());
+        assert!(t.find_last_leq(&pager, -1.0).is_none());
     }
 
     #[test]
@@ -844,7 +858,7 @@ mod tests {
             t.insert(&mut pager, i as f64, i);
         }
         let mut seen = Vec::new();
-        t.sweep_down(&mut pager, 42.5, |snap| {
+        t.sweep_down(&pager, 42.5, |snap| {
             seen.extend(snap.entries.iter().map(|e| e.0));
             SweepControl::Continue
         });
@@ -862,7 +876,7 @@ mod tests {
             t.insert(&mut pager, i as f64, i);
         }
         let mut leaves = 0;
-        t.sweep_up(&mut pager, 0.0, |_| {
+        t.sweep_up(&pager, 0.0, |_| {
             leaves += 1;
             if leaves == 3 {
                 SweepControl::Stop
@@ -878,7 +892,7 @@ mod tests {
         let mut pager = MemPager::new(P);
         let entries: Vec<(f64, u32)> = (0..1000).map(|i| (i as f64 / 3.0, i as u32)).collect();
         let t = BTree::bulk_load(&mut pager, &entries, 1.0);
-        t.validate(&mut pager);
+        t.validate(&pager);
         assert_eq!(t.len(), 1000);
         let all = collect_all(&t, &mut pager);
         assert_eq!(all.len(), 1000);
@@ -902,7 +916,7 @@ mod tests {
         assert!(t.is_empty());
         let t2 = BTree::bulk_load(&mut pager, &[(1.5, 9)], 0.7);
         assert_eq!(t2.len(), 1);
-        assert_eq!(t2.range(&mut pager, 1.0, 2.0), vec![(1.5, 9)]);
+        assert_eq!(t2.range(&pager, 1.0, 2.0), vec![(1.5, 9)]);
     }
 
     #[test]
@@ -917,7 +931,7 @@ mod tests {
         let mut pager = MemPager::new(P);
         let entries: Vec<(f64, u32)> = (0..100).map(|i| (i as f64, i as u32)).collect();
         let t = BTree::bulk_load(&mut pager, &entries, 1.0);
-        let leaves = t.leaves(&mut pager);
+        let leaves = t.leaves(&pager);
         assert!(leaves.len() > 3);
         for (i, l) in leaves.iter().enumerate() {
             t.set_handicaps(
@@ -932,11 +946,14 @@ mod tests {
             );
         }
         let mut seen = Vec::new();
-        t.sweep_up(&mut pager, f64::NEG_INFINITY, |snap| {
+        t.sweep_up(&pager, f64::NEG_INFINITY, |snap| {
             seen.push(snap.handicaps.low_prev);
             SweepControl::Continue
         });
-        assert_eq!(seen, (0..leaves.len()).map(|i| i as f64).collect::<Vec<_>>());
+        assert_eq!(
+            seen,
+            (0..leaves.len()).map(|i| i as f64).collect::<Vec<_>>()
+        );
     }
 
     #[test]
@@ -944,7 +961,7 @@ mod tests {
         let mut pager = MemPager::new(P);
         let entries: Vec<(f64, u32)> = (0..95).map(|i| (i as f64, i as u32)).collect();
         let t = BTree::bulk_load(&mut pager, &entries, 1.0);
-        let leaves = t.leaves(&mut pager);
+        let leaves = t.leaves(&pager);
         assert_eq!(leaves.iter().map(|l| l.count).sum::<usize>(), 95);
         assert_eq!(leaves[0].min_key, 0.0);
         assert_eq!(leaves.last().unwrap().max_key, 94.0);
@@ -966,7 +983,7 @@ mod tests {
         }
         let before = pager.live_pages();
         t.rebuild(&mut pager);
-        t.validate(&mut pager);
+        t.validate(&pager);
         assert_eq!(t.len(), 20);
         assert!(pager.live_pages() < before, "rebuild reclaims pages");
         let all = collect_all(&t, &mut pager);
@@ -1004,7 +1021,9 @@ mod tests {
         let mut oracle: BTreeMap<(i64, u32), ()> = BTreeMap::new();
         let mut seed = 0x12345678u64;
         let mut rand = || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (seed >> 33) as u32
         };
         for step in 0..3000u32 {
@@ -1022,10 +1041,10 @@ mod tests {
                 oracle.insert((k as i64, step), ());
             }
             if step % 500 == 0 {
-                t.validate(&mut pager);
+                t.validate(&pager);
             }
         }
-        t.validate(&mut pager);
+        t.validate(&pager);
         assert_eq!(t.len() as usize, oracle.len());
         let all = collect_all(&t, &mut pager);
         let mut got: Vec<(i64, u32)> = all.iter().map(|&(k, v)| (k as i64, v)).collect();

@@ -1,11 +1,11 @@
-//! Property tests: the B⁺-tree against `std::collections::BTreeMap` under
-//! arbitrary operation sequences, plus structural invariants.
+//! Randomized tests: the B⁺-tree against `std::collections::BTreeMap` under
+//! seeded operation sequences, plus structural invariants.
 
-use proptest::prelude::*;
 use std::collections::BTreeMap;
 
 use cdb_btree::{BTree, SweepControl};
-use cdb_storage::{MemPager, Pager};
+use cdb_prng::StdRng;
+use cdb_storage::{MemPager, PageReader};
 
 /// An operation in a randomized workload.
 #[derive(Clone, Debug)]
@@ -16,16 +16,23 @@ enum Op {
     SweepDown(i16),
 }
 
-fn arb_op() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        3 => (any::<i16>(), any::<u32>()).prop_map(|(k, v)| Op::Insert(k % 500, v)),
-        1 => any::<i16>().prop_map(|k| Op::Delete(k % 500)),
-        1 => (any::<i16>(), any::<i16>()).prop_map(|(a, b)| Op::Range(a % 500, b % 500)),
-        1 => any::<i16>().prop_map(|k| Op::SweepDown(k % 500)),
-    ]
+fn random_op(rng: &mut StdRng) -> Op {
+    let key = |rng: &mut StdRng| (rng.gen::<u32>() as i16) % 500;
+    match rng.gen_range(0..6u32) {
+        0..=2 => {
+            let k = key(rng);
+            Op::Insert(k, rng.gen::<u32>())
+        }
+        3 => Op::Delete(key(rng)),
+        4 => {
+            let a = key(rng);
+            Op::Range(a, key(rng))
+        }
+        _ => Op::SweepDown(key(rng)),
+    }
 }
 
-fn collect_all(tree: &BTree, pager: &mut dyn Pager) -> Vec<(f64, u32)> {
+fn collect_all(tree: &BTree, pager: &dyn PageReader) -> Vec<(f64, u32)> {
     let mut out = Vec::new();
     tree.sweep_up(pager, f64::NEG_INFINITY, |s| {
         out.extend_from_slice(&s.entries);
@@ -34,11 +41,12 @@ fn collect_all(tree: &BTree, pager: &mut dyn Pager) -> Vec<(f64, u32)> {
     out
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn random_ops_match_btreemap(ops in prop::collection::vec(arb_op(), 1..400)) {
+#[test]
+fn random_ops_match_btreemap() {
+    for seed in 0..48u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n_ops = rng.gen_range(1..400usize);
+        let ops: Vec<Op> = (0..n_ops).map(|_| random_op(&mut rng)).collect();
         // Tiny pages force splits constantly.
         let mut pager = MemPager::new(128);
         let mut tree = BTree::new(&mut pager);
@@ -58,27 +66,25 @@ proptest! {
                         .map(|(kv, _)| *kv);
                     match pick {
                         Some((ok, ov)) => {
-                            prop_assert!(tree.delete(&mut pager, ok as f64, ov));
+                            assert!(tree.delete(&mut pager, ok as f64, ov), "seed {seed}");
                             oracle.remove(&(ok, ov));
                         }
                         None => {
-                            prop_assert!(!tree.delete(&mut pager, k as f64, 12345));
+                            assert!(!tree.delete(&mut pager, k as f64, 12345), "seed {seed}");
                         }
                     }
                 }
                 Op::Range(a, b) => {
                     let (lo, hi) = (a.min(b) as f64, a.max(b) as f64);
-                    let got = tree.range(&mut pager, lo, hi);
-                    let want = oracle
-                        .range((lo as i64, 0)..=(hi as i64, u32::MAX))
-                        .count();
-                    prop_assert_eq!(got.len(), want, "range [{}, {}]", lo, hi);
-                    prop_assert!(got.windows(2).all(|w| w[0].0 <= w[1].0));
+                    let got = tree.range(&pager, lo, hi);
+                    let want = oracle.range((lo as i64, 0)..=(hi as i64, u32::MAX)).count();
+                    assert_eq!(got.len(), want, "range [{lo}, {hi}] (seed {seed})");
+                    assert!(got.windows(2).all(|w| w[0].0 <= w[1].0));
                 }
                 Op::SweepDown(k) => {
                     let mut last = f64::INFINITY;
                     let mut n = 0usize;
-                    tree.sweep_down(&mut pager, k as f64, |snap| {
+                    tree.sweep_down(&pager, k as f64, |snap| {
                         for &(key, _) in &snap.entries {
                             assert!(key <= last, "descending order violated");
                             last = key;
@@ -86,27 +92,30 @@ proptest! {
                         }
                         SweepControl::Continue
                     });
-                    let want = oracle
-                        .range((i64::MIN, 0)..=(k as i64, u32::MAX))
-                        .count();
-                    prop_assert_eq!(n, want, "sweep_down from {}", k);
+                    let want = oracle.range((i64::MIN, 0)..=(k as i64, u32::MAX)).count();
+                    assert_eq!(n, want, "sweep_down from {k} (seed {seed})");
                 }
             }
         }
-        tree.validate(&mut pager);
-        prop_assert_eq!(tree.len() as usize, oracle.len());
-        let all = collect_all(&tree, &mut pager);
+        tree.validate(&pager);
+        assert_eq!(tree.len() as usize, oracle.len(), "seed {seed}");
+        let all = collect_all(&tree, &pager);
         let mut got: Vec<(i64, u32)> = all.iter().map(|&(k, v)| (k as i64, v)).collect();
         got.sort_unstable();
         let want: Vec<(i64, u32)> = oracle.keys().copied().collect();
-        prop_assert_eq!(got, want);
+        assert_eq!(got, want, "seed {seed}");
     }
+}
 
-    #[test]
-    fn bulk_load_equals_insertion_build(
-        mut keys in prop::collection::vec(-1000i32..1000, 1..300),
-        fill in 0.5f64..1.0,
-    ) {
+#[test]
+fn bulk_load_equals_insertion_build() {
+    for seed in 0..32u64 {
+        let mut rng = StdRng::seed_from_u64(100 + seed);
+        let n_keys = rng.gen_range(1..300usize);
+        let mut keys: Vec<i32> = (0..n_keys)
+            .map(|_| rng.gen_range(-1000i64..1000) as i32)
+            .collect();
+        let fill = rng.gen_range(0.5f64..1.0);
         keys.sort_unstable();
         let entries: Vec<(f64, u32)> = keys
             .iter()
@@ -115,26 +124,31 @@ proptest! {
             .collect();
         let mut p1 = MemPager::new(128);
         let bulk = BTree::bulk_load(&mut p1, &entries, fill);
-        bulk.validate(&mut p1);
+        bulk.validate(&p1);
         let mut p2 = MemPager::new(128);
         let mut incr = BTree::new(&mut p2);
         for &(k, v) in &entries {
             incr.insert(&mut p2, k, v);
         }
-        let mut a: Vec<u32> = collect_all(&bulk, &mut p1).iter().map(|e| e.1).collect();
-        let mut b: Vec<u32> = collect_all(&incr, &mut p2).iter().map(|e| e.1).collect();
+        let mut a: Vec<u32> = collect_all(&bulk, &p1).iter().map(|e| e.1).collect();
+        let mut b: Vec<u32> = collect_all(&incr, &p2).iter().map(|e| e.1).collect();
         a.sort_unstable();
         b.sort_unstable();
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b, "seed {seed}");
         // Keys come back in order from both.
-        prop_assert!(collect_all(&bulk, &mut p1).windows(2).all(|w| w[0].0 <= w[1].0));
+        assert!(collect_all(&bulk, &p1).windows(2).all(|w| w[0].0 <= w[1].0));
     }
+}
 
-    #[test]
-    fn sweeps_partition_the_key_space(
-        keys in prop::collection::vec(-500i32..500, 1..200),
-        pivot in -500i32..500,
-    ) {
+#[test]
+fn sweeps_partition_the_key_space() {
+    for seed in 0..32u64 {
+        let mut rng = StdRng::seed_from_u64(200 + seed);
+        let n_keys = rng.gen_range(1..200usize);
+        let keys: Vec<i32> = (0..n_keys)
+            .map(|_| rng.gen_range(-500i64..500) as i32)
+            .collect();
+        let pivot = rng.gen_range(-500i64..500) as i32;
         let mut pager = MemPager::new(128);
         let mut tree = BTree::new(&mut pager);
         for (i, &k) in keys.iter().enumerate() {
@@ -143,16 +157,16 @@ proptest! {
         // Everything strictly below pivot from sweep_down(pivot - eps),
         // everything >= pivot from sweep_up(pivot): together = all.
         let mut up = 0usize;
-        tree.sweep_up(&mut pager, pivot as f64, |s| {
+        tree.sweep_up(&pager, pivot as f64, |s| {
             up += s.entries.len();
             SweepControl::Continue
         });
         let mut down = 0usize;
-        tree.sweep_down(&mut pager, (pivot as f64).next_down(), |s| {
+        tree.sweep_down(&pager, (pivot as f64).next_down(), |s| {
             down += s.entries.len();
             SweepControl::Continue
         });
-        prop_assert_eq!(up + down, keys.len());
+        assert_eq!(up + down, keys.len(), "seed {seed}, pivot {pivot}");
     }
 }
 
@@ -164,7 +178,7 @@ fn handicaps_survive_heavy_splitting() {
     // Set distinctive handicaps on the single root leaf, then split it many
     // times: every descendant leaf must inherit (conservative bounds).
     tree.insert(&mut pager, 0.0, 0);
-    let first = tree.leaves(&mut pager)[0].page;
+    let first = tree.leaves(&pager)[0].page;
     tree.set_handicaps(
         &mut pager,
         first,
@@ -178,8 +192,8 @@ fn handicaps_survive_heavy_splitting() {
     for i in 1..300u32 {
         tree.insert(&mut pager, i as f64, i);
     }
-    for leaf in tree.leaves(&mut pager) {
-        let h = tree.read_handicaps(&mut pager, leaf.page);
+    for leaf in tree.leaves(&pager) {
+        let h = tree.read_handicaps(&pager, leaf.page);
         assert!(h.low_prev <= -7.25, "low_prev loosened only: {h:?}");
         assert!(h.high_prev >= 99.0, "high_prev loosened only: {h:?}");
     }
@@ -191,7 +205,7 @@ fn emptied_leaf_migrates_handicaps() {
     let mut pager = MemPager::new(128);
     let entries: Vec<(f64, u32)> = (0..30).map(|i| (i as f64, i as u32)).collect();
     let mut tree = BTree::bulk_load(&mut pager, &entries, 1.0);
-    let leaves = tree.leaves(&mut pager);
+    let leaves = tree.leaves(&pager);
     assert!(leaves.len() >= 3);
     let mid = leaves[1];
     tree.set_handicaps(
@@ -211,12 +225,12 @@ fn emptied_leaf_migrates_handicaps() {
             assert!(tree.delete(&mut pager, k, i));
         }
     }
-    let after = tree.leaves(&mut pager);
+    let after = tree.leaves(&pager);
     // Low bounds moved to the next leaf, high bounds to the previous.
     let next = after.iter().position(|l| l.page == mid.page).unwrap() + 1;
     let prev = next - 2;
-    let hn = tree.read_handicaps(&mut pager, after[next].page);
-    let hp = tree.read_handicaps(&mut pager, after[prev].page);
+    let hn = tree.read_handicaps(&pager, after[next].page);
+    let hp = tree.read_handicaps(&pager, after[prev].page);
     assert!(hn.low_prev <= -100.0 && hn.low_next <= -200.0, "{hn:?}");
     assert!(hp.high_prev >= 300.0 && hp.high_next >= 400.0, "{hp:?}");
 }

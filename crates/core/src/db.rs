@@ -7,7 +7,7 @@ use std::collections::HashMap;
 use cdb_geometry::halfplane::HalfPlane;
 use cdb_geometry::predicates;
 use cdb_geometry::tuple::GeneralizedTuple;
-use cdb_storage::{HeapFile, IoStats, MemPager, Pager, RecordId, DEFAULT_PAGE_SIZE};
+use cdb_storage::{HeapFile, IoStats, MemPager, PageReader, Pager, RecordId, DEFAULT_PAGE_SIZE};
 
 use crate::error::CdbError;
 use crate::index::DualIndex;
@@ -84,12 +84,11 @@ impl Relation {
 
     /// Heap + index pages currently owned.
     pub fn page_count(&self) -> u64 {
-        self.heap.page_count() as u64
-            + self.index.as_ref().map(|i| i.page_count()).unwrap_or(0)
+        self.heap.page_count() as u64 + self.index.as_ref().map(|i| i.page_count()).unwrap_or(0)
     }
 
     /// Fetches a tuple by id, charging the page read to `pager`.
-    pub fn fetch(&self, pager: &mut dyn Pager, id: u32) -> Result<GeneralizedTuple, CdbError> {
+    pub fn fetch(&self, pager: &dyn PageReader, id: u32) -> Result<GeneralizedTuple, CdbError> {
         let rid = self
             .slots
             .get(id as usize)
@@ -100,7 +99,7 @@ impl Relation {
     }
 
     /// Iterates `(id, tuple)` for all live tuples (one scan of the heap).
-    pub fn scan(&self, pager: &mut dyn Pager) -> Vec<(u32, GeneralizedTuple)> {
+    pub fn scan(&self, pager: &dyn PageReader) -> Vec<(u32, GeneralizedTuple)> {
         let by_record: HashMap<RecordId, u32> = self
             .slots
             .iter()
@@ -112,7 +111,10 @@ impl Relation {
             .into_iter()
             .filter_map(|(rid, bytes)| {
                 by_record.get(&rid).map(|&id| {
-                    (id, GeneralizedTuple::decode(&bytes).expect("corrupt tuple record"))
+                    (
+                        id,
+                        GeneralizedTuple::decode(&bytes).expect("corrupt tuple record"),
+                    )
                 })
             })
             .collect()
@@ -127,7 +129,7 @@ struct HeapSource<'a> {
 }
 
 impl crate::index::TupleSource for HeapSource<'_> {
-    fn fetch_batch(&mut self, pager: &mut dyn Pager, ids: &[u32]) -> Vec<GeneralizedTuple> {
+    fn fetch_batch(&self, pager: &dyn PageReader, ids: &[u32]) -> Vec<GeneralizedTuple> {
         let rids: Vec<RecordId> = ids
             .iter()
             .map(|&id| self.slots[id as usize].expect("index returned a dead tuple id"))
@@ -140,6 +142,29 @@ impl crate::index::TupleSource for HeapSource<'_> {
                     .expect("corrupt tuple record")
             })
             .collect()
+    }
+}
+
+/// Read-only view of the engine pager that is shareable across threads
+/// (`dyn Pager` has `Send + Sync` supertraits, so the borrow is `Sync`; the
+/// wrapper re-exposes just the [`PageReader`] half).
+struct ReadHalf<'a>(&'a dyn Pager);
+
+impl PageReader for ReadHalf<'_> {
+    fn page_size(&self) -> usize {
+        self.0.page_size()
+    }
+
+    fn read(&self, id: cdb_storage::PageId, buf: &mut [u8]) {
+        self.0.read(id, buf);
+    }
+
+    fn live_pages(&self) -> usize {
+        self.0.live_pages()
+    }
+
+    fn stats(&self) -> IoStats {
+        self.0.stats()
     }
 }
 
@@ -241,25 +266,27 @@ impl ConstraintDb {
             .ok_or_else(|| CdbError::RelationNotFound(name.into()))
     }
 
+    /// The read half of the engine pager (shareable across query threads).
+    fn reader(&self) -> ReadHalf<'_> {
+        ReadHalf(&*self.pager)
+    }
+
     /// Fetches one tuple by id.
-    pub fn fetch_tuple(&mut self, name: &str, id: u32) -> Result<GeneralizedTuple, CdbError> {
+    pub fn fetch_tuple(&self, name: &str, id: u32) -> Result<GeneralizedTuple, CdbError> {
         let rel = self
             .relations
             .get(name)
             .ok_or_else(|| CdbError::RelationNotFound(name.into()))?;
-        rel.fetch(self.pager.as_mut(), id)
+        rel.fetch(&self.reader(), id)
     }
 
     /// All live `(id, tuple)` pairs of a relation.
-    pub fn scan_relation(
-        &mut self,
-        name: &str,
-    ) -> Result<Vec<(u32, GeneralizedTuple)>, CdbError> {
+    pub fn scan_relation(&self, name: &str) -> Result<Vec<(u32, GeneralizedTuple)>, CdbError> {
         let rel = self
             .relations
             .get(name)
             .ok_or_else(|| CdbError::RelationNotFound(name.into()))?;
-        Ok(rel.scan(self.pager.as_mut()))
+        Ok(rel.scan(&self.reader()))
     }
 
     /// Inserts a satisfiable tuple, returning its id. Maintains the dual
@@ -295,7 +322,7 @@ impl ConstraintDb {
             .relations
             .get_mut(name)
             .ok_or_else(|| CdbError::RelationNotFound(name.into()))?;
-        let tuple = rel.fetch(pager, id)?;
+        let tuple = rel.fetch(&*pager, id)?;
         let rid = rel.slots[id as usize].take().expect("checked by fetch");
         rel.heap.delete(pager, rid);
         rel.live -= 1;
@@ -317,7 +344,7 @@ impl ConstraintDb {
                 "the 2-D dual index requires a 2-D relation (see ddim for E^d)".into(),
             ));
         }
-        let tuples = rel.scan(pager);
+        let tuples = rel.scan(&*pager);
         rel.index = Some(DualIndex::build(pager, slopes, &tuples));
         Ok(())
     }
@@ -331,7 +358,7 @@ impl ConstraintDb {
             .relations
             .get_mut(name)
             .ok_or_else(|| CdbError::RelationNotFound(name.into()))?;
-        let tuples = rel.scan(pager);
+        let tuples = rel.scan(&*pager);
         let Some(idx) = rel.index.as_mut() else {
             return Err(CdbError::NoIndex(name.into()));
         };
@@ -340,13 +367,16 @@ impl ConstraintDb {
     }
 
     /// Executes a selection with the engine's default strategy.
-    pub fn query(&mut self, name: &str, sel: Selection) -> Result<QueryResult, CdbError> {
+    pub fn query(&self, name: &str, sel: Selection) -> Result<QueryResult, CdbError> {
         self.query_with(name, sel, self.config.strategy)
     }
 
-    /// Executes a selection with an explicit strategy.
+    /// Executes a selection with an explicit strategy. Queries run from
+    /// `&self` over the read half of the pager, so any number can execute
+    /// concurrently against one engine snapshot (see
+    /// [`query_batch`](Self::query_batch)).
     pub fn query_with(
-        &mut self,
+        &self,
         name: &str,
         sel: Selection,
         strategy: Strategy,
@@ -361,30 +391,50 @@ impl ConstraintDb {
         if strategy == Strategy::Scan {
             return self.scan_query(name, &sel);
         }
-        let pager = self.pager.as_mut();
-        let rel = self
-            .relations
-            .get_mut(name)
-            .ok_or_else(|| CdbError::RelationNotFound(name.into()))?;
-        let Some(idx) = rel.index.as_ref() else {
-            return Err(CdbError::NoIndex(name.into()));
-        };
-        let mut source = HeapSource {
-            heap: &rel.heap,
-            slots: &rel.slots,
-        };
-        idx.execute(pager, &sel, strategy, &mut source)
-    }
-
-    /// Sequential-scan execution: the no-index baseline and the oracle.
-    fn scan_query(&mut self, name: &str, sel: &Selection) -> Result<QueryResult, CdbError> {
-        let before = self.pager.stats();
-        let pager = self.pager.as_mut();
         let rel = self
             .relations
             .get(name)
             .ok_or_else(|| CdbError::RelationNotFound(name.into()))?;
-        let tuples = rel.scan(pager);
+        let Some(idx) = rel.index.as_ref() else {
+            return Err(CdbError::NoIndex(name.into()));
+        };
+        let source = HeapSource {
+            heap: &rel.heap,
+            slots: &rel.slots,
+        };
+        idx.execute(&self.reader(), &sel, strategy, &source)
+    }
+
+    /// Executes a batch of selections concurrently over the shared engine
+    /// snapshot, using a [`crate::exec::QueryExecutor`] with `threads`
+    /// worker threads. Results are positionally aligned with the batch.
+    pub fn query_batch(
+        &self,
+        name: &str,
+        batch: &[(Selection, Strategy)],
+        threads: usize,
+    ) -> Result<Vec<Result<QueryResult, CdbError>>, CdbError> {
+        let rel = self.relation(name)?;
+        let Some(idx) = rel.index.as_ref() else {
+            return Err(CdbError::NoIndex(name.into()));
+        };
+        let source = HeapSource {
+            heap: &rel.heap,
+            slots: &rel.slots,
+        };
+        let reader = self.reader();
+        let exec = crate::exec::QueryExecutor::new(idx, &reader, &source);
+        Ok(exec.run(batch, threads))
+    }
+
+    /// Sequential-scan execution: the no-index baseline and the oracle.
+    fn scan_query(&self, name: &str, sel: &Selection) -> Result<QueryResult, CdbError> {
+        let before = self.pager.stats();
+        let rel = self
+            .relations
+            .get(name)
+            .ok_or_else(|| CdbError::RelationNotFound(name.into()))?;
+        let tuples = rel.scan(&self.reader());
         let mut ids = Vec::new();
         for (id, t) in &tuples {
             let keep = match sel.kind {
@@ -405,25 +455,24 @@ impl ConstraintDb {
 
     /// Equality-query convenience (the paper's footnote 2): tuples whose
     /// extension intersects the line `y = a·x + c`.
-    pub fn exist_line(&mut self, name: &str, a: f64, c: f64) -> Result<QueryResult, CdbError> {
+    pub fn exist_line(&self, name: &str, a: f64, c: f64) -> Result<QueryResult, CdbError> {
         self.hyperplane_query(name, a, c, SelectionKind::Exist)
     }
 
     /// Tuples whose extension lies entirely on the line `y = a·x + c`
     /// (degenerate segments/lines).
-    pub fn all_line(&mut self, name: &str, a: f64, c: f64) -> Result<QueryResult, CdbError> {
+    pub fn all_line(&self, name: &str, a: f64, c: f64) -> Result<QueryResult, CdbError> {
         self.hyperplane_query(name, a, c, SelectionKind::All)
     }
 
     fn hyperplane_query(
-        &mut self,
+        &self,
         name: &str,
         a: f64,
         c: f64,
         kind: SelectionKind,
     ) -> Result<QueryResult, CdbError> {
         let strategy = self.config.strategy;
-        let pager = self.pager.as_mut();
         let rel = self
             .relations
             .get(name)
@@ -437,20 +486,20 @@ impl ConstraintDb {
         let Some(idx) = rel.index.as_ref() else {
             return Err(CdbError::NoIndex(name.into()));
         };
-        let mut source = HeapSource {
+        let source = HeapSource {
             heap: &rel.heap,
             slots: &rel.slots,
         };
-        idx.execute_hyperplane(pager, a, c, kind, strategy, &mut source)
+        idx.execute_hyperplane(&self.reader(), a, c, kind, strategy, &source)
     }
 
     /// Convenience: EXIST selection via the default strategy.
-    pub fn exist(&mut self, name: &str, q: HalfPlane) -> Result<QueryResult, CdbError> {
+    pub fn exist(&self, name: &str, q: HalfPlane) -> Result<QueryResult, CdbError> {
         self.query(name, Selection::exist(q))
     }
 
     /// Convenience: ALL selection via the default strategy.
-    pub fn all(&mut self, name: &str, q: HalfPlane) -> Result<QueryResult, CdbError> {
+    pub fn all(&self, name: &str, q: HalfPlane) -> Result<QueryResult, CdbError> {
         self.query(name, Selection::all(q))
     }
 }
@@ -493,17 +542,27 @@ mod tests {
         let t3 = parse_tuple("z >= 0").unwrap();
         assert!(matches!(
             db.insert("land", t3),
-            Err(CdbError::DimensionMismatch { expected: 2, got: 3 })
+            Err(CdbError::DimensionMismatch {
+                expected: 2,
+                got: 3
+            })
         ));
         let unsat = parse_tuple("x >= 1 && x <= 0 && y >= 0").unwrap();
-        assert!(matches!(db.insert("land", unsat), Err(CdbError::UnsatisfiableTuple)));
+        assert!(matches!(
+            db.insert("land", unsat),
+            Err(CdbError::UnsatisfiableTuple)
+        ));
     }
 
     #[test]
     fn scan_query_works_without_index() {
-        let mut db = sample_db();
+        let db = sample_db();
         let r = db
-            .query_with("land", Selection::exist(HalfPlane::above(0.0, 4.5)), Strategy::Scan)
+            .query_with(
+                "land",
+                Selection::exist(HalfPlane::above(0.0, 4.5)),
+                Strategy::Scan,
+            )
             .unwrap();
         // Tuples 1 (unbounded strip) and 3 (high square) reach y >= 4.5.
         assert_eq!(r.ids(), &[1, 3]);
@@ -511,7 +570,7 @@ mod tests {
 
     #[test]
     fn query_without_index_errors() {
-        let mut db = sample_db();
+        let db = sample_db();
         let err = db.exist("land", HalfPlane::above(0.3, 0.0)).unwrap_err();
         assert!(matches!(err, CdbError::NoIndex(_)));
     }
@@ -519,7 +578,8 @@ mod tests {
     #[test]
     fn indexed_queries_match_scan() {
         let mut db = sample_db();
-        db.build_dual_index("land", SlopeSet::uniform_tan(4)).unwrap();
+        db.build_dual_index("land", SlopeSet::uniform_tan(4))
+            .unwrap();
         for (a, b) in [(0.3, -5.0), (1.0, 0.0), (-0.7, 2.0), (4.0, 1.0)] {
             for sel in [
                 Selection::exist(HalfPlane::above(a, b)),
@@ -539,9 +599,13 @@ mod tests {
     #[test]
     fn insert_after_index_then_query() {
         let mut db = sample_db();
-        db.build_dual_index("land", SlopeSet::uniform_tan(3)).unwrap();
-        db.insert("land", parse_tuple("y >= 90 && y <= 95 && x >= 0 && x <= 5").unwrap())
+        db.build_dual_index("land", SlopeSet::uniform_tan(3))
             .unwrap();
+        db.insert(
+            "land",
+            parse_tuple("y >= 90 && y <= 95 && x >= 0 && x <= 5").unwrap(),
+        )
+        .unwrap();
         let r = db.exist("land", HalfPlane::above(0.11, 80.0)).unwrap();
         // Tuple 1 is an unbounded strip with TOP = +∞, so it also qualifies.
         assert_eq!(r.ids(), &[1, 4], "the new tuple is found through the index");
@@ -550,20 +614,25 @@ mod tests {
     #[test]
     fn delete_removes_from_results() {
         let mut db = sample_db();
-        db.build_dual_index("land", SlopeSet::uniform_tan(3)).unwrap();
+        db.build_dual_index("land", SlopeSet::uniform_tan(3))
+            .unwrap();
         let before = db.exist("land", HalfPlane::above(0.11, 4.0)).unwrap();
         assert!(before.ids().contains(&3));
         let removed = db.delete("land", 3).unwrap();
         assert!(removed.contains(&[6.0, 6.0]));
         let after = db.exist("land", HalfPlane::above(0.11, 4.0)).unwrap();
         assert!(!after.ids().contains(&3));
-        assert!(matches!(db.delete("land", 3), Err(CdbError::NoSuchTuple(3))));
+        assert!(matches!(
+            db.delete("land", 3),
+            Err(CdbError::NoSuchTuple(3))
+        ));
     }
 
     #[test]
     fn io_stats_accumulate_and_reset() {
         let mut db = sample_db();
-        db.build_dual_index("land", SlopeSet::uniform_tan(2)).unwrap();
+        db.build_dual_index("land", SlopeSet::uniform_tan(2))
+            .unwrap();
         assert!(db.io_stats().accesses() > 0);
         db.reset_io_stats();
         assert_eq!(db.io_stats().accesses(), 0);
@@ -575,7 +644,8 @@ mod tests {
     #[test]
     fn dimension_checked_on_query() {
         let mut db = sample_db();
-        db.build_dual_index("land", SlopeSet::uniform_tan(2)).unwrap();
+        db.build_dual_index("land", SlopeSet::uniform_tan(2))
+            .unwrap();
         let q3 = HalfPlane::new(vec![1.0, 1.0], 0.0, cdb_geometry::RelOp::Ge);
         assert!(matches!(
             db.query("land", Selection::exist(q3)),
@@ -586,7 +656,8 @@ mod tests {
     #[test]
     fn line_queries_through_facade() {
         let mut db = sample_db();
-        db.build_dual_index("land", SlopeSet::uniform_tan(3)).unwrap();
+        db.build_dual_index("land", SlopeSet::uniform_tan(3))
+            .unwrap();
         // The unbounded strip (tuple 1) straddles y = x + 0.5 far from the
         // window; the line query must still find it.
         let r = db.exist_line("land", 1.0, 0.5).unwrap();
@@ -615,11 +686,18 @@ mod tests {
     #[test]
     fn drop_relation_frees_all_pages() {
         let mut db = sample_db();
-        db.build_dual_index("land", SlopeSet::uniform_tan(3)).unwrap();
-        db.create_relation("other", 2).unwrap();
-        db.insert("other", parse_tuple("x >= 0 && x <= 1 && y >= 0 && y <= 1").unwrap())
+        db.build_dual_index("land", SlopeSet::uniform_tan(3))
             .unwrap();
-        assert_eq!(db.relation_names(), vec!["land".to_string(), "other".to_string()]);
+        db.create_relation("other", 2).unwrap();
+        db.insert(
+            "other",
+            parse_tuple("x >= 0 && x <= 1 && y >= 0 && y <= 1").unwrap(),
+        )
+        .unwrap();
+        assert_eq!(
+            db.relation_names(),
+            vec!["land".to_string(), "other".to_string()]
+        );
         let other_pages = db.relation("other").unwrap().page_count() as usize;
         db.drop_relation("land").unwrap();
         assert!(db.relation("land").is_err());
@@ -633,7 +711,8 @@ mod tests {
     #[test]
     fn page_accounting_matches_pager() {
         let mut db = sample_db();
-        db.build_dual_index("land", SlopeSet::uniform_tan(2)).unwrap();
+        db.build_dual_index("land", SlopeSet::uniform_tan(2))
+            .unwrap();
         let rel_pages = db.relation("land").unwrap().page_count();
         assert_eq!(rel_pages as usize, db.live_pages());
     }

@@ -34,7 +34,7 @@
 use cdb_btree::BTree;
 use cdb_geometry::tuple::GeneralizedTuple;
 use cdb_geometry::{dual, scalar};
-use cdb_storage::Pager;
+use cdb_storage::{PageReader, Pager, TrackedReader};
 
 use cdb_btree::Handicaps;
 
@@ -105,9 +105,7 @@ impl SlopePoints {
                     let axes: Vec<Vec<f64>> = (0..d1)
                         .map(|_| {
                             (0..per_axis)
-                                .map(|i| {
-                                    -range + 2.0 * range * i as f64 / (per_axis - 1) as f64
-                                })
+                                .map(|i| -range + 2.0 * range * i as f64 / (per_axis - 1) as f64)
                                 .collect()
                         })
                         .collect();
@@ -141,11 +139,9 @@ impl SlopePoints {
 
     /// Index of a (numerically) matching member point.
     pub fn position(&self, slope: &[f64]) -> Option<usize> {
-        self.points.iter().position(|p| {
-            p.iter()
-                .zip(slope)
-                .all(|(a, b)| scalar::approx_eq(*a, *b))
-        })
+        self.points
+            .iter()
+            .position(|p| p.iter().zip(slope).all(|(a, b)| scalar::approx_eq(*a, *b)))
     }
 
     /// Finds `d` member points whose simplex contains `slope`, preferring
@@ -165,7 +161,13 @@ impl SlopePoints {
         let combos = combinations(order.len(), d);
         for combo in combos {
             let pick: Vec<usize> = combo.iter().map(|&c| order[c]).collect();
-            if let Some(l) = barycentric(&pick.iter().map(|&i| self.points[i].as_slice()).collect::<Vec<_>>(), slope) {
+            if let Some(l) = barycentric(
+                &pick
+                    .iter()
+                    .map(|&i| self.points[i].as_slice())
+                    .collect::<Vec<_>>(),
+                slope,
+            ) {
                 if l.iter().all(|&w| w >= -1e-9) {
                     return Some(pick);
                 }
@@ -187,9 +189,9 @@ impl SlopePoints {
         let Some(axes) = &self.grid_axes else {
             return false;
         };
-        axes.iter().zip(slope).all(|(axis, &v)| {
-            v >= axis[0] - 1e-12 && v <= axis[axis.len() - 1] + 1e-12
-        })
+        axes.iter()
+            .zip(slope)
+            .all(|(axis, &v)| v >= axis[0] - 1e-12 && v <= axis[axis.len() - 1] + 1e-12)
     }
 
     /// Index of the grid point whose (box) Voronoi cell contains `slope`.
@@ -379,11 +381,7 @@ impl DualIndexD {
     /// Recomputes the whole-cell handicaps (grid sets only; a no-op for
     /// arbitrary point sets, which use the simplex covering instead).
     /// Stored in the `low_prev`/`high_prev` leaf slots.
-    pub fn refresh_handicaps(
-        &mut self,
-        pager: &mut dyn Pager,
-        tuples: &[(u32, GeneralizedTuple)],
-    ) {
+    pub fn refresh_handicaps(&mut self, pager: &mut dyn Pager, tuples: &[(u32, GeneralizedTuple)]) {
         if !self.points.is_grid() {
             return;
         }
@@ -394,7 +392,11 @@ impl DualIndexD {
                 .map(|(_, t)| self.cell_reach(i, t).expect("grid set"))
                 .collect();
             for up_tree in [true, false] {
-                let tree = if up_tree { &self.trees[i].0 } else { &self.trees[i].1 };
+                let tree = if up_tree {
+                    &self.trees[i].0
+                } else {
+                    &self.trees[i].1
+                };
                 let keys: Vec<f64> = tuples
                     .iter()
                     .map(|(_, t)| {
@@ -415,7 +417,7 @@ impl DualIndexD {
                     .zip(&keys)
                     .map(|(&(_, mb), &k)| (mb, k))
                     .collect();
-                let leaves = tree.leaves(pager);
+                let leaves = tree.leaves(&*pager);
                 let low = assign_low(&leaves, &low_pairs);
                 let high = assign_high(&leaves, &high_pairs);
                 for (li, leaf) in leaves.iter().enumerate() {
@@ -492,9 +494,9 @@ impl DualIndexD {
     /// convex hull of `S` or dimensions mismatch.
     pub fn execute(
         &self,
-        pager: &mut dyn Pager,
+        pager: &dyn PageReader,
         sel: &Selection,
-        fetch: &mut dyn TupleSource,
+        fetch: &dyn TupleSource,
     ) -> Result<QueryResult, CdbError> {
         if sel.halfplane.dim() != self.dim() {
             return Err(CdbError::DimensionMismatch {
@@ -502,6 +504,8 @@ impl DualIndexD {
                 got: sel.halfplane.dim(),
             });
         }
+        let tracked = TrackedReader::new(pager);
+        let pager: &dyn PageReader = &tracked;
         let slope = &sel.halfplane.slope;
         let b = sel.halfplane.intercept;
         let before = pager.stats();
@@ -509,7 +513,11 @@ impl DualIndexD {
         if let Some(i) = self.points.position(slope) {
             // Exact restricted query; boundary band verified exactly.
             let (use_up, upward) = tree_and_direction(sel.kind, sel.halfplane.op);
-            let tree = if use_up { &self.trees[i].0 } else { &self.trees[i].1 };
+            let tree = if use_up {
+                &self.trees[i].0
+            } else {
+                &self.trees[i].1
+            };
             let (mut sure, check) = sweep_candidates(tree, pager, b, upward);
             let mut stats = QueryStats {
                 candidates: (sure.len() + check.len()) as u64,
@@ -559,19 +567,21 @@ impl DualIndexD {
     /// non-grid point sets, and directly callable for ablations.
     pub fn execute_simplex(
         &self,
-        pager: &mut dyn Pager,
+        pager: &dyn PageReader,
         sel: &Selection,
-        fetch: &mut dyn TupleSource,
+        fetch: &dyn TupleSource,
     ) -> Result<QueryResult, CdbError> {
+        let tracked = TrackedReader::new(pager);
+        let pager: &dyn PageReader = &tracked;
         let before = pager.stats();
         self.execute_simplex_from(pager, sel, fetch, before)
     }
 
     fn execute_simplex_from(
         &self,
-        pager: &mut dyn Pager,
+        pager: &dyn PageReader,
         sel: &Selection,
-        fetch: &mut dyn TupleSource,
+        fetch: &dyn TupleSource,
         before: cdb_storage::IoStats,
     ) -> Result<QueryResult, CdbError> {
         let slope = &sel.halfplane.slope;
@@ -618,12 +628,11 @@ impl DualIndexD {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cdb_geometry::halfplane::HalfPlane;
     use cdb_geometry::constraint::{LinearConstraint, RelOp};
+    use cdb_geometry::halfplane::HalfPlane;
     use cdb_geometry::predicates;
+    use cdb_prng::StdRng;
     use cdb_storage::MemPager;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
 
     /// Random axis-aligned boxes in E^d (satisfiable, bounded).
     fn random_boxes(dim: usize, n: usize, seed: u64) -> Vec<(u32, GeneralizedTuple)> {
@@ -657,14 +666,14 @@ mod tests {
 
     fn run(
         idx: &DualIndexD,
-        pager: &mut MemPager,
+        pager: &MemPager,
         pairs: &[(u32, GeneralizedTuple)],
         sel: &Selection,
     ) -> QueryResult {
         let lookup: std::collections::HashMap<u32, GeneralizedTuple> =
             pairs.iter().cloned().collect();
-        let mut fetch = move |_: &mut dyn Pager, id: u32| lookup[&id].clone();
-        idx.execute(pager, sel, &mut fetch).expect("query")
+        let fetch = move |_: &dyn PageReader, id: u32| lookup[&id].clone();
+        idx.execute(pager, sel, &fetch).expect("query")
     }
 
     #[test]
@@ -709,7 +718,7 @@ mod tests {
                         kind,
                         halfplane: HalfPlane::new(slope.clone(), 3.0, op),
                     };
-                    let got = run(&idx, &mut pager, &pairs, &sel);
+                    let got = run(&idx, &pager, &pairs, &sel);
                     assert_eq!(got.ids(), oracle(&pairs, &sel), "{kind:?} {op:?} {slope:?}");
                 }
             }
@@ -731,8 +740,12 @@ mod tests {
                         kind,
                         halfplane: HalfPlane::new(slope.clone(), b, op),
                     };
-                    let got = run(&idx, &mut pager, &pairs, &sel);
-                    assert_eq!(got.ids(), oracle(&pairs, &sel), "{kind:?} {op:?} {slope:?} {b}");
+                    let got = run(&idx, &pager, &pairs, &sel);
+                    assert_eq!(
+                        got.ids(),
+                        oracle(&pairs, &sel),
+                        "{kind:?} {op:?} {slope:?} {b}"
+                    );
                 }
             }
         }
@@ -744,10 +757,10 @@ mod tests {
         let pairs = random_boxes(4, 80, 9);
         let idx = DualIndexD::build(&mut pager, SlopePoints::grid(4, 2, 1.0), &pairs);
         let sel = Selection::exist(HalfPlane::new(vec![0.3, -0.2, 0.5], 0.0, RelOp::Ge));
-        let got = run(&idx, &mut pager, &pairs, &sel);
+        let got = run(&idx, &pager, &pairs, &sel);
         assert_eq!(got.ids(), oracle(&pairs, &sel));
         let sel2 = Selection::all(HalfPlane::new(vec![0.0, 0.0, 0.0], 100.0, RelOp::Le));
-        let got2 = run(&idx, &mut pager, &pairs, &sel2);
+        let got2 = run(&idx, &pager, &pairs, &sel2);
         assert_eq!(got2.len(), 80, "everything is below w = 100");
     }
 
@@ -759,9 +772,9 @@ mod tests {
         let sel = Selection::exist(HalfPlane::new(vec![3.0, 0.0], 0.0, RelOp::Ge));
         let lookup: std::collections::HashMap<u32, GeneralizedTuple> =
             pairs.iter().cloned().collect();
-        let mut fetch = move |_: &mut dyn Pager, id: u32| lookup[&id].clone();
+        let fetch = move |_: &dyn PageReader, id: u32| lookup[&id].clone();
         assert!(matches!(
-            idx.execute(&mut pager, &sel, &mut fetch),
+            idx.execute(&pager, &sel, &fetch),
             Err(CdbError::UnsupportedQuery(_))
         ));
     }
@@ -775,11 +788,11 @@ mod tests {
         idx.insert(&mut pager, 500, &extra);
         pairs.push((500, extra.clone()));
         let sel = Selection::exist(HalfPlane::new(vec![0.5, 0.5], -200.0, RelOp::Ge));
-        let got = run(&idx, &mut pager, &pairs, &sel);
+        let got = run(&idx, &pager, &pairs, &sel);
         assert!(got.ids().contains(&500));
         assert!(idx.remove(&mut pager, 500, &extra));
         pairs.pop();
-        let got = run(&idx, &mut pager, &pairs, &sel);
+        let got = run(&idx, &pager, &pairs, &sel);
         assert!(!got.ids().contains(&500));
     }
 
@@ -802,13 +815,17 @@ mod tests {
                     };
                     let want = oracle(&pairs, &sel);
                     let l1 = lookup.clone();
-                    let mut f1 = move |_: &mut dyn Pager, id: u32| l1[&id].clone();
-                    let t2 = idx.execute(&mut pager, &sel, &mut f1).unwrap();
+                    let f1 = move |_: &dyn PageReader, id: u32| l1[&id].clone();
+                    let t2 = idx.execute(&pager, &sel, &f1).unwrap();
                     let l2 = lookup.clone();
-                    let mut f2 = move |_: &mut dyn Pager, id: u32| l2[&id].clone();
-                    let t1 = idx.execute_simplex(&mut pager, &sel, &mut f2).unwrap();
+                    let f2 = move |_: &dyn PageReader, id: u32| l2[&id].clone();
+                    let t1 = idx.execute_simplex(&pager, &sel, &f2).unwrap();
                     assert_eq!(t2.ids(), want.as_slice(), "T2-d {kind:?} {op:?} {slope:?}");
-                    assert_eq!(t1.ids(), want.as_slice(), "simplex {kind:?} {op:?} {slope:?}");
+                    assert_eq!(
+                        t1.ids(),
+                        want.as_slice(),
+                        "simplex {kind:?} {op:?} {slope:?}"
+                    );
                     // T2-d is duplicate-free; the simplex covering may not be.
                     assert_eq!(t2.stats.duplicates, 0);
                 }
@@ -836,7 +853,7 @@ mod tests {
                     kind,
                     halfplane: HalfPlane::new(slope.clone(), b, RelOp::Ge),
                 };
-                let got = run(&idx, &mut pager, &pairs, &sel);
+                let got = run(&idx, &pager, &pairs, &sel);
                 assert_eq!(got.ids(), oracle(&pairs, &sel), "{kind:?} {slope:?} {b}");
             }
         }
@@ -882,14 +899,14 @@ mod tests {
         let idx = DualIndexD::build(&mut pager, SlopePoints::grid(3, 3, 1.0), &pairs);
         // z >= 0 contains the slab? The slab extends from z=0 to z=1: yes.
         let sel = Selection::all(HalfPlane::new(vec![0.0, 0.0], 0.0, RelOp::Ge));
-        let got = run(&idx, &mut pager, &pairs, &sel);
+        let got = run(&idx, &pager, &pairs, &sel);
         assert!(got.ids().contains(&100));
         // Any tilted half-space z >= 0.5x intersects the slab but cannot
         // contain it.
         let tilted = HalfPlane::new(vec![0.5, 0.0], 0.0, RelOp::Ge);
-        let got = run(&idx, &mut pager, &pairs, &Selection::exist(tilted.clone()));
+        let got = run(&idx, &pager, &pairs, &Selection::exist(tilted.clone()));
         assert!(got.ids().contains(&100));
-        let got = run(&idx, &mut pager, &pairs, &Selection::all(tilted));
+        let got = run(&idx, &pager, &pairs, &Selection::all(tilted));
         assert!(!got.ids().contains(&100));
     }
 }

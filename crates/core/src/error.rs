@@ -33,7 +33,10 @@ impl std::fmt::Display for CdbError {
             CdbError::RelationNotFound(n) => write!(f, "relation '{n}' not found"),
             CdbError::RelationExists(n) => write!(f, "relation '{n}' already exists"),
             CdbError::DimensionMismatch { expected, got } => {
-                write!(f, "dimension mismatch: relation is {expected}-D, got {got}-D")
+                write!(
+                    f,
+                    "dimension mismatch: relation is {expected}-D, got {got}-D"
+                )
             }
             CdbError::UnsatisfiableTuple => {
                 write!(f, "tuple is unsatisfiable (empty extension)")
@@ -53,9 +56,14 @@ mod tests {
 
     #[test]
     fn messages_are_informative() {
-        let e = CdbError::DimensionMismatch { expected: 2, got: 3 };
+        let e = CdbError::DimensionMismatch {
+            expected: 2,
+            got: 3,
+        };
         assert!(e.to_string().contains("2-D"));
         assert!(e.to_string().contains("3-D"));
-        assert!(CdbError::RelationNotFound("r".into()).to_string().contains("'r'"));
+        assert!(CdbError::RelationNotFound("r".into())
+            .to_string()
+            .contains("'r'"));
     }
 }

@@ -1,0 +1,254 @@
+//! Concurrent batch execution over a shared index snapshot.
+//!
+//! The read path of the whole stack is `&self` over a [`PageReader`]:
+//! [`DualIndex::execute`] never mutates the index, the pager, or the tuple
+//! source. A [`QueryExecutor`] exploits that by fanning a batch of
+//! selections out over `std::thread::scope` workers that all borrow the
+//! same index, the same reader, and the same source — no cloning, no
+//! locking on the read path itself. Per-query [`crate::QueryStats`] stay
+//! exact because each execution wraps the shared reader in its own
+//! [`cdb_storage::TrackedReader`].
+//!
+//! The paper's experiments (Section 5) are sequential by construction —
+//! page accesses are the metric, and those are identical here whether a
+//! batch runs on one worker or eight. The executor changes only wall-clock
+//! throughput, which the `throughput` binary of `cdb-bench` measures.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use cdb_storage::PageReader;
+
+use crate::error::CdbError;
+use crate::index::{DualIndex, TupleSource};
+use crate::query::{QueryResult, Selection, Strategy};
+
+/// Runs batches of selections across OS threads sharing one immutable
+/// index snapshot.
+///
+/// ```
+/// use cdb_core::exec::QueryExecutor;
+/// use cdb_core::{DualIndex, Selection, SlopeSet, Strategy};
+/// use cdb_geometry::parse::parse_tuple;
+/// use cdb_geometry::HalfPlane;
+/// use cdb_storage::{MemPager, PageReader};
+///
+/// let tuples = vec![
+///     (0, parse_tuple("y >= 0 && y <= 1 && x >= 0 && x <= 1").unwrap()),
+///     (1, parse_tuple("y >= x && x >= 5").unwrap()),
+/// ];
+/// let mut pager = MemPager::paper_1999();
+/// let idx = DualIndex::build(&mut pager, SlopeSet::uniform_tan(3), &tuples);
+/// let lookup = tuples.clone();
+/// let fetch = move |_: &dyn PageReader, id: u32| {
+///     lookup.iter().find(|(i, _)| *i == id).unwrap().1.clone()
+/// };
+/// let batch = vec![
+///     (Selection::exist(HalfPlane::above(0.25, 3.0)), Strategy::T2),
+///     (Selection::all(HalfPlane::below(0.0, 2.0)), Strategy::T1),
+/// ];
+/// let exec = QueryExecutor::new(&idx, &pager, &fetch);
+/// let results = exec.run(&batch, 2);
+/// assert_eq!(results[0].as_ref().unwrap().ids(), &[1]);
+/// assert_eq!(results[1].as_ref().unwrap().ids(), &[0]);
+/// ```
+pub struct QueryExecutor<'a> {
+    index: &'a DualIndex,
+    reader: &'a (dyn PageReader + Sync),
+    source: &'a (dyn TupleSource + Sync),
+}
+
+impl<'a> QueryExecutor<'a> {
+    /// An executor over a built index, the read half of its pager, and a
+    /// tuple source for refinement.
+    pub fn new(
+        index: &'a DualIndex,
+        reader: &'a (dyn PageReader + Sync),
+        source: &'a (dyn TupleSource + Sync),
+    ) -> Self {
+        QueryExecutor {
+            index,
+            reader,
+            source,
+        }
+    }
+
+    /// Executes the batch on `threads` workers, returning per-query results
+    /// positionally aligned with the input. `threads == 1` degenerates to
+    /// sequential execution on the calling thread's scope.
+    ///
+    /// Workers claim queries from a shared cursor, so an expensive query
+    /// never stalls the rest of the batch behind a fixed partition.
+    pub fn run(
+        &self,
+        batch: &[(Selection, Strategy)],
+        threads: usize,
+    ) -> Vec<Result<QueryResult, CdbError>> {
+        assert!(threads >= 1, "need at least one worker");
+        let workers = threads.min(batch.len().max(1));
+        let cursor = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<Result<QueryResult, CdbError>>>> =
+            batch.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= batch.len() {
+                        break;
+                    }
+                    let (sel, strategy) = &batch[i];
+                    let r = self.index.execute(self.reader, sel, *strategy, self.source);
+                    *slots[i].lock().expect("worker panicked") = Some(r);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|m| {
+                m.into_inner()
+                    .expect("worker panicked")
+                    .expect("every query claimed exactly once")
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SlopeSet;
+    use cdb_geometry::tuple::GeneralizedTuple;
+    use cdb_geometry::HalfPlane;
+    use cdb_storage::MemPager;
+    use cdb_workload::{DatasetSpec, ObjectSize, QueryGen, QueryKind};
+
+    fn testbed(n: usize, seed: u64) -> (MemPager, DualIndex, Vec<(u32, GeneralizedTuple)>) {
+        let mut pager = MemPager::paper_1999();
+        let pairs: Vec<(u32, GeneralizedTuple)> =
+            DatasetSpec::paper_1999(n, ObjectSize::Small, seed)
+                .generate()
+                .into_iter()
+                .enumerate()
+                .map(|(i, t)| (i as u32, t))
+                .collect();
+        let idx = DualIndex::build(&mut pager, SlopeSet::uniform_tan(4), &pairs);
+        (pager, idx, pairs)
+    }
+
+    fn mixed_batch(pairs: &[(u32, GeneralizedTuple)], n: usize) -> Vec<(Selection, Strategy)> {
+        let tuples: Vec<GeneralizedTuple> = pairs.iter().map(|(_, t)| t.clone()).collect();
+        let mut qg = QueryGen::new(0xBA7C4);
+        (0..n)
+            .map(|i| {
+                let kind = if i % 2 == 0 {
+                    QueryKind::Exist
+                } else {
+                    QueryKind::All
+                };
+                let q = qg.calibrated(&tuples, kind, 0.05 + 0.3 * (i % 3) as f64 / 2.0);
+                let sel = match kind {
+                    QueryKind::Exist => Selection::exist(q.halfplane),
+                    QueryKind::All => Selection::all(q.halfplane),
+                };
+                let strategy = match i % 3 {
+                    0 => Strategy::T1,
+                    1 => Strategy::T2,
+                    _ => Strategy::Auto,
+                };
+                (sel, strategy)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batch_equals_sequential_at_every_thread_count() {
+        let (pager, idx, pairs) = testbed(600, 41);
+        let lookup: std::collections::HashMap<u32, GeneralizedTuple> =
+            pairs.iter().cloned().collect();
+        let fetch = move |_: &dyn PageReader, id: u32| lookup[&id].clone();
+        let batch = mixed_batch(&pairs, 24);
+        let exec = QueryExecutor::new(&idx, &pager, &fetch);
+        let sequential: Vec<Vec<u32>> = batch
+            .iter()
+            .map(|(sel, st)| {
+                idx.execute(&pager, sel, *st, &fetch)
+                    .unwrap()
+                    .ids()
+                    .to_vec()
+            })
+            .collect();
+        for threads in [1, 2, 4, 8] {
+            let got = exec.run(&batch, threads);
+            for (i, (g, want)) in got.iter().zip(&sequential).enumerate() {
+                let g = g.as_ref().unwrap();
+                assert_eq!(g.ids(), want.as_slice(), "query {i} at {threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn per_query_stats_are_isolated_under_concurrency() {
+        let (pager, idx, pairs) = testbed(400, 43);
+        let lookup: std::collections::HashMap<u32, GeneralizedTuple> =
+            pairs.iter().cloned().collect();
+        let fetch = move |_: &dyn PageReader, id: u32| lookup[&id].clone();
+        let batch = mixed_batch(&pairs, 16);
+        let exec = QueryExecutor::new(&idx, &pager, &fetch);
+        // Sequential stats are the per-query truth; concurrent windows must
+        // match exactly (TrackedReader isolates them from the other workers).
+        let sequential: Vec<u64> = batch
+            .iter()
+            .map(|(sel, st)| {
+                idx.execute(&pager, sel, *st, &fetch)
+                    .unwrap()
+                    .stats
+                    .index_io
+                    .reads
+            })
+            .collect();
+        let got = exec.run(&batch, 8);
+        for (i, (g, want)) in got.iter().zip(&sequential).enumerate() {
+            let g = g.as_ref().unwrap();
+            assert_eq!(g.stats.index_io.reads, *want, "index reads of query {i}");
+            assert!(g.stats.index_io.reads > 0, "query {i} read no pages?");
+        }
+    }
+
+    #[test]
+    fn errors_are_reported_in_place() {
+        let (pager, idx, pairs) = testbed(60, 47);
+        let lookup: std::collections::HashMap<u32, GeneralizedTuple> =
+            pairs.iter().cloned().collect();
+        let fetch = move |_: &dyn PageReader, id: u32| lookup[&id].clone();
+        let good = Selection::exist(HalfPlane::above(0.3, 0.0));
+        let bad = Selection::exist(HalfPlane::above(0.123456, 0.0));
+        let batch = vec![
+            (good.clone(), Strategy::T2),
+            (bad, Strategy::Restricted), // foreign slope: UnsupportedQuery
+            (good, Strategy::T2),
+        ];
+        let exec = QueryExecutor::new(&idx, &pager, &fetch);
+        let got = exec.run(&batch, 2);
+        assert!(got[0].is_ok());
+        assert!(matches!(got[1], Err(CdbError::UnsupportedQuery(_))));
+        assert!(got[2].is_ok());
+        assert_eq!(
+            got[0].as_ref().unwrap().ids(),
+            got[2].as_ref().unwrap().ids()
+        );
+    }
+
+    #[test]
+    fn empty_batch_and_excess_threads() {
+        let (pager, idx, pairs) = testbed(30, 53);
+        let lookup: std::collections::HashMap<u32, GeneralizedTuple> =
+            pairs.iter().cloned().collect();
+        let fetch = move |_: &dyn PageReader, id: u32| lookup[&id].clone();
+        let exec = QueryExecutor::new(&idx, &pager, &fetch);
+        assert!(exec.run(&[], 4).is_empty());
+        let one = vec![(Selection::exist(HalfPlane::above(0.5, 1.0)), Strategy::Auto)];
+        let got = exec.run(&one, 64); // workers clamp to batch size
+        assert_eq!(got.len(), 1);
+        assert!(got[0].is_ok());
+    }
+}

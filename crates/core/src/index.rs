@@ -4,10 +4,10 @@
 
 use cdb_btree::{key_slack, BTree, Handicaps, SweepControl};
 use cdb_geometry::constraint::RelOp;
-use cdb_geometry::tuple::GeneralizedTuple;
 use cdb_geometry::halfplane::HalfPlane;
+use cdb_geometry::tuple::GeneralizedTuple;
 use cdb_geometry::{dual, predicates};
-use cdb_storage::Pager;
+use cdb_storage::{PageReader, Pager, TrackedReader};
 
 use crate::error::CdbError;
 use crate::handicap::{assign_high, assign_low};
@@ -20,19 +20,22 @@ use crate::slopes::{Bracket, SlopeSet};
 ///
 /// The batch signature lets real implementations group candidate fetches by
 /// heap page — one page access per *distinct* page, the way a production
-/// executor refines. Any `FnMut(&mut dyn Pager, u32) -> GeneralizedTuple`
+/// executor refines. Any `Fn(&dyn PageReader, u32) -> GeneralizedTuple`
 /// closure is also a (non-batching) source, which the tests use.
+///
+/// Sources are `&self` so one source can serve many concurrent queries; the
+/// per-query read accounting happens in the reader, not the source.
 pub trait TupleSource {
     /// Fetches the tuples for `ids` (result aligned with the input),
     /// charging page accesses to `pager`.
-    fn fetch_batch(&mut self, pager: &mut dyn Pager, ids: &[u32]) -> Vec<GeneralizedTuple>;
+    fn fetch_batch(&self, pager: &dyn PageReader, ids: &[u32]) -> Vec<GeneralizedTuple>;
 }
 
 impl<F> TupleSource for F
 where
-    F: FnMut(&mut dyn Pager, u32) -> GeneralizedTuple,
+    F: Fn(&dyn PageReader, u32) -> GeneralizedTuple,
 {
-    fn fetch_batch(&mut self, pager: &mut dyn Pager, ids: &[u32]) -> Vec<GeneralizedTuple> {
+    fn fetch_batch(&self, pager: &dyn PageReader, ids: &[u32]) -> Vec<GeneralizedTuple> {
         ids.iter().map(|&id| self(pager, id)).collect()
     }
 }
@@ -52,7 +55,7 @@ struct TreePair {
 /// use cdb_geometry::parse::parse_tuple;
 /// use cdb_geometry::tuple::GeneralizedTuple;
 /// use cdb_geometry::HalfPlane;
-/// use cdb_storage::{MemPager, Pager};
+/// use cdb_storage::{MemPager, PageReader};
 ///
 /// let tuples = vec![
 ///     (0, parse_tuple("y >= 0 && y <= 1 && x >= 0 && x <= 1").unwrap()),
@@ -62,12 +65,13 @@ struct TreePair {
 /// let idx = DualIndex::build(&mut pager, SlopeSet::uniform_tan(3), &tuples);
 ///
 /// let lookup = tuples.clone();
-/// let mut fetch = move |_: &mut dyn Pager, id: u32| -> GeneralizedTuple {
+/// let fetch = move |_: &dyn PageReader, id: u32| -> GeneralizedTuple {
 ///     lookup.iter().find(|(i, _)| *i == id).unwrap().1.clone()
 /// };
-/// // EXIST with an arbitrary slope runs technique T2.
+/// // EXIST with an arbitrary slope runs technique T2 — from `&self` and a
+/// // shared read-only pager, so many queries can run concurrently.
 /// let sel = Selection::exist(HalfPlane::above(0.25, 3.0)); // y >= x/4 + 3
-/// let r = idx.execute(&mut pager, &sel, Strategy::T2, &mut fetch).unwrap();
+/// let r = idx.execute(&pager, &sel, Strategy::T2, &fetch).unwrap();
 /// assert_eq!(r.ids(), &[1], "only the wedge reaches that high");
 /// assert_eq!(r.stats.duplicates, 0);
 /// ```
@@ -93,14 +97,10 @@ impl DualIndex {
         let mut pairs = Vec::with_capacity(slopes.len());
         for i in 0..slopes.len() {
             let s = slopes.get(i);
-            let mut up_entries: Vec<(f64, u32)> = tuples
-                .iter()
-                .map(|(id, t)| (top_at(t, s), *id))
-                .collect();
-            let mut down_entries: Vec<(f64, u32)> = tuples
-                .iter()
-                .map(|(id, t)| (bot_at(t, s), *id))
-                .collect();
+            let mut up_entries: Vec<(f64, u32)> =
+                tuples.iter().map(|(id, t)| (top_at(t, s), *id)).collect();
+            let mut down_entries: Vec<(f64, u32)> =
+                tuples.iter().map(|(id, t)| (bot_at(t, s), *id)).collect();
             up_entries.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN key"));
             down_entries.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN key"));
             pairs.push(TreePair {
@@ -130,7 +130,10 @@ impl DualIndex {
 
     /// Pages owned by the index (the space metric of Figure 10).
     pub fn page_count(&self) -> u64 {
-        self.pairs.iter().map(|p| p.up.page_count() + p.down.page_count()).sum()
+        self.pairs
+            .iter()
+            .map(|p| p.up.page_count() + p.down.page_count())
+            .sum()
     }
 
     /// Number of indexed entries per tree (should equal the relation size).
@@ -204,11 +207,7 @@ impl DualIndex {
     /// them. After heavy update traffic this linear rebuild re-tightens the
     /// second-sweep bounds; build-then-query workloads (the paper's
     /// experiments) run it exactly once at build time.
-    pub fn refresh_handicaps(
-        &mut self,
-        pager: &mut dyn Pager,
-        tuples: &[(u32, GeneralizedTuple)],
-    ) {
+    pub fn refresh_handicaps(&mut self, pager: &mut dyn Pager, tuples: &[(u32, GeneralizedTuple)]) {
         for i in 0..self.slopes.len() {
             let s = self.slopes.get(i);
             // Surface values at the tree slope.
@@ -226,8 +225,16 @@ impl DualIndex {
                     high_reach.push(bots[j].min(bot_at(t, mid)));
                 }
                 Some((
-                    low_reach.iter().copied().zip(tops.iter().copied()).collect(),
-                    high_reach.iter().copied().zip(tops.iter().copied()).collect(),
+                    low_reach
+                        .iter()
+                        .copied()
+                        .zip(tops.iter().copied())
+                        .collect(),
+                    high_reach
+                        .iter()
+                        .copied()
+                        .zip(tops.iter().copied())
+                        .collect(),
                 ))
             };
             // For B^up the key is TOP; for B^down it is BOT. Build the four
@@ -239,8 +246,11 @@ impl DualIndex {
                 } else {
                     &self.pairs[i].down
                 };
-                let leaves = tree.leaves(pager);
-                let mut low = [vec![f64::INFINITY; leaves.len()], vec![f64::INFINITY; leaves.len()]];
+                let leaves = tree.leaves(&*pager);
+                let mut low = [
+                    vec![f64::INFINITY; leaves.len()],
+                    vec![f64::INFINITY; leaves.len()],
+                ];
                 let mut high = [
                     vec![f64::NEG_INFINITY; leaves.len()],
                     vec![f64::NEG_INFINITY; leaves.len()],
@@ -283,17 +293,20 @@ impl DualIndex {
     /// Executes a selection with the requested strategy.
     ///
     /// `fetch` loads a tuple for the exact refinement step, charging its
-    /// page accesses to `pager`.
+    /// page accesses to `pager`. Execution is `&self` over a read-only
+    /// pager: the per-query I/O windows in the returned
+    /// [`QueryStats`] come from a private [`TrackedReader`], so they stay
+    /// exact even when many queries share `pager` concurrently.
     ///
     /// # Errors
     /// [`CdbError::UnsupportedQuery`] — `Restricted` with a slope outside
     /// `S`, a non-2-D query, or `Scan` (handled a level up).
     pub fn execute(
         &self,
-        pager: &mut dyn Pager,
+        pager: &dyn PageReader,
         sel: &Selection,
         strategy: Strategy,
-        fetch: &mut dyn TupleSource,
+        fetch: &dyn TupleSource,
     ) -> Result<QueryResult, CdbError> {
         if sel.halfplane.dim() != 2 {
             return Err(CdbError::DimensionMismatch {
@@ -301,6 +314,8 @@ impl DualIndex {
                 got: sel.halfplane.dim(),
             });
         }
+        let tracked = TrackedReader::new(pager);
+        let pager: &dyn PageReader = &tracked;
         let a = sel.halfplane.slope2d();
         let bracket = self.slopes.bracket(a);
         match (strategy, bracket) {
@@ -333,10 +348,10 @@ impl DualIndex {
     /// verified exactly (tuple fetch), every other entry is accepted by key.
     fn restricted(
         &self,
-        pager: &mut dyn Pager,
+        pager: &dyn PageReader,
         sel: &Selection,
         slope_idx: usize,
-        fetch: &mut dyn TupleSource,
+        fetch: &dyn TupleSource,
     ) -> Result<QueryResult, CdbError> {
         let before = pager.stats();
         let b = sel.halfplane.intercept;
@@ -364,9 +379,9 @@ impl DualIndex {
     /// app-queries (Table 1), then refine exactly.
     fn t1(
         &self,
-        pager: &mut dyn Pager,
+        pager: &dyn PageReader,
         sel: &Selection,
-        fetch: &mut dyn TupleSource,
+        fetch: &dyn TupleSource,
     ) -> Result<QueryResult, CdbError> {
         let before = pager.stats();
         let a = sel.halfplane.slope2d();
@@ -435,11 +450,11 @@ impl DualIndex {
     /// Sections 4.2–4.3: one tree, two disjoint sweeps guided by handicaps.
     fn t2(
         &self,
-        pager: &mut dyn Pager,
+        pager: &dyn PageReader,
         sel: &Selection,
         lo_idx: usize,
         hi_idx: usize,
-        fetch: &mut dyn TupleSource,
+        fetch: &dyn TupleSource,
     ) -> Result<QueryResult, CdbError> {
         let before = pager.stats();
         let a = sel.halfplane.slope2d();
@@ -458,14 +473,10 @@ impl DualIndex {
         };
         let (use_up, upward) = tree_and_direction(sel.kind, sel.halfplane.op);
         let tree = self.tree(near, use_up);
-        let raw = handicap_guided_candidates(
-            tree,
-            pager,
-            b,
-            upward,
-            &|h| side_low(h, side),
-            &|h| side_high(h, side),
-        );
+        let raw =
+            handicap_guided_candidates(tree, pager, b, upward, &|h| side_low(h, side), &|h| {
+                side_high(h, side)
+            });
         let mut stats = QueryStats {
             candidates: raw.len() as u64,
             ..QueryStats::default()
@@ -496,12 +507,12 @@ impl DualIndex {
     /// finishes the job.
     pub fn execute_hyperplane(
         &self,
-        pager: &mut dyn Pager,
+        pager: &dyn PageReader,
         slope: f64,
         c: f64,
         kind: SelectionKind,
         strategy: Strategy,
-        fetch: &mut dyn TupleSource,
+        fetch: &dyn TupleSource,
     ) -> Result<QueryResult, CdbError> {
         let sup = self.execute(
             pager,
@@ -580,7 +591,7 @@ fn side_high(h: &Handicaps, side: Side) -> f64 {
 /// result is duplicate-free by construction.
 pub(crate) fn handicap_guided_candidates(
     tree: &BTree,
-    pager: &mut dyn Pager,
+    pager: &dyn PageReader,
     b: f64,
     upward: bool,
     low_of: &dyn Fn(&Handicaps) -> f64,
@@ -654,10 +665,10 @@ pub(crate) fn handicap_guided_candidates(
 /// the leaf holding the first entry `≥ reach` (clamped to the last leaf).
 pub(crate) fn fold_low(pager: &mut dyn Pager, tree: &BTree, side: Side, reach: f64, key: f64) {
     let page = tree
-        .find_first_geq(pager, reach)
+        .find_first_geq(&*pager, reach)
         .map(|(p, _)| p)
         .unwrap_or_else(|| tree.last_leaf());
-    let mut h = tree.read_handicaps(pager, page);
+    let mut h = tree.read_handicaps(&*pager, page);
     let slot = match side {
         Side::Prev => &mut h.low_prev,
         Side::Next => &mut h.low_next,
@@ -672,10 +683,10 @@ pub(crate) fn fold_low(pager: &mut dyn Pager, tree: &BTree, side: Side, reach: f
 /// the leaf holding the last entry `≤ reach` (clamped to the first leaf).
 pub(crate) fn fold_high(pager: &mut dyn Pager, tree: &BTree, side: Side, reach: f64, key: f64) {
     let page = tree
-        .find_last_leq(pager, reach)
+        .find_last_leq(&*pager, reach)
         .map(|(p, _)| p)
         .unwrap_or_else(|| tree.first_leaf());
-    let mut h = tree.read_handicaps(pager, page);
+    let mut h = tree.read_handicaps(&*pager, page);
     let slot = match side {
         Side::Prev => &mut h.high_prev,
         Side::Next => &mut h.high_next,
@@ -691,7 +702,7 @@ pub(crate) fn fold_high(pager: &mut dyn Pager, tree: &BTree, side: Side, reach: 
 /// boundary band is within one rounding quantum of `b`.
 pub(crate) fn sweep_candidates(
     tree: &BTree,
-    pager: &mut dyn Pager,
+    pager: &dyn PageReader,
     b: f64,
     upward: bool,
 ) -> (Vec<u32>, Vec<u32>) {
@@ -728,10 +739,10 @@ pub(crate) fn sweep_candidates(
 /// cost is one page access per distinct heap page) and keeps those
 /// satisfying the original selection (Proposition 2.2 evaluated by LP).
 pub(crate) fn refine(
-    pager: &mut dyn Pager,
+    pager: &dyn PageReader,
     sel: &Selection,
     candidates: Vec<u32>,
-    fetch: &mut dyn TupleSource,
+    fetch: &dyn TupleSource,
     stats: &mut QueryStats,
 ) -> Vec<u32> {
     let tuples = fetch.fetch_batch(pager, &candidates);
@@ -775,15 +786,15 @@ mod tests {
 
     fn run(
         idx: &DualIndex,
-        pager: &mut MemPager,
+        pager: &MemPager,
         pairs: &[(u32, GeneralizedTuple)],
         sel: &Selection,
         strategy: Strategy,
     ) -> QueryResult {
         let lookup: std::collections::HashMap<u32, GeneralizedTuple> =
             pairs.iter().cloned().collect();
-        let mut fetch = move |_: &mut dyn Pager, id: u32| lookup[&id].clone();
-        idx.execute(pager, sel, strategy, &mut fetch).expect("query")
+        let fetch = move |_: &dyn PageReader, id: u32| lookup[&id].clone();
+        idx.execute(pager, sel, strategy, &fetch).expect("query")
     }
 
     fn oracle(pairs: &[(u32, GeneralizedTuple)], sel: &Selection) -> Vec<u32> {
@@ -808,8 +819,12 @@ mod tests {
                             kind,
                             halfplane: HalfPlane::new2d(s, b, op),
                         };
-                        let got = run(&idx, &mut pager, &pairs, &sel, Strategy::Restricted);
-                        assert_eq!(got.ids(), oracle(&pairs, &sel), "{kind:?} {op:?} s={s} b={b}");
+                        let got = run(&idx, &pager, &pairs, &sel, Strategy::Restricted);
+                        assert_eq!(
+                            got.ids(),
+                            oracle(&pairs, &sel),
+                            "{kind:?} {op:?} s={s} b={b}"
+                        );
                         assert_eq!(got.stats.duplicates, 0);
                     }
                 }
@@ -825,9 +840,9 @@ mod tests {
         let sel = Selection::exist(HalfPlane::above(0.123456, 0.0));
         let lookup: std::collections::HashMap<u32, GeneralizedTuple> =
             pairs.iter().cloned().collect();
-        let mut fetch = move |_: &mut dyn Pager, id: u32| lookup[&id].clone();
+        let fetch = move |_: &dyn PageReader, id: u32| lookup[&id].clone();
         let err = idx
-            .execute(&mut pager, &sel, Strategy::Restricted, &mut fetch)
+            .execute(&pager, &sel, Strategy::Restricted, &fetch)
             .unwrap_err();
         assert!(matches!(err, CdbError::UnsupportedQuery(_)));
     }
@@ -849,7 +864,7 @@ mod tests {
                     },
                     halfplane: q.halfplane,
                 };
-                let got = run(&idx, &mut pager, &pairs, &sel, Strategy::T1);
+                let got = run(&idx, &pager, &pairs, &sel, Strategy::T1);
                 assert_eq!(got.ids(), oracle(&pairs, &sel), "{kind:?} {sel_frac}");
             }
         }
@@ -874,7 +889,7 @@ mod tests {
                         kind,
                         halfplane: HalfPlane::new2d(a, 3.0, op),
                     };
-                    let got = run(&idx, &mut pager, &pairs, &sel, Strategy::T1);
+                    let got = run(&idx, &pager, &pairs, &sel, Strategy::T1);
                     assert_eq!(got.ids(), oracle(&pairs, &sel), "{kind:?} {op:?} a={a}");
                 }
             }
@@ -898,7 +913,7 @@ mod tests {
                     },
                     halfplane: q.halfplane,
                 };
-                let got = run(&idx, &mut pager, &pairs, &sel, Strategy::T2);
+                let got = run(&idx, &pager, &pairs, &sel, Strategy::T2);
                 assert_eq!(got.ids(), oracle(&pairs, &sel), "{kind:?} {sel_frac}");
                 // Wrapped slopes legitimately fall back to T1 (which may
                 // produce duplicates); the no-duplicate guarantee applies to
@@ -927,7 +942,7 @@ mod tests {
                         kind,
                         halfplane: HalfPlane::new2d(a, -5.0, op),
                     };
-                    let got = run(&idx, &mut pager, &pairs, &sel, Strategy::T2);
+                    let got = run(&idx, &pager, &pairs, &sel, Strategy::T2);
                     assert_eq!(got.ids(), oracle(&pairs, &sel), "{kind:?} {op:?} a={a}");
                 }
             }
@@ -950,7 +965,7 @@ mod tests {
         idx.refresh_handicaps(&mut pager, &pairs);
         assert!(!idx.needs_refresh());
         let sel = Selection::exist(HalfPlane::above(0.37, -3.0));
-        let got = run(&idx, &mut pager, &pairs, &sel, Strategy::T2);
+        let got = run(&idx, &pager, &pairs, &sel, Strategy::T2);
         assert_eq!(got.ids(), oracle(&pairs, &sel));
     }
 
@@ -971,7 +986,7 @@ mod tests {
         pairs.retain(|(id, _)| id % 3 != 0);
         idx.refresh_handicaps(&mut pager, &pairs);
         let sel = Selection::all(HalfPlane::below(-0.21, 40.0));
-        let got = run(&idx, &mut pager, &pairs, &sel, Strategy::T2);
+        let got = run(&idx, &pager, &pairs, &sel, Strategy::T2);
         assert_eq!(got.ids(), oracle(&pairs, &sel));
         // Removing an absent tuple reports false.
         let (id, t) = &removed[0];
@@ -1008,7 +1023,7 @@ mod tests {
                         kind,
                         halfplane: HalfPlane::new2d(a, b, op),
                     };
-                    let got = run(&idx, &mut pager, &pairs, &sel, Strategy::T2);
+                    let got = run(&idx, &pager, &pairs, &sel, Strategy::T2);
                     assert_eq!(got.ids(), oracle(&pairs, &sel), "{kind:?} {op:?} a={a}");
                 }
             }
@@ -1017,7 +1032,7 @@ mod tests {
         idx.refresh_handicaps(&mut pager, &pairs);
         assert!(!idx.needs_refresh());
         let sel = Selection::exist(HalfPlane::above(0.41, 3.0));
-        let got = run(&idx, &mut pager, &pairs, &sel, Strategy::T2);
+        let got = run(&idx, &pager, &pairs, &sel, Strategy::T2);
         assert_eq!(got.ids(), oracle(&pairs, &sel));
     }
 
@@ -1028,7 +1043,7 @@ mod tests {
         let (idx, pairs) = build_index(&mut pager, &tuples, 3);
         let s = idx.slopes().get(1);
         let sel = Selection::exist(HalfPlane::above(s, 0.0));
-        let got = run(&idx, &mut pager, &pairs, &sel, Strategy::Auto);
+        let got = run(&idx, &pager, &pairs, &sel, Strategy::Auto);
         assert_eq!(got.ids(), oracle(&pairs, &sel));
         // Restricted executions never fetch tuples.
         assert_eq!(got.stats.heap_io.accesses(), 0);
@@ -1051,11 +1066,8 @@ mod tests {
     #[test]
     fn hyperplane_equality_queries() {
         let mut pager = MemPager::paper_1999();
-        let mut g = cdb_workload::TupleGen::new(
-            3,
-            cdb_geometry::Rect::paper_window(),
-            ObjectSize::Small,
-        );
+        let mut g =
+            cdb_workload::TupleGen::new(3, cdb_geometry::Rect::paper_window(), ObjectSize::Small);
         let mut tuples: Vec<GeneralizedTuple> = (0..150).map(|_| g.bounded_tuple()).collect();
         tuples.extend((0..30).map(|_| g.unbounded_tuple()));
         let (idx, pairs) = build_index(&mut pager, &tuples, 4);
@@ -1064,9 +1076,9 @@ mod tests {
         for (a, c) in [(0.3, 0.0), (-1.2, 15.0), (2.0, -30.0), (0.7, 44.0)] {
             for kind in [SelectionKind::Exist, SelectionKind::All] {
                 let l1 = lookup.clone();
-                let mut fetch = move |_: &mut dyn Pager, id: u32| l1[&id].clone();
+                let fetch = move |_: &dyn PageReader, id: u32| l1[&id].clone();
                 let got = idx
-                    .execute_hyperplane(&mut pager, a, c, kind, Strategy::T2, &mut fetch)
+                    .execute_hyperplane(&pager, a, c, kind, Strategy::T2, &fetch)
                     .unwrap();
                 let want: Vec<u32> = pairs
                     .iter()
@@ -1074,9 +1086,7 @@ mod tests {
                         SelectionKind::Exist => {
                             cdb_geometry::predicates::exist_hyperplane(&[a], c, t)
                         }
-                        SelectionKind::All => {
-                            cdb_geometry::predicates::all_hyperplane(&[a], c, t)
-                        }
+                        SelectionKind::All => cdb_geometry::predicates::all_hyperplane(&[a], c, t),
                     })
                     .map(|(id, _)| *id)
                     .collect();
@@ -1084,19 +1094,17 @@ mod tests {
             }
         }
         // A degenerate tuple lying exactly on a line is ALL-selected by it.
-        let segment = cdb_geometry::parse::parse_tuple(
-            "y = 0.5x + 2 && x >= 0 && x <= 10",
-        )
-        .unwrap();
+        let segment =
+            cdb_geometry::parse::parse_tuple("y = 0.5x + 2 && x >= 0 && x <= 10").unwrap();
         let mut pairs2 = pairs.clone();
         let mut idx2 = idx.clone();
         idx2.insert(&mut pager, 9000, &segment);
         pairs2.push((9000, segment));
         let lookup2: std::collections::HashMap<u32, GeneralizedTuple> =
             pairs2.iter().cloned().collect();
-        let mut fetch = move |_: &mut dyn Pager, id: u32| lookup2[&id].clone();
+        let fetch = move |_: &dyn PageReader, id: u32| lookup2[&id].clone();
         let got = idx2
-            .execute_hyperplane(&mut pager, 0.5, 2.0, SelectionKind::All, Strategy::T2, &mut fetch)
+            .execute_hyperplane(&pager, 0.5, 2.0, SelectionKind::All, Strategy::T2, &fetch)
             .unwrap();
         assert_eq!(got.ids(), &[9000]);
     }
@@ -1111,7 +1119,7 @@ mod tests {
         let tuples = DatasetSpec::paper_1999(4000, ObjectSize::Small, 0x5E1).generate();
         let (idx, pairs) = build_index(&mut pager, &tuples, 4);
         let sel = Selection::exist(HalfPlane::below(-1.1591839945660445, -13.65694655564986));
-        let got = run(&idx, &mut pager, &pairs, &sel, Strategy::T2);
+        let got = run(&idx, &pager, &pairs, &sel, Strategy::T2);
         assert_eq!(got.ids(), oracle(&pairs, &sel));
         // And a sweep of slopes straddling both halves of every gap.
         for a in [-2.0, -1.5, -1.2, -0.9, -0.5, -0.2, 0.2, 0.9, 1.2, 2.0] {
@@ -1121,7 +1129,7 @@ mod tests {
                         kind,
                         halfplane: HalfPlane::new2d(a, -10.0, op),
                     };
-                    let got = run(&idx, &mut pager, &pairs, &sel, Strategy::T2);
+                    let got = run(&idx, &pager, &pairs, &sel, Strategy::T2);
                     assert_eq!(got.ids(), oracle(&pairs, &sel), "{kind:?} {op:?} a={a}");
                 }
             }
@@ -1134,8 +1142,8 @@ mod tests {
         let tuples = DatasetSpec::paper_1999(300, ObjectSize::Medium, 15).generate();
         let (idx, pairs) = build_index(&mut pager, &tuples, 2);
         let sel = Selection::exist(HalfPlane::above(0.41, -10.0));
-        let r1 = run(&idx, &mut pager, &pairs, &sel, Strategy::T1);
-        let r2 = run(&idx, &mut pager, &pairs, &sel, Strategy::T2);
+        let r1 = run(&idx, &pager, &pairs, &sel, Strategy::T1);
+        let r2 = run(&idx, &pager, &pairs, &sel, Strategy::T2);
         assert_eq!(r1.ids(), r2.ids());
         assert_eq!(r2.stats.duplicates, 0);
         // Medium objects + EXIST: the two T1 legs overlap heavily.

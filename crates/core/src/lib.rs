@@ -27,10 +27,17 @@
 //! [`db::ConstraintDb`] is a small engine facade tying relations (heap
 //! files), indexes and queries together; see the crate-level examples of
 //! `constraint-db`.
+//!
+//! The whole query path is `&self` over the read half of the pager
+//! ([`cdb_storage::PageReader`]), so one built index can serve many queries
+//! concurrently: [`exec::QueryExecutor`] fans a batch of selections out over
+//! scoped threads sharing the same snapshot, with exact per-query
+//! [`QueryStats`] via [`cdb_storage::TrackedReader`].
 
 pub mod db;
 pub mod ddim;
 pub mod error;
+pub mod exec;
 pub mod handicap;
 pub mod index;
 pub mod query;
@@ -38,6 +45,7 @@ pub mod slopes;
 
 pub use db::{ConstraintDb, DbConfig};
 pub use error::CdbError;
+pub use exec::QueryExecutor;
 pub use index::DualIndex;
 pub use query::{QueryResult, QueryStats, Selection, SelectionKind, Strategy};
 pub use slopes::SlopeSet;

@@ -37,7 +37,10 @@ impl SlopeSet {
     /// # Panics
     /// Panics with fewer than 2 distinct finite slopes.
     pub fn new(mut slopes: Vec<f64>) -> Self {
-        assert!(slopes.iter().all(|s| s.is_finite()), "slopes must be finite");
+        assert!(
+            slopes.iter().all(|s| s.is_finite()),
+            "slopes must be finite"
+        );
         slopes.sort_by(|a, b| a.partial_cmp(b).unwrap());
         slopes.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
         assert!(slopes.len() >= 2, "a slope set needs at least 2 slopes");
@@ -85,10 +88,17 @@ impl SlopeSet {
     }
 
     /// Index of `a` if it is (numerically) in the set.
+    ///
+    /// The tolerance is relative to the *larger* magnitude of the two slopes
+    /// being compared. Scaling by `|a|` alone made membership asymmetric for
+    /// near-vertical slopes: a stored slope of `1e9` matched the query
+    /// `1e9 + 100.0` (tolerance scaled up by the query) while the reverse
+    /// comparison used a tolerance too small to match, so `bracket` routed
+    /// one of the two equivalent queries to the approximate techniques.
     pub fn position(&self, a: f64) -> Option<usize> {
         self.slopes
             .iter()
-            .position(|&s| (s - a).abs() <= 1e-9 * 1.0_f64.max(a.abs()))
+            .position(|&s| (s - a).abs() <= 1e-9 * 1.0_f64.max(s.abs()).max(a.abs()))
     }
 
     /// Classifies a query slope per Table 1.
@@ -166,8 +176,14 @@ mod tests {
             }
             // Mixed signs: angles spread over (0, π) on both sides of the
             // vertical (slopes are sorted, so the negative ones come first).
-            assert!(s.get(0) < 0.0, "some angle beyond π/2 gives a negative slope");
-            assert!(s.get(k - 1) > 0.0, "some angle below π/2 gives a positive slope");
+            assert!(
+                s.get(0) < 0.0,
+                "some angle beyond π/2 gives a negative slope"
+            );
+            assert!(
+                s.get(k - 1) > 0.0,
+                "some angle below π/2 gives a positive slope"
+            );
         }
     }
 
@@ -176,6 +192,25 @@ mod tests {
         let s = SlopeSet::new(vec![-1.0, 0.5, 2.0]);
         assert_eq!(s.bracket(0.5), Bracket::Member(1));
         assert_eq!(s.position(0.5 + 1e-12), Some(1));
+    }
+
+    #[test]
+    fn position_tolerance_is_symmetric_for_large_slopes() {
+        // Near-vertical slopes: |s| dominates |a| and vice versa. The
+        // relative tolerance must scale with the larger magnitude, so the
+        // same pair matches regardless of which value is stored and which
+        // is queried.
+        let huge = 4.0e9;
+        let wiggle = 1.0; // well inside 1e-9 * 4e9 = 4.0
+        let s = SlopeSet::new(vec![-huge, 0.25]);
+        assert_eq!(s.position(-huge + wiggle), Some(0));
+        assert_eq!(s.position(-huge - wiggle), Some(0));
+        // And the mirrored configuration: query below the stored magnitude.
+        let s2 = SlopeSet::new(vec![0.25, huge - wiggle]);
+        assert_eq!(s2.position(huge), Some(1));
+        // Far-off slopes still miss.
+        assert_eq!(s.position(-huge + 100.0), None);
+        assert_eq!(s.position(0.2500001), None);
     }
 
     #[test]

@@ -99,21 +99,13 @@ pub fn surface(tuple: &GeneralizedTuple, which: Surface, slope: &[f64]) -> Optio
 ///
 /// `TOP_P` is convex along any segment in slope space, so the maximum is
 /// `max(TOP(s1), TOP(s2))`. Returns `None` for an empty extension.
-pub fn max_top_on_segment(
-    tuple: &GeneralizedTuple,
-    s1: &[f64],
-    s2: &[f64],
-) -> Option<DualValue> {
+pub fn max_top_on_segment(tuple: &GeneralizedTuple, s1: &[f64], s2: &[f64]) -> Option<DualValue> {
     Some(top(tuple, s1)?.max(top(tuple, s2)?))
 }
 
 /// Minimum of `BOT_P` over the slope segment `[s1, s2]` (concavity ⇒
 /// endpoint minimum). Returns `None` for an empty extension.
-pub fn min_bot_on_segment(
-    tuple: &GeneralizedTuple,
-    s1: &[f64],
-    s2: &[f64],
-) -> Option<DualValue> {
+pub fn min_bot_on_segment(tuple: &GeneralizedTuple, s1: &[f64], s2: &[f64]) -> Option<DualValue> {
     Some(bot(tuple, s1)?.min(bot(tuple, s2)?))
 }
 
@@ -148,12 +140,7 @@ pub enum Position {
 /// Classifies `point` against the hyperplane `x_d = slope·x' + intercept`.
 pub fn classify(point: &[f64], slope: &[f64], intercept: f64) -> Position {
     assert_eq!(point.len(), slope.len() + 1, "dimension mismatch");
-    let f: f64 = slope
-        .iter()
-        .zip(point)
-        .map(|(b, x)| b * x)
-        .sum::<f64>()
-        + intercept;
+    let f: f64 = slope.iter().zip(point).map(|(b, x)| b * x).sum::<f64>() + intercept;
     let xd = point[point.len() - 1];
     if crate::scalar::approx_eq(xd, f) {
         Position::On
@@ -173,10 +160,10 @@ mod tests {
     /// numerically; use a square with vertices (1,1),(3,1),(3,4),(1,4).
     fn rect_1134() -> GeneralizedTuple {
         GeneralizedTuple::new(vec![
-            LinearConstraint::new2d(1.0, 0.0, -1.0, RelOp::Ge),  // x >= 1
-            LinearConstraint::new2d(-1.0, 0.0, 3.0, RelOp::Ge),  // x <= 3
-            LinearConstraint::new2d(0.0, 1.0, -1.0, RelOp::Ge),  // y >= 1
-            LinearConstraint::new2d(0.0, -1.0, 4.0, RelOp::Ge),  // y <= 4
+            LinearConstraint::new2d(1.0, 0.0, -1.0, RelOp::Ge), // x >= 1
+            LinearConstraint::new2d(-1.0, 0.0, 3.0, RelOp::Ge), // x <= 3
+            LinearConstraint::new2d(0.0, 1.0, -1.0, RelOp::Ge), // y >= 1
+            LinearConstraint::new2d(0.0, -1.0, 4.0, RelOp::Ge), // y <= 4
         ])
     }
 
@@ -245,9 +232,15 @@ mod tests {
             sampled_min = sampled_min.min(bot(&t, &[a]).unwrap());
         }
         assert!(max_top >= sampled_max - 1e-7);
-        assert!((max_top - sampled_max).abs() < 1e-6, "convexity endpoint max");
+        assert!(
+            (max_top - sampled_max).abs() < 1e-6,
+            "convexity endpoint max"
+        );
         assert!(min_bot <= sampled_min + 1e-7);
-        assert!((min_bot - sampled_min).abs() < 1e-6, "concavity endpoint min");
+        assert!(
+            (min_bot - sampled_min).abs() < 1e-6,
+            "concavity endpoint min"
+        );
     }
 
     #[test]

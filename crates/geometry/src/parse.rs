@@ -128,11 +128,19 @@ fn find_op(s: &str, base: usize) -> Result<(usize, usize, RelOp, bool), ParseErr
     for (i, &b) in bytes.iter().enumerate() {
         match b {
             b'<' => {
-                let len = if bytes.get(i + 1) == Some(&b'=') { 2 } else { 1 };
+                let len = if bytes.get(i + 1) == Some(&b'=') {
+                    2
+                } else {
+                    1
+                };
                 return Ok((i, len, RelOp::Le, false));
             }
             b'>' => {
-                let len = if bytes.get(i + 1) == Some(&b'=') { 2 } else { 1 };
+                let len = if bytes.get(i + 1) == Some(&b'=') {
+                    2
+                } else {
+                    1
+                };
                 return Ok((i, len, RelOp::Ge, false));
             }
             b'=' => {
@@ -378,6 +386,10 @@ mod tests {
     #[test]
     fn offsets_in_errors() {
         let e = parse_tuple("x >= 1 && y >= $").unwrap_err();
-        assert!(e.offset > 9, "offset {} should point into 2nd conjunct", e.offset);
+        assert!(
+            e.offset > 9,
+            "offset {} should point into 2nd conjunct",
+            e.offset
+        );
     }
 }

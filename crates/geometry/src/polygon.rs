@@ -532,13 +532,11 @@ mod tests {
                 let v_top = p.top(a);
                 let v_bot = p.bot(a);
                 assert!(
-                    (lp_top.is_infinite() && v_top == lp_top)
-                        || (lp_top - v_top).abs() < 1e-6,
+                    (lp_top.is_infinite() && v_top == lp_top) || (lp_top - v_top).abs() < 1e-6,
                     "TOP mismatch at a={a}: lp={lp_top} v={v_top} for {t}"
                 );
                 assert!(
-                    (lp_bot.is_infinite() && v_bot == lp_bot)
-                        || (lp_bot - v_bot).abs() < 1e-6,
+                    (lp_bot.is_infinite() && v_bot == lp_bot) || (lp_bot - v_bot).abs() < 1e-6,
                     "BOT mismatch at a={a}: lp={lp_bot} v={v_bot} for {t}"
                 );
             }

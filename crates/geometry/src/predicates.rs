@@ -72,9 +72,7 @@ pub fn exist_hyperplane(slope: &[f64], c: f64, tuple: &GeneralizedTuple) -> bool
 /// (a degenerate, flat polyhedron lying inside the hyperplane).
 pub fn all_hyperplane(slope: &[f64], c: f64, tuple: &GeneralizedTuple) -> bool {
     match (dual::bot(tuple, slope), dual::top(tuple, slope)) {
-        (Some(b), Some(t)) => {
-            crate::scalar::approx_eq(b, c) && crate::scalar::approx_eq(t, c)
-        }
+        (Some(b), Some(t)) => crate::scalar::approx_eq(b, c) && crate::scalar::approx_eq(t, c),
         _ => true, // empty extension: vacuous containment
     }
 }

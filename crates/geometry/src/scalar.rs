@@ -111,10 +111,12 @@ mod tests {
 
     #[test]
     fn ord_f64_total_order() {
-        let mut v = [OrdF64(3.0),
+        let mut v = [
+            OrdF64(3.0),
             OrdF64(f64::NEG_INFINITY),
             OrdF64(0.0),
-            OrdF64(f64::INFINITY)];
+            OrdF64(f64::INFINITY),
+        ];
         v.sort();
         assert_eq!(v[0], OrdF64(f64::NEG_INFINITY));
         assert_eq!(v[3], OrdF64(f64::INFINITY));

@@ -222,12 +222,7 @@ fn reduce_objective(t: &[Vec<f64>], basis: &[usize], obj: &mut [f64]) {
 ///
 /// Invariants: `obj` stores reduced costs with basic columns at zero and the
 /// negated objective value in the rhs slot.
-fn run_simplex(
-    t: &mut [Vec<f64>],
-    basis: &mut [usize],
-    obj: &mut [f64],
-    n_price: usize,
-) -> bool {
+fn run_simplex(t: &mut [Vec<f64>], basis: &mut [usize], obj: &mut [f64], n_price: usize) -> bool {
     let m = t.len();
     let width = obj.len();
     let rhs = width - 1;

@@ -21,7 +21,10 @@ impl GeneralizedTuple {
     /// # Panics
     /// Panics if `constraints` is empty or the dimensions disagree.
     pub fn new(constraints: Vec<LinearConstraint>) -> Self {
-        assert!(!constraints.is_empty(), "tuple needs at least one constraint");
+        assert!(
+            !constraints.is_empty(),
+            "tuple needs at least one constraint"
+        );
         let dim = constraints[0].dim();
         assert!(
             constraints.iter().all(|c| c.dim() == dim),
@@ -213,7 +216,11 @@ impl GeneralizedTuple {
             if !constant.is_finite() || coeffs.iter().any(|a| !a.is_finite()) {
                 return None;
             }
-            constraints.push(LinearConstraint { coeffs, constant, op });
+            constraints.push(LinearConstraint {
+                coeffs,
+                constant,
+                op,
+            });
         }
         Some(GeneralizedTuple::new(constraints))
     }
@@ -238,9 +245,9 @@ mod tests {
     /// The unit square [0,1]².
     fn unit_square() -> GeneralizedTuple {
         GeneralizedTuple::new(vec![
-            LinearConstraint::new2d(1.0, 0.0, 0.0, RelOp::Ge),  // x >= 0
+            LinearConstraint::new2d(1.0, 0.0, 0.0, RelOp::Ge), // x >= 0
             LinearConstraint::new2d(-1.0, 0.0, 1.0, RelOp::Ge), // x <= 1
-            LinearConstraint::new2d(0.0, 1.0, 0.0, RelOp::Ge),  // y >= 0
+            LinearConstraint::new2d(0.0, 1.0, 0.0, RelOp::Ge), // y >= 0
             LinearConstraint::new2d(0.0, -1.0, 1.0, RelOp::Ge), // y <= 1
         ])
     }
@@ -265,8 +272,8 @@ mod tests {
     fn satisfiability() {
         assert!(unit_square().is_satisfiable());
         let empty = GeneralizedTuple::new(vec![
-            LinearConstraint::new2d(1.0, 0.0, 0.0, RelOp::Ge),  // x >= 0
-            LinearConstraint::new2d(1.0, 0.0, 1.0, RelOp::Le),  // x <= -1
+            LinearConstraint::new2d(1.0, 0.0, 0.0, RelOp::Ge), // x >= 0
+            LinearConstraint::new2d(1.0, 0.0, 1.0, RelOp::Le), // x <= -1
         ]);
         assert!(!empty.is_satisfiable());
         assert!(empty.any_point().is_none());
@@ -307,7 +314,11 @@ mod tests {
 
     #[test]
     fn encode_decode_round_trip() {
-        for t in [unit_square(), intro_example(), GeneralizedTuple::whole_space(3)] {
+        for t in [
+            unit_square(),
+            intro_example(),
+            GeneralizedTuple::whole_space(3),
+        ] {
             let bytes = t.encode();
             let back = GeneralizedTuple::decode(&bytes).expect("decodes");
             assert_eq!(back, t);
@@ -338,7 +349,10 @@ mod tests {
     #[test]
     fn maximize_unbounded_direction() {
         // Max y over {x <= 2, y >= 3}: unbounded.
-        assert!(matches!(intro_example().maximize(&[0.0, 1.0]), LpResult::Unbounded));
+        assert!(matches!(
+            intro_example().maximize(&[0.0, 1.0]),
+            LpResult::Unbounded
+        ));
         // Min y over the same region: 3.
         match intro_example().minimize(&[0.0, 1.0]) {
             LpResult::Optimal { value, .. } => assert!((value - 3.0).abs() < 1e-7),

@@ -1,0 +1,202 @@
+//! Randomized tests of the geometry substrate: the LP solver against
+//! brute-force vertex enumeration, the dual transform's algebra, and the
+//! parser's round-trip behaviour. Seed-swept and deterministic.
+
+use cdb_geometry::constraint::{LinearConstraint, RelOp};
+use cdb_geometry::simplex::{self, LpResult};
+use cdb_geometry::tuple::GeneralizedTuple;
+use cdb_geometry::vertex_enum;
+use cdb_geometry::{dual, parse, HalfPlane};
+use cdb_prng::StdRng;
+
+/// A random *bounded* tuple: a box plus extra random cuts, so vertex
+/// enumeration terminates and the LP optimum is finite.
+fn random_bounded_tuple(rng: &mut StdRng, dim: usize) -> GeneralizedTuple {
+    let mut cs = Vec::new();
+    for axis in 0..dim {
+        let lo = rng.gen_range(-30.0..30.0f64);
+        let w = rng.gen_range(0.5..20.0f64);
+        let mut a = vec![0.0; dim];
+        a[axis] = 1.0;
+        cs.push(LinearConstraint::new(a.clone(), -lo, RelOp::Ge));
+        cs.push(LinearConstraint::new(a, -(lo + w), RelOp::Le));
+    }
+    for _ in 0..rng.gen_range(0..3usize) {
+        let coef: Vec<f64> = (0..dim).map(|_| rng.gen_range(-1.0..1.0f64)).collect();
+        let c = rng.gen_range(-50.0..50.0f64);
+        if coef.iter().any(|x| x.abs() > 0.05) {
+            cs.push(LinearConstraint::new(coef, c, RelOp::Le));
+        }
+    }
+    GeneralizedTuple::new(cs)
+}
+
+/// LP optimum == max over enumerated vertices, in 2-D and 3-D.
+#[test]
+fn lp_agrees_with_vertex_enumeration() {
+    for seed in 0..48u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dim = rng.gen_range(2..4usize);
+        let t = random_bounded_tuple(&mut rng, dim);
+        let obj: Vec<f64> = (0..dim).map(|_| rng.gen_range(-2.0..2.0f64)).collect();
+        if !t.is_satisfiable() {
+            continue;
+        }
+        let v = vertex_enum::enumerate(&t);
+        if v.vertices.is_empty() {
+            continue;
+        }
+        let brute = v
+            .vertices
+            .iter()
+            .map(|p| p.iter().zip(&obj).map(|(x, c)| x * c).sum::<f64>())
+            .fold(f64::NEG_INFINITY, f64::max);
+        match t.maximize(&obj) {
+            LpResult::Optimal { value, point } => {
+                assert!(
+                    (value - brute).abs() <= 1e-6 * (1.0 + brute.abs()),
+                    "LP {value} vs brute {brute} (seed {seed})"
+                );
+                assert!(
+                    t.contains(&point),
+                    "LP point not in extension (seed {seed})"
+                );
+            }
+            other => panic!("expected optimal, got {other:?} (seed {seed})"),
+        }
+    }
+}
+
+/// Infeasibility detection agrees with a direct certificate: a bounded box
+/// plus a contradicting constraint is reported empty.
+#[test]
+fn contradictions_are_infeasible() {
+    for seed in 0..48u64 {
+        let mut rng = StdRng::seed_from_u64(100 + seed);
+        let t = random_bounded_tuple(&mut rng, 2);
+        let gap = rng.gen_range(1.0..100.0f64);
+        if !t.is_satisfiable() {
+            continue;
+        }
+        // x <= max_x and x >= max_x + gap cannot both hold.
+        let max_x = match t.maximize(&[1.0, 0.0]) {
+            LpResult::Optimal { value, .. } => value,
+            _ => continue,
+        };
+        let mut cs = t.constraints().to_vec();
+        cs.push(LinearConstraint::new2d(1.0, 0.0, -(max_x + gap), RelOp::Ge));
+        let contradicted = GeneralizedTuple::new(cs);
+        assert!(!contradicted.is_satisfiable(), "seed {seed}");
+        assert!(dual::top(&contradicted, &[0.0]).is_none(), "seed {seed}");
+    }
+}
+
+/// Duality order reversal on random points and lines.
+#[test]
+fn dual_transform_reverses_orientation() {
+    use cdb_geometry::dual::{classify, dual_hyperplane_of, dual_point_of, Position};
+    for seed in 0..64u64 {
+        let mut rng = StdRng::seed_from_u64(200 + seed);
+        let p = [rng.gen_range(-40.0..40.0f64), rng.gen_range(-40.0..40.0f64)];
+        let a = rng.gen_range(-5.0..5.0f64);
+        let b = rng.gen_range(-40.0..40.0f64);
+        let h = HalfPlane::above(a, b);
+        let primal = classify(&p, &h.slope, h.intercept);
+        let dh = dual_point_of(&h);
+        let (ds, di) = dual_hyperplane_of(&p);
+        let dual_pos = classify(&dh, &ds, di);
+        let expected = match primal {
+            Position::Above => Position::Below,
+            Position::On => Position::On,
+            Position::Below => Position::Above,
+        };
+        assert_eq!(dual_pos, expected, "seed {seed}");
+    }
+}
+
+/// Display → parse round-trips tuples (the parser accepts the printer).
+#[test]
+fn parse_accepts_displayed_tuples() {
+    for seed in 0..48u64 {
+        let mut rng = StdRng::seed_from_u64(300 + seed);
+        let t = random_bounded_tuple(&mut rng, 2);
+        let shown = format!("{t}");
+        let back = parse::parse_tuple(&shown);
+        assert!(back.is_ok(), "failed to reparse '{shown}': {back:?}");
+        let back = back.unwrap();
+        // Same membership on sample points.
+        for p in [[0.0, 0.0], [5.0, -3.0], [-20.0, 20.0], [31.0, 7.0]] {
+            assert_eq!(
+                t.contains(&p),
+                back.contains(&p),
+                "point {p:?} of '{shown}' (seed {seed})"
+            );
+        }
+    }
+}
+
+/// The parser never panics on arbitrary input (errors are values).
+#[test]
+fn parser_never_panics() {
+    let mut rng = StdRng::seed_from_u64(400);
+    for _ in 0..200 {
+        let len = rng.gen_range(0..=60usize);
+        let input: String = (0..len)
+            .map(|_| char::from_u32(rng.gen_range(1..0xD800u32)).unwrap_or('x'))
+            .collect();
+        let _ = parse::parse_tuple(&input);
+        let _ = parse::parse_constraint(&input);
+    }
+}
+
+/// The parser never panics on inputs drawn from its own alphabet.
+#[test]
+fn parser_never_panics_on_near_misses() {
+    const ALPHABET: &[u8] = b"xyzw0123456789 .*+<>=&-";
+    let mut rng = StdRng::seed_from_u64(500);
+    for _ in 0..200 {
+        let len = rng.gen_range(0..=40usize);
+        let input: String = (0..len)
+            .map(|_| ALPHABET[rng.gen_range(0..ALPHABET.len())] as char)
+            .collect();
+        let _ = parse::parse_tuple(&input);
+    }
+}
+
+/// `feasible_point` always returns a member.
+#[test]
+fn feasible_points_are_members() {
+    for seed in 0..48u64 {
+        let mut rng = StdRng::seed_from_u64(600 + seed);
+        let t = random_bounded_tuple(&mut rng, 3);
+        let (rows, rhs) = t.as_le_system();
+        match simplex::feasible_point(t.dim(), &rows, &rhs) {
+            Some(p) => assert!(t.contains(&p), "seed {seed}"),
+            None => assert!(!t.is_satisfiable(), "seed {seed}"),
+        }
+    }
+}
+
+/// Segment extrema of the dual surfaces really are endpoint values
+/// (convexity/concavity), verified against dense sampling.
+#[test]
+fn strip_extrema_at_endpoints() {
+    for seed in 0..48u64 {
+        let mut rng = StdRng::seed_from_u64(700 + seed);
+        let t = random_bounded_tuple(&mut rng, 2);
+        let a1 = rng.gen_range(-2.0..0.0f64);
+        let a2 = rng.gen_range(0.0..2.0f64);
+        if !t.is_satisfiable() {
+            continue;
+        }
+        let max_top = dual::max_top_on_segment(&t, &[a1], &[a2]).unwrap();
+        let min_bot = dual::min_bot_on_segment(&t, &[a1], &[a2]).unwrap();
+        for i in 0..=20 {
+            let a = a1 + (a2 - a1) * i as f64 / 20.0;
+            let top = dual::top(&t, &[a]).unwrap();
+            let bot = dual::bot(&t, &[a]).unwrap();
+            assert!(top <= max_top + 1e-6 * (1.0 + top.abs()), "seed {seed}");
+            assert!(bot >= min_bot - 1e-6 * (1.0 + bot.abs()), "seed {seed}");
+        }
+    }
+}

@@ -1,0 +1,267 @@
+//! Deterministic pseudo-random numbers for workload generation and
+//! randomized tests.
+//!
+//! The workspace builds hermetically — no external crates — so this module
+//! provides the small slice of a PRNG API the generators need: a seedable
+//! generator ([`StdRng`]), uniform ranges ([`StdRng::gen_range`]), Bernoulli
+//! draws ([`StdRng::gen_bool`]) and raw words ([`StdRng::gen`]).
+//!
+//! The generator is **xoshiro256\*\*** (Blackman & Vigna), seeded through
+//! splitmix64 so that small consecutive seeds yield uncorrelated streams.
+//! It is deliberately *not* cryptographic; it is fast, has a 2²⁵⁶−1 period
+//! and passes BigCrush, which is more than enough for seeded experiment
+//! reproducibility.
+//!
+//! Streams are stable across platforms and releases: tests may bake in
+//! seed-dependent expectations (though asserting stream-independent
+//! properties is preferred).
+
+use std::ops::{Range, RangeInclusive};
+
+/// Seedable deterministic generator (xoshiro256**).
+///
+/// The name matches the `rand` crate type the workload generators were
+/// originally written against, keeping call sites unchanged.
+#[derive(Clone, Debug)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl StdRng {
+    /// Creates a generator from a 64-bit seed via splitmix64 expansion.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let s = [next(), next(), next(), next()];
+        StdRng { s }
+    }
+
+    /// Next raw 64-bit word.
+    pub fn next_u64(&mut self) -> u64 {
+        let out = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        out
+    }
+
+    /// Uniform draw in `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniformly random value of `T` (whole domain).
+    pub fn gen<T: Fill>(&mut self) -> T {
+        T::fill(self)
+    }
+
+    /// Bernoulli draw: `true` with probability `p`.
+    ///
+    /// # Panics
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability {p} out of range");
+        self.next_f64() < p
+    }
+
+    /// Uniform draw from a (half-open or inclusive) range.
+    ///
+    /// # Panics
+    /// Panics on an empty range.
+    pub fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample(self)
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.gen_range(0..=i);
+            xs.swap(i, j);
+        }
+    }
+}
+
+/// Types drawable uniformly over their whole domain via [`StdRng::gen`].
+pub trait Fill {
+    /// Draws one value.
+    fn fill(rng: &mut StdRng) -> Self;
+}
+
+impl Fill for u64 {
+    fn fill(rng: &mut StdRng) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Fill for u32 {
+    fn fill(rng: &mut StdRng) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Fill for bool {
+    fn fill(rng: &mut StdRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Fill for f64 {
+    fn fill(rng: &mut StdRng) -> Self {
+        rng.next_f64()
+    }
+}
+
+/// Ranges samplable via [`StdRng::gen_range`].
+pub trait SampleRange {
+    /// Element type of the range.
+    type Output;
+    /// Draws one value from the range.
+    fn sample(self, rng: &mut StdRng) -> Self::Output;
+}
+
+impl SampleRange for Range<f64> {
+    type Output = f64;
+    fn sample(self, rng: &mut StdRng) -> f64 {
+        assert!(self.start < self.end, "empty range {self:?}");
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+impl SampleRange for RangeInclusive<f64> {
+    type Output = f64;
+    fn sample(self, rng: &mut StdRng) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range {lo}..={hi}");
+        // Uniform on [lo, hi]; hi itself is hit only up to rounding, which
+        // matches the continuous-distribution semantics closely enough.
+        lo + rng.next_f64() * (hi - lo)
+    }
+}
+
+macro_rules! int_ranges {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut StdRng) -> $t {
+                assert!(self.start < self.end, "empty range {self:?}");
+                let span = (self.end - self.start) as u64;
+                self.start + (reject_sample(rng, span) as $t)
+            }
+        }
+        impl SampleRange for RangeInclusive<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut StdRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range {lo}..={hi}");
+                if lo == hi {
+                    return lo;
+                }
+                let span = (hi - lo) as u64 + 1;
+                lo + (reject_sample(rng, span) as $t)
+            }
+        }
+    )*};
+}
+
+int_ranges!(usize, u64, u32, i64);
+
+/// Uniform draw in `[0, span)` by rejection, avoiding modulo bias.
+fn reject_sample(rng: &mut StdRng, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    let zone = u64::MAX - (u64::MAX - span + 1) % span;
+    loop {
+        let v = rng.next_u64();
+        if v <= zone {
+            return v % span;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(StdRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x), "{x} outside [0,1)");
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = r.gen_range(-3.0..5.0f64);
+            assert!((-3.0..5.0).contains(&x));
+            let y = r.gen_range(0.1..=0.2f64);
+            assert!((0.1..=0.2).contains(&y));
+            let n = r.gen_range(3..=6usize);
+            assert!((3..=6).contains(&n));
+            let m = r.gen_range(0..10u64);
+            assert!(m < 10);
+        }
+        assert_eq!(r.gen_range(5..=5usize), 5, "degenerate inclusive range");
+    }
+
+    #[test]
+    fn integer_ranges_cover_all_values() {
+        let mut r = StdRng::seed_from_u64(3);
+        let mut seen = [false; 4];
+        for _ in 0..1000 {
+            seen[r.gen_range(0..4usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all of 0..4 drawn in 1000 tries");
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut r = StdRng::seed_from_u64(11);
+        let hits = (0..100_000).filter(|_| r.gen_bool(0.25)).count();
+        let frac = hits as f64 / 100_000.0;
+        assert!((frac - 0.25).abs() < 0.01, "observed {frac}");
+    }
+
+    #[test]
+    fn mean_of_uniform_is_centered() {
+        let mut r = StdRng::seed_from_u64(5);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| r.next_f64()).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.005, "mean {mean}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = StdRng::seed_from_u64(9);
+        let mut xs: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(xs, (0..50).collect::<Vec<_>>(), "shuffled order differs");
+    }
+}

@@ -120,7 +120,9 @@ impl<'a> Node<'a> {
 
     /// All `(rect, ptr)` entries.
     pub fn entries(&self) -> Vec<(Rect, u32)> {
-        (0..self.count()).map(|i| (self.rect(i), self.ptr(i))).collect()
+        (0..self.count())
+            .map(|i| (self.rect(i), self.ptr(i)))
+            .collect()
     }
 
     /// Appends an entry (rectangle rounded outward to `f32`).

@@ -1,7 +1,7 @@
 //! R⁺-tree operations: bulk packing, dynamic insertion, search.
 
 use cdb_geometry::{HalfPlane, Rect};
-use cdb_storage::{PageId, Pager};
+use cdb_storage::{PageId, PageReader, Pager};
 
 use crate::node::{capacity, Node, KIND_INTERNAL, KIND_LEAF};
 
@@ -302,20 +302,20 @@ impl RPlusTree {
     /// (Section 1: the R⁺-tree approximates ALL by EXIST).
     pub fn search_halfplane(
         &self,
-        pager: &mut dyn Pager,
+        pager: &dyn PageReader,
         q: &HalfPlane,
     ) -> (Vec<u32>, SearchStats) {
         self.search_by(pager, |r| r.intersects_halfplane(q))
     }
 
     /// Window query: unique oids whose rectangle intersects `window`.
-    pub fn search_rect(&self, pager: &mut dyn Pager, window: &Rect) -> (Vec<u32>, SearchStats) {
+    pub fn search_rect(&self, pager: &dyn PageReader, window: &Rect) -> (Vec<u32>, SearchStats) {
         self.search_by(pager, |r| r.intersects(window))
     }
 
     fn search_by<F: Fn(&Rect) -> bool>(
         &self,
-        pager: &mut dyn Pager,
+        pager: &dyn PageReader,
         pred: F,
     ) -> (Vec<u32>, SearchStats) {
         let mut stats = SearchStats::default();
@@ -350,13 +350,13 @@ impl RPlusTree {
     /// that sibling rectangles never overlap with positive area (guaranteed
     /// for packed trees; dynamic inserts may relax it in the documented
     /// leftover corner).
-    pub fn validate(&self, pager: &mut dyn Pager, strict_disjoint: bool) {
+    pub fn validate(&self, pager: &dyn PageReader, strict_disjoint: bool) {
         self.validate_rec(pager, self.root, self.height, None, strict_disjoint);
     }
 
     fn validate_rec(
         &self,
-        pager: &mut dyn Pager,
+        pager: &dyn PageReader,
         page: PageId,
         depth: usize,
         bound: Option<Rect>,
@@ -477,8 +477,7 @@ fn partition_leaves(
             high.push((*r, *p));
         }
     }
-    if low.len() >= items.len() || high.len() >= items.len() || low.is_empty() || high.is_empty()
-    {
+    if low.len() >= items.len() || high.len() >= items.len() || low.is_empty() || high.is_empty() {
         // No progress (identical rectangles/centres): count split.
         let mut items = items;
         let rest = items.split_off(items.len() / 2);
@@ -517,7 +516,6 @@ fn str_chunks(mut level: Vec<(Rect, PageId)>, cap: usize) -> Vec<Vec<(Rect, Page
     out
 }
 
-
 type EntrySplit = (Vec<(Rect, u32)>, Vec<(Rect, u32)>);
 
 /// Splits an overflowing entry list around a minimal-crossing median cut.
@@ -536,13 +534,24 @@ fn split_entries(entries: &[(Rect, u32)], clip: bool, max: usize) -> EntrySplit 
     let x_axis = mbr.width() >= mbr.height();
     let mut all: Vec<(Rect, u32)> = entries.to_vec();
     all.sort_by(|a, b| {
-        let ca = if x_axis { a.0.x0 + a.0.x1 } else { a.0.y0 + a.0.y1 };
-        let cb = if x_axis { b.0.x0 + b.0.x1 } else { b.0.y0 + b.0.y1 };
+        let ca = if x_axis {
+            a.0.x0 + a.0.x1
+        } else {
+            a.0.y0 + a.0.y1
+        };
+        let cb = if x_axis {
+            b.0.x0 + b.0.x1
+        } else {
+            b.0.y0 + b.0.y1
+        };
         ca.partial_cmp(&cb).unwrap()
     });
     let half = all.len() / 2;
     let rest = all.split_off(half);
-    assert!(all.len() <= max && rest.len() <= max, "split cannot fit node halves");
+    assert!(
+        all.len() <= max && rest.len() <= max,
+        "split cannot fit node halves"
+    );
     (all, rest)
 }
 
@@ -610,7 +619,11 @@ fn split_entries_geometric(entries: &[(Rect, u32)], clip: bool) -> EntrySplit {
             low.push((a, *p));
             high.push((b, *p));
         } else {
-            let c = if x_axis { (r.x0 + r.x1) / 2.0 } else { (r.y0 + r.y1) / 2.0 };
+            let c = if x_axis {
+                (r.x0 + r.x1) / 2.0
+            } else {
+                (r.y0 + r.y1) / 2.0
+            };
             if c <= cut {
                 low.push((*r, *p));
             } else {
@@ -695,10 +708,10 @@ mod tests {
         let mut rng = Lcg(42);
         let items: Vec<(Rect, u32)> = (0..300).map(|i| (rng.rect(100.0, 5.0), i)).collect();
         let tree = RPlusTree::pack(&mut pager, &items, 1.0);
-        tree.validate(&mut pager, false);
+        tree.validate(&pager, false);
         assert_eq!(tree.len(), 300);
         let window = Rect::new(-20.0, -20.0, 20.0, 20.0);
-        let (got, stats) = tree.search_rect(&mut pager, &window);
+        let (got, stats) = tree.search_rect(&pager, &window);
         // Oracle over the true (unclipped) rectangles.
         let want = oracle_hits(&items, |r| r.intersects(&window));
         assert_eq!(got, want);
@@ -711,10 +724,10 @@ mod tests {
         let mut rng = Lcg(7);
         let items: Vec<(Rect, u32)> = (0..500).map(|i| (rng.rect(100.0, 8.0), i)).collect();
         let tree = RPlusTree::pack(&mut pager, &items, 1.0);
-        tree.validate(&mut pager, false);
+        tree.validate(&pager, false);
         for (a, b) in [(0.5, 3.0), (-1.2, -10.0), (0.0, 0.0), (4.0, 20.0)] {
             for q in [HalfPlane::above(a, b), HalfPlane::below(a, b)] {
-                let (got, _) = tree.search_halfplane(&mut pager, &q);
+                let (got, _) = tree.search_halfplane(&pager, &q);
                 let want = oracle_hits(&items, |r| r.intersects_halfplane(&q));
                 assert_eq!(got, want, "query {q}");
             }
@@ -730,7 +743,7 @@ mod tests {
         let items: Vec<(Rect, u32)> = (0..60).map(|i| (rng.rect(100.0, 6.0), i)).collect();
         let tree = RPlusTree::pack(&mut pager, &items, 1.0);
         let all = Rect::new(-200.0, -200.0, 200.0, 200.0);
-        let (got, stats) = tree.search_rect(&mut pager, &all);
+        let (got, stats) = tree.search_rect(&pager, &all);
         assert_eq!(got.len(), 60, "every object reported once");
         assert!(stats.duplicates > 0, "clipping must create duplicates");
         assert_eq!(stats.raw_hits, 60 + stats.duplicates);
@@ -745,17 +758,17 @@ mod tests {
         for (r, p) in &items {
             tree.insert(&mut pager, *r, *p);
         }
-        tree.validate(&mut pager, false);
+        tree.validate(&pager, false);
         assert_eq!(tree.len(), 400);
         assert!(tree.height() >= 1);
         for (a, b) in [(1.0, 0.0), (-0.5, 5.0), (0.2, -30.0)] {
             let q = HalfPlane::above(a, b);
-            let (got, _) = tree.search_halfplane(&mut pager, &q);
+            let (got, _) = tree.search_halfplane(&pager, &q);
             let want = oracle_hits(&items, |r| r.intersects_halfplane(&q));
             assert_eq!(got, want, "query {q}");
         }
         let window = Rect::new(0.0, 0.0, 15.0, 15.0);
-        let (got, _) = tree.search_rect(&mut pager, &window);
+        let (got, _) = tree.search_rect(&pager, &window);
         assert_eq!(got, oracle_hits(&items, |r| r.intersects(&window)));
     }
 
@@ -772,7 +785,7 @@ mod tests {
         let mut all = base;
         all.extend(extra);
         let q = HalfPlane::below(0.7, 2.0);
-        let (got, _) = tree.search_halfplane(&mut pager, &q);
+        let (got, _) = tree.search_halfplane(&pager, &q);
         assert_eq!(got, oracle_hits(&all, |r| r.intersects_halfplane(&q)));
     }
 
@@ -781,7 +794,7 @@ mod tests {
         let mut pager = MemPager::new(256);
         let tree = RPlusTree::new(&mut pager);
         assert!(tree.is_empty());
-        let (got, stats) = tree.search_rect(&mut pager, &Rect::new(0.0, 0.0, 1.0, 1.0));
+        let (got, stats) = tree.search_rect(&pager, &Rect::new(0.0, 0.0, 1.0, 1.0));
         assert!(got.is_empty());
         assert_eq!(stats.nodes_visited, 1);
     }
@@ -790,19 +803,20 @@ mod tests {
     fn single_object() {
         let mut pager = MemPager::new(256);
         let tree = RPlusTree::pack(&mut pager, &[(Rect::new(0.0, 0.0, 1.0, 1.0), 5)], 1.0);
-        let (got, _) = tree.search_halfplane(&mut pager, &HalfPlane::above(0.0, 0.5));
+        let (got, _) = tree.search_halfplane(&pager, &HalfPlane::above(0.0, 0.5));
         assert_eq!(got, vec![5]);
-        let (got, _) = tree.search_halfplane(&mut pager, &HalfPlane::above(0.0, 1.5));
+        let (got, _) = tree.search_halfplane(&pager, &HalfPlane::above(0.0, 1.5));
         assert!(got.is_empty());
     }
 
     #[test]
     fn identical_rectangles_do_not_loop() {
         let mut pager = MemPager::new(64); // tiny fan-out
-        let items: Vec<(Rect, u32)> =
-            (0..30).map(|i| (Rect::new(1.0, 1.0, 2.0, 2.0), i)).collect();
+        let items: Vec<(Rect, u32)> = (0..30)
+            .map(|i| (Rect::new(1.0, 1.0, 2.0, 2.0), i))
+            .collect();
         let tree = RPlusTree::pack(&mut pager, &items, 1.0);
-        let (got, _) = tree.search_rect(&mut pager, &Rect::new(0.0, 0.0, 3.0, 3.0));
+        let (got, _) = tree.search_rect(&pager, &Rect::new(0.0, 0.0, 3.0, 3.0));
         assert_eq!(got.len(), 30);
     }
 
@@ -823,9 +837,9 @@ mod tests {
         let mut rng = Lcg(11);
         let items: Vec<(Rect, u32)> = (0..5000).map(|i| (rng.rect(100.0, 0.5), i)).collect();
         let tree = RPlusTree::pack(&mut pager, &items, 1.0);
-        tree.validate(&mut pager, false);
+        tree.validate(&pager, false);
         // A tiny window should touch a handful of nodes, not thousands.
-        let (_, stats) = tree.search_rect(&mut pager, &Rect::new(0.0, 0.0, 1.0, 1.0));
+        let (_, stats) = tree.search_rect(&pager, &Rect::new(0.0, 0.0, 1.0, 1.0));
         assert!(
             stats.nodes_visited < 30,
             "selective query visited {} nodes",
@@ -849,9 +863,7 @@ mod tests {
         let mut pager = MemPager::new(256); // capacity 12
         let mut tree = RPlusTree::new(&mut pager);
         let mut rng = Lcg(21);
-        let mut items: Vec<(Rect, u32)> = (0..260)
-            .map(|i| (rng.rect(80.0, 10.0), i))
-            .collect();
+        let mut items: Vec<(Rect, u32)> = (0..260).map(|i| (rng.rect(80.0, 10.0), i)).collect();
         // A run of identical rectangles exercises the degenerate-centre path.
         for i in 260..300 {
             items.push((Rect::new(5.0, 5.0, 9.0, 9.0), i));
@@ -859,9 +871,9 @@ mod tests {
         for (r, p) in &items {
             tree.insert(&mut pager, *r, *p);
         }
-        tree.validate(&mut pager, false);
+        tree.validate(&pager, false);
         let all = Rect::new(-200.0, -200.0, 200.0, 200.0);
-        let (got, _) = tree.search_rect(&mut pager, &all);
+        let (got, _) = tree.search_rect(&pager, &all);
         assert_eq!(got.len(), 300);
     }
 

@@ -1,0 +1,127 @@
+//! Randomized tests: R⁺-tree search against a brute-force oracle under
+//! seeded random rectangle sets, random queries, packed and
+//! dynamically-built trees.
+
+use cdb_geometry::{HalfPlane, Rect};
+use cdb_prng::StdRng;
+use cdb_rplustree::RPlusTree;
+use cdb_storage::{MemPager, PageReader};
+
+fn random_rect(rng: &mut StdRng) -> Rect {
+    let x = rng.gen_range(-50.0..50.0f64);
+    let y = rng.gen_range(-50.0..50.0f64);
+    let w = rng.gen_range(0.01..20.0f64);
+    let h = rng.gen_range(0.01..20.0f64);
+    Rect::new(x, y, x + w, y + h)
+}
+
+fn random_items(rng: &mut StdRng, lo: usize, hi: usize) -> Vec<(Rect, u32)> {
+    let n = rng.gen_range(lo..hi);
+    (0..n).map(|i| (random_rect(rng), i as u32)).collect()
+}
+
+fn oracle<'a>(
+    items: impl Iterator<Item = &'a (Rect, u32)>,
+    pred: impl Fn(&Rect) -> bool,
+) -> Vec<u32> {
+    let mut v: Vec<u32> = items.filter(|(r, _)| pred(r)).map(|(_, p)| *p).collect();
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+#[test]
+fn packed_tree_matches_oracle() {
+    for seed in 0..32u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let items = random_items(&mut rng, 1, 250);
+        let window = random_rect(&mut rng);
+        let a = rng.gen_range(-3.0..3.0f64);
+        let b = rng.gen_range(-60.0..60.0f64);
+        let mut pager = MemPager::new(256);
+        let tree = RPlusTree::pack(&mut pager, &items, 1.0);
+        tree.validate(&pager, false);
+        assert_eq!(tree.len() as usize, items.len(), "seed {seed}");
+
+        let (got, stats) = tree.search_rect(&pager, &window);
+        assert_eq!(
+            got,
+            oracle(items.iter(), |r| r.intersects(&window)),
+            "seed {seed}"
+        );
+        assert!(stats.nodes_visited >= 1);
+
+        for q in [HalfPlane::above(a, b), HalfPlane::below(a, b)] {
+            let (got, _) = tree.search_halfplane(&pager, &q);
+            assert_eq!(
+                got,
+                oracle(items.iter(), |r| r.intersects_halfplane(&q)),
+                "seed {seed}"
+            );
+        }
+    }
+}
+
+#[test]
+fn dynamic_tree_matches_oracle() {
+    for seed in 0..32u64 {
+        let mut rng = StdRng::seed_from_u64(100 + seed);
+        let items = random_items(&mut rng, 1, 150);
+        let a = rng.gen_range(-2.0..2.0f64);
+        let b = rng.gen_range(-60.0..60.0f64);
+        let mut pager = MemPager::new(256);
+        let mut tree = RPlusTree::new(&mut pager);
+        for (r, p) in &items {
+            tree.insert(&mut pager, *r, *p);
+        }
+        tree.validate(&pager, false);
+        let q = HalfPlane::above(a, b);
+        let (got, _) = tree.search_halfplane(&pager, &q);
+        assert_eq!(
+            got,
+            oracle(items.iter(), |r| r.intersects_halfplane(&q)),
+            "seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn mixed_build_matches_oracle() {
+    for seed in 0..32u64 {
+        let mut rng = StdRng::seed_from_u64(200 + seed);
+        let mut items = random_items(&mut rng, 1, 120);
+        let n_extra = rng.gen_range(0..60usize);
+        let window = random_rect(&mut rng);
+        let mut pager = MemPager::new(256);
+        let mut tree = RPlusTree::pack(&mut pager, &items, 0.8);
+        for j in 0..n_extra {
+            let r = random_rect(&mut rng);
+            let id = 10_000 + j as u32;
+            tree.insert(&mut pager, r, id);
+            items.push((r, id));
+        }
+        let (got, _) = tree.search_rect(&pager, &window);
+        assert_eq!(
+            got,
+            oracle(items.iter(), |r| r.intersects(&window)),
+            "seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn page_accounting_is_exact() {
+    for seed in 0..32u64 {
+        let mut rng = StdRng::seed_from_u64(300 + seed);
+        let items = random_items(&mut rng, 1, 200);
+        let mut pager = MemPager::new(256);
+        let tree = RPlusTree::pack(&mut pager, &items, 1.0);
+        assert_eq!(
+            tree.page_count() as usize,
+            pager.live_pages(),
+            "seed {seed}"
+        );
+        tree.destroy(&mut pager);
+        assert_eq!(pager.live_pages(), 0, "seed {seed}");
+    }
+}

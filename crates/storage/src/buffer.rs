@@ -5,10 +5,16 @@
 //! reached the device). The experiment harness reports logical accesses by
 //! default — the paper's setup has no large buffer cache — but the pool lets
 //! the ablation benches show how the comparison shifts with caching.
+//!
+//! Cache state lives behind a `Mutex` so that [`PageReader::read`] works
+//! from `&self` (a miss may still evict and write back a dirty victim);
+//! write-half operations go through `&mut self` and use the lock-free
+//! `get_mut` path.
 
 use std::collections::HashMap;
+use std::sync::Mutex;
 
-use crate::pager::{PageId, Pager};
+use crate::pager::{PageId, PageReader, Pager};
 use crate::stats::IoStats;
 
 struct Frame {
@@ -17,68 +23,16 @@ struct Frame {
     stamp: u64,
 }
 
-/// Write-back LRU cache over an inner pager.
-pub struct BufferPool<P: Pager> {
+struct PoolState<P> {
     inner: P,
-    capacity: usize,
     frames: HashMap<PageId, Frame>,
     clock: u64,
     stats: IoStats,
 }
 
-impl<P: Pager> BufferPool<P> {
-    /// Wraps `inner` with a pool of `capacity` page frames.
-    ///
-    /// # Panics
-    /// Panics if `capacity == 0`.
-    pub fn new(inner: P, capacity: usize) -> Self {
-        assert!(capacity > 0, "buffer pool needs at least one frame");
-        BufferPool {
-            inner,
-            capacity,
-            frames: HashMap::with_capacity(capacity),
-            clock: 0,
-            stats: IoStats::default(),
-        }
-    }
-
-    /// Physical I/O performed by the wrapped pager.
-    pub fn physical_stats(&self) -> IoStats {
-        self.inner.stats()
-    }
-
-    /// Flushes all dirty frames to the inner pager.
-    pub fn flush(&mut self) {
-        let mut dirty: Vec<(PageId, Box<[u8]>)> = self
-            .frames
-            .iter_mut()
-            .filter(|(_, f)| f.dirty)
-            .map(|(&id, f)| {
-                f.dirty = false;
-                (id, f.data.clone())
-            })
-            .collect();
-        dirty.sort_by_key(|(id, _)| *id);
-        for (id, data) in dirty {
-            self.inner.write(id, &data);
-        }
-    }
-
-    /// Flushes and returns the inner pager.
-    pub fn into_inner(mut self) -> P {
-        self.flush();
-        self.inner
-    }
-
-    fn touch(&mut self, id: PageId) {
-        self.clock += 1;
-        if let Some(f) = self.frames.get_mut(&id) {
-            f.stamp = self.clock;
-        }
-    }
-
-    fn evict_if_full(&mut self) {
-        if self.frames.len() < self.capacity {
+impl<P: Pager> PoolState<P> {
+    fn evict_if_full(&mut self, capacity: usize) {
+        if self.frames.len() < capacity {
             return;
         }
         let victim = self
@@ -93,11 +47,12 @@ impl<P: Pager> BufferPool<P> {
         }
     }
 
-    fn load(&mut self, id: PageId) {
+    /// Ensures `id` is resident, evicting (with write-back) on a miss.
+    fn load(&mut self, id: PageId, capacity: usize) {
         if self.frames.contains_key(&id) {
             return;
         }
-        self.evict_if_full();
+        self.evict_if_full(capacity);
         let mut buf = vec![0u8; self.inner.page_size()];
         self.inner.read(id, &mut buf);
         self.clock += 1;
@@ -110,58 +65,146 @@ impl<P: Pager> BufferPool<P> {
             },
         );
     }
+
+    /// Writes every dirty frame back, in page order, borrowing the frame
+    /// data in place (no per-page clone).
+    fn flush(&mut self) {
+        let mut dirty: Vec<PageId> = self
+            .frames
+            .iter()
+            .filter(|(_, f)| f.dirty)
+            .map(|(&id, _)| id)
+            .collect();
+        dirty.sort_unstable();
+        let PoolState { inner, frames, .. } = self;
+        for id in dirty {
+            let f = frames.get_mut(&id).expect("dirty frame is resident");
+            inner.write(id, &f.data);
+            f.dirty = false;
+        }
+    }
 }
 
-impl<P: Pager> Pager for BufferPool<P> {
+/// Write-back LRU cache over an inner pager.
+pub struct BufferPool<P: Pager> {
+    page_size: usize,
+    capacity: usize,
+    state: Mutex<PoolState<P>>,
+}
+
+impl<P: Pager> BufferPool<P> {
+    /// Wraps `inner` with a pool of `capacity` page frames.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn new(inner: P, capacity: usize) -> Self {
+        assert!(capacity > 0, "buffer pool needs at least one frame");
+        BufferPool {
+            page_size: inner.page_size(),
+            capacity,
+            state: Mutex::new(PoolState {
+                inner,
+                frames: HashMap::with_capacity(capacity),
+                clock: 0,
+                stats: IoStats::default(),
+            }),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, PoolState<P>> {
+        self.state.lock().expect("buffer pool poisoned")
+    }
+
+    fn state_mut(&mut self) -> &mut PoolState<P> {
+        self.state.get_mut().expect("buffer pool poisoned")
+    }
+
+    /// Physical I/O performed by the wrapped pager.
+    pub fn physical_stats(&self) -> IoStats {
+        self.lock().inner.stats()
+    }
+
+    /// Flushes all dirty frames to the inner pager.
+    pub fn flush(&mut self) {
+        self.state_mut().flush();
+    }
+
+    /// Flushes and returns the inner pager.
+    pub fn into_inner(mut self) -> P {
+        self.flush();
+        self.state.into_inner().expect("buffer pool poisoned").inner
+    }
+}
+
+impl<P: Pager> PageReader for BufferPool<P> {
     fn page_size(&self) -> usize {
-        self.inner.page_size()
+        self.page_size
     }
 
-    fn allocate(&mut self) -> PageId {
-        self.stats.allocations += 1;
-        self.inner.allocate()
-    }
-
-    fn read(&mut self, id: PageId, buf: &mut [u8]) {
-        assert_eq!(buf.len(), self.page_size());
-        self.load(id);
-        self.touch(id);
-        buf.copy_from_slice(&self.frames[&id].data);
-        self.stats.reads += 1;
-    }
-
-    fn write(&mut self, id: PageId, data: &[u8]) {
-        assert_eq!(data.len(), self.page_size());
-        self.evict_if_full();
-        self.clock += 1;
-        let stamp = self.clock;
-        let frame = self.frames.entry(id).or_insert_with(|| Frame {
-            data: vec![0u8; data.len()].into_boxed_slice(),
-            dirty: false,
-            stamp,
-        });
-        frame.data.copy_from_slice(data);
-        frame.dirty = true;
+    fn read(&self, id: PageId, buf: &mut [u8]) {
+        assert_eq!(buf.len(), self.page_size);
+        let mut st = self.lock();
+        st.load(id, self.capacity);
+        st.clock += 1;
+        let stamp = st.clock;
+        let frame = st.frames.get_mut(&id).expect("loaded");
         frame.stamp = stamp;
-        self.stats.writes += 1;
-    }
-
-    fn free(&mut self, id: PageId) {
-        self.frames.remove(&id);
-        self.inner.free(id);
-        self.stats.frees += 1;
+        buf.copy_from_slice(&frame.data);
+        st.stats.reads += 1;
     }
 
     fn live_pages(&self) -> usize {
-        self.inner.live_pages()
+        self.lock().inner.live_pages()
     }
 
     fn stats(&self) -> IoStats {
-        self.stats
+        self.lock().stats
+    }
+}
+
+impl<P: Pager> Pager for BufferPool<P> {
+    fn allocate(&mut self) -> PageId {
+        let st = self.state_mut();
+        st.stats.allocations += 1;
+        st.inner.allocate()
+    }
+
+    fn write(&mut self, id: PageId, data: &[u8]) {
+        assert_eq!(data.len(), self.page_size);
+        let capacity = self.capacity;
+        let st = self.state_mut();
+        st.clock += 1;
+        let stamp = st.clock;
+        // Residency check FIRST: a hit-write must touch the frame in place.
+        // Evicting up front would — at capacity — push out a victim the
+        // write doesn't need, possibly the very page being written.
+        if let Some(frame) = st.frames.get_mut(&id) {
+            frame.data.copy_from_slice(data);
+            frame.dirty = true;
+            frame.stamp = stamp;
+        } else {
+            st.evict_if_full(capacity);
+            st.frames.insert(
+                id,
+                Frame {
+                    data: data.to_vec().into_boxed_slice(),
+                    dirty: true,
+                    stamp,
+                },
+            );
+        }
+        st.stats.writes += 1;
+    }
+
+    fn free(&mut self, id: PageId) {
+        let st = self.state_mut();
+        st.frames.remove(&id);
+        st.inner.free(id);
+        st.stats.frees += 1;
     }
 
     fn reset_stats(&mut self) {
-        self.stats = IoStats::default();
+        self.state_mut().stats = IoStats::default();
     }
 }
 
@@ -218,11 +261,55 @@ mod tests {
     }
 
     #[test]
+    fn hit_write_at_capacity_is_free_of_physical_io() {
+        // Regression: `write` used to call `evict_if_full` before checking
+        // residency, so a cache-hit write to a full pool evicted a victim it
+        // didn't need — potentially the very page being written.
+        let mut pool = BufferPool::new(MemPager::new(64), 2);
+        let a = pool.allocate();
+        let b = pool.allocate();
+        pool.write(a, &[1u8; 64]);
+        pool.write(b, &[2u8; 64]); // pool now full, both frames dirty
+        let before = pool.physical_stats();
+        pool.write(a, &[9u8; 64]); // hit-write at capacity
+        pool.write(b, &[8u8; 64]);
+        assert_eq!(
+            pool.physical_stats(),
+            before,
+            "hit-writes must cause no eviction and no physical I/O"
+        );
+        // Both pages still resident: reads hit the cache too.
+        let mut buf = vec![0u8; 64];
+        pool.read(a, &mut buf);
+        assert_eq!(buf[0], 9);
+        pool.read(b, &mut buf);
+        assert_eq!(buf[0], 8);
+        assert_eq!(pool.physical_stats().reads, before.reads, "still cached");
+    }
+
+    #[test]
+    fn flush_writes_each_dirty_page_once() {
+        let mut pool = BufferPool::new(MemPager::new(64), 8);
+        let ids: Vec<_> = (0..3).map(|_| pool.allocate()).collect();
+        for (i, &id) in ids.iter().enumerate() {
+            pool.write(id, &[i as u8 + 1; 64]);
+        }
+        pool.flush();
+        assert_eq!(pool.physical_stats().writes, 3);
+        pool.flush();
+        assert_eq!(
+            pool.physical_stats().writes,
+            3,
+            "clean frames not rewritten"
+        );
+    }
+
+    #[test]
     fn flush_persists_everything() {
         let mut pool = BufferPool::new(MemPager::new(64), 8);
         let a = pool.allocate();
         pool.write(a, &[9u8; 64]);
-        let mut inner = pool.into_inner();
+        let inner = pool.into_inner();
         let mut buf = vec![0u8; 64];
         inner.read(a, &mut buf);
         assert_eq!(buf[0], 9);
@@ -235,5 +322,29 @@ mod tests {
         pool.write(a, &[1u8; 64]);
         pool.free(a);
         assert_eq!(pool.live_pages(), 0);
+    }
+
+    #[test]
+    fn concurrent_readers_share_the_pool() {
+        let mut pool = BufferPool::new(MemPager::new(64), 2);
+        let ids: Vec<_> = (0..4).map(|_| pool.allocate()).collect();
+        for (i, &id) in ids.iter().enumerate() {
+            pool.write(id, &[i as u8 + 1; 64]);
+        }
+        let pool = &pool;
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let ids = ids.clone();
+                s.spawn(move || {
+                    let mut buf = vec![0u8; 64];
+                    for round in 0..20 {
+                        let i = (t + round) % ids.len();
+                        pool.read(ids[i], &mut buf);
+                        assert_eq!(buf[0], i as u8 + 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(pool.stats().reads, 80, "all logical reads accounted");
     }
 }

@@ -6,10 +6,11 @@
 
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
+use std::os::unix::fs::FileExt;
 use std::path::Path;
 
 use crate::codec::{get_u32, put_u32};
-use crate::pager::{PageId, Pager};
+use crate::pager::{AtomicStats, PageId, PageReader, Pager};
 use crate::stats::IoStats;
 
 const MAGIC: u32 = 0x43_44_42_31; // "CDB1"
@@ -24,7 +25,7 @@ pub struct FilePager {
     page_count: u32,
     free_list: Vec<PageId>,
     allocated: Vec<bool>, // index 0 unused (header)
-    stats: IoStats,
+    stats: AtomicStats,
 }
 
 impl FilePager {
@@ -47,7 +48,7 @@ impl FilePager {
             page_count: 1,
             free_list: Vec::new(),
             allocated: vec![false],
-            stats: IoStats::default(),
+            stats: AtomicStats::default(),
         };
         p.write_header()?;
         Ok(p)
@@ -85,7 +86,7 @@ impl FilePager {
             page_count,
             free_list,
             allocated,
-            stats: IoStats::default(),
+            stats: AtomicStats::default(),
         })
     }
 
@@ -124,13 +125,37 @@ impl Drop for FilePager {
     }
 }
 
-impl Pager for FilePager {
+impl PageReader for FilePager {
     fn page_size(&self) -> usize {
         self.page_size
     }
 
+    fn read(&self, id: PageId, buf: &mut [u8]) {
+        assert_eq!(buf.len(), self.page_size);
+        assert!(
+            (id as usize) < self.allocated.len() && self.allocated[id as usize],
+            "read of unallocated page {id}"
+        );
+        // Positioned read: no shared cursor, so concurrent query threads can
+        // read through `&self` without racing on the file offset.
+        self.file
+            .read_exact_at(buf, self.offset(id))
+            .expect("file pager read");
+        self.stats.bump_read();
+    }
+
+    fn live_pages(&self) -> usize {
+        self.allocated.iter().filter(|&&a| a).count()
+    }
+
+    fn stats(&self) -> IoStats {
+        self.stats.snapshot()
+    }
+}
+
+impl Pager for FilePager {
     fn allocate(&mut self) -> PageId {
-        self.stats.allocations += 1;
+        self.stats.bump_allocation();
         let id = if let Some(id) = self.free_list.pop() {
             id
         } else {
@@ -149,19 +174,6 @@ impl Pager for FilePager {
         id
     }
 
-    fn read(&mut self, id: PageId, buf: &mut [u8]) {
-        assert_eq!(buf.len(), self.page_size);
-        assert!(
-            (id as usize) < self.allocated.len() && self.allocated[id as usize],
-            "read of unallocated page {id}"
-        );
-        self.file
-            .seek(SeekFrom::Start(self.offset(id)))
-            .and_then(|_| self.file.read_exact(buf))
-            .expect("file pager read");
-        self.stats.reads += 1;
-    }
-
     fn write(&mut self, id: PageId, data: &[u8]) {
         assert_eq!(data.len(), self.page_size);
         assert!(
@@ -172,7 +184,7 @@ impl Pager for FilePager {
             .seek(SeekFrom::Start(self.offset(id)))
             .and_then(|_| self.file.write_all(data))
             .expect("file pager write");
-        self.stats.writes += 1;
+        self.stats.bump_write();
     }
 
     fn free(&mut self, id: PageId) {
@@ -182,19 +194,11 @@ impl Pager for FilePager {
         );
         self.allocated[id as usize] = false;
         self.free_list.push(id);
-        self.stats.frees += 1;
-    }
-
-    fn live_pages(&self) -> usize {
-        self.allocated.iter().filter(|&&a| a).count()
-    }
-
-    fn stats(&self) -> IoStats {
-        self.stats
+        self.stats.bump_free();
     }
 
     fn reset_stats(&mut self) {
-        self.stats = IoStats::default();
+        self.stats.reset();
     }
 }
 

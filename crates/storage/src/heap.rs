@@ -16,7 +16,7 @@
 //! so record ids remain stable.
 
 use crate::codec::{get_u16, put_u16};
-use crate::pager::{PageId, Pager};
+use crate::pager::{PageId, PageReader, Pager};
 
 const HDR: usize = 4;
 const SLOT: usize = 4;
@@ -92,7 +92,7 @@ impl HeapFile {
     ///
     /// # Panics
     /// Panics if the id does not refer to a heap page/slot.
-    pub fn get(&self, pager: &mut dyn Pager, id: RecordId) -> Option<Vec<u8>> {
+    pub fn get(&self, pager: &dyn PageReader, id: RecordId) -> Option<Vec<u8>> {
         assert!(self.pages.contains(&id.page), "foreign page in RecordId");
         let mut buf = vec![0u8; self.page_size];
         pager.read(id.page, &mut buf);
@@ -110,7 +110,7 @@ impl HeapFile {
     /// batched fetch used by query refinement (candidates are grouped by
     /// page before reading). Results align with `ids`; tombstoned slots
     /// yield `None`.
-    pub fn get_many(&self, pager: &mut dyn Pager, ids: &[RecordId]) -> Vec<Option<Vec<u8>>> {
+    pub fn get_many(&self, pager: &dyn PageReader, ids: &[RecordId]) -> Vec<Option<Vec<u8>>> {
         let mut order: Vec<usize> = (0..ids.len()).collect();
         order.sort_by_key(|&i| (ids[i].page, ids[i].slot));
         let mut out: Vec<Option<Vec<u8>>> = vec![None; ids.len()];
@@ -151,7 +151,7 @@ impl HeapFile {
     }
 
     /// Scans all live records in storage order.
-    pub fn scan(&self, pager: &mut dyn Pager) -> Vec<(RecordId, Vec<u8>)> {
+    pub fn scan(&self, pager: &dyn PageReader) -> Vec<(RecordId, Vec<u8>)> {
         let mut out = Vec::new();
         let mut buf = vec![0u8; self.page_size];
         for &page in &self.pages {
@@ -214,8 +214,8 @@ mod tests {
         let mut heap = HeapFile::new(&mut pager);
         let a = heap.insert(&mut pager, b"hello");
         let b = heap.insert(&mut pager, b"world!");
-        assert_eq!(heap.get(&mut pager, a).unwrap(), b"hello");
-        assert_eq!(heap.get(&mut pager, b).unwrap(), b"world!");
+        assert_eq!(heap.get(&pager, a).unwrap(), b"hello");
+        assert_eq!(heap.get(&pager, b).unwrap(), b"world!");
         assert_eq!(heap.page_count(), 1);
     }
 
@@ -227,7 +227,7 @@ mod tests {
         let ids: Vec<_> = (0..10).map(|_| heap.insert(&mut pager, &payload)).collect();
         assert!(heap.page_count() > 1, "should overflow a 128-byte page");
         for id in ids {
-            assert_eq!(heap.get(&mut pager, id).unwrap(), payload);
+            assert_eq!(heap.get(&pager, id).unwrap(), payload);
         }
     }
 
@@ -239,8 +239,8 @@ mod tests {
         let b = heap.insert(&mut pager, b"def");
         assert!(heap.delete(&mut pager, a));
         assert!(!heap.delete(&mut pager, a), "second delete is a no-op");
-        assert!(heap.get(&mut pager, a).is_none());
-        assert_eq!(heap.get(&mut pager, b).unwrap(), b"def");
+        assert!(heap.get(&pager, a).is_none());
+        assert_eq!(heap.get(&pager, b).unwrap(), b"def");
     }
 
     #[test]
@@ -251,7 +251,7 @@ mod tests {
             .map(|i| heap.insert(&mut pager, &[i; 10]))
             .collect();
         heap.delete(&mut pager, ids[2]);
-        let all = heap.scan(&mut pager);
+        let all = heap.scan(&pager);
         assert_eq!(all.len(), 4);
         assert_eq!(all[0].1, vec![0u8; 10]);
         assert_eq!(all[2].1, vec![3u8; 10], "deleted record skipped");
@@ -263,7 +263,7 @@ mod tests {
         let mut heap = HeapFile::new(&mut pager);
         let big = vec![1u8; heap.max_record_len()];
         let id = heap.insert(&mut pager, &big);
-        assert_eq!(heap.get(&mut pager, id).unwrap(), big);
+        assert_eq!(heap.get(&pager, id).unwrap(), big);
     }
 
     #[test]
@@ -291,13 +291,15 @@ mod tests {
     fn get_many_batches_page_reads() {
         let mut pager = MemPager::new(256);
         let mut heap = HeapFile::new(&mut pager);
-        let ids: Vec<_> = (0..30u8).map(|i| heap.insert(&mut pager, &[i; 10])).collect();
+        let ids: Vec<_> = (0..30u8)
+            .map(|i| heap.insert(&mut pager, &[i; 10]))
+            .collect();
         heap.delete(&mut pager, ids[7]);
         pager.reset_stats();
         // Fetch everything in a scrambled order.
         let mut order: Vec<RecordId> = ids.clone();
         order.reverse();
-        let got = heap.get_many(&mut pager, &order);
+        let got = heap.get_many(&pager, &order);
         assert_eq!(got.len(), 30);
         assert_eq!(got[29], Some(vec![0u8; 10]), "alignment with input order");
         assert_eq!(got[30 - 1 - 7], None, "tombstone yields None");
@@ -314,7 +316,7 @@ mod tests {
         let mut heap = HeapFile::new(&mut pager);
         let id = heap.insert(&mut pager, b"x");
         pager.reset_stats();
-        heap.get(&mut pager, id);
+        heap.get(&pager, id);
         assert_eq!(pager.stats().reads, 1, "each fetch is one page read");
     }
 }

@@ -14,6 +14,11 @@
 //! * [`heap::HeapFile`] — a slotted-page heap for variable-length records
 //!   (tuple payloads fetched by the refinement step);
 //! * [`codec`] — little-endian page field helpers shared by the tree crates.
+//!
+//! The pager interface is split into a read half ([`PageReader`], `&self`)
+//! and a write half ([`Pager`], `&mut self`), so a built structure can serve
+//! concurrent queries as a shared snapshot; [`tracked::TrackedReader`] gives
+//! each query its own exact access counts on top of the shared reader.
 
 pub mod buffer;
 pub mod codec;
@@ -21,8 +26,10 @@ pub mod file;
 pub mod heap;
 pub mod pager;
 pub mod stats;
+pub mod tracked;
 
 pub use buffer::BufferPool;
 pub use heap::{HeapFile, RecordId};
-pub use pager::{MemPager, PageId, Pager, DEFAULT_PAGE_SIZE};
+pub use pager::{MemPager, PageId, PageReader, Pager, DEFAULT_PAGE_SIZE};
 pub use stats::IoStats;
+pub use tracked::TrackedReader;

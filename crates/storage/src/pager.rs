@@ -1,4 +1,11 @@
 //! The pager abstraction and the in-memory implementation.
+//!
+//! The interface is split into a read half ([`PageReader`]) and a write half
+//! ([`Pager`]). Reads take `&self` — I/O accounting uses interior mutability
+//! — so an immutable index can be shared across query threads; structure
+//! *modification* still requires `&mut` exclusivity through [`Pager`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::stats::IoStats;
 
@@ -9,23 +16,38 @@ pub type PageId = u32;
 /// The paper's page size: 1024 bytes.
 pub const DEFAULT_PAGE_SIZE: usize = 1024;
 
-/// A fixed-page storage device with access accounting.
+/// The read half of a fixed-page storage device, with access accounting.
 ///
-/// Every `read`/`write` counts one page access in [`IoStats`]; the index
-/// structures funnel all node visits through this interface so that the
-/// experiment harness can report I/O exactly.
-pub trait Pager {
+/// Every `read` counts one page access in [`IoStats`]; the index structures
+/// funnel all node visits through this interface so that the experiment
+/// harness can report I/O exactly. Reading takes `&self`, so a `PageReader`
+/// can serve many concurrent queries over one shared structure snapshot.
+pub trait PageReader {
     /// Size in bytes of every page.
     fn page_size(&self) -> usize;
-
-    /// Allocates a zeroed page and returns its id.
-    fn allocate(&mut self) -> PageId;
 
     /// Reads page `id` into `buf` (`buf.len() == page_size()`).
     ///
     /// # Panics
     /// Panics if `id` is not an allocated page or `buf` has the wrong size.
-    fn read(&mut self, id: PageId, buf: &mut [u8]);
+    fn read(&self, id: PageId, buf: &mut [u8]);
+
+    /// Number of live (allocated, not freed) pages — the space metric.
+    fn live_pages(&self) -> usize;
+
+    /// Access counters since creation or the last
+    /// [`reset_stats`](Pager::reset_stats).
+    fn stats(&self) -> IoStats;
+}
+
+/// The write half: allocation, mutation and accounting control.
+///
+/// `Send + Sync` are supertraits so a `Box<dyn Pager>` (and the structures
+/// built over it) can be handed to `std::thread::scope` workers as a shared
+/// read-only snapshot between write phases.
+pub trait Pager: PageReader + Send + Sync {
+    /// Allocates a zeroed page and returns its id.
+    fn allocate(&mut self) -> PageId;
 
     /// Writes `data` (`data.len() == page_size()`) to page `id`.
     ///
@@ -36,14 +58,51 @@ pub trait Pager {
     /// Frees page `id`, making it available for reallocation.
     fn free(&mut self, id: PageId);
 
-    /// Number of live (allocated, not freed) pages — the space metric.
-    fn live_pages(&self) -> usize;
-
-    /// Access counters since creation or the last [`reset_stats`](Pager::reset_stats).
-    fn stats(&self) -> IoStats;
-
     /// Zeroes the access counters (not the space usage).
     fn reset_stats(&mut self);
+}
+
+/// Interior-mutable [`IoStats`]: reads bump a counter behind `&self`.
+#[derive(Debug, Default)]
+pub(crate) struct AtomicStats {
+    reads: AtomicU64,
+    writes: AtomicU64,
+    allocations: AtomicU64,
+    frees: AtomicU64,
+}
+
+impl AtomicStats {
+    pub(crate) fn bump_read(&self) {
+        self.reads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn bump_write(&self) {
+        self.writes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn bump_allocation(&self) {
+        self.allocations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn bump_free(&self) {
+        self.frees.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> IoStats {
+        IoStats {
+            reads: self.reads.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            allocations: self.allocations.load(Ordering::Relaxed),
+            frees: self.frees.load(Ordering::Relaxed),
+        }
+    }
+
+    pub(crate) fn reset(&self) {
+        self.reads.store(0, Ordering::Relaxed);
+        self.writes.store(0, Ordering::Relaxed);
+        self.allocations.store(0, Ordering::Relaxed);
+        self.frees.store(0, Ordering::Relaxed);
+    }
 }
 
 /// In-memory pager: the experiment substrate.
@@ -52,7 +111,7 @@ pub struct MemPager {
     page_size: usize,
     pages: Vec<Option<Box<[u8]>>>,
     free_list: Vec<PageId>,
-    stats: IoStats,
+    stats: AtomicStats,
 }
 
 impl MemPager {
@@ -66,7 +125,7 @@ impl MemPager {
             page_size,
             pages: Vec::new(),
             free_list: Vec::new(),
-            stats: IoStats::default(),
+            stats: AtomicStats::default(),
         }
     }
 
@@ -82,13 +141,34 @@ impl Default for MemPager {
     }
 }
 
-impl Pager for MemPager {
+impl PageReader for MemPager {
     fn page_size(&self) -> usize {
         self.page_size
     }
 
+    fn read(&self, id: PageId, buf: &mut [u8]) {
+        assert_eq!(buf.len(), self.page_size, "read buffer size mismatch");
+        let page = self
+            .pages
+            .get(id as usize)
+            .and_then(|p| p.as_ref())
+            .unwrap_or_else(|| panic!("read of unallocated page {id}"));
+        buf.copy_from_slice(page);
+        self.stats.bump_read();
+    }
+
+    fn live_pages(&self) -> usize {
+        self.pages.iter().filter(|p| p.is_some()).count()
+    }
+
+    fn stats(&self) -> IoStats {
+        self.stats.snapshot()
+    }
+}
+
+impl Pager for MemPager {
     fn allocate(&mut self) -> PageId {
-        self.stats.allocations += 1;
+        self.stats.bump_allocation();
         if let Some(id) = self.free_list.pop() {
             self.pages[id as usize] = Some(vec![0u8; self.page_size].into_boxed_slice());
             return id;
@@ -99,17 +179,6 @@ impl Pager for MemPager {
         id
     }
 
-    fn read(&mut self, id: PageId, buf: &mut [u8]) {
-        assert_eq!(buf.len(), self.page_size, "read buffer size mismatch");
-        let page = self
-            .pages
-            .get(id as usize)
-            .and_then(|p| p.as_ref())
-            .unwrap_or_else(|| panic!("read of unallocated page {id}"));
-        buf.copy_from_slice(page);
-        self.stats.reads += 1;
-    }
-
     fn write(&mut self, id: PageId, data: &[u8]) {
         assert_eq!(data.len(), self.page_size, "write size mismatch");
         let page = self
@@ -118,7 +187,7 @@ impl Pager for MemPager {
             .and_then(|p| p.as_mut())
             .unwrap_or_else(|| panic!("write of unallocated page {id}"));
         page.copy_from_slice(data);
-        self.stats.writes += 1;
+        self.stats.bump_write();
     }
 
     fn free(&mut self, id: PageId) {
@@ -129,19 +198,11 @@ impl Pager for MemPager {
         assert!(slot.is_some(), "double free of page {id}");
         *slot = None;
         self.free_list.push(id);
-        self.stats.frees += 1;
-    }
-
-    fn live_pages(&self) -> usize {
-        self.pages.iter().filter(|p| p.is_some()).count()
-    }
-
-    fn stats(&self) -> IoStats {
-        self.stats
+        self.stats.bump_free();
     }
 
     fn reset_stats(&mut self) {
-        self.stats = IoStats::default();
+        self.stats.reset();
     }
 }
 
@@ -203,9 +264,31 @@ mod tests {
     }
 
     #[test]
+    fn concurrent_shared_reads() {
+        let mut p = MemPager::new(64);
+        let a = p.allocate();
+        p.write(a, &[3u8; 64]);
+        let reader: &(dyn PageReader + Sync) = &p;
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(move || {
+                    let mut buf = vec![0u8; 64];
+                    for _ in 0..25 {
+                        reader.read(a, &mut buf);
+                        assert_eq!(buf[0], 3);
+                    }
+                });
+            }
+        });
+        assert_eq!(p.stats().reads, 100, "every thread's reads accounted");
+    }
+
+    #[test]
     #[should_panic]
     fn read_unallocated_panics() {
         let mut p = MemPager::new(64);
+        let a = p.allocate();
+        p.free(a);
         let mut buf = vec![0u8; 64];
         p.read(5, &mut buf);
     }

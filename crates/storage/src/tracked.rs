@@ -1,0 +1,99 @@
+//! Per-query read accounting over a shared reader.
+//!
+//! When many queries run concurrently against one [`PageReader`], the
+//! reader's global counters interleave and `stats().since(before)` no longer
+//! isolates a single query. A [`TrackedReader`] wraps the shared reader with
+//! a private `Cell` counter — it is *not* `Sync`, by design: each query
+//! thread builds its own wrapper, so its counts are exactly that query's
+//! page accesses.
+
+use std::cell::Cell;
+
+use crate::pager::{PageId, PageReader};
+use crate::stats::IoStats;
+
+/// A `&self` page reader that counts its own reads, delegating the actual
+/// I/O (and the global accounting) to the wrapped reader.
+pub struct TrackedReader<'a> {
+    inner: &'a dyn PageReader,
+    reads: Cell<u64>,
+}
+
+impl<'a> TrackedReader<'a> {
+    /// Wraps `inner` with a fresh zeroed counter.
+    pub fn new(inner: &'a dyn PageReader) -> Self {
+        TrackedReader {
+            inner,
+            reads: Cell::new(0),
+        }
+    }
+
+    /// Pages read through this wrapper (not the global total).
+    pub fn reads(&self) -> u64 {
+        self.reads.get()
+    }
+}
+
+impl PageReader for TrackedReader<'_> {
+    fn page_size(&self) -> usize {
+        self.inner.page_size()
+    }
+
+    fn read(&self, id: PageId, buf: &mut [u8]) {
+        self.reads.set(self.reads.get() + 1);
+        self.inner.read(id, buf);
+    }
+
+    fn live_pages(&self) -> usize {
+        self.inner.live_pages()
+    }
+
+    /// Stats observed through this wrapper: only reads are non-zero, since
+    /// a read-only wrapper performs no writes, allocations or frees.
+    fn stats(&self) -> IoStats {
+        IoStats {
+            reads: self.reads.get(),
+            ..IoStats::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pager::{MemPager, Pager};
+
+    #[test]
+    fn counts_only_own_reads() {
+        let mut p = MemPager::new(64);
+        let a = p.allocate();
+        p.write(a, &[1u8; 64]);
+        let mut buf = vec![0u8; 64];
+        p.read(a, &mut buf); // global read outside the tracker
+
+        let t1 = TrackedReader::new(&p);
+        let t2 = TrackedReader::new(&p);
+        t1.read(a, &mut buf);
+        t1.read(a, &mut buf);
+        t2.read(a, &mut buf);
+        assert_eq!(t1.reads(), 2);
+        assert_eq!(t2.reads(), 1);
+        assert_eq!(t1.stats().reads, 2);
+        assert_eq!(t1.stats().writes, 0);
+        assert_eq!(p.stats().reads, 4, "global accounting still complete");
+    }
+
+    #[test]
+    fn since_windows_isolate_phases() {
+        let mut p = MemPager::new(64);
+        let a = p.allocate();
+        p.write(a, &[1u8; 64]);
+        let t = TrackedReader::new(&p);
+        let mut buf = vec![0u8; 64];
+        t.read(a, &mut buf);
+        let mid = t.stats();
+        t.read(a, &mut buf);
+        t.read(a, &mut buf);
+        assert_eq!(t.stats().since(&mid).reads, 2);
+    }
+}

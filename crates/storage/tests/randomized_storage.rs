@@ -1,10 +1,13 @@
-//! Property tests of the storage substrate: heap files against a `HashMap`
-//! oracle, and the buffer pool's transparency over a raw pager.
+//! Randomized tests of the storage substrate: heap files against a
+//! `HashMap` oracle, and the buffer pool's transparency over a raw pager.
+//!
+//! Deterministic drop-in for the former proptest suite: each property runs
+//! over a sweep of fixed seeds, so failures reproduce exactly.
 
-use proptest::prelude::*;
 use std::collections::HashMap;
 
-use cdb_storage::{BufferPool, HeapFile, MemPager, Pager, RecordId};
+use cdb_prng::StdRng;
+use cdb_storage::{BufferPool, HeapFile, MemPager, PageReader, Pager, RecordId};
 
 #[derive(Clone, Debug)]
 enum Op {
@@ -13,19 +16,25 @@ enum Op {
     Get(usize),
 }
 
-fn arb_op() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        3 => prop::collection::vec(any::<u8>(), 1..60).prop_map(Op::Insert),
-        1 => any::<usize>().prop_map(Op::Delete),
-        2 => any::<usize>().prop_map(Op::Get),
-    ]
+fn random_ops(rng: &mut StdRng, count: usize) -> Vec<Op> {
+    (0..count)
+        .map(|_| match rng.gen_range(0..6u32) {
+            0..=2 => {
+                let len = rng.gen_range(1..60usize);
+                Op::Insert((0..len).map(|_| rng.gen::<u32>() as u8).collect())
+            }
+            3 => Op::Delete(rng.gen::<u64>() as usize),
+            _ => Op::Get(rng.gen::<u64>() as usize),
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn heap_matches_hashmap(ops in prop::collection::vec(arb_op(), 1..200)) {
+#[test]
+fn heap_matches_hashmap() {
+    for seed in 0..48u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n_ops = rng.gen_range(1..200usize);
+        let ops = random_ops(&mut rng, n_ops);
         let mut pager = MemPager::new(128);
         let mut heap = HeapFile::new(&mut pager);
         let mut ids: Vec<RecordId> = Vec::new();
@@ -40,12 +49,12 @@ proptest! {
                 Op::Delete(i) if !ids.is_empty() => {
                     let id = ids[i % ids.len()];
                     let was_live = oracle[&id].is_some();
-                    prop_assert_eq!(heap.delete(&mut pager, id), was_live);
+                    assert_eq!(heap.delete(&mut pager, id), was_live, "seed {seed}");
                     oracle.insert(id, None);
                 }
                 Op::Get(i) if !ids.is_empty() => {
                     let id = ids[i % ids.len()];
-                    prop_assert_eq!(&heap.get(&mut pager, id), &oracle[&id]);
+                    assert_eq!(&heap.get(&pager, id), &oracle[&id], "seed {seed}");
                 }
                 _ => {}
             }
@@ -56,29 +65,34 @@ proptest! {
             .filter_map(|(id, v)| v.clone().map(|v| (*id, v)))
             .collect();
         live.sort_by_key(|(id, _)| *id);
-        let mut scanned = heap.scan(&mut pager);
+        let mut scanned = heap.scan(&pager);
         scanned.sort_by_key(|(id, _)| *id);
-        prop_assert_eq!(scanned, live);
+        assert_eq!(scanned, live, "seed {seed}");
         // Batched get agrees with singles.
-        let batch = heap.get_many(&mut pager, &ids);
+        let batch = heap.get_many(&pager, &ids);
         for (id, got) in ids.iter().zip(batch) {
-            prop_assert_eq!(&got, &oracle[id]);
+            assert_eq!(&got, &oracle[id], "seed {seed}");
         }
     }
+}
 
-    /// A buffer pool of any capacity is observably identical to the raw
-    /// pager (contents), while never increasing physical I/O.
-    #[test]
-    fn buffer_pool_is_transparent(
-        writes in prop::collection::vec((0usize..12, any::<u8>()), 1..120),
-        capacity in 1usize..16,
-    ) {
+/// A buffer pool of any capacity is observably identical to the raw pager
+/// (contents), while never increasing physical I/O.
+#[test]
+fn buffer_pool_is_transparent() {
+    for seed in 0..48u64 {
+        let mut rng = StdRng::seed_from_u64(1000 + seed);
+        let capacity = rng.gen_range(1..16usize);
+        let n_pages = 12;
+        let n_writes = rng.gen_range(1..120usize);
+        let writes: Vec<(usize, u8)> = (0..n_writes)
+            .map(|_| (rng.gen_range(0..n_pages), rng.gen::<u32>() as u8))
+            .collect();
         let mut raw = MemPager::new(64);
         let mut pooled = BufferPool::new(MemPager::new(64), capacity);
-        let n_pages = 12;
         let raw_ids: Vec<_> = (0..n_pages).map(|_| raw.allocate()).collect();
         let pool_ids: Vec<_> = (0..n_pages).map(|_| pooled.allocate()).collect();
-        prop_assert_eq!(&raw_ids, &pool_ids);
+        assert_eq!(&raw_ids, &pool_ids);
         for &(page, byte) in &writes {
             let data = vec![byte; 64];
             raw.write(raw_ids[page], &data);
@@ -90,22 +104,23 @@ proptest! {
         for page in 0..n_pages {
             raw.read(raw_ids[page], &mut a);
             pooled.read(pool_ids[page], &mut b);
-            prop_assert_eq!(&a, &b, "page {} differs", page);
+            assert_eq!(&a, &b, "page {page} differs (seed {seed})");
         }
         // Physical reads through the pool never exceed logical reads.
-        prop_assert!(pooled.physical_stats().reads <= pooled.stats().reads);
+        assert!(pooled.physical_stats().reads <= pooled.stats().reads);
     }
+}
 
-    /// FilePager and MemPager behave identically for the same op sequence.
-    #[test]
-    fn file_pager_matches_mem_pager(
-        writes in prop::collection::vec((0usize..8, any::<u8>()), 1..60),
-    ) {
-        let path = std::env::temp_dir().join(format!(
-            "cdb_prop_{}_{}",
-            std::process::id(),
-            writes.len() * 31 + writes.first().map(|w| w.0).unwrap_or(0)
-        ));
+/// FilePager and MemPager behave identically for the same op sequence.
+#[test]
+fn file_pager_matches_mem_pager() {
+    for seed in 0..16u64 {
+        let mut rng = StdRng::seed_from_u64(2000 + seed);
+        let n_writes = rng.gen_range(1..60usize);
+        let writes: Vec<(usize, u8)> = (0..n_writes)
+            .map(|_| (rng.gen_range(0..8usize), rng.gen::<u32>() as u8))
+            .collect();
+        let path = std::env::temp_dir().join(format!("cdb_rand_{}_{seed}", std::process::id()));
         {
             let mut fp = cdb_storage::file::FilePager::create(&path, 64).unwrap();
             let mut mp = MemPager::new(64);
@@ -120,7 +135,7 @@ proptest! {
             for i in 0..8 {
                 fp.read(fids[i], &mut a);
                 mp.read(mids[i], &mut b);
-                prop_assert_eq!(&a, &b);
+                assert_eq!(&a, &b, "seed {seed}");
             }
         }
         let _ = std::fs::remove_file(&path);

@@ -19,8 +19,7 @@
 //! values so a requested selectivity is met exactly — the robust equivalent
 //! of the paper's "six queries with selectivities in range X".
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use cdb_prng::StdRng;
 
 use cdb_geometry::constraint::RelOp;
 use cdb_geometry::dual;
@@ -202,7 +201,11 @@ impl TupleGen {
                 let x = self.rng.gen_range(self.window.x0..self.window.x1);
                 let y = self.rng.gen_range(self.window.y0..self.window.y1);
                 let b = y - a * x;
-                let op = if self.rng.gen_bool(0.5) { RelOp::Ge } else { RelOp::Le };
+                let op = if self.rng.gen_bool(0.5) {
+                    RelOp::Ge
+                } else {
+                    RelOp::Le
+                };
                 cs.push(HalfPlane::new2d(a, b, op).to_constraint());
             }
             let t = GeneralizedTuple::new(cs);
@@ -271,7 +274,10 @@ impl QueryGen {
         selectivity: f64,
     ) -> CalibratedQuery {
         assert!(!tuples.is_empty(), "cannot calibrate against no tuples");
-        assert!((0.0..=1.0).contains(&selectivity), "selectivity out of range");
+        assert!(
+            (0.0..=1.0).contains(&selectivity),
+            "selectivity out of range"
+        );
         let mut tg = TupleGen::new(self.rng.gen(), Rect::paper_window(), ObjectSize::Small);
         let a = tg.slope();
         let ge = self.rng.gen_bool(0.5);
@@ -441,11 +447,8 @@ mod tests {
             for want in [0.10, 0.25, 0.50] {
                 let q = qg.calibrated(&tuples, kind, want);
                 // Verify against the exact oracle.
-                let hits = predicates::oracle_select(
-                    &q.halfplane,
-                    kind == QueryKind::All,
-                    tuples.iter(),
-                );
+                let hits =
+                    predicates::oracle_select(&q.halfplane, kind == QueryKind::All, tuples.iter());
                 let got = hits.len() as f64 / tuples.len() as f64;
                 assert!(
                     (got - want).abs() <= 0.02,

@@ -13,8 +13,8 @@
 //! cargo run --release --example land_registry
 //! ```
 
-use constraint_db::prelude::*;
 use constraint_db::index::query::Strategy as S;
+use constraint_db::prelude::*;
 
 fn main() {
     let n = 3000;

@@ -15,7 +15,7 @@ use constraint_db::geometry::tuple::GeneralizedTuple;
 use constraint_db::geometry::HalfPlane;
 use constraint_db::index::ddim::{DualIndexD, SlopePoints};
 use constraint_db::index::query::{Selection, SelectionKind};
-use constraint_db::storage::{MemPager, Pager};
+use constraint_db::storage::{MemPager, PageReader, Pager};
 
 fn corridor(x: (f64, f64), y: (f64, f64), z: (f64, f64)) -> GeneralizedTuple {
     let mut cs = Vec::new();
@@ -35,7 +35,9 @@ fn main() {
     let mut tuples = Vec::new();
     let mut seed = 0x5EEDu64;
     let mut rnd = move || {
-        seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         (seed >> 11) as f64 / (1u64 << 53) as f64
     };
     for i in 0..2000u32 {
@@ -57,24 +59,29 @@ fn main() {
 
     // Terrain plane z = 0.05x - 0.12y + 4: corridors entirely above it?
     let terrain = HalfPlane::new(vec![0.05, -0.12], 4.0, RelOp::Ge);
-    let lookup: std::collections::HashMap<u32, GeneralizedTuple> =
-        tuples.iter().cloned().collect();
-    let mut fetch = |_: &mut dyn Pager, id: u32| lookup[&id].clone();
+    let lookup: std::collections::HashMap<u32, GeneralizedTuple> = tuples.iter().cloned().collect();
+    let fetch = |_: &dyn PageReader, id: u32| lookup[&id].clone();
 
     pager.reset_stats();
     let clear = idx
-        .execute(&mut pager, &Selection::all(terrain.clone()), &mut fetch)
+        .execute(&pager, &Selection::all(terrain.clone()), &fetch)
         .unwrap();
     let all_io = pager.stats().accesses();
     pager.reset_stats();
     let touching = idx
-        .execute(&mut pager, &Selection::exist(terrain.clone()), &mut fetch)
+        .execute(&pager, &Selection::exist(terrain.clone()), &fetch)
         .unwrap();
     let exist_io = pager.stats().accesses();
 
     println!("\nterrain half-space: z >= 0.05x - 0.12y + 4");
-    println!("  ALL   (fully above):  {} corridors, {all_io} page accesses", clear.len());
-    println!("  EXIST (reach above):  {} corridors, {exist_io} page accesses", touching.len());
+    println!(
+        "  ALL   (fully above):  {} corridors, {all_io} page accesses",
+        clear.len()
+    );
+    println!(
+        "  EXIST (reach above):  {} corridors, {exist_io} page accesses",
+        touching.len()
+    );
 
     // Cross-check against the exact predicates.
     let oracle: Vec<u32> = tuples
@@ -88,7 +95,7 @@ fn main() {
     // A restricted (member-slope) query is exact with a single tree sweep.
     let flat = HalfPlane::new(vec![0.0, 0.0], 8.0, RelOp::Ge);
     let high = idx
-        .execute(&mut pager, &Selection::exist(flat), &mut fetch)
+        .execute(&pager, &Selection::exist(flat), &fetch)
         .unwrap();
     let mut want = 0;
     for (_, t) in &tuples {
@@ -97,7 +104,10 @@ fn main() {
         }
     }
     assert_eq!(high.len(), want);
-    println!("corridors reaching z >= 8: {} (restricted exact query)", high.len());
+    println!(
+        "corridors reaching z >= 8: {} (restricted exact query)",
+        high.len()
+    );
 
     let kind = SelectionKind::Exist;
     let _ = kind;

@@ -45,7 +45,8 @@ fn main() {
         fig1_id
     );
 
-    db.build_dual_index("lps", SlopeSet::uniform_tan(5)).unwrap();
+    db.build_dual_index("lps", SlopeSet::uniform_tan(5))
+        .unwrap();
 
     let regulation = HalfPlane::above(0.8, -40.0);
     let feasible = db.exist("lps", regulation.clone()).unwrap();

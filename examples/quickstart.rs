@@ -59,5 +59,8 @@ fn main() {
     let hits = db
         .query("parcels", Selection::all(strip_container.clone()))
         .unwrap();
-    println!("ALL({strip_container})  -> ids {:?} (the infinite strip!)", hits.ids());
+    println!(
+        "ALL({strip_container})  -> ids {:?} (the infinite strip!)",
+        hits.ids()
+    );
 }

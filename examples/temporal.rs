@@ -48,7 +48,10 @@ fn main() {
     // Alarm ramp: v = 0.5 t + 20.
     let ramp = HalfPlane::above(0.5, 20.0);
     let can_alarm = db.exist("series", ramp.clone()).unwrap();
-    println!("can exceed the alarm ramp v = 0.5t + 20 : ids {:?}", can_alarm.ids());
+    println!(
+        "can exceed the alarm ramp v = 0.5t + 20 : ids {:?}",
+        can_alarm.ids()
+    );
     // The open-ended rising corridor (1) must be among them even though it
     // only crosses the ramp around t ≈ 11; the flat day-corridor (0) never
     // reaches it.
@@ -56,18 +59,30 @@ fn main() {
     assert!(!can_alarm.ids().contains(&0));
 
     let always_safe = db.all("series", ramp.complement()).unwrap();
-    println!("never exceed it (ALL below)            : ids {:?}", always_safe.ids());
+    println!(
+        "never exceed it (ALL below)            : ids {:?}",
+        always_safe.ids()
+    );
     assert!(always_safe.ids().contains(&0));
     assert!(!always_safe.ids().contains(&1));
 
     // Footnote-2 equality query: which envelopes are consistent with the
     // exact observation v(t) = 2t + 5 at some time?
     let consistent = db.exist_line("series", 2.0, 5.0).unwrap();
-    println!("consistent with v = 2t + 5 somewhere   : ids {:?}", consistent.ids());
-    assert!(consistent.ids().contains(&3), "the exact-model band matches");
+    println!(
+        "consistent with v = 2t + 5 somewhere   : ids {:?}",
+        consistent.ids()
+    );
+    assert!(
+        consistent.ids().contains(&3),
+        "the exact-model band matches"
+    );
     // ... and which lie entirely on that line?
     let exact = db.all_line("series", 2.0, 5.0).unwrap();
-    println!("entirely on v = 2t + 5                 : ids {:?}", exact.ids());
+    println!(
+        "entirely on v = 2t + 5                 : ids {:?}",
+        exact.ids()
+    );
     assert_eq!(exact.ids(), &[3]);
 
     // Cost transparency: the same numbers the paper's experiments report.

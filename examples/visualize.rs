@@ -12,7 +12,9 @@ use constraint_db::geometry::tuple::GeneralizedTuple;
 use constraint_db::prelude::*;
 
 fn main() {
-    let out = std::env::args().nth(1).unwrap_or_else(|| "parcels.svg".into());
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "parcels.svg".into());
 
     // Dataset: generated parcels plus two hand-made unbounded regions.
     let mut gen = TupleGen::new(4, Rect::paper_window(), ObjectSize::Small);

@@ -109,7 +109,9 @@ fn run_command(db: &mut ConstraintDb, line: &str) -> Result<String, String> {
             Ok(format!("dual index built over {k} slopes"))
         }
         "line" => {
-            let (name, expr) = rest.split_once(' ').ok_or("usage: line <rel> <y = ax + c>")?;
+            let (name, expr) = rest
+                .split_once(' ')
+                .ok_or("usage: line <rel> <y = ax + c>")?;
             let t = parse_tuple(expr).map_err(|e| e.to_string())?;
             if t.constraints().len() != 2 {
                 return Err("a line query must be a single equality, e.g. y = 0.5x + 2".into());
@@ -128,14 +130,20 @@ fn run_command(db: &mut ConstraintDb, line: &str) -> Result<String, String> {
             ))
         }
         "exist" | "all" | "scan" => {
-            let (name, expr) = rest.split_once(' ').ok_or("usage: <kind> <rel> <halfplane>")?;
+            let (name, expr) = rest
+                .split_once(' ')
+                .ok_or("usage: <kind> <rel> <halfplane>")?;
             let q = parse_halfplane(expr)?;
             let sel = if cmd == "all" {
                 Selection::all(q)
             } else {
                 Selection::exist(q)
             };
-            let strategy = if cmd == "scan" { Strategy::Scan } else { Strategy::Auto };
+            let strategy = if cmd == "scan" {
+                Strategy::Scan
+            } else {
+                Strategy::Auto
+            };
             let r = db
                 .query_with(name, sel, strategy)
                 .map_err(|e| e.to_string())?;

@@ -70,10 +70,10 @@ pub mod prelude {
     pub use cdb_core::db::{ConstraintDb, DbConfig};
     pub use cdb_core::query::{QueryStats, Selection, SelectionKind, Strategy};
     pub use cdb_core::slopes::SlopeSet;
-    pub use cdb_core::DualIndex;
+    pub use cdb_core::{DualIndex, QueryExecutor};
     pub use cdb_geometry::parse::{parse_constraint, parse_tuple};
     pub use cdb_geometry::{GeneralizedTuple, HalfPlane, LinearConstraint, Polygon, Rect, RelOp};
     pub use cdb_rplustree::RPlusTree;
-    pub use cdb_storage::{IoStats, MemPager, Pager};
+    pub use cdb_storage::{IoStats, MemPager, PageReader, Pager, TrackedReader};
     pub use cdb_workload::{DatasetSpec, ObjectSize, QueryGen, TupleGen};
 }

@@ -69,7 +69,7 @@ fn mixed_bounded_unbounded_relations() {
 #[test]
 fn member_slope_queries_use_restricted_and_agree() {
     let tuples = DatasetSpec::paper_1999(150, ObjectSize::Medium, 21).generate();
-    let mut db = build_db(&tuples, 3);
+    let db = build_db(&tuples, 3);
     let slopes: Vec<f64> = {
         let rel = db.relation("r").unwrap();
         rel.index().unwrap().slopes().as_slice().to_vec()
@@ -91,7 +91,7 @@ fn member_slope_queries_use_restricted_and_agree() {
 #[test]
 fn extreme_intercepts_select_everything_or_nothing() {
     let tuples = DatasetSpec::paper_1999(100, ObjectSize::Small, 31).generate();
-    let mut db = build_db(&tuples, 3);
+    let db = build_db(&tuples, 3);
     // Far below every object: EXIST(q(>=)) selects all, ALL(q(<=)) none.
     let low = HalfPlane::above(0.37, -10_000.0);
     assert_eq!(db.exist("r", low.clone()).unwrap().len(), 100);
@@ -101,7 +101,12 @@ fn extreme_intercepts_select_everything_or_nothing() {
     assert_eq!(db.exist("r", high.clone()).unwrap().len(), 0);
     assert_eq!(db.all("r", high.complement()).unwrap().len(), 100);
     // Containment in the upward half-plane from far below: everything.
-    assert_eq!(db.all("r", HalfPlane::above(0.37, -10_000.0)).unwrap().len(), 100);
+    assert_eq!(
+        db.all("r", HalfPlane::above(0.37, -10_000.0))
+            .unwrap()
+            .len(),
+        100
+    );
 }
 
 #[test]
@@ -142,7 +147,7 @@ fn rplustree_agrees_with_dual_index_on_bounded_data() {
     use constraint_db::workload::tuple_mbr;
 
     let tuples = DatasetSpec::paper_1999(300, ObjectSize::Small, 41).generate();
-    let mut db = build_db(&tuples, 4);
+    let db = build_db(&tuples, 4);
     let mut pager = MemPager::paper_1999();
     let items: Vec<_> = tuples
         .iter()
@@ -162,7 +167,7 @@ fn rplustree_agrees_with_dual_index_on_bounded_data() {
         };
         let want = db.query_with("r", sel.clone(), Strategy::Scan).unwrap();
         // R+ candidates + exact refinement.
-        let (candidates, _) = tree.search_halfplane(&mut pager, &q.halfplane);
+        let (candidates, _) = tree.search_halfplane(&pager, &q.halfplane);
         let refined: Vec<u32> = candidates
             .into_iter()
             .filter(|&id| {

@@ -175,7 +175,11 @@ fn restricted_cost_scales_with_output_not_input() {
         tops.sort_by(|a, b| b.partial_cmp(a).unwrap());
         let b = tops[19];
         let r = db
-            .query_with("r", Selection::exist(HalfPlane::above(s, b)), Strategy::Restricted)
+            .query_with(
+                "r",
+                Selection::exist(HalfPlane::above(s, b)),
+                Strategy::Restricted,
+            )
             .unwrap();
         (r.stats.index_io.accesses(), r.len())
     };
@@ -207,5 +211,9 @@ fn infinite_objects_are_first_class() {
     // q: y <= 0.5x - 600 — intersects the wedge only at huge x.
     let q = HalfPlane::below(0.5, -600.0);
     let r = db.exist("r", q).unwrap();
-    assert_eq!(r.ids(), &[id], "the intersection outside any window is found");
+    assert_eq!(
+        r.ids(),
+        &[id],
+        "the intersection outside any window is found"
+    );
 }

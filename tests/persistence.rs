@@ -5,7 +5,7 @@ use constraint_db::btree::{BTree, SweepControl};
 use constraint_db::geometry::tuple::GeneralizedTuple;
 use constraint_db::prelude::*;
 use constraint_db::storage::file::FilePager;
-use constraint_db::storage::{HeapFile, Pager};
+use constraint_db::storage::{HeapFile, PageReader, Pager};
 
 fn tmp(name: &str) -> std::path::PathBuf {
     let mut p = std::env::temp_dir();
@@ -65,16 +65,17 @@ fn heap_records_survive_reopen() {
 }
 
 /// Reads a slotted-page record directly (the heap's page layout is stable).
-fn pager_read_record(
-    pager: &mut FilePager,
-    rid: constraint_db::storage::RecordId,
-) -> Vec<u8> {
+fn pager_read_record(pager: &mut FilePager, rid: constraint_db::storage::RecordId) -> Vec<u8> {
     let mut buf = vec![0u8; pager.page_size()];
     pager.read(rid.page, &mut buf);
-    let off = u16::from_le_bytes([buf[4 + rid.slot as usize * 4], buf[5 + rid.slot as usize * 4]])
-        as usize;
-    let len = u16::from_le_bytes([buf[6 + rid.slot as usize * 4], buf[7 + rid.slot as usize * 4]])
-        as usize;
+    let off = u16::from_le_bytes([
+        buf[4 + rid.slot as usize * 4],
+        buf[5 + rid.slot as usize * 4],
+    ]) as usize;
+    let len = u16::from_le_bytes([
+        buf[6 + rid.slot as usize * 4],
+        buf[7 + rid.slot as usize * 4],
+    ]) as usize;
     buf[off..off + len].to_vec()
 }
 
@@ -93,7 +94,7 @@ fn btree_on_file_pager_matches_mem_pager() {
             ft.insert(&mut fpager, k, i);
             mt.insert(&mut mpager, k, i);
         }
-        ft.validate(&mut fpager);
+        ft.validate(&fpager);
         let collect = |t: &BTree, p: &mut dyn Pager| {
             let mut out = Vec::new();
             t.sweep_up(p, f64::NEG_INFINITY, |s| {

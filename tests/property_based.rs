@@ -1,15 +1,13 @@
-//! Property-based suites (proptest) on the core invariants:
+//! Randomized suites (seeded, in-repo PRNG) on the core invariants:
 //!
 //! * the two independent `TOP/BOT` evaluators (LP vs vertex/ray) agree;
-//! * dual-transform order reversal;
 //! * `ALL ⇒ EXIST`, complement laws of the selection predicates;
 //! * tuple serialization round-trips;
 //! * indexed queries equal the oracle on arbitrary generated relations;
-//! * T2 emits no duplicate candidates.
+//! * T2 emits no duplicate candidates;
+//! * concurrent batch execution equals sequential execution query-for-query.
 
-#![allow(clippy::type_complexity)]
-
-use proptest::prelude::*;
+use cdb_prng::StdRng;
 
 use constraint_db::geometry::constraint::{LinearConstraint, RelOp};
 use constraint_db::geometry::polygon::Polygon;
@@ -22,41 +20,43 @@ use constraint_db::prelude::{
 };
 
 /// A random linear constraint with well-scaled coefficients.
-fn arb_constraint() -> impl proptest::strategy::Strategy<Value = LinearConstraint> + Clone {
-    (
-        -4.0..4.0f64,
-        -4.0..4.0f64,
-        -40.0..40.0f64,
-        prop::bool::ANY,
-    )
-        .prop_filter_map("non-degenerate", |(a, b, c, ge)| {
-            if a.abs() < 0.05 && b.abs() < 0.05 {
-                return None;
-            }
-            Some(LinearConstraint::new2d(
-                a,
-                b,
-                c,
-                if ge { RelOp::Ge } else { RelOp::Le },
-            ))
-        })
+fn random_constraint(rng: &mut StdRng) -> LinearConstraint {
+    loop {
+        let a = rng.gen_range(-4.0..4.0);
+        let b = rng.gen_range(-4.0..4.0);
+        if a.abs() < 0.05 && b.abs() < 0.05 {
+            continue; // degenerate: no x/y dependence
+        }
+        let c = rng.gen_range(-40.0..40.0);
+        let op = if rng.gen_bool(0.5) {
+            RelOp::Ge
+        } else {
+            RelOp::Le
+        };
+        return LinearConstraint::new2d(a, b, c, op);
+    }
 }
 
 /// A random (possibly unbounded, possibly empty) 2-D tuple.
-fn arb_tuple() -> impl proptest::strategy::Strategy<Value = GeneralizedTuple> {
-    prop::collection::vec(arb_constraint(), 1..6).prop_map(GeneralizedTuple::new)
+fn random_tuple(rng: &mut StdRng) -> GeneralizedTuple {
+    let n = rng.gen_range(1..6usize);
+    GeneralizedTuple::new((0..n).map(|_| random_constraint(rng)).collect())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn lp_and_vertex_surfaces_agree(t in arb_tuple(), a in -3.0..3.0f64) {
+#[test]
+fn lp_and_vertex_surfaces_agree() {
+    for seed in 0..64u64 {
+        let mut rng = StdRng::seed_from_u64(0x9100 + seed);
+        let t = random_tuple(&mut rng);
+        let a = rng.gen_range(-3.0..3.0);
         let lp_top = dual::top(&t, &[a]);
         let lp_bot = dual::bot(&t, &[a]);
         match Polygon::from_tuple(&t) {
             None => {
-                prop_assert!(lp_top.is_none(), "polygon empty but LP feasible for {t}");
+                assert!(
+                    lp_top.is_none(),
+                    "seed {seed}: polygon empty but LP feasible for {t}"
+                );
             }
             Some(p) => {
                 let (vt, vb) = (p.top(a), p.bot(a));
@@ -65,57 +65,94 @@ proptest! {
                 let close = |x: f64, y: f64| {
                     (x.is_infinite() && x == y) || (x - y).abs() <= 1e-5 * (1.0 + x.abs().min(1e6))
                 };
-                prop_assert!(close(lt, vt), "TOP: lp={lt} vertex={vt} for {t} at a={a}");
-                prop_assert!(close(lb, vb), "BOT: lp={lb} vertex={vb} for {t} at a={a}");
+                assert!(
+                    close(lt, vt),
+                    "seed {seed} TOP: lp={lt} vertex={vt} for {t} at a={a}"
+                );
+                assert!(
+                    close(lb, vb),
+                    "seed {seed} BOT: lp={lb} vertex={vb} for {t} at a={a}"
+                );
             }
         }
     }
+}
 
-    #[test]
-    fn top_dominates_bot(t in arb_tuple(), a in -3.0..3.0f64) {
+#[test]
+fn top_dominates_bot() {
+    for seed in 0..64u64 {
+        let mut rng = StdRng::seed_from_u64(0x9200 + seed);
+        let t = random_tuple(&mut rng);
+        let a = rng.gen_range(-3.0..3.0);
         if let (Some(top), Some(bot)) = (dual::top(&t, &[a]), dual::bot(&t, &[a])) {
-            prop_assert!(top >= bot - 1e-7);
+            assert!(top >= bot - 1e-7, "seed {seed}: top={top} < bot={bot}");
         }
     }
+}
 
-    #[test]
-    fn all_implies_exist(t in arb_tuple(), a in -3.0..3.0f64, b in -50.0..50.0f64) {
-        prop_assume!(t.is_satisfiable());
+#[test]
+fn all_implies_exist() {
+    for seed in 0..64u64 {
+        let mut rng = StdRng::seed_from_u64(0x9300 + seed);
+        let t = random_tuple(&mut rng);
+        let a = rng.gen_range(-3.0..3.0);
+        let b = rng.gen_range(-50.0..50.0);
+        if !t.is_satisfiable() {
+            continue;
+        }
         for q in [HalfPlane::above(a, b), HalfPlane::below(a, b)] {
             if all(&q, &t) {
-                prop_assert!(exist(&q, &t), "ALL without EXIST for {q} on {t}");
+                assert!(
+                    exist(&q, &t),
+                    "seed {seed}: ALL without EXIST for {q} on {t}"
+                );
             }
         }
     }
+}
 
-    #[test]
-    fn complement_exhausts_plane(t in arb_tuple(), a in -3.0..3.0f64, b in -50.0..50.0f64) {
-        prop_assume!(t.is_satisfiable());
+#[test]
+fn complement_exhausts_plane() {
+    for seed in 0..64u64 {
+        let mut rng = StdRng::seed_from_u64(0x9400 + seed);
+        let t = random_tuple(&mut rng);
+        let a = rng.gen_range(-3.0..3.0);
+        let b = rng.gen_range(-50.0..50.0);
+        if !t.is_satisfiable() {
+            continue;
+        }
         let q = HalfPlane::above(a, b);
         // A satisfiable tuple intersects q or its complement (or both).
-        prop_assert!(exist(&q, &t) || exist(&q.complement(), &t));
-        // Contained in q implies not intersecting the OPEN complement
-        // interior... with closed half-planes: ALL(q) and EXIST(¬q) can both
-        // hold only via the shared boundary; if ALL(q) holds strictly inside,
-        // fine — assert the weaker, always-true law: ALL(q) implies not
-        // ALL(¬q) unless the tuple lies on the boundary line.
+        assert!(exist(&q, &t) || exist(&q.complement(), &t), "seed {seed}");
+        // With closed half-planes, ALL(q) and ALL(¬q) can hold together only
+        // when the whole extension lies on the shared boundary line.
         if all(&q, &t) && all(&q.complement(), &t) {
-            // extension within both closed half-planes = within the line.
             let top = dual::top(&t, &[a]).unwrap();
             let bot = dual::bot(&t, &[a]).unwrap();
-            prop_assert!((top - b).abs() < 1e-6 && (bot - b).abs() < 1e-6);
+            assert!(
+                (top - b).abs() < 1e-6 && (bot - b).abs() < 1e-6,
+                "seed {seed}: extension not on the boundary"
+            );
         }
     }
+}
 
-    #[test]
-    fn tuple_codec_roundtrip(t in arb_tuple()) {
+#[test]
+fn tuple_codec_roundtrip() {
+    for seed in 0..64u64 {
+        let mut rng = StdRng::seed_from_u64(0x9500 + seed);
+        let t = random_tuple(&mut rng);
         let bytes = t.encode();
         let back = GeneralizedTuple::decode(&bytes).expect("round trip");
-        prop_assert_eq!(back, t);
+        assert_eq!(back, t, "seed {seed}");
     }
+}
 
-    #[test]
-    fn polygon_points_satisfy_tuple(t in arb_tuple()) {
+#[test]
+fn polygon_points_satisfy_tuple() {
+    for seed in 0..64u64 {
+        let mut rng = StdRng::seed_from_u64(0x9600 + seed);
+        let t = random_tuple(&mut rng);
         if let Some(p) = Polygon::from_tuple(&t) {
             for v in p.points() {
                 // Generating points lie in (or numerically on) the extension.
@@ -128,60 +165,74 @@ proptest! {
                         RelOp::Ge => lhs >= -tol,
                     };
                 }
-                prop_assert!(ok, "point {v:?} violates {t}");
+                assert!(ok, "seed {seed}: point {v:?} violates {t}");
             }
         }
     }
 }
 
-proptest! {
-    // Whole-index oracle equivalence is expensive: fewer cases.
-    #![proptest_config(ProptestConfig::with_cases(12))]
+/// Builds a mixed bounded/unbounded relation with an index on `k` slopes.
+fn indexed_db(seed: u64, k: usize, unbounded: usize) -> (ConstraintDb, usize) {
+    let mut g = TupleGen::new(seed, Rect::paper_window(), ObjectSize::Small);
+    let mut tuples: Vec<GeneralizedTuple> = (0..60).map(|_| g.bounded_tuple()).collect();
+    for _ in 0..unbounded {
+        tuples.push(g.unbounded_tuple());
+    }
+    let n = tuples.len();
+    let mut db = ConstraintDb::in_memory(DbConfig::paper_1999());
+    db.create_relation("r", 2).unwrap();
+    for t in &tuples {
+        db.insert("r", t.clone()).unwrap();
+    }
+    db.build_dual_index("r", SlopeSet::uniform_tan(k)).unwrap();
+    (db, n)
+}
 
-    #[test]
-    fn indexed_queries_match_oracle(
-        seed in 0u64..1000,
-        k in 2usize..5,
-        a in -2.5..2.5f64,
-        b in -60.0..60.0f64,
-        unbounded_share in 0usize..3,
-    ) {
-        let mut g = TupleGen::new(seed, Rect::paper_window(), ObjectSize::Small);
-        let mut tuples: Vec<GeneralizedTuple> =
-            (0..60).map(|_| g.bounded_tuple()).collect();
-        for _ in 0..(unbounded_share * 10) {
-            tuples.push(g.unbounded_tuple());
-        }
-        let mut db = ConstraintDb::in_memory(DbConfig::paper_1999());
-        db.create_relation("r", 2).unwrap();
-        for t in &tuples {
-            db.insert("r", t.clone()).unwrap();
-        }
-        db.build_dual_index("r", SlopeSet::uniform_tan(k)).unwrap();
+// Whole-index oracle equivalence is expensive: fewer cases.
+#[test]
+fn indexed_queries_match_oracle() {
+    for case in 0..12u64 {
+        let mut rng = StdRng::seed_from_u64(0x9700 + case);
+        let seed = rng.gen_range(0..1000u64);
+        let k = rng.gen_range(2..5usize);
+        let a = rng.gen_range(-2.5..2.5);
+        let b = rng.gen_range(-60.0..60.0);
+        let unbounded = rng.gen_range(0..3usize) * 10;
+        let (db, _) = indexed_db(seed, k, unbounded);
         for sel in [
             Selection::exist(HalfPlane::above(a, b)),
             Selection::exist(HalfPlane::below(a, b)),
             Selection::all(HalfPlane::above(a, b)),
             Selection::all(HalfPlane::below(a, b)),
         ] {
-            let want = db.query_with("r", sel.clone(), QueryStrategy::Scan).unwrap();
+            let want = db
+                .query_with("r", sel.clone(), QueryStrategy::Scan)
+                .unwrap();
             for strat in [QueryStrategy::T1, QueryStrategy::T2] {
                 let got = db.query_with("r", sel.clone(), strat).unwrap();
-                prop_assert_eq!(
-                    got.ids(), want.ids(),
+                assert_eq!(
+                    got.ids(),
+                    want.ids(),
                     "strategy {:?} kind {:?} a={} b={} seed={} k={}",
-                    strat, sel.kind, a, b, seed, k
+                    strat,
+                    sel.kind,
+                    a,
+                    b,
+                    seed,
+                    k
                 );
             }
         }
     }
+}
 
-    #[test]
-    fn t2_produces_no_duplicate_candidates(
-        seed in 0u64..500,
-        a in -2.0..2.0f64,
-        b in -50.0..50.0f64,
-    ) {
+#[test]
+fn t2_produces_no_duplicate_candidates() {
+    for case in 0..8u64 {
+        let mut rng = StdRng::seed_from_u64(0x9800 + case);
+        let seed = rng.gen_range(0..500u64);
+        let a = rng.gen_range(-2.0..2.0);
+        let b = rng.gen_range(-50.0..50.0);
         let tuples = DatasetSpec::paper_1999(120, ObjectSize::Medium, seed).generate();
         let mut db = ConstraintDb::in_memory(DbConfig::paper_1999());
         db.create_relation("r", 2).unwrap();
@@ -200,7 +251,72 @@ proptest! {
                 rel.index().unwrap().slopes().as_slice().to_vec()
             };
             if a > slopes[0] && a < slopes[slopes.len() - 1] {
-                prop_assert_eq!(got.stats.duplicates, 0);
+                assert_eq!(got.stats.duplicates, 0, "case {case} a={a} b={b}");
+            }
+        }
+    }
+}
+
+/// The executor satellite: a randomized batch over every strategy —
+/// including Restricted on member slopes — returns, at every thread count,
+/// exactly what per-query sequential execution returns.
+#[test]
+fn query_executor_batch_matches_sequential() {
+    for case in 0..6u64 {
+        let mut rng = StdRng::seed_from_u64(0x9900 + case);
+        let seed = rng.gen_range(0..1000u64);
+        let k = rng.gen_range(2..5usize);
+        let unbounded = rng.gen_range(0..3usize) * 10;
+        let (db, _) = indexed_db(seed, k, unbounded);
+        let member_slopes: Vec<f64> = {
+            let rel = db.relation("r").unwrap();
+            rel.index().unwrap().slopes().as_slice().to_vec()
+        };
+        let mut batch = Vec::new();
+        for qi in 0..18 {
+            let strat = match qi % 3 {
+                0 => QueryStrategy::T1,
+                1 => QueryStrategy::T2,
+                _ => QueryStrategy::Restricted,
+            };
+            let a = if strat == QueryStrategy::Restricted {
+                member_slopes[rng.gen_range(0..member_slopes.len())]
+            } else {
+                rng.gen_range(-2.5..2.5)
+            };
+            let b = rng.gen_range(-60.0..60.0);
+            let hp = if rng.gen_bool(0.5) {
+                HalfPlane::above(a, b)
+            } else {
+                HalfPlane::below(a, b)
+            };
+            let sel = if rng.gen_bool(0.5) {
+                Selection::exist(hp)
+            } else {
+                Selection::all(hp)
+            };
+            batch.push((sel, strat));
+        }
+        let sequential: Vec<(Vec<u32>, u64)> = batch
+            .iter()
+            .map(|(sel, strat)| {
+                let r = db.query_with("r", sel.clone(), *strat).unwrap();
+                (r.ids().to_vec(), r.stats.index_io.reads)
+            })
+            .collect();
+        for threads in [1usize, 3, 8] {
+            let got = db.query_batch("r", &batch, threads).unwrap();
+            for (qi, (r, (want_ids, want_reads))) in got.iter().zip(&sequential).enumerate() {
+                let r = r.as_ref().unwrap();
+                assert_eq!(
+                    r.ids(),
+                    want_ids.as_slice(),
+                    "case {case} query {qi} at {threads} threads"
+                );
+                assert_eq!(
+                    r.stats.index_io.reads, *want_reads,
+                    "case {case} query {qi}: per-query stats must be isolated"
+                );
             }
         }
     }
