@@ -4,9 +4,20 @@
 # no external dependencies; Cargo.lock is committed).
 set -euo pipefail
 
-cargo build --release
-cargo test -q --workspace
-cargo clippy --workspace --all-targets -- -D warnings
-cargo fmt --all --check
+# Runs one gate step, reporting its wall-clock time even when it fails.
+step() {
+  local name=$1
+  shift
+  local start=$SECONDS
+  echo "--- ${name}"
+  "$@"
+  echo "--- ${name}: ok ($((SECONDS - start))s)"
+}
 
-echo "ci: all green"
+step build cargo build --release
+step test cargo test -q --workspace
+step clippy cargo clippy --workspace --all-targets -- -D warnings
+step doc env RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+step fmt cargo fmt --all --check
+
+echo "ci: all green ($((SECONDS))s total)"

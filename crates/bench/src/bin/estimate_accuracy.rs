@@ -1,0 +1,55 @@
+//! Cost-model accuracy of the planner at the paper's largest configuration
+//! (N = 12000, k = 4): for every query of a calibrated battery, the
+//! estimate the planner committed to (stamped into `QueryStats`) next to
+//! the page accesses actually measured.
+//!
+//! The relation carries *both* a dual index and the R⁺-tree baseline, so
+//! `Strategy::Auto` genuinely arbitrates between all six access methods.
+//! A first battery pass warms the feedback catalog; the printed pass shows
+//! the calibrated estimates.
+//!
+//! ```text
+//! cargo run --release -p cdb-bench --bin estimate_accuracy [--quick] [--sel LO HI]
+//! ```
+//!
+//! `--sel` overrides the selectivity band (default: the paper's 10–15 %).
+
+use cdb_bench::{
+    print_estimate_table, run_estimate_experiment, write_estimate_csv, PAPER_SELECTIVITY,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let sel = match args.iter().position(|a| a == "--sel") {
+        Some(i) => {
+            let lo = args[i + 1].parse().expect("--sel LO HI");
+            let hi = args[i + 2].parse().expect("--sel LO HI");
+            (lo, hi)
+        }
+        None => PAPER_SELECTIVITY,
+    };
+    let (n, k) = if quick { (2000, 4) } else { (12000, 4) };
+    let rows = run_estimate_experiment(n, k, sel, 0x0E57_1999);
+    print_estimate_table(
+        &format!(
+            "Planner estimate vs. actual — N={n}, k={k}, selectivity {:.0}-{:.0}%",
+            sel.0 * 100.0,
+            sel.1 * 100.0
+        ),
+        &rows,
+    );
+    let within_2x = rows
+        .iter()
+        .filter(|r| {
+            let err = r.est_pages / r.actual_pages.max(1) as f64;
+            (0.5..=2.0).contains(&err)
+        })
+        .count();
+    println!(
+        "\n{within_2x}/{} estimates within 2x of the measured cost",
+        rows.len()
+    );
+    write_estimate_csv("estimate_accuracy", &rows).expect("write results CSV");
+    println!("wrote results/estimate_accuracy.csv");
+}

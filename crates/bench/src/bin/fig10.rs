@@ -10,48 +10,15 @@
 //! cargo run --release -p cdb-bench --bin fig10 [--quick]
 //! ```
 
-use cdb_bench::{RplusBed, T2Bed, PAPER_CARDINALITIES, PAPER_KS};
-use cdb_workload::{DatasetSpec, ObjectSize};
+use cdb_bench::PAPER_KS;
+use cdb_bench::{figure_cardinalities, print_space_table, run_space_experiment, write_space_csv};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let ns: Vec<usize> = if quick {
-        vec![500, 2000]
-    } else {
-        PAPER_CARDINALITIES.to_vec()
-    };
-    let mut csv = String::from("size_class,n,structure,pages,ratio_vs_rplus,ratio_per_k\n");
-    for size in [ObjectSize::Small, ObjectSize::Medium] {
-        println!("\nFigure 10 — disk pages, {size:?} objects");
-        print!("{:>10}{:>10}", "N", "R+-tree");
-        for k in PAPER_KS {
-            print!("{:>10}", format!("T2 k={k}"));
-        }
-        println!("{:>14}", "ratio/k (k=5)");
-        for &n in &ns {
-            let spec = DatasetSpec::paper_1999(n, size, 0x000F_1610 + n as u64);
-            let tuples = spec.generate();
-            let rbed = RplusBed::build(&tuples);
-            let rpages = rbed.index_pages();
-            print!("{n:>10}{rpages:>10}");
-            csv.push_str(&format!("{size:?},{n},R+-tree,{rpages},1.000,\n"));
-            let mut last_per_k = 0.0;
-            for k in PAPER_KS {
-                let bed = T2Bed::build(spec, k);
-                let pages = bed.index_pages();
-                let ratio = pages as f64 / rpages as f64;
-                last_per_k = ratio / k as f64;
-                print!("{pages:>10}");
-                csv.push_str(&format!(
-                    "{size:?},{n},T2 k={k},{pages},{ratio:.3},{:.3}\n",
-                    ratio / k as f64
-                ));
-            }
-            println!("{last_per_k:>14.2}");
-        }
-    }
+    let ns = figure_cardinalities(quick);
+    let points = run_space_experiment(&ns, &PAPER_KS, 0x000F_1610);
+    print_space_table(&points);
     println!("\npaper's reported space factor: T2 ≈ 1.32·k × R+-tree");
-    std::fs::create_dir_all("results").expect("results dir");
-    std::fs::write("results/fig10_space.csv", csv).expect("write CSV");
+    write_space_csv("fig10_space", &points).expect("write results CSV");
     println!("wrote results/fig10_space.csv");
 }

@@ -10,17 +10,13 @@
 //! ```
 
 use cdb_bench::{
-    print_figure, run_time_experiment, write_csv, PAPER_CARDINALITIES, PAPER_KS, PAPER_SELECTIVITY,
+    figure_cardinalities, print_figure, run_time_experiment, write_csv, PAPER_KS, PAPER_SELECTIVITY,
 };
 use cdb_workload::ObjectSize;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let ns: Vec<usize> = if quick {
-        vec![500, 2000]
-    } else {
-        PAPER_CARDINALITIES.to_vec()
-    };
+    let ns = figure_cardinalities(quick);
     let points = run_time_experiment(
         ObjectSize::Medium,
         &ns,

@@ -5,9 +5,9 @@
 //!
 //! * [`T2Bed`] — a [`ConstraintDb`] with a dual index (technique T2) over a
 //!   seeded synthetic relation;
-//! * [`RplusBed`] — the R⁺-tree baseline over the *same* relation: object
-//!   MBRs in the tree, full tuples in a heap file for the refinement step,
-//!   all in one instrumented pager.
+//! * [`RplusBed`] — the R⁺-tree baseline over the *same* relation, also
+//!   held in a [`ConstraintDb`] and queried through the unified planner
+//!   path ([`Strategy::RPlus`] → `Planner::choose` → `RPlusAccess`).
 //!
 //! The measured quantity is page accesses per query (index structure pages
 //! plus tuple-heap pages fetched for refinement), which stands in for the
@@ -15,12 +15,12 @@
 //! Each run cross-checks that both structures return identical result sets.
 
 use cdb_core::query::Strategy;
-use cdb_core::{ConstraintDb, DbConfig, QueryStats, Selection, SelectionKind, SlopeSet};
+use cdb_core::{
+    ConstraintDb, DbConfig, MethodKind, QueryStats, Selection, SelectionKind, SlopeSet,
+};
 use cdb_geometry::predicates;
 use cdb_geometry::tuple::GeneralizedTuple;
-use cdb_rplustree::RPlusTree;
-use cdb_storage::{HeapFile, MemPager, PageReader, RecordId, TrackedReader};
-use cdb_workload::{tuple_mbr, CalibratedQuery, DatasetSpec, ObjectSize, QueryGen, QueryKind};
+use cdb_workload::{CalibratedQuery, DatasetSpec, ObjectSize, QueryGen, QueryKind};
 
 /// The paper's relation cardinalities (Section 5).
 pub const PAPER_CARDINALITIES: [usize; 5] = [500, 2000, 4000, 8000, 12000];
@@ -34,6 +34,16 @@ pub const PAPER_SELECTIVITY: (f64, f64) = (0.10, 0.15);
 
 /// Queries per (kind, configuration): the paper uses six of each.
 pub const QUERIES_PER_KIND: usize = 6;
+
+/// The cardinality sweep of a figure run: the paper's five cardinalities,
+/// or the first two under `--quick` for smoke runs.
+pub fn figure_cardinalities(quick: bool) -> Vec<usize> {
+    if quick {
+        PAPER_CARDINALITIES[..2].to_vec()
+    } else {
+        PAPER_CARDINALITIES.to_vec()
+    }
+}
 
 /// Technique-T2 testbed: engine + dual index over a generated relation.
 pub struct T2Bed {
@@ -79,76 +89,51 @@ impl T2Bed {
     }
 }
 
-/// R⁺-tree testbed: the baseline structure plus a tuple heap for
-/// refinement, sharing one instrumented pager.
+/// R⁺-tree testbed: the baseline packed inside a [`ConstraintDb`]
+/// (tree over object MBRs, tuples in the relation heap) and queried
+/// through the same planner path as every other access method.
 pub struct RplusBed {
-    pager: MemPager,
-    tree: RPlusTree,
-    heap: HeapFile,
-    slots: Vec<RecordId>,
+    /// The engine holding relation `"r"` with the packed baseline.
+    pub db: ConstraintDb,
     tuples: Vec<GeneralizedTuple>,
 }
 
 impl RplusBed {
     /// Packs the baseline over the same tuples a [`T2Bed`] would hold.
     pub fn build(tuples: &[GeneralizedTuple]) -> Self {
-        let mut pager = MemPager::paper_1999();
-        let mut heap = HeapFile::new(&mut pager);
-        let mut slots = Vec::with_capacity(tuples.len());
-        let mut items = Vec::with_capacity(tuples.len());
-        for (i, t) in tuples.iter().enumerate() {
-            slots.push(heap.insert(&mut pager, &t.encode()));
-            items.push((tuple_mbr(t), i as u32));
+        let mut db = ConstraintDb::in_memory(DbConfig::paper_1999());
+        db.create_relation("r", 2).expect("fresh db");
+        for t in tuples {
+            db.insert("r", t.clone())
+                .expect("satisfiable by construction");
         }
-        let tree = RPlusTree::pack(&mut pager, &items, 1.0);
-        tree.validate(&pager, false);
+        db.build_rplus_index("r", 1.0).expect("2-D relation");
         RplusBed {
-            pager,
-            tree,
-            heap,
-            slots,
+            db,
             tuples: tuples.to_vec(),
         }
     }
 
     /// Tree pages only (heap pages excluded): the Figure 10 metric.
     pub fn index_pages(&self) -> u64 {
-        self.tree.page_count()
+        self.db
+            .relation("r")
+            .expect("exists")
+            .rplus()
+            .expect("built")
+            .tree
+            .page_count()
     }
 
-    /// Runs one calibrated query the R⁺-tree way: EXIST search over MBRs
-    /// (ALL is approximated by EXIST, Section 1), then exact refinement of
-    /// every candidate against the fetched tuples (page-batched, like the
-    /// dual index's refinement).
+    /// Runs one calibrated query through the planner with the R⁺-tree
+    /// forced: EXIST search over MBRs (ALL is approximated by EXIST,
+    /// Section 1), then exact refinement of every candidate.
     pub fn run(&self, q: &CalibratedQuery) -> (QueryStats, Vec<u32>) {
-        let mut stats = QueryStats::default();
-        let tracked = TrackedReader::new(&self.pager);
-        let before = tracked.stats();
-        let (candidates, search) = self.tree.search_halfplane(&tracked, &q.halfplane);
-        stats.index_io = tracked.stats().since(&before);
-        stats.candidates = search.raw_hits;
-        stats.duplicates = search.duplicates;
-        let heap_before = tracked.stats();
-        let rids: Vec<_> = candidates
-            .iter()
-            .map(|&id| self.slots[id as usize])
-            .collect();
-        let records = self.heap.get_many(&tracked, &rids);
-        let mut ids = Vec::with_capacity(candidates.len());
-        for (id, bytes) in candidates.into_iter().zip(records) {
-            let t = GeneralizedTuple::decode(&bytes.expect("live record")).expect("valid record");
-            let keep = match q.kind {
-                QueryKind::All => predicates::all(&q.halfplane, &t),
-                QueryKind::Exist => predicates::exist(&q.halfplane, &t),
-            };
-            if keep {
-                ids.push(id);
-            } else {
-                stats.false_hits += 1;
-            }
-        }
-        stats.heap_io = tracked.stats().since(&heap_before);
-        (stats, ids)
+        let r = self
+            .db
+            .query_with("r", selection_of(q), Strategy::RPlus)
+            .expect("baseline query");
+        (r.stats, r.ids().to_vec())
     }
 
     /// Brute-force oracle over the stored tuples.
@@ -338,6 +323,240 @@ pub fn write_csv(name: &str, points: &[FigurePoint]) -> std::io::Result<()> {
     std::fs::write(format!("results/{name}.csv"), s)
 }
 
+/// One measured point of the Figure 10 space table.
+#[derive(Clone, Debug)]
+pub struct SpacePoint {
+    /// Object-size class of the relation.
+    pub size: ObjectSize,
+    /// Relation cardinality.
+    pub n: usize,
+    /// Slope-set size for T2 rows, `None` for the R⁺-tree baseline.
+    pub k: Option<usize>,
+    /// Index pages occupied (heap excluded).
+    pub pages: u64,
+    /// Pages relative to the R⁺-tree at the same `(size, n)`.
+    pub ratio_vs_rplus: f64,
+}
+
+impl SpacePoint {
+    /// Structure label ("T2 k=3" or "R+-tree").
+    pub fn structure(&self) -> String {
+        match self.k {
+            Some(k) => format!("T2 k={k}"),
+            None => "R+-tree".into(),
+        }
+    }
+}
+
+/// Runs the Figure 10 space experiment: index pages of T2 (every `k`) and
+/// of the R⁺-tree, for both object-size classes, as the relation grows.
+pub fn run_space_experiment(cardinalities: &[usize], ks: &[usize], seed: u64) -> Vec<SpacePoint> {
+    let mut out = Vec::new();
+    for size in [ObjectSize::Small, ObjectSize::Medium] {
+        for &n in cardinalities {
+            let spec = DatasetSpec::paper_1999(n, size, seed + n as u64);
+            let tuples = spec.generate();
+            let rpages = RplusBed::build(&tuples).index_pages();
+            out.push(SpacePoint {
+                size,
+                n,
+                k: None,
+                pages: rpages,
+                ratio_vs_rplus: 1.0,
+            });
+            for &k in ks {
+                let pages = T2Bed::build(spec, k).index_pages();
+                out.push(SpacePoint {
+                    size,
+                    n,
+                    k: Some(k),
+                    pages,
+                    ratio_vs_rplus: pages as f64 / rpages as f64,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Renders the space table, one panel per object-size class, with the
+/// per-`k` ratio of the largest slope set in the last column.
+pub fn print_space_table(points: &[SpacePoint]) {
+    let mut ks: Vec<usize> = points.iter().filter_map(|p| p.k).collect();
+    ks.sort_unstable();
+    ks.dedup();
+    for size in [ObjectSize::Small, ObjectSize::Medium] {
+        let rows: Vec<&SpacePoint> = points.iter().filter(|p| p.size == size).collect();
+        if rows.is_empty() {
+            continue;
+        }
+        println!("\nFigure 10 — disk pages, {size:?} objects");
+        print!("{:>10}{:>10}", "N", "R+-tree");
+        for &k in &ks {
+            print!("{:>10}", format!("T2 k={k}"));
+        }
+        println!("{:>14}", format!("ratio/k (k={})", ks.last().unwrap()));
+        let mut ns: Vec<usize> = rows.iter().map(|p| p.n).collect();
+        ns.sort_unstable();
+        ns.dedup();
+        for &n in &ns {
+            let at = |k: Option<usize>| {
+                rows.iter()
+                    .find(|p| p.n == n && p.k == k)
+                    .expect("complete grid")
+            };
+            print!("{n:>10}{:>10}", at(None).pages);
+            for &k in &ks {
+                print!("{:>10}", at(Some(k)).pages);
+            }
+            let last = at(Some(*ks.last().unwrap()));
+            println!("{:>14.2}", last.ratio_vs_rplus / last.k.unwrap() as f64);
+        }
+    }
+}
+
+/// Writes space points as CSV under `results/`.
+pub fn write_space_csv(name: &str, points: &[SpacePoint]) -> std::io::Result<()> {
+    std::fs::create_dir_all("results")?;
+    let mut s = String::from("size_class,n,structure,pages,ratio_vs_rplus,ratio_per_k\n");
+    for p in points {
+        let per_k = match p.k {
+            Some(k) => format!("{:.3}", p.ratio_vs_rplus / k as f64),
+            None => String::new(),
+        };
+        s.push_str(&format!(
+            "{:?},{},{},{},{:.3},{}\n",
+            p.size,
+            p.n,
+            p.structure(),
+            p.pages,
+            p.ratio_vs_rplus,
+            per_k
+        ));
+    }
+    std::fs::write(format!("results/{name}.csv"), s)
+}
+
+/// One estimate-vs-actual row from a planned (`Strategy::Auto`) query.
+#[derive(Clone, Debug)]
+pub struct EstimateRow {
+    /// Selection kind of the query.
+    pub kind: QueryKind,
+    /// Exact selectivity the query was calibrated to.
+    pub selectivity: f64,
+    /// Access method the planner chose.
+    pub method: MethodKind,
+    /// Estimated total page accesses (index + heap).
+    pub est_pages: f64,
+    /// Measured total page accesses.
+    pub actual_pages: u64,
+    /// Estimated candidate count.
+    pub est_candidates: f64,
+    /// Measured candidate count.
+    pub actual_candidates: u64,
+}
+
+/// Measures the planner's cost-model accuracy: builds one relation with
+/// *both* a dual index (slope-set size `k`) and the R⁺-tree baseline, runs
+/// a calibrated battery once to warm the feedback catalog, then re-runs it
+/// under `Strategy::Auto` recording the stamped estimate next to the
+/// measured actuals.
+pub fn run_estimate_experiment(
+    n: usize,
+    k: usize,
+    selectivity: (f64, f64),
+    seed: u64,
+) -> Vec<EstimateRow> {
+    let spec = DatasetSpec::paper_1999(n, ObjectSize::Small, seed);
+    let tuples = spec.generate();
+    let mut db = ConstraintDb::in_memory(DbConfig::paper_1999());
+    db.create_relation("r", 2).expect("fresh db");
+    for t in &tuples {
+        db.insert("r", t.clone())
+            .expect("satisfiable by construction");
+    }
+    db.build_dual_index("r", SlopeSet::uniform_tan(k))
+        .expect("2-D relation");
+    db.build_rplus_index("r", 1.0).expect("2-D relation");
+    let mut qg = QueryGen::new(seed ^ 0xE57);
+    let battery = qg.battery(&tuples, QUERIES_PER_KIND, selectivity.0, selectivity.1);
+    // Warm-up pass: seeds the feedback catalog with observed candidate
+    // fractions so the measured pass uses calibrated selectivities.
+    for q in &battery {
+        db.query_with("r", selection_of(q), Strategy::Auto)
+            .expect("planned query");
+    }
+    battery
+        .iter()
+        .map(|q| {
+            let r = db
+                .query_with("r", selection_of(q), Strategy::Auto)
+                .expect("planned query");
+            let est = r.stats.estimate.expect("planner stamps estimates");
+            EstimateRow {
+                kind: q.kind,
+                selectivity: q.selectivity,
+                method: r.stats.method.expect("planner stamps the method"),
+                est_pages: est.total(),
+                actual_pages: r.stats.total_accesses(),
+                est_candidates: est.candidates,
+                actual_candidates: r.stats.candidates,
+            }
+        })
+        .collect()
+}
+
+/// Renders estimate rows as an aligned table with per-row error factors.
+pub fn print_estimate_table(title: &str, rows: &[EstimateRow]) {
+    println!("\n{title}");
+    println!(
+        "{:>6}{:>8}{:>12}{:>12}{:>12}{:>12}{:>12}{:>8}",
+        "kind", "sel", "method", "est pages", "actual", "est cand", "actual", "err"
+    );
+    for r in rows {
+        let err = if r.actual_pages > 0 {
+            r.est_pages / r.actual_pages as f64
+        } else {
+            f64::NAN
+        };
+        println!(
+            "{:>6}{:>8.3}{:>12}{:>12.1}{:>12}{:>12.0}{:>12}{:>8.2}",
+            match r.kind {
+                QueryKind::Exist => "EXIST",
+                QueryKind::All => "ALL",
+            },
+            r.selectivity,
+            r.method.to_string(),
+            r.est_pages,
+            r.actual_pages,
+            r.est_candidates,
+            r.actual_candidates,
+            err,
+        );
+    }
+}
+
+/// Writes estimate rows as CSV under `results/`.
+pub fn write_estimate_csv(name: &str, rows: &[EstimateRow]) -> std::io::Result<()> {
+    std::fs::create_dir_all("results")?;
+    let mut s = String::from(
+        "kind,selectivity,method,est_pages,actual_pages,est_candidates,actual_candidates\n",
+    );
+    for r in rows {
+        s.push_str(&format!(
+            "{:?},{:.4},{},{:.3},{},{:.1},{}\n",
+            r.kind,
+            r.selectivity,
+            r.method,
+            r.est_pages,
+            r.actual_pages,
+            r.est_candidates,
+            r.actual_candidates
+        ));
+    }
+    std::fs::write(format!("results/{name}.csv"), s)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -386,5 +605,26 @@ mod tests {
         let (e, a) = mean_accesses(&batch);
         assert_eq!(e, 15.0);
         assert_eq!(a, 100.0);
+    }
+
+    #[test]
+    fn space_experiment_covers_the_grid() {
+        let points = run_space_experiment(&[200], &[2, 3], 11);
+        // 2 size classes × 1 cardinality × (baseline + 2 ks).
+        assert_eq!(points.len(), 6);
+        for p in &points {
+            assert!(p.pages > 0);
+            assert!(p.ratio_vs_rplus > 0.0);
+        }
+    }
+
+    #[test]
+    fn estimate_rows_carry_planner_output() {
+        let rows = run_estimate_experiment(300, 3, (0.10, 0.15), 23);
+        assert_eq!(rows.len(), 2 * QUERIES_PER_KIND);
+        for r in &rows {
+            assert!(r.est_pages > 0.0, "estimate present");
+            assert!(r.actual_pages > 0, "actual accesses measured");
+        }
     }
 }

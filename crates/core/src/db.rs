@@ -1,17 +1,24 @@
 //! A small constraint-database engine facade: relations (heap files of
-//! generalized tuples), dual indexes and query execution, all over one
-//! instrumented pager.
+//! generalized tuples), access methods (dual indexes, the d-dimensional
+//! extension, the R⁺-tree baseline, sequential scan) and cost-based query
+//! planning, all over one instrumented pager.
 
 use std::collections::HashMap;
 
 use cdb_geometry::halfplane::HalfPlane;
-use cdb_geometry::predicates;
 use cdb_geometry::tuple::GeneralizedTuple;
+use cdb_geometry::Rect;
+use cdb_rplustree::RPlusTree;
 use cdb_storage::{HeapFile, IoStats, MemPager, PageReader, Pager, RecordId, DEFAULT_PAGE_SIZE};
 
+use crate::ddim::{DualIndexD, SlopePoints};
 use crate::error::CdbError;
 use crate::index::DualIndex;
-use crate::query::{QueryResult, QueryStats, Selection, SelectionKind, Strategy};
+use crate::plan::{
+    AccessMethod, DualDAccess, ExplainReport, MethodContext, MethodKind, PlanCatalog, Planner,
+    QueryPlan, RPlusAccess, RestrictedAccess, SeqScanAccess, T1Access, T2Access,
+};
+use crate::query::{QueryResult, Selection, SelectionKind, Strategy};
 use crate::slopes::SlopeSet;
 
 /// Engine configuration.
@@ -19,13 +26,12 @@ use crate::slopes::SlopeSet;
 pub struct DbConfig {
     /// Page size for every structure.
     pub page_size: usize,
-    /// Default query strategy.
+    /// Default query strategy (`Auto` = cost-based planner choice).
     pub strategy: Strategy,
 }
 
 impl DbConfig {
-    /// The paper's setup: 1024-byte pages, automatic strategy choice
-    /// (restricted for slopes in `S`, T2 otherwise).
+    /// The paper's setup: 1024-byte pages, cost-based planner choice.
     pub fn paper_1999() -> Self {
         DbConfig {
             page_size: DEFAULT_PAGE_SIZE,
@@ -40,15 +46,35 @@ impl Default for DbConfig {
     }
 }
 
-/// A stored generalized relation: tuples in a heap file, plus an optional
-/// dual index.
+/// The Section 5 baseline as a relation-level index: a packed R⁺-tree over
+/// the MBRs of *bounded* tuples, plus an overflow list of unbounded tuple
+/// ids (no finite MBR exists for those — they are always refined) and a
+/// tombstone list for deleted bounded tuples (the packed tree supports
+/// inserts but not deletes; rebuild with
+/// [`ConstraintDb::build_rplus_index`] to compact).
+pub struct RPlusIndex {
+    /// The packed tree.
+    pub tree: RPlusTree,
+    /// Ids of unbounded tuples, kept outside the tree.
+    pub unbounded: Vec<u32>,
+    /// Sorted ids of deleted bounded tuples still present in the tree.
+    pub dead: Vec<u32>,
+}
+
+/// A stored generalized relation: tuples in a heap file, optional access
+/// structures (2-D dual index, d-dimensional dual index, R⁺-tree), and the
+/// planner's per-relation feedback catalog.
 pub struct Relation {
     name: String,
     dim: usize,
     heap: HeapFile,
-    slots: Vec<Option<RecordId>>, // tuple id -> heap record
+    slots: Vec<Option<RecordId>>,      // tuple id -> heap record
+    by_record: HashMap<RecordId, u32>, // heap record -> tuple id (scan support)
     live: u64,
     index: Option<DualIndex>,
+    index_d: Option<DualIndexD>,
+    rplus: Option<RPlusIndex>,
+    catalog: PlanCatalog,
 }
 
 impl Relation {
@@ -72,22 +98,53 @@ impl Relation {
         self.live == 0
     }
 
-    /// `true` when a dual index exists.
+    /// `true` when a 2-D dual index exists.
     pub fn is_indexed(&self) -> bool {
         self.index.is_some()
     }
 
-    /// The dual index, if built.
+    /// The 2-D dual index, if built.
     pub fn index(&self) -> Option<&DualIndex> {
         self.index.as_ref()
     }
 
+    /// The d-dimensional dual index, if built.
+    pub fn index_d(&self) -> Option<&DualIndexD> {
+        self.index_d.as_ref()
+    }
+
+    /// The R⁺-tree baseline index, if built.
+    pub fn rplus(&self) -> Option<&RPlusIndex> {
+        self.rplus.as_ref()
+    }
+
+    /// The planner's feedback catalog for this relation.
+    pub fn catalog(&self) -> &PlanCatalog {
+        &self.catalog
+    }
+
+    /// Pages of the heap file alone (the planner's scan cost).
+    pub fn heap_pages(&self) -> u64 {
+        self.heap.page_count() as u64
+    }
+
     /// Heap + index pages currently owned.
     pub fn page_count(&self) -> u64 {
-        self.heap.page_count() as u64 + self.index.as_ref().map(|i| i.page_count()).unwrap_or(0)
+        self.heap_pages()
+            + self.index.as_ref().map(|i| i.page_count()).unwrap_or(0)
+            + self.index_d.as_ref().map(|i| i.page_count()).unwrap_or(0)
+            + self
+                .rplus
+                .as_ref()
+                .map(|r| r.tree.page_count())
+                .unwrap_or(0)
     }
 
     /// Fetches a tuple by id, charging the page read to `pager`.
+    ///
+    /// # Errors
+    /// [`CdbError::NoSuchTuple`] for dead/unknown ids;
+    /// [`CdbError::CorruptRecord`] when the stored bytes fail to decode.
     pub fn fetch(&self, pager: &dyn PageReader, id: u32) -> Result<GeneralizedTuple, CdbError> {
         let rid = self
             .slots
@@ -95,29 +152,58 @@ impl Relation {
             .and_then(|r| *r)
             .ok_or(CdbError::NoSuchTuple(id))?;
         let bytes = self.heap.get(pager, rid).ok_or(CdbError::NoSuchTuple(id))?;
-        Ok(GeneralizedTuple::decode(&bytes).expect("corrupt tuple record"))
+        GeneralizedTuple::decode(&bytes).ok_or(CdbError::CorruptRecord(id))
     }
 
-    /// Iterates `(id, tuple)` for all live tuples (one scan of the heap).
-    pub fn scan(&self, pager: &dyn PageReader) -> Vec<(u32, GeneralizedTuple)> {
-        let by_record: HashMap<RecordId, u32> = self
-            .slots
-            .iter()
-            .enumerate()
-            .filter_map(|(id, r)| r.map(|r| (r, id as u32)))
-            .collect();
+    /// Iterates `(id, tuple)` for all live tuples (one scan of the heap;
+    /// record ids resolve through the reverse map maintained on
+    /// insert/delete, so no per-scan rebuild).
+    ///
+    /// # Errors
+    /// [`CdbError::CorruptRecord`] when a stored record fails to decode.
+    pub fn scan(&self, pager: &dyn PageReader) -> Result<Vec<(u32, GeneralizedTuple)>, CdbError> {
         self.heap
             .scan(pager)
             .into_iter()
-            .filter_map(|(rid, bytes)| {
-                by_record.get(&rid).map(|&id| {
-                    (
-                        id,
-                        GeneralizedTuple::decode(&bytes).expect("corrupt tuple record"),
-                    )
-                })
+            .filter_map(|(rid, bytes)| self.by_record.get(&rid).map(|&id| (id, bytes)))
+            .map(|(id, bytes)| {
+                GeneralizedTuple::decode(&bytes)
+                    .map(|t| (id, t))
+                    .ok_or(CdbError::CorruptRecord(id))
             })
             .collect()
+    }
+
+    /// Every access method currently available on this relation, boxed as
+    /// planner inputs. The sequential scan is always present; index-backed
+    /// methods appear once their structure is built.
+    pub fn access_methods(&self, page_size: usize) -> Vec<Box<dyn AccessMethod + '_>> {
+        let ctx = MethodContext {
+            n: self.live,
+            heap_pages: self.heap_pages(),
+            page_size,
+        };
+        let mut methods: Vec<Box<dyn AccessMethod + '_>> = vec![Box::new(SeqScanAccess {
+            relation: self,
+            ctx,
+        })];
+        if let Some(idx) = self.index.as_ref() {
+            methods.push(Box::new(RestrictedAccess { index: idx, ctx }));
+            methods.push(Box::new(T2Access { index: idx, ctx }));
+            methods.push(Box::new(T1Access { index: idx, ctx }));
+        }
+        if let Some(idx) = self.index_d.as_ref() {
+            methods.push(Box::new(DualDAccess { index: idx, ctx }));
+        }
+        if let Some(rp) = self.rplus.as_ref() {
+            methods.push(Box::new(RPlusAccess {
+                tree: &rp.tree,
+                unbounded: &rp.unbounded,
+                dead: &rp.dead,
+                ctx,
+            }));
+        }
+        methods
     }
 }
 
@@ -129,17 +215,27 @@ struct HeapSource<'a> {
 }
 
 impl crate::index::TupleSource for HeapSource<'_> {
-    fn fetch_batch(&self, pager: &dyn PageReader, ids: &[u32]) -> Vec<GeneralizedTuple> {
-        let rids: Vec<RecordId> = ids
-            .iter()
-            .map(|&id| self.slots[id as usize].expect("index returned a dead tuple id"))
-            .collect();
+    fn fetch_batch(
+        &self,
+        pager: &dyn PageReader,
+        ids: &[u32],
+    ) -> Result<Vec<GeneralizedTuple>, CdbError> {
+        let mut rids = Vec::with_capacity(ids.len());
+        for &id in ids {
+            rids.push(
+                self.slots
+                    .get(id as usize)
+                    .and_then(|r| *r)
+                    .ok_or(CdbError::NoSuchTuple(id))?,
+            );
+        }
         self.heap
             .get_many(pager, &rids)
             .into_iter()
-            .map(|bytes| {
-                GeneralizedTuple::decode(&bytes.expect("index returned a dead tuple id"))
-                    .expect("corrupt tuple record")
+            .zip(ids)
+            .map(|(bytes, &id)| {
+                let bytes = bytes.ok_or(CdbError::NoSuchTuple(id))?;
+                GeneralizedTuple::decode(&bytes).ok_or(CdbError::CorruptRecord(id))
             })
             .collect()
     }
@@ -168,7 +264,8 @@ impl PageReader for ReadHalf<'_> {
     }
 }
 
-/// The engine: a pager, a catalog of relations, and query execution.
+/// The engine: a pager, a catalog of relations, and planned query
+/// execution.
 pub struct ConstraintDb {
     pager: Box<dyn Pager>,
     config: DbConfig,
@@ -228,8 +325,12 @@ impl ConstraintDb {
                 dim,
                 heap,
                 slots: Vec::new(),
+                by_record: HashMap::new(),
                 live: 0,
                 index: None,
+                index_d: None,
+                rplus: None,
+                catalog: PlanCatalog::new(),
             },
         );
         Ok(&self.relations[name])
@@ -250,11 +351,14 @@ impl ConstraintDb {
             .ok_or_else(|| CdbError::RelationNotFound(name.into()))?;
         let pager = self.pager.as_mut();
         rel.heap.destroy(pager);
-        // Indexes own plain B+-trees; rebuilding a DualIndex exposes no
-        // page list, so free through the pager's bookkeeping: the index is
-        // dropped with the struct and its pages reclaimed via destroy().
         if let Some(idx) = rel.index {
             idx.destroy(pager);
+        }
+        if let Some(idx) = rel.index_d {
+            idx.destroy(pager);
+        }
+        if let Some(rp) = rel.rplus {
+            rp.tree.destroy(pager);
         }
         Ok(())
     }
@@ -286,12 +390,12 @@ impl ConstraintDb {
             .relations
             .get(name)
             .ok_or_else(|| CdbError::RelationNotFound(name.into()))?;
-        Ok(rel.scan(&self.reader()))
+        rel.scan(&self.reader())
     }
 
-    /// Inserts a satisfiable tuple, returning its id. Maintains the dual
-    /// index if one exists (`O(k log_B n)` tree inserts; handicaps are
-    /// refreshed lazily before the next T2 query).
+    /// Inserts a satisfiable tuple, returning its id. Maintains every
+    /// built access structure (`O(k log_B n)` tree inserts for the dual
+    /// indexes; handicaps are refreshed lazily before the next T2 query).
     pub fn insert(&mut self, name: &str, tuple: GeneralizedTuple) -> Result<u32, CdbError> {
         let rel_dim = self.relation(name)?.dim;
         if rel_dim != tuple.dim() {
@@ -308,9 +412,22 @@ impl ConstraintDb {
         let rid = rel.heap.insert(pager, &tuple.encode());
         let id = rel.slots.len() as u32;
         rel.slots.push(Some(rid));
+        rel.by_record.insert(rid, id);
         rel.live += 1;
         if let Some(idx) = rel.index.as_mut() {
             idx.insert(pager, id, &tuple);
+        }
+        if let Some(idx) = rel.index_d.as_mut() {
+            idx.insert(pager, id, &tuple);
+        }
+        if let Some(rp) = rel.rplus.as_mut() {
+            match tuple.bounding_box() {
+                Some((lo, hi)) if rel_dim == 2 => {
+                    rp.tree
+                        .insert(pager, Rect::new(lo[0], lo[1], hi[0], hi[1]), id);
+                }
+                _ => rp.unbounded.push(id),
+            }
         }
         Ok(id)
     }
@@ -325,14 +442,27 @@ impl ConstraintDb {
         let tuple = rel.fetch(&*pager, id)?;
         let rid = rel.slots[id as usize].take().expect("checked by fetch");
         rel.heap.delete(pager, rid);
+        rel.by_record.remove(&rid);
         rel.live -= 1;
         if let Some(idx) = rel.index.as_mut() {
             idx.remove(pager, id, &tuple);
+        }
+        if let Some(idx) = rel.index_d.as_mut() {
+            idx.remove(pager, id, &tuple);
+        }
+        if let Some(rp) = rel.rplus.as_mut() {
+            if let Some(pos) = rp.unbounded.iter().position(|&u| u == id) {
+                rp.unbounded.swap_remove(pos);
+            } else if let Err(pos) = rp.dead.binary_search(&id) {
+                // The packed tree has no delete: tombstone the id instead.
+                rp.dead.insert(pos, id);
+            }
         }
         Ok(tuple)
     }
 
     /// Builds (or rebuilds) the dual index of a 2-D relation over `slopes`.
+    /// A previous index's pages are freed first.
     pub fn build_dual_index(&mut self, name: &str, slopes: SlopeSet) -> Result<(), CdbError> {
         let pager = self.pager.as_mut();
         let rel = self
@@ -341,11 +471,71 @@ impl ConstraintDb {
             .ok_or_else(|| CdbError::RelationNotFound(name.into()))?;
         if rel.dim != 2 {
             return Err(CdbError::UnsupportedQuery(
-                "the 2-D dual index requires a 2-D relation (see ddim for E^d)".into(),
+                "the 2-D dual index requires a 2-D relation (see build_dual_index_d for E^d)"
+                    .into(),
             ));
         }
-        let tuples = rel.scan(&*pager);
+        let tuples = rel.scan(&*pager)?;
+        if let Some(old) = rel.index.take() {
+            old.destroy(pager);
+        }
         rel.index = Some(DualIndex::build(pager, slopes, &tuples));
+        Ok(())
+    }
+
+    /// Builds (or rebuilds) the d-dimensional dual index (Section 4.4) over
+    /// a point set in slope space `E^{d-1}`.
+    pub fn build_dual_index_d(&mut self, name: &str, points: SlopePoints) -> Result<(), CdbError> {
+        let pager = self.pager.as_mut();
+        let rel = self
+            .relations
+            .get_mut(name)
+            .ok_or_else(|| CdbError::RelationNotFound(name.into()))?;
+        if rel.dim != points.dim() {
+            return Err(CdbError::DimensionMismatch {
+                expected: rel.dim,
+                got: points.dim(),
+            });
+        }
+        let tuples = rel.scan(&*pager)?;
+        if let Some(old) = rel.index_d.take() {
+            old.destroy(pager);
+        }
+        rel.index_d = Some(DualIndexD::build(pager, points, &tuples));
+        Ok(())
+    }
+
+    /// Builds (or rebuilds) the Section 5 R⁺-tree baseline over a 2-D
+    /// relation: bounded tuples' MBRs are bulk-packed at the given fill
+    /// factor; unbounded tuples go to the overflow list.
+    pub fn build_rplus_index(&mut self, name: &str, fill: f64) -> Result<(), CdbError> {
+        let pager = self.pager.as_mut();
+        let rel = self
+            .relations
+            .get_mut(name)
+            .ok_or_else(|| CdbError::RelationNotFound(name.into()))?;
+        if rel.dim != 2 {
+            return Err(CdbError::UnsupportedQuery(
+                "the R⁺-tree baseline requires a 2-D relation".into(),
+            ));
+        }
+        let tuples = rel.scan(&*pager)?;
+        let mut entries = Vec::new();
+        let mut unbounded = Vec::new();
+        for (id, t) in &tuples {
+            match t.bounding_box() {
+                Some((lo, hi)) => entries.push((Rect::new(lo[0], lo[1], hi[0], hi[1]), *id)),
+                None => unbounded.push(*id),
+            }
+        }
+        if let Some(old) = rel.rplus.take() {
+            old.tree.destroy(pager);
+        }
+        rel.rplus = Some(RPlusIndex {
+            tree: RPlusTree::pack(pager, &entries, fill),
+            unbounded,
+            dead: Vec::new(),
+        });
         Ok(())
     }
 
@@ -358,7 +548,7 @@ impl ConstraintDb {
             .relations
             .get_mut(name)
             .ok_or_else(|| CdbError::RelationNotFound(name.into()))?;
-        let tuples = rel.scan(&*pager);
+        let tuples = rel.scan(&*pager)?;
         let Some(idx) = rel.index.as_mut() else {
             return Err(CdbError::NoIndex(name.into()));
         };
@@ -366,91 +556,136 @@ impl ConstraintDb {
         Ok(())
     }
 
+    /// Maps a legacy [`Strategy`] to the planner's forced-method argument,
+    /// preserving the historical `NoIndex` errors for explicitly requested
+    /// index techniques on index-less relations.
+    fn forced_kind(
+        strategy: Strategy,
+        rel: &Relation,
+        name: &str,
+    ) -> Result<Option<MethodKind>, CdbError> {
+        match strategy {
+            Strategy::Auto => Ok(None),
+            Strategy::Scan => Ok(Some(MethodKind::SeqScan)),
+            Strategy::Restricted | Strategy::T1 | Strategy::T2 => {
+                if rel.index.is_none() {
+                    return Err(CdbError::NoIndex(name.into()));
+                }
+                Ok(Some(match strategy {
+                    Strategy::Restricted => MethodKind::Restricted,
+                    Strategy::T1 => MethodKind::T1,
+                    _ => MethodKind::T2,
+                }))
+            }
+            Strategy::RPlus => {
+                if rel.rplus.is_none() {
+                    return Err(CdbError::NoIndex(name.into()));
+                }
+                Ok(Some(MethodKind::RPlus))
+            }
+        }
+    }
+
+    /// Plans and executes one selection: the planner chooses (or validates
+    /// the forced) access method, the method runs, estimate and method are
+    /// stamped into the result's stats, and the actuals feed the
+    /// relation's catalog.
+    fn planned(
+        &self,
+        name: &str,
+        sel: &Selection,
+        strategy: Strategy,
+    ) -> Result<(QueryPlan, QueryResult), CdbError> {
+        let rel = self.relation(name)?;
+        if rel.dim != sel.halfplane.dim() {
+            return Err(CdbError::DimensionMismatch {
+                expected: rel.dim,
+                got: sel.halfplane.dim(),
+            });
+        }
+        let forced = Self::forced_kind(strategy, rel, name)?;
+        let methods = rel.access_methods(self.config.page_size);
+        let refs: Vec<&dyn AccessMethod> = methods.iter().map(|m| m.as_ref()).collect();
+        let (mi, plan) = Planner::choose(&refs, sel, forced, rel.catalog())?;
+        let source = HeapSource {
+            heap: &rel.heap,
+            slots: &rel.slots,
+        };
+        let reader = self.reader();
+        let mut result = methods[mi].execute(&reader, sel, &source)?;
+        result.stats.method = Some(plan.method);
+        result.stats.estimate = Some(plan.estimate);
+        rel.catalog()
+            .record(plan.method, sel.kind, &result.stats, rel.live);
+        Ok((plan, result))
+    }
+
     /// Executes a selection with the engine's default strategy.
     pub fn query(&self, name: &str, sel: Selection) -> Result<QueryResult, CdbError> {
         self.query_with(name, sel, self.config.strategy)
     }
 
-    /// Executes a selection with an explicit strategy. Queries run from
-    /// `&self` over the read half of the pager, so any number can execute
-    /// concurrently against one engine snapshot (see
-    /// [`query_batch`](Self::query_batch)).
+    /// Executes a selection with an explicit strategy; `Strategy::Auto`
+    /// lets the cost-based planner choose among every built access method
+    /// (including plain sequential scan — an index-less relation is
+    /// queryable). Queries run from `&self` over the read half of the
+    /// pager, so any number can execute concurrently against one engine
+    /// snapshot (see [`query_batch`](Self::query_batch)).
     pub fn query_with(
         &self,
         name: &str,
         sel: Selection,
         strategy: Strategy,
     ) -> Result<QueryResult, CdbError> {
-        let rel_dim = self.relation(name)?.dim;
-        if rel_dim != sel.halfplane.dim() {
+        self.planned(name, &sel, strategy).map(|(_, r)| r)
+    }
+
+    /// Plans a selection without executing it: which access method the
+    /// planner would choose, its cost estimate, and why the others lost.
+    pub fn plan_query(&self, name: &str, sel: &Selection) -> Result<QueryPlan, CdbError> {
+        let rel = self.relation(name)?;
+        if rel.dim != sel.halfplane.dim() {
             return Err(CdbError::DimensionMismatch {
-                expected: rel_dim,
+                expected: rel.dim,
                 got: sel.halfplane.dim(),
             });
         }
-        if strategy == Strategy::Scan {
-            return self.scan_query(name, &sel);
-        }
-        let rel = self
-            .relations
-            .get(name)
-            .ok_or_else(|| CdbError::RelationNotFound(name.into()))?;
-        let Some(idx) = rel.index.as_ref() else {
-            return Err(CdbError::NoIndex(name.into()));
-        };
-        let source = HeapSource {
-            heap: &rel.heap,
-            slots: &rel.slots,
-        };
-        idx.execute(&self.reader(), &sel, strategy, &source)
+        let methods = rel.access_methods(self.config.page_size);
+        let refs: Vec<&dyn AccessMethod> = methods.iter().map(|m| m.as_ref()).collect();
+        Planner::choose(&refs, sel, None, rel.catalog()).map(|(_, p)| p)
+    }
+
+    /// EXPLAIN ANALYZE: plans with the engine's default strategy, executes
+    /// the chosen method, and returns the plan next to the actual result
+    /// so estimated and measured page accesses line up.
+    pub fn explain(&self, name: &str, sel: Selection) -> Result<ExplainReport, CdbError> {
+        self.explain_with(name, sel, self.config.strategy)
+    }
+
+    /// [`explain`](Self::explain) with an explicit strategy.
+    pub fn explain_with(
+        &self,
+        name: &str,
+        sel: Selection,
+        strategy: Strategy,
+    ) -> Result<ExplainReport, CdbError> {
+        let (plan, result) = self.planned(name, &sel, strategy)?;
+        Ok(ExplainReport { plan, result })
     }
 
     /// Executes a batch of selections concurrently over the shared engine
     /// snapshot, using a [`crate::exec::QueryExecutor`] with `threads`
-    /// worker threads. Results are positionally aligned with the batch.
+    /// worker threads. Every query goes through the planner. Results are
+    /// positionally aligned with the batch.
     pub fn query_batch(
         &self,
         name: &str,
         batch: &[(Selection, Strategy)],
         threads: usize,
     ) -> Result<Vec<Result<QueryResult, CdbError>>, CdbError> {
-        let rel = self.relation(name)?;
-        let Some(idx) = rel.index.as_ref() else {
-            return Err(CdbError::NoIndex(name.into()));
-        };
-        let source = HeapSource {
-            heap: &rel.heap,
-            slots: &rel.slots,
-        };
-        let reader = self.reader();
-        let exec = crate::exec::QueryExecutor::new(idx, &reader, &source);
+        self.relation(name)?; // surface missing relations once, up front
+        let exec = crate::exec::QueryExecutor::new(self, name);
         Ok(exec.run(batch, threads))
-    }
-
-    /// Sequential-scan execution: the no-index baseline and the oracle.
-    fn scan_query(&self, name: &str, sel: &Selection) -> Result<QueryResult, CdbError> {
-        let before = self.pager.stats();
-        let rel = self
-            .relations
-            .get(name)
-            .ok_or_else(|| CdbError::RelationNotFound(name.into()))?;
-        let tuples = rel.scan(&self.reader());
-        let mut ids = Vec::new();
-        for (id, t) in &tuples {
-            let keep = match sel.kind {
-                SelectionKind::All => predicates::all(&sel.halfplane, t),
-                SelectionKind::Exist => predicates::exist(&sel.halfplane, t),
-            };
-            if keep {
-                ids.push(*id);
-            }
-        }
-        let mut stats = QueryStats {
-            candidates: tuples.len() as u64,
-            ..QueryStats::default()
-        };
-        stats.heap_io = self.pager.stats().since(&before);
-        Ok(QueryResult::new(ids, stats))
     }
 
     /// Equality-query convenience (the paper's footnote 2): tuples whose
@@ -566,12 +801,32 @@ mod tests {
             .unwrap();
         // Tuples 1 (unbounded strip) and 3 (high square) reach y >= 4.5.
         assert_eq!(r.ids(), &[1, 3]);
+        assert_eq!(r.stats.method, Some(MethodKind::SeqScan));
     }
 
     #[test]
-    fn query_without_index_errors() {
+    fn query_without_index_plans_a_scan() {
         let db = sample_db();
-        let err = db.exist("land", HalfPlane::above(0.3, 0.0)).unwrap_err();
+        // The planner serves index-less relations through SeqScan (the old
+        // engine returned NoIndex here).
+        let r = db.exist("land", HalfPlane::above(0.3, 0.0)).unwrap();
+        let want = db
+            .query_with(
+                "land",
+                Selection::exist(HalfPlane::above(0.3, 0.0)),
+                Strategy::Scan,
+            )
+            .unwrap();
+        assert_eq!(r.ids(), want.ids());
+        assert_eq!(r.stats.method, Some(MethodKind::SeqScan));
+        // Explicitly forcing an index technique still reports NoIndex.
+        let err = db
+            .query_with(
+                "land",
+                Selection::exist(HalfPlane::above(0.3, 0.0)),
+                Strategy::T2,
+            )
+            .unwrap_err();
         assert!(matches!(err, CdbError::NoIndex(_)));
     }
 
@@ -606,7 +861,13 @@ mod tests {
             parse_tuple("y >= 90 && y <= 95 && x >= 0 && x <= 5").unwrap(),
         )
         .unwrap();
-        let r = db.exist("land", HalfPlane::above(0.11, 80.0)).unwrap();
+        let r = db
+            .query_with(
+                "land",
+                Selection::exist(HalfPlane::above(0.11, 80.0)),
+                Strategy::T2,
+            )
+            .unwrap();
         // Tuple 1 is an unbounded strip with TOP = +∞, so it also qualifies.
         assert_eq!(r.ids(), &[1, 4], "the new tuple is found through the index");
     }
@@ -616,11 +877,12 @@ mod tests {
         let mut db = sample_db();
         db.build_dual_index("land", SlopeSet::uniform_tan(3))
             .unwrap();
-        let before = db.exist("land", HalfPlane::above(0.11, 4.0)).unwrap();
+        let q = || Selection::exist(HalfPlane::above(0.11, 4.0));
+        let before = db.query_with("land", q(), Strategy::T2).unwrap();
         assert!(before.ids().contains(&3));
         let removed = db.delete("land", 3).unwrap();
         assert!(removed.contains(&[6.0, 6.0]));
-        let after = db.exist("land", HalfPlane::above(0.11, 4.0)).unwrap();
+        let after = db.query_with("land", q(), Strategy::T2).unwrap();
         assert!(!after.ids().contains(&3));
         assert!(matches!(
             db.delete("land", 3),
@@ -636,7 +898,13 @@ mod tests {
         assert!(db.io_stats().accesses() > 0);
         db.reset_io_stats();
         assert_eq!(db.io_stats().accesses(), 0);
-        let _ = db.exist("land", HalfPlane::above(0.37, 0.0)).unwrap();
+        let _ = db
+            .query_with(
+                "land",
+                Selection::exist(HalfPlane::above(0.37, 0.0)),
+                Strategy::T2,
+            )
+            .unwrap();
         assert!(db.io_stats().reads > 0, "queries cost page reads");
         assert!(db.live_pages() > 0);
     }
@@ -688,6 +956,7 @@ mod tests {
         let mut db = sample_db();
         db.build_dual_index("land", SlopeSet::uniform_tan(3))
             .unwrap();
+        db.build_rplus_index("land", 1.0).unwrap();
         db.create_relation("other", 2).unwrap();
         db.insert(
             "other",
@@ -713,7 +982,172 @@ mod tests {
         let mut db = sample_db();
         db.build_dual_index("land", SlopeSet::uniform_tan(2))
             .unwrap();
+        db.build_rplus_index("land", 1.0).unwrap();
         let rel_pages = db.relation("land").unwrap().page_count();
         assert_eq!(rel_pages as usize, db.live_pages());
+    }
+
+    #[test]
+    fn rebuild_dual_index_frees_old_pages() {
+        let mut db = sample_db();
+        db.build_dual_index("land", SlopeSet::uniform_tan(4))
+            .unwrap();
+        let first = db.live_pages();
+        // Rebuilding must not leak the first forest's pages.
+        db.build_dual_index("land", SlopeSet::uniform_tan(4))
+            .unwrap();
+        assert_eq!(db.live_pages(), first, "old index pages reclaimed");
+    }
+
+    #[test]
+    fn corrupt_record_is_an_error_not_a_panic() {
+        let mut db = sample_db();
+        let rid = db.relation("land").unwrap().slots[2].unwrap();
+        // Truncate record 2 in place: shrink its slot-directory length so
+        // the stored bytes no longer parse as a generalized tuple.
+        let mut buf = vec![0u8; db.config.page_size];
+        db.pager.read(rid.page, &mut buf);
+        let len_off = 4 + rid.slot as usize * 4 + 2;
+        buf[len_off..len_off + 2].copy_from_slice(&2u16.to_le_bytes());
+        db.pager.write(rid.page, &buf);
+
+        assert_eq!(db.fetch_tuple("land", 2), Err(CdbError::CorruptRecord(2)));
+        assert_eq!(
+            db.scan_relation("land").unwrap_err(),
+            CdbError::CorruptRecord(2)
+        );
+        // Planned queries surface the error instead of panicking too.
+        let err = db
+            .query_with(
+                "land",
+                Selection::exist(HalfPlane::above(0.0, -100.0)),
+                Strategy::Scan,
+            )
+            .unwrap_err();
+        assert_eq!(err, CdbError::CorruptRecord(2));
+    }
+
+    #[test]
+    fn scan_is_stable_under_mixed_updates() {
+        let mut db = sample_db();
+        // Interleave deletes and inserts so record ids are reused and the
+        // reverse map must stay exact.
+        db.delete("land", 1).unwrap();
+        db.delete("land", 2).unwrap();
+        let id4 = db
+            .insert(
+                "land",
+                parse_tuple("y >= 8 && y <= 9 && x >= 0 && x <= 1").unwrap(),
+            )
+            .unwrap();
+        db.delete("land", 0).unwrap();
+        let id5 = db
+            .insert(
+                "land",
+                parse_tuple("y >= -9 && y <= -8 && x >= 0 && x <= 1").unwrap(),
+            )
+            .unwrap();
+        let mut ids: Vec<u32> = db
+            .scan_relation("land")
+            .unwrap()
+            .into_iter()
+            .map(|(id, _)| id)
+            .collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![3, id4, id5]);
+        let t4 = db.fetch_tuple("land", id4).unwrap();
+        assert!(t4.contains(&[0.5, 8.5]), "ids resolve to the right tuples");
+    }
+
+    #[test]
+    fn rplus_baseline_through_the_facade() {
+        let mut db = sample_db();
+        db.build_rplus_index("land", 1.0).unwrap();
+        let rp = db.relation("land").unwrap().rplus().unwrap();
+        assert_eq!(rp.tree.len(), 3, "three bounded tuples packed");
+        assert_eq!(rp.unbounded, vec![1], "the strip is unbounded");
+        for sel in [
+            Selection::exist(HalfPlane::above(0.4, 1.0)),
+            Selection::all(HalfPlane::above(0.4, 1.0)),
+            Selection::exist(HalfPlane::below(-0.5, 3.0)),
+            Selection::all(HalfPlane::below(-0.5, 3.0)),
+        ] {
+            let want = db.query_with("land", sel.clone(), Strategy::Scan).unwrap();
+            let got = db.query_with("land", sel.clone(), Strategy::RPlus).unwrap();
+            assert_eq!(got.ids(), want.ids(), "{sel:?}");
+            assert_eq!(got.stats.method, Some(MethodKind::RPlus));
+        }
+        // Mixed updates: a delete tombstones a packed entry, an insert goes
+        // straight into the tree; results stay oracle-exact.
+        db.delete("land", 3).unwrap();
+        let id = db
+            .insert(
+                "land",
+                parse_tuple("y >= 5 && y <= 7 && x >= 5 && x <= 8").unwrap(),
+            )
+            .unwrap();
+        let sel = Selection::exist(HalfPlane::above(0.0, 4.5));
+        let want = db.query_with("land", sel.clone(), Strategy::Scan).unwrap();
+        let got = db.query_with("land", sel.clone(), Strategy::RPlus).unwrap();
+        assert_eq!(got.ids(), want.ids());
+        assert!(got.ids().contains(&id) && !got.ids().contains(&3));
+    }
+
+    #[test]
+    fn explain_lines_up_estimate_and_actual() {
+        let mut db = sample_db();
+        db.build_dual_index("land", SlopeSet::uniform_tan(4))
+            .unwrap();
+        let report = db
+            .explain("land", Selection::exist(HalfPlane::above(0.37, 0.0)))
+            .unwrap();
+        let text = report.to_string();
+        assert!(text.contains("method="), "{text}");
+        assert!(text.contains("estimate:"), "{text}");
+        assert!(text.contains("actual:"), "{text}");
+        assert!(text.contains("considered:"), "{text}");
+        assert_eq!(
+            report.result.stats.estimate.map(|e| e.total()),
+            Some(report.plan.estimate.total()),
+            "the estimate is recorded in the stats next to the actuals"
+        );
+    }
+
+    #[test]
+    fn planner_prefers_restricted_for_member_slopes() {
+        use cdb_workload::{DatasetSpec, ObjectSize};
+        // Large enough that index descents beat scanning the whole heap
+        // (on a page-sized relation the planner rightly picks SeqScan).
+        let mut db = ConstraintDb::in_memory(DbConfig::paper_1999());
+        db.create_relation("land", 2).unwrap();
+        for t in DatasetSpec::paper_1999(400, ObjectSize::Small, 0xDB).generate() {
+            db.insert("land", t).unwrap();
+        }
+        db.build_dual_index("land", SlopeSet::uniform_tan(4))
+            .unwrap();
+        let member = db
+            .relation("land")
+            .unwrap()
+            .index()
+            .unwrap()
+            .slopes()
+            .get(1);
+        let plan = db
+            .plan_query("land", &Selection::exist(HalfPlane::above(member, 0.0)))
+            .unwrap();
+        assert_eq!(plan.method, MethodKind::Restricted);
+        assert!(plan.exact);
+        // A non-member slope must not plan Restricted (it is infeasible).
+        let plan = db
+            .plan_query(
+                "land",
+                &Selection::exist(HalfPlane::above(member + 0.01, 0.0)),
+            )
+            .unwrap();
+        assert_ne!(plan.method, MethodKind::Restricted);
+        assert!(plan
+            .rejected
+            .iter()
+            .any(|(m, _)| *m == MethodKind::Restricted));
     }
 }

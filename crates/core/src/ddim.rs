@@ -526,7 +526,7 @@ impl DualIndexD {
             };
             stats.index_io = pager.stats().since(&before);
             let heap_before = pager.stats();
-            let kept = refine(pager, sel, check, fetch, &mut stats);
+            let kept = refine(pager, sel, check, fetch, &mut stats)?;
             stats.heap_io = pager.stats().since(&heap_before);
             sure.extend(kept);
             return Ok(QueryResult::new(sure, stats));
@@ -555,7 +555,7 @@ impl DualIndexD {
             };
             stats.index_io = pager.stats().since(&before);
             let heap_before = pager.stats();
-            let ids = refine(pager, sel, raw, fetch, &mut stats);
+            let ids = refine(pager, sel, raw, fetch, &mut stats)?;
             stats.heap_io = pager.stats().since(&heap_before);
             return Ok(QueryResult::new(ids, stats));
         }
@@ -619,9 +619,32 @@ impl DualIndexD {
         raw.dedup();
         stats.duplicates = (before_len - raw.len()) as u64;
         let heap_before = pager.stats();
-        let ids = refine(pager, sel, raw, fetch, &mut stats);
+        let ids = refine(pager, sel, raw, fetch, &mut stats)?;
         stats.heap_io = pager.stats().since(&heap_before);
         Ok(QueryResult::new(ids, stats))
+    }
+
+    /// Number of indexed entries per tree (should equal the relation size).
+    pub fn len(&self) -> u64 {
+        self.trees.first().map(|(u, _)| u.len()).unwrap_or(0)
+    }
+
+    /// `true` when no tuples are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Height of the (first) `B^up` tree: the per-search descent cost.
+    pub fn tree_height(&self) -> usize {
+        self.trees.first().map(|(u, _)| u.height()).unwrap_or(0)
+    }
+
+    /// Frees every page of every tree back to the pager.
+    pub fn destroy(self, pager: &mut dyn Pager) {
+        for (up, down) in self.trees {
+            up.destroy(pager);
+            down.destroy(pager);
+        }
     }
 }
 

@@ -25,6 +25,9 @@ pub enum CdbError {
     /// The query cannot be handled by the chosen strategy (e.g. a vertical
     /// query boundary, or a d-dimensional slope outside the hull of `S`).
     UnsupportedQuery(String),
+    /// A stored heap record failed to decode back into a generalized tuple
+    /// (truncated or overwritten bytes). Carries the offending tuple id.
+    CorruptRecord(u32),
 }
 
 impl std::fmt::Display for CdbError {
@@ -44,6 +47,9 @@ impl std::fmt::Display for CdbError {
             CdbError::NoSuchTuple(id) => write!(f, "no tuple with id {id}"),
             CdbError::NoIndex(n) => write!(f, "relation '{n}' has no dual index"),
             CdbError::UnsupportedQuery(m) => write!(f, "unsupported query: {m}"),
+            CdbError::CorruptRecord(id) => {
+                write!(f, "heap record of tuple {id} is corrupt (failed to decode)")
+            }
         }
     }
 }

@@ -1,13 +1,17 @@
-//! Concurrent batch execution over a shared index snapshot.
+//! Concurrent batch execution over a shared engine snapshot.
 //!
-//! The read path of the whole stack is `&self` over a [`PageReader`]:
-//! [`DualIndex::execute`] never mutates the index, the pager, or the tuple
-//! source. A [`QueryExecutor`] exploits that by fanning a batch of
-//! selections out over `std::thread::scope` workers that all borrow the
-//! same index, the same reader, and the same source — no cloning, no
-//! locking on the read path itself. Per-query [`crate::QueryStats`] stay
-//! exact because each execution wraps the shared reader in its own
-//! [`cdb_storage::TrackedReader`].
+//! The read path of the whole stack is `&self` over a
+//! [`cdb_storage::PageReader`]: no access method mutates its structure, the
+//! pager, or the tuple source during a query, and the planner's feedback
+//! catalog is interior-mutable. A [`QueryExecutor`] exploits that by
+//! fanning a batch of selections out over `std::thread::scope` workers
+//! that all borrow the same [`ConstraintDb`] — no cloning, no locking on
+//! the read path itself. Every query goes through the cost-based planner
+//! ([`crate::plan::Planner`]) exactly as a standalone
+//! [`ConstraintDb::query_with`] would, so per-query
+//! [`crate::QueryStats`] carry the chosen method and its cost estimate,
+//! and stay exact because each execution wraps the shared reader in its
+//! own [`cdb_storage::TrackedReader`].
 //!
 //! The paper's experiments (Section 5) are sequential by construction —
 //! page accesses are the metric, and those are identical here whether a
@@ -17,60 +21,42 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-use cdb_storage::PageReader;
-
+use crate::db::ConstraintDb;
 use crate::error::CdbError;
-use crate::index::{DualIndex, TupleSource};
 use crate::query::{QueryResult, Selection, Strategy};
 
 /// Runs batches of selections across OS threads sharing one immutable
-/// index snapshot.
+/// engine snapshot, each query individually planned.
 ///
 /// ```
 /// use cdb_core::exec::QueryExecutor;
-/// use cdb_core::{DualIndex, Selection, SlopeSet, Strategy};
+/// use cdb_core::{ConstraintDb, DbConfig, Selection, SlopeSet, Strategy};
 /// use cdb_geometry::parse::parse_tuple;
 /// use cdb_geometry::HalfPlane;
-/// use cdb_storage::{MemPager, PageReader};
 ///
-/// let tuples = vec![
-///     (0, parse_tuple("y >= 0 && y <= 1 && x >= 0 && x <= 1").unwrap()),
-///     (1, parse_tuple("y >= x && x >= 5").unwrap()),
-/// ];
-/// let mut pager = MemPager::paper_1999();
-/// let idx = DualIndex::build(&mut pager, SlopeSet::uniform_tan(3), &tuples);
-/// let lookup = tuples.clone();
-/// let fetch = move |_: &dyn PageReader, id: u32| {
-///     lookup.iter().find(|(i, _)| *i == id).unwrap().1.clone()
-/// };
+/// let mut db = ConstraintDb::in_memory(DbConfig::paper_1999());
+/// db.create_relation("r", 2).unwrap();
+/// db.insert("r", parse_tuple("y >= 0 && y <= 1 && x >= 0 && x <= 1").unwrap()).unwrap();
+/// db.insert("r", parse_tuple("y >= x && x >= 5").unwrap()).unwrap();
+/// db.build_dual_index("r", SlopeSet::uniform_tan(3)).unwrap();
 /// let batch = vec![
 ///     (Selection::exist(HalfPlane::above(0.25, 3.0)), Strategy::T2),
-///     (Selection::all(HalfPlane::below(0.0, 2.0)), Strategy::T1),
+///     (Selection::all(HalfPlane::below(0.0, 2.0)), Strategy::Auto),
 /// ];
-/// let exec = QueryExecutor::new(&idx, &pager, &fetch);
+/// let exec = QueryExecutor::new(&db, "r");
 /// let results = exec.run(&batch, 2);
 /// assert_eq!(results[0].as_ref().unwrap().ids(), &[1]);
 /// assert_eq!(results[1].as_ref().unwrap().ids(), &[0]);
 /// ```
 pub struct QueryExecutor<'a> {
-    index: &'a DualIndex,
-    reader: &'a (dyn PageReader + Sync),
-    source: &'a (dyn TupleSource + Sync),
+    db: &'a ConstraintDb,
+    relation: &'a str,
 }
 
 impl<'a> QueryExecutor<'a> {
-    /// An executor over a built index, the read half of its pager, and a
-    /// tuple source for refinement.
-    pub fn new(
-        index: &'a DualIndex,
-        reader: &'a (dyn PageReader + Sync),
-        source: &'a (dyn TupleSource + Sync),
-    ) -> Self {
-        QueryExecutor {
-            index,
-            reader,
-            source,
-        }
+    /// An executor over one relation of an engine snapshot.
+    pub fn new(db: &'a ConstraintDb, relation: &'a str) -> Self {
+        QueryExecutor { db, relation }
     }
 
     /// Executes the batch on `threads` workers, returning per-query results
@@ -97,7 +83,7 @@ impl<'a> QueryExecutor<'a> {
                         break;
                     }
                     let (sel, strategy) = &batch[i];
-                    let r = self.index.execute(self.reader, sel, *strategy, self.source);
+                    let r = self.db.query_with(self.relation, sel.clone(), *strategy);
                     *slots[i].lock().expect("worker panicked") = Some(r);
                 });
             }
@@ -116,27 +102,25 @@ impl<'a> QueryExecutor<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::db::DbConfig;
+    use crate::plan::MethodKind;
     use crate::SlopeSet;
     use cdb_geometry::tuple::GeneralizedTuple;
     use cdb_geometry::HalfPlane;
-    use cdb_storage::MemPager;
     use cdb_workload::{DatasetSpec, ObjectSize, QueryGen, QueryKind};
 
-    fn testbed(n: usize, seed: u64) -> (MemPager, DualIndex, Vec<(u32, GeneralizedTuple)>) {
-        let mut pager = MemPager::paper_1999();
-        let pairs: Vec<(u32, GeneralizedTuple)> =
-            DatasetSpec::paper_1999(n, ObjectSize::Small, seed)
-                .generate()
-                .into_iter()
-                .enumerate()
-                .map(|(i, t)| (i as u32, t))
-                .collect();
-        let idx = DualIndex::build(&mut pager, SlopeSet::uniform_tan(4), &pairs);
-        (pager, idx, pairs)
+    fn testbed(n: usize, seed: u64) -> (ConstraintDb, Vec<GeneralizedTuple>) {
+        let mut db = ConstraintDb::in_memory(DbConfig::paper_1999());
+        db.create_relation("r", 2).unwrap();
+        let tuples = DatasetSpec::paper_1999(n, ObjectSize::Small, seed).generate();
+        for t in &tuples {
+            db.insert("r", t.clone()).unwrap();
+        }
+        db.build_dual_index("r", SlopeSet::uniform_tan(4)).unwrap();
+        (db, tuples)
     }
 
-    fn mixed_batch(pairs: &[(u32, GeneralizedTuple)], n: usize) -> Vec<(Selection, Strategy)> {
-        let tuples: Vec<GeneralizedTuple> = pairs.iter().map(|(_, t)| t.clone()).collect();
+    fn mixed_batch(tuples: &[GeneralizedTuple], n: usize) -> Vec<(Selection, Strategy)> {
         let mut qg = QueryGen::new(0xBA7C4);
         (0..n)
             .map(|i| {
@@ -145,7 +129,7 @@ mod tests {
                 } else {
                     QueryKind::All
                 };
-                let q = qg.calibrated(&tuples, kind, 0.05 + 0.3 * (i % 3) as f64 / 2.0);
+                let q = qg.calibrated(tuples, kind, 0.05 + 0.3 * (i % 3) as f64 / 2.0);
                 let sel = match kind {
                     QueryKind::Exist => Selection::exist(q.halfplane),
                     QueryKind::All => Selection::all(q.halfplane),
@@ -162,20 +146,12 @@ mod tests {
 
     #[test]
     fn batch_equals_sequential_at_every_thread_count() {
-        let (pager, idx, pairs) = testbed(600, 41);
-        let lookup: std::collections::HashMap<u32, GeneralizedTuple> =
-            pairs.iter().cloned().collect();
-        let fetch = move |_: &dyn PageReader, id: u32| lookup[&id].clone();
-        let batch = mixed_batch(&pairs, 24);
-        let exec = QueryExecutor::new(&idx, &pager, &fetch);
+        let (db, tuples) = testbed(600, 41);
+        let batch = mixed_batch(&tuples, 24);
+        let exec = QueryExecutor::new(&db, "r");
         let sequential: Vec<Vec<u32>> = batch
             .iter()
-            .map(|(sel, st)| {
-                idx.execute(&pager, sel, *st, &fetch)
-                    .unwrap()
-                    .ids()
-                    .to_vec()
-            })
+            .map(|(sel, st)| db.query_with("r", sel.clone(), *st).unwrap().ids().to_vec())
             .collect();
         for threads in [1, 2, 4, 8] {
             let got = exec.run(&batch, threads);
@@ -188,18 +164,20 @@ mod tests {
 
     #[test]
     fn per_query_stats_are_isolated_under_concurrency() {
-        let (pager, idx, pairs) = testbed(400, 43);
-        let lookup: std::collections::HashMap<u32, GeneralizedTuple> =
-            pairs.iter().cloned().collect();
-        let fetch = move |_: &dyn PageReader, id: u32| lookup[&id].clone();
-        let batch = mixed_batch(&pairs, 16);
-        let exec = QueryExecutor::new(&idx, &pager, &fetch);
+        let (db, tuples) = testbed(400, 43);
+        // Forced strategies keep the plans deterministic regardless of what
+        // the feedback catalog learns across executions.
+        let batch: Vec<(Selection, Strategy)> = mixed_batch(&tuples, 16)
+            .into_iter()
+            .map(|(sel, _)| (sel, Strategy::T2))
+            .collect();
+        let exec = QueryExecutor::new(&db, "r");
         // Sequential stats are the per-query truth; concurrent windows must
         // match exactly (TrackedReader isolates them from the other workers).
         let sequential: Vec<u64> = batch
             .iter()
             .map(|(sel, st)| {
-                idx.execute(&pager, sel, *st, &fetch)
+                db.query_with("r", sel.clone(), *st)
                     .unwrap()
                     .stats
                     .index_io
@@ -211,15 +189,14 @@ mod tests {
             let g = g.as_ref().unwrap();
             assert_eq!(g.stats.index_io.reads, *want, "index reads of query {i}");
             assert!(g.stats.index_io.reads > 0, "query {i} read no pages?");
+            assert_eq!(g.stats.method, Some(MethodKind::T2), "planned method");
+            assert!(g.stats.estimate.is_some(), "estimate recorded");
         }
     }
 
     #[test]
     fn errors_are_reported_in_place() {
-        let (pager, idx, pairs) = testbed(60, 47);
-        let lookup: std::collections::HashMap<u32, GeneralizedTuple> =
-            pairs.iter().cloned().collect();
-        let fetch = move |_: &dyn PageReader, id: u32| lookup[&id].clone();
+        let (db, _tuples) = testbed(60, 47);
         let good = Selection::exist(HalfPlane::above(0.3, 0.0));
         let bad = Selection::exist(HalfPlane::above(0.123456, 0.0));
         let batch = vec![
@@ -227,7 +204,7 @@ mod tests {
             (bad, Strategy::Restricted), // foreign slope: UnsupportedQuery
             (good, Strategy::T2),
         ];
-        let exec = QueryExecutor::new(&idx, &pager, &fetch);
+        let exec = QueryExecutor::new(&db, "r");
         let got = exec.run(&batch, 2);
         assert!(got[0].is_ok());
         assert!(matches!(got[1], Err(CdbError::UnsupportedQuery(_))));
@@ -240,11 +217,8 @@ mod tests {
 
     #[test]
     fn empty_batch_and_excess_threads() {
-        let (pager, idx, pairs) = testbed(30, 53);
-        let lookup: std::collections::HashMap<u32, GeneralizedTuple> =
-            pairs.iter().cloned().collect();
-        let fetch = move |_: &dyn PageReader, id: u32| lookup[&id].clone();
-        let exec = QueryExecutor::new(&idx, &pager, &fetch);
+        let (db, _tuples) = testbed(30, 53);
+        let exec = QueryExecutor::new(&db, "r");
         assert!(exec.run(&[], 4).is_empty());
         let one = vec![(Selection::exist(HalfPlane::above(0.5, 1.0)), Strategy::Auto)];
         let got = exec.run(&one, 64); // workers clamp to batch size

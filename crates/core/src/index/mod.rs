@@ -1,8 +1,15 @@
 //! The 2-D dual index: `B^up`/`B^down` forests over a slope set, with the
 //! restricted (Section 3), T1 (Section 4.1) and T2 (Sections 4.2–4.3) query
-//! strategies.
+//! strategies, each in its own submodule.
 
-use cdb_btree::{key_slack, BTree, Handicaps, SweepControl};
+mod restricted;
+mod t1;
+mod t2;
+
+pub(crate) use restricted::sweep_candidates;
+pub(crate) use t2::handicap_guided_candidates;
+
+use cdb_btree::{BTree, Handicaps};
 use cdb_geometry::constraint::RelOp;
 use cdb_geometry::halfplane::HalfPlane;
 use cdb_geometry::tuple::GeneralizedTuple;
@@ -11,9 +18,7 @@ use cdb_storage::{PageReader, Pager, TrackedReader};
 
 use crate::error::CdbError;
 use crate::handicap::{assign_high, assign_low};
-use crate::query::{
-    tree_and_direction, QueryResult, QueryStats, Selection, SelectionKind, Side, Strategy,
-};
+use crate::query::{QueryResult, QueryStats, Selection, SelectionKind, Side, Strategy};
 use crate::slopes::{Bracket, SlopeSet};
 
 /// Source of tuples for the exact refinement step.
@@ -21,22 +26,33 @@ use crate::slopes::{Bracket, SlopeSet};
 /// The batch signature lets real implementations group candidate fetches by
 /// heap page — one page access per *distinct* page, the way a production
 /// executor refines. Any `Fn(&dyn PageReader, u32) -> GeneralizedTuple`
-/// closure is also a (non-batching) source, which the tests use.
+/// closure is also a (non-batching, infallible) source, which the tests use.
 ///
 /// Sources are `&self` so one source can serve many concurrent queries; the
 /// per-query read accounting happens in the reader, not the source.
 pub trait TupleSource {
     /// Fetches the tuples for `ids` (result aligned with the input),
     /// charging page accesses to `pager`.
-    fn fetch_batch(&self, pager: &dyn PageReader, ids: &[u32]) -> Vec<GeneralizedTuple>;
+    ///
+    /// # Errors
+    /// [`CdbError::CorruptRecord`] when a stored record fails to decode.
+    fn fetch_batch(
+        &self,
+        pager: &dyn PageReader,
+        ids: &[u32],
+    ) -> Result<Vec<GeneralizedTuple>, CdbError>;
 }
 
 impl<F> TupleSource for F
 where
     F: Fn(&dyn PageReader, u32) -> GeneralizedTuple,
 {
-    fn fetch_batch(&self, pager: &dyn PageReader, ids: &[u32]) -> Vec<GeneralizedTuple> {
-        ids.iter().map(|&id| self(pager, id)).collect()
+    fn fetch_batch(
+        &self,
+        pager: &dyn PageReader,
+        ids: &[u32],
+    ) -> Result<Vec<GeneralizedTuple>, CdbError> {
+        Ok(ids.iter().map(|&id| self(pager, id)).collect())
     }
 }
 
@@ -123,6 +139,11 @@ impl DualIndex {
         &self.slopes
     }
 
+    /// The x coordinate of T1's app-query anchor point.
+    pub fn anchor_x(&self) -> f64 {
+        self.anchor_x
+    }
+
     /// Sets the x coordinate of T1's app-query anchor point.
     pub fn set_anchor_x(&mut self, x: f64) {
         self.anchor_x = x;
@@ -144,6 +165,12 @@ impl DualIndex {
     /// `true` when no tuples are indexed.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Height of the (first) `B^up` tree — every tree of the forest has the
+    /// same height, so this is the per-search descent cost in pages.
+    pub fn tree_height(&self) -> usize {
+        self.pairs.first().map(|p| p.up.height()).unwrap_or(0)
     }
 
     /// `true` when updates have *loosened* the handicaps since the last
@@ -300,7 +327,8 @@ impl DualIndex {
     ///
     /// # Errors
     /// [`CdbError::UnsupportedQuery`] — `Restricted` with a slope outside
-    /// `S`, a non-2-D query, or `Scan` (handled a level up).
+    /// `S`, a non-2-D query, or `Scan`/`RPlus` (handled a level up by the
+    /// planner, which owns the non-dual access methods).
     pub fn execute(
         &self,
         pager: &dyn PageReader,
@@ -334,168 +362,10 @@ impl DualIndex {
             // The paper details T2 for the main case a1 < a < a2 only; the
             // wrapped cases fall back to T1 exactly like Section 4.1.
             (Strategy::T2 | Strategy::Auto, Bracket::Wrapped(..)) => self.t1(pager, sel, fetch),
-            (Strategy::Scan, _) => Err(CdbError::UnsupportedQuery(
-                "Scan is executed by the relation, not the index".into(),
+            (Strategy::Scan | Strategy::RPlus, _) => Err(CdbError::UnsupportedQuery(
+                "Scan and RPlus are executed by the planner, not the dual index".into(),
             )),
         }
-    }
-
-    // ---------------------------------------------------------- restricted --
-
-    /// Section 3: one tree search plus a leaf sweep. With the paper's
-    /// 4-byte stored keys the entries within one `f32` quantum of the
-    /// threshold cannot be decided from the page alone; only those few are
-    /// verified exactly (tuple fetch), every other entry is accepted by key.
-    fn restricted(
-        &self,
-        pager: &dyn PageReader,
-        sel: &Selection,
-        slope_idx: usize,
-        fetch: &dyn TupleSource,
-    ) -> Result<QueryResult, CdbError> {
-        let before = pager.stats();
-        let b = sel.halfplane.intercept;
-        let (use_up, upward) = tree_and_direction(sel.kind, sel.halfplane.op);
-        let tree = self.tree(slope_idx, use_up);
-        let (mut sure, check) = sweep_candidates(tree, pager, b, upward);
-        let mut stats = QueryStats {
-            candidates: (sure.len() + check.len()) as u64,
-            accepted_by_key: sure.len() as u64,
-            ..QueryStats::default()
-        };
-        stats.index_io = pager.stats().since(&before);
-        let heap_before = pager.stats();
-        // The boundary-band predicate at the tree's own slope equals the
-        // exact selection predicate, so refine() decides it exactly.
-        let kept = refine(pager, sel, check, fetch, &mut stats);
-        stats.heap_io = pager.stats().since(&heap_before);
-        sure.extend(kept);
-        Ok(QueryResult::new(sure, stats))
-    }
-
-    // ----------------------------------------------------------------- T1 --
-
-    /// Section 4.1: approximate an arbitrary-slope query with two
-    /// app-queries (Table 1), then refine exactly.
-    fn t1(
-        &self,
-        pager: &dyn PageReader,
-        sel: &Selection,
-        fetch: &dyn TupleSource,
-    ) -> Result<QueryResult, CdbError> {
-        let before = pager.stats();
-        let a = sel.halfplane.slope2d();
-        let b = sel.halfplane.intercept;
-        let theta = sel.halfplane.op;
-        let (i1, i2, th1, th2) = self.app_query_plan(a, theta);
-        // Both app-query lines pass through P = (anchor_x, a·anchor_x + b).
-        let py = a * self.anchor_x + b;
-        let legs = [(i1, th1), (i2, th2)];
-        let mut raw: Vec<u32> = Vec::new();
-        for (li, (si, th)) in legs.into_iter().enumerate() {
-            let s = self.slopes.get(si);
-            let bi = py - s * self.anchor_x;
-            // ALL original: first leg keeps ALL, second leg must be EXIST
-            // (Figure 4: two ALL app-queries are incorrect).
-            let kind = match (sel.kind, li) {
-                (SelectionKind::All, 0) => SelectionKind::All,
-                (SelectionKind::All, _) => SelectionKind::Exist,
-                (SelectionKind::Exist, _) => SelectionKind::Exist,
-            };
-            let (use_up, upward) = tree_and_direction(kind, th);
-            let tree = self.tree(si, use_up);
-            let (sure, check) = sweep_candidates(tree, pager, bi, upward);
-            raw.extend(sure);
-            raw.extend(check);
-        }
-        let mut stats = QueryStats {
-            candidates: raw.len() as u64,
-            ..QueryStats::default()
-        };
-        stats.index_io = pager.stats().since(&before);
-        // Dedupe (T1's duplication problem), then exact refinement.
-        raw.sort_unstable();
-        let before_len = raw.len();
-        raw.dedup();
-        stats.duplicates = (before_len - raw.len()) as u64;
-        let heap_before = pager.stats();
-        let ids = refine(pager, sel, raw, fetch, &mut stats);
-        stats.heap_io = pager.stats().since(&heap_before);
-        Ok(QueryResult::new(ids, stats))
-    }
-
-    /// Table 1: picks the app-query slopes (clockwise/anticlockwise
-    /// neighbours) and operators for an original operator `θ`.
-    fn app_query_plan(&self, a: f64, theta: RelOp) -> (usize, usize, RelOp, RelOp) {
-        match self.slopes.bracket(a) {
-            Bracket::Member(i) => (i, i, theta, theta),
-            // a1 < a < a2: both operators keep θ.
-            Bracket::Between(i, j) => (i, j, theta, theta),
-            Bracket::Wrapped(cw, acw) => {
-                if a > self.slopes.get(cw) {
-                    // a beyond max(S): a1 = max (clockwise), a2 = min; both
-                    // smaller than a — Table 1 row 2: θ1 = θ, θ2 = ¬θ.
-                    (cw, acw, theta, theta.negated())
-                } else {
-                    // a below min(S) — Table 1 row 3: θ1 = ¬θ, θ2 = θ,
-                    // with a1 the clockwise (here: max) neighbour.
-                    (cw, acw, theta.negated(), theta)
-                }
-            }
-        }
-    }
-
-    // ----------------------------------------------------------------- T2 --
-
-    /// Sections 4.2–4.3: one tree, two disjoint sweeps guided by handicaps.
-    fn t2(
-        &self,
-        pager: &dyn PageReader,
-        sel: &Selection,
-        lo_idx: usize,
-        hi_idx: usize,
-        fetch: &dyn TupleSource,
-    ) -> Result<QueryResult, CdbError> {
-        let before = pager.stats();
-        let a = sel.halfplane.slope2d();
-        let b = sel.halfplane.intercept;
-        // Nearest slope in *slope* distance (the paper's |a1−a| < |a2−a|),
-        // i.e. by comparison with a_mid — this must match the handicap
-        // strips, which are computed over the slope intervals
-        // [aᵢ, (aᵢ+aⱼ)/2]: routing by any other metric (e.g. angle) can
-        // send a query to a tree whose strip does not contain its slope,
-        // under-covering the reaches and missing results.
-        let mid = (self.slopes.get(lo_idx) + self.slopes.get(hi_idx)) / 2.0;
-        let (near, side) = if a <= mid {
-            (lo_idx, Side::Next)
-        } else {
-            (hi_idx, Side::Prev)
-        };
-        let (use_up, upward) = tree_and_direction(sel.kind, sel.halfplane.op);
-        let tree = self.tree(near, use_up);
-        let raw =
-            handicap_guided_candidates(tree, pager, b, upward, &|h| side_low(h, side), &|h| {
-                side_high(h, side)
-            });
-        let mut stats = QueryStats {
-            candidates: raw.len() as u64,
-            ..QueryStats::default()
-        };
-        stats.index_io = pager.stats().since(&before);
-        // The two sweeps visit disjoint leaf sets and every tuple occurs
-        // once per tree: no duplicates by construction.
-        debug_assert!(
-            {
-                let mut v = raw.clone();
-                v.sort_unstable();
-                v.windows(2).all(|w| w[0] != w[1])
-            },
-            "T2 must not produce duplicates"
-        );
-        let heap_before = pager.stats();
-        let ids = refine(pager, sel, raw, fetch, &mut stats);
-        stats.heap_io = pager.stats().since(&heap_before);
-        Ok(QueryResult::new(ids, stats))
     }
 
     /// Footnote 2 of the paper: *equality* queries. Retrieves tuples whose
@@ -523,7 +393,7 @@ impl DualIndex {
         let mut stats = sup.stats;
         let heap_before = pager.stats();
         let candidates: Vec<u32> = sup.ids().to_vec();
-        let tuples = fetch.fetch_batch(pager, &candidates);
+        let tuples = fetch.fetch_batch(pager, &candidates)?;
         let mut ids = Vec::with_capacity(candidates.len());
         for (id, t) in candidates.into_iter().zip(&tuples) {
             let keep = match kind {
@@ -548,7 +418,7 @@ impl DualIndex {
         }
     }
 
-    fn tree(&self, i: usize, up: bool) -> &BTree {
+    pub(super) fn tree(&self, i: usize, up: bool) -> &BTree {
         if up {
             &self.pairs[i].up
         } else {
@@ -566,99 +436,6 @@ fn top_at(t: &GeneralizedTuple, slope: f64) -> f64 {
 /// `BOT_P` for index keys.
 fn bot_at(t: &GeneralizedTuple, slope: f64) -> f64 {
     dual::bot(t, &[slope]).expect("indexed tuples are satisfiable")
-}
-
-fn side_low(h: &Handicaps, side: Side) -> f64 {
-    match side {
-        Side::Prev => h.low_prev,
-        Side::Next => h.low_next,
-    }
-}
-
-fn side_high(h: &Handicaps, side: Side) -> f64 {
-    match side {
-        Side::Prev => h.high_prev,
-        Side::Next => h.high_next,
-    }
-}
-
-/// The two handicap-guided sweeps of technique T2 (Section 4.2 Step 3),
-/// shared by the 2-D index and the d-dimensional grid extension.
-///
-/// First sweep: from `b` in the query direction, collecting candidates and
-/// folding the relevant handicap of every visited leaf into the bound for
-/// the second, opposite sweep. The sweeps cover disjoint key ranges, so the
-/// result is duplicate-free by construction.
-pub(crate) fn handicap_guided_candidates(
-    tree: &BTree,
-    pager: &dyn PageReader,
-    b: f64,
-    upward: bool,
-    low_of: &dyn Fn(&Handicaps) -> f64,
-    high_of: &dyn Fn(&Handicaps) -> f64,
-) -> Vec<u32> {
-    let mut raw: Vec<u32> = Vec::new();
-    if upward {
-        // First sweep: upward from b, folding the low handicap.
-        let start = b - key_slack(b);
-        let mut low_q = f64::INFINITY;
-        let mut visited = false;
-        tree.sweep_up(pager, start, |snap| {
-            visited = true;
-            low_q = low_q.min(low_of(&snap.handicaps));
-            raw.extend(snap.entries.iter().map(|e| e.1));
-            SweepControl::Continue
-        });
-        if !visited {
-            // b beyond every key: bucketed reaches clamp to the last leaf,
-            // whose handicap must still be honoured.
-            let h = tree.read_handicaps(pager, tree.last_leaf());
-            low_q = low_of(&h);
-        }
-        // Second sweep: downward, disjoint from the first, to low(q).
-        if low_q < f64::INFINITY {
-            let bound = low_q - key_slack(low_q);
-            let from = start.next_down();
-            tree.sweep_down(pager, from, |snap| {
-                for &(k, v) in &snap.entries {
-                    if k < bound {
-                        return SweepControl::Stop;
-                    }
-                    raw.push(v);
-                }
-                SweepControl::Continue
-            });
-        }
-    } else {
-        // Mirror image: downward first, folding the high handicap.
-        let start = b + key_slack(b);
-        let mut high_q = f64::NEG_INFINITY;
-        let mut visited = false;
-        tree.sweep_down(pager, start, |snap| {
-            visited = true;
-            high_q = high_q.max(high_of(&snap.handicaps));
-            raw.extend(snap.entries.iter().map(|e| e.1));
-            SweepControl::Continue
-        });
-        if !visited {
-            let h = tree.read_handicaps(pager, tree.first_leaf());
-            high_q = high_of(&h);
-        }
-        if high_q > f64::NEG_INFINITY {
-            let bound = high_q + key_slack(high_q);
-            let from = start.next_up();
-            tree.sweep_up(pager, from, |snap| {
-                for &(k, v) in &snap.entries {
-                    if k > bound {
-                        return SweepControl::Stop;
-                    }
-                    raw.push(v);
-                }
-                SweepControl::Continue
-            });
-        }
-    }
-    raw
 }
 
 /// Folds one `(reach, key)` pair into the low handicap of its bucket leaf:
@@ -697,44 +474,6 @@ pub(crate) fn fold_high(pager: &mut dyn Pager, tree: &BTree, side: Side, reach: 
     }
 }
 
-/// One-direction threshold sweep with `f32`-rounding bands: returns
-/// `(sure, boundary)` ids — `sure` certainly satisfy the key test, the
-/// boundary band is within one rounding quantum of `b`.
-pub(crate) fn sweep_candidates(
-    tree: &BTree,
-    pager: &dyn PageReader,
-    b: f64,
-    upward: bool,
-) -> (Vec<u32>, Vec<u32>) {
-    let slack = key_slack(b);
-    let mut sure = Vec::new();
-    let mut band = Vec::new();
-    if upward {
-        tree.sweep_up(pager, b - slack, |snap| {
-            for &(k, v) in &snap.entries {
-                if k > b + slack {
-                    sure.push(v);
-                } else {
-                    band.push(v);
-                }
-            }
-            SweepControl::Continue
-        });
-    } else {
-        tree.sweep_down(pager, b + slack, |snap| {
-            for &(k, v) in &snap.entries {
-                if k < b - slack {
-                    sure.push(v);
-                } else {
-                    band.push(v);
-                }
-            }
-            SweepControl::Continue
-        });
-    }
-    (sure, band)
-}
-
 /// Exact refinement: fetches the candidates (batched by the source, so the
 /// cost is one page access per distinct heap page) and keeps those
 /// satisfying the original selection (Proposition 2.2 evaluated by LP).
@@ -744,8 +483,8 @@ pub(crate) fn refine(
     candidates: Vec<u32>,
     fetch: &dyn TupleSource,
     stats: &mut QueryStats,
-) -> Vec<u32> {
-    let tuples = fetch.fetch_batch(pager, &candidates);
+) -> Result<Vec<u32>, CdbError> {
+    let tuples = fetch.fetch_batch(pager, &candidates)?;
     let mut out = Vec::with_capacity(candidates.len());
     for (id, t) in candidates.into_iter().zip(&tuples) {
         let keep = match sel.kind {
@@ -758,7 +497,7 @@ pub(crate) fn refine(
             stats.false_hits += 1;
         }
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]

@@ -1,0 +1,80 @@
+//! Section 3: the restricted technique — exact answers for query slopes in
+//! the predefined set `S` via one tree search plus a leaf sweep.
+
+use cdb_btree::{key_slack, BTree, SweepControl};
+use cdb_storage::PageReader;
+
+use super::{refine, DualIndex, TupleSource};
+use crate::error::CdbError;
+use crate::query::{tree_and_direction, QueryResult, QueryStats, Selection};
+
+impl DualIndex {
+    /// Section 3: one tree search plus a leaf sweep. With the paper's
+    /// 4-byte stored keys the entries within one `f32` quantum of the
+    /// threshold cannot be decided from the page alone; only those few are
+    /// verified exactly (tuple fetch), every other entry is accepted by key.
+    pub(super) fn restricted(
+        &self,
+        pager: &dyn PageReader,
+        sel: &Selection,
+        slope_idx: usize,
+        fetch: &dyn TupleSource,
+    ) -> Result<QueryResult, CdbError> {
+        let before = pager.stats();
+        let b = sel.halfplane.intercept;
+        let (use_up, upward) = tree_and_direction(sel.kind, sel.halfplane.op);
+        let tree = self.tree(slope_idx, use_up);
+        let (mut sure, check) = sweep_candidates(tree, pager, b, upward);
+        let mut stats = QueryStats {
+            candidates: (sure.len() + check.len()) as u64,
+            accepted_by_key: sure.len() as u64,
+            ..QueryStats::default()
+        };
+        stats.index_io = pager.stats().since(&before);
+        let heap_before = pager.stats();
+        // The boundary-band predicate at the tree's own slope equals the
+        // exact selection predicate, so refine() decides it exactly.
+        let kept = refine(pager, sel, check, fetch, &mut stats)?;
+        stats.heap_io = pager.stats().since(&heap_before);
+        sure.extend(kept);
+        Ok(QueryResult::new(sure, stats))
+    }
+}
+
+/// One-direction threshold sweep with `f32`-rounding bands: returns
+/// `(sure, boundary)` ids — `sure` certainly satisfy the key test, the
+/// boundary band is within one rounding quantum of `b`.
+pub(crate) fn sweep_candidates(
+    tree: &BTree,
+    pager: &dyn PageReader,
+    b: f64,
+    upward: bool,
+) -> (Vec<u32>, Vec<u32>) {
+    let slack = key_slack(b);
+    let mut sure = Vec::new();
+    let mut band = Vec::new();
+    if upward {
+        tree.sweep_up(pager, b - slack, |snap| {
+            for &(k, v) in &snap.entries {
+                if k > b + slack {
+                    sure.push(v);
+                } else {
+                    band.push(v);
+                }
+            }
+            SweepControl::Continue
+        });
+    } else {
+        tree.sweep_down(pager, b + slack, |snap| {
+            for &(k, v) in &snap.entries {
+                if k < b - slack {
+                    sure.push(v);
+                } else {
+                    band.push(v);
+                }
+            }
+            SweepControl::Continue
+        });
+    }
+    (sure, band)
+}

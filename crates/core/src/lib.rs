@@ -33,6 +33,13 @@
 //! concurrently: [`exec::QueryExecutor`] fans a batch of selections out over
 //! scoped threads sharing the same snapshot, with exact per-query
 //! [`QueryStats`] via [`cdb_storage::TrackedReader`].
+//!
+//! Every query path — the three dual-index techniques, the d-dimensional
+//! extension, a sequential scan, and the Section 5 R⁺-tree baseline — is
+//! unified behind the [`plan::AccessMethod`] trait; [`plan::Planner`]
+//! chooses among them with the paper-shaped I/O cost formulas seeded by
+//! observed per-plan statistics, and
+//! [`db::ConstraintDb::explain`] renders the decision next to the actuals.
 
 pub mod db;
 pub mod ddim;
@@ -40,6 +47,7 @@ pub mod error;
 pub mod exec;
 pub mod handicap;
 pub mod index;
+pub mod plan;
 pub mod query;
 pub mod slopes;
 
@@ -47,5 +55,9 @@ pub use db::{ConstraintDb, DbConfig};
 pub use error::CdbError;
 pub use exec::QueryExecutor;
 pub use index::DualIndex;
+pub use plan::{
+    AccessMethod, Capability, CostEstimate, ExplainReport, MethodKind, PlanCatalog, Planner,
+    QueryPlan,
+};
 pub use query::{QueryResult, QueryStats, Selection, SelectionKind, Strategy};
 pub use slopes::SlopeSet;

@@ -59,6 +59,9 @@ pub enum Strategy {
     /// Sequential scan with exact predicates (the no-index baseline and
     /// correctness oracle).
     Scan,
+    /// The packed R⁺-tree over tuple bounding boxes (Section 5's baseline
+    /// structure), served through the planner's `RPlusAccess` adapter.
+    RPlus,
 }
 
 /// Which neighbour of a slope a strip extends toward.
@@ -104,6 +107,12 @@ pub struct QueryStats {
     /// Candidates accepted without fetching the tuple (exact-by-key in the
     /// restricted technique).
     pub accepted_by_key: u64,
+    /// The access method that actually executed the query, when the
+    /// planner chose it (`None` on the legacy direct-execution paths).
+    pub method: Option<crate::plan::MethodKind>,
+    /// The planner's pre-execution cost estimate, recorded next to the
+    /// actuals above so estimate-vs-actual accuracy is always observable.
+    pub estimate: Option<crate::plan::CostEstimate>,
 }
 
 impl QueryStats {

@@ -7,6 +7,7 @@
 //! cdb> insert parcels y >= x && x >= 10
 //! cdb> index parcels 4
 //! cdb> exist parcels y >= 0.3x - 5
+//! cdb> explain exist parcels y >= 0.3x - 5
 //! cdb> all parcels y <= 100
 //! cdb> stats
 //! ```
@@ -129,6 +130,39 @@ fn run_command(db: &mut ConstraintDb, line: &str) -> Result<String, String> {
                 r.stats.heap_io.accesses(),
             ))
         }
+        "rplus" => {
+            let mut it = rest.split_whitespace();
+            let name = it.next().ok_or("usage: rplus <rel> [fill]")?;
+            let fill: f64 = it
+                .next()
+                .map(str::parse)
+                .transpose()
+                .unwrap_or(None)
+                .unwrap_or(1.0);
+            db.build_rplus_index(name, fill)
+                .map_err(|e| e.to_string())?;
+            Ok(format!("R+-tree baseline packed at fill {fill}"))
+        }
+        "explain" => {
+            let mut it = rest.splitn(3, ' ');
+            let kind = it
+                .next()
+                .ok_or("usage: explain <all|exist> <rel> <halfplane>")?;
+            let name = it
+                .next()
+                .ok_or("usage: explain <all|exist> <rel> <halfplane>")?;
+            let expr = it
+                .next()
+                .ok_or("usage: explain <all|exist> <rel> <halfplane>")?;
+            let q = parse_halfplane(expr)?;
+            let sel = match kind {
+                "all" => Selection::all(q),
+                "exist" => Selection::exist(q),
+                _ => return Err("explain kind must be 'all' or 'exist'".into()),
+            };
+            let report = db.explain(name, sel).map_err(|e| e.to_string())?;
+            Ok(report.to_string().trim_end().to_string())
+        }
         "exist" | "all" | "scan" => {
             let (name, expr) = rest
                 .split_once(' ')
@@ -206,6 +240,9 @@ commands:
   all <rel> <halfplane>     ALL (containment) selection
   line <rel> <y = ax + c>   EXIST against an equality (line) query
   scan <rel> <halfplane>    sequential-scan EXIST (no index needed)
+  rplus <rel> [fill]        pack the R+-tree baseline (Section 5)
+  explain <all|exist> <rel> <halfplane>
+                            plan + execute: chosen method, estimate vs actual
   show <rel> <id>           print a stored tuple
   stats                     pager statistics
   quit

@@ -28,7 +28,9 @@
 //! * [`rplustree`] — the R⁺-tree baseline used in the paper's evaluation;
 //! * [`index`] — the paper's contribution: [`index::DualIndex`] with the
 //!   restricted, T1 and T2 query strategies, plus the d-dimensional
-//!   extension;
+//!   extension, and the cost-based planner ([`index::plan`]) that unifies
+//!   every query path (dual techniques, sequential scan, R⁺-tree baseline)
+//!   behind one `AccessMethod` trait with `EXPLAIN` output;
 //! * [`workload`] — seeded generators reproducing the paper's experimental
 //!   setup.
 //!
@@ -68,6 +70,10 @@ pub use cdb_workload as workload;
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
     pub use cdb_core::db::{ConstraintDb, DbConfig};
+    pub use cdb_core::plan::{
+        AccessMethod, Capability, CostEstimate, ExplainReport, MethodKind, PlanCatalog, Planner,
+        QueryPlan,
+    };
     pub use cdb_core::query::{QueryStats, Selection, SelectionKind, Strategy};
     pub use cdb_core::slopes::SlopeSet;
     pub use cdb_core::{DualIndex, QueryExecutor};
