@@ -14,10 +14,30 @@ step() {
   echo "--- ${name}: ok ($((SECONDS - start))s)"
 }
 
+# Snapshot of the temp dir before anything runs: the persistence suites
+# create database files under $TMPDIR and must remove every one of them.
+tmp_snapshot() {
+  ls "${TMPDIR:-/tmp}" 2>/dev/null | grep '^cdb_' | sort || true
+}
+tmp_before=$(tmp_snapshot)
+
 step build cargo build --release
 step test cargo test -q --workspace
+# The durability suites run as part of the workspace tests, but a broken
+# lifecycle should fail loudly under its own name, not inside a wall of
+# workspace output.
+step persistence cargo test -q --test persistence
+step reopen cargo test -q --test reopen
 step clippy cargo clippy --workspace --all-targets -- -D warnings
 step doc env RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 step fmt cargo fmt --all --check
+
+tmp_after=$(tmp_snapshot)
+leaked=$(comm -13 <(echo "$tmp_before") <(echo "$tmp_after"))
+if [ -n "$leaked" ]; then
+  echo "ci: temp-file leak — tests left these behind in ${TMPDIR:-/tmp}:" >&2
+  echo "$leaked" >&2
+  exit 1
+fi
 
 echo "ci: all green ($((SECONDS))s total)"

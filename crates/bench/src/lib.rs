@@ -260,6 +260,30 @@ pub fn run_time_experiment(
                 all_total: tat,
             });
         }
+
+        // Planner column: same bed at the middle k, every access method
+        // built (dual index + R⁺-tree + scan), `Strategy::Auto` picking per
+        // query. Shows what the cost-based choice achieves next to the
+        // forced-method columns.
+        let k = ks[ks.len() / 2];
+        let mut bed = T2Bed::build(spec, k);
+        bed.db.build_rplus_index("r", 1.0).expect("2-D relation");
+        let mut astats = Vec::new();
+        for (qi, q) in battery.iter().enumerate() {
+            let (s, ids) = bed.run(q, Strategy::Auto);
+            assert_eq!(ids, expected[qi], "Auto planner result mismatch (k={k})");
+            astats.push((q.kind, s));
+        }
+        let (ae, aa) = mean_accesses(&astats);
+        let (aet, aat) = mean_total_accesses(&astats);
+        out.push(FigurePoint {
+            structure: "Auto (planner)".into(),
+            n,
+            exist_accesses: ae,
+            all_accesses: aa,
+            exist_total: aet,
+            all_total: aat,
+        });
     }
     out
 }
@@ -564,10 +588,18 @@ mod tests {
     #[test]
     fn beds_agree_on_small_config() {
         let points = run_time_experiment(ObjectSize::Small, &[300], &[2, 3], (0.10, 0.15), 42);
-        assert_eq!(points.len(), 3);
+        // R⁺ baseline, two forced-T2 columns, and the Auto planner column.
+        assert_eq!(points.len(), 4);
+        assert_eq!(points.last().unwrap().structure, "Auto (planner)");
         for p in &points {
-            assert!(p.exist_accesses > 0.0);
-            assert!(p.all_accesses > 0.0);
+            if p.structure != "Auto (planner)" {
+                // Forced methods always descend their index.
+                assert!(p.exist_accesses > 0.0);
+                assert!(p.all_accesses > 0.0);
+            }
+            // Every column does real page work overall.
+            assert!(p.exist_total > 0.0);
+            assert!(p.all_total > 0.0);
         }
     }
 

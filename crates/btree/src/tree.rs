@@ -107,6 +107,39 @@ impl BTree {
         }
     }
 
+    /// Re-attaches a tree from persisted metadata without touching the
+    /// pager: the node pages (and any handicap slots stored in the leaves)
+    /// are already on disk, so scalar roots are all a catalog needs to save.
+    ///
+    /// The caller is responsible for passing values that describe a tree
+    /// previously built over the same pager; the structure is trusted, and
+    /// a wrong root surfaces as a read of an unallocated page.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_parts(
+        page_size: usize,
+        root: PageId,
+        height: usize,
+        len: u64,
+        first_leaf: PageId,
+        last_leaf: PageId,
+        pages: u64,
+    ) -> Self {
+        BTree {
+            page_size,
+            root,
+            height,
+            len,
+            first_leaf,
+            last_leaf,
+            pages,
+        }
+    }
+
+    /// Root page id (persisted by the catalog).
+    pub fn root(&self) -> PageId {
+        self.root
+    }
+
     /// Number of stored entries.
     pub fn len(&self) -> u64 {
         self.len

@@ -1,0 +1,568 @@
+//! The persistent database catalog: one versioned, checksummed blob
+//! holding every relation's heap roots, slot table, index metadata and
+//! planner EWMAs, committed through the pager's shadow-page meta protocol
+//! (see `cdb_storage::FilePager::commit_meta`).
+//!
+//! Layout (all integers little-endian, written with
+//! [`cdb_storage::RecordWriter`]):
+//!
+//! ```text
+//! magic "CDBC" u32 | version u16 | strategy u8 | relation count u32
+//! per relation (sorted by name):
+//!   name str | dim u32
+//!   heap:   page count u32, page u32 ...
+//!   slots:  len u32, { present u8, [page u32, slot u16] } ...
+//!   2-D dual index:  present u8, [ k u32, slope f64 ×k, anchor_x f64,
+//!                    dirty u8, (up tree, down tree) ×k ]
+//!   d-dim dual index: present u8, [ point count u32, coords f64 ×(d-1)
+//!                    per point, grid u8 [axis len u32 + f64s ×(d-1)],
+//!                    (up tree, down tree) per point ]
+//!   R⁺-tree: present u8, [ root u32, height u32, len u64, pages u64,
+//!                    fill f64, unbounded u32s, dead u32s ]
+//!   plan catalog: probe_clock u64, entry count u32,
+//!                    { method u8, kind u8, frac f64, pages f64,
+//!                      samples u64 } ...
+//! ```
+//!
+//! B⁺-trees serialize as `root u32, height u32, len u64, first u32,
+//! last u32, pages u64` — scalars only, because node contents (handicaps
+//! included) live in their pages on disk.
+//!
+//! Integrity is layered: the pager's meta protocol CRCs the whole blob, so
+//! `decode` normally sees exactly what `encode` produced. Decoding still
+//! never panics on bad input — every structural invariant that a
+//! constructor would `assert!` is checked first and surfaced as
+//! [`CdbError::CorruptRecord`] with the [`CATALOG_RECORD`] sentinel.
+
+use std::collections::HashMap;
+
+use cdb_btree::BTree;
+use cdb_rplustree::RPlusTree;
+use cdb_storage::{CodecError, HeapFile, RecordId, RecordReader, RecordWriter};
+
+use crate::db::{RPlusIndex, Relation};
+use crate::ddim::{DualIndexD, SlopePoints};
+use crate::error::{CdbError, CATALOG_RECORD};
+use crate::index::DualIndex;
+use crate::plan::{MethodKind, Observation, PlanCatalog};
+use crate::query::{SelectionKind, Strategy};
+use crate::slopes::SlopeSet;
+
+/// Catalog magic: `"CDBC"`.
+const MAGIC: u32 = 0x4344_4243;
+/// Current catalog format version.
+const VERSION: u16 = 1;
+
+fn corrupt() -> CdbError {
+    CdbError::CorruptRecord(CATALOG_RECORD)
+}
+
+impl From<CodecError> for CdbError {
+    fn from(_: CodecError) -> Self {
+        corrupt()
+    }
+}
+
+// ------------------------------------------------------------- enum codes
+
+fn strategy_code(s: Strategy) -> u8 {
+    match s {
+        Strategy::Auto => 0,
+        Strategy::Restricted => 1,
+        Strategy::T1 => 2,
+        Strategy::T2 => 3,
+        Strategy::Scan => 4,
+        Strategy::RPlus => 5,
+    }
+}
+
+fn strategy_from(code: u8) -> Result<Strategy, CdbError> {
+    Ok(match code {
+        0 => Strategy::Auto,
+        1 => Strategy::Restricted,
+        2 => Strategy::T1,
+        3 => Strategy::T2,
+        4 => Strategy::Scan,
+        5 => Strategy::RPlus,
+        _ => return Err(corrupt()),
+    })
+}
+
+fn method_code(m: MethodKind) -> u8 {
+    match m {
+        MethodKind::Restricted => 0,
+        MethodKind::T1 => 1,
+        MethodKind::T2 => 2,
+        MethodKind::DualD => 3,
+        MethodKind::SeqScan => 4,
+        MethodKind::RPlus => 5,
+    }
+}
+
+fn method_from(code: u8) -> Result<MethodKind, CdbError> {
+    Ok(match code {
+        0 => MethodKind::Restricted,
+        1 => MethodKind::T1,
+        2 => MethodKind::T2,
+        3 => MethodKind::DualD,
+        4 => MethodKind::SeqScan,
+        5 => MethodKind::RPlus,
+        _ => return Err(corrupt()),
+    })
+}
+
+fn kind_code(k: SelectionKind) -> u8 {
+    match k {
+        SelectionKind::Exist => 0,
+        SelectionKind::All => 1,
+    }
+}
+
+fn kind_from(code: u8) -> Result<SelectionKind, CdbError> {
+    Ok(match code {
+        0 => SelectionKind::Exist,
+        1 => SelectionKind::All,
+        _ => return Err(corrupt()),
+    })
+}
+
+// ------------------------------------------------------------------ trees
+
+fn put_btree(w: &mut RecordWriter, t: &BTree) {
+    w.put_u32(t.root());
+    w.put_u32(t.height() as u32);
+    w.put_u64(t.len());
+    w.put_u32(t.first_leaf());
+    w.put_u32(t.last_leaf());
+    w.put_u64(t.page_count());
+}
+
+fn get_btree(r: &mut RecordReader<'_>, page_size: usize) -> Result<BTree, CdbError> {
+    let root = r.get_u32()?;
+    let height = r.get_u32()? as usize;
+    let len = r.get_u64()?;
+    let first = r.get_u32()?;
+    let last = r.get_u32()?;
+    let pages = r.get_u64()?;
+    Ok(BTree::from_parts(
+        page_size, root, height, len, first, last, pages,
+    ))
+}
+
+fn get_finite_f64(r: &mut RecordReader<'_>) -> Result<f64, CdbError> {
+    let v = r.get_f64()?;
+    if v.is_finite() {
+        Ok(v)
+    } else {
+        Err(corrupt())
+    }
+}
+
+// ----------------------------------------------------------------- encode
+
+/// Serializes the default strategy and every relation into one catalog
+/// blob. Relations are written in name order, so identical database states
+/// produce identical bytes.
+pub(crate) fn encode(strategy: Strategy, relations: &HashMap<String, Relation>) -> Vec<u8> {
+    let mut w = RecordWriter::new();
+    w.put_u32(MAGIC);
+    w.put_u16(VERSION);
+    w.put_u8(strategy_code(strategy));
+    w.put_u32(relations.len() as u32);
+    let mut names: Vec<&String> = relations.keys().collect();
+    names.sort();
+    for name in names {
+        let rel = &relations[name];
+        w.put_str(name);
+        w.put_u32(rel.dim as u32);
+
+        w.put_u32(rel.heap.pages().len() as u32);
+        for &p in rel.heap.pages() {
+            w.put_u32(p);
+        }
+
+        w.put_u32(rel.slots.len() as u32);
+        for slot in &rel.slots {
+            match slot {
+                Some(rid) => {
+                    w.put_u8(1);
+                    w.put_u32(rid.page);
+                    w.put_u16(rid.slot);
+                }
+                None => w.put_u8(0),
+            }
+        }
+
+        match rel.index.as_ref() {
+            Some(idx) => {
+                w.put_u8(1);
+                let slopes = idx.slopes().as_slice();
+                w.put_u32(slopes.len() as u32);
+                for &s in slopes {
+                    w.put_f64(s);
+                }
+                w.put_f64(idx.anchor_x());
+                w.put_u8(idx.needs_refresh() as u8);
+                for (up, down) in idx.tree_pairs() {
+                    put_btree(&mut w, up);
+                    put_btree(&mut w, down);
+                }
+            }
+            None => w.put_u8(0),
+        }
+
+        match rel.index_d.as_ref() {
+            Some(idx) => {
+                w.put_u8(1);
+                let points = idx.points();
+                w.put_u32(points.len() as u32);
+                for p in points.as_slice() {
+                    for &c in p {
+                        w.put_f64(c);
+                    }
+                }
+                match points.grid_axes() {
+                    Some(axes) => {
+                        w.put_u8(1);
+                        for axis in axes {
+                            w.put_u32(axis.len() as u32);
+                            for &c in axis {
+                                w.put_f64(c);
+                            }
+                        }
+                    }
+                    None => w.put_u8(0),
+                }
+                for (up, down) in idx.tree_pairs() {
+                    put_btree(&mut w, up);
+                    put_btree(&mut w, down);
+                }
+            }
+            None => w.put_u8(0),
+        }
+
+        match rel.rplus.as_ref() {
+            Some(rp) => {
+                w.put_u8(1);
+                w.put_u32(rp.tree.root());
+                w.put_u32(rp.tree.height() as u32);
+                w.put_u64(rp.tree.len());
+                w.put_u64(rp.tree.page_count());
+                w.put_f64(rp.fill);
+                w.put_u32(rp.unbounded.len() as u32);
+                for &id in &rp.unbounded {
+                    w.put_u32(id);
+                }
+                w.put_u32(rp.dead.len() as u32);
+                for &id in &rp.dead {
+                    w.put_u32(id);
+                }
+            }
+            None => w.put_u8(0),
+        }
+
+        w.put_u64(rel.catalog.probe_clock());
+        let entries = rel.catalog.entries();
+        w.put_u32(entries.len() as u32);
+        for (m, k, o) in entries {
+            w.put_u8(method_code(m));
+            w.put_u8(kind_code(k));
+            w.put_f64(o.candidate_frac);
+            w.put_f64(o.total_pages);
+            w.put_u64(o.samples);
+        }
+    }
+    w.into_bytes()
+}
+
+// ----------------------------------------------------------------- decode
+
+/// Rebuilds the default strategy and the full relation map from a catalog
+/// blob. `by_record` and `live` are derived from the slot table, so a
+/// reopened database never rescans its heap.
+///
+/// # Errors
+/// [`CdbError::CorruptRecord`] (id [`CATALOG_RECORD`]) on any structural
+/// violation: bad magic, unknown version or enum code, truncation,
+/// non-finite floats where finite ones are required, or trailing garbage.
+pub(crate) fn decode(
+    blob: &[u8],
+    page_size: usize,
+) -> Result<(Strategy, HashMap<String, Relation>), CdbError> {
+    let mut r = RecordReader::new(blob);
+    if r.get_u32()? != MAGIC {
+        return Err(corrupt());
+    }
+    if r.get_u16()? != VERSION {
+        return Err(corrupt());
+    }
+    let strategy = strategy_from(r.get_u8()?)?;
+    let nrel = r.get_u32()?;
+    let mut relations = HashMap::new();
+    for _ in 0..nrel {
+        let name = r.get_str()?.to_string();
+        let dim = r.get_u32()? as usize;
+        if dim < 1 {
+            return Err(corrupt());
+        }
+
+        let npages = r.get_u32()?;
+        let mut pages = Vec::new();
+        for _ in 0..npages {
+            pages.push(r.get_u32()?);
+        }
+        let heap = HeapFile::from_pages(page_size, pages);
+
+        let nslots = r.get_u32()?;
+        let mut slots = Vec::new();
+        let mut by_record = HashMap::new();
+        let mut live = 0u64;
+        for id in 0..nslots {
+            match r.get_u8()? {
+                0 => slots.push(None),
+                1 => {
+                    let rid = RecordId {
+                        page: r.get_u32()?,
+                        slot: r.get_u16()?,
+                    };
+                    slots.push(Some(rid));
+                    if by_record.insert(rid, id).is_some() {
+                        return Err(corrupt()); // two tuples sharing a record
+                    }
+                    live += 1;
+                }
+                _ => return Err(corrupt()),
+            }
+        }
+
+        let index = match r.get_u8()? {
+            0 => None,
+            1 => {
+                let k = r.get_u32()? as usize;
+                if k < 2 {
+                    return Err(corrupt());
+                }
+                let mut slopes = Vec::with_capacity(k);
+                for _ in 0..k {
+                    let s = get_finite_f64(&mut r)?;
+                    // Persisted ascending and distinct; anything else would
+                    // make SlopeSet::new panic, so reject it here.
+                    if slopes.last().is_some_and(|&prev| s <= prev) {
+                        return Err(corrupt());
+                    }
+                    slopes.push(s);
+                }
+                let anchor_x = get_finite_f64(&mut r)?;
+                let dirty = match r.get_u8()? {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(corrupt()),
+                };
+                let mut pairs = Vec::with_capacity(k);
+                for _ in 0..k {
+                    let up = get_btree(&mut r, page_size)?;
+                    let down = get_btree(&mut r, page_size)?;
+                    pairs.push((up, down));
+                }
+                Some(DualIndex::from_parts(
+                    SlopeSet::new(slopes),
+                    pairs,
+                    anchor_x,
+                    dirty,
+                ))
+            }
+            _ => return Err(corrupt()),
+        };
+
+        let index_d = match r.get_u8()? {
+            0 => None,
+            1 => {
+                if dim < 2 {
+                    return Err(corrupt());
+                }
+                let k = r.get_u32()? as usize;
+                if k < dim {
+                    return Err(corrupt()); // SlopePoints needs a covering simplex
+                }
+                let mut points = Vec::with_capacity(k);
+                for _ in 0..k {
+                    let mut p = Vec::with_capacity(dim - 1);
+                    for _ in 0..dim - 1 {
+                        p.push(get_finite_f64(&mut r)?);
+                    }
+                    points.push(p);
+                }
+                let grid_axes = match r.get_u8()? {
+                    0 => None,
+                    1 => {
+                        let mut axes = Vec::with_capacity(dim - 1);
+                        for _ in 0..dim - 1 {
+                            let n = r.get_u32()? as usize;
+                            let mut axis = Vec::with_capacity(n.min(r.remaining() / 8));
+                            for _ in 0..n {
+                                axis.push(get_finite_f64(&mut r)?);
+                            }
+                            axes.push(axis);
+                        }
+                        Some(axes)
+                    }
+                    _ => return Err(corrupt()),
+                };
+                let mut trees = Vec::with_capacity(k);
+                for _ in 0..k {
+                    let up = get_btree(&mut r, page_size)?;
+                    let down = get_btree(&mut r, page_size)?;
+                    trees.push((up, down));
+                }
+                Some(DualIndexD::from_parts(
+                    SlopePoints::from_parts(dim, points, grid_axes),
+                    trees,
+                ))
+            }
+            _ => return Err(corrupt()),
+        };
+
+        let rplus = match r.get_u8()? {
+            0 => None,
+            1 => {
+                let root = r.get_u32()?;
+                let height = r.get_u32()? as usize;
+                let len = r.get_u64()?;
+                let tpages = r.get_u64()?;
+                let fill = get_finite_f64(&mut r)?;
+                let n = r.get_u32()?;
+                let mut unbounded = Vec::new();
+                for _ in 0..n {
+                    unbounded.push(r.get_u32()?);
+                }
+                let n = r.get_u32()?;
+                let mut dead = Vec::new();
+                for _ in 0..n {
+                    dead.push(r.get_u32()?);
+                }
+                if dead.windows(2).any(|w| w[0] >= w[1]) {
+                    return Err(corrupt()); // tombstones are sorted + unique
+                }
+                Some(RPlusIndex {
+                    tree: RPlusTree::from_parts(page_size, root, height, len, tpages),
+                    unbounded,
+                    dead,
+                    fill,
+                })
+            }
+            _ => return Err(corrupt()),
+        };
+
+        let probe_clock = r.get_u64()?;
+        let nent = r.get_u32()?;
+        let mut entries = Vec::new();
+        for _ in 0..nent {
+            let m = method_from(r.get_u8()?)?;
+            let k = kind_from(r.get_u8()?)?;
+            entries.push((
+                m,
+                k,
+                Observation {
+                    candidate_frac: get_finite_f64(&mut r)?,
+                    total_pages: get_finite_f64(&mut r)?,
+                    samples: r.get_u64()?,
+                },
+            ));
+        }
+        let catalog = PlanCatalog::from_entries(&entries, probe_clock);
+
+        if relations
+            .insert(
+                name.clone(),
+                Relation {
+                    name,
+                    dim,
+                    heap,
+                    slots,
+                    by_record,
+                    live,
+                    index,
+                    index_d,
+                    rplus,
+                    catalog,
+                },
+            )
+            .is_some()
+        {
+            return Err(corrupt()); // duplicate relation name
+        }
+    }
+    if r.remaining() != 0 {
+        return Err(corrupt()); // trailing garbage
+    }
+    Ok((strategy, relations))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn is_corrupt(r: Result<(Strategy, HashMap<String, Relation>), CdbError>) -> bool {
+        matches!(r, Err(CdbError::CorruptRecord(CATALOG_RECORD)))
+    }
+
+    #[test]
+    fn rejects_garbage_and_truncation() {
+        assert!(is_corrupt(decode(b"not a catalog", 1024)));
+        assert!(is_corrupt(decode(&[], 1024)));
+        // Right magic, truncated immediately after.
+        let mut w = RecordWriter::new();
+        w.put_u32(MAGIC);
+        assert!(is_corrupt(decode(&w.into_bytes(), 1024)));
+    }
+
+    #[test]
+    fn rejects_wrong_version_and_trailing_garbage() {
+        let mut w = RecordWriter::new();
+        w.put_u32(MAGIC);
+        w.put_u16(VERSION + 1);
+        w.put_u8(0);
+        w.put_u32(0);
+        assert!(is_corrupt(decode(&w.into_bytes(), 1024)));
+
+        let mut bytes = encode(Strategy::Auto, &HashMap::new());
+        bytes.push(0);
+        assert!(is_corrupt(decode(&bytes, 1024)));
+    }
+
+    #[test]
+    fn empty_catalog_round_trips() {
+        let bytes = encode(Strategy::T2, &HashMap::new());
+        let (strategy, relations) = decode(&bytes, 1024).unwrap();
+        assert_eq!(strategy, Strategy::T2);
+        assert!(relations.is_empty());
+    }
+
+    #[test]
+    fn strategy_and_enum_codes_round_trip() {
+        for s in [
+            Strategy::Auto,
+            Strategy::Restricted,
+            Strategy::T1,
+            Strategy::T2,
+            Strategy::Scan,
+            Strategy::RPlus,
+        ] {
+            assert_eq!(strategy_from(strategy_code(s)).unwrap(), s);
+        }
+        assert_eq!(strategy_from(99), Err(corrupt()));
+        for m in [
+            MethodKind::Restricted,
+            MethodKind::T1,
+            MethodKind::T2,
+            MethodKind::DualD,
+            MethodKind::SeqScan,
+            MethodKind::RPlus,
+        ] {
+            assert_eq!(method_from(method_code(m)).unwrap(), m);
+        }
+        for k in [SelectionKind::Exist, SelectionKind::All] {
+            assert_eq!(kind_from(kind_code(k)).unwrap(), k);
+        }
+    }
+}

@@ -9,7 +9,9 @@ use cdb_geometry::halfplane::HalfPlane;
 use cdb_geometry::tuple::GeneralizedTuple;
 use cdb_geometry::Rect;
 use cdb_rplustree::RPlusTree;
-use cdb_storage::{HeapFile, IoStats, MemPager, PageReader, Pager, RecordId, DEFAULT_PAGE_SIZE};
+use cdb_storage::{
+    FilePager, HeapFile, IoStats, MemPager, PageReader, Pager, RecordId, DEFAULT_PAGE_SIZE,
+};
 
 use crate::ddim::{DualIndexD, SlopePoints};
 use crate::error::CdbError;
@@ -59,22 +61,27 @@ pub struct RPlusIndex {
     pub unbounded: Vec<u32>,
     /// Sorted ids of deleted bounded tuples still present in the tree.
     pub dead: Vec<u32>,
+    /// The fill factor the tree was packed at (persisted so a reopened
+    /// database reports the same build parameters).
+    pub fill: f64,
 }
 
 /// A stored generalized relation: tuples in a heap file, optional access
 /// structures (2-D dual index, d-dimensional dual index, R⁺-tree), and the
 /// planner's per-relation feedback catalog.
 pub struct Relation {
-    name: String,
-    dim: usize,
-    heap: HeapFile,
-    slots: Vec<Option<RecordId>>,      // tuple id -> heap record
-    by_record: HashMap<RecordId, u32>, // heap record -> tuple id (scan support)
-    live: u64,
-    index: Option<DualIndex>,
-    index_d: Option<DualIndexD>,
-    rplus: Option<RPlusIndex>,
-    catalog: PlanCatalog,
+    pub(crate) name: String,
+    pub(crate) dim: usize,
+    pub(crate) heap: HeapFile,
+    /// Tuple id -> heap record. Persisted by the catalog; `by_record` and
+    /// `live` are derived from it on open.
+    pub(crate) slots: Vec<Option<RecordId>>,
+    pub(crate) by_record: HashMap<RecordId, u32>, // heap record -> tuple id
+    pub(crate) live: u64,
+    pub(crate) index: Option<DualIndex>,
+    pub(crate) index_d: Option<DualIndexD>,
+    pub(crate) rplus: Option<RPlusIndex>,
+    pub(crate) catalog: PlanCatalog,
 }
 
 impl Relation {
@@ -270,16 +277,20 @@ pub struct ConstraintDb {
     pager: Box<dyn Pager>,
     config: DbConfig,
     relations: HashMap<String, Relation>,
+    /// Structural changes (DDL, inserts/deletes, index builds) since the
+    /// last checkpoint. Planner-catalog movement is tracked separately via
+    /// [`PlanCatalog::version`] so `&self` query feedback needs no flag.
+    dirty: bool,
+    /// Sum of every relation's plan-catalog version at the last
+    /// checkpoint; a differing sum means the EWMAs moved and are worth
+    /// re-persisting.
+    committed_plan_version: u64,
 }
 
 impl ConstraintDb {
     /// An engine over an in-memory pager (the experimental substrate).
     pub fn in_memory(config: DbConfig) -> Self {
-        ConstraintDb {
-            pager: Box::new(MemPager::new(config.page_size)),
-            config,
-            relations: HashMap::new(),
-        }
+        Self::with_pager(Box::new(MemPager::new(config.page_size)), config)
     }
 
     /// An engine over a caller-supplied pager (e.g. a
@@ -290,7 +301,103 @@ impl ConstraintDb {
             pager,
             config,
             relations: HashMap::new(),
+            dirty: false,
+            committed_plan_version: 0,
         }
+    }
+
+    /// Creates a new on-disk database at `path` and commits an empty
+    /// catalog immediately, so every database file carries a valid catalog
+    /// from birth (a crash right after `create` reopens as an empty db,
+    /// not a corrupt one).
+    ///
+    /// # Errors
+    /// [`CdbError::Io`] when the file cannot be created or synced.
+    pub fn create(path: &std::path::Path, config: DbConfig) -> Result<Self, CdbError> {
+        let pager =
+            FilePager::create(path, config.page_size).map_err(|e| CdbError::Io(e.to_string()))?;
+        let mut db = Self::with_pager(Box::new(pager), config);
+        db.dirty = true;
+        db.checkpoint()?;
+        Ok(db)
+    }
+
+    /// Opens an existing database file and rebuilds every relation —
+    /// heaps, slot tables, dual indexes, R⁺-tree, planner EWMAs — from the
+    /// committed catalog, without scanning the heap. The page size comes
+    /// from the file header and the default strategy from the catalog.
+    ///
+    /// # Errors
+    /// [`CdbError::CorruptRecord`] (with id [`crate::error::CATALOG_RECORD`])
+    /// when the header, meta chain or catalog blob fails validation — a
+    /// torn or tampered file is reported, never served as an empty
+    /// database. [`CdbError::Io`] for operating-system failures.
+    pub fn open(path: &std::path::Path) -> Result<Self, CdbError> {
+        fn lift(e: std::io::Error) -> CdbError {
+            // Both failed validation and hitting EOF mid-structure mean the
+            // file is not a whole database.
+            match e.kind() {
+                std::io::ErrorKind::InvalidData | std::io::ErrorKind::UnexpectedEof => {
+                    CdbError::CorruptRecord(crate::error::CATALOG_RECORD)
+                }
+                _ => CdbError::Io(e.to_string()),
+            }
+        }
+        let pager = FilePager::open(path).map_err(lift)?;
+        let blob = pager
+            .read_meta()
+            .map_err(lift)?
+            .ok_or(CdbError::CorruptRecord(crate::error::CATALOG_RECORD))?;
+        let page_size = pager.page_size();
+        let (strategy, relations) = crate::catalog::decode(&blob, page_size)?;
+        Ok(ConstraintDb {
+            pager: Box::new(pager),
+            config: DbConfig {
+                page_size,
+                strategy,
+            },
+            relations,
+            dirty: false,
+            // Restored catalogs start at version 0 (see
+            // `PlanCatalog::from_entries`), so the committed sum is 0.
+            committed_plan_version: 0,
+        })
+    }
+
+    fn plan_version_sum(&self) -> u64 {
+        self.relations.values().map(|r| r.catalog.version()).sum()
+    }
+
+    /// Serializes the catalog (relations, index metadata, planner EWMAs)
+    /// and commits it through the pager's shadow-page protocol. A no-op
+    /// when nothing changed since the last checkpoint. After a crash, a
+    /// reader sees either the previous catalog or this one — never a
+    /// mixture.
+    ///
+    /// # Errors
+    /// [`CdbError::Io`] when a page write or sync fails; the previously
+    /// committed catalog stays readable.
+    pub fn checkpoint(&mut self) -> Result<(), CdbError> {
+        let vsum = self.plan_version_sum();
+        if !self.dirty && vsum == self.committed_plan_version {
+            return Ok(());
+        }
+        let blob = crate::catalog::encode(self.config.strategy, &self.relations);
+        self.pager
+            .commit_meta(&blob)
+            .map_err(|e| CdbError::Io(e.to_string()))?;
+        self.dirty = false;
+        self.committed_plan_version = vsum;
+        Ok(())
+    }
+
+    /// Checkpoints and consumes the engine. `commit_meta` syncs the file,
+    /// so a successful `close` means everything is durable.
+    ///
+    /// # Errors
+    /// [`CdbError::Io`] when the final checkpoint fails.
+    pub fn close(mut self) -> Result<(), CdbError> {
+        self.checkpoint()
     }
 
     /// I/O accounting of the underlying pager.
@@ -317,6 +424,7 @@ impl ConstraintDb {
             return Err(CdbError::RelationExists(name.into()));
         }
         assert!(dim >= 1, "dimension must be positive");
+        self.dirty = true;
         let heap = HeapFile::new(self.pager.as_mut());
         self.relations.insert(
             name.to_string(),
@@ -349,6 +457,7 @@ impl ConstraintDb {
             .relations
             .remove(name)
             .ok_or_else(|| CdbError::RelationNotFound(name.into()))?;
+        self.dirty = true;
         let pager = self.pager.as_mut();
         rel.heap.destroy(pager);
         if let Some(idx) = rel.index {
@@ -407,6 +516,7 @@ impl ConstraintDb {
         if !tuple.is_satisfiable() {
             return Err(CdbError::UnsatisfiableTuple);
         }
+        self.dirty = true;
         let pager = self.pager.as_mut();
         let rel = self.relations.get_mut(name).expect("checked above");
         let rid = rel.heap.insert(pager, &tuple.encode());
@@ -440,6 +550,7 @@ impl ConstraintDb {
             .get_mut(name)
             .ok_or_else(|| CdbError::RelationNotFound(name.into()))?;
         let tuple = rel.fetch(&*pager, id)?;
+        self.dirty = true;
         let rid = rel.slots[id as usize].take().expect("checked by fetch");
         rel.heap.delete(pager, rid);
         rel.by_record.remove(&rid);
@@ -476,6 +587,7 @@ impl ConstraintDb {
             ));
         }
         let tuples = rel.scan(&*pager)?;
+        self.dirty = true;
         if let Some(old) = rel.index.take() {
             old.destroy(pager);
         }
@@ -498,6 +610,7 @@ impl ConstraintDb {
             });
         }
         let tuples = rel.scan(&*pager)?;
+        self.dirty = true;
         if let Some(old) = rel.index_d.take() {
             old.destroy(pager);
         }
@@ -520,6 +633,7 @@ impl ConstraintDb {
             ));
         }
         let tuples = rel.scan(&*pager)?;
+        self.dirty = true;
         let mut entries = Vec::new();
         let mut unbounded = Vec::new();
         for (id, t) in &tuples {
@@ -535,6 +649,7 @@ impl ConstraintDb {
             tree: RPlusTree::pack(pager, &entries, fill),
             unbounded,
             dead: Vec::new(),
+            fill,
         });
         Ok(())
     }
@@ -553,6 +668,7 @@ impl ConstraintDb {
             return Err(CdbError::NoIndex(name.into()));
         };
         idx.refresh_handicaps(pager, &tuples);
+        self.dirty = true;
         Ok(())
     }
 
@@ -606,7 +722,7 @@ impl ConstraintDb {
         let forced = Self::forced_kind(strategy, rel, name)?;
         let methods = rel.access_methods(self.config.page_size);
         let refs: Vec<&dyn AccessMethod> = methods.iter().map(|m| m.as_ref()).collect();
-        let (mi, plan) = Planner::choose(&refs, sel, forced, rel.catalog())?;
+        let (mi, plan) = Planner::choose(&refs, sel, forced, rel.catalog(), true)?;
         let source = HeapSource {
             heap: &rel.heap,
             slots: &rel.slots,
@@ -652,7 +768,9 @@ impl ConstraintDb {
         }
         let methods = rel.access_methods(self.config.page_size);
         let refs: Vec<&dyn AccessMethod> = methods.iter().map(|m| m.as_ref()).collect();
-        Planner::choose(&refs, sel, None, rel.catalog()).map(|(_, p)| p)
+        // `explore = false`: EXPLAIN must be deterministic and side-effect
+        // free, so planning never burns an exploration probe tick.
+        Planner::choose(&refs, sel, None, rel.catalog(), false).map(|(_, p)| p)
     }
 
     /// EXPLAIN ANALYZE: plans with the engine's default strategy, executes

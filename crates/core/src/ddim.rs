@@ -117,6 +117,23 @@ impl SlopePoints {
         }
     }
 
+    /// Re-attaches a set from persisted parts, restoring the grid axes that
+    /// [`grid`](Self::grid) would have computed.
+    pub(crate) fn from_parts(
+        dim: usize,
+        points: Vec<Vec<f64>>,
+        grid_axes: Option<Vec<Vec<f64>>>,
+    ) -> Self {
+        let mut sp = SlopePoints::new(dim, points);
+        sp.grid_axes = grid_axes;
+        sp
+    }
+
+    /// The per-axis grid coordinates, when grid-constructed.
+    pub(crate) fn grid_axes(&self) -> Option<&[Vec<f64>]> {
+        self.grid_axes.as_deref()
+    }
+
     /// Ambient dimension `d`.
     pub fn dim(&self) -> usize {
         self.dim
@@ -434,6 +451,19 @@ impl DualIndexD {
                 }
             }
         }
+    }
+
+    /// Re-attaches an index from persisted parts; the trees' node pages
+    /// (whole-cell handicaps included) are already on disk.
+    pub(crate) fn from_parts(points: SlopePoints, trees: Vec<(BTree, BTree)>) -> Self {
+        assert_eq!(points.len(), trees.len(), "one tree pair per slope point");
+        DualIndexD { points, trees }
+    }
+
+    /// The `(B^up, B^down)` trees per slope point — what the catalog
+    /// persists.
+    pub(crate) fn tree_pairs(&self) -> impl Iterator<Item = (&BTree, &BTree)> {
+        self.trees.iter().map(|(u, d)| (u, d))
     }
 
     /// The slope-point set `S`.

@@ -1,5 +1,10 @@
 //! Error type of the engine facade.
 
+/// Sentinel tuple id carried by [`CdbError::CorruptRecord`] when the
+/// database *catalog* — not an individual stored tuple — fails validation
+/// (bad magic, checksum mismatch, truncated blob, torn meta chain).
+pub const CATALOG_RECORD: u32 = u32::MAX;
+
 /// Errors surfaced by the `cdb-core` public API.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum CdbError {
@@ -26,8 +31,12 @@ pub enum CdbError {
     /// query boundary, or a d-dimensional slope outside the hull of `S`).
     UnsupportedQuery(String),
     /// A stored heap record failed to decode back into a generalized tuple
-    /// (truncated or overwritten bytes). Carries the offending tuple id.
+    /// (truncated or overwritten bytes). Carries the offending tuple id,
+    /// or [`CATALOG_RECORD`] when the database catalog itself is corrupt.
     CorruptRecord(u32),
+    /// An operating-system I/O failure from the underlying file pager
+    /// (open, read, write or sync). Carries the OS error message.
+    Io(String),
 }
 
 impl std::fmt::Display for CdbError {
@@ -47,9 +56,13 @@ impl std::fmt::Display for CdbError {
             CdbError::NoSuchTuple(id) => write!(f, "no tuple with id {id}"),
             CdbError::NoIndex(n) => write!(f, "relation '{n}' has no dual index"),
             CdbError::UnsupportedQuery(m) => write!(f, "unsupported query: {m}"),
+            CdbError::CorruptRecord(id) if *id == CATALOG_RECORD => {
+                write!(f, "database catalog is corrupt (failed to decode)")
+            }
             CdbError::CorruptRecord(id) => {
                 write!(f, "heap record of tuple {id} is corrupt (failed to decode)")
             }
+            CdbError::Io(msg) => write!(f, "i/o error: {msg}"),
         }
     }
 }

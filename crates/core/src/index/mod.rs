@@ -134,6 +134,34 @@ impl DualIndex {
         idx
     }
 
+    /// Re-attaches an index from persisted metadata. The trees' node pages
+    /// (handicaps included — they live in the bucket leaves) are already on
+    /// disk; `pairs` supplies the `(B^up, B^down)` trees per slope in slope
+    /// order.
+    pub(crate) fn from_parts(
+        slopes: SlopeSet,
+        pairs: Vec<(BTree, BTree)>,
+        anchor_x: f64,
+        dirty: bool,
+    ) -> Self {
+        assert_eq!(slopes.len(), pairs.len(), "one tree pair per slope");
+        DualIndex {
+            slopes,
+            pairs: pairs
+                .into_iter()
+                .map(|(up, down)| TreePair { up, down })
+                .collect(),
+            anchor_x,
+            dirty,
+        }
+    }
+
+    /// The `(B^up, B^down)` trees per slope, in slope order — what the
+    /// catalog persists.
+    pub(crate) fn tree_pairs(&self) -> impl Iterator<Item = (&BTree, &BTree)> {
+        self.pairs.iter().map(|p| (&p.up, &p.down))
+    }
+
     /// The slope set `S`.
     pub fn slopes(&self) -> &SlopeSet {
         &self.slopes

@@ -41,6 +41,7 @@
 //! observed per-plan statistics, and
 //! [`db::ConstraintDb::explain`] renders the decision next to the actuals.
 
+pub mod catalog;
 pub mod db;
 pub mod ddim;
 pub mod error;
@@ -52,7 +53,7 @@ pub mod query;
 pub mod slopes;
 
 pub use db::{ConstraintDb, DbConfig};
-pub use error::CdbError;
+pub use error::{CdbError, CATALOG_RECORD};
 pub use exec::QueryExecutor;
 pub use index::DualIndex;
 pub use plan::{

@@ -31,6 +31,7 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use cdb_btree::layout::leaf_capacity;
@@ -51,6 +52,17 @@ pub const DEFAULT_SELECTIVITY: f64 = 0.125;
 
 /// EWMA weight of the newest observation in the feedback catalog.
 const EWMA_ALPHA: f64 = 0.3;
+
+/// A rival access method whose estimate is within this factor of the
+/// incumbent's counts as a near-tie and is eligible for an exploration
+/// probe.
+const NEAR_TIE_RATIO: f64 = 1.2;
+
+/// Every `PROBE_PERIOD`-th executed query with a near-tie is served by the
+/// least-sampled rival instead of the incumbent, so the rival's observed
+/// candidate fraction stays calibrated instead of one method locking in
+/// forever on stale feedback.
+const PROBE_PERIOD: u64 = 16;
 
 /// Identifies an access method independent of its borrowed adapter.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -762,6 +774,13 @@ pub struct Observation {
 #[derive(Debug, Default)]
 pub struct PlanCatalog {
     inner: Mutex<HashMap<(MethodKind, SelectionKind), Observation>>,
+    /// Bumped on every [`record`](Self::record); the database uses it to
+    /// detect planner-state changes behind `&self` queries, so a catalog
+    /// checkpoint is written only when something actually moved.
+    version: AtomicU64,
+    /// Monotone counter driving the exploration probes (persisted so a
+    /// reopened database keeps its probe cadence).
+    probe_clock: AtomicU64,
 }
 
 impl PlanCatalog {
@@ -770,11 +789,69 @@ impl PlanCatalog {
         Self::default()
     }
 
+    /// Restores a catalog from persisted entries and probe clock.
+    pub fn from_entries(
+        entries: &[(MethodKind, SelectionKind, Observation)],
+        probe_clock: u64,
+    ) -> Self {
+        PlanCatalog {
+            inner: Mutex::new(
+                entries
+                    .iter()
+                    .map(|&(m, k, o)| ((m, k), o))
+                    .collect::<HashMap<_, _>>(),
+            ),
+            version: AtomicU64::new(0),
+            probe_clock: AtomicU64::new(probe_clock),
+        }
+    }
+
+    /// Snapshot of every entry, deterministically ordered (for
+    /// serialization and reproducible diffs).
+    pub fn entries(&self) -> Vec<(MethodKind, SelectionKind, Observation)> {
+        fn method_rank(m: MethodKind) -> u8 {
+            match m {
+                MethodKind::Restricted => 0,
+                MethodKind::T1 => 1,
+                MethodKind::T2 => 2,
+                MethodKind::DualD => 3,
+                MethodKind::SeqScan => 4,
+                MethodKind::RPlus => 5,
+            }
+        }
+        fn kind_rank(k: SelectionKind) -> u8 {
+            match k {
+                SelectionKind::Exist => 0,
+                SelectionKind::All => 1,
+            }
+        }
+        let map = self.inner.lock().expect("catalog poisoned");
+        let mut out: Vec<_> = map.iter().map(|(&(m, k), &o)| (m, k, o)).collect();
+        out.sort_by_key(|&(m, k, _)| (method_rank(m), kind_rank(k)));
+        out
+    }
+
+    /// Number of [`record`](Self::record) calls since construction.
+    pub fn version(&self) -> u64 {
+        self.version.load(Ordering::Relaxed)
+    }
+
+    /// The exploration probe clock (see [`Planner::choose`]).
+    pub fn probe_clock(&self) -> u64 {
+        self.probe_clock.load(Ordering::Relaxed)
+    }
+
+    /// Advances the probe clock, returning the new tick value.
+    fn probe_tick(&self) -> u64 {
+        self.probe_clock.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
     /// Folds one executed query's actuals into the catalog.
     pub fn record(&self, method: MethodKind, kind: SelectionKind, stats: &QueryStats, n: u64) {
         if n == 0 {
             return;
         }
+        self.version.fetch_add(1, Ordering::Relaxed);
         let frac = stats.candidates as f64 / n as f64;
         let pages = stats.total_accesses() as f64;
         let mut map = self.inner.lock().expect("catalog poisoned");
@@ -855,6 +932,9 @@ pub struct QueryPlan {
     pub estimate: CostEstimate,
     /// The candidate fraction the estimates were evaluated at.
     pub frac: f64,
+    /// `true` when the method was picked as an exploration probe of a
+    /// near-tie rival rather than as the cheapest estimate.
+    pub explored: bool,
     /// Every feasible method with its estimate, cheapest first.
     pub considered: Vec<(MethodKind, CostEstimate)>,
     /// Methods that cannot serve this selection, with reasons.
@@ -869,7 +949,13 @@ impl QueryPlan {
         out.push_str(&format!(
             "method={} ({})  case: {}\n",
             self.method,
-            if self.forced { "forced" } else { "cost-based" },
+            if self.forced {
+                "forced"
+            } else if self.explored {
+                "cost-based, exploration probe"
+            } else {
+                "cost-based"
+            },
             self.case
         ));
         out.push_str(&format!(
@@ -909,6 +995,13 @@ impl Planner {
     /// Plans `sel` over `methods`. Returns the index of the chosen method
     /// in `methods` plus the [`QueryPlan`].
     ///
+    /// With `explore` set (queries that will actually execute), every
+    /// `PROBE_PERIOD`-th decision with a near-tie — a rival estimated
+    /// within `NEAR_TIE_RATIO` of the incumbent — picks the rival with
+    /// the fewest recorded samples instead, keeping its observed candidate
+    /// fraction calibrated. Pure planning calls (EXPLAIN-style) pass
+    /// `false` so they are side-effect-free and deterministic.
+    ///
     /// # Errors
     /// [`CdbError::UnsupportedQuery`] when `forced` names a method that is
     /// absent or cannot serve the selection, or when no method can.
@@ -917,6 +1010,7 @@ impl Planner {
         sel: &Selection,
         forced: Option<MethodKind>,
         catalog: &PlanCatalog,
+        explore: bool,
     ) -> Result<(usize, QueryPlan), CdbError> {
         let mut considered: Vec<(usize, MethodKind, Capability, CostEstimate, f64)> = Vec::new();
         let mut rejected: Vec<(MethodKind, String)> = Vec::new();
@@ -937,6 +1031,7 @@ impl Planner {
                 .partial_cmp(&b.3.total())
                 .unwrap_or(std::cmp::Ordering::Equal)
         });
+        let mut explored = false;
         let chosen = match forced {
             Some(k) => considered.iter().position(|c| c.1 == k).ok_or_else(|| {
                 if let Some((_, why)) = rejected.iter().find(|(m, _)| *m == k) {
@@ -958,7 +1053,21 @@ impl Planner {
                         reasons.join("; ")
                     )));
                 }
-                0
+                let mut pick = 0;
+                if explore
+                    && considered.len() > 1
+                    && catalog.probe_tick().is_multiple_of(PROBE_PERIOD)
+                {
+                    let best_total = considered[0].3.total();
+                    let probe = (1..considered.len())
+                        .filter(|&i| considered[i].3.total() <= NEAR_TIE_RATIO * best_total)
+                        .min_by_key(|&i| catalog.samples(considered[i].1, sel.kind));
+                    if let Some(i) = probe {
+                        pick = i;
+                        explored = true;
+                    }
+                }
+                pick
             }
         };
         let (mi, kind, cap, est, frac) = considered[chosen].clone();
@@ -971,6 +1080,7 @@ impl Planner {
             refinement: detail.refinement,
             estimate: est,
             frac,
+            explored,
             considered: considered.iter().map(|(_, m, _, e, _)| (*m, *e)).collect(),
             rejected,
         };
@@ -1062,6 +1172,27 @@ mod tests {
         assert!((g - 0.1).abs() < 1e-9);
         // Different selection kind: still no data.
         assert_eq!(cat.frac_for(MethodKind::T2, SelectionKind::All), None);
+    }
+
+    #[test]
+    fn catalog_entries_round_trip() {
+        let cat = PlanCatalog::new();
+        let stats = QueryStats {
+            candidates: 120,
+            ..QueryStats::default()
+        };
+        cat.record(MethodKind::T2, SelectionKind::Exist, &stats, 1000);
+        cat.record(MethodKind::RPlus, SelectionKind::All, &stats, 1000);
+        assert_eq!(cat.version(), 2, "each record bumps the version");
+        let entries = cat.entries();
+        assert_eq!(entries.len(), 2);
+        let restored = PlanCatalog::from_entries(&entries, cat.probe_clock());
+        assert_eq!(restored.version(), 0, "a restored catalog starts clean");
+        assert_eq!(restored.probe_clock(), cat.probe_clock());
+        for (m, k, o) in &entries {
+            assert_eq!(restored.frac_for(*m, *k), cat.frac_for(*m, *k));
+            assert_eq!(restored.samples(*m, *k), o.samples);
+        }
     }
 
     #[test]

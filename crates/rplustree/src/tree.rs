@@ -59,6 +59,25 @@ impl RPlusTree {
         }
     }
 
+    /// Re-attaches a tree from persisted metadata without touching the
+    /// pager: node pages are already on disk, so the catalog only needs
+    /// these scalars. The values must describe a tree previously built
+    /// over the same pager.
+    pub fn from_parts(page_size: usize, root: PageId, height: usize, len: u64, pages: u64) -> Self {
+        RPlusTree {
+            page_size,
+            root,
+            height,
+            len,
+            pages,
+        }
+    }
+
+    /// Root page id (persisted by the catalog).
+    pub fn root(&self) -> PageId {
+        self.root
+    }
+
     /// Number of distinct objects inserted.
     pub fn len(&self) -> u64 {
         self.len

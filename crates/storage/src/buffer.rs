@@ -206,6 +206,19 @@ impl<P: Pager> Pager for BufferPool<P> {
     fn reset_stats(&mut self) {
         self.state_mut().stats = IoStats::default();
     }
+
+    fn commit_meta(&mut self, meta: &[u8]) -> std::io::Result<()> {
+        // The inner pager's protocol promises that all page data precedes
+        // the published blob on stable storage, so dirty frames must reach
+        // the device first.
+        let st = self.state_mut();
+        st.flush();
+        st.inner.commit_meta(meta)
+    }
+
+    fn read_meta(&self) -> std::io::Result<Option<Vec<u8>>> {
+        self.lock().inner.read_meta()
+    }
 }
 
 #[cfg(test)]
@@ -313,6 +326,17 @@ mod tests {
         let mut buf = vec![0u8; 64];
         inner.read(a, &mut buf);
         assert_eq!(buf[0], 9);
+    }
+
+    #[test]
+    fn commit_meta_flushes_dirty_frames_first() {
+        let mut pool = BufferPool::new(MemPager::new(64), 8);
+        let a = pool.allocate();
+        pool.write(a, &[4u8; 64]);
+        assert_eq!(pool.physical_stats().writes, 0, "write still buffered");
+        pool.commit_meta(b"snapshot").unwrap();
+        assert_eq!(pool.physical_stats().writes, 1, "commit flushed the frame");
+        assert_eq!(pool.read_meta().unwrap().as_deref(), Some(&b"snapshot"[..]));
     }
 
     #[test]

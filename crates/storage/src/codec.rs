@@ -1,8 +1,17 @@
-//! Little-endian field helpers for on-page layouts.
+//! Little-endian field helpers for on-page layouts, plus a fallible
+//! variable-length record codec for metadata blobs.
 //!
 //! The tree crates serialize node contents by hand so that the on-page
 //! layout — and therefore the fan-out that drives the experimental curves —
 //! is explicit and matches the paper's sizing (4-byte keys and pointers).
+//! The fixed-offset `put_*`/`get_*` helpers serve that purpose and panic on
+//! out-of-bounds offsets (a layout bug, not a data error).
+//!
+//! Catalog records read back from disk are a different regime: the bytes
+//! may be torn or overwritten, so decoding must *fail*, not panic.
+//! [`RecordWriter`]/[`RecordReader`] provide a length-prefixed sequential
+//! codec whose every read returns a [`CodecError`] on truncation, and
+//! [`crc32`] provides the checksum that detects silent corruption.
 
 /// Writes a `u16` at `off`.
 #[inline]
@@ -55,6 +64,205 @@ pub fn get_f64(buf: &[u8], off: usize) -> f64 {
     f64::from_le_bytes(b)
 }
 
+/// Error produced when decoding a variable-length record fails.
+///
+/// Decoding failures are expected events (torn writes, bit rot, stale
+/// software reading a newer format), so they are reported, never panicked.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CodecError {
+    /// The buffer ended before the field could be read.
+    Truncated,
+    /// A field was read but its value is impossible (bad magic, bad tag,
+    /// an inner length larger than the remaining buffer, …).
+    Invalid(&'static str),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "record truncated"),
+            CodecError::Invalid(what) => write!(f, "invalid record field: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Sequential little-endian record writer used for metadata blobs.
+///
+/// Unlike the fixed-offset helpers above, the writer owns a growable
+/// buffer, so encoding can never fail; all layout decisions live in the
+/// order of `put_*` calls, mirrored exactly by the [`RecordReader`].
+#[derive(Debug, Default)]
+pub struct RecordWriter {
+    buf: Vec<u8>,
+}
+
+impl RecordWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consumes the writer and returns the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Appends a `u8`.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a `u16`.
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f64`.
+    pub fn put_f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u32` length prefix followed by the raw bytes.
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.put_u32(u32::try_from(v.len()).expect("record field over 4 GiB"));
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, v: &str) {
+        self.put_bytes(v.as_bytes());
+    }
+}
+
+/// Sequential fallible reader over bytes produced by [`RecordWriter`].
+#[derive(Clone, Copy, Debug)]
+pub struct RecordReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> RecordReader<'a> {
+    /// Creates a reader positioned at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Bytes left to read.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads a `u8`.
+    pub fn get_u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a `u16`.
+    pub fn get_u16(&mut self) -> Result<u16, CodecError> {
+        let s = self.take(2)?;
+        Ok(u16::from_le_bytes([s[0], s[1]]))
+    }
+
+    /// Reads a `u32`.
+    pub fn get_u32(&mut self) -> Result<u32, CodecError> {
+        let s = self.take(4)?;
+        Ok(u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
+    }
+
+    /// Reads a `u64`.
+    pub fn get_u64(&mut self) -> Result<u64, CodecError> {
+        let s = self.take(8)?;
+        let mut b = [0u8; 8];
+        b.copy_from_slice(s);
+        Ok(u64::from_le_bytes(b))
+    }
+
+    /// Reads an `f64`.
+    pub fn get_f64(&mut self) -> Result<f64, CodecError> {
+        let s = self.take(8)?;
+        let mut b = [0u8; 8];
+        b.copy_from_slice(s);
+        Ok(f64::from_le_bytes(b))
+    }
+
+    /// Reads a length-prefixed byte slice. A prefix larger than the
+    /// remaining buffer reads as [`CodecError::Truncated`] — from the
+    /// reader's side it is indistinguishable from a cut-off record.
+    pub fn get_bytes(&mut self) -> Result<&'a [u8], CodecError> {
+        let n = self.get_u32()? as usize;
+        self.take(n)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> Result<&'a str, CodecError> {
+        std::str::from_utf8(self.get_bytes()?).map_err(|_| CodecError::Invalid("non-UTF-8 string"))
+    }
+}
+
+/// IEEE CRC-32 (the ubiquitous reflected 0xEDB88320 polynomial), table-driven.
+///
+/// Used to checksum the catalog blob and the pager's metadata descriptors so
+/// that torn or bit-flipped pages are detected instead of deserialized.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = crc32_table();
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            bit += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -88,5 +296,71 @@ mod tests {
     fn out_of_bounds_panics() {
         let mut buf = vec![0u8; 4];
         put_u32(&mut buf, 2, 1);
+    }
+
+    #[test]
+    fn record_round_trips() {
+        let mut w = RecordWriter::new();
+        w.put_u8(7);
+        w.put_u16(0xBEEF);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(u64::MAX - 3);
+        w.put_f64(-0.125);
+        w.put_str("relation-name");
+        w.put_bytes(&[1, 2, 3]);
+        let bytes = w.into_bytes();
+
+        let mut r = RecordReader::new(&bytes);
+        assert_eq!(r.get_u8(), Ok(7));
+        assert_eq!(r.get_u16(), Ok(0xBEEF));
+        assert_eq!(r.get_u32(), Ok(0xDEAD_BEEF));
+        assert_eq!(r.get_u64(), Ok(u64::MAX - 3));
+        assert_eq!(r.get_f64(), Ok(-0.125));
+        assert_eq!(r.get_str(), Ok("relation-name"));
+        assert_eq!(r.get_bytes(), Ok(&[1u8, 2, 3][..]));
+        assert_eq!(r.remaining(), 0);
+        assert_eq!(r.get_u8(), Err(CodecError::Truncated));
+    }
+
+    #[test]
+    fn truncated_record_is_an_error() {
+        let mut w = RecordWriter::new();
+        w.put_str("abcdef");
+        let mut bytes = w.into_bytes();
+        bytes.truncate(bytes.len() - 2);
+        let mut r = RecordReader::new(&bytes);
+        assert_eq!(r.get_str(), Err(CodecError::Truncated));
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_truncation() {
+        let mut bytes = vec![0u8; 8];
+        put_u32(&mut bytes, 0, 1_000_000);
+        let mut r = RecordReader::new(&bytes);
+        assert_eq!(r.get_bytes(), Err(CodecError::Truncated));
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard IEEE CRC-32 check values.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn crc32_detects_single_bit_flips() {
+        let mut data = b"catalog page payload".to_vec();
+        let base = crc32(&data);
+        for byte in 0..data.len() {
+            for bit in 0..8 {
+                data[byte] ^= 1 << bit;
+                assert_ne!(crc32(&data), base);
+                data[byte] ^= 1 << bit;
+            }
+        }
     }
 }

@@ -47,6 +47,19 @@ impl HeapFile {
         }
     }
 
+    /// Re-attaches a heap from its persisted page list (the pages must
+    /// already be allocated in the pager and hold valid slotted content).
+    pub fn from_pages(page_size: usize, pages: Vec<PageId>) -> Self {
+        HeapFile { pages, page_size }
+    }
+
+    /// The page ids owned by the heap, in insertion order. This list is what
+    /// the catalog persists so a reopened database can re-attach the heap
+    /// without rescanning.
+    pub fn pages(&self) -> &[PageId] {
+        &self.pages
+    }
+
     /// Largest record storable on a page of this heap.
     pub fn max_record_len(&self) -> usize {
         self.page_size - HDR - SLOT

@@ -13,7 +13,8 @@
 //!   logical from physical I/O;
 //! * [`heap::HeapFile`] — a slotted-page heap for variable-length records
 //!   (tuple payloads fetched by the refinement step);
-//! * [`codec`] — little-endian page field helpers shared by the tree crates.
+//! * [`codec`] — little-endian page field helpers shared by the tree crates,
+//!   plus the fallible record codec and CRC-32 behind the durable catalog.
 //!
 //! The pager interface is split into a read half ([`PageReader`], `&self`)
 //! and a write half ([`Pager`], `&mut self`), so a built structure can serve
@@ -29,6 +30,8 @@ pub mod stats;
 pub mod tracked;
 
 pub use buffer::BufferPool;
+pub use codec::{crc32, CodecError, RecordReader, RecordWriter};
+pub use file::FilePager;
 pub use heap::{HeapFile, RecordId};
 pub use pager::{MemPager, PageId, PageReader, Pager, DEFAULT_PAGE_SIZE};
 pub use stats::IoStats;

@@ -60,6 +60,23 @@ pub trait Pager: PageReader + Send + Sync {
 
     /// Zeroes the access counters (not the space usage).
     fn reset_stats(&mut self);
+
+    /// Durably installs `meta` as the pager's metadata blob.
+    ///
+    /// The blob is the database catalog: it must become the value returned
+    /// by [`read_meta`](Self::read_meta) atomically — after a crash, a
+    /// reader sees either the previous committed blob or this one, never a
+    /// mixture. Durable implementations sync page data before publishing
+    /// the new blob, so a successful return means both the blob *and* all
+    /// preceding page writes are on stable storage.
+    fn commit_meta(&mut self, meta: &[u8]) -> std::io::Result<()>;
+
+    /// Returns the most recently committed metadata blob, if any.
+    ///
+    /// A checksum or structural failure while reading the current blob is
+    /// reported as [`std::io::ErrorKind::InvalidData`] — corruption is an
+    /// error, never an empty database.
+    fn read_meta(&self) -> std::io::Result<Option<Vec<u8>>>;
 }
 
 /// Interior-mutable [`IoStats`]: reads bump a counter behind `&self`.
@@ -111,6 +128,7 @@ pub struct MemPager {
     page_size: usize,
     pages: Vec<Option<Box<[u8]>>>,
     free_list: Vec<PageId>,
+    meta: Option<Vec<u8>>,
     stats: AtomicStats,
 }
 
@@ -125,6 +143,7 @@ impl MemPager {
             page_size,
             pages: Vec::new(),
             free_list: Vec::new(),
+            meta: None,
             stats: AtomicStats::default(),
         }
     }
@@ -204,6 +223,15 @@ impl Pager for MemPager {
     fn reset_stats(&mut self) {
         self.stats.reset();
     }
+
+    fn commit_meta(&mut self, meta: &[u8]) -> std::io::Result<()> {
+        self.meta = Some(meta.to_vec());
+        Ok(())
+    }
+
+    fn read_meta(&self) -> std::io::Result<Option<Vec<u8>>> {
+        Ok(self.meta.clone())
+    }
 }
 
 #[cfg(test)]
@@ -281,6 +309,16 @@ mod tests {
             }
         });
         assert_eq!(p.stats().reads, 100, "every thread's reads accounted");
+    }
+
+    #[test]
+    fn meta_round_trips() {
+        let mut p = MemPager::new(64);
+        assert_eq!(p.read_meta().unwrap(), None);
+        p.commit_meta(b"catalog v1").unwrap();
+        assert_eq!(p.read_meta().unwrap().as_deref(), Some(&b"catalog v1"[..]));
+        p.commit_meta(b"catalog v2").unwrap();
+        assert_eq!(p.read_meta().unwrap().as_deref(), Some(&b"catalog v2"[..]));
     }
 
     #[test]

@@ -1,0 +1,76 @@
+//! Measures what persisting the planner's feedback catalog buys: the mean
+//! relative error of the planner's page-access estimate on the *first*
+//! queries a database serves after `open`, with the restored EWMAs versus
+//! a cold catalog over the same data.
+//!
+//! ```text
+//! cargo run --release --example persisted_ewma
+//! ```
+
+use constraint_db::prelude::*;
+use constraint_db::workload::{CalibratedQuery, QueryKind};
+
+fn selection_of(q: &CalibratedQuery) -> Selection {
+    match q.kind {
+        QueryKind::All => Selection::all(q.halfplane.clone()),
+        QueryKind::Exist => Selection::exist(q.halfplane.clone()),
+    }
+}
+
+/// Mean relative error of estimated vs actual total page accesses over the
+/// battery, querying with the planner (`Strategy::Auto`).
+fn first_query_error(db: &ConstraintDb, battery: &[CalibratedQuery]) -> f64 {
+    let mut err = 0.0;
+    for q in battery {
+        let report = db.explain("r", selection_of(q)).expect("indexed query");
+        let est = report.plan.estimate.total();
+        let actual = report.result.stats.total_accesses() as f64;
+        err += (est - actual).abs() / actual.max(1.0);
+    }
+    err / battery.len() as f64
+}
+
+fn build(db: &mut ConstraintDb, tuples: &[GeneralizedTuple]) {
+    db.create_relation("r", 2).unwrap();
+    for t in tuples {
+        db.insert("r", t.clone()).unwrap();
+    }
+    db.build_dual_index("r", SlopeSet::uniform_tan(4)).unwrap();
+    db.build_rplus_index("r", 1.0).unwrap();
+}
+
+fn main() {
+    let n = 2000;
+    let spec = DatasetSpec::paper_1999(n, ObjectSize::Small, 11);
+    let tuples = spec.generate();
+    let mut qg = QueryGen::new(0xE1A);
+    let warmup = qg.battery(&tuples, 40, 0.05, 0.6);
+    let probe = qg.battery(&tuples, 20, 0.05, 0.6);
+
+    let path = std::env::temp_dir().join(format!("cdb_ewma_{}", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+
+    // Warm database: serve traffic, checkpoint, close, reopen.
+    let mut db = ConstraintDb::create(&path, DbConfig::paper_1999()).unwrap();
+    build(&mut db, &tuples);
+    for q in &warmup {
+        db.query("r", selection_of(q)).unwrap();
+    }
+    db.close().unwrap();
+    let warm = ConstraintDb::open(&path).unwrap();
+    let warm_err = first_query_error(&warm, &probe);
+
+    // Cold database: identical data and indexes, empty catalog.
+    let mut cold = ConstraintDb::in_memory(DbConfig::paper_1999());
+    build(&mut cold, &tuples);
+    let cold_err = first_query_error(&cold, &probe);
+
+    println!(
+        "persisted-EWMA effect (N = {n}, {} probe queries):",
+        probe.len()
+    );
+    println!("  cold catalog (fresh build):     mean relative estimate error {cold_err:.3}");
+    println!("  restored catalog (after open):  mean relative estimate error {warm_err:.3}");
+
+    let _ = std::fs::remove_file(&path);
+}

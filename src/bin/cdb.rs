@@ -212,6 +212,36 @@ fn run_command(db: &mut ConstraintDb, line: &str) -> Result<String, String> {
                 io.writes
             ))
         }
+        "open" => {
+            let path = std::path::Path::new(rest.trim());
+            if path.as_os_str().is_empty() {
+                return Err("usage: open <path>".into());
+            }
+            let (opened, verb) = if path.exists() {
+                (
+                    ConstraintDb::open(path).map_err(|e| e.to_string())?,
+                    "opened",
+                )
+            } else {
+                (
+                    ConstraintDb::create(path, DbConfig::paper_1999())
+                        .map_err(|e| e.to_string())?,
+                    "created",
+                )
+            };
+            let rels = opened.relation_names();
+            *db = opened;
+            Ok(format!(
+                "{verb} {} ({} relations: {:?})",
+                path.display(),
+                rels.len(),
+                rels
+            ))
+        }
+        "save" => {
+            db.checkpoint().map_err(|e| e.to_string())?;
+            Ok("catalog checkpointed".into())
+        }
         other => Err(format!("unknown command '{other}' — try 'help'")),
     }
 }
@@ -245,5 +275,8 @@ commands:
                             plan + execute: chosen method, estimate vs actual
   show <rel> <id>           print a stored tuple
   stats                     pager statistics
+  open <path>               open (or create) an on-disk database file;
+                            replaces the current in-memory session
+  save                      checkpoint the catalog to the open file
   quit
 "#;

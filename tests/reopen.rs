@@ -1,0 +1,337 @@
+//! Durable lifecycle: a database built with every index family, mixed
+//! insert/delete traffic and planner feedback must close, reopen from its
+//! catalog alone (no heap rescans) and answer every query identically —
+//! and a torn or corrupted catalog must surface as
+//! [`CdbError::CorruptRecord`], never as a panic or a silently empty
+//! database.
+
+use constraint_db::index::ddim::SlopePoints;
+use constraint_db::index::error::{CdbError, CATALOG_RECORD};
+use constraint_db::index::query::Strategy;
+use constraint_db::prelude::*;
+use constraint_db::storage::file::FilePager;
+
+use std::io::{Seek, SeekFrom, Write as _};
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("cdb_it_{name}_{}", std::process::id()));
+    p
+}
+
+/// Builds the full randomized workload at `path`: a 2-D relation with the
+/// dual index and the R⁺-tree baseline under mixed insert/delete traffic,
+/// plus a 3-D relation with the d-dimensional index. Returns the battery
+/// of 2-D selections used for equivalence checks.
+fn build_workload(path: &std::path::Path, seed: u64) -> (ConstraintDb, Vec<Selection>) {
+    let mut rng = cdb_prng::StdRng::seed_from_u64(seed);
+    let mut db = ConstraintDb::create(path, DbConfig::paper_1999()).unwrap();
+
+    db.create_relation("r", 2).unwrap();
+    let tuples = DatasetSpec::paper_1999(200, ObjectSize::Small, seed).generate();
+    for t in &tuples {
+        db.insert("r", t.clone()).unwrap();
+    }
+    db.build_dual_index("r", SlopeSet::uniform_tan(4)).unwrap();
+    db.build_rplus_index("r", 1.0).unwrap();
+    // Deletes after the builds: dual-index removals plus R⁺ tombstones.
+    for _ in 0..25 {
+        let id = rng.gen_range(0..tuples.len() as u32);
+        let _ = db.delete("r", id); // double deletes simply error
+    }
+    // And fresh inserts on top: tree inserts + R⁺ insert/overflow paths.
+    for t in DatasetSpec::paper_1999(20, ObjectSize::Small, seed ^ 0xFF)
+        .generate()
+        .into_iter()
+    {
+        db.insert("r", t).unwrap();
+    }
+
+    db.create_relation("boxes", 3).unwrap();
+    for _ in 0..60 {
+        let mut cs = Vec::new();
+        for axis in 0..3usize {
+            let lo: f64 = rng.gen_range(-40.0..35.0);
+            let hi = lo + rng.gen_range(1.0..5.0);
+            let mut a = vec![0.0; 3];
+            a[axis] = 1.0;
+            cs.push(LinearConstraint::new(a.clone(), -lo, RelOp::Ge));
+            cs.push(LinearConstraint::new(a, -hi, RelOp::Le));
+        }
+        db.insert("boxes", GeneralizedTuple::new(cs)).unwrap();
+    }
+    db.build_dual_index_d("boxes", SlopePoints::grid(3, 3, 1.0))
+        .unwrap();
+
+    // A slope from S (exact restricted search) plus arbitrary slopes.
+    let member = db
+        .relation("r")
+        .unwrap()
+        .index()
+        .unwrap()
+        .slopes()
+        .as_slice()[1];
+    let mut battery = Vec::new();
+    for slope in [member, 0.37, -0.8, 1.9] {
+        for c in [-5.0, 0.0, 6.0] {
+            battery.push(Selection::exist(HalfPlane::above(slope, c)));
+            battery.push(Selection::all(HalfPlane::below(slope, c)));
+        }
+    }
+    (db, battery)
+}
+
+/// Every strategy the 2-D relation supports, Auto included.
+const STRATEGIES: [Strategy; 5] = [
+    Strategy::Scan,
+    Strategy::T1,
+    Strategy::T2,
+    Strategy::RPlus,
+    Strategy::Auto,
+];
+
+#[test]
+fn reopened_database_answers_identically() {
+    let path = tmp("roundtrip");
+    let (db, battery) = build_workload(&path, 0xC0FFEE);
+
+    // Feed the planner so reopen also restores non-trivial EWMAs.
+    for sel in &battery {
+        db.query("r", sel.clone()).unwrap();
+    }
+    let live_before = db.relation("r").unwrap().len();
+    let mut want_ids = Vec::new();
+    for sel in &battery {
+        for s in STRATEGIES {
+            want_ids.push(db.query_with("r", sel.clone(), s).unwrap().ids().to_vec());
+        }
+    }
+    // Deterministic planner choices (plan_query never explores).
+    let want_plans: Vec<MethodKind> = battery
+        .iter()
+        .map(|sel| db.plan_query("r", sel).unwrap().method)
+        .collect();
+    let want_entries = db.relation("r").unwrap().catalog().entries();
+    let want_boxes = db
+        .query_with(
+            "boxes",
+            Selection::exist(HalfPlane::new(vec![0.3, -0.4], 10.0, RelOp::Ge)),
+            Strategy::Auto,
+        )
+        .unwrap()
+        .ids()
+        .to_vec();
+    db.close().unwrap();
+
+    let db = ConstraintDb::open(&path).unwrap();
+    assert_eq!(
+        db.relation_names(),
+        vec!["boxes".to_string(), "r".to_string()]
+    );
+    assert_eq!(db.relation("r").unwrap().len(), live_before);
+
+    // Planner state first — executing queries would move the EWMAs.
+    let got_plans: Vec<MethodKind> = battery
+        .iter()
+        .map(|sel| db.plan_query("r", sel).unwrap().method)
+        .collect();
+    assert_eq!(got_plans, want_plans, "EXPLAIN choices survive reopen");
+    let got_entries = db.relation("r").unwrap().catalog().entries();
+    assert_eq!(got_entries.len(), want_entries.len());
+    for ((m1, k1, o1), (m2, k2, o2)) in want_entries.iter().zip(&got_entries) {
+        assert_eq!((m1, k1), (m2, k2));
+        assert_eq!(o1.candidate_frac.to_bits(), o2.candidate_frac.to_bits());
+        assert_eq!(o1.total_pages.to_bits(), o2.total_pages.to_bits());
+        assert_eq!(o1.samples, o2.samples);
+    }
+
+    let mut got_ids = Vec::new();
+    for sel in &battery {
+        for s in STRATEGIES {
+            got_ids.push(db.query_with("r", sel.clone(), s).unwrap().ids().to_vec());
+        }
+    }
+    assert_eq!(got_ids, want_ids, "all strategies answer identically");
+    let got_boxes = db
+        .query_with(
+            "boxes",
+            Selection::exist(HalfPlane::new(vec![0.3, -0.4], 10.0, RelOp::Ge)),
+            Strategy::Auto,
+        )
+        .unwrap()
+        .ids()
+        .to_vec();
+    assert_eq!(got_boxes, want_boxes, "d-dimensional index survives reopen");
+
+    db.close().unwrap();
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn reopen_supports_further_updates_and_another_cycle() {
+    let path = tmp("twocycles");
+    let (db, battery) = build_workload(&path, 0xBEEF);
+    db.close().unwrap();
+
+    let mut db = ConstraintDb::open(&path).unwrap();
+    // Mutate the reopened database: its heaps and trees must still be live.
+    let extra = DatasetSpec::paper_1999(10, ObjectSize::Small, 7).generate();
+    for t in &extra {
+        db.insert("r", t.clone()).unwrap();
+    }
+    let deleted = (0..250u32).find(|&id| db.delete("r", id).is_ok());
+    assert!(deleted.is_some(), "found a live tuple to delete");
+    let want: Vec<Vec<u32>> = battery
+        .iter()
+        .map(|sel| {
+            db.query_with("r", sel.clone(), Strategy::Scan)
+                .unwrap()
+                .ids()
+                .to_vec()
+        })
+        .collect();
+    db.close().unwrap();
+
+    let db = ConstraintDb::open(&path).unwrap();
+    for (sel, want) in battery.iter().zip(&want) {
+        for s in STRATEGIES {
+            assert_eq!(
+                db.query_with("r", sel.clone(), s).unwrap().ids(),
+                &want[..],
+                "second-generation reopen, strategy {s:?}"
+            );
+        }
+    }
+    db.close().unwrap();
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn create_then_open_of_empty_database_works() {
+    let path = tmp("empty");
+    ConstraintDb::create(&path, DbConfig::paper_1999())
+        .unwrap()
+        .close()
+        .unwrap();
+    let db = ConstraintDb::open(&path).unwrap();
+    assert!(db.relation_names().is_empty());
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn opening_missing_file_is_io_not_corrupt() {
+    let path = tmp("missing");
+    let _ = std::fs::remove_file(&path);
+    match ConstraintDb::open(&path) {
+        Err(CdbError::Io(_)) => {}
+        Err(other) => panic!("expected Io error, got {other:?}"),
+        Ok(_) => panic!("opened a file that does not exist"),
+    }
+}
+
+#[test]
+fn corrupted_catalog_page_is_reported_not_served_empty() {
+    let path = tmp("flip");
+    let (db, _) = build_workload(&path, 0xF119);
+    db.close().unwrap();
+
+    // Locate a committed catalog page through the pager and flip one byte
+    // in its payload.
+    let victim = {
+        let pager = FilePager::open(&path).unwrap();
+        let pages = pager.current_meta_pages();
+        assert!(!pages.is_empty(), "catalog chain exists");
+        pages[pages.len() / 2]
+    };
+    let page_size = 1024u64;
+    let off = victim as u64 * page_size + 200;
+    let mut f = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+    let mut byte = [0u8];
+    {
+        use std::io::Read as _;
+        let mut rf = std::fs::File::open(&path).unwrap();
+        rf.seek(SeekFrom::Start(off)).unwrap();
+        rf.read_exact(&mut byte).unwrap();
+    }
+    f.seek(SeekFrom::Start(off)).unwrap();
+    f.write_all(&[byte[0] ^ 0x40]).unwrap();
+    f.sync_all().unwrap();
+
+    match ConstraintDb::open(&path) {
+        Err(CdbError::CorruptRecord(id)) => assert_eq!(id, CATALOG_RECORD),
+        Ok(db) => panic!(
+            "corrupt catalog opened silently ({} relations)",
+            db.relation_names().len()
+        ),
+        Err(other) => panic!("expected CorruptRecord, got {other:?}"),
+    }
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn truncated_file_is_corrupt_not_a_panic() {
+    let path = tmp("trunc");
+    let (db, _) = build_workload(&path, 0x7214);
+    db.close().unwrap();
+
+    let f = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+    f.set_len(100).unwrap(); // not even a full header survives
+    f.sync_all().unwrap();
+    match ConstraintDb::open(&path) {
+        Err(CdbError::CorruptRecord(id)) => assert_eq!(id, CATALOG_RECORD),
+        Err(other) => panic!("expected CorruptRecord, got {other:?}"),
+        Ok(_) => panic!("truncated file opened as a database"),
+    }
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn torn_append_after_commit_leaves_database_readable() {
+    let path = tmp("torn");
+    let (db, battery) = build_workload(&path, 0x70A7);
+    let want: Vec<Vec<u32>> = battery
+        .iter()
+        .map(|sel| {
+            db.query_with("r", sel.clone(), Strategy::Scan)
+                .unwrap()
+                .ids()
+                .to_vec()
+        })
+        .collect();
+    db.close().unwrap();
+
+    // A crash mid-write of a *new* (unpublished) catalog shows up as junk
+    // past the committed pages; the committed state must still load.
+    let mut f = std::fs::OpenOptions::new()
+        .append(true)
+        .open(&path)
+        .unwrap();
+    f.write_all(&[0x5Au8; 4096]).unwrap();
+    f.sync_all().unwrap();
+
+    let db = ConstraintDb::open(&path).unwrap();
+    for (sel, want) in battery.iter().zip(&want) {
+        assert_eq!(
+            db.query_with("r", sel.clone(), Strategy::Auto)
+                .unwrap()
+                .ids(),
+            &want[..]
+        );
+    }
+    db.close().unwrap();
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn random_garbage_file_is_corrupt_not_empty() {
+    let path = tmp("garbage");
+    let mut rng = cdb_prng::StdRng::seed_from_u64(0x6A5B);
+    let bytes: Vec<u8> = (0..8192).map(|_| (rng.next_u64() & 0xFF) as u8).collect();
+    std::fs::write(&path, &bytes).unwrap();
+    match ConstraintDb::open(&path) {
+        Err(CdbError::CorruptRecord(id)) => assert_eq!(id, CATALOG_RECORD),
+        Err(other) => panic!("expected CorruptRecord, got {other:?}"),
+        Ok(_) => panic!("random garbage opened as a database"),
+    }
+    std::fs::remove_file(&path).unwrap();
+}
