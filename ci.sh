@@ -28,6 +28,21 @@ step test cargo test -q --workspace
 # workspace output.
 step persistence cargo test -q --test persistence
 step reopen cargo test -q --test reopen
+step fault-injection cargo test -q --test fault_injection
+
+# End-to-end health check: build a small database with the shell, then
+# verify every page checksum through `cdb fsck` (read-only and repair
+# modes must both report a clean file).
+fsck_smoke() {
+  local f="${TMPDIR:-/tmp}/cdb_ci_fsck_$$.db"
+  rm -f "$f"
+  printf 'open %s\ncreate parcels 2\ninsert parcels y >= 0 && y <= 2 && x >= 0 && x + y <= 4\nindex parcels 4\nsave\nquit\n' "$f" \
+    | ./target/release/cdb >/dev/null
+  ./target/release/cdb fsck "$f" | grep -q 'fsck: ok'
+  ./target/release/cdb fsck "$f" --rebuild-indexes | grep -q 'fsck: ok'
+  rm -f "$f"
+}
+step fsck fsck_smoke
 step clippy cargo clippy --workspace --all-targets -- -D warnings
 step doc env RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 step fmt cargo fmt --all --check

@@ -34,9 +34,10 @@ fn bench_btree() {
     println!("btree");
     let ns = time_ns(2, 10, || {
         let mut pager = MemPager::paper_1999();
-        let mut t = BTree::new(&mut pager);
+        let mut t = BTree::new(&mut pager).unwrap();
         for i in 0..4000u32 {
-            t.insert(&mut pager, ((i * 2654435761) % 100000) as f64, i);
+            t.insert(&mut pager, ((i * 2654435761) % 100000) as f64, i)
+                .unwrap();
         }
         std::hint::black_box(t.len());
     });
@@ -44,14 +45,14 @@ fn bench_btree() {
     let entries: Vec<(f64, u32)> = (0..4000).map(|i| (i as f64 * 0.5, i as u32)).collect();
     let ns = time_ns(2, 20, || {
         let mut pager = MemPager::paper_1999();
-        let t = BTree::bulk_load(&mut pager, &entries, 1.0);
+        let t = BTree::bulk_load(&mut pager, &entries, 1.0).unwrap();
         std::hint::black_box(t.page_count());
     });
     report("bulk_load_4k", ns);
     let mut pager = MemPager::paper_1999();
-    let tree = BTree::bulk_load(&mut pager, &entries, 1.0);
+    let tree = BTree::bulk_load(&mut pager, &entries, 1.0).unwrap();
     let ns = time_ns(10, 200, || {
-        std::hint::black_box(tree.range(&pager, 0.0, 200.0).len());
+        std::hint::black_box(tree.range(&pager, 0.0, 200.0).unwrap().len());
     });
     report("range_scan_10pct", ns);
 }
@@ -66,15 +67,15 @@ fn bench_rplus() {
         .collect();
     let ns = time_ns(2, 10, || {
         let mut pager = MemPager::paper_1999();
-        let t = RPlusTree::pack(&mut pager, &items, 1.0);
+        let t = RPlusTree::pack(&mut pager, &items, 1.0).unwrap();
         std::hint::black_box(t.page_count());
     });
     report("pack_4k", ns);
     let mut pager = MemPager::paper_1999();
-    let tree = RPlusTree::pack(&mut pager, &items, 1.0);
+    let tree = RPlusTree::pack(&mut pager, &items, 1.0).unwrap();
     let q = cdb_geometry::HalfPlane::above(0.4, 20.0);
     let ns = time_ns(10, 200, || {
-        std::hint::black_box(tree.search_halfplane(&pager, &q).0.len());
+        std::hint::black_box(tree.search_halfplane(&pager, &q).unwrap().0.len());
     });
     report("halfplane_search", ns);
 }

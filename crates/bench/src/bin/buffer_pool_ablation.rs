@@ -40,7 +40,7 @@ fn main() {
     for pool_pages in [1usize, 8, 64, 512] {
         // T2 side.
         let mut t2_pool = BufferPool::new(MemPager::paper_1999(), pool_pages);
-        let idx = DualIndex::build(&mut t2_pool, SlopeSet::uniform_tan(k), &pairs);
+        let idx = DualIndex::build(&mut t2_pool, SlopeSet::uniform_tan(k), &pairs).unwrap();
         let lookup: std::collections::HashMap<u32, GeneralizedTuple> =
             pairs.iter().cloned().collect();
         // Warm + measure: physical reads attributable to queries only.
@@ -64,7 +64,7 @@ fn main() {
             .enumerate()
             .map(|(i, t)| (tuple_mbr(t), i as u32))
             .collect();
-        let tree = RPlusTree::pack(&mut rp_pool, &items, 1.0);
+        let tree = RPlusTree::pack(&mut rp_pool, &items, 1.0).unwrap();
         let mut rp_phys = 0u64;
         for q in &battery {
             let before = rp_pool.physical_stats();

@@ -57,7 +57,7 @@ fn main() {
         let per_axis = if dim == 2 { 4 } else { 2 };
         let points = SlopePoints::grid(dim, per_axis, 1.0);
         let k = points.len();
-        let idx = DualIndexD::build(&mut pager, points, &pairs);
+        let idx = DualIndexD::build(&mut pager, points, &pairs).unwrap();
         let lookup: std::collections::HashMap<u32, GeneralizedTuple> =
             pairs.iter().cloned().collect();
         let mut rng = StdRng::seed_from_u64(0xD2 + dim as u64);

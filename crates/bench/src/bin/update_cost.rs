@@ -42,21 +42,21 @@ fn main() {
                 .map(|(i, t)| (i as u32, t))
                 .collect();
             let mut pager = MemPager::paper_1999();
-            let mut idx = DualIndex::build(&mut pager, SlopeSet::uniform_tan(k), &pairs);
+            let mut idx = DualIndex::build(&mut pager, SlopeSet::uniform_tan(k), &pairs).unwrap();
 
             // Inserts.
             let mut gen = TupleGen::new(99, Rect::paper_window(), ObjectSize::Small);
             let batch: Vec<GeneralizedTuple> = (0..100).map(|_| gen.bounded_tuple()).collect();
             pager.reset_stats();
             for (j, t) in batch.iter().enumerate() {
-                idx.insert(&mut pager, (n + j) as u32, t);
+                idx.insert(&mut pager, (n + j) as u32, t).unwrap();
             }
             let ins = pager.stats().accesses() as f64 / batch.len() as f64;
 
             // Deletes (the batch we just inserted).
             pager.reset_stats();
             for (j, t) in batch.iter().enumerate() {
-                assert!(idx.remove(&mut pager, (n + j) as u32, t));
+                assert!(idx.remove(&mut pager, (n + j) as u32, t).unwrap());
             }
             let del = pager.stats().accesses() as f64 / batch.len() as f64;
 
@@ -68,10 +68,11 @@ fn main() {
                     .enumerate()
                     .map(|(i, t)| (tuple_mbr(t), i as u32))
                     .collect();
-                let mut tree = RPlusTree::pack(&mut rpager, &items, 0.8);
+                let mut tree = RPlusTree::pack(&mut rpager, &items, 0.8).unwrap();
                 rpager.reset_stats();
                 for (j, t) in batch.iter().enumerate() {
-                    tree.insert(&mut rpager, tuple_mbr(t), (n + j) as u32);
+                    tree.insert(&mut rpager, tuple_mbr(t), (n + j) as u32)
+                        .unwrap();
                 }
                 rpager.stats().accesses() as f64 / batch.len() as f64
             } else {

@@ -7,6 +7,11 @@
 //! built tree can serve concurrent queries. Page accesses are counted in
 //! the pager either way.
 //!
+//! Every operation that touches pages is fallible (`io::Result`): the pager
+//! underneath may be a real file, a fault-injected wrapper, or a quarantined
+//! device. Errors propagate; panics are reserved for caller bugs (`NaN`
+//! keys, unsorted bulk loads) and for invariant violations in [`BTree::validate`].
+//!
 //! **Deletion policy.** Entries are removed in place; leaves are never
 //! merged (the PostgreSQL-style relaxed deletion): an emptied leaf stays in
 //! the chain and is skipped by sweeps. Space therefore tracks the high-water
@@ -14,6 +19,8 @@
 //! path simple and does not affect any experiment (the paper's workloads are
 //! build-then-query); the paper's `O(log_B n)` amortized update bound still
 //! holds since no operation exceeds one root-to-leaf path plus splits.
+
+use std::io;
 
 use cdb_storage::{PageId, PageReader, Pager};
 
@@ -62,19 +69,20 @@ pub struct LeafInfo {
 /// use cdb_storage::{MemPager, Pager};
 ///
 /// let mut pager = MemPager::paper_1999();
-/// let mut tree = BTree::new(&mut pager);
+/// let mut tree = BTree::new(&mut pager).unwrap();
 /// for (k, v) in [(3.5, 1), (-2.0, 2), (f64::INFINITY, 3), (3.5, 4)] {
-///     tree.insert(&mut pager, k, v);
+///     tree.insert(&mut pager, k, v).unwrap();
 /// }
 /// // Range scan: duplicates kept, infinities ordered last.
-/// let hits = tree.range(&mut pager, 0.0, 10.0);
+/// let hits = tree.range(&mut pager, 0.0, 10.0).unwrap();
 /// assert_eq!(hits.len(), 2);
 /// // Leaf sweep with early stop.
 /// let mut seen = 0;
 /// tree.sweep_up(&mut pager, -10.0, |leaf| {
 ///     seen += leaf.entries.len();
 ///     SweepControl::Continue
-/// });
+/// })
+/// .unwrap();
 /// assert_eq!(seen, 4);
 /// ```
 #[derive(Clone, Debug)]
@@ -90,13 +98,13 @@ pub struct BTree {
 
 impl BTree {
     /// Creates an empty tree, allocating its root leaf from `pager`.
-    pub fn new(pager: &mut dyn Pager) -> Self {
+    pub fn new(pager: &mut dyn Pager) -> io::Result<Self> {
         let page_size = pager.page_size();
-        let root = pager.allocate();
+        let root = pager.allocate()?;
         let mut buf = vec![0u8; page_size];
         Leaf::init(&mut buf);
-        pager.write(root, &buf);
-        BTree {
+        pager.write(root, &buf)?;
+        Ok(BTree {
             page_size,
             root,
             height: 0,
@@ -104,7 +112,7 @@ impl BTree {
             first_leaf: root,
             last_leaf: root,
             pages: 1,
-        }
+        })
     }
 
     /// Re-attaches a tree from persisted metadata without touching the
@@ -160,44 +168,48 @@ impl BTree {
         self.pages
     }
 
-    fn read(&self, pager: &dyn PageReader, id: PageId, buf: &mut [u8]) {
-        pager.read(id, buf);
+    fn read(&self, pager: &dyn PageReader, id: PageId, buf: &mut [u8]) -> io::Result<()> {
+        pager.read(id, buf)
     }
 
     // ------------------------------------------------------------- insert --
 
     /// Inserts `(key, value)`. Duplicate keys are allowed; `NaN` is not.
     ///
+    /// # Errors
+    /// Propagates pager I/O failures. A failed insert may leave a split
+    /// half-propagated; rebuild from the heap in that case.
+    ///
     /// # Panics
     /// Panics on a `NaN` key.
-    pub fn insert(&mut self, pager: &mut dyn Pager, key: f64, value: u32) {
+    pub fn insert(&mut self, pager: &mut dyn Pager, key: f64, value: u32) -> io::Result<()> {
         assert!(!key.is_nan(), "NaN keys are not allowed");
         // Descend, remembering the path.
         let mut path: Vec<(PageId, usize)> = Vec::with_capacity(self.height);
         let mut page = self.root;
         let mut buf = vec![0u8; self.page_size];
         for _ in 0..self.height {
-            self.read(&*pager, page, &mut buf);
+            self.read(&*pager, page, &mut buf)?;
             let node = Internal::new(&mut buf);
             let idx = node.descend_index(key);
             let child = node.child(idx);
             path.push((page, idx));
             page = child;
         }
-        self.read(&*pager, page, &mut buf);
+        self.read(&*pager, page, &mut buf)?;
         let mut leaf = Leaf::new(&mut buf);
         if leaf.count() < leaf_capacity(self.page_size) {
             leaf.insert(self.page_size, key, value);
-            pager.write(page, &buf);
+            pager.write(page, &buf)?;
             self.len += 1;
-            return;
+            return Ok(());
         }
         // Split the leaf. Both halves inherit the original handicap values:
         // a handicap is a conservative sweep bound, and keeping the
         // pre-split bound in both halves can only widen (never corrupt) the
         // second sweep of technique T2 — incremental index updates rely on
         // this (they re-tighten lazily via a rebuild).
-        let new_page = pager.allocate();
+        let new_page = pager.allocate()?;
         self.pages += 1;
         let mut rbuf = vec![0u8; self.page_size];
         let mut right = Leaf::init(&mut rbuf);
@@ -213,9 +225,9 @@ impl BTree {
             self.last_leaf = new_page;
         } else {
             let mut nbuf = vec![0u8; self.page_size];
-            self.read(&*pager, old_next, &mut nbuf);
+            self.read(&*pager, old_next, &mut nbuf)?;
             Leaf::new(&mut nbuf).set_prev(new_page);
-            pager.write(old_next, &nbuf);
+            pager.write(old_next, &nbuf)?;
         }
         // Insert into the correct half. Duplicates of `sep` may span the
         // boundary; route by comparison with the separator.
@@ -224,10 +236,10 @@ impl BTree {
         } else {
             Leaf::new(&mut rbuf).insert(self.page_size, key, value);
         }
-        pager.write(page, &buf);
-        pager.write(new_page, &rbuf);
+        pager.write(page, &buf)?;
+        pager.write(new_page, &rbuf)?;
         self.len += 1;
-        self.insert_separator(pager, path, sep, new_page);
+        self.insert_separator(pager, path, sep, new_page)
     }
 
     /// Propagates a split upward: inserts `(sep, right_child)` along `path`.
@@ -237,19 +249,19 @@ impl BTree {
         mut path: Vec<(PageId, usize)>,
         mut sep: f64,
         mut right_child: PageId,
-    ) {
+    ) -> io::Result<()> {
         let mut buf = vec![0u8; self.page_size];
         while let Some((page, idx)) = path.pop() {
-            self.read(&*pager, page, &mut buf);
+            self.read(&*pager, page, &mut buf)?;
             let mut node = Internal::new(&mut buf);
             if node.count() < internal_capacity(self.page_size) {
                 node.insert_at(self.page_size, idx, sep, right_child);
-                pager.write(page, &buf);
-                return;
+                pager.write(page, &buf)?;
+                return Ok(());
             }
             // Split this internal node. Insert first into a widened copy is
             // avoided by splitting first, then placing into the proper half.
-            let new_page = pager.allocate();
+            let new_page = pager.allocate()?;
             self.pages += 1;
             let mut rbuf = vec![0u8; self.page_size];
             let mut right = Internal::init(&mut rbuf, 0);
@@ -263,46 +275,47 @@ impl BTree {
                 let pos = r.descend_index(sep);
                 r.insert_at(self.page_size, pos, sep, right_child);
             }
-            pager.write(page, &buf);
-            pager.write(new_page, &rbuf);
+            pager.write(page, &buf)?;
+            pager.write(new_page, &rbuf)?;
             sep = promoted;
             right_child = new_page;
         }
         // Root split.
-        let new_root = pager.allocate();
+        let new_root = pager.allocate()?;
         self.pages += 1;
         let mut buf = vec![0u8; self.page_size];
         let mut root = Internal::init(&mut buf, self.root);
         root.insert_at(self.page_size, 0, sep, right_child);
-        pager.write(new_root, &buf);
+        pager.write(new_root, &buf)?;
         self.root = new_root;
         self.height += 1;
+        Ok(())
     }
 
     // ------------------------------------------------------------- delete --
 
     /// Removes one entry equal to `(key, value)` (key compared after the
     /// same `f32` rounding applied at insert). Returns `true` if found.
-    pub fn delete(&mut self, pager: &mut dyn Pager, key: f64, value: u32) -> bool {
+    pub fn delete(&mut self, pager: &mut dyn Pager, key: f64, value: u32) -> io::Result<bool> {
         assert!(!key.is_nan(), "NaN keys are not allowed");
         let k32 = key as f32 as f64;
-        let Some((mut page, mut slot)) = self.find_first_geq(&*pager, k32) else {
-            return false;
+        let Some((mut page, mut slot)) = self.find_first_geq(&*pager, k32)? else {
+            return Ok(false);
         };
         let mut buf = vec![0u8; self.page_size];
         loop {
-            self.read(&*pager, page, &mut buf);
+            self.read(&*pager, page, &mut buf)?;
             let mut leaf = Leaf::new(&mut buf);
             while slot < leaf.count() {
                 let k = leaf.key(slot);
                 if k > k32 {
-                    return false;
+                    return Ok(false);
                 }
                 if k == k32 && leaf.value(slot) == value {
                     leaf.remove(slot);
                     let emptied = leaf.count() == 0;
                     let (prev, next, h) = (leaf.prev(), leaf.next(), leaf.handicaps());
-                    pager.write(page, &buf);
+                    pager.write(page, &buf)?;
                     self.len -= 1;
                     if emptied {
                         // Preserve handicap reachability: an emptied leaf may
@@ -314,32 +327,32 @@ impl BTree {
                         // rebuild.
                         if next != NULL_PAGE {
                             let mut nbuf = vec![0u8; self.page_size];
-                            self.read(&*pager, next, &mut nbuf);
+                            self.read(&*pager, next, &mut nbuf)?;
                             let mut nleaf = Leaf::new(&mut nbuf);
                             let mut nh = nleaf.handicaps();
                             nh.low_prev = nh.low_prev.min(h.low_prev);
                             nh.low_next = nh.low_next.min(h.low_next);
                             nleaf.set_handicaps(nh);
-                            pager.write(next, &nbuf);
+                            pager.write(next, &nbuf)?;
                         }
                         if prev != NULL_PAGE {
                             let mut pbuf = vec![0u8; self.page_size];
-                            self.read(&*pager, prev, &mut pbuf);
+                            self.read(&*pager, prev, &mut pbuf)?;
                             let mut pleaf = Leaf::new(&mut pbuf);
                             let mut ph = pleaf.handicaps();
                             ph.high_prev = ph.high_prev.max(h.high_prev);
                             ph.high_next = ph.high_next.max(h.high_next);
                             pleaf.set_handicaps(ph);
-                            pager.write(prev, &pbuf);
+                            pager.write(prev, &pbuf)?;
                         }
                     }
-                    return true;
+                    return Ok(true);
                 }
                 slot += 1;
             }
             let next = leaf.next();
             if next == NULL_PAGE {
-                return false;
+                return Ok(false);
             }
             page = next;
             slot = 0;
@@ -350,24 +363,28 @@ impl BTree {
 
     /// Locates the first entry with key `≥ key`: `(leaf page, slot)`.
     /// Returns `None` when every key is smaller.
-    pub fn find_first_geq(&self, pager: &dyn PageReader, key: f64) -> Option<(PageId, usize)> {
+    pub fn find_first_geq(
+        &self,
+        pager: &dyn PageReader,
+        key: f64,
+    ) -> io::Result<Option<(PageId, usize)>> {
         let mut page = self.root;
         let mut buf = vec![0u8; self.page_size];
         for _ in 0..self.height {
-            self.read(pager, page, &mut buf);
+            self.read(pager, page, &mut buf)?;
             let node = Internal::new(&mut buf);
             page = node.child(node.descend_index_left(key));
         }
         loop {
-            self.read(pager, page, &mut buf);
+            self.read(pager, page, &mut buf)?;
             let leaf = Leaf::new(&mut buf);
             let slot = leaf.lower_bound(key);
             if slot < leaf.count() {
-                return Some((page, slot));
+                return Ok(Some((page, slot)));
             }
             let next = leaf.next();
             if next == NULL_PAGE {
-                return None;
+                return Ok(None);
             }
             page = next;
         }
@@ -375,16 +392,20 @@ impl BTree {
 
     /// Locates the last entry with key `≤ key`: `(leaf page, slot)`.
     /// Returns `None` when every key is larger.
-    pub fn find_last_leq(&self, pager: &dyn PageReader, key: f64) -> Option<(PageId, usize)> {
+    pub fn find_last_leq(
+        &self,
+        pager: &dyn PageReader,
+        key: f64,
+    ) -> io::Result<Option<(PageId, usize)>> {
         let mut page = self.root;
         let mut buf = vec![0u8; self.page_size];
         for _ in 0..self.height {
-            self.read(pager, page, &mut buf);
+            self.read(pager, page, &mut buf)?;
             let node = Internal::new(&mut buf);
             page = node.child(node.descend_index(key));
         }
         loop {
-            self.read(pager, page, &mut buf);
+            self.read(pager, page, &mut buf)?;
             let leaf = Leaf::new(&mut buf);
             // Last index with key <= key.
             let mut ub = leaf.lower_bound(key);
@@ -392,18 +413,18 @@ impl BTree {
                 ub += 1;
             }
             if ub > 0 {
-                return Some((page, ub - 1));
+                return Ok(Some((page, ub - 1)));
             }
             let prev = leaf.prev();
             if prev == NULL_PAGE {
-                return None;
+                return Ok(None);
             }
             page = prev;
         }
     }
 
     /// Collects all values whose key lies in `[lo, hi]` (both inclusive).
-    pub fn range(&self, pager: &dyn PageReader, lo: f64, hi: f64) -> Vec<(f64, u32)> {
+    pub fn range(&self, pager: &dyn PageReader, lo: f64, hi: f64) -> io::Result<Vec<(f64, u32)>> {
         let mut out = Vec::new();
         self.sweep_up(pager, lo, |snap| {
             for &(k, v) in &snap.entries {
@@ -413,25 +434,25 @@ impl BTree {
                 out.push((k, v));
             }
             SweepControl::Continue
-        });
-        out
+        })?;
+        Ok(out)
     }
 
     // ------------------------------------------------------------- sweeps --
 
     /// Sweeps leaves upward starting from the first entry with key `≥ from`,
     /// invoking `visit` once per leaf (ascending entries ≥ `from`).
-    pub fn sweep_up<F>(&self, pager: &dyn PageReader, from: f64, mut visit: F)
+    pub fn sweep_up<F>(&self, pager: &dyn PageReader, from: f64, mut visit: F) -> io::Result<()>
     where
         F: FnMut(&LeafSnapshot) -> SweepControl,
     {
-        let Some((mut page, slot)) = self.find_first_geq(pager, from) else {
-            return;
+        let Some((mut page, slot)) = self.find_first_geq(pager, from)? else {
+            return Ok(());
         };
         let mut first_slot = slot;
         let mut buf = vec![0u8; self.page_size];
         loop {
-            self.read(pager, page, &mut buf);
+            self.read(pager, page, &mut buf)?;
             let leaf = Leaf::new(&mut buf);
             let entries: Vec<(f64, u32)> = (first_slot..leaf.count())
                 .map(|i| (leaf.key(i), leaf.value(i)))
@@ -442,11 +463,11 @@ impl BTree {
                 entries,
             };
             if visit(&snap) == SweepControl::Stop {
-                return;
+                return Ok(());
             }
             let next = leaf.next();
             if next == NULL_PAGE {
-                return;
+                return Ok(());
             }
             page = next;
             first_slot = 0;
@@ -455,17 +476,17 @@ impl BTree {
 
     /// Sweeps leaves downward starting from the last entry with key `≤ from`,
     /// invoking `visit` once per leaf (descending entries ≤ `from`).
-    pub fn sweep_down<F>(&self, pager: &dyn PageReader, from: f64, mut visit: F)
+    pub fn sweep_down<F>(&self, pager: &dyn PageReader, from: f64, mut visit: F) -> io::Result<()>
     where
         F: FnMut(&LeafSnapshot) -> SweepControl,
     {
-        let Some((mut page, slot)) = self.find_last_leq(pager, from) else {
-            return;
+        let Some((mut page, slot)) = self.find_last_leq(pager, from)? else {
+            return Ok(());
         };
         let mut last_slot = Some(slot);
         let mut buf = vec![0u8; self.page_size];
         loop {
-            self.read(pager, page, &mut buf);
+            self.read(pager, page, &mut buf)?;
             let leaf = Leaf::new(&mut buf);
             let hi = last_slot.unwrap_or_else(|| leaf.count().wrapping_sub(1));
             let entries: Vec<(f64, u32)> = if leaf.count() == 0 {
@@ -482,11 +503,11 @@ impl BTree {
                 entries,
             };
             if visit(&snap) == SweepControl::Stop {
-                return;
+                return Ok(());
             }
             let prev = leaf.prev();
             if prev == NULL_PAGE {
-                return;
+                return Ok(());
             }
             page = prev;
             last_slot = None;
@@ -500,7 +521,7 @@ impl BTree {
     ///
     /// # Panics
     /// Panics if the input is unsorted or `fill` is out of range.
-    pub fn bulk_load(pager: &mut dyn Pager, entries: &[(f64, u32)], fill: f64) -> Self {
+    pub fn bulk_load(pager: &mut dyn Pager, entries: &[(f64, u32)], fill: f64) -> io::Result<Self> {
         assert!((0.5..=1.0).contains(&fill), "fill factor out of range");
         let page_size = pager.page_size();
         if entries.is_empty() {
@@ -513,7 +534,7 @@ impl BTree {
         let mut prev_key = f64::NEG_INFINITY;
         let mut prev_page = NULL_PAGE;
         for chunk in entries.chunks(per_leaf) {
-            let page = pager.allocate();
+            let page = pager.allocate()?;
             pages += 1;
             let mut leaf = Leaf::init(&mut buf);
             for &(k, v) in chunk {
@@ -526,12 +547,12 @@ impl BTree {
                 leaf.insert(page_size, k, v);
             }
             leaf.set_prev(prev_page);
-            pager.write(page, &buf);
+            pager.write(page, &buf)?;
             if prev_page != NULL_PAGE {
                 let mut pbuf = vec![0u8; page_size];
-                pager.read(prev_page, &mut pbuf);
+                pager.read(prev_page, &mut pbuf)?;
                 Leaf::new(&mut pbuf).set_next(page);
-                pager.write(prev_page, &pbuf);
+                pager.write(prev_page, &pbuf)?;
             }
             leaves.push((page, chunk[0].0 as f32 as f64));
             prev_page = page;
@@ -558,18 +579,18 @@ impl BTree {
             }
             let groups = bounds.windows(2).map(|w| &level[w[0]..w[1]]);
             for group in groups {
-                let page = pager.allocate();
+                let page = pager.allocate()?;
                 pages += 1;
                 let mut node = Internal::init(&mut buf, group[0].0);
                 for (i, &(child, first_key)) in group.iter().enumerate().skip(1) {
                     node.insert_at(page_size, i - 1, first_key, child);
                 }
-                pager.write(page, &buf);
+                pager.write(page, &buf)?;
                 next_level.push((page, group[0].1));
             }
             level = next_level;
         }
-        BTree {
+        Ok(BTree {
             page_size,
             root: level[0].0,
             height,
@@ -577,32 +598,36 @@ impl BTree {
             first_leaf,
             last_leaf,
             pages,
-        }
+        })
     }
 
     /// Rewrites the tree compactly (full leaves) and frees the old pages.
-    pub fn rebuild(&mut self, pager: &mut dyn Pager) {
+    pub fn rebuild(&mut self, pager: &mut dyn Pager) -> io::Result<()> {
         let mut entries = Vec::with_capacity(self.len as usize);
         self.sweep_up(&*pager, f64::NEG_INFINITY, |snap| {
             entries.extend_from_slice(&snap.entries);
             SweepControl::Continue
-        });
-        let old_pages = self.collect_pages(&*pager);
-        let rebuilt = BTree::bulk_load(pager, &entries, 1.0);
+        })?;
+        let old_pages = self.collect_pages(&*pager)?;
+        let rebuilt = BTree::bulk_load(pager, &entries, 1.0)?;
         for p in old_pages {
             pager.free(p);
         }
         *self = rebuilt;
+        Ok(())
     }
 
-    /// All page ids owned by the tree (BFS).
-    fn collect_pages(&self, pager: &dyn PageReader) -> Vec<PageId> {
+    /// All page ids owned by the tree (BFS). The walk reads every page —
+    /// internal nodes to find their children, leaves for integrity alone —
+    /// so under a checksumming pager it doubles as a full-tree
+    /// verification pass.
+    pub fn collect_pages(&self, pager: &dyn PageReader) -> io::Result<Vec<PageId>> {
         let mut out = Vec::new();
         let mut queue = vec![self.root];
         let mut buf = vec![0u8; self.page_size];
         while let Some(page) = queue.pop() {
             out.push(page);
-            self.read(pager, page, &mut buf);
+            self.read(pager, page, &mut buf)?;
             if !is_leaf(&buf) {
                 let node = Internal::new(&mut buf);
                 for i in 0..=node.count() {
@@ -610,25 +635,26 @@ impl BTree {
                 }
             }
         }
-        out
+        Ok(out)
     }
 
     /// Frees every page of the tree.
-    pub fn destroy(self, pager: &mut dyn Pager) {
-        for p in self.collect_pages(&*pager) {
+    pub fn destroy(self, pager: &mut dyn Pager) -> io::Result<()> {
+        for p in self.collect_pages(&*pager)? {
             pager.free(p);
         }
+        Ok(())
     }
 
     // ----------------------------------------------------------- handicaps --
 
     /// Walks the leaf chain left to right.
-    pub fn leaves(&self, pager: &dyn PageReader) -> Vec<LeafInfo> {
+    pub fn leaves(&self, pager: &dyn PageReader) -> io::Result<Vec<LeafInfo>> {
         let mut out = Vec::new();
         let mut page = self.first_leaf;
         let mut buf = vec![0u8; self.page_size];
         loop {
-            self.read(pager, page, &mut buf);
+            self.read(pager, page, &mut buf)?;
             let leaf = Leaf::new(&mut buf);
             let count = leaf.count();
             out.push(LeafInfo {
@@ -643,7 +669,7 @@ impl BTree {
             });
             let next = leaf.next();
             if next == NULL_PAGE {
-                return out;
+                return Ok(out);
             }
             page = next;
         }
@@ -660,27 +686,33 @@ impl BTree {
     }
 
     /// Reads the handicap slots of a leaf page (one page access).
-    pub fn read_handicaps(&self, pager: &dyn PageReader, page: PageId) -> Handicaps {
+    pub fn read_handicaps(&self, pager: &dyn PageReader, page: PageId) -> io::Result<Handicaps> {
         let mut buf = vec![0u8; self.page_size];
-        self.read(pager, page, &mut buf);
-        Leaf::new(&mut buf).handicaps()
+        self.read(pager, page, &mut buf)?;
+        Ok(Leaf::new(&mut buf).handicaps())
     }
 
     /// Overwrites the handicap slots of `page` (must be a leaf of this tree).
-    pub fn set_handicaps(&self, pager: &mut dyn Pager, page: PageId, h: Handicaps) {
+    pub fn set_handicaps(
+        &self,
+        pager: &mut dyn Pager,
+        page: PageId,
+        h: Handicaps,
+    ) -> io::Result<()> {
         let mut buf = vec![0u8; self.page_size];
-        self.read(&*pager, page, &mut buf);
+        self.read(&*pager, page, &mut buf)?;
         let mut leaf = Leaf::new(&mut buf);
         leaf.set_handicaps(h);
-        pager.write(page, &buf);
+        pager.write(page, &buf)
     }
 
     // ----------------------------------------------------------- validation --
 
     /// Exhaustively checks structural invariants (tests/debugging):
     /// key order within and across leaves, chain consistency, separator
-    /// bounds, entry count. Panics with a description on violation.
-    pub fn validate(&self, pager: &dyn PageReader) {
+    /// bounds, entry count. Returns I/O errors; panics with a description
+    /// on an invariant violation (a bug, not a device failure).
+    pub fn validate(&self, pager: &dyn PageReader) -> io::Result<()> {
         // Leaf chain: ordered keys, consistent prev links, count total.
         let mut total = 0u64;
         let mut prev_page = NULL_PAGE;
@@ -688,7 +720,7 @@ impl BTree {
         let mut page = self.first_leaf;
         let mut buf = vec![0u8; self.page_size];
         loop {
-            self.read(pager, page, &mut buf);
+            self.read(pager, page, &mut buf)?;
             let leaf = Leaf::new(&mut buf);
             assert_eq!(leaf.prev(), prev_page, "broken prev link at {page}");
             for i in 0..leaf.count() {
@@ -713,19 +745,26 @@ impl BTree {
             self.height,
             f64::NEG_INFINITY,
             f64::INFINITY,
-        );
+        )
     }
 
-    fn check_node(&self, pager: &dyn PageReader, page: PageId, depth: usize, lo: f64, hi: f64) {
+    fn check_node(
+        &self,
+        pager: &dyn PageReader,
+        page: PageId,
+        depth: usize,
+        lo: f64,
+        hi: f64,
+    ) -> io::Result<()> {
         let mut buf = vec![0u8; self.page_size];
-        self.read(pager, page, &mut buf);
+        self.read(pager, page, &mut buf)?;
         if depth == 0 {
             let leaf = Leaf::new(&mut buf);
             for i in 0..leaf.count() {
                 let k = leaf.key(i);
                 assert!(k >= lo && k <= hi, "leaf key {k} outside [{lo}, {hi}]");
             }
-            return;
+            return Ok(());
         }
         let node = Internal::new(&mut buf);
         assert!(node.count() >= 1, "empty internal node {page}");
@@ -742,8 +781,9 @@ impl BTree {
         for (i, &child) in children.iter().enumerate() {
             let clo = if i == 0 { lo } else { keys[i - 1] };
             let chi = if i == n { hi } else { keys[i] };
-            self.check_node(pager, child, depth - 1, clo, chi);
+            self.check_node(pager, child, depth - 1, clo, chi)?;
         }
+        Ok(())
     }
 }
 
@@ -759,23 +799,24 @@ mod tests {
         tree.sweep_up(pager, f64::NEG_INFINITY, |s| {
             out.extend_from_slice(&s.entries);
             SweepControl::Continue
-        });
+        })
+        .unwrap();
         out
     }
 
     #[test]
     fn insert_and_range() {
         let mut pager = MemPager::new(P);
-        let mut t = BTree::new(&mut pager);
+        let mut t = BTree::new(&mut pager).unwrap();
         for i in 0..100u32 {
-            t.insert(&mut pager, (i * 7 % 100) as f64, i);
+            t.insert(&mut pager, (i * 7 % 100) as f64, i).unwrap();
         }
         assert_eq!(t.len(), 100);
-        t.validate(&pager);
+        t.validate(&pager).unwrap();
         let all = collect_all(&t, &mut pager);
         assert_eq!(all.len(), 100);
         assert!(all.windows(2).all(|w| w[0].0 <= w[1].0), "sorted output");
-        let r = t.range(&pager, 10.0, 19.0);
+        let r = t.range(&pager, 10.0, 19.0).unwrap();
         assert_eq!(r.len(), 10);
         assert!(r.iter().all(|&(k, _)| (10.0..=19.0).contains(&k)));
     }
@@ -783,28 +824,28 @@ mod tests {
     #[test]
     fn duplicates_are_kept() {
         let mut pager = MemPager::new(P);
-        let mut t = BTree::new(&mut pager);
+        let mut t = BTree::new(&mut pager).unwrap();
         for v in 0..50u32 {
-            t.insert(&mut pager, 1.0, v);
+            t.insert(&mut pager, 1.0, v).unwrap();
         }
         for v in 0..50u32 {
-            t.insert(&mut pager, 2.0, v + 100);
+            t.insert(&mut pager, 2.0, v + 100).unwrap();
         }
-        t.validate(&pager);
-        let r = t.range(&pager, 1.0, 1.0);
+        t.validate(&pager).unwrap();
+        let r = t.range(&pager, 1.0, 1.0).unwrap();
         assert_eq!(r.len(), 50);
-        let r2 = t.range(&pager, 2.0, 2.0);
+        let r2 = t.range(&pager, 2.0, 2.0).unwrap();
         assert_eq!(r2.len(), 50);
     }
 
     #[test]
     fn descending_insert_order() {
         let mut pager = MemPager::new(P);
-        let mut t = BTree::new(&mut pager);
+        let mut t = BTree::new(&mut pager).unwrap();
         for i in (0..200u32).rev() {
-            t.insert(&mut pager, i as f64, i);
+            t.insert(&mut pager, i as f64, i).unwrap();
         }
-        t.validate(&pager);
+        t.validate(&pager).unwrap();
         assert_eq!(t.len(), 200);
         assert!(t.height() >= 1);
         let all = collect_all(&t, &mut pager);
@@ -815,86 +856,92 @@ mod tests {
     #[test]
     fn infinite_keys() {
         let mut pager = MemPager::new(P);
-        let mut t = BTree::new(&mut pager);
-        t.insert(&mut pager, f64::INFINITY, 1);
-        t.insert(&mut pager, f64::NEG_INFINITY, 2);
-        t.insert(&mut pager, 0.0, 3);
+        let mut t = BTree::new(&mut pager).unwrap();
+        t.insert(&mut pager, f64::INFINITY, 1).unwrap();
+        t.insert(&mut pager, f64::NEG_INFINITY, 2).unwrap();
+        t.insert(&mut pager, 0.0, 3).unwrap();
         let all = collect_all(&t, &mut pager);
         assert_eq!(all[0], (f64::NEG_INFINITY, 2));
         assert_eq!(all[2], (f64::INFINITY, 1));
         // Sweep from a finite key sees only the +inf and finite entries.
-        let r = t.range(&pager, -10.0, f64::INFINITY);
+        let r = t.range(&pager, -10.0, f64::INFINITY).unwrap();
         assert_eq!(r.len(), 2);
     }
 
     #[test]
     fn delete_specific_duplicate() {
         let mut pager = MemPager::new(P);
-        let mut t = BTree::new(&mut pager);
+        let mut t = BTree::new(&mut pager).unwrap();
         for v in 0..30u32 {
-            t.insert(&mut pager, 5.0, v);
+            t.insert(&mut pager, 5.0, v).unwrap();
         }
-        assert!(t.delete(&mut pager, 5.0, 17));
-        assert!(!t.delete(&mut pager, 5.0, 17), "already gone");
-        assert!(!t.delete(&mut pager, 6.0, 0), "absent key");
+        assert!(t.delete(&mut pager, 5.0, 17).unwrap());
+        assert!(!t.delete(&mut pager, 5.0, 17).unwrap(), "already gone");
+        assert!(!t.delete(&mut pager, 6.0, 0).unwrap(), "absent key");
         assert_eq!(t.len(), 29);
-        let vals: Vec<u32> = t.range(&pager, 5.0, 5.0).iter().map(|e| e.1).collect();
+        let vals: Vec<u32> = t
+            .range(&pager, 5.0, 5.0)
+            .unwrap()
+            .iter()
+            .map(|e| e.1)
+            .collect();
         assert!(!vals.contains(&17));
         assert_eq!(vals.len(), 29);
-        t.validate(&pager);
+        t.validate(&pager).unwrap();
     }
 
     #[test]
     fn delete_everything_then_reinsert() {
         let mut pager = MemPager::new(P);
-        let mut t = BTree::new(&mut pager);
+        let mut t = BTree::new(&mut pager).unwrap();
         for i in 0..100u32 {
-            t.insert(&mut pager, i as f64, i);
+            t.insert(&mut pager, i as f64, i).unwrap();
         }
         for i in 0..100u32 {
-            assert!(t.delete(&mut pager, i as f64, i), "delete {i}");
+            assert!(t.delete(&mut pager, i as f64, i).unwrap(), "delete {i}");
         }
         assert_eq!(t.len(), 0);
-        t.validate(&pager);
+        t.validate(&pager).unwrap();
         for i in 0..50u32 {
-            t.insert(&mut pager, i as f64, i + 1000);
+            t.insert(&mut pager, i as f64, i + 1000).unwrap();
         }
-        t.validate(&pager);
+        t.validate(&pager).unwrap();
         assert_eq!(collect_all(&t, &mut pager).len(), 50);
     }
 
     #[test]
     fn find_first_geq_and_last_leq() {
         let mut pager = MemPager::new(P);
-        let mut t = BTree::new(&mut pager);
+        let mut t = BTree::new(&mut pager).unwrap();
         for i in 0..50 {
-            t.insert(&mut pager, (i * 2) as f64, i as u32); // evens 0..98
+            t.insert(&mut pager, (i * 2) as f64, i as u32).unwrap(); // evens 0..98
         }
-        let (page, slot) = t.find_first_geq(&pager, 51.0).unwrap();
+        let (page, slot) = t.find_first_geq(&pager, 51.0).unwrap().unwrap();
         let mut buf = vec![0u8; P];
-        pager.read(page, &mut buf);
+        pager.read(page, &mut buf).unwrap();
         let leaf = Leaf::new(&mut buf);
         assert_eq!(leaf.key(slot), 52.0);
-        let (page, slot) = t.find_last_leq(&pager, 51.0).unwrap();
-        pager.read(page, &mut buf);
+        let (page, slot) = t.find_last_leq(&pager, 51.0).unwrap().unwrap();
+        pager.read(page, &mut buf).unwrap();
         let leaf = Leaf::new(&mut buf);
         assert_eq!(leaf.key(slot), 50.0);
-        assert!(t.find_first_geq(&pager, 99.0).is_none());
-        assert!(t.find_last_leq(&pager, -1.0).is_none());
+        assert!(t.find_first_geq(&pager, 99.0).unwrap().is_none());
+        assert!(t.find_last_leq(&pager, -1.0).unwrap().is_none());
     }
 
     #[test]
     fn sweep_down_descends() {
         let mut pager = MemPager::new(P);
-        let mut t = BTree::new(&mut pager);
+        let mut t = BTree::new(&mut pager).unwrap();
         for i in 0..100u32 {
-            t.insert(&mut pager, i as f64, i);
+            t.insert(&mut pager, i as f64, i).unwrap();
         }
         let mut seen = Vec::new();
         t.sweep_down(&pager, 42.5, |snap| {
             seen.extend(snap.entries.iter().map(|e| e.0));
             SweepControl::Continue
-        });
+        })
+        .unwrap();
         assert_eq!(seen.len(), 43); // keys 0..=42
         assert!(seen.windows(2).all(|w| w[0] >= w[1]), "descending order");
         assert_eq!(seen[0], 42.0);
@@ -904,9 +951,9 @@ mod tests {
     #[test]
     fn sweep_stop_is_respected() {
         let mut pager = MemPager::new(P);
-        let mut t = BTree::new(&mut pager);
+        let mut t = BTree::new(&mut pager).unwrap();
         for i in 0..500u32 {
-            t.insert(&mut pager, i as f64, i);
+            t.insert(&mut pager, i as f64, i).unwrap();
         }
         let mut leaves = 0;
         t.sweep_up(&pager, 0.0, |_| {
@@ -916,7 +963,8 @@ mod tests {
             } else {
                 SweepControl::Continue
             }
-        });
+        })
+        .unwrap();
         assert_eq!(leaves, 3);
     }
 
@@ -924,16 +972,16 @@ mod tests {
     fn bulk_load_matches_inserts() {
         let mut pager = MemPager::new(P);
         let entries: Vec<(f64, u32)> = (0..1000).map(|i| (i as f64 / 3.0, i as u32)).collect();
-        let t = BTree::bulk_load(&mut pager, &entries, 1.0);
-        t.validate(&pager);
+        let t = BTree::bulk_load(&mut pager, &entries, 1.0).unwrap();
+        t.validate(&pager).unwrap();
         assert_eq!(t.len(), 1000);
         let all = collect_all(&t, &mut pager);
         assert_eq!(all.len(), 1000);
         // Same multiset of values as a tree built by inserts.
         let mut pager2 = MemPager::new(P);
-        let mut t2 = BTree::new(&mut pager2);
+        let mut t2 = BTree::new(&mut pager2).unwrap();
         for &(k, v) in &entries {
-            t2.insert(&mut pager2, k, v);
+            t2.insert(&mut pager2, k, v).unwrap();
         }
         let mut a: Vec<u32> = all.iter().map(|e| e.1).collect();
         let mut b: Vec<u32> = collect_all(&t2, &mut pager2).iter().map(|e| e.1).collect();
@@ -945,26 +993,26 @@ mod tests {
     #[test]
     fn bulk_load_empty_and_single() {
         let mut pager = MemPager::new(P);
-        let t = BTree::bulk_load(&mut pager, &[], 1.0);
+        let t = BTree::bulk_load(&mut pager, &[], 1.0).unwrap();
         assert!(t.is_empty());
-        let t2 = BTree::bulk_load(&mut pager, &[(1.5, 9)], 0.7);
+        let t2 = BTree::bulk_load(&mut pager, &[(1.5, 9)], 0.7).unwrap();
         assert_eq!(t2.len(), 1);
-        assert_eq!(t2.range(&pager, 1.0, 2.0), vec![(1.5, 9)]);
+        assert_eq!(t2.range(&pager, 1.0, 2.0).unwrap(), vec![(1.5, 9)]);
     }
 
     #[test]
     #[should_panic]
     fn bulk_load_unsorted_panics() {
         let mut pager = MemPager::new(P);
-        BTree::bulk_load(&mut pager, &[(2.0, 0), (1.0, 1)], 1.0);
+        let _ = BTree::bulk_load(&mut pager, &[(2.0, 0), (1.0, 1)], 1.0);
     }
 
     #[test]
     fn handicaps_round_trip_through_sweeps() {
         let mut pager = MemPager::new(P);
         let entries: Vec<(f64, u32)> = (0..100).map(|i| (i as f64, i as u32)).collect();
-        let t = BTree::bulk_load(&mut pager, &entries, 1.0);
-        let leaves = t.leaves(&pager);
+        let t = BTree::bulk_load(&mut pager, &entries, 1.0).unwrap();
+        let leaves = t.leaves(&pager).unwrap();
         assert!(leaves.len() > 3);
         for (i, l) in leaves.iter().enumerate() {
             t.set_handicaps(
@@ -976,13 +1024,15 @@ mod tests {
                     high_prev: -(i as f64),
                     high_next: f64::NEG_INFINITY,
                 },
-            );
+            )
+            .unwrap();
         }
         let mut seen = Vec::new();
         t.sweep_up(&pager, f64::NEG_INFINITY, |snap| {
             seen.push(snap.handicaps.low_prev);
             SweepControl::Continue
-        });
+        })
+        .unwrap();
         assert_eq!(
             seen,
             (0..leaves.len()).map(|i| i as f64).collect::<Vec<_>>()
@@ -993,8 +1043,8 @@ mod tests {
     fn leaves_report_ranges() {
         let mut pager = MemPager::new(P);
         let entries: Vec<(f64, u32)> = (0..95).map(|i| (i as f64, i as u32)).collect();
-        let t = BTree::bulk_load(&mut pager, &entries, 1.0);
-        let leaves = t.leaves(&pager);
+        let t = BTree::bulk_load(&mut pager, &entries, 1.0).unwrap();
+        let leaves = t.leaves(&pager).unwrap();
         assert_eq!(leaves.iter().map(|l| l.count).sum::<usize>(), 95);
         assert_eq!(leaves[0].min_key, 0.0);
         assert_eq!(leaves.last().unwrap().max_key, 94.0);
@@ -1007,16 +1057,16 @@ mod tests {
     #[test]
     fn rebuild_compacts() {
         let mut pager = MemPager::new(P);
-        let mut t = BTree::new(&mut pager);
+        let mut t = BTree::new(&mut pager).unwrap();
         for i in 0..300u32 {
-            t.insert(&mut pager, i as f64, i);
+            t.insert(&mut pager, i as f64, i).unwrap();
         }
         for i in 0..280u32 {
-            t.delete(&mut pager, i as f64, i);
+            t.delete(&mut pager, i as f64, i).unwrap();
         }
         let before = pager.live_pages();
-        t.rebuild(&mut pager);
-        t.validate(&pager);
+        t.rebuild(&mut pager).unwrap();
+        t.validate(&pager).unwrap();
         assert_eq!(t.len(), 20);
         assert!(pager.live_pages() < before, "rebuild reclaims pages");
         let all = collect_all(&t, &mut pager);
@@ -1027,21 +1077,21 @@ mod tests {
     #[test]
     fn destroy_frees_all_pages() {
         let mut pager = MemPager::new(P);
-        let mut t = BTree::new(&mut pager);
+        let mut t = BTree::new(&mut pager).unwrap();
         for i in 0..500u32 {
-            t.insert(&mut pager, i as f64, i);
+            t.insert(&mut pager, i as f64, i).unwrap();
         }
         assert!(pager.live_pages() > 10);
-        t.destroy(&mut pager);
+        t.destroy(&mut pager).unwrap();
         assert_eq!(pager.live_pages(), 0);
     }
 
     #[test]
     fn page_count_tracks_allocations() {
         let mut pager = MemPager::new(P);
-        let mut t = BTree::new(&mut pager);
+        let mut t = BTree::new(&mut pager).unwrap();
         for i in 0..500u32 {
-            t.insert(&mut pager, i as f64, i);
+            t.insert(&mut pager, i as f64, i).unwrap();
         }
         assert_eq!(t.page_count() as usize, pager.live_pages());
     }
@@ -1050,7 +1100,7 @@ mod tests {
     fn randomized_against_btreemap() {
         use std::collections::BTreeMap;
         let mut pager = MemPager::new(P);
-        let mut t = BTree::new(&mut pager);
+        let mut t = BTree::new(&mut pager).unwrap();
         let mut oracle: BTreeMap<(i64, u32), ()> = BTreeMap::new();
         let mut seed = 0x12345678u64;
         let mut rand = || {
@@ -1066,18 +1116,18 @@ mod tests {
                 let lo = (k as i64, 0u32);
                 let hi = (k as i64, u32::MAX);
                 if let Some(&(ok, ov)) = oracle.range(lo..=hi).next().map(|(kv, _)| kv) {
-                    assert!(t.delete(&mut pager, ok as f64, ov));
+                    assert!(t.delete(&mut pager, ok as f64, ov).unwrap());
                     oracle.remove(&(ok, ov));
                 }
             } else {
-                t.insert(&mut pager, k, step);
+                t.insert(&mut pager, k, step).unwrap();
                 oracle.insert((k as i64, step), ());
             }
             if step % 500 == 0 {
-                t.validate(&pager);
+                t.validate(&pager).unwrap();
             }
         }
-        t.validate(&pager);
+        t.validate(&pager).unwrap();
         assert_eq!(t.len() as usize, oracle.len());
         let all = collect_all(&t, &mut pager);
         let mut got: Vec<(i64, u32)> = all.iter().map(|&(k, v)| (k as i64, v)).collect();

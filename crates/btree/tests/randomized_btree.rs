@@ -37,7 +37,8 @@ fn collect_all(tree: &BTree, pager: &dyn PageReader) -> Vec<(f64, u32)> {
     tree.sweep_up(pager, f64::NEG_INFINITY, |s| {
         out.extend_from_slice(&s.entries);
         SweepControl::Continue
-    });
+    })
+    .unwrap();
     out
 }
 
@@ -49,13 +50,13 @@ fn random_ops_match_btreemap() {
         let ops: Vec<Op> = (0..n_ops).map(|_| random_op(&mut rng)).collect();
         // Tiny pages force splits constantly.
         let mut pager = MemPager::new(128);
-        let mut tree = BTree::new(&mut pager);
+        let mut tree = BTree::new(&mut pager).unwrap();
         // Oracle: multiset keyed by (key, value); values unique per op index.
         let mut oracle: BTreeMap<(i64, u32), ()> = BTreeMap::new();
         for op in &ops {
             match *op {
                 Op::Insert(k, v) => {
-                    tree.insert(&mut pager, k as f64, v);
+                    tree.insert(&mut pager, k as f64, v).unwrap();
                     oracle.insert((k as i64, v), ());
                 }
                 Op::Delete(k) => {
@@ -66,17 +67,23 @@ fn random_ops_match_btreemap() {
                         .map(|(kv, _)| *kv);
                     match pick {
                         Some((ok, ov)) => {
-                            assert!(tree.delete(&mut pager, ok as f64, ov), "seed {seed}");
+                            assert!(
+                                tree.delete(&mut pager, ok as f64, ov).unwrap(),
+                                "seed {seed}"
+                            );
                             oracle.remove(&(ok, ov));
                         }
                         None => {
-                            assert!(!tree.delete(&mut pager, k as f64, 12345), "seed {seed}");
+                            assert!(
+                                !tree.delete(&mut pager, k as f64, 12345).unwrap(),
+                                "seed {seed}"
+                            );
                         }
                     }
                 }
                 Op::Range(a, b) => {
                     let (lo, hi) = (a.min(b) as f64, a.max(b) as f64);
-                    let got = tree.range(&pager, lo, hi);
+                    let got = tree.range(&pager, lo, hi).unwrap();
                     let want = oracle.range((lo as i64, 0)..=(hi as i64, u32::MAX)).count();
                     assert_eq!(got.len(), want, "range [{lo}, {hi}] (seed {seed})");
                     assert!(got.windows(2).all(|w| w[0].0 <= w[1].0));
@@ -91,13 +98,14 @@ fn random_ops_match_btreemap() {
                             n += 1;
                         }
                         SweepControl::Continue
-                    });
+                    })
+                    .unwrap();
                     let want = oracle.range((i64::MIN, 0)..=(k as i64, u32::MAX)).count();
                     assert_eq!(n, want, "sweep_down from {k} (seed {seed})");
                 }
             }
         }
-        tree.validate(&pager);
+        tree.validate(&pager).unwrap();
         assert_eq!(tree.len() as usize, oracle.len(), "seed {seed}");
         let all = collect_all(&tree, &pager);
         let mut got: Vec<(i64, u32)> = all.iter().map(|&(k, v)| (k as i64, v)).collect();
@@ -123,12 +131,12 @@ fn bulk_load_equals_insertion_build() {
             .map(|(i, &k)| (k as f64 / 7.0, i as u32))
             .collect();
         let mut p1 = MemPager::new(128);
-        let bulk = BTree::bulk_load(&mut p1, &entries, fill);
-        bulk.validate(&p1);
+        let bulk = BTree::bulk_load(&mut p1, &entries, fill).unwrap();
+        bulk.validate(&p1).unwrap();
         let mut p2 = MemPager::new(128);
-        let mut incr = BTree::new(&mut p2);
+        let mut incr = BTree::new(&mut p2).unwrap();
         for &(k, v) in &entries {
-            incr.insert(&mut p2, k, v);
+            incr.insert(&mut p2, k, v).unwrap();
         }
         let mut a: Vec<u32> = collect_all(&bulk, &p1).iter().map(|e| e.1).collect();
         let mut b: Vec<u32> = collect_all(&incr, &p2).iter().map(|e| e.1).collect();
@@ -150,9 +158,9 @@ fn sweeps_partition_the_key_space() {
             .collect();
         let pivot = rng.gen_range(-500i64..500) as i32;
         let mut pager = MemPager::new(128);
-        let mut tree = BTree::new(&mut pager);
+        let mut tree = BTree::new(&mut pager).unwrap();
         for (i, &k) in keys.iter().enumerate() {
-            tree.insert(&mut pager, k as f64, i as u32);
+            tree.insert(&mut pager, k as f64, i as u32).unwrap();
         }
         // Everything strictly below pivot from sweep_down(pivot - eps),
         // everything >= pivot from sweep_up(pivot): together = all.
@@ -160,12 +168,14 @@ fn sweeps_partition_the_key_space() {
         tree.sweep_up(&pager, pivot as f64, |s| {
             up += s.entries.len();
             SweepControl::Continue
-        });
+        })
+        .unwrap();
         let mut down = 0usize;
         tree.sweep_down(&pager, (pivot as f64).next_down(), |s| {
             down += s.entries.len();
             SweepControl::Continue
-        });
+        })
+        .unwrap();
         assert_eq!(up + down, keys.len(), "seed {seed}, pivot {pivot}");
     }
 }
@@ -174,11 +184,11 @@ fn sweeps_partition_the_key_space() {
 fn handicaps_survive_heavy_splitting() {
     use cdb_btree::Handicaps;
     let mut pager = MemPager::new(128);
-    let mut tree = BTree::new(&mut pager);
+    let mut tree = BTree::new(&mut pager).unwrap();
     // Set distinctive handicaps on the single root leaf, then split it many
     // times: every descendant leaf must inherit (conservative bounds).
-    tree.insert(&mut pager, 0.0, 0);
-    let first = tree.leaves(&pager)[0].page;
+    tree.insert(&mut pager, 0.0, 0).unwrap();
+    let first = tree.leaves(&pager).unwrap()[0].page;
     tree.set_handicaps(
         &mut pager,
         first,
@@ -188,12 +198,13 @@ fn handicaps_survive_heavy_splitting() {
             high_prev: 99.0,
             high_next: 42.0,
         },
-    );
+    )
+    .unwrap();
     for i in 1..300u32 {
-        tree.insert(&mut pager, i as f64, i);
+        tree.insert(&mut pager, i as f64, i).unwrap();
     }
-    for leaf in tree.leaves(&pager) {
-        let h = tree.read_handicaps(&pager, leaf.page);
+    for leaf in tree.leaves(&pager).unwrap() {
+        let h = tree.read_handicaps(&pager, leaf.page).unwrap();
         assert!(h.low_prev <= -7.25, "low_prev loosened only: {h:?}");
         assert!(h.high_prev >= 99.0, "high_prev loosened only: {h:?}");
     }
@@ -204,8 +215,8 @@ fn emptied_leaf_migrates_handicaps() {
     use cdb_btree::Handicaps;
     let mut pager = MemPager::new(128);
     let entries: Vec<(f64, u32)> = (0..30).map(|i| (i as f64, i as u32)).collect();
-    let mut tree = BTree::bulk_load(&mut pager, &entries, 1.0);
-    let leaves = tree.leaves(&pager);
+    let mut tree = BTree::bulk_load(&mut pager, &entries, 1.0).unwrap();
+    let leaves = tree.leaves(&pager).unwrap();
     assert!(leaves.len() >= 3);
     let mid = leaves[1];
     tree.set_handicaps(
@@ -217,20 +228,21 @@ fn emptied_leaf_migrates_handicaps() {
             high_prev: 300.0,
             high_next: 400.0,
         },
-    );
+    )
+    .unwrap();
     // Empty the middle leaf.
     for i in 0..30u32 {
         let k = i as f64;
         if k >= mid.min_key && k <= mid.max_key {
-            assert!(tree.delete(&mut pager, k, i));
+            assert!(tree.delete(&mut pager, k, i).unwrap());
         }
     }
-    let after = tree.leaves(&pager);
+    let after = tree.leaves(&pager).unwrap();
     // Low bounds moved to the next leaf, high bounds to the previous.
     let next = after.iter().position(|l| l.page == mid.page).unwrap() + 1;
     let prev = next - 2;
-    let hn = tree.read_handicaps(&pager, after[next].page);
-    let hp = tree.read_handicaps(&pager, after[prev].page);
+    let hn = tree.read_handicaps(&pager, after[next].page).unwrap();
+    let hp = tree.read_handicaps(&pager, after[prev].page).unwrap();
     assert!(hn.low_prev <= -100.0 && hn.low_next <= -200.0, "{hn:?}");
     assert!(hp.high_prev >= 300.0 && hp.high_next >= 400.0, "{hp:?}");
 }

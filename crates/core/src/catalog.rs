@@ -40,7 +40,7 @@ use cdb_btree::BTree;
 use cdb_rplustree::RPlusTree;
 use cdb_storage::{CodecError, HeapFile, RecordId, RecordReader, RecordWriter};
 
-use crate::db::{RPlusIndex, Relation};
+use crate::db::{RPlusIndex, Relation, RelationHealth};
 use crate::ddim::{DualIndexD, SlopePoints};
 use crate::error::{CdbError, CATALOG_RECORD};
 use crate::index::DualIndex;
@@ -485,6 +485,9 @@ pub(crate) fn decode(
                     index_d,
                     rplus,
                     catalog,
+                    // The open-time verification pass re-classifies this
+                    // right after decoding (see `ConstraintDb::open`).
+                    health: RelationHealth::Healthy,
                 },
             )
             .is_some()

@@ -2,15 +2,31 @@
 //! generalized tuples), access methods (dual indexes, the d-dimensional
 //! extension, the R⁺-tree baseline, sequential scan) and cost-based query
 //! planning, all over one instrumented pager.
+//!
+//! # Failure containment
+//!
+//! Durable state only moves at [`ConstraintDb::checkpoint`] (shadow-page
+//! commit): a mutation that fails midway — a device error during an index
+//! insert, say — can leave the *in-memory* engine with structures out of
+//! step, but the on-disk database is untouched and reopening recovers the
+//! last committed state. On open, every relation's pages are verified
+//! through the checksumming pager and classified into a
+//! [`RelationHealth`]: a corrupt index only *degrades* its relation
+//! (queries fall back to the remaining methods and
+//! [`ConstraintDb::rebuild_indexes`] repairs it from the heap), while a
+//! corrupt heap *quarantines* it — its queries fail with
+//! [`CdbError::Quarantined`] but sibling relations keep answering.
 
 use std::collections::HashMap;
+use std::io;
 
 use cdb_geometry::halfplane::HalfPlane;
 use cdb_geometry::tuple::GeneralizedTuple;
 use cdb_geometry::Rect;
 use cdb_rplustree::RPlusTree;
 use cdb_storage::{
-    FilePager, HeapFile, IoStats, MemPager, PageReader, Pager, RecordId, DEFAULT_PAGE_SIZE,
+    FilePager, HeapFile, IoStats, MemPager, PageId, PageReader, Pager, PagerRecovery, RecordId,
+    DEFAULT_PAGE_SIZE,
 };
 
 use crate::ddim::{DualIndexD, SlopePoints};
@@ -48,6 +64,81 @@ impl Default for DbConfig {
     }
 }
 
+/// Verdict of the open-time verification pass for one relation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RelationHealth {
+    /// Every heap and index page read back and verified.
+    Healthy,
+    /// The heap is intact but the named index structures have unreadable
+    /// pages. Queries keep running on the remaining access methods;
+    /// [`ConstraintDb::rebuild_indexes`] re-derives the corrupt ones from
+    /// the heap.
+    Degraded {
+        /// Which structures failed verification: `"dual"`, `"dual-d"`,
+        /// `"rplus"`.
+        corrupt_indexes: Vec<String>,
+    },
+    /// The heap itself has unreadable pages — there is no trustworthy
+    /// source to rebuild from, so queries and mutations are refused with
+    /// [`CdbError::Quarantined`] until the data is restored.
+    Quarantined {
+        /// First verification failure, for diagnostics.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for RelationHealth {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RelationHealth::Healthy => write!(f, "healthy"),
+            RelationHealth::Degraded { corrupt_indexes } => {
+                write!(f, "degraded (corrupt: {})", corrupt_indexes.join(", "))
+            }
+            RelationHealth::Quarantined { detail } => {
+                write!(f, "quarantined ({detail})")
+            }
+        }
+    }
+}
+
+/// What [`ConstraintDb::open`] found and did: the pager's header-slot
+/// recovery plus the per-relation verification verdicts.
+#[derive(Clone, Debug)]
+pub struct RecoveryReport {
+    /// Header recovery performed by the file pager.
+    pub pager: PagerRecovery,
+    /// `(relation, health)` pairs, sorted by name.
+    pub relations: Vec<(String, RelationHealth)>,
+}
+
+impl RecoveryReport {
+    /// `true` when the pager opened on its newest commit and every
+    /// relation verified healthy.
+    pub fn is_clean(&self) -> bool {
+        self.pager == PagerRecovery::Clean
+            && self
+                .relations
+                .iter()
+                .all(|(_, h)| *h == RelationHealth::Healthy)
+    }
+
+    /// Names of quarantined relations.
+    pub fn quarantined(&self) -> Vec<&str> {
+        self.relations
+            .iter()
+            .filter(|(_, h)| matches!(h, RelationHealth::Quarantined { .. }))
+            .map(|(n, _)| n.as_str())
+            .collect()
+    }
+}
+
+fn clean_recovery() -> RecoveryReport {
+    RecoveryReport {
+        pager: PagerRecovery::Clean,
+        relations: Vec::new(),
+    }
+}
+
 /// The Section 5 baseline as a relation-level index: a packed R⁺-tree over
 /// the MBRs of *bounded* tuples, plus an overflow list of unbounded tuple
 /// ids (no finite MBR exists for those — they are always refined) and a
@@ -82,6 +173,9 @@ pub struct Relation {
     pub(crate) index_d: Option<DualIndexD>,
     pub(crate) rplus: Option<RPlusIndex>,
     pub(crate) catalog: PlanCatalog,
+    /// Verdict of the last verification pass (always `Healthy` for
+    /// relations born in memory; set by `open` for file-backed ones).
+    pub(crate) health: RelationHealth,
 }
 
 impl Relation {
@@ -130,9 +224,53 @@ impl Relation {
         &self.catalog
     }
 
+    /// Verdict of the open-time verification pass.
+    pub fn health(&self) -> &RelationHealth {
+        &self.health
+    }
+
+    /// Refuses quarantined relations; every query and mutation path goes
+    /// through this gate.
+    fn ensure_usable(&self) -> Result<(), CdbError> {
+        if matches!(self.health, RelationHealth::Quarantined { .. }) {
+            return Err(CdbError::Quarantined(self.name.clone()));
+        }
+        Ok(())
+    }
+
+    /// `(dual, dual-d, rplus)` corruption flags from the health verdict.
+    fn corrupt_flags(&self) -> (bool, bool, bool) {
+        match &self.health {
+            RelationHealth::Degraded { corrupt_indexes } => (
+                corrupt_indexes.iter().any(|c| c == "dual"),
+                corrupt_indexes.iter().any(|c| c == "dual-d"),
+                corrupt_indexes.iter().any(|c| c == "rplus"),
+            ),
+            _ => (false, false, false),
+        }
+    }
+
+    /// Clears one structure's corruption flag after a successful rebuild;
+    /// a degraded relation with nothing left corrupt becomes healthy.
+    fn mark_repaired(&mut self, which: &str) {
+        if let RelationHealth::Degraded { corrupt_indexes } = &mut self.health {
+            corrupt_indexes.retain(|c| c != which);
+            if corrupt_indexes.is_empty() {
+                self.health = RelationHealth::Healthy;
+            }
+        }
+    }
+
     /// Pages of the heap file alone (the planner's scan cost).
     pub fn heap_pages(&self) -> u64 {
         self.heap.page_count() as u64
+    }
+
+    /// Page ids owned by the heap file, in allocation order. Index pages
+    /// are whatever else the pager has allocated — corruption tooling and
+    /// tests use the difference to aim at one structure or the other.
+    pub fn heap_page_ids(&self) -> &[PageId] {
+        self.heap.pages()
     }
 
     /// Heap + index pages currently owned.
@@ -151,14 +289,18 @@ impl Relation {
     ///
     /// # Errors
     /// [`CdbError::NoSuchTuple`] for dead/unknown ids;
-    /// [`CdbError::CorruptRecord`] when the stored bytes fail to decode.
+    /// [`CdbError::CorruptRecord`] when the stored bytes fail to decode;
+    /// [`CdbError::Io`] when the page cannot be read.
     pub fn fetch(&self, pager: &dyn PageReader, id: u32) -> Result<GeneralizedTuple, CdbError> {
         let rid = self
             .slots
             .get(id as usize)
             .and_then(|r| *r)
             .ok_or(CdbError::NoSuchTuple(id))?;
-        let bytes = self.heap.get(pager, rid).ok_or(CdbError::NoSuchTuple(id))?;
+        let bytes = self
+            .heap
+            .get(pager, rid)?
+            .ok_or(CdbError::NoSuchTuple(id))?;
         GeneralizedTuple::decode(&bytes).ok_or(CdbError::CorruptRecord(id))
     }
 
@@ -167,10 +309,11 @@ impl Relation {
     /// insert/delete, so no per-scan rebuild).
     ///
     /// # Errors
-    /// [`CdbError::CorruptRecord`] when a stored record fails to decode.
+    /// [`CdbError::CorruptRecord`] when a stored record fails to decode;
+    /// [`CdbError::Io`] when a heap page cannot be read.
     pub fn scan(&self, pager: &dyn PageReader) -> Result<Vec<(u32, GeneralizedTuple)>, CdbError> {
         self.heap
-            .scan(pager)
+            .scan(pager)?
             .into_iter()
             .filter_map(|(rid, bytes)| self.by_record.get(&rid).map(|&id| (id, bytes)))
             .map(|(id, bytes)| {
@@ -183,34 +326,79 @@ impl Relation {
 
     /// Every access method currently available on this relation, boxed as
     /// planner inputs. The sequential scan is always present; index-backed
-    /// methods appear once their structure is built.
+    /// methods appear once their structure is built — and disappear while
+    /// the structure is marked corrupt, so a degraded relation plans
+    /// around the damage instead of reading bad pages.
     pub fn access_methods(&self, page_size: usize) -> Vec<Box<dyn AccessMethod + '_>> {
         let ctx = MethodContext {
             n: self.live,
             heap_pages: self.heap_pages(),
             page_size,
         };
+        let (c_dual, c_duald, c_rplus) = self.corrupt_flags();
         let mut methods: Vec<Box<dyn AccessMethod + '_>> = vec![Box::new(SeqScanAccess {
             relation: self,
             ctx,
         })];
         if let Some(idx) = self.index.as_ref() {
-            methods.push(Box::new(RestrictedAccess { index: idx, ctx }));
-            methods.push(Box::new(T2Access { index: idx, ctx }));
-            methods.push(Box::new(T1Access { index: idx, ctx }));
+            if !c_dual {
+                methods.push(Box::new(RestrictedAccess { index: idx, ctx }));
+                methods.push(Box::new(T2Access { index: idx, ctx }));
+                methods.push(Box::new(T1Access { index: idx, ctx }));
+            }
         }
         if let Some(idx) = self.index_d.as_ref() {
-            methods.push(Box::new(DualDAccess { index: idx, ctx }));
+            if !c_duald {
+                methods.push(Box::new(DualDAccess { index: idx, ctx }));
+            }
         }
         if let Some(rp) = self.rplus.as_ref() {
-            methods.push(Box::new(RPlusAccess {
-                tree: &rp.tree,
-                unbounded: &rp.unbounded,
-                dead: &rp.dead,
-                ctx,
-            }));
+            if !c_rplus {
+                methods.push(Box::new(RPlusAccess {
+                    tree: &rp.tree,
+                    unbounded: &rp.unbounded,
+                    dead: &rp.dead,
+                    ctx,
+                }));
+            }
         }
         methods
+    }
+}
+
+/// One open-time verification pass: reads every page the relation owns
+/// through the checksumming pager. The heap decides quarantine — it is the
+/// ground truth every index rebuild needs; unreadable index pages only
+/// degrade the relation.
+fn verify_relation(pager: &dyn PageReader, rel: &Relation) -> RelationHealth {
+    let mut buf = vec![0u8; pager.page_size()];
+    for &p in rel.heap.pages() {
+        if let Err(e) = pager.read(p, &mut buf) {
+            return RelationHealth::Quarantined {
+                detail: format!("heap page {p}: {e}"),
+            };
+        }
+    }
+    let mut corrupt_indexes = Vec::new();
+    if let Some(idx) = rel.index.as_ref() {
+        if idx.verify(pager).is_err() {
+            corrupt_indexes.push("dual".to_string());
+        }
+    }
+    if let Some(idx) = rel.index_d.as_ref() {
+        if idx.verify(pager).is_err() {
+            corrupt_indexes.push("dual-d".to_string());
+        }
+    }
+    if let Some(rp) = rel.rplus.as_ref() {
+        if rp.tree.collect_pages(pager).is_err() {
+            corrupt_indexes.push("rplus".to_string());
+        }
+    }
+    if corrupt_indexes.is_empty() {
+        RelationHealth::Healthy
+    } else {
+        RelationHealth::Degraded { corrupt_indexes }
     }
 }
 
@@ -237,7 +425,7 @@ impl crate::index::TupleSource for HeapSource<'_> {
             );
         }
         self.heap
-            .get_many(pager, &rids)
+            .get_many(pager, &rids)?
             .into_iter()
             .zip(ids)
             .map(|(bytes, &id)| {
@@ -258,8 +446,8 @@ impl PageReader for ReadHalf<'_> {
         self.0.page_size()
     }
 
-    fn read(&self, id: cdb_storage::PageId, buf: &mut [u8]) {
-        self.0.read(id, buf);
+    fn read(&self, id: cdb_storage::PageId, buf: &mut [u8]) -> io::Result<()> {
+        self.0.read(id, buf)
     }
 
     fn live_pages(&self) -> usize {
@@ -285,6 +473,11 @@ pub struct ConstraintDb {
     /// checkpoint; a differing sum means the EWMAs moved and are worth
     /// re-persisting.
     committed_plan_version: u64,
+    /// Opened via [`ConstraintDb::open_read_only`]: every mutating entry
+    /// point refuses with [`CdbError::ReadOnly`].
+    read_only: bool,
+    /// What `open` found; trivially clean for in-memory engines.
+    recovery: RecoveryReport,
 }
 
 impl ConstraintDb {
@@ -303,6 +496,8 @@ impl ConstraintDb {
             relations: HashMap::new(),
             dirty: false,
             committed_plan_version: 0,
+            read_only: false,
+            recovery: clean_recovery(),
         }
     }
 
@@ -322,10 +517,14 @@ impl ConstraintDb {
         Ok(db)
     }
 
-    /// Opens an existing database file and rebuilds every relation —
-    /// heaps, slot tables, dual indexes, R⁺-tree, planner EWMAs — from the
-    /// committed catalog, without scanning the heap. The page size comes
-    /// from the file header and the default strategy from the catalog.
+    /// Opens an existing database file: rebuilds every relation — heaps,
+    /// slot tables, dual indexes, R⁺-tree, planner EWMAs — from the
+    /// committed catalog, then verifies every page each relation owns
+    /// through the checksumming pager and classifies the damage (see
+    /// [`RecoveryReport`] / [`ConstraintDb::recovery_report`]). A corrupt
+    /// index degrades its relation; a corrupt heap quarantines it; sibling
+    /// relations are unaffected either way, so `open` succeeds whenever
+    /// the catalog itself is intact.
     ///
     /// # Errors
     /// [`CdbError::CorruptRecord`] (with id [`crate::error::CATALOG_RECORD`])
@@ -333,23 +532,51 @@ impl ConstraintDb {
     /// torn or tampered file is reported, never served as an empty
     /// database. [`CdbError::Io`] for operating-system failures.
     pub fn open(path: &std::path::Path) -> Result<Self, CdbError> {
-        fn lift(e: std::io::Error) -> CdbError {
-            // Both failed validation and hitting EOF mid-structure mean the
-            // file is not a whole database.
-            match e.kind() {
-                std::io::ErrorKind::InvalidData | std::io::ErrorKind::UnexpectedEof => {
-                    CdbError::CorruptRecord(crate::error::CATALOG_RECORD)
-                }
-                _ => CdbError::Io(e.to_string()),
+        Self::from_file(FilePager::open(path).map_err(Self::lift)?)
+    }
+
+    /// [`open`](Self::open), but the file is mapped read-only and every
+    /// mutating entry point (DDL, inserts/deletes, index builds,
+    /// checkpoints) refuses with [`CdbError::ReadOnly`]. Queries work as
+    /// usual; planner feedback accumulates in memory only and is never
+    /// persisted.
+    pub fn open_read_only(path: &std::path::Path) -> Result<Self, CdbError> {
+        Self::from_file(FilePager::open_read_only(path).map_err(Self::lift)?)
+    }
+
+    fn lift(e: std::io::Error) -> CdbError {
+        // Both failed validation and hitting EOF mid-structure mean the
+        // file is not a whole database.
+        match e.kind() {
+            std::io::ErrorKind::InvalidData | std::io::ErrorKind::UnexpectedEof => {
+                CdbError::CorruptRecord(crate::error::CATALOG_RECORD)
             }
+            _ => CdbError::Io(e.to_string()),
         }
-        let pager = FilePager::open(path).map_err(lift)?;
+    }
+
+    fn from_file(pager: FilePager) -> Result<Self, CdbError> {
         let blob = pager
             .read_meta()
-            .map_err(lift)?
+            .map_err(Self::lift)?
             .ok_or(CdbError::CorruptRecord(crate::error::CATALOG_RECORD))?;
         let page_size = pager.page_size();
-        let (strategy, relations) = crate::catalog::decode(&blob, page_size)?;
+        let (strategy, mut relations) = crate::catalog::decode(&blob, page_size)?;
+        let mut names: Vec<String> = relations.keys().cloned().collect();
+        names.sort();
+        let mut verdicts = Vec::with_capacity(names.len());
+        for name in names {
+            // Never fails: `names` was collected from this very map.
+            let rel = relations.get_mut(&name).expect("name from the key set");
+            let health = verify_relation(&pager, rel);
+            rel.health = health.clone();
+            verdicts.push((name, health));
+        }
+        let read_only = pager.is_read_only();
+        let recovery = RecoveryReport {
+            pager: pager.recovery(),
+            relations: verdicts,
+        };
         Ok(ConstraintDb {
             pager: Box::new(pager),
             config: DbConfig {
@@ -361,7 +588,28 @@ impl ConstraintDb {
             // Restored catalogs start at version 0 (see
             // `PlanCatalog::from_entries`), so the committed sum is 0.
             committed_plan_version: 0,
+            read_only,
+            recovery,
         })
+    }
+
+    /// What the last `open` found and did. Trivially clean for in-memory
+    /// and freshly created databases.
+    pub fn recovery_report(&self) -> &RecoveryReport {
+        &self.recovery
+    }
+
+    /// `true` when the engine was opened via
+    /// [`open_read_only`](Self::open_read_only).
+    pub fn is_read_only(&self) -> bool {
+        self.read_only
+    }
+
+    fn ensure_writable(&self) -> Result<(), CdbError> {
+        if self.read_only {
+            return Err(CdbError::ReadOnly);
+        }
+        Ok(())
     }
 
     fn plan_version_sum(&self) -> u64 {
@@ -370,14 +618,19 @@ impl ConstraintDb {
 
     /// Serializes the catalog (relations, index metadata, planner EWMAs)
     /// and commits it through the pager's shadow-page protocol. A no-op
-    /// when nothing changed since the last checkpoint. After a crash, a
-    /// reader sees either the previous catalog or this one — never a
-    /// mixture.
+    /// when nothing changed since the last checkpoint, and on read-only
+    /// handles (whose durable state cannot move). After a crash, a reader
+    /// sees either the previous catalog or this one — never a mixture.
     ///
     /// # Errors
     /// [`CdbError::Io`] when a page write or sync fails; the previously
     /// committed catalog stays readable.
     pub fn checkpoint(&mut self) -> Result<(), CdbError> {
+        if self.read_only {
+            // Plan-catalog EWMAs may drift in memory, but a read-only
+            // handle never persists: the file is someone else's to write.
+            return Ok(());
+        }
         let vsum = self.plan_version_sum();
         if !self.dirty && vsum == self.committed_plan_version {
             return Ok(());
@@ -418,8 +671,10 @@ impl ConstraintDb {
     /// Creates an empty relation of the given dimension.
     ///
     /// # Errors
-    /// [`CdbError::RelationExists`] if the name is taken.
+    /// [`CdbError::RelationExists`] if the name is taken;
+    /// [`CdbError::ReadOnly`] on a read-only handle.
     pub fn create_relation(&mut self, name: &str, dim: usize) -> Result<&Relation, CdbError> {
+        self.ensure_writable()?;
         if self.relations.contains_key(name) {
             return Err(CdbError::RelationExists(name.into()));
         }
@@ -439,6 +694,7 @@ impl ConstraintDb {
                 index_d: None,
                 rplus: None,
                 catalog: PlanCatalog::new(),
+                health: RelationHealth::Healthy,
             },
         );
         Ok(&self.relations[name])
@@ -451,23 +707,37 @@ impl ConstraintDb {
         v
     }
 
-    /// Drops a relation, freeing its heap and index pages.
+    /// Drops a relation, freeing its heap and index pages. Dropping an
+    /// unhealthy relation is allowed — it is the way out of quarantine —
+    /// but pages held by structures too corrupt to walk stay allocated
+    /// until the file is rebuilt.
     pub fn drop_relation(&mut self, name: &str) -> Result<(), CdbError> {
+        self.ensure_writable()?;
         let rel = self
             .relations
             .remove(name)
             .ok_or_else(|| CdbError::RelationNotFound(name.into()))?;
         self.dirty = true;
+        let salvage = rel.health != RelationHealth::Healthy;
         let pager = self.pager.as_mut();
         rel.heap.destroy(pager);
         if let Some(idx) = rel.index {
-            idx.destroy(pager);
+            let freed = idx.destroy(pager);
+            if !salvage {
+                freed?;
+            }
         }
         if let Some(idx) = rel.index_d {
-            idx.destroy(pager);
+            let freed = idx.destroy(pager);
+            if !salvage {
+                freed?;
+            }
         }
         if let Some(rp) = rel.rplus {
-            rp.tree.destroy(pager);
+            let freed = rp.tree.destroy(pager);
+            if !salvage {
+                freed.map_err(CdbError::from)?;
+            }
         }
         Ok(())
     }
@@ -486,27 +756,34 @@ impl ConstraintDb {
 
     /// Fetches one tuple by id.
     pub fn fetch_tuple(&self, name: &str, id: u32) -> Result<GeneralizedTuple, CdbError> {
-        let rel = self
-            .relations
-            .get(name)
-            .ok_or_else(|| CdbError::RelationNotFound(name.into()))?;
+        let rel = self.relation(name)?;
+        rel.ensure_usable()?;
         rel.fetch(&self.reader(), id)
     }
 
     /// All live `(id, tuple)` pairs of a relation.
     pub fn scan_relation(&self, name: &str) -> Result<Vec<(u32, GeneralizedTuple)>, CdbError> {
-        let rel = self
-            .relations
-            .get(name)
-            .ok_or_else(|| CdbError::RelationNotFound(name.into()))?;
+        let rel = self.relation(name)?;
+        rel.ensure_usable()?;
         rel.scan(&self.reader())
     }
 
     /// Inserts a satisfiable tuple, returning its id. Maintains every
     /// built access structure (`O(k log_B n)` tree inserts for the dual
     /// indexes; handicaps are refreshed lazily before the next T2 query).
+    /// On a degraded relation, structures marked corrupt are skipped —
+    /// they will be rebuilt wholesale from the heap.
+    ///
+    /// A failed insert leaves the durable state untouched (nothing commits
+    /// before the next checkpoint) but may leave the in-memory structures
+    /// out of step; reopen to recover the last committed state.
     pub fn insert(&mut self, name: &str, tuple: GeneralizedTuple) -> Result<u32, CdbError> {
-        let rel_dim = self.relation(name)?.dim;
+        self.ensure_writable()?;
+        let rel_dim = {
+            let rel = self.relation(name)?;
+            rel.ensure_usable()?;
+            rel.dim
+        };
         if rel_dim != tuple.dim() {
             return Err(CdbError::DimensionMismatch {
                 expected: rel_dim,
@@ -519,102 +796,138 @@ impl ConstraintDb {
         self.dirty = true;
         let pager = self.pager.as_mut();
         let rel = self.relations.get_mut(name).expect("checked above");
-        let rid = rel.heap.insert(pager, &tuple.encode());
+        let (c_dual, c_duald, c_rplus) = rel.corrupt_flags();
+        let rid = rel.heap.insert(pager, &tuple.encode())?;
         let id = rel.slots.len() as u32;
         rel.slots.push(Some(rid));
         rel.by_record.insert(rid, id);
         rel.live += 1;
         if let Some(idx) = rel.index.as_mut() {
-            idx.insert(pager, id, &tuple);
+            if !c_dual {
+                idx.insert(pager, id, &tuple)?;
+            }
         }
         if let Some(idx) = rel.index_d.as_mut() {
-            idx.insert(pager, id, &tuple);
+            if !c_duald {
+                idx.insert(pager, id, &tuple)?;
+            }
         }
         if let Some(rp) = rel.rplus.as_mut() {
-            match tuple.bounding_box() {
-                Some((lo, hi)) if rel_dim == 2 => {
-                    rp.tree
-                        .insert(pager, Rect::new(lo[0], lo[1], hi[0], hi[1]), id);
+            if !c_rplus {
+                match tuple.bounding_box() {
+                    Some((lo, hi)) if rel_dim == 2 => {
+                        rp.tree
+                            .insert(pager, Rect::new(lo[0], lo[1], hi[0], hi[1]), id)?;
+                    }
+                    _ => rp.unbounded.push(id),
                 }
-                _ => rp.unbounded.push(id),
             }
         }
         Ok(id)
     }
 
-    /// Deletes a tuple by id. Returns the removed tuple.
+    /// Deletes a tuple by id. Returns the removed tuple. On a degraded
+    /// relation, structures marked corrupt are skipped (see
+    /// [`insert`](Self::insert) for the failure contract).
     pub fn delete(&mut self, name: &str, id: u32) -> Result<GeneralizedTuple, CdbError> {
+        self.ensure_writable()?;
         let pager = self.pager.as_mut();
         let rel = self
             .relations
             .get_mut(name)
             .ok_or_else(|| CdbError::RelationNotFound(name.into()))?;
+        rel.ensure_usable()?;
+        let (c_dual, c_duald, c_rplus) = rel.corrupt_flags();
         let tuple = rel.fetch(&*pager, id)?;
+        // `fetch` succeeding proves the slot is present and live.
+        let rid = rel.slots[id as usize].expect("checked by fetch");
+        rel.heap.delete(pager, rid)?;
         self.dirty = true;
-        let rid = rel.slots[id as usize].take().expect("checked by fetch");
-        rel.heap.delete(pager, rid);
+        rel.slots[id as usize] = None;
         rel.by_record.remove(&rid);
         rel.live -= 1;
         if let Some(idx) = rel.index.as_mut() {
-            idx.remove(pager, id, &tuple);
+            if !c_dual {
+                idx.remove(pager, id, &tuple)?;
+            }
         }
         if let Some(idx) = rel.index_d.as_mut() {
-            idx.remove(pager, id, &tuple);
+            if !c_duald {
+                idx.remove(pager, id, &tuple)?;
+            }
         }
         if let Some(rp) = rel.rplus.as_mut() {
-            if let Some(pos) = rp.unbounded.iter().position(|&u| u == id) {
-                rp.unbounded.swap_remove(pos);
-            } else if let Err(pos) = rp.dead.binary_search(&id) {
-                // The packed tree has no delete: tombstone the id instead.
-                rp.dead.insert(pos, id);
+            if !c_rplus {
+                if let Some(pos) = rp.unbounded.iter().position(|&u| u == id) {
+                    rp.unbounded.swap_remove(pos);
+                } else if let Err(pos) = rp.dead.binary_search(&id) {
+                    // The packed tree has no delete: tombstone the id instead.
+                    rp.dead.insert(pos, id);
+                }
             }
         }
         Ok(tuple)
     }
 
     /// Builds (or rebuilds) the dual index of a 2-D relation over `slopes`.
-    /// A previous index's pages are freed first.
+    /// A previous index's pages are freed first (best-effort when the old
+    /// index is marked corrupt — unreadable pages cannot be walked to the
+    /// free list). Rebuilding clears the structure's corruption flag.
     pub fn build_dual_index(&mut self, name: &str, slopes: SlopeSet) -> Result<(), CdbError> {
+        self.ensure_writable()?;
         let pager = self.pager.as_mut();
         let rel = self
             .relations
             .get_mut(name)
             .ok_or_else(|| CdbError::RelationNotFound(name.into()))?;
+        rel.ensure_usable()?;
         if rel.dim != 2 {
             return Err(CdbError::UnsupportedQuery(
                 "the 2-D dual index requires a 2-D relation (see build_dual_index_d for E^d)"
                     .into(),
             ));
         }
+        let (c_dual, _, _) = rel.corrupt_flags();
         let tuples = rel.scan(&*pager)?;
         self.dirty = true;
         if let Some(old) = rel.index.take() {
-            old.destroy(pager);
+            let freed = old.destroy(pager);
+            if !c_dual {
+                freed?;
+            }
         }
-        rel.index = Some(DualIndex::build(pager, slopes, &tuples));
+        rel.index = Some(DualIndex::build(pager, slopes, &tuples)?);
+        rel.mark_repaired("dual");
         Ok(())
     }
 
     /// Builds (or rebuilds) the d-dimensional dual index (Section 4.4) over
     /// a point set in slope space `E^{d-1}`.
     pub fn build_dual_index_d(&mut self, name: &str, points: SlopePoints) -> Result<(), CdbError> {
+        self.ensure_writable()?;
         let pager = self.pager.as_mut();
         let rel = self
             .relations
             .get_mut(name)
             .ok_or_else(|| CdbError::RelationNotFound(name.into()))?;
+        rel.ensure_usable()?;
         if rel.dim != points.dim() {
             return Err(CdbError::DimensionMismatch {
                 expected: rel.dim,
                 got: points.dim(),
             });
         }
+        let (_, c_duald, _) = rel.corrupt_flags();
         let tuples = rel.scan(&*pager)?;
         self.dirty = true;
         if let Some(old) = rel.index_d.take() {
-            old.destroy(pager);
+            let freed = old.destroy(pager);
+            if !c_duald {
+                freed?;
+            }
         }
-        rel.index_d = Some(DualIndexD::build(pager, points, &tuples));
+        rel.index_d = Some(DualIndexD::build(pager, points, &tuples)?);
+        rel.mark_repaired("dual-d");
         Ok(())
     }
 
@@ -622,16 +935,19 @@ impl ConstraintDb {
     /// relation: bounded tuples' MBRs are bulk-packed at the given fill
     /// factor; unbounded tuples go to the overflow list.
     pub fn build_rplus_index(&mut self, name: &str, fill: f64) -> Result<(), CdbError> {
+        self.ensure_writable()?;
         let pager = self.pager.as_mut();
         let rel = self
             .relations
             .get_mut(name)
             .ok_or_else(|| CdbError::RelationNotFound(name.into()))?;
+        rel.ensure_usable()?;
         if rel.dim != 2 {
             return Err(CdbError::UnsupportedQuery(
                 "the R⁺-tree baseline requires a 2-D relation".into(),
             ));
         }
+        let (_, _, c_rplus) = rel.corrupt_flags();
         let tuples = rel.scan(&*pager)?;
         self.dirty = true;
         let mut entries = Vec::new();
@@ -643,48 +959,112 @@ impl ConstraintDb {
             }
         }
         if let Some(old) = rel.rplus.take() {
-            old.tree.destroy(pager);
+            let freed = old.tree.destroy(pager);
+            if !c_rplus {
+                freed.map_err(CdbError::from)?;
+            }
         }
         rel.rplus = Some(RPlusIndex {
-            tree: RPlusTree::pack(pager, &entries, fill),
+            tree: RPlusTree::pack(pager, &entries, fill)?,
             unbounded,
             dead: Vec::new(),
             fill,
         });
+        rel.mark_repaired("rplus");
         Ok(())
+    }
+
+    /// Re-derives every corrupt index of a degraded relation from the
+    /// (verified) heap, reusing the build parameters persisted in the
+    /// catalog: the dual forest rebuilds over its original slopes, the
+    /// d-dimensional forest over its slope points, the R⁺-tree at its
+    /// original fill factor. Returns the names of the rebuilt structures;
+    /// a healthy relation is a no-op.
+    ///
+    /// # Errors
+    /// [`CdbError::Quarantined`] when the heap itself is corrupt — there
+    /// is nothing trustworthy to rebuild from;
+    /// [`CdbError::ReadOnly`] on a read-only handle.
+    pub fn rebuild_indexes(&mut self, name: &str) -> Result<Vec<String>, CdbError> {
+        self.ensure_writable()?;
+        let rel = self.relation(name)?;
+        rel.ensure_usable()?;
+        let (c_dual, c_duald, c_rplus) = rel.corrupt_flags();
+        let mut rebuilt = Vec::new();
+        if c_dual {
+            // The flag is only ever set by verification of an existing
+            // structure, so the index must be present.
+            let slopes = rel
+                .index
+                .as_ref()
+                .expect("corrupt flag implies the index exists")
+                .slopes()
+                .clone();
+            self.build_dual_index(name, slopes)?;
+            rebuilt.push("dual".to_string());
+        }
+        if c_duald {
+            let points = self.relations[name]
+                .index_d
+                .as_ref()
+                .expect("corrupt flag implies the index exists")
+                .points()
+                .clone();
+            self.build_dual_index_d(name, points)?;
+            rebuilt.push("dual-d".to_string());
+        }
+        if c_rplus {
+            let fill = self.relations[name]
+                .rplus
+                .as_ref()
+                .expect("corrupt flag implies the index exists")
+                .fill;
+            self.build_rplus_index(name, fill)?;
+            rebuilt.push("rplus".to_string());
+        }
+        Ok(rebuilt)
     }
 
     /// Re-tightens a relation's index handicaps after heavy update traffic
     /// (incremental maintenance keeps them correct but increasingly loose;
     /// see [`DualIndex::refresh_handicaps`]).
     pub fn tighten_index(&mut self, name: &str) -> Result<(), CdbError> {
+        self.ensure_writable()?;
         let pager = self.pager.as_mut();
         let rel = self
             .relations
             .get_mut(name)
             .ok_or_else(|| CdbError::RelationNotFound(name.into()))?;
+        rel.ensure_usable()?;
+        let (c_dual, _, _) = rel.corrupt_flags();
         let tuples = rel.scan(&*pager)?;
         let Some(idx) = rel.index.as_mut() else {
             return Err(CdbError::NoIndex(name.into()));
         };
-        idx.refresh_handicaps(pager, &tuples);
+        if c_dual {
+            // A corrupt index cannot be tightened, only rebuilt.
+            return Err(CdbError::NoIndex(name.into()));
+        }
+        idx.refresh_handicaps(pager, &tuples)?;
         self.dirty = true;
         Ok(())
     }
 
     /// Maps a legacy [`Strategy`] to the planner's forced-method argument,
     /// preserving the historical `NoIndex` errors for explicitly requested
-    /// index techniques on index-less relations.
+    /// index techniques on index-less relations. A structure marked
+    /// corrupt counts as absent.
     fn forced_kind(
         strategy: Strategy,
         rel: &Relation,
         name: &str,
     ) -> Result<Option<MethodKind>, CdbError> {
+        let (c_dual, _, c_rplus) = rel.corrupt_flags();
         match strategy {
             Strategy::Auto => Ok(None),
             Strategy::Scan => Ok(Some(MethodKind::SeqScan)),
             Strategy::Restricted | Strategy::T1 | Strategy::T2 => {
-                if rel.index.is_none() {
+                if rel.index.is_none() || c_dual {
                     return Err(CdbError::NoIndex(name.into()));
                 }
                 Ok(Some(match strategy {
@@ -694,7 +1074,7 @@ impl ConstraintDb {
                 }))
             }
             Strategy::RPlus => {
-                if rel.rplus.is_none() {
+                if rel.rplus.is_none() || c_rplus {
                     return Err(CdbError::NoIndex(name.into()));
                 }
                 Ok(Some(MethodKind::RPlus))
@@ -713,6 +1093,7 @@ impl ConstraintDb {
         strategy: Strategy,
     ) -> Result<(QueryPlan, QueryResult), CdbError> {
         let rel = self.relation(name)?;
+        rel.ensure_usable()?;
         if rel.dim != sel.halfplane.dim() {
             return Err(CdbError::DimensionMismatch {
                 expected: rel.dim,
@@ -760,6 +1141,7 @@ impl ConstraintDb {
     /// planner would choose, its cost estimate, and why the others lost.
     pub fn plan_query(&self, name: &str, sel: &Selection) -> Result<QueryPlan, CdbError> {
         let rel = self.relation(name)?;
+        rel.ensure_usable()?;
         if rel.dim != sel.halfplane.dim() {
             return Err(CdbError::DimensionMismatch {
                 expected: rel.dim,
@@ -826,19 +1208,21 @@ impl ConstraintDb {
         kind: SelectionKind,
     ) -> Result<QueryResult, CdbError> {
         let strategy = self.config.strategy;
-        let rel = self
-            .relations
-            .get(name)
-            .ok_or_else(|| CdbError::RelationNotFound(name.into()))?;
+        let rel = self.relation(name)?;
+        rel.ensure_usable()?;
         if rel.dim != 2 {
             return Err(CdbError::DimensionMismatch {
                 expected: rel.dim,
                 got: 2,
             });
         }
+        let (c_dual, _, _) = rel.corrupt_flags();
         let Some(idx) = rel.index.as_ref() else {
             return Err(CdbError::NoIndex(name.into()));
         };
+        if c_dual {
+            return Err(CdbError::NoIndex(name.into()));
+        }
         let source = HeapSource {
             heap: &rel.heap,
             slots: &rel.slots,
@@ -874,6 +1258,14 @@ mod tests {
             db.insert("land", parse_tuple(s).unwrap()).unwrap();
         }
         db
+    }
+
+    fn tmp_path(tag: &str) -> std::path::PathBuf {
+        let n = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos();
+        std::env::temp_dir().join(format!("cdb_dbtest_{tag}_{}_{n}", std::process::id()))
     }
 
     #[test]
@@ -1124,10 +1516,10 @@ mod tests {
         // Truncate record 2 in place: shrink its slot-directory length so
         // the stored bytes no longer parse as a generalized tuple.
         let mut buf = vec![0u8; db.config.page_size];
-        db.pager.read(rid.page, &mut buf);
+        db.pager.read(rid.page, &mut buf).unwrap();
         let len_off = 4 + rid.slot as usize * 4 + 2;
         buf[len_off..len_off + 2].copy_from_slice(&2u16.to_le_bytes());
-        db.pager.write(rid.page, &buf);
+        db.pager.write(rid.page, &buf).unwrap();
 
         assert_eq!(db.fetch_tuple("land", 2), Err(CdbError::CorruptRecord(2)));
         assert_eq!(
@@ -1267,5 +1659,122 @@ mod tests {
             .rejected
             .iter()
             .any(|(m, _)| *m == MethodKind::Restricted));
+    }
+
+    #[test]
+    fn read_only_serves_queries_and_refuses_mutations() {
+        let path = tmp_path("ro");
+        let mut db = ConstraintDb::create(&path, DbConfig::paper_1999()).unwrap();
+        db.create_relation("land", 2).unwrap();
+        for s in [
+            "y >= 0 && y <= 2 && x >= 0 && x + y <= 4",
+            "y >= 5 && y <= 7 && x >= 5 && x <= 8",
+        ] {
+            db.insert("land", parse_tuple(s).unwrap()).unwrap();
+        }
+        db.build_dual_index("land", SlopeSet::uniform_tan(3))
+            .unwrap();
+        db.close().unwrap();
+
+        let ro = ConstraintDb::open_read_only(&path).unwrap();
+        assert!(ro.is_read_only());
+        assert!(ro.recovery_report().is_clean());
+        let r = ro.exist("land", HalfPlane::above(0.0, 4.5)).unwrap();
+        assert_eq!(r.ids(), &[1]);
+        let mut ro = ro;
+        assert!(matches!(
+            ro.insert("land", parse_tuple("y >= x").unwrap()),
+            Err(CdbError::ReadOnly)
+        ));
+        assert!(matches!(ro.delete("land", 0), Err(CdbError::ReadOnly)));
+        assert!(matches!(
+            ro.create_relation("more", 2),
+            Err(CdbError::ReadOnly)
+        ));
+        assert!(matches!(ro.drop_relation("land"), Err(CdbError::ReadOnly)));
+        assert!(matches!(
+            ro.build_dual_index("land", SlopeSet::uniform_tan(2)),
+            Err(CdbError::ReadOnly)
+        ));
+        assert!(matches!(
+            ro.build_rplus_index("land", 1.0),
+            Err(CdbError::ReadOnly)
+        ));
+        assert!(matches!(ro.tighten_index("land"), Err(CdbError::ReadOnly)));
+        assert!(matches!(
+            ro.rebuild_indexes("land"),
+            Err(CdbError::ReadOnly)
+        ));
+        // Checkpoint and close are silent no-ops on a read-only handle.
+        ro.checkpoint().unwrap();
+        ro.close().unwrap();
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corrupt_heap_page_quarantines_only_that_relation() {
+        let path = tmp_path("quar");
+        let mut db = ConstraintDb::create(&path, DbConfig::paper_1999()).unwrap();
+        for name in ["good", "bad"] {
+            db.create_relation(name, 2).unwrap();
+            for s in [
+                "y >= 0 && y <= 2 && x >= 0 && x + y <= 4",
+                "y >= 5 && y <= 7 && x >= 5 && x <= 8",
+            ] {
+                db.insert(name, parse_tuple(s).unwrap()).unwrap();
+            }
+        }
+        let victim = db.relation("bad").unwrap().heap.pages()[0];
+        db.close().unwrap();
+
+        // Flip bytes inside the victim heap page on disk.
+        let offset = {
+            let fp = FilePager::open(&path).unwrap();
+            fp.page_disk_offset(victim).expect("page is written")
+        };
+        {
+            use std::io::{Seek, SeekFrom, Write};
+            let mut f = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+            f.seek(SeekFrom::Start(offset + 13)).unwrap();
+            f.write_all(&[0xAB, 0xCD, 0xEF]).unwrap();
+        }
+
+        let db = ConstraintDb::open(&path).unwrap();
+        assert!(!db.recovery_report().is_clean());
+        assert_eq!(db.recovery_report().quarantined(), vec!["bad"]);
+        assert!(matches!(
+            db.relation("bad").unwrap().health(),
+            RelationHealth::Quarantined { .. }
+        ));
+        // The sibling answers normally…
+        let r = db.exist("good", HalfPlane::above(0.0, 4.5)).unwrap();
+        assert_eq!(r.ids(), &[1]);
+        // …while every path into the quarantined relation is refused.
+        assert!(matches!(
+            db.exist("bad", HalfPlane::above(0.0, 4.5)),
+            Err(CdbError::Quarantined(_))
+        ));
+        assert!(matches!(
+            db.scan_relation("bad"),
+            Err(CdbError::Quarantined(_))
+        ));
+        assert!(matches!(
+            db.fetch_tuple("bad", 0),
+            Err(CdbError::Quarantined(_))
+        ));
+        let mut db = db;
+        assert!(matches!(
+            db.insert("bad", parse_tuple("y >= x").unwrap()),
+            Err(CdbError::Quarantined(_))
+        ));
+        assert!(matches!(
+            db.rebuild_indexes("bad"),
+            Err(CdbError::Quarantined(_))
+        ));
+        // Dropping the quarantined relation is the way out.
+        db.drop_relation("bad").unwrap();
+        assert!(db.relation("bad").is_err());
+        db.close().unwrap();
+        std::fs::remove_file(&path).unwrap();
     }
 }

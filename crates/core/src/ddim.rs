@@ -35,6 +35,7 @@ use cdb_btree::BTree;
 use cdb_geometry::tuple::GeneralizedTuple;
 use cdb_geometry::{dual, scalar};
 use cdb_storage::{PageReader, Pager, TrackedReader};
+use std::io;
 
 use cdb_btree::Handicaps;
 
@@ -359,7 +360,7 @@ impl DualIndexD {
         pager: &mut dyn Pager,
         points: SlopePoints,
         tuples: &[(u32, GeneralizedTuple)],
-    ) -> Self {
+    ) -> Result<Self, CdbError> {
         let mut trees = Vec::with_capacity(points.len());
         for p in points.as_slice() {
             let mut up: Vec<(f64, u32)> = tuples
@@ -373,13 +374,13 @@ impl DualIndexD {
             up.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
             down.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
             trees.push((
-                BTree::bulk_load(pager, &up, 1.0),
-                BTree::bulk_load(pager, &down, 1.0),
+                BTree::bulk_load(pager, &up, 1.0)?,
+                BTree::bulk_load(pager, &down, 1.0)?,
             ));
         }
         let mut idx = DualIndexD { points, trees };
-        idx.refresh_handicaps(pager, tuples);
-        idx
+        idx.refresh_handicaps(pager, tuples)?;
+        Ok(idx)
     }
 
     /// Reach of a tuple over grid cell `i`: `(max TOP, min BOT)` over the
@@ -398,9 +399,13 @@ impl DualIndexD {
     /// Recomputes the whole-cell handicaps (grid sets only; a no-op for
     /// arbitrary point sets, which use the simplex covering instead).
     /// Stored in the `low_prev`/`high_prev` leaf slots.
-    pub fn refresh_handicaps(&mut self, pager: &mut dyn Pager, tuples: &[(u32, GeneralizedTuple)]) {
+    pub fn refresh_handicaps(
+        &mut self,
+        pager: &mut dyn Pager,
+        tuples: &[(u32, GeneralizedTuple)],
+    ) -> Result<(), CdbError> {
         if !self.points.is_grid() {
-            return;
+            return Ok(());
         }
         for i in 0..self.points.len() {
             let p = self.points.as_slice()[i].clone();
@@ -434,7 +439,7 @@ impl DualIndexD {
                     .zip(&keys)
                     .map(|(&(_, mb), &k)| (mb, k))
                     .collect();
-                let leaves = tree.leaves(&*pager);
+                let leaves = tree.leaves(&*pager)?;
                 let low = assign_low(&leaves, &low_pairs);
                 let high = assign_high(&leaves, &high_pairs);
                 for (li, leaf) in leaves.iter().enumerate() {
@@ -447,10 +452,11 @@ impl DualIndexD {
                             high_prev: high[li],
                             high_next: f64::NEG_INFINITY,
                         },
-                    );
+                    )?;
                 }
             }
         }
+        Ok(())
     }
 
     /// Re-attaches an index from persisted parts; the trees' node pages
@@ -484,36 +490,60 @@ impl DualIndexD {
             .sum()
     }
 
+    /// Reads every page of every tree through `pager`; under a
+    /// checksumming pager any torn or stale page surfaces here. Used by
+    /// the open-time verification pass.
+    pub fn verify(&self, pager: &dyn PageReader) -> io::Result<()> {
+        for (up, down) in self.tree_pairs() {
+            up.collect_pages(pager)?;
+            down.collect_pages(pager)?;
+        }
+        Ok(())
+    }
+
     /// Adds a tuple to every tree, incrementally folding its cell reaches
     /// into the handicaps (grid sets).
-    pub fn insert(&mut self, pager: &mut dyn Pager, id: u32, tuple: &GeneralizedTuple) {
+    pub fn insert(
+        &mut self,
+        pager: &mut dyn Pager,
+        id: u32,
+        tuple: &GeneralizedTuple,
+    ) -> Result<(), CdbError> {
         for i in 0..self.points.len() {
             let p = self.points.as_slice()[i].clone();
             let top = dual::top(tuple, &p).expect("satisfiable");
             let bot = dual::bot(tuple, &p).expect("satisfiable");
-            self.trees[i].0.insert(pager, top, id);
-            self.trees[i].1.insert(pager, bot, id);
+            self.trees[i].0.insert(pager, top, id)?;
+            self.trees[i].1.insert(pager, bot, id)?;
             if let Some((max_top, min_bot)) = self.cell_reach(i, tuple) {
                 for (tree, key) in [(&self.trees[i].0, top), (&self.trees[i].1, bot)] {
-                    fold_low(pager, tree, Side::Prev, max_top, key);
-                    fold_high(pager, tree, Side::Prev, min_bot, key);
+                    fold_low(pager, tree, Side::Prev, max_top, key)?;
+                    fold_high(pager, tree, Side::Prev, min_bot, key)?;
                 }
             }
         }
+        Ok(())
     }
 
     /// Removes a tuple from every tree.
-    pub fn remove(&mut self, pager: &mut dyn Pager, id: u32, tuple: &GeneralizedTuple) -> bool {
+    pub fn remove(
+        &mut self,
+        pager: &mut dyn Pager,
+        id: u32,
+        tuple: &GeneralizedTuple,
+    ) -> Result<bool, CdbError> {
         let mut found = true;
         for (i, p) in self.points.as_slice().iter().enumerate() {
-            found &= self.trees[i]
-                .0
-                .delete(pager, dual::top(tuple, p).expect("satisfiable"), id);
-            found &= self.trees[i]
-                .1
-                .delete(pager, dual::bot(tuple, p).expect("satisfiable"), id);
+            found &=
+                self.trees[i]
+                    .0
+                    .delete(pager, dual::top(tuple, p).expect("satisfiable"), id)?;
+            found &=
+                self.trees[i]
+                    .1
+                    .delete(pager, dual::bot(tuple, p).expect("satisfiable"), id)?;
         }
-        found
+        Ok(found)
     }
 
     /// Executes a selection: exact when the slope is a member of `S`,
@@ -548,7 +578,7 @@ impl DualIndexD {
             } else {
                 &self.trees[i].1
             };
-            let (mut sure, check) = sweep_candidates(tree, pager, b, upward);
+            let (mut sure, check) = sweep_candidates(tree, pager, b, upward)?;
             let mut stats = QueryStats {
                 candidates: (sure.len() + check.len()) as u64,
                 accepted_by_key: sure.len() as u64,
@@ -578,7 +608,7 @@ impl DualIndexD {
                 upward,
                 &|h: &Handicaps| h.low_prev,
                 &|h: &Handicaps| h.high_prev,
-            );
+            )?;
             let mut stats = QueryStats {
                 candidates: raw.len() as u64,
                 ..QueryStats::default()
@@ -635,7 +665,7 @@ impl DualIndexD {
             } else {
                 &self.trees[pi].1
             };
-            let (sure, check) = sweep_candidates(tree, pager, b, upward);
+            let (sure, check) = sweep_candidates(tree, pager, b, upward)?;
             raw.extend(sure);
             raw.extend(check);
         }
@@ -670,11 +700,16 @@ impl DualIndexD {
     }
 
     /// Frees every page of every tree back to the pager.
-    pub fn destroy(self, pager: &mut dyn Pager) {
+    ///
+    /// # Errors
+    /// [`CdbError::Io`] when collecting the pages to free fails; pages
+    /// already freed stay freed.
+    pub fn destroy(self, pager: &mut dyn Pager) -> Result<(), CdbError> {
         for (up, down) in self.trees {
-            up.destroy(pager);
-            down.destroy(pager);
+            up.destroy(pager)?;
+            down.destroy(pager)?;
         }
+        Ok(())
     }
 }
 
@@ -763,7 +798,7 @@ mod tests {
     fn member_slope_queries_are_exact_3d() {
         let mut pager = MemPager::paper_1999();
         let pairs = random_boxes(3, 150, 5);
-        let idx = DualIndexD::build(&mut pager, SlopePoints::grid(3, 3, 1.0), &pairs);
+        let idx = DualIndexD::build(&mut pager, SlopePoints::grid(3, 3, 1.0), &pairs).unwrap();
         for slope in [vec![0.0, 0.0], vec![1.0, -1.0], vec![0.0, 1.0]] {
             for kind in [SelectionKind::All, SelectionKind::Exist] {
                 for op in [RelOp::Ge, RelOp::Le] {
@@ -782,7 +817,7 @@ mod tests {
     fn simplex_covering_matches_oracle_3d() {
         let mut pager = MemPager::paper_1999();
         let pairs = random_boxes(3, 200, 7);
-        let idx = DualIndexD::build(&mut pager, SlopePoints::grid(3, 3, 1.5), &pairs);
+        let idx = DualIndexD::build(&mut pager, SlopePoints::grid(3, 3, 1.5), &pairs).unwrap();
         let mut rng = StdRng::seed_from_u64(11);
         for _ in 0..12 {
             let slope = vec![rng.gen_range(-1.2..1.2), rng.gen_range(-1.2..1.2)];
@@ -808,7 +843,7 @@ mod tests {
     fn four_dimensional_queries() {
         let mut pager = MemPager::paper_1999();
         let pairs = random_boxes(4, 80, 9);
-        let idx = DualIndexD::build(&mut pager, SlopePoints::grid(4, 2, 1.0), &pairs);
+        let idx = DualIndexD::build(&mut pager, SlopePoints::grid(4, 2, 1.0), &pairs).unwrap();
         let sel = Selection::exist(HalfPlane::new(vec![0.3, -0.2, 0.5], 0.0, RelOp::Ge));
         let got = run(&idx, &pager, &pairs, &sel);
         assert_eq!(got.ids(), oracle(&pairs, &sel));
@@ -821,7 +856,7 @@ mod tests {
     fn outside_hull_is_rejected() {
         let mut pager = MemPager::paper_1999();
         let pairs = random_boxes(3, 20, 13);
-        let idx = DualIndexD::build(&mut pager, SlopePoints::grid(3, 2, 1.0), &pairs);
+        let idx = DualIndexD::build(&mut pager, SlopePoints::grid(3, 2, 1.0), &pairs).unwrap();
         let sel = Selection::exist(HalfPlane::new(vec![3.0, 0.0], 0.0, RelOp::Ge));
         let lookup: std::collections::HashMap<u32, GeneralizedTuple> =
             pairs.iter().cloned().collect();
@@ -836,14 +871,14 @@ mod tests {
     fn insert_remove_round_trip() {
         let mut pager = MemPager::paper_1999();
         let mut pairs = random_boxes(3, 50, 17);
-        let mut idx = DualIndexD::build(&mut pager, SlopePoints::grid(3, 2, 1.0), &pairs);
+        let mut idx = DualIndexD::build(&mut pager, SlopePoints::grid(3, 2, 1.0), &pairs).unwrap();
         let extra = random_boxes(3, 1, 99)[0].1.clone();
-        idx.insert(&mut pager, 500, &extra);
+        idx.insert(&mut pager, 500, &extra).unwrap();
         pairs.push((500, extra.clone()));
         let sel = Selection::exist(HalfPlane::new(vec![0.5, 0.5], -200.0, RelOp::Ge));
         let got = run(&idx, &pager, &pairs, &sel);
         assert!(got.ids().contains(&500));
-        assert!(idx.remove(&mut pager, 500, &extra));
+        assert!(idx.remove(&mut pager, 500, &extra).unwrap());
         pairs.pop();
         let got = run(&idx, &pager, &pairs, &sel);
         assert!(!got.ids().contains(&500));
@@ -853,7 +888,7 @@ mod tests {
     fn t2d_and_simplex_agree_with_oracle() {
         let mut pager = MemPager::paper_1999();
         let pairs = random_boxes(3, 250, 31);
-        let idx = DualIndexD::build(&mut pager, SlopePoints::grid(3, 3, 1.5), &pairs);
+        let idx = DualIndexD::build(&mut pager, SlopePoints::grid(3, 3, 1.5), &pairs).unwrap();
         let lookup: std::collections::HashMap<u32, GeneralizedTuple> =
             pairs.iter().cloned().collect();
         let mut rng = StdRng::seed_from_u64(33);
@@ -890,11 +925,11 @@ mod tests {
     fn t2d_incremental_inserts_stay_correct() {
         let mut pager = MemPager::paper_1999();
         let mut pairs = random_boxes(3, 100, 37);
-        let mut idx = DualIndexD::build(&mut pager, SlopePoints::grid(3, 3, 1.0), &pairs);
+        let mut idx = DualIndexD::build(&mut pager, SlopePoints::grid(3, 3, 1.0), &pairs).unwrap();
         // Insert 60 more without any handicap rebuild.
         for (j, (_, t)) in random_boxes(3, 60, 38).into_iter().enumerate() {
             let id = 2000 + j as u32;
-            idx.insert(&mut pager, id, &t);
+            idx.insert(&mut pager, id, &t).unwrap();
             pairs.push((id, t));
         }
         let mut rng = StdRng::seed_from_u64(39);
@@ -949,7 +984,7 @@ mod tests {
         ]);
         let mut pairs = random_boxes(3, 10, 21);
         pairs.push((100, slab));
-        let idx = DualIndexD::build(&mut pager, SlopePoints::grid(3, 3, 1.0), &pairs);
+        let idx = DualIndexD::build(&mut pager, SlopePoints::grid(3, 3, 1.0), &pairs).unwrap();
         // z >= 0 contains the slab? The slab extends from z=0 to z=1: yes.
         let sel = Selection::all(HalfPlane::new(vec![0.0, 0.0], 0.0, RelOp::Ge));
         let got = run(&idx, &pager, &pairs, &sel);

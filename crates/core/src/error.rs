@@ -37,6 +37,12 @@ pub enum CdbError {
     /// An operating-system I/O failure from the underlying file pager
     /// (open, read, write or sync). Carries the OS error message.
     Io(String),
+    /// The relation's heap has corrupt pages; queries against it are
+    /// refused until the data is restored from elsewhere. Sibling
+    /// relations keep answering normally (graceful degradation).
+    Quarantined(String),
+    /// The database was opened read-only; mutations are refused.
+    ReadOnly,
 }
 
 impl std::fmt::Display for CdbError {
@@ -63,11 +69,26 @@ impl std::fmt::Display for CdbError {
                 write!(f, "heap record of tuple {id} is corrupt (failed to decode)")
             }
             CdbError::Io(msg) => write!(f, "i/o error: {msg}"),
+            CdbError::Quarantined(n) => {
+                write!(f, "relation '{n}' is quarantined (corrupt heap pages)")
+            }
+            CdbError::ReadOnly => write!(f, "database is read-only"),
         }
     }
 }
 
 impl std::error::Error for CdbError {}
+
+impl From<std::io::Error> for CdbError {
+    /// Lifts a pager failure into the engine error space. Checksum
+    /// mismatches surface as [`CdbError::Io`] too — per-relation corruption
+    /// is classified once, at open time, into quarantine state; a checksum
+    /// failure seen *during* a query means the device degraded underneath a
+    /// live handle.
+    fn from(e: std::io::Error) -> Self {
+        CdbError::Io(e.to_string())
+    }
+}
 
 #[cfg(test)]
 mod tests {

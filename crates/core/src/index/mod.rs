@@ -6,6 +6,8 @@ mod restricted;
 mod t1;
 mod t2;
 
+use std::io;
+
 pub(crate) use restricted::sweep_candidates;
 pub(crate) use t2::handicap_guided_candidates;
 
@@ -78,7 +80,7 @@ struct TreePair {
 ///     (1, parse_tuple("y >= x && x >= 5").unwrap()), // unbounded wedge
 /// ];
 /// let mut pager = MemPager::paper_1999();
-/// let idx = DualIndex::build(&mut pager, SlopeSet::uniform_tan(3), &tuples);
+/// let idx = DualIndex::build(&mut pager, SlopeSet::uniform_tan(3), &tuples).unwrap();
 ///
 /// let lookup = tuples.clone();
 /// let fetch = move |_: &dyn PageReader, id: u32| -> GeneralizedTuple {
@@ -105,11 +107,14 @@ pub struct DualIndex {
 impl DualIndex {
     /// Bulk-builds the index over `(id, tuple)` pairs. All tuples must be
     /// satisfiable and 2-D.
+    ///
+    /// # Errors
+    /// [`CdbError::Io`] when the pager fails while writing tree pages.
     pub fn build(
         pager: &mut dyn Pager,
         slopes: SlopeSet,
         tuples: &[(u32, GeneralizedTuple)],
-    ) -> Self {
+    ) -> Result<Self, CdbError> {
         let mut pairs = Vec::with_capacity(slopes.len());
         for i in 0..slopes.len() {
             let s = slopes.get(i);
@@ -120,8 +125,8 @@ impl DualIndex {
             up_entries.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN key"));
             down_entries.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN key"));
             pairs.push(TreePair {
-                up: BTree::bulk_load(pager, &up_entries, 1.0),
-                down: BTree::bulk_load(pager, &down_entries, 1.0),
+                up: BTree::bulk_load(pager, &up_entries, 1.0)?,
+                down: BTree::bulk_load(pager, &down_entries, 1.0)?,
             });
         }
         let mut idx = DualIndex {
@@ -130,8 +135,8 @@ impl DualIndex {
             anchor_x: 0.0,
             dirty: true,
         };
-        idx.refresh_handicaps(pager, tuples);
-        idx
+        idx.refresh_handicaps(pager, tuples)?;
+        Ok(idx)
     }
 
     /// Re-attaches an index from persisted metadata. The trees' node pages
@@ -185,6 +190,17 @@ impl DualIndex {
             .sum()
     }
 
+    /// Reads every page of every tree through `pager`; under a
+    /// checksumming pager any torn or stale page surfaces here. Used by
+    /// the open-time verification pass.
+    pub fn verify(&self, pager: &dyn PageReader) -> io::Result<()> {
+        for (up, down) in self.tree_pairs() {
+            up.collect_pages(pager)?;
+            down.collect_pages(pager)?;
+        }
+        Ok(())
+    }
+
     /// Number of indexed entries per tree (should equal the relation size).
     pub fn len(&self) -> u64 {
         self.pairs.first().map(|p| p.up.len()).unwrap_or(0)
@@ -216,13 +232,18 @@ impl DualIndex {
     /// correctness is maintained incrementally; handicaps only become
     /// *looser* over time and can be re-tightened with
     /// [`refresh_handicaps`](Self::refresh_handicaps).
-    pub fn insert(&mut self, pager: &mut dyn Pager, id: u32, tuple: &GeneralizedTuple) {
+    pub fn insert(
+        &mut self,
+        pager: &mut dyn Pager,
+        id: u32,
+        tuple: &GeneralizedTuple,
+    ) -> Result<(), CdbError> {
         for i in 0..self.slopes.len() {
             let s = self.slopes.get(i);
             let top = top_at(tuple, s);
             let bot = bot_at(tuple, s);
-            self.pairs[i].up.insert(pager, top, id);
-            self.pairs[i].down.insert(pager, bot, id);
+            self.pairs[i].up.insert(pager, top, id)?;
+            self.pairs[i].down.insert(pager, bot, id)?;
             for side in [Side::Prev, Side::Next] {
                 let Some(mid) = self.slopes.mid(i, side) else {
                     continue;
@@ -231,26 +252,32 @@ impl DualIndex {
                 let low_reach = top.max(top_at(tuple, mid));
                 let high_reach = bot.min(bot_at(tuple, mid));
                 for (tree, key) in [(&self.pairs[i].up, top), (&self.pairs[i].down, bot)] {
-                    fold_low(pager, tree, side, low_reach, key);
-                    fold_high(pager, tree, side, high_reach, key);
+                    fold_low(pager, tree, side, low_reach, key)?;
+                    fold_high(pager, tree, side, high_reach, key)?;
                 }
             }
         }
         self.dirty = true; // loose, not invalid
+        Ok(())
     }
 
     /// Removes one tuple from every tree. Handicaps are left in place
     /// (conservative: they may over-cover deleted tuples, never under-cover
     /// live ones; emptied leaves migrate their bounds inside the B⁺-tree).
-    pub fn remove(&mut self, pager: &mut dyn Pager, id: u32, tuple: &GeneralizedTuple) -> bool {
+    pub fn remove(
+        &mut self,
+        pager: &mut dyn Pager,
+        id: u32,
+        tuple: &GeneralizedTuple,
+    ) -> Result<bool, CdbError> {
         let mut found = true;
         for i in 0..self.slopes.len() {
             let s = self.slopes.get(i);
-            found &= self.pairs[i].up.delete(pager, top_at(tuple, s), id);
-            found &= self.pairs[i].down.delete(pager, bot_at(tuple, s), id);
+            found &= self.pairs[i].up.delete(pager, top_at(tuple, s), id)?;
+            found &= self.pairs[i].down.delete(pager, bot_at(tuple, s), id)?;
         }
         self.dirty = true; // loose, not invalid
-        found
+        Ok(found)
     }
 
     /// Recomputes every leaf's handicap values from the current relation
@@ -262,7 +289,11 @@ impl DualIndex {
     /// them. After heavy update traffic this linear rebuild re-tightens the
     /// second-sweep bounds; build-then-query workloads (the paper's
     /// experiments) run it exactly once at build time.
-    pub fn refresh_handicaps(&mut self, pager: &mut dyn Pager, tuples: &[(u32, GeneralizedTuple)]) {
+    pub fn refresh_handicaps(
+        &mut self,
+        pager: &mut dyn Pager,
+        tuples: &[(u32, GeneralizedTuple)],
+    ) -> Result<(), CdbError> {
         for i in 0..self.slopes.len() {
             let s = self.slopes.get(i);
             // Surface values at the tree slope.
@@ -301,7 +332,7 @@ impl DualIndex {
                 } else {
                     &self.pairs[i].down
                 };
-                let leaves = tree.leaves(&*pager);
+                let leaves = tree.leaves(&*pager)?;
                 let mut low = [
                     vec![f64::INFINITY; leaves.len()],
                     vec![f64::INFINITY; leaves.len()],
@@ -338,11 +369,12 @@ impl DualIndex {
                             high_prev: high[0][li],
                             high_next: high[1][li],
                         },
-                    );
+                    )?;
                 }
             }
         }
         self.dirty = false;
+        Ok(())
     }
 
     /// Executes a selection with the requested strategy.
@@ -439,11 +471,16 @@ impl DualIndex {
     }
 
     /// Frees every page of every tree back to the pager.
-    pub fn destroy(self, pager: &mut dyn Pager) {
+    ///
+    /// # Errors
+    /// [`CdbError::Io`] when collecting the pages to free fails; pages
+    /// already freed stay freed.
+    pub fn destroy(self, pager: &mut dyn Pager) -> Result<(), CdbError> {
         for pair in self.pairs {
-            pair.up.destroy(pager);
-            pair.down.destroy(pager);
+            pair.up.destroy(pager)?;
+            pair.down.destroy(pager)?;
         }
+        Ok(())
     }
 
     pub(super) fn tree(&self, i: usize, up: bool) -> &BTree {
@@ -468,38 +505,52 @@ fn bot_at(t: &GeneralizedTuple, slope: f64) -> f64 {
 
 /// Folds one `(reach, key)` pair into the low handicap of its bucket leaf:
 /// the leaf holding the first entry `≥ reach` (clamped to the last leaf).
-pub(crate) fn fold_low(pager: &mut dyn Pager, tree: &BTree, side: Side, reach: f64, key: f64) {
+pub(crate) fn fold_low(
+    pager: &mut dyn Pager,
+    tree: &BTree,
+    side: Side,
+    reach: f64,
+    key: f64,
+) -> io::Result<()> {
     let page = tree
-        .find_first_geq(&*pager, reach)
+        .find_first_geq(&*pager, reach)?
         .map(|(p, _)| p)
         .unwrap_or_else(|| tree.last_leaf());
-    let mut h = tree.read_handicaps(&*pager, page);
+    let mut h = tree.read_handicaps(&*pager, page)?;
     let slot = match side {
         Side::Prev => &mut h.low_prev,
         Side::Next => &mut h.low_next,
     };
     if key < *slot {
         *slot = key;
-        tree.set_handicaps(pager, page, h);
+        tree.set_handicaps(pager, page, h)?;
     }
+    Ok(())
 }
 
 /// Folds one `(reach, key)` pair into the high handicap of its bucket leaf:
 /// the leaf holding the last entry `≤ reach` (clamped to the first leaf).
-pub(crate) fn fold_high(pager: &mut dyn Pager, tree: &BTree, side: Side, reach: f64, key: f64) {
+pub(crate) fn fold_high(
+    pager: &mut dyn Pager,
+    tree: &BTree,
+    side: Side,
+    reach: f64,
+    key: f64,
+) -> io::Result<()> {
     let page = tree
-        .find_last_leq(&*pager, reach)
+        .find_last_leq(&*pager, reach)?
         .map(|(p, _)| p)
         .unwrap_or_else(|| tree.first_leaf());
-    let mut h = tree.read_handicaps(&*pager, page);
+    let mut h = tree.read_handicaps(&*pager, page)?;
     let slot = match side {
         Side::Prev => &mut h.high_prev,
         Side::Next => &mut h.high_next,
     };
     if key > *slot {
         *slot = key;
-        tree.set_handicaps(pager, page, h);
+        tree.set_handicaps(pager, page, h)?;
     }
+    Ok(())
 }
 
 /// Exact refinement: fetches the candidates (batched by the source, so the
@@ -547,7 +598,7 @@ mod tests {
             .enumerate()
             .map(|(i, t)| (i as u32, t))
             .collect();
-        let idx = DualIndex::build(pager, SlopeSet::uniform_tan(k), &pairs);
+        let idx = DualIndex::build(pager, SlopeSet::uniform_tan(k), &pairs).unwrap();
         (idx, pairs)
     }
 
@@ -648,7 +699,7 @@ mod tests {
             .enumerate()
             .map(|(i, t)| (i as u32, t))
             .collect();
-        let idx = DualIndex::build(&mut pager, SlopeSet::new(vec![-0.5, 0.7]), &pairs);
+        let idx = DualIndex::build(&mut pager, SlopeSet::new(vec![-0.5, 0.7]), &pairs).unwrap();
         for a in [5.0, -4.0, 1.5, -1.0] {
             for kind in [SelectionKind::All, SelectionKind::Exist] {
                 for op in [RelOp::Ge, RelOp::Le] {
@@ -725,11 +776,11 @@ mod tests {
         let more = DatasetSpec::paper_1999(50, ObjectSize::Small, 60).generate();
         for (j, t) in more.into_iter().enumerate() {
             let id = 1000 + j as u32;
-            idx.insert(&mut pager, id, &t);
+            idx.insert(&mut pager, id, &t).unwrap();
             pairs.push((id, t));
         }
         assert!(idx.needs_refresh());
-        idx.refresh_handicaps(&mut pager, &pairs);
+        idx.refresh_handicaps(&mut pager, &pairs).unwrap();
         assert!(!idx.needs_refresh());
         let sel = Selection::exist(HalfPlane::above(0.37, -3.0));
         let got = run(&idx, &pager, &pairs, &sel, Strategy::T2);
@@ -748,16 +799,16 @@ mod tests {
             .cloned()
             .collect();
         for (id, t) in &removed {
-            assert!(idx.remove(&mut pager, *id, t), "remove {id}");
+            assert!(idx.remove(&mut pager, *id, t).unwrap(), "remove {id}");
         }
         pairs.retain(|(id, _)| id % 3 != 0);
-        idx.refresh_handicaps(&mut pager, &pairs);
+        idx.refresh_handicaps(&mut pager, &pairs).unwrap();
         let sel = Selection::all(HalfPlane::below(-0.21, 40.0));
         let got = run(&idx, &pager, &pairs, &sel, Strategy::T2);
         assert_eq!(got.ids(), oracle(&pairs, &sel));
         // Removing an absent tuple reports false.
         let (id, t) = &removed[0];
-        assert!(!idx.remove(&mut pager, *id, t));
+        assert!(!idx.remove(&mut pager, *id, t).unwrap());
     }
 
     #[test]
@@ -770,7 +821,7 @@ mod tests {
         let more = DatasetSpec::paper_1999(80, ObjectSize::Medium, 11).generate();
         for (j, t) in more.into_iter().enumerate() {
             let id = 5000 + j as u32;
-            idx.insert(&mut pager, id, &t);
+            idx.insert(&mut pager, id, &t).unwrap();
             pairs.push((id, t));
         }
         let removed: Vec<(u32, GeneralizedTuple)> = pairs
@@ -779,7 +830,7 @@ mod tests {
             .cloned()
             .collect();
         for (id, t) in &removed {
-            assert!(idx.remove(&mut pager, *id, t));
+            assert!(idx.remove(&mut pager, *id, t).unwrap());
         }
         pairs.retain(|(id, _)| id % 4 != 1);
         assert!(idx.needs_refresh(), "updates loosen the handicaps");
@@ -796,7 +847,7 @@ mod tests {
             }
         }
         // A refresh re-tightens and of course stays correct.
-        idx.refresh_handicaps(&mut pager, &pairs);
+        idx.refresh_handicaps(&mut pager, &pairs).unwrap();
         assert!(!idx.needs_refresh());
         let sel = Selection::exist(HalfPlane::above(0.41, 3.0));
         let got = run(&idx, &pager, &pairs, &sel, Strategy::T2);
@@ -865,7 +916,7 @@ mod tests {
             cdb_geometry::parse::parse_tuple("y = 0.5x + 2 && x >= 0 && x <= 10").unwrap();
         let mut pairs2 = pairs.clone();
         let mut idx2 = idx.clone();
-        idx2.insert(&mut pager, 9000, &segment);
+        idx2.insert(&mut pager, 9000, &segment).unwrap();
         pairs2.push((9000, segment));
         let lookup2: std::collections::HashMap<u32, GeneralizedTuple> =
             pairs2.iter().cloned().collect();

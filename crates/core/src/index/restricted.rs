@@ -1,6 +1,8 @@
 //! Section 3: the restricted technique — exact answers for query slopes in
 //! the predefined set `S` via one tree search plus a leaf sweep.
 
+use std::io;
+
 use cdb_btree::{key_slack, BTree, SweepControl};
 use cdb_storage::PageReader;
 
@@ -24,7 +26,7 @@ impl DualIndex {
         let b = sel.halfplane.intercept;
         let (use_up, upward) = tree_and_direction(sel.kind, sel.halfplane.op);
         let tree = self.tree(slope_idx, use_up);
-        let (mut sure, check) = sweep_candidates(tree, pager, b, upward);
+        let (mut sure, check) = sweep_candidates(tree, pager, b, upward)?;
         let mut stats = QueryStats {
             candidates: (sure.len() + check.len()) as u64,
             accepted_by_key: sure.len() as u64,
@@ -49,7 +51,7 @@ pub(crate) fn sweep_candidates(
     pager: &dyn PageReader,
     b: f64,
     upward: bool,
-) -> (Vec<u32>, Vec<u32>) {
+) -> io::Result<(Vec<u32>, Vec<u32>)> {
     let slack = key_slack(b);
     let mut sure = Vec::new();
     let mut band = Vec::new();
@@ -63,7 +65,7 @@ pub(crate) fn sweep_candidates(
                 }
             }
             SweepControl::Continue
-        });
+        })?;
     } else {
         tree.sweep_down(pager, b + slack, |snap| {
             for &(k, v) in &snap.entries {
@@ -74,7 +76,7 @@ pub(crate) fn sweep_candidates(
                 }
             }
             SweepControl::Continue
-        });
+        })?;
     }
-    (sure, band)
+    Ok((sure, band))
 }

@@ -39,7 +39,7 @@ impl DualIndex {
             };
             let (use_up, upward) = tree_and_direction(kind, th);
             let tree = self.tree(si, use_up);
-            let (sure, check) = sweep_candidates(tree, pager, bi, upward);
+            let (sure, check) = sweep_candidates(tree, pager, bi, upward)?;
             raw.extend(sure);
             raw.extend(check);
         }

@@ -1,6 +1,8 @@
 //! Sections 4.2–4.3: technique T2 — one tree, two disjoint sweeps guided by
 //! precomputed per-leaf handicaps; duplicate-free by construction.
 
+use std::io;
+
 use cdb_btree::{key_slack, BTree, Handicaps, SweepControl};
 use cdb_storage::PageReader;
 
@@ -38,7 +40,7 @@ impl DualIndex {
         let raw =
             handicap_guided_candidates(tree, pager, b, upward, &|h| side_low(h, side), &|h| {
                 side_high(h, side)
-            });
+            })?;
         let mut stats = QueryStats {
             candidates: raw.len() as u64,
             ..QueryStats::default()
@@ -89,7 +91,7 @@ pub(crate) fn handicap_guided_candidates(
     upward: bool,
     low_of: &dyn Fn(&Handicaps) -> f64,
     high_of: &dyn Fn(&Handicaps) -> f64,
-) -> Vec<u32> {
+) -> io::Result<Vec<u32>> {
     let mut raw: Vec<u32> = Vec::new();
     if upward {
         // First sweep: upward from b, folding the low handicap.
@@ -101,11 +103,11 @@ pub(crate) fn handicap_guided_candidates(
             low_q = low_q.min(low_of(&snap.handicaps));
             raw.extend(snap.entries.iter().map(|e| e.1));
             SweepControl::Continue
-        });
+        })?;
         if !visited {
             // b beyond every key: bucketed reaches clamp to the last leaf,
             // whose handicap must still be honoured.
-            let h = tree.read_handicaps(pager, tree.last_leaf());
+            let h = tree.read_handicaps(pager, tree.last_leaf())?;
             low_q = low_of(&h);
         }
         // Second sweep: downward, disjoint from the first, to low(q).
@@ -120,7 +122,7 @@ pub(crate) fn handicap_guided_candidates(
                     raw.push(v);
                 }
                 SweepControl::Continue
-            });
+            })?;
         }
     } else {
         // Mirror image: downward first, folding the high handicap.
@@ -132,9 +134,9 @@ pub(crate) fn handicap_guided_candidates(
             high_q = high_q.max(high_of(&snap.handicaps));
             raw.extend(snap.entries.iter().map(|e| e.1));
             SweepControl::Continue
-        });
+        })?;
         if !visited {
-            let h = tree.read_handicaps(pager, tree.first_leaf());
+            let h = tree.read_handicaps(pager, tree.first_leaf())?;
             high_q = high_of(&h);
         }
         if high_q > f64::NEG_INFINITY {
@@ -148,8 +150,8 @@ pub(crate) fn handicap_guided_candidates(
                     raw.push(v);
                 }
                 SweepControl::Continue
-            });
+            })?;
         }
     }
-    raw
+    Ok(raw)
 }

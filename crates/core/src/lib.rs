@@ -52,7 +52,7 @@ pub mod plan;
 pub mod query;
 pub mod slopes;
 
-pub use db::{ConstraintDb, DbConfig};
+pub use db::{ConstraintDb, DbConfig, RecoveryReport, Relation, RelationHealth};
 pub use error::{CdbError, CATALOG_RECORD};
 pub use exec::QueryExecutor;
 pub use index::DualIndex;

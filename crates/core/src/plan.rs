@@ -725,7 +725,7 @@ impl AccessMethod for RPlusAccess<'_> {
         let tracked = TrackedReader::new(pager);
         let pager: &dyn PageReader = &tracked;
         let before = pager.stats();
-        let (mut candidates, search) = self.tree.search_halfplane(pager, &sel.halfplane);
+        let (mut candidates, search) = self.tree.search_halfplane(pager, &sel.halfplane)?;
         candidates.extend_from_slice(self.unbounded);
         candidates.sort_unstable();
         candidates.dedup();

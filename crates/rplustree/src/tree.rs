@@ -1,4 +1,9 @@
 //! R⁺-tree operations: bulk packing, dynamic insertion, search.
+//!
+//! All page-touching operations are fallible (`io::Result`): the pager may
+//! be file-backed, fault-injected, or quarantined, and errors propagate.
+
+use std::io;
 
 use cdb_geometry::{HalfPlane, Rect};
 use cdb_storage::{PageId, PageReader, Pager};
@@ -28,8 +33,10 @@ pub struct SearchStats {
 ///     (Rect::new(0.0, 0.0, 2.0, 2.0), 1),
 ///     (Rect::new(10.0, 10.0, 12.0, 14.0), 2),
 /// ];
-/// let tree = RPlusTree::pack(&mut pager, &items, 1.0);
-/// let (hits, stats) = tree.search_halfplane(&mut pager, &HalfPlane::above(0.0, 9.0));
+/// let tree = RPlusTree::pack(&mut pager, &items, 1.0).unwrap();
+/// let (hits, stats) = tree
+///     .search_halfplane(&mut pager, &HalfPlane::above(0.0, 9.0))
+///     .unwrap();
 /// assert_eq!(hits, vec![2]);
 /// assert!(stats.nodes_visited >= 1);
 /// ```
@@ -44,19 +51,19 @@ pub struct RPlusTree {
 
 impl RPlusTree {
     /// Creates an empty tree.
-    pub fn new(pager: &mut dyn Pager) -> Self {
+    pub fn new(pager: &mut dyn Pager) -> io::Result<Self> {
         let page_size = pager.page_size();
-        let root = pager.allocate();
+        let root = pager.allocate()?;
         let mut buf = vec![0u8; page_size];
         Node::init(&mut buf, KIND_LEAF);
-        pager.write(root, &buf);
-        RPlusTree {
+        pager.write(root, &buf)?;
+        Ok(RPlusTree {
             page_size,
             root,
             height: 0,
             len: 0,
             pages: 1,
-        }
+        })
     }
 
     /// Re-attaches a tree from persisted metadata without touching the
@@ -112,7 +119,7 @@ impl RPlusTree {
     /// levels are packed STR-style. Searches never depend on disjointness.
     ///
     /// `fill` (0.5–1.0) is the target node occupancy.
-    pub fn pack(pager: &mut dyn Pager, items: &[(Rect, u32)], fill: f64) -> Self {
+    pub fn pack(pager: &mut dyn Pager, items: &[(Rect, u32)], fill: f64) -> io::Result<Self> {
         assert!((0.5..=1.0).contains(&fill), "fill factor out of range");
         let page_size = pager.page_size();
         if items.is_empty() {
@@ -127,14 +134,14 @@ impl RPlusTree {
         let mut buf = vec![0u8; page_size];
         let mut level: Vec<(Rect, PageId)> = Vec::with_capacity(groups.len());
         for g in groups {
-            let page = pager.allocate();
+            let page = pager.allocate()?;
             pages += 1;
             let mut node = Node::init(&mut buf, KIND_LEAF);
             for (r, p) in &g {
                 node.push(page_size, r, *p);
             }
             level.push((node.mbr(), page));
-            pager.write(page, &buf);
+            pager.write(page, &buf)?;
         }
         // Upper levels: STR packing of the child list.
         let mut height = 0usize;
@@ -143,46 +150,47 @@ impl RPlusTree {
             let chunks = str_chunks(level, cap);
             let mut next = Vec::with_capacity(chunks.len());
             for group in chunks {
-                let page = pager.allocate();
+                let page = pager.allocate()?;
                 pages += 1;
                 let mut node = Node::init(&mut buf, KIND_INTERNAL);
                 for (r, p) in &group {
                     node.push(page_size, r, *p);
                 }
                 next.push((node.mbr(), page));
-                pager.write(page, &buf);
+                pager.write(page, &buf)?;
             }
             level = next;
         }
-        RPlusTree {
+        Ok(RPlusTree {
             page_size,
             root: level[0].1,
             height,
             len: items.len() as u64,
             pages,
-        }
+        })
     }
 
     // ------------------------------------------------------------- insert --
 
     /// Inserts an object, clipping it into every region it spans.
     /// Node overflows split with a minimal-crossing cut.
-    pub fn insert(&mut self, pager: &mut dyn Pager, rect: Rect, oid: u32) {
+    pub fn insert(&mut self, pager: &mut dyn Pager, rect: Rect, oid: u32) -> io::Result<()> {
         assert!(!rect.is_empty(), "cannot insert an empty rectangle");
         self.len += 1;
-        let (root_rect, split) = self.insert_rec(pager, self.root, self.height, rect, oid);
+        let (root_rect, split) = self.insert_rec(pager, self.root, self.height, rect, oid)?;
         if let Some((sep_rect, sep_page)) = split {
             // Root split: grow the tree.
-            let new_root = pager.allocate();
+            let new_root = pager.allocate()?;
             self.pages += 1;
             let mut buf = vec![0u8; self.page_size];
             let mut node = Node::init(&mut buf, KIND_INTERNAL);
             node.push(self.page_size, &root_rect, self.root);
             node.push(self.page_size, &sep_rect, sep_page);
-            pager.write(new_root, &buf);
+            pager.write(new_root, &buf)?;
             self.root = new_root;
             self.height += 1;
         }
+        Ok(())
     }
 
     /// Recursive insert. Returns the node's MBR after the insertion (the
@@ -195,16 +203,16 @@ impl RPlusTree {
         depth: usize,
         rect: Rect,
         oid: u32,
-    ) -> (Rect, Option<(Rect, PageId)>) {
+    ) -> io::Result<(Rect, Option<(Rect, PageId)>)> {
         let mut buf = vec![0u8; self.page_size];
-        pager.read(page, &mut buf);
+        pager.read(page, &mut buf)?;
         if depth == 0 {
             let mut node = Node::new(&mut buf);
             if node.count() < capacity(self.page_size) {
                 node.push(self.page_size, &rect, oid);
                 let mbr = node.mbr();
-                pager.write(page, &buf);
-                return (mbr, None);
+                pager.write(page, &buf)?;
+                return Ok((mbr, None));
             }
             // Split the leaf around a minimal-crossing cut; straddling
             // objects are clipped into both halves.
@@ -216,8 +224,8 @@ impl RPlusTree {
                 node.push(self.page_size, r, *p);
             }
             let low_rect = node.mbr();
-            pager.write(page, &buf);
-            let new_page = pager.allocate();
+            pager.write(page, &buf)?;
+            let new_page = pager.allocate()?;
             self.pages += 1;
             let mut nbuf = vec![0u8; self.page_size];
             let mut right = Node::init(&mut nbuf, KIND_LEAF);
@@ -225,8 +233,8 @@ impl RPlusTree {
                 right.push(self.page_size, r, *p);
             }
             let high_rect = right.mbr();
-            pager.write(new_page, &nbuf);
-            return (low_rect, Some((high_rect, new_page)));
+            pager.write(new_page, &nbuf)?;
+            return Ok((low_rect, Some((high_rect, new_page))));
         }
 
         // Internal node: route the clipped pieces into every intersecting
@@ -272,7 +280,7 @@ impl RPlusTree {
             match per_child[i] {
                 None => new_entries.push((*crect, *cpage)),
                 Some(piece) => {
-                    let (mbr, split) = self.insert_rec(pager, *cpage, depth - 1, piece, oid);
+                    let (mbr, split) = self.insert_rec(pager, *cpage, depth - 1, piece, oid)?;
                     new_entries.push((mbr, *cpage));
                     if let Some(s) = split {
                         new_entries.push(s);
@@ -289,8 +297,8 @@ impl RPlusTree {
                 node.push(self.page_size, r, *p);
             }
             let mbr = node.mbr();
-            pager.write(page, &buf);
-            return (mbr, None);
+            pager.write(page, &buf)?;
+            return Ok((mbr, None));
         }
         // Split the internal node. Children are not clipped (that would
         // cascade); a minimal-crossing cut assigns crossers by centre.
@@ -300,8 +308,8 @@ impl RPlusTree {
             node.push(self.page_size, r, *p);
         }
         let low_rect = node.mbr();
-        pager.write(page, &buf);
-        let new_page = pager.allocate();
+        pager.write(page, &buf)?;
+        let new_page = pager.allocate()?;
         self.pages += 1;
         let mut nbuf = vec![0u8; self.page_size];
         let mut right = Node::init(&mut nbuf, KIND_INTERNAL);
@@ -309,8 +317,8 @@ impl RPlusTree {
             right.push(self.page_size, r, *p);
         }
         let high_rect = right.mbr();
-        pager.write(new_page, &nbuf);
-        (low_rect, Some((high_rect, new_page)))
+        pager.write(new_page, &nbuf)?;
+        Ok((low_rect, Some((high_rect, new_page))))
     }
 
     // ------------------------------------------------------------- search --
@@ -323,12 +331,16 @@ impl RPlusTree {
         &self,
         pager: &dyn PageReader,
         q: &HalfPlane,
-    ) -> (Vec<u32>, SearchStats) {
+    ) -> io::Result<(Vec<u32>, SearchStats)> {
         self.search_by(pager, |r| r.intersects_halfplane(q))
     }
 
     /// Window query: unique oids whose rectangle intersects `window`.
-    pub fn search_rect(&self, pager: &dyn PageReader, window: &Rect) -> (Vec<u32>, SearchStats) {
+    pub fn search_rect(
+        &self,
+        pager: &dyn PageReader,
+        window: &Rect,
+    ) -> io::Result<(Vec<u32>, SearchStats)> {
         self.search_by(pager, |r| r.intersects(window))
     }
 
@@ -336,13 +348,13 @@ impl RPlusTree {
         &self,
         pager: &dyn PageReader,
         pred: F,
-    ) -> (Vec<u32>, SearchStats) {
+    ) -> io::Result<(Vec<u32>, SearchStats)> {
         let mut stats = SearchStats::default();
         let mut hits: Vec<u32> = Vec::new();
         let mut stack = vec![(self.root, self.height)];
         let mut buf = vec![0u8; self.page_size];
         while let Some((page, depth)) = stack.pop() {
-            pager.read(page, &mut buf);
+            pager.read(page, &mut buf)?;
             stats.nodes_visited += 1;
             let node = Node::new(&mut buf);
             for i in 0..node.count() {
@@ -360,7 +372,7 @@ impl RPlusTree {
         let before = hits.len();
         hits.dedup();
         stats.duplicates = (before - hits.len()) as u64;
-        (hits, stats)
+        Ok((hits, stats))
     }
 
     // --------------------------------------------------------- validation --
@@ -369,8 +381,8 @@ impl RPlusTree {
     /// that sibling rectangles never overlap with positive area (guaranteed
     /// for packed trees; dynamic inserts may relax it in the documented
     /// leftover corner).
-    pub fn validate(&self, pager: &dyn PageReader, strict_disjoint: bool) {
-        self.validate_rec(pager, self.root, self.height, None, strict_disjoint);
+    pub fn validate(&self, pager: &dyn PageReader, strict_disjoint: bool) -> io::Result<()> {
+        self.validate_rec(pager, self.root, self.height, None, strict_disjoint)
     }
 
     fn validate_rec(
@@ -380,9 +392,9 @@ impl RPlusTree {
         depth: usize,
         bound: Option<Rect>,
         strict: bool,
-    ) {
+    ) -> io::Result<()> {
         let mut buf = vec![0u8; self.page_size];
-        pager.read(page, &mut buf);
+        pager.read(page, &mut buf)?;
         let node = Node::new(&mut buf);
         assert_eq!(node.is_leaf(), depth == 0, "kind/depth mismatch at {page}");
         let entries = node.entries();
@@ -413,25 +425,39 @@ impl RPlusTree {
                 }
             }
             for (r, p) in &entries {
-                self.validate_rec(pager, *p, depth - 1, Some(*r), strict);
+                self.validate_rec(pager, *p, depth - 1, Some(*r), strict)?;
             }
         }
+        Ok(())
     }
 
-    /// Frees all pages of the tree.
-    pub fn destroy(self, pager: &mut dyn Pager) {
+    /// All page ids owned by the tree. The walk reads every page —
+    /// internal nodes to find their children, leaves for integrity alone —
+    /// so under a checksumming pager it doubles as a full-tree
+    /// verification pass.
+    pub fn collect_pages(&self, pager: &dyn PageReader) -> io::Result<Vec<PageId>> {
+        let mut out = Vec::new();
         let mut stack = vec![(self.root, self.height)];
         let mut buf = vec![0u8; self.page_size];
         while let Some((page, depth)) = stack.pop() {
+            pager.read(page, &mut buf)?;
             if depth > 0 {
-                pager.read(page, &mut buf);
                 let node = Node::new(&mut buf);
                 for i in 0..node.count() {
                     stack.push((node.ptr(i), depth - 1));
                 }
             }
-            pager.free(page);
+            out.push(page);
         }
+        Ok(out)
+    }
+
+    /// Frees all pages of the tree.
+    pub fn destroy(self, pager: &mut dyn Pager) -> io::Result<()> {
+        for p in self.collect_pages(&*pager)? {
+            pager.free(p);
+        }
+        Ok(())
     }
 }
 
@@ -726,11 +752,11 @@ mod tests {
         let mut pager = MemPager::new(256);
         let mut rng = Lcg(42);
         let items: Vec<(Rect, u32)> = (0..300).map(|i| (rng.rect(100.0, 5.0), i)).collect();
-        let tree = RPlusTree::pack(&mut pager, &items, 1.0);
-        tree.validate(&pager, false);
+        let tree = RPlusTree::pack(&mut pager, &items, 1.0).unwrap();
+        tree.validate(&pager, false).unwrap();
         assert_eq!(tree.len(), 300);
         let window = Rect::new(-20.0, -20.0, 20.0, 20.0);
-        let (got, stats) = tree.search_rect(&pager, &window);
+        let (got, stats) = tree.search_rect(&pager, &window).unwrap();
         // Oracle over the true (unclipped) rectangles.
         let want = oracle_hits(&items, |r| r.intersects(&window));
         assert_eq!(got, want);
@@ -742,11 +768,11 @@ mod tests {
         let mut pager = MemPager::new(256);
         let mut rng = Lcg(7);
         let items: Vec<(Rect, u32)> = (0..500).map(|i| (rng.rect(100.0, 8.0), i)).collect();
-        let tree = RPlusTree::pack(&mut pager, &items, 1.0);
-        tree.validate(&pager, false);
+        let tree = RPlusTree::pack(&mut pager, &items, 1.0).unwrap();
+        tree.validate(&pager, false).unwrap();
         for (a, b) in [(0.5, 3.0), (-1.2, -10.0), (0.0, 0.0), (4.0, 20.0)] {
             for q in [HalfPlane::above(a, b), HalfPlane::below(a, b)] {
-                let (got, _) = tree.search_halfplane(&pager, &q);
+                let (got, _) = tree.search_halfplane(&pager, &q).unwrap();
                 let want = oracle_hits(&items, |r| r.intersects_halfplane(&q));
                 assert_eq!(got, want, "query {q}");
             }
@@ -760,9 +786,9 @@ mod tests {
         let mut pager = MemPager::new(64); // capacity 3
         let mut rng = Lcg(3);
         let items: Vec<(Rect, u32)> = (0..60).map(|i| (rng.rect(100.0, 6.0), i)).collect();
-        let tree = RPlusTree::pack(&mut pager, &items, 1.0);
+        let tree = RPlusTree::pack(&mut pager, &items, 1.0).unwrap();
         let all = Rect::new(-200.0, -200.0, 200.0, 200.0);
-        let (got, stats) = tree.search_rect(&pager, &all);
+        let (got, stats) = tree.search_rect(&pager, &all).unwrap();
         assert_eq!(got.len(), 60, "every object reported once");
         assert!(stats.duplicates > 0, "clipping must create duplicates");
         assert_eq!(stats.raw_hits, 60 + stats.duplicates);
@@ -771,23 +797,23 @@ mod tests {
     #[test]
     fn dynamic_inserts_match_oracle() {
         let mut pager = MemPager::new(256);
-        let mut tree = RPlusTree::new(&mut pager);
+        let mut tree = RPlusTree::new(&mut pager).unwrap();
         let mut rng = Lcg(99);
         let items: Vec<(Rect, u32)> = (0..400).map(|i| (rng.rect(80.0, 6.0), i)).collect();
         for (r, p) in &items {
-            tree.insert(&mut pager, *r, *p);
+            tree.insert(&mut pager, *r, *p).unwrap();
         }
-        tree.validate(&pager, false);
+        tree.validate(&pager, false).unwrap();
         assert_eq!(tree.len(), 400);
         assert!(tree.height() >= 1);
         for (a, b) in [(1.0, 0.0), (-0.5, 5.0), (0.2, -30.0)] {
             let q = HalfPlane::above(a, b);
-            let (got, _) = tree.search_halfplane(&pager, &q);
+            let (got, _) = tree.search_halfplane(&pager, &q).unwrap();
             let want = oracle_hits(&items, |r| r.intersects_halfplane(&q));
             assert_eq!(got, want, "query {q}");
         }
         let window = Rect::new(0.0, 0.0, 15.0, 15.0);
-        let (got, _) = tree.search_rect(&pager, &window);
+        let (got, _) = tree.search_rect(&pager, &window).unwrap();
         assert_eq!(got, oracle_hits(&items, |r| r.intersects(&window)));
     }
 
@@ -796,24 +822,26 @@ mod tests {
         let mut pager = MemPager::new(256);
         let mut rng = Lcg(5);
         let base: Vec<(Rect, u32)> = (0..200).map(|i| (rng.rect(60.0, 4.0), i)).collect();
-        let mut tree = RPlusTree::pack(&mut pager, &base, 0.7);
+        let mut tree = RPlusTree::pack(&mut pager, &base, 0.7).unwrap();
         let extra: Vec<(Rect, u32)> = (200..260).map(|i| (rng.rect(60.0, 4.0), i)).collect();
         for (r, p) in &extra {
-            tree.insert(&mut pager, *r, *p);
+            tree.insert(&mut pager, *r, *p).unwrap();
         }
         let mut all = base;
         all.extend(extra);
         let q = HalfPlane::below(0.7, 2.0);
-        let (got, _) = tree.search_halfplane(&pager, &q);
+        let (got, _) = tree.search_halfplane(&pager, &q).unwrap();
         assert_eq!(got, oracle_hits(&all, |r| r.intersects_halfplane(&q)));
     }
 
     #[test]
     fn empty_tree_queries() {
         let mut pager = MemPager::new(256);
-        let tree = RPlusTree::new(&mut pager);
+        let tree = RPlusTree::new(&mut pager).unwrap();
         assert!(tree.is_empty());
-        let (got, stats) = tree.search_rect(&pager, &Rect::new(0.0, 0.0, 1.0, 1.0));
+        let (got, stats) = tree
+            .search_rect(&pager, &Rect::new(0.0, 0.0, 1.0, 1.0))
+            .unwrap();
         assert!(got.is_empty());
         assert_eq!(stats.nodes_visited, 1);
     }
@@ -821,10 +849,14 @@ mod tests {
     #[test]
     fn single_object() {
         let mut pager = MemPager::new(256);
-        let tree = RPlusTree::pack(&mut pager, &[(Rect::new(0.0, 0.0, 1.0, 1.0), 5)], 1.0);
-        let (got, _) = tree.search_halfplane(&pager, &HalfPlane::above(0.0, 0.5));
+        let tree = RPlusTree::pack(&mut pager, &[(Rect::new(0.0, 0.0, 1.0, 1.0), 5)], 1.0).unwrap();
+        let (got, _) = tree
+            .search_halfplane(&pager, &HalfPlane::above(0.0, 0.5))
+            .unwrap();
         assert_eq!(got, vec![5]);
-        let (got, _) = tree.search_halfplane(&pager, &HalfPlane::above(0.0, 1.5));
+        let (got, _) = tree
+            .search_halfplane(&pager, &HalfPlane::above(0.0, 1.5))
+            .unwrap();
         assert!(got.is_empty());
     }
 
@@ -834,8 +866,10 @@ mod tests {
         let items: Vec<(Rect, u32)> = (0..30)
             .map(|i| (Rect::new(1.0, 1.0, 2.0, 2.0), i))
             .collect();
-        let tree = RPlusTree::pack(&mut pager, &items, 1.0);
-        let (got, _) = tree.search_rect(&pager, &Rect::new(0.0, 0.0, 3.0, 3.0));
+        let tree = RPlusTree::pack(&mut pager, &items, 1.0).unwrap();
+        let (got, _) = tree
+            .search_rect(&pager, &Rect::new(0.0, 0.0, 3.0, 3.0))
+            .unwrap();
         assert_eq!(got.len(), 30);
     }
 
@@ -844,9 +878,9 @@ mod tests {
         let mut pager = MemPager::new(256);
         let mut rng = Lcg(1);
         let items: Vec<(Rect, u32)> = (0..200).map(|i| (rng.rect(50.0, 5.0), i)).collect();
-        let tree = RPlusTree::pack(&mut pager, &items, 1.0);
+        let tree = RPlusTree::pack(&mut pager, &items, 1.0).unwrap();
         assert_eq!(tree.page_count() as usize, pager.live_pages());
-        tree.destroy(&mut pager);
+        tree.destroy(&mut pager).unwrap();
         assert_eq!(pager.live_pages(), 0);
     }
 
@@ -855,10 +889,12 @@ mod tests {
         let mut pager = MemPager::new(1024);
         let mut rng = Lcg(11);
         let items: Vec<(Rect, u32)> = (0..5000).map(|i| (rng.rect(100.0, 0.5), i)).collect();
-        let tree = RPlusTree::pack(&mut pager, &items, 1.0);
-        tree.validate(&pager, false);
+        let tree = RPlusTree::pack(&mut pager, &items, 1.0).unwrap();
+        tree.validate(&pager, false).unwrap();
         // A tiny window should touch a handful of nodes, not thousands.
-        let (_, stats) = tree.search_rect(&pager, &Rect::new(0.0, 0.0, 1.0, 1.0));
+        let (_, stats) = tree
+            .search_rect(&pager, &Rect::new(0.0, 0.0, 1.0, 1.0))
+            .unwrap();
         assert!(
             stats.nodes_visited < 30,
             "selective query visited {} nodes",
@@ -880,7 +916,7 @@ mod tests {
         // et al. acknowledge — so this test stays in the realistic-hostile
         // regime.
         let mut pager = MemPager::new(256); // capacity 12
-        let mut tree = RPlusTree::new(&mut pager);
+        let mut tree = RPlusTree::new(&mut pager).unwrap();
         let mut rng = Lcg(21);
         let mut items: Vec<(Rect, u32)> = (0..260).map(|i| (rng.rect(80.0, 10.0), i)).collect();
         // A run of identical rectangles exercises the degenerate-centre path.
@@ -888,11 +924,11 @@ mod tests {
             items.push((Rect::new(5.0, 5.0, 9.0, 9.0), i));
         }
         for (r, p) in &items {
-            tree.insert(&mut pager, *r, *p);
+            tree.insert(&mut pager, *r, *p).unwrap();
         }
-        tree.validate(&pager, false);
+        tree.validate(&pager, false).unwrap();
         let all = Rect::new(-200.0, -200.0, 200.0, 200.0);
-        let (got, _) = tree.search_rect(&pager, &all);
+        let (got, _) = tree.search_rect(&pager, &all).unwrap();
         assert_eq!(got.len(), 300);
     }
 

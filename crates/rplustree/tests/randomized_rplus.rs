@@ -39,11 +39,11 @@ fn packed_tree_matches_oracle() {
         let a = rng.gen_range(-3.0..3.0f64);
         let b = rng.gen_range(-60.0..60.0f64);
         let mut pager = MemPager::new(256);
-        let tree = RPlusTree::pack(&mut pager, &items, 1.0);
-        tree.validate(&pager, false);
+        let tree = RPlusTree::pack(&mut pager, &items, 1.0).unwrap();
+        tree.validate(&pager, false).unwrap();
         assert_eq!(tree.len() as usize, items.len(), "seed {seed}");
 
-        let (got, stats) = tree.search_rect(&pager, &window);
+        let (got, stats) = tree.search_rect(&pager, &window).unwrap();
         assert_eq!(
             got,
             oracle(items.iter(), |r| r.intersects(&window)),
@@ -52,7 +52,7 @@ fn packed_tree_matches_oracle() {
         assert!(stats.nodes_visited >= 1);
 
         for q in [HalfPlane::above(a, b), HalfPlane::below(a, b)] {
-            let (got, _) = tree.search_halfplane(&pager, &q);
+            let (got, _) = tree.search_halfplane(&pager, &q).unwrap();
             assert_eq!(
                 got,
                 oracle(items.iter(), |r| r.intersects_halfplane(&q)),
@@ -70,13 +70,13 @@ fn dynamic_tree_matches_oracle() {
         let a = rng.gen_range(-2.0..2.0f64);
         let b = rng.gen_range(-60.0..60.0f64);
         let mut pager = MemPager::new(256);
-        let mut tree = RPlusTree::new(&mut pager);
+        let mut tree = RPlusTree::new(&mut pager).unwrap();
         for (r, p) in &items {
-            tree.insert(&mut pager, *r, *p);
+            tree.insert(&mut pager, *r, *p).unwrap();
         }
-        tree.validate(&pager, false);
+        tree.validate(&pager, false).unwrap();
         let q = HalfPlane::above(a, b);
-        let (got, _) = tree.search_halfplane(&pager, &q);
+        let (got, _) = tree.search_halfplane(&pager, &q).unwrap();
         assert_eq!(
             got,
             oracle(items.iter(), |r| r.intersects_halfplane(&q)),
@@ -93,14 +93,14 @@ fn mixed_build_matches_oracle() {
         let n_extra = rng.gen_range(0..60usize);
         let window = random_rect(&mut rng);
         let mut pager = MemPager::new(256);
-        let mut tree = RPlusTree::pack(&mut pager, &items, 0.8);
+        let mut tree = RPlusTree::pack(&mut pager, &items, 0.8).unwrap();
         for j in 0..n_extra {
             let r = random_rect(&mut rng);
             let id = 10_000 + j as u32;
-            tree.insert(&mut pager, r, id);
+            tree.insert(&mut pager, r, id).unwrap();
             items.push((r, id));
         }
-        let (got, _) = tree.search_rect(&pager, &window);
+        let (got, _) = tree.search_rect(&pager, &window).unwrap();
         assert_eq!(
             got,
             oracle(items.iter(), |r| r.intersects(&window)),
@@ -115,13 +115,13 @@ fn page_accounting_is_exact() {
         let mut rng = StdRng::seed_from_u64(300 + seed);
         let items = random_items(&mut rng, 1, 200);
         let mut pager = MemPager::new(256);
-        let tree = RPlusTree::pack(&mut pager, &items, 1.0);
+        let tree = RPlusTree::pack(&mut pager, &items, 1.0).unwrap();
         assert_eq!(
             tree.page_count() as usize,
             pager.live_pages(),
             "seed {seed}"
         );
-        tree.destroy(&mut pager);
+        tree.destroy(&mut pager).unwrap();
         assert_eq!(pager.live_pages(), 0, "seed {seed}");
     }
 }

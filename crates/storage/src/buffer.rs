@@ -10,6 +10,16 @@
 //! from `&self` (a miss may still evict and write back a dirty victim);
 //! write-half operations go through `&mut self` and use the lock-free
 //! `get_mut` path.
+//!
+//! # Failure policy
+//!
+//! A failed write-back during eviction **keeps the frame dirty and
+//! resident** and surfaces the error: the page's only up-to-date copy lives
+//! in that frame, so dropping it would silently lose committed-to-cache
+//! data. The next eviction or flush retries. Likewise [`flush`] stops at
+//! the first failing page, leaving it (and everything after it) dirty.
+//!
+//! [`flush`]: BufferPool::flush
 
 use std::collections::HashMap;
 use std::sync::Mutex;
@@ -31,9 +41,9 @@ struct PoolState<P> {
 }
 
 impl<P: Pager> PoolState<P> {
-    fn evict_if_full(&mut self, capacity: usize) {
+    fn evict_if_full(&mut self, capacity: usize) -> std::io::Result<()> {
         if self.frames.len() < capacity {
-            return;
+            return Ok(());
         }
         let victim = self
             .frames
@@ -41,20 +51,25 @@ impl<P: Pager> PoolState<P> {
             .min_by_key(|(_, f)| f.stamp)
             .map(|(&id, _)| id)
             .expect("non-empty pool");
-        let frame = self.frames.remove(&victim).expect("victim exists");
+        // Write back BEFORE removing: if the device rejects the page, the
+        // frame must stay dirty and resident — it holds the only current
+        // copy of the data.
+        let frame = self.frames.get(&victim).expect("victim exists");
         if frame.dirty {
-            self.inner.write(victim, &frame.data);
+            self.inner.write(victim, &frame.data)?;
         }
+        self.frames.remove(&victim);
+        Ok(())
     }
 
     /// Ensures `id` is resident, evicting (with write-back) on a miss.
-    fn load(&mut self, id: PageId, capacity: usize) {
+    fn load(&mut self, id: PageId, capacity: usize) -> std::io::Result<()> {
         if self.frames.contains_key(&id) {
-            return;
+            return Ok(());
         }
-        self.evict_if_full(capacity);
+        self.evict_if_full(capacity)?;
         let mut buf = vec![0u8; self.inner.page_size()];
-        self.inner.read(id, &mut buf);
+        self.inner.read(id, &mut buf)?;
         self.clock += 1;
         self.frames.insert(
             id,
@@ -64,11 +79,13 @@ impl<P: Pager> PoolState<P> {
                 stamp: self.clock,
             },
         );
+        Ok(())
     }
 
     /// Writes every dirty frame back, in page order, borrowing the frame
-    /// data in place (no per-page clone).
-    fn flush(&mut self) {
+    /// data in place (no per-page clone). Stops at the first failure; the
+    /// failing frame stays dirty.
+    fn flush(&mut self) -> std::io::Result<()> {
         let mut dirty: Vec<PageId> = self
             .frames
             .iter()
@@ -79,9 +96,10 @@ impl<P: Pager> PoolState<P> {
         let PoolState { inner, frames, .. } = self;
         for id in dirty {
             let f = frames.get_mut(&id).expect("dirty frame is resident");
-            inner.write(id, &f.data);
+            inner.write(id, &f.data)?;
             f.dirty = false;
         }
+        Ok(())
     }
 }
 
@@ -125,14 +143,31 @@ impl<P: Pager> BufferPool<P> {
     }
 
     /// Flushes all dirty frames to the inner pager.
-    pub fn flush(&mut self) {
-        self.state_mut().flush();
+    pub fn flush(&mut self) -> std::io::Result<()> {
+        self.state_mut().flush()
+    }
+
+    /// Number of resident frames whose content has not reached the inner
+    /// pager yet.
+    pub fn dirty_frames(&self) -> usize {
+        self.lock().frames.values().filter(|f| f.dirty).count()
+    }
+
+    /// Whether page `id` currently occupies a frame.
+    pub fn is_resident(&self, id: PageId) -> bool {
+        self.lock().frames.contains_key(&id)
     }
 
     /// Flushes and returns the inner pager.
-    pub fn into_inner(mut self) -> P {
-        self.flush();
-        self.state.into_inner().expect("buffer pool poisoned").inner
+    ///
+    /// # Errors
+    /// If the final flush fails, the pool is returned intact inside `Err`
+    /// so no dirty frame is lost; retry or inspect via the pool.
+    pub fn into_inner(mut self) -> Result<P, (Self, std::io::Error)> {
+        match self.flush() {
+            Ok(()) => Ok(self.state.into_inner().expect("buffer pool poisoned").inner),
+            Err(e) => Err((self, e)),
+        }
     }
 }
 
@@ -141,16 +176,18 @@ impl<P: Pager> PageReader for BufferPool<P> {
         self.page_size
     }
 
-    fn read(&self, id: PageId, buf: &mut [u8]) {
+    fn read(&self, id: PageId, buf: &mut [u8]) -> std::io::Result<()> {
+        // Invariant, not I/O: wrong-size buffers are caller bugs.
         assert_eq!(buf.len(), self.page_size);
         let mut st = self.lock();
-        st.load(id, self.capacity);
+        st.load(id, self.capacity)?;
         st.clock += 1;
         let stamp = st.clock;
         let frame = st.frames.get_mut(&id).expect("loaded");
         frame.stamp = stamp;
         buf.copy_from_slice(&frame.data);
         st.stats.reads += 1;
+        Ok(())
     }
 
     fn live_pages(&self) -> usize {
@@ -163,13 +200,15 @@ impl<P: Pager> PageReader for BufferPool<P> {
 }
 
 impl<P: Pager> Pager for BufferPool<P> {
-    fn allocate(&mut self) -> PageId {
+    fn allocate(&mut self) -> std::io::Result<PageId> {
         let st = self.state_mut();
+        let id = st.inner.allocate()?;
         st.stats.allocations += 1;
-        st.inner.allocate()
+        Ok(id)
     }
 
-    fn write(&mut self, id: PageId, data: &[u8]) {
+    fn write(&mut self, id: PageId, data: &[u8]) -> std::io::Result<()> {
+        // Invariant, not I/O: see `read`.
         assert_eq!(data.len(), self.page_size);
         let capacity = self.capacity;
         let st = self.state_mut();
@@ -183,7 +222,7 @@ impl<P: Pager> Pager for BufferPool<P> {
             frame.dirty = true;
             frame.stamp = stamp;
         } else {
-            st.evict_if_full(capacity);
+            st.evict_if_full(capacity)?;
             st.frames.insert(
                 id,
                 Frame {
@@ -194,6 +233,7 @@ impl<P: Pager> Pager for BufferPool<P> {
             );
         }
         st.stats.writes += 1;
+        Ok(())
     }
 
     fn free(&mut self, id: PageId) {
@@ -207,12 +247,18 @@ impl<P: Pager> Pager for BufferPool<P> {
         self.state_mut().stats = IoStats::default();
     }
 
+    fn sync(&mut self) -> std::io::Result<()> {
+        let st = self.state_mut();
+        st.flush()?;
+        st.inner.sync()
+    }
+
     fn commit_meta(&mut self, meta: &[u8]) -> std::io::Result<()> {
         // The inner pager's protocol promises that all page data precedes
         // the published blob on stable storage, so dirty frames must reach
         // the device first.
         let st = self.state_mut();
-        st.flush();
+        st.flush()?;
         st.inner.commit_meta(meta)
     }
 
@@ -224,16 +270,17 @@ impl<P: Pager> Pager for BufferPool<P> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{FaultPager, FaultPlan};
     use crate::pager::MemPager;
 
     #[test]
     fn cached_reads_avoid_physical_io() {
         let mut pool = BufferPool::new(MemPager::new(64), 4);
-        let a = pool.allocate();
-        pool.write(a, &[1u8; 64]);
+        let a = pool.allocate().unwrap();
+        pool.write(a, &[1u8; 64]).unwrap();
         let mut buf = vec![0u8; 64];
         for _ in 0..10 {
-            pool.read(a, &mut buf);
+            pool.read(a, &mut buf).unwrap();
         }
         assert_eq!(pool.stats().reads, 10, "logical reads counted");
         assert_eq!(pool.physical_stats().reads, 0, "all served from cache");
@@ -243,32 +290,83 @@ mod tests {
     #[test]
     fn eviction_writes_back_dirty_pages() {
         let mut pool = BufferPool::new(MemPager::new(64), 2);
-        let ids: Vec<_> = (0..4).map(|_| pool.allocate()).collect();
+        let ids: Vec<_> = (0..4).map(|_| pool.allocate().unwrap()).collect();
         for (i, &id) in ids.iter().enumerate() {
-            pool.write(id, &[i as u8 + 1; 64]);
+            pool.write(id, &[i as u8 + 1; 64]).unwrap();
         }
         // Capacity 2: first pages must have been evicted + written back.
         assert!(pool.physical_stats().writes >= 2);
         let mut buf = vec![0u8; 64];
-        pool.read(ids[0], &mut buf);
+        pool.read(ids[0], &mut buf).unwrap();
         assert_eq!(buf[0], 1, "evicted page content survived");
+    }
+
+    #[test]
+    fn failed_eviction_write_back_keeps_frame_dirty_and_resident() {
+        // Regression: a write error during eviction used to drop the frame
+        // after the page content had already been removed from the pool —
+        // losing the only current copy. The frame must stay dirty and
+        // resident so a later flush can retry.
+        let inner = FaultPager::new(MemPager::new(64), FaultPlan::new().fail_write(1));
+        let mut pool = BufferPool::new(inner, 2);
+        let a = pool.allocate().unwrap();
+        let b = pool.allocate().unwrap();
+        let c = pool.allocate().unwrap();
+        pool.write(a, &[1u8; 64]).unwrap();
+        pool.write(b, &[2u8; 64]).unwrap(); // pool full, both dirty
+                                            // Writing c forces an eviction of `a`; its physical write is the
+                                            // 1st inner write op and fails by plan.
+        let err = pool.write(c, &[3u8; 64]).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::Other);
+        assert!(pool.is_resident(a), "victim must stay resident");
+        assert_eq!(pool.dirty_frames(), 2, "victim must stay dirty");
+        let mut buf = vec![0u8; 64];
+        pool.read(a, &mut buf).unwrap();
+        assert_eq!(buf[0], 1, "content preserved in the frame");
+        // The injected fault was one-shot: the retry drains cleanly.
+        pool.write(c, &[3u8; 64]).unwrap();
+        pool.flush().unwrap();
+        assert_eq!(pool.dirty_frames(), 0);
+        let inner = pool.into_inner().unwrap_or_else(|_| panic!("flush clean"));
+        let mem = inner.into_inner();
+        let mut buf = vec![0u8; 64];
+        mem.read(a, &mut buf).unwrap();
+        assert_eq!(buf[0], 1, "page reached the device after retry");
+    }
+
+    #[test]
+    fn failed_flush_leaves_remaining_frames_dirty() {
+        let inner = FaultPager::new(MemPager::new(64), FaultPlan::new().fail_write(1));
+        let mut pool = BufferPool::new(inner, 8);
+        let ids: Vec<_> = (0..3).map(|_| pool.allocate().unwrap()).collect();
+        for (i, &id) in ids.iter().enumerate() {
+            pool.write(id, &[i as u8 + 1; 64]).unwrap();
+        }
+        let err = pool.flush().unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::Other);
+        assert!(
+            pool.dirty_frames() == 3,
+            "first write failed: nothing may be marked clean out of order"
+        );
+        pool.flush().unwrap();
+        assert_eq!(pool.dirty_frames(), 0);
     }
 
     #[test]
     fn lru_keeps_hot_page() {
         let mut pool = BufferPool::new(MemPager::new(64), 2);
-        let a = pool.allocate();
-        let b = pool.allocate();
-        let c = pool.allocate();
-        pool.write(a, &[1u8; 64]);
-        pool.write(b, &[2u8; 64]);
+        let a = pool.allocate().unwrap();
+        let b = pool.allocate().unwrap();
+        let c = pool.allocate().unwrap();
+        pool.write(a, &[1u8; 64]).unwrap();
+        pool.write(b, &[2u8; 64]).unwrap();
         let mut buf = vec![0u8; 64];
-        pool.read(a, &mut buf); // refresh a; b becomes LRU
-        pool.write(c, &[3u8; 64]); // evicts b
+        pool.read(a, &mut buf).unwrap(); // refresh a; b becomes LRU
+        pool.write(c, &[3u8; 64]).unwrap(); // evicts b
         let before = pool.physical_stats().reads;
-        pool.read(a, &mut buf); // still cached
+        pool.read(a, &mut buf).unwrap(); // still cached
         assert_eq!(pool.physical_stats().reads, before);
-        pool.read(b, &mut buf); // miss
+        pool.read(b, &mut buf).unwrap(); // miss
         assert_eq!(pool.physical_stats().reads, before + 1);
         assert_eq!(buf[0], 2);
     }
@@ -279,13 +377,13 @@ mod tests {
         // residency, so a cache-hit write to a full pool evicted a victim it
         // didn't need — potentially the very page being written.
         let mut pool = BufferPool::new(MemPager::new(64), 2);
-        let a = pool.allocate();
-        let b = pool.allocate();
-        pool.write(a, &[1u8; 64]);
-        pool.write(b, &[2u8; 64]); // pool now full, both frames dirty
+        let a = pool.allocate().unwrap();
+        let b = pool.allocate().unwrap();
+        pool.write(a, &[1u8; 64]).unwrap();
+        pool.write(b, &[2u8; 64]).unwrap(); // pool now full, both frames dirty
         let before = pool.physical_stats();
-        pool.write(a, &[9u8; 64]); // hit-write at capacity
-        pool.write(b, &[8u8; 64]);
+        pool.write(a, &[9u8; 64]).unwrap(); // hit-write at capacity
+        pool.write(b, &[8u8; 64]).unwrap();
         assert_eq!(
             pool.physical_stats(),
             before,
@@ -293,9 +391,9 @@ mod tests {
         );
         // Both pages still resident: reads hit the cache too.
         let mut buf = vec![0u8; 64];
-        pool.read(a, &mut buf);
+        pool.read(a, &mut buf).unwrap();
         assert_eq!(buf[0], 9);
-        pool.read(b, &mut buf);
+        pool.read(b, &mut buf).unwrap();
         assert_eq!(buf[0], 8);
         assert_eq!(pool.physical_stats().reads, before.reads, "still cached");
     }
@@ -303,13 +401,13 @@ mod tests {
     #[test]
     fn flush_writes_each_dirty_page_once() {
         let mut pool = BufferPool::new(MemPager::new(64), 8);
-        let ids: Vec<_> = (0..3).map(|_| pool.allocate()).collect();
+        let ids: Vec<_> = (0..3).map(|_| pool.allocate().unwrap()).collect();
         for (i, &id) in ids.iter().enumerate() {
-            pool.write(id, &[i as u8 + 1; 64]);
+            pool.write(id, &[i as u8 + 1; 64]).unwrap();
         }
-        pool.flush();
+        pool.flush().unwrap();
         assert_eq!(pool.physical_stats().writes, 3);
-        pool.flush();
+        pool.flush().unwrap();
         assert_eq!(
             pool.physical_stats().writes,
             3,
@@ -320,19 +418,19 @@ mod tests {
     #[test]
     fn flush_persists_everything() {
         let mut pool = BufferPool::new(MemPager::new(64), 8);
-        let a = pool.allocate();
-        pool.write(a, &[9u8; 64]);
-        let inner = pool.into_inner();
+        let a = pool.allocate().unwrap();
+        pool.write(a, &[9u8; 64]).unwrap();
+        let inner = pool.into_inner().unwrap_or_else(|_| panic!("flush clean"));
         let mut buf = vec![0u8; 64];
-        inner.read(a, &mut buf);
+        inner.read(a, &mut buf).unwrap();
         assert_eq!(buf[0], 9);
     }
 
     #[test]
     fn commit_meta_flushes_dirty_frames_first() {
         let mut pool = BufferPool::new(MemPager::new(64), 8);
-        let a = pool.allocate();
-        pool.write(a, &[4u8; 64]);
+        let a = pool.allocate().unwrap();
+        pool.write(a, &[4u8; 64]).unwrap();
         assert_eq!(pool.physical_stats().writes, 0, "write still buffered");
         pool.commit_meta(b"snapshot").unwrap();
         assert_eq!(pool.physical_stats().writes, 1, "commit flushed the frame");
@@ -342,8 +440,8 @@ mod tests {
     #[test]
     fn free_drops_frame() {
         let mut pool = BufferPool::new(MemPager::new(64), 2);
-        let a = pool.allocate();
-        pool.write(a, &[1u8; 64]);
+        let a = pool.allocate().unwrap();
+        pool.write(a, &[1u8; 64]).unwrap();
         pool.free(a);
         assert_eq!(pool.live_pages(), 0);
     }
@@ -351,9 +449,9 @@ mod tests {
     #[test]
     fn concurrent_readers_share_the_pool() {
         let mut pool = BufferPool::new(MemPager::new(64), 2);
-        let ids: Vec<_> = (0..4).map(|_| pool.allocate()).collect();
+        let ids: Vec<_> = (0..4).map(|_| pool.allocate().unwrap()).collect();
         for (i, &id) in ids.iter().enumerate() {
-            pool.write(id, &[i as u8 + 1; 64]);
+            pool.write(id, &[i as u8 + 1; 64]).unwrap();
         }
         let pool = &pool;
         std::thread::scope(|s| {
@@ -363,7 +461,7 @@ mod tests {
                     let mut buf = vec![0u8; 64];
                     for round in 0..20 {
                         let i = (t + round) % ids.len();
-                        pool.read(ids[i], &mut buf);
+                        pool.read(ids[i], &mut buf).unwrap();
                         assert_eq!(buf[0], i as u8 + 1);
                     }
                 });

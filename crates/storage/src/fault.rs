@@ -1,0 +1,608 @@
+//! Deterministic fault injection for every fallible storage operation.
+//!
+//! [`FaultPager`] wraps any [`Pager`] and numbers each fallible operation
+//! (reads, writes, allocations, syncs, meta commits) with a single global
+//! op counter plus a per-kind counter. A [`FaultPlan`] — built explicitly
+//! or derived from a seeded [`cdb_prng::StdRng`] schedule — decides which
+//! op indices fail:
+//!
+//! - **Injected error**: the op does not reach the inner pager and returns
+//!   an `io::Error` of kind `Other`.
+//! - **Torn write**: only a prefix (or suffix) of the new page image is
+//!   persisted, the rest keeps the old bytes, and the op reports failure —
+//!   the classic partially-persisted sector write.
+//! - **Crash**: all writes and allocations since the last successful
+//!   `sync`/`commit_meta` are rolled back (un-synced data vanishes, as it
+//!   would from a volatile page cache) and every subsequent op fails.
+//!
+//! Every op is appended to a trace, so a failing randomized schedule can be
+//! replayed as an explicit plan.
+//!
+//! # Fidelity notes
+//!
+//! The crash rollback restores journaled page images and frees pages
+//! allocated since the last sync. Pages *freed* since the last sync are not
+//! resurrected — with a [`MemPager`](crate::pager::MemPager) inner their ids
+//! may be recycled, so crash schedules over free-heavy workloads should use
+//! a [`FilePager`](crate::file::FilePager) inner, where true crash semantics
+//! come for free (drop without close, then reopen). Journaling reads the old
+//! page image through the inner pager, so the inner's *physical* read stats
+//! include one extra read per first-touch write between syncs; the
+//! `FaultPager`'s own stats count only the caller's operations.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::io;
+use std::sync::Mutex;
+
+use cdb_prng::StdRng;
+
+use crate::pager::{PageId, PageReader, Pager};
+use crate::stats::IoStats;
+
+/// The kind of storage operation, as numbered by the fault gate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultOp {
+    /// A page read.
+    Read,
+    /// A page write.
+    Write,
+    /// A page allocation.
+    Allocate,
+    /// A page free (trace-only: frees are infallible bookkeeping).
+    Free,
+    /// A durability barrier.
+    Sync,
+    /// A metadata commit.
+    CommitMeta,
+    /// A metadata read.
+    ReadMeta,
+}
+
+/// One numbered operation observed by a [`FaultPager`].
+#[derive(Clone, Debug)]
+pub struct TraceEntry {
+    /// 1-based global op index (0 for trace-only ops such as `free`).
+    pub index: u64,
+    /// What the caller asked for.
+    pub op: FaultOp,
+    /// The page involved, when the op targets one.
+    pub page: Option<PageId>,
+    /// Whether the plan made this op fail (error, torn write, or crash).
+    pub injected: bool,
+}
+
+/// How a torn write splits the page between new and old bytes.
+#[derive(Clone, Copy, Debug)]
+struct Torn {
+    /// Number of bytes of the *new* image that reach the device.
+    keep: usize,
+    /// `true`: the new prefix lands (old suffix survives); `false`: the new
+    /// suffix lands (old prefix survives).
+    from_start: bool,
+}
+
+/// A deterministic schedule of faults, keyed by op index.
+///
+/// All indices are 1-based: `fail_write(1)` fails the first write. Global
+/// indices (`fail_op`, `crash_at`) count every fallible op; per-kind
+/// indices count only ops of that kind.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    fail_global: BTreeSet<u64>,
+    fail_reads: BTreeSet<u64>,
+    fail_writes: BTreeSet<u64>,
+    fail_syncs: BTreeSet<u64>,
+    torn_writes: BTreeMap<u64, Torn>,
+    crash_at: Option<u64>,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing.
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Fails the `k`-th fallible op, whatever its kind.
+    pub fn fail_op(mut self, k: u64) -> Self {
+        self.fail_global.insert(k);
+        self
+    }
+
+    /// Fails the `k`-th read.
+    pub fn fail_read(mut self, k: u64) -> Self {
+        self.fail_reads.insert(k);
+        self
+    }
+
+    /// Fails the `k`-th write.
+    pub fn fail_write(mut self, k: u64) -> Self {
+        self.fail_writes.insert(k);
+        self
+    }
+
+    /// Fails the `k`-th durability barrier (`sync` or `commit_meta`).
+    pub fn fail_sync(mut self, k: u64) -> Self {
+        self.fail_syncs.insert(k);
+        self
+    }
+
+    /// Tears the `k`-th write: `keep` bytes of the new image land
+    /// (prefix if `from_start`, else suffix), the rest keeps old bytes,
+    /// and the write reports failure.
+    pub fn torn_write(mut self, k: u64, keep: usize, from_start: bool) -> Self {
+        self.torn_writes.insert(k, Torn { keep, from_start });
+        self
+    }
+
+    /// Simulates a crash at the `k`-th fallible op (global index): the op
+    /// does not happen, un-synced state rolls back, and every later op
+    /// fails.
+    pub fn crash_at(mut self, k: u64) -> Self {
+        self.crash_at = Some(k);
+        self
+    }
+
+    /// A seeded random schedule: each of the first `horizon` ops fails
+    /// independently with probability `fail_prob`. Deterministic in `seed`.
+    pub fn random(seed: u64, horizon: u64, fail_prob: f64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut plan = FaultPlan::new();
+        for k in 1..=horizon {
+            if rng.gen_bool(fail_prob) {
+                plan.fail_global.insert(k);
+            }
+        }
+        plan
+    }
+}
+
+struct FaultState<P> {
+    inner: P,
+    plan: FaultPlan,
+    ops: u64,
+    reads: u64,
+    writes: u64,
+    syncs: u64,
+    trace: Vec<TraceEntry>,
+    /// Old page images for pages written since the last durability point.
+    journal: HashMap<PageId, Vec<u8>>,
+    /// Pages allocated since the last durability point.
+    fresh: Vec<PageId>,
+    crashed: bool,
+    stats: IoStats,
+}
+
+/// What the fault gate decided for one op.
+enum Verdict {
+    Proceed,
+    Inject,
+    Tear(Torn),
+    Crash,
+}
+
+impl<P: Pager> FaultState<P> {
+    /// Numbers the op, records it, and decides its fate. The `injected`
+    /// flag in the trace is patched by the caller for torn/crash verdicts
+    /// too — `gate` sets it for plain injections.
+    fn gate(&mut self, op: FaultOp, page: Option<PageId>) -> io::Result<Verdict> {
+        if self.crashed {
+            // Post-crash, the device is gone: nothing is numbered anymore.
+            return Err(io::Error::other("simulated crash: pager is down"));
+        }
+        self.ops += 1;
+        let idx = self.ops;
+        let kind_idx = match op {
+            FaultOp::Read => {
+                self.reads += 1;
+                self.reads
+            }
+            FaultOp::Write => {
+                self.writes += 1;
+                self.writes
+            }
+            FaultOp::Sync | FaultOp::CommitMeta => {
+                self.syncs += 1;
+                self.syncs
+            }
+            _ => 0,
+        };
+        let verdict = if self.plan.crash_at == Some(idx) {
+            Verdict::Crash
+        } else if let (FaultOp::Write, Some(t)) =
+            (op, self.plan.torn_writes.get(&kind_idx).copied())
+        {
+            Verdict::Tear(t)
+        } else if self.plan.fail_global.contains(&idx)
+            || (op == FaultOp::Read && self.plan.fail_reads.contains(&kind_idx))
+            || (op == FaultOp::Write && self.plan.fail_writes.contains(&kind_idx))
+            || (matches!(op, FaultOp::Sync | FaultOp::CommitMeta)
+                && self.plan.fail_syncs.contains(&kind_idx))
+        {
+            Verdict::Inject
+        } else {
+            Verdict::Proceed
+        };
+        self.trace.push(TraceEntry {
+            index: idx,
+            op,
+            page,
+            injected: !matches!(verdict, Verdict::Proceed),
+        });
+        Ok(verdict)
+    }
+
+    /// Saves the current image of `id` so a crash can restore it. No-op if
+    /// the page already has a journal entry or was allocated this epoch.
+    fn journal_old(&mut self, id: PageId) {
+        if self.journal.contains_key(&id) || self.fresh.contains(&id) {
+            return;
+        }
+        let mut old = vec![0u8; self.inner.page_size()];
+        if self.inner.read(id, &mut old).is_ok() {
+            self.journal.insert(id, old);
+        }
+    }
+
+    /// Undoes everything since the last durability point, then marks the
+    /// pager crashed. Best-effort: the inner pager is assumed healthy (the
+    /// faults live in this wrapper, not below it).
+    fn crash(&mut self) -> io::Error {
+        let journal = std::mem::take(&mut self.journal);
+        let fresh = std::mem::take(&mut self.fresh);
+        for (id, old) in journal {
+            if !fresh.contains(&id) {
+                let _ = self.inner.write(id, &old);
+            }
+        }
+        for id in fresh {
+            self.inner.free(id);
+        }
+        self.crashed = true;
+        io::Error::other("simulated crash: un-synced writes dropped")
+    }
+
+    fn durability_point(&mut self) {
+        self.journal.clear();
+        self.fresh.clear();
+    }
+}
+
+/// A pager decorator that injects planned faults; see the module docs.
+pub struct FaultPager<P: Pager> {
+    page_size: usize,
+    state: Mutex<FaultState<P>>,
+}
+
+fn injected() -> io::Error {
+    io::Error::other("injected fault")
+}
+
+impl<P: Pager> FaultPager<P> {
+    /// Wraps `inner` so its operations follow `plan`.
+    pub fn new(inner: P, plan: FaultPlan) -> Self {
+        FaultPager {
+            page_size: inner.page_size(),
+            state: Mutex::new(FaultState {
+                inner,
+                plan,
+                ops: 0,
+                reads: 0,
+                writes: 0,
+                syncs: 0,
+                trace: Vec::new(),
+                journal: HashMap::new(),
+                fresh: Vec::new(),
+                crashed: false,
+                stats: IoStats::default(),
+            }),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, FaultState<P>> {
+        self.state.lock().expect("fault pager poisoned")
+    }
+
+    fn state_mut(&mut self) -> &mut FaultState<P> {
+        self.state.get_mut().expect("fault pager poisoned")
+    }
+
+    /// Total fallible ops numbered so far.
+    pub fn ops(&self) -> u64 {
+        self.lock().ops
+    }
+
+    /// Whether a planned crash point has been reached.
+    pub fn crashed(&self) -> bool {
+        self.lock().crashed
+    }
+
+    /// A copy of the op trace recorded so far.
+    pub fn trace(&self) -> Vec<TraceEntry> {
+        self.lock().trace.clone()
+    }
+
+    /// Unwraps the inner pager, discarding the fault machinery.
+    pub fn into_inner(self) -> P {
+        self.state.into_inner().expect("fault pager poisoned").inner
+    }
+}
+
+impl<P: Pager> PageReader for FaultPager<P> {
+    fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    fn read(&self, id: PageId, buf: &mut [u8]) -> io::Result<()> {
+        let mut st = self.lock();
+        match st.gate(FaultOp::Read, Some(id))? {
+            Verdict::Proceed => {
+                st.inner.read(id, buf)?;
+                st.stats.reads += 1;
+                Ok(())
+            }
+            Verdict::Inject => Err(injected()),
+            Verdict::Tear(_) => unreachable!("tear verdicts only on writes"),
+            Verdict::Crash => Err(st.crash()),
+        }
+    }
+
+    fn live_pages(&self) -> usize {
+        self.lock().inner.live_pages()
+    }
+
+    fn stats(&self) -> IoStats {
+        self.lock().stats
+    }
+}
+
+impl<P: Pager> Pager for FaultPager<P> {
+    fn allocate(&mut self) -> io::Result<PageId> {
+        let st = self.state_mut();
+        match st.gate(FaultOp::Allocate, None)? {
+            Verdict::Proceed => {
+                let id = st.inner.allocate()?;
+                st.fresh.push(id);
+                st.stats.allocations += 1;
+                Ok(id)
+            }
+            Verdict::Inject => Err(injected()),
+            Verdict::Tear(_) => unreachable!("tear verdicts only on writes"),
+            Verdict::Crash => Err(st.crash()),
+        }
+    }
+
+    fn write(&mut self, id: PageId, data: &[u8]) -> io::Result<()> {
+        let st = self.state_mut();
+        match st.gate(FaultOp::Write, Some(id))? {
+            Verdict::Proceed => {
+                st.journal_old(id);
+                st.inner.write(id, data)?;
+                st.stats.writes += 1;
+                Ok(())
+            }
+            Verdict::Inject => Err(injected()),
+            Verdict::Tear(t) => {
+                st.journal_old(id);
+                let mut torn = vec![0u8; data.len()];
+                // Start from the old image (a torn sector keeps stale bytes
+                // where the new write didn't land), then overlay the part of
+                // the new image that "made it".
+                if st.inner.read(id, &mut torn).is_err() {
+                    torn.fill(0);
+                }
+                let keep = t.keep.min(data.len());
+                if t.from_start {
+                    torn[..keep].copy_from_slice(&data[..keep]);
+                } else {
+                    torn[data.len() - keep..].copy_from_slice(&data[data.len() - keep..]);
+                }
+                st.inner.write(id, &torn)?;
+                Err(io::Error::other("injected torn write"))
+            }
+            Verdict::Crash => Err(st.crash()),
+        }
+    }
+
+    fn free(&mut self, id: PageId) {
+        let st = self.state_mut();
+        // Trace-only: free is infallible bookkeeping (see the Pager trait),
+        // so it is recorded but never numbered or failed.
+        st.trace.push(TraceEntry {
+            index: 0,
+            op: FaultOp::Free,
+            page: Some(id),
+            injected: false,
+        });
+        st.fresh.retain(|&f| f != id);
+        st.journal.remove(&id);
+        st.inner.free(id);
+        st.stats.frees += 1;
+    }
+
+    fn reset_stats(&mut self) {
+        self.state_mut().stats = IoStats::default();
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        let st = self.state_mut();
+        match st.gate(FaultOp::Sync, None)? {
+            Verdict::Proceed => {
+                st.inner.sync()?;
+                st.durability_point();
+                Ok(())
+            }
+            Verdict::Inject => Err(injected()),
+            Verdict::Tear(_) => unreachable!("tear verdicts only on writes"),
+            Verdict::Crash => Err(st.crash()),
+        }
+    }
+
+    fn commit_meta(&mut self, meta: &[u8]) -> io::Result<()> {
+        let st = self.state_mut();
+        match st.gate(FaultOp::CommitMeta, None)? {
+            Verdict::Proceed => {
+                st.inner.commit_meta(meta)?;
+                st.durability_point();
+                Ok(())
+            }
+            Verdict::Inject => Err(injected()),
+            Verdict::Tear(_) => unreachable!("tear verdicts only on writes"),
+            Verdict::Crash => Err(st.crash()),
+        }
+    }
+
+    fn read_meta(&self) -> io::Result<Option<Vec<u8>>> {
+        let mut st = self.lock();
+        match st.gate(FaultOp::ReadMeta, None)? {
+            Verdict::Proceed => st.inner.read_meta(),
+            Verdict::Inject => Err(injected()),
+            Verdict::Tear(_) => unreachable!("tear verdicts only on writes"),
+            Verdict::Crash => Err(st.crash()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pager::MemPager;
+
+    #[test]
+    fn clean_plan_is_transparent() {
+        let mut p = FaultPager::new(MemPager::new(64), FaultPlan::new());
+        let a = p.allocate().unwrap();
+        p.write(a, &[7u8; 64]).unwrap();
+        let mut buf = vec![0u8; 64];
+        p.read(a, &mut buf).unwrap();
+        assert_eq!(buf, vec![7u8; 64]);
+        p.commit_meta(b"m").unwrap();
+        assert_eq!(p.read_meta().unwrap().as_deref(), Some(&b"m"[..]));
+        assert_eq!(p.ops(), 5);
+        assert!(p.trace().iter().all(|t| !t.injected));
+    }
+
+    #[test]
+    fn kth_global_op_fails_exactly_once() {
+        // Ops: 1 allocate, 2 write, 3 read.
+        let mut p = FaultPager::new(MemPager::new(64), FaultPlan::new().fail_op(2));
+        let a = p.allocate().unwrap();
+        let err = p.write(a, &[1u8; 64]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::Other);
+        // The failed write never reached the device.
+        let mut buf = vec![0u8; 64];
+        p.read(a, &mut buf).unwrap();
+        assert_eq!(buf, vec![0u8; 64]);
+        // Same call again: op index has moved on, so it now succeeds.
+        p.write(a, &[1u8; 64]).unwrap();
+        let trace = p.trace();
+        assert_eq!(trace.iter().filter(|t| t.injected).count(), 1);
+        assert_eq!(trace[1].op, FaultOp::Write);
+        assert_eq!(trace[1].page, Some(a));
+    }
+
+    #[test]
+    fn per_kind_indices_ignore_other_ops() {
+        let mut p = FaultPager::new(MemPager::new(64), FaultPlan::new().fail_read(2));
+        let a = p.allocate().unwrap();
+        p.write(a, &[1u8; 64]).unwrap();
+        let mut buf = vec![0u8; 64];
+        p.read(a, &mut buf).unwrap(); // read #1: fine
+        assert!(p.read(a, &mut buf).is_err()); // read #2: injected
+        p.read(a, &mut buf).unwrap(); // read #3: fine
+    }
+
+    #[test]
+    fn torn_write_persists_only_the_prefix() {
+        let mut p = FaultPager::new(MemPager::new(64), FaultPlan::new().torn_write(2, 16, true));
+        let a = p.allocate().unwrap();
+        p.write(a, &[1u8; 64]).unwrap();
+        let err = p.write(a, &[2u8; 64]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::Other);
+        let mut buf = vec![0u8; 64];
+        p.read(a, &mut buf).unwrap();
+        assert_eq!(&buf[..16], &[2u8; 16], "new prefix landed");
+        assert_eq!(&buf[16..], &[1u8; 48], "old suffix survived the tear");
+    }
+
+    #[test]
+    fn crash_drops_unsynced_writes_and_downs_the_pager() {
+        let mut p = FaultPager::new(MemPager::new(64), FaultPlan::new().crash_at(6));
+        let a = p.allocate().unwrap(); // op 1
+        p.write(a, &[1u8; 64]).unwrap(); // op 2
+        p.sync().unwrap(); // op 3: durability point
+        p.write(a, &[2u8; 64]).unwrap(); // op 4
+        let b = p.allocate().unwrap(); // op 5
+        assert!(p.write(b, &[3u8; 64]).is_err()); // op 6: crash
+        assert!(p.crashed());
+        // Everything after the crash fails without being numbered.
+        let ops = p.ops();
+        assert!(p.sync().is_err());
+        let mut buf = vec![0u8; 64];
+        assert!(p.read(a, &mut buf).is_err());
+        assert_eq!(p.ops(), ops);
+        // The inner pager holds exactly the last-synced state.
+        let inner = p.into_inner();
+        inner.read(a, &mut buf).unwrap();
+        assert_eq!(buf, vec![1u8; 64], "post-sync write rolled back");
+        assert_eq!(inner.live_pages(), 1, "unsynced allocation rolled back");
+    }
+
+    #[test]
+    fn random_schedules_are_deterministic_in_the_seed() {
+        let run = |seed| {
+            let mut p = FaultPager::new(MemPager::new(64), FaultPlan::random(seed, 50, 0.2));
+            let mut outcome = Vec::new();
+            let mut pages = Vec::new();
+            for i in 0..25u8 {
+                match p.allocate() {
+                    Ok(id) => {
+                        pages.push(id);
+                        outcome.push(p.write(id, &[i; 64]).is_ok());
+                    }
+                    Err(_) => outcome.push(false),
+                }
+            }
+            outcome
+        };
+        assert_eq!(run(42), run(42), "same seed, same faults");
+        assert_ne!(run(42), run(43), "different seed, different schedule");
+    }
+
+    #[test]
+    fn trace_supports_replaying_a_random_schedule_explicitly() {
+        let mut p = FaultPager::new(MemPager::new(64), FaultPlan::random(7, 40, 0.3));
+        let mut results = Vec::new();
+        let a = p.allocate().unwrap_or(1);
+        for i in 0..15u8 {
+            results.push(p.write(a, &[i; 64]).is_ok());
+        }
+        // Rebuild an explicit plan from the trace and replay it.
+        let mut plan = FaultPlan::new();
+        for t in p.trace().iter().filter(|t| t.injected) {
+            plan = plan.fail_op(t.index);
+        }
+        let mut q = FaultPager::new(MemPager::new(64), plan);
+        let mut replayed = Vec::new();
+        let b = q.allocate().unwrap_or(1);
+        for i in 0..15u8 {
+            replayed.push(q.write(b, &[i; 64]).is_ok());
+        }
+        assert_eq!(results, replayed);
+    }
+
+    #[test]
+    fn failed_sync_is_not_a_durability_point() {
+        let mut p = FaultPager::new(MemPager::new(64), FaultPlan::new().fail_sync(1).crash_at(4));
+        let a = p.allocate().unwrap(); // op 1
+        p.write(a, &[9u8; 64]).unwrap(); // op 2
+        assert!(p.sync().is_err()); // op 3: injected sync failure
+        let mut buf = vec![0u8; 64];
+        assert!(p.read(a, &mut buf).is_err()); // op 4: crash
+        let inner = p.into_inner();
+        assert_eq!(
+            inner.live_pages(),
+            0,
+            "nothing was ever durable: the write and allocation both rolled back"
+        );
+    }
+}

@@ -1,127 +1,166 @@
-//! File-backed pager with a crash-safe metadata commit protocol.
+//! File-backed pager with shadow paging and torn-page detection.
 //!
 //! Same page contract as [`MemPager`](crate::MemPager) but persisted to a
-//! real file, one page per `page_size` slice. Page 0 is the checksummed
-//! header; user pages are numbered from 1.
+//! real file — and, unlike the in-memory pager, built to survive crashes
+//! and detect media corruption:
 //!
-//! # Header layout (page 0)
+//! * **Every page is sealed.** A physical page on disk is the logical page
+//!   plus an 8-byte [`codec`](crate::codec) trailer `[epoch][crc32]`. A
+//!   torn write, a bit flip, or a stale page replayed from an older epoch
+//!   fails verification and reads as
+//!   [`std::io::ErrorKind::InvalidData`] — never as silently wrong data.
+//!   The trailer is out of band (physical pages are `page_size + 8` bytes),
+//!   so logical page size, node fan-out, and the experiments' I/O counts
+//!   are unchanged by checksumming.
+//! * **Writes are copy-on-write.** A logical→physical map indirects every
+//!   page. Writing a page whose current image belongs to the committed
+//!   epoch allocates a *fresh* physical page; the committed image is only
+//!   recycled after the next commit is durable. A crash at any moment —
+//!   even between the catalog commit and the data sync — therefore leaves
+//!   the previous commit's pages byte-identical on disk: old and new trees
+//!   can never mix.
+//! * **Commits alternate between two fixed header slots.** The file starts
+//!   with two 512-byte header slots at byte offsets 0 and 512; data pages
+//!   follow from byte 1024. A commit serializes the page map and the user
+//!   metadata blob into a chain of sealed pages, syncs, then overwrites the
+//!   *older* header slot with the new epoch and syncs again. Opening picks
+//!   the highest-epoch slot that fully verifies (header CRC, chain seals,
+//!   blob CRC); if the newest commit is damaged, open falls back to the
+//!   previous one and reports it in [`PagerRecovery`].
 //!
-//! ```text
-//! off  field
-//!   0  magic           "CDB2"
-//!   4  page_size
-//!   8  page_count
-//!  12  meta slot A     (first_page, byte_len, epoch, crc32)
-//!  28  meta slot B     (first_page, byte_len, epoch, crc32)
-//!  44  free spill head (0 = none)
-//!  48  inline free count
-//!  52  header crc32    (computed over the page with this field zeroed)
-//!  56  inline free entries, 4 bytes each
-//! ```
-//!
-//! # Metadata commit protocol
-//!
-//! [`commit_meta`](Pager::commit_meta) is shadow-paged: the new blob is
-//! written to freshly allocated chain pages, `sync_all` makes it durable,
-//! and only then is the header rewritten so the *other* meta slot (with a
-//! higher epoch and a fresh checksum) points at the new chain. A crash at
-//! any point leaves the old header — and therefore the old committed blob —
-//! intact, because the current slot's chain pages are never freed or reused
-//! until a newer header supersedes them. Reads are strict: the max-epoch
-//! slot either verifies against its checksum or surfaces
-//! [`std::io::ErrorKind::InvalidData`]; there is no silent fallback to an
-//! older (possibly empty) catalog.
-//!
-//! # Free-list spill
-//!
-//! Free-page entries that do not fit the header page spill to a chain of
-//! dedicated pages drawn from the free list itself, replacing the old
-//! "free list overflows the header page" panic. A chain that fails
-//! validation on open is dropped conservatively: the pager keeps only the
-//! inline (checksummed) entries, leaking the spilled pages rather than
-//! risking a double allocation.
+//! Dropping the pager without [`close`](FilePager::close) persists nothing
+//! beyond the last commit — deliberately: an unclean drop is
+//! indistinguishable from a crash, and both roll back to the last durable
+//! epoch.
 
+use std::collections::{BTreeMap, BTreeSet};
 use std::fs::{File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
+use std::io::Read;
 use std::os::unix::fs::FileExt;
 use std::path::Path;
 
-use crate::codec::{crc32, get_u32, put_u32};
+use crate::codec::{
+    check_page, crc32, get_u32, put_u32, seal_page, RecordReader, RecordWriter, PAGE_TRAILER,
+};
 use crate::pager::{AtomicStats, PageId, PageReader, Pager};
 use crate::stats::IoStats;
 
-const MAGIC: u32 = 0x4344_4232; // "CDB2"
-const FLIST_MAGIC: u32 = 0x4344_4246; // "CDBF"
+const MAGIC: u32 = 0x4344_4233; // "CDB3"
 
-/// Byte offsets of the two metadata descriptor slots in the header page.
-const HDR_SLOTS: [usize; 2] = [12, 28];
-const HDR_SPILL: usize = 44;
-const HDR_FREE_COUNT: usize = 48;
-const HDR_CRC: usize = 52;
-const HDR_FREE_START: usize = 56;
+/// Fixed size of each header slot; slot 0 at byte 0, slot 1 at byte 512.
+const HEADER_SLOT: usize = 512;
+/// Byte offset where physical data pages begin.
+const HEADER_AREA: u64 = 2 * HEADER_SLOT as u64;
+/// Bytes of the header slot covered by its CRC.
+const HEADER_LEN: usize = 24;
 
-/// Free-list chain page: magic, entry count, next page, crc, then entries.
-const FLIST_NEXT: usize = 8;
-const FLIST_CRC: usize = 12;
-const FLIST_ENTRIES: usize = 16;
+/// Map sentinel: the logical page is allocated but was never written, so it
+/// has no physical image and reads as zeros.
+const PHYS_NONE: u32 = u32::MAX;
 
 fn invalid_data(msg: &'static str) -> std::io::Error {
     std::io::Error::new(std::io::ErrorKind::InvalidData, msg)
 }
 
-/// One metadata descriptor: where the blob chain starts, how long the blob
-/// is, which commit wrote it (epoch), and its checksum. `epoch == 0` marks
-/// an empty slot.
-#[derive(Clone, Copy, Debug, Default)]
-struct MetaSlot {
-    first: PageId,
-    len: u32,
+fn read_only_err() -> std::io::Error {
+    std::io::Error::new(
+        std::io::ErrorKind::PermissionDenied,
+        "pager opened read-only",
+    )
+}
+
+/// What [`FilePager::open`] had to do to reach a consistent state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PagerRecovery {
+    /// The newest commit verified end to end.
+    Clean,
+    /// The newest commit's header or chain was damaged; the pager fell back
+    /// to the previous durable commit. Everything after `recovered_epoch`
+    /// is lost (it was either never fully durable or has since rotted).
+    FellBack {
+        /// Epoch the database actually opened at.
+        recovered_epoch: u32,
+        /// Epoch of the damaged commit that could not be used.
+        lost_epoch: u32,
+    },
+}
+
+/// A committed map entry: where the logical page lives and which epoch
+/// sealed its current image.
+#[derive(Clone, Copy, Debug)]
+struct Entry {
+    phys: u32,
     epoch: u32,
-    crc: u32,
 }
 
-impl MetaSlot {
-    fn read_from(buf: &[u8], off: usize) -> Self {
-        MetaSlot {
-            first: get_u32(buf, off),
-            len: get_u32(buf, off + 4),
-            epoch: get_u32(buf, off + 8),
-            crc: get_u32(buf, off + 12),
-        }
-    }
-
-    fn write_to(&self, buf: &mut [u8], off: usize) {
-        put_u32(buf, off, self.first);
-        put_u32(buf, off + 4, self.len);
-        put_u32(buf, off + 8, self.epoch);
-        put_u32(buf, off + 12, self.crc);
-    }
+/// One parsed header slot.
+#[derive(Clone, Copy, Debug)]
+struct Slot {
+    page_size: usize,
+    epoch: u32,
+    chain_first: u32,
+    chain_len: u32,
+    blob_crc: u32,
 }
 
-/// A pager persisting pages to a file, with durable metadata slots.
+/// Everything a verified commit describes.
+struct Loaded {
+    map: BTreeMap<PageId, Entry>,
+    logical_high: u32,
+    user_meta: Option<Vec<u8>>,
+    chain: Vec<u32>,
+}
+
+/// A pager persisting pages to a file, with shadow-paged commits and
+/// per-page integrity seals.
+///
+/// The `Debug` form is a summary (sizes and epochs), not a page dump.
 pub struct FilePager {
     file: File,
     page_size: usize,
-    page_count: u32,
-    free_list: Vec<PageId>,
-    allocated: Vec<bool>, // index 0 unused (header)
-    /// Pages currently holding spilled free-list entries. Kept out of
-    /// `free_list` (and marked allocated) so `allocate` never hands them out.
-    flist_chain: Vec<PageId>,
-    meta_slots: [MetaSlot; 2],
-    /// Reconstructed chain for each slot; `None` means the chain failed
-    /// validation and must not be read or freed.
-    meta_pages: [Option<Vec<PageId>>; 2],
-    closed: bool,
+    /// Last durably committed epoch; in-flight writes are sealed at
+    /// `epoch + 1`.
+    epoch: u32,
+    /// Header slot (0/1) holding the committed epoch.
+    slot: usize,
+    map: BTreeMap<PageId, Entry>,
+    logical_high: u32,
+    free_logical: Vec<PageId>,
+    phys_high: u32,
+    /// Physical pages referenced by no commit: reusable immediately.
+    free_phys: Vec<u32>,
+    /// Physical pages holding the *committed* images of pages since
+    /// rewritten or freed. They become reusable only once the next commit
+    /// is durable — until then a crash rolls back to content that still
+    /// lives in them.
+    deferred_phys: Vec<u32>,
+    /// Chain pages backing each header slot's commit; protected from
+    /// reallocation while the slot may still be a fallback target.
+    chains: [Vec<u32>; 2],
+    user_meta: Option<Vec<u8>>,
+    recovery: PagerRecovery,
+    read_only: bool,
     stats: AtomicStats,
 }
 
+impl std::fmt::Debug for FilePager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FilePager")
+            .field("page_size", &self.page_size)
+            .field("epoch", &self.epoch)
+            .field("pages", &self.map.len())
+            .field("read_only", &self.read_only)
+            .finish_non_exhaustive()
+    }
+}
+
 impl FilePager {
-    /// Creates a new paged file, truncating any existing content.
+    /// Creates a new paged file, truncating any existing content, and
+    /// durably commits an empty epoch so the file opens cleanly from the
+    /// first byte on.
     ///
     /// # Panics
-    /// Panics if `page_size < 64` (the header needs 56 fixed bytes plus
-    /// room for at least one free entry).
+    /// Panics if `page_size < 64`.
     pub fn create(path: &Path, page_size: usize) -> std::io::Result<Self> {
         assert!(page_size >= 64, "page size too small");
         let file = OpenOptions::new()
@@ -133,297 +172,405 @@ impl FilePager {
         let mut p = FilePager {
             file,
             page_size,
-            page_count: 1,
-            free_list: Vec::new(),
-            allocated: vec![false],
-            flist_chain: Vec::new(),
-            meta_slots: [MetaSlot::default(); 2],
-            meta_pages: [Some(Vec::new()), Some(Vec::new())],
-            closed: false,
+            epoch: 0,
+            slot: 0,
+            map: BTreeMap::new(),
+            logical_high: 1,
+            free_logical: Vec::new(),
+            phys_high: 1,
+            free_phys: Vec::new(),
+            deferred_phys: Vec::new(),
+            chains: [Vec::new(), Vec::new()],
+            user_meta: None,
+            recovery: PagerRecovery::Clean,
+            read_only: false,
             stats: AtomicStats::default(),
         };
-        p.write_header()?;
+        p.commit_state()?;
         Ok(p)
     }
 
     /// Opens an existing paged file created by [`create`](Self::create).
     ///
-    /// A torn or corrupted header surfaces as
-    /// [`std::io::ErrorKind::InvalidData`]. A corrupted free-list spill
-    /// chain is recovered conservatively (spilled entries are leaked, not
-    /// reused); a corrupted metadata chain is detected lazily by
-    /// [`read_meta`](Pager::read_meta).
+    /// The newest fully verifiable commit wins; a damaged newest commit
+    /// falls back to the previous one (see [`recovery`](Self::recovery)).
+    /// A file with no verifiable commit at all surfaces as
+    /// [`std::io::ErrorKind::InvalidData`].
     pub fn open(path: &Path) -> std::io::Result<Self> {
-        let mut file = OpenOptions::new().read(true).write(true).open(path)?;
-        let mut head8 = [0u8; 8];
-        file.seek(SeekFrom::Start(0))?;
-        file.read_exact(&mut head8)?;
-        if get_u32(&head8, 0) != MAGIC {
-            return Err(invalid_data("not a cdb paged file"));
-        }
-        let page_size = get_u32(&head8, 4) as usize;
-        if !(64..=1 << 24).contains(&page_size) {
-            return Err(invalid_data("implausible page size in header"));
-        }
-        let mut head = vec![0u8; page_size];
-        file.read_exact_at(&mut head, 0)?;
-        let stored_crc = get_u32(&head, HDR_CRC);
-        put_u32(&mut head, HDR_CRC, 0);
-        if crc32(&head) != stored_crc {
-            return Err(invalid_data("header checksum mismatch"));
-        }
-        let page_count = get_u32(&head, 8);
-        if page_count == 0 {
-            return Err(invalid_data("zero page count in header"));
-        }
-        let meta_slots = [
-            MetaSlot::read_from(&head, HDR_SLOTS[0]),
-            MetaSlot::read_from(&head, HDR_SLOTS[1]),
-        ];
-        let inline_cap = (page_size - HDR_FREE_START) / 4;
-        let inline_count = get_u32(&head, HDR_FREE_COUNT) as usize;
-        if inline_count > inline_cap {
-            return Err(invalid_data("inline free count exceeds capacity"));
-        }
-        let mut free_list = Vec::with_capacity(inline_count);
-        for i in 0..inline_count {
-            let f = get_u32(&head, HDR_FREE_START + i * 4);
-            if f == 0 || f >= page_count {
-                return Err(invalid_data("free entry out of range"));
+        Self::open_impl(path, false)
+    }
+
+    /// Opens the file for reading only: every mutating operation fails with
+    /// [`std::io::ErrorKind::PermissionDenied`] instead of touching disk.
+    pub fn open_read_only(path: &Path) -> std::io::Result<Self> {
+        Self::open_impl(path, true)
+    }
+
+    fn open_impl(path: &Path, read_only: bool) -> std::io::Result<Self> {
+        let mut file = OpenOptions::new().read(true).write(!read_only).open(path)?;
+        let mut head = vec![0u8; 2 * HEADER_SLOT];
+        let got = {
+            // Short files still may hold one valid slot; read what exists.
+            let mut filled = 0;
+            loop {
+                match file.read(&mut head[filled..]) {
+                    Ok(0) => break,
+                    Ok(n) => filled += n,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(e) => return Err(e),
+                }
             }
-            free_list.push(f);
+            filled
+        };
+        let file_len = file.metadata()?.len();
+        // Classify each slot: parsed, never used (all zeros — normal for a
+        // young database), or damaged (nonzero bytes that do not verify —
+        // evidence of a torn or rotted commit).
+        let mut slots: [Option<Slot>; 2] = [None, None];
+        let mut damaged = [false, false];
+        for i in 0..2 {
+            let lo = i * HEADER_SLOT;
+            let hi = (lo + HEADER_SLOT).min(got);
+            let bytes = if lo < got { &head[lo..hi] } else { &[][..] };
+            if bytes.len() >= HEADER_LEN + 4 {
+                slots[i] = Self::parse_slot(bytes);
+            }
+            if slots[i].is_none() && bytes.iter().any(|&b| b != 0) {
+                damaged[i] = true;
+            }
         }
-
-        let (flist_chain, spilled) = Self::walk_free_chain(
-            &file,
-            page_size,
-            page_count,
-            get_u32(&head, HDR_SPILL),
-            &free_list,
-        );
-        free_list.extend(spilled);
-
-        let mut allocated = vec![true; page_count as usize];
-        allocated[0] = false;
-        for &f in &free_list {
-            allocated[f as usize] = false;
+        // Try candidates from the highest epoch down.
+        let mut order: Vec<usize> = (0..2).filter(|&i| slots[i].is_some()).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(slots[i].map(|s| s.epoch).unwrap_or(0)));
+        if order.is_empty() {
+            return Err(invalid_data("no valid database header"));
         }
-
-        let mut meta_pages = [None, None];
-        for (i, slot) in meta_slots.iter().enumerate() {
-            meta_pages[i] = Self::walk_meta_chain(&file, page_size, page_count, &allocated, slot);
+        let mut chosen: Option<(usize, Loaded)> = None;
+        for &i in &order {
+            let slot = slots[i].expect("candidate parsed");
+            if let Ok(state) = Self::load_commit(&file, file_len, &slot) {
+                chosen = Some((i, state));
+                break;
+            }
         }
+        let Some((idx, state)) = chosen else {
+            return Err(invalid_data("no verifiable commit in either header"));
+        };
+        let slot = slots[idx].expect("chosen slot parsed");
+        let newest = slots[order[0]].expect("ordered slot parsed").epoch;
+        let recovery = if slot.epoch < newest {
+            // The newest header parsed but its chain did not verify.
+            PagerRecovery::FellBack {
+                recovered_epoch: slot.epoch,
+                lost_epoch: newest,
+            }
+        } else if damaged[1 - idx] {
+            // The other header holds garbage: a commit was torn mid-header
+            // (or the slot rotted). Its epoch is unknowable.
+            PagerRecovery::FellBack {
+                recovered_epoch: slot.epoch,
+                lost_epoch: 0,
+            }
+        } else {
+            PagerRecovery::Clean
+        };
+
+        // Protect the other slot's chain too if it verifies — it is the
+        // fallback commit. A broken other-chain belongs to an interrupted
+        // or superseded commit and its pages are junk, hence reusable.
+        let other = 1 - idx;
+        let other_chain = slots[other]
+            .filter(|s| s.epoch < slot.epoch && s.page_size == slot.page_size)
+            .and_then(|s| Self::load_commit(&file, file_len, &s).ok())
+            .map(|st| st.chain)
+            .unwrap_or_default();
+
+        let page_size = slot.page_size;
+        let phys_size = (page_size + PAGE_TRAILER) as u64;
+        let phys_high = 1 + ((file_len.saturating_sub(HEADER_AREA)) / phys_size) as u32;
+        let mut used: BTreeSet<u32> = state.map.values().map(|e| e.phys).collect();
+        used.remove(&PHYS_NONE);
+        used.extend(state.chain.iter().copied());
+        used.extend(other_chain.iter().copied());
+        let mut free_phys: Vec<u32> = (1..phys_high).filter(|p| !used.contains(p)).collect();
+        free_phys.sort_unstable_by_key(|&p| std::cmp::Reverse(p)); // pop() yields lowest
+        let in_map: BTreeSet<PageId> = state.map.keys().copied().collect();
+        let mut free_logical: Vec<PageId> = (1..state.logical_high)
+            .filter(|l| !in_map.contains(l))
+            .collect();
+        free_logical.sort_unstable_by_key(|&l| std::cmp::Reverse(l));
+
+        let mut chains = [Vec::new(), Vec::new()];
+        chains[idx] = state.chain;
+        chains[other] = other_chain;
 
         Ok(FilePager {
             file,
             page_size,
-            page_count,
-            free_list,
-            allocated,
-            flist_chain,
-            meta_slots,
-            meta_pages,
-            closed: false,
+            epoch: slot.epoch,
+            slot: idx,
+            map: state.map,
+            logical_high: state.logical_high,
+            free_logical,
+            phys_high,
+            free_phys,
+            deferred_phys: Vec::new(),
+            chains,
+            user_meta: state.user_meta,
+            recovery,
+            read_only,
             stats: AtomicStats::default(),
         })
     }
 
-    /// Walks the spilled free-list chain. Any anomaly — bad magic, bad
-    /// checksum, an out-of-range or duplicate entry, a cycle — drops the
-    /// whole chain: the spilled pages are leaked (stay allocated) rather
-    /// than risking a page being handed out twice.
-    fn walk_free_chain(
-        file: &File,
-        page_size: usize,
-        page_count: u32,
-        mut cur: PageId,
-        inline: &[PageId],
-    ) -> (Vec<PageId>, Vec<PageId>) {
-        let per = (page_size - FLIST_ENTRIES) / 4;
-        let mut chain = Vec::new();
-        let mut spilled: Vec<PageId> = Vec::new();
-        let mut page = vec![0u8; page_size];
-        while cur != 0 {
-            let bad = cur >= page_count
-                || chain.contains(&cur)
-                || file
-                    .read_exact_at(&mut page, cur as u64 * page_size as u64)
-                    .is_err();
-            if bad {
-                return (Vec::new(), Vec::new());
+    fn parse_slot(buf: &[u8]) -> Option<Slot> {
+        if get_u32(buf, 0) != MAGIC {
+            return None;
+        }
+        if crc32(&buf[..HEADER_LEN]) != get_u32(buf, HEADER_LEN) {
+            return None;
+        }
+        let page_size = get_u32(buf, 4) as usize;
+        if !(64..=1 << 24).contains(&page_size) {
+            return None;
+        }
+        let epoch = get_u32(buf, 8);
+        if epoch == 0 {
+            return None;
+        }
+        Some(Slot {
+            page_size,
+            epoch,
+            chain_first: get_u32(buf, 12),
+            chain_len: get_u32(buf, 16),
+            blob_crc: get_u32(buf, 20),
+        })
+    }
+
+    /// Walks and fully verifies one commit: every chain page's seal, the
+    /// blob checksum, and every structural invariant of the page map.
+    fn load_commit(file: &File, file_len: u64, slot: &Slot) -> std::io::Result<Loaded> {
+        let phys_size = slot.page_size + PAGE_TRAILER;
+        let per = phys_size - 4 - PAGE_TRAILER;
+        let n = (slot.chain_len as usize).div_ceil(per);
+        let mut chain = Vec::with_capacity(n);
+        let mut blob = Vec::with_capacity(slot.chain_len as usize);
+        let mut cur = slot.chain_first;
+        let mut page = vec![0u8; phys_size];
+        for _ in 0..n {
+            let off = Self::phys_offset(slot.page_size, cur);
+            if cur == 0 || off + phys_size as u64 > file_len || chain.contains(&cur) {
+                return Err(invalid_data("metadata chain out of bounds"));
             }
-            let stored_crc = get_u32(&page, FLIST_CRC);
-            put_u32(&mut page, FLIST_CRC, 0);
-            if get_u32(&page, 0) != FLIST_MAGIC || crc32(&page) != stored_crc {
-                return (Vec::new(), Vec::new());
-            }
-            let count = get_u32(&page, 4) as usize;
-            if count > per {
-                return (Vec::new(), Vec::new());
+            file.read_exact_at(&mut page, off)?;
+            let sealed = check_page(&page).map_err(|_| invalid_data("metadata chain seal"))?;
+            if sealed != slot.epoch {
+                return Err(invalid_data("metadata chain from a different epoch"));
             }
             chain.push(cur);
-            for j in 0..count {
-                let f = get_u32(&page, FLIST_ENTRIES + j * 4);
-                if f == 0
-                    || f >= page_count
-                    || inline.contains(&f)
-                    || spilled.contains(&f)
-                    || chain.contains(&f)
-                {
-                    return (Vec::new(), Vec::new());
+            let take = per.min(slot.chain_len as usize - blob.len());
+            blob.extend_from_slice(&page[4..4 + take]);
+            cur = get_u32(&page, 0);
+        }
+        if cur != 0 || blob.len() != slot.chain_len as usize || crc32(&blob) != slot.blob_crc {
+            return Err(invalid_data("metadata blob checksum mismatch"));
+        }
+
+        let mut r = RecordReader::new(&blob);
+        let fail = |_| invalid_data("metadata blob truncated");
+        let logical_high = r.get_u32().map_err(fail)?;
+        let user_meta = if r.get_u8().map_err(fail)? != 0 {
+            Some(r.get_bytes().map_err(fail)?.to_vec())
+        } else {
+            None
+        };
+        let count = r.get_u32().map_err(fail)?;
+        let phys_high = 1 + ((file_len.saturating_sub(HEADER_AREA)) / phys_size as u64) as u32;
+        let mut map = BTreeMap::new();
+        let mut phys_seen = BTreeSet::new();
+        let mut last_logical = 0u32;
+        for _ in 0..count {
+            let logical = r.get_u32().map_err(fail)?;
+            let phys = r.get_u32().map_err(fail)?;
+            let epoch = r.get_u32().map_err(fail)?;
+            if logical == 0 || logical >= logical_high || logical <= last_logical {
+                return Err(invalid_data("page map entry out of order"));
+            }
+            last_logical = logical;
+            if phys != PHYS_NONE {
+                if phys == 0 || phys >= phys_high || chain.contains(&phys) {
+                    return Err(invalid_data("page map physical id out of range"));
                 }
-                spilled.push(f);
+                if !phys_seen.insert(phys) {
+                    return Err(invalid_data("page map physical id duplicated"));
+                }
+                if epoch == 0 || epoch > slot.epoch {
+                    return Err(invalid_data("page map epoch out of range"));
+                }
             }
-            cur = get_u32(&page, FLIST_NEXT);
+            map.insert(logical, Entry { phys, epoch });
         }
-        (chain, spilled)
+        if r.remaining() != 0 {
+            return Err(invalid_data("metadata blob has trailing bytes"));
+        }
+        Ok(Loaded {
+            map,
+            logical_high,
+            user_meta,
+            chain,
+        })
     }
 
-    /// Walks one metadata chain by its `next` pointers. Returns `None` if
-    /// the chain is structurally broken (the slot is then unreadable).
-    fn walk_meta_chain(
-        file: &File,
-        page_size: usize,
-        page_count: u32,
-        allocated: &[bool],
-        slot: &MetaSlot,
-    ) -> Option<Vec<PageId>> {
-        if slot.epoch == 0 {
-            return Some(Vec::new());
+    /// How [`open`](Self::open) reached the current state.
+    pub fn recovery(&self) -> PagerRecovery {
+        self.recovery
+    }
+
+    /// Whether the pager rejects mutations.
+    pub fn is_read_only(&self) -> bool {
+        self.read_only
+    }
+
+    /// The committed epoch (bumped by every successful commit).
+    pub fn committed_epoch(&self) -> u32 {
+        self.epoch
+    }
+
+    /// Physical size of an on-disk page image (logical size + seal trailer).
+    pub fn disk_page_len(&self) -> usize {
+        self.page_size + PAGE_TRAILER
+    }
+
+    /// Byte offset in the file of the physical image currently backing
+    /// logical page `id`, or `None` if the page was never written (it reads
+    /// as zeros and has no on-disk image). Exposed so corruption-injection
+    /// tests and `fsck` can aim at exact on-disk bytes.
+    pub fn page_disk_offset(&self, id: PageId) -> Option<u64> {
+        let e = self.map.get(&id)?;
+        (e.phys != PHYS_NONE).then(|| Self::phys_offset(self.page_size, e.phys))
+    }
+
+    /// Byte offsets of the chain pages holding the current commit's
+    /// metadata, in blob order. For corruption-injection tests.
+    pub fn meta_chain_offsets(&self) -> Vec<u64> {
+        self.chains[self.slot]
+            .iter()
+            .map(|&p| Self::phys_offset(self.page_size, p))
+            .collect()
+    }
+
+    /// Logical page ids currently allocated, in ascending order.
+    pub fn allocated_pages(&self) -> Vec<PageId> {
+        self.map.keys().copied().collect()
+    }
+
+    fn phys_offset(page_size: usize, phys: u32) -> u64 {
+        debug_assert!(phys != 0 && phys != PHYS_NONE);
+        HEADER_AREA + (phys as u64 - 1) * (page_size + PAGE_TRAILER) as u64
+    }
+
+    fn alloc_phys(&mut self) -> u32 {
+        self.free_phys.pop().unwrap_or_else(|| {
+            let p = self.phys_high;
+            self.phys_high += 1;
+            p
+        })
+    }
+
+    /// Seals `data` at `epoch` and writes the physical image.
+    fn write_phys(&self, phys: u32, data: &[u8], epoch: u32) -> std::io::Result<()> {
+        let mut page = vec![0u8; self.disk_page_len()];
+        page[..data.len()].copy_from_slice(data);
+        seal_page(&mut page, epoch);
+        self.file
+            .write_all_at(&page, Self::phys_offset(self.page_size, phys))
+    }
+
+    /// Serializes the page map + user metadata and durably commits it as a
+    /// new epoch via the alternating-header protocol.
+    fn commit_state(&mut self) -> std::io::Result<()> {
+        if self.read_only {
+            return Err(read_only_err());
         }
-        let payload = page_size - 4;
-        let n = (slot.len as usize).div_ceil(payload);
-        let mut pages = Vec::with_capacity(n);
-        let mut cur = slot.first;
-        let mut next_buf = [0u8; 4];
-        for _ in 0..n {
-            if cur == 0
-                || cur >= page_count
-                || !allocated[cur as usize]
-                || pages.contains(&cur)
-                || file
-                    .read_exact_at(&mut next_buf, cur as u64 * page_size as u64)
-                    .is_err()
-            {
-                return None;
+        let new_epoch = self.epoch + 1;
+        let target = if self.epoch == 0 { 0 } else { 1 - self.slot };
+        // The target slot's old chain is two commits stale once we succeed,
+        // and worthless if we crash (the slot is being overwritten either
+        // way) — recycle it for the new chain.
+        let stale = std::mem::take(&mut self.chains[target]);
+        self.free_phys.extend(stale);
+
+        let mut w = RecordWriter::new();
+        w.put_u32(self.logical_high);
+        match &self.user_meta {
+            Some(m) => {
+                w.put_u8(1);
+                w.put_bytes(m);
             }
-            pages.push(cur);
-            cur = u32::from_le_bytes(next_buf);
+            None => w.put_u8(0),
         }
-        // The chain must terminate exactly where the length says it does.
-        (cur == 0).then_some(pages)
-    }
-
-    /// Index of the slot holding the most recent commit, if any.
-    fn current_slot(&self) -> Option<usize> {
-        (0..2)
-            .filter(|&i| self.meta_slots[i].epoch > 0)
-            .max_by_key(|&i| self.meta_slots[i].epoch)
-    }
-
-    /// Page ids of the currently committed metadata chain, in blob order.
-    /// Exposed so corruption-injection tests can aim their byte flips.
-    pub fn current_meta_pages(&self) -> Vec<PageId> {
-        self.current_slot()
-            .and_then(|i| self.meta_pages[i].clone())
-            .unwrap_or_default()
-    }
-
-    fn write_header(&mut self) -> std::io::Result<()> {
-        // Return the previous spill chain to the pool, then re-select chain
-        // pages from the free list itself until everything fits. The loop
-        // converges because every pop removes one entry and adds `per >= 1`
-        // entries of capacity.
-        for p in std::mem::take(&mut self.flist_chain) {
-            self.allocated[p as usize] = false;
-            self.free_list.push(p);
+        w.put_u32(self.map.len() as u32);
+        for (&logical, e) in &self.map {
+            w.put_u32(logical);
+            w.put_u32(e.phys);
+            w.put_u32(e.epoch);
         }
-        let inline_cap = (self.page_size - HDR_FREE_START) / 4;
-        let per = (self.page_size - FLIST_ENTRIES) / 4;
-        while self.free_list.len() > inline_cap + per * self.flist_chain.len() {
-            let p = self
-                .free_list
-                .pop()
-                .expect("free list larger than inline capacity");
-            self.allocated[p as usize] = true;
-            self.flist_chain.push(p);
-        }
+        let blob = w.into_bytes();
 
-        let inline_n = self.free_list.len().min(inline_cap);
-        let rest = self.free_list[inline_n..].to_vec();
-        let chain = self.flist_chain.clone();
-        for (ci, &cp) in chain.iter().enumerate() {
-            let start = (ci * per).min(rest.len());
-            let end = ((ci + 1) * per).min(rest.len());
-            let chunk = &rest[start..end];
-            let mut page = vec![0u8; self.page_size];
-            put_u32(&mut page, 0, FLIST_MAGIC);
-            put_u32(&mut page, 4, chunk.len() as u32);
-            put_u32(
-                &mut page,
-                FLIST_NEXT,
-                chain.get(ci + 1).copied().unwrap_or(0),
-            );
-            for (j, &f) in chunk.iter().enumerate() {
-                put_u32(&mut page, FLIST_ENTRIES + j * 4, f);
+        let per = self.page_size - 4;
+        let n = blob.len().div_ceil(per);
+        let pages: Vec<u32> = (0..n).map(|_| self.alloc_phys()).collect();
+        let phys_size = self.disk_page_len();
+        let result = (|| {
+            for (i, chunk) in blob.chunks(per).enumerate() {
+                let mut page = vec![0u8; phys_size - PAGE_TRAILER];
+                put_u32(&mut page, 0, pages.get(i + 1).copied().unwrap_or(0));
+                page[4..4 + chunk.len()].copy_from_slice(chunk);
+                self.write_phys(pages[i], &page, new_epoch)?;
             }
-            let crc = crc32(&page); // crc field still zero here
-            put_u32(&mut page, FLIST_CRC, crc);
-            self.raw_write(cp, &page)?;
+            // Data pages and the new chain must be durable before any
+            // header can name them.
+            self.file.sync_all()?;
+            let mut slot_buf = vec![0u8; HEADER_SLOT];
+            put_u32(&mut slot_buf, 0, MAGIC);
+            put_u32(&mut slot_buf, 4, self.page_size as u32);
+            put_u32(&mut slot_buf, 8, new_epoch);
+            put_u32(&mut slot_buf, 12, pages.first().copied().unwrap_or(0));
+            put_u32(&mut slot_buf, 16, blob.len() as u32);
+            put_u32(&mut slot_buf, 20, crc32(&blob));
+            let hcrc = crc32(&slot_buf[..HEADER_LEN]);
+            put_u32(&mut slot_buf, HEADER_LEN, hcrc);
+            self.file
+                .write_all_at(&slot_buf, (target * HEADER_SLOT) as u64)?;
+            self.file.sync_all()
+        })();
+        match result {
+            Ok(()) => {
+                self.epoch = new_epoch;
+                self.slot = target;
+                self.chains[target] = pages;
+                // Superseded images from the previous epoch are no longer a
+                // rollback target; recycle them.
+                let deferred = std::mem::take(&mut self.deferred_phys);
+                self.free_phys.extend(deferred);
+                Ok(())
+            }
+            Err(e) => {
+                // The failed commit's chain pages reference nothing durable.
+                self.free_phys.extend(pages);
+                Err(e)
+            }
         }
-
-        let mut head = vec![0u8; self.page_size];
-        put_u32(&mut head, 0, MAGIC);
-        put_u32(&mut head, 4, self.page_size as u32);
-        put_u32(&mut head, 8, self.page_count);
-        for (i, slot) in self.meta_slots.iter().enumerate() {
-            slot.write_to(&mut head, HDR_SLOTS[i]);
-        }
-        put_u32(
-            &mut head,
-            HDR_SPILL,
-            self.flist_chain.first().copied().unwrap_or(0),
-        );
-        put_u32(&mut head, HDR_FREE_COUNT, inline_n as u32);
-        for (i, &f) in self.free_list[..inline_n].iter().enumerate() {
-            put_u32(&mut head, HDR_FREE_START + i * 4, f);
-        }
-        let crc = crc32(&head); // crc field still zero here
-        put_u32(&mut head, HDR_CRC, crc);
-        self.raw_write(0, &head)
-    }
-
-    fn raw_write(&mut self, id: PageId, data: &[u8]) -> std::io::Result<()> {
-        self.file.seek(SeekFrom::Start(self.offset(id)))?;
-        self.file.write_all(data)
-    }
-
-    /// Flushes the header and file contents to stable storage.
-    pub fn sync(&mut self) -> std::io::Result<()> {
-        self.write_header()?;
-        self.file.sync_all()
     }
 
     /// Flushes everything and closes the file, reporting any I/O error that
-    /// a silent `Drop` would have swallowed.
+    /// a silent `Drop` would have swallowed. (Dropping without closing is
+    /// equivalent to a crash: the file reverts to the last commit.)
     pub fn close(mut self) -> std::io::Result<()> {
-        self.write_header()?;
-        self.file.sync_all()?;
-        self.closed = true;
-        Ok(())
-    }
-
-    fn offset(&self, id: PageId) -> u64 {
-        id as u64 * self.page_size as u64
-    }
-}
-
-impl Drop for FilePager {
-    fn drop(&mut self) {
-        // Best effort only; use `close`/`sync` to observe failures.
-        if !self.closed {
-            let _ = self.write_header();
+        if !self.read_only {
+            self.commit_state()?;
         }
+        Ok(())
     }
 }
 
@@ -432,22 +579,36 @@ impl PageReader for FilePager {
         self.page_size
     }
 
-    fn read(&self, id: PageId, buf: &mut [u8]) {
+    fn read(&self, id: PageId, buf: &mut [u8]) -> std::io::Result<()> {
+        // Invariants (caller bugs), not I/O errors: structures own their
+        // page ids and never present a foreign id or a mis-sized buffer.
         assert_eq!(buf.len(), self.page_size);
-        assert!(
-            (id as usize) < self.allocated.len() && self.allocated[id as usize],
-            "read of unallocated page {id}"
-        );
-        // Positioned read: no shared cursor, so concurrent query threads can
-        // read through `&self` without racing on the file offset.
+        let e = self
+            .map
+            .get(&id)
+            .unwrap_or_else(|| panic!("read of unallocated page {id}"));
+        if e.phys == PHYS_NONE {
+            buf.fill(0);
+            self.stats.bump_read();
+            return Ok(());
+        }
+        let mut page = vec![0u8; self.disk_page_len()];
+        // Positioned read: no shared cursor, so concurrent query threads
+        // can read through `&self` without racing on the file offset.
         self.file
-            .read_exact_at(buf, self.offset(id))
-            .expect("file pager read");
-        self.stats.bump_read();
+            .read_exact_at(&mut page, Self::phys_offset(self.page_size, e.phys))?;
+        match check_page(&page) {
+            Ok(epoch) if epoch == e.epoch => {
+                buf.copy_from_slice(&page[..self.page_size]);
+                self.stats.bump_read();
+                Ok(())
+            }
+            _ => Err(invalid_data("page checksum mismatch")),
+        }
     }
 
     fn live_pages(&self) -> usize {
-        self.allocated.iter().filter(|&&a| a).count()
+        self.map.len()
     }
 
     fn stats(&self) -> IoStats {
@@ -456,46 +617,78 @@ impl PageReader for FilePager {
 }
 
 impl Pager for FilePager {
-    fn allocate(&mut self) -> PageId {
+    fn allocate(&mut self) -> std::io::Result<PageId> {
+        if self.read_only {
+            return Err(read_only_err());
+        }
         self.stats.bump_allocation();
-        let id = if let Some(id) = self.free_list.pop() {
+        let id = self.free_logical.pop().unwrap_or_else(|| {
+            let id = self.logical_high;
+            self.logical_high += 1;
             id
-        } else {
-            let id = self.page_count;
-            self.page_count += 1;
-            self.allocated.push(false);
-            id
-        };
-        self.allocated[id as usize] = true;
-        // Zero the page on disk.
-        let zero = vec![0u8; self.page_size];
-        self.file
-            .seek(SeekFrom::Start(self.offset(id)))
-            .and_then(|_| self.file.write_all(&zero))
-            .expect("file pager write");
-        id
+        });
+        // No physical page yet: the image materializes on first write, and
+        // until then the page reads as zeros.
+        self.map.insert(
+            id,
+            Entry {
+                phys: PHYS_NONE,
+                epoch: self.epoch + 1,
+            },
+        );
+        Ok(id)
     }
 
-    fn write(&mut self, id: PageId, data: &[u8]) {
+    fn write(&mut self, id: PageId, data: &[u8]) -> std::io::Result<()> {
+        if self.read_only {
+            return Err(read_only_err());
+        }
+        // Invariants, not I/O errors: see `read`.
         assert_eq!(data.len(), self.page_size);
-        assert!(
-            (id as usize) < self.allocated.len() && self.allocated[id as usize],
-            "write of unallocated page {id}"
+        let working = self.epoch + 1;
+        let e = *self
+            .map
+            .get(&id)
+            .unwrap_or_else(|| panic!("write of unallocated page {id}"));
+        let phys = if e.phys != PHYS_NONE && e.epoch == working {
+            // Already shadowed this epoch: write in place.
+            e.phys
+        } else {
+            // Copy-on-write: the committed image must stay intact until the
+            // next commit is durable, so the new bytes land elsewhere.
+            let p = self.alloc_phys();
+            if e.phys != PHYS_NONE {
+                self.deferred_phys.push(e.phys);
+            }
+            p
+        };
+        self.write_phys(phys, data, working)?;
+        self.map.insert(
+            id,
+            Entry {
+                phys,
+                epoch: working,
+            },
         );
-        self.file
-            .seek(SeekFrom::Start(self.offset(id)))
-            .and_then(|_| self.file.write_all(data))
-            .expect("file pager write");
         self.stats.bump_write();
+        Ok(())
     }
 
     fn free(&mut self, id: PageId) {
-        assert!(
-            (id as usize) < self.allocated.len() && self.allocated[id as usize],
-            "free of unallocated page {id}"
-        );
-        self.allocated[id as usize] = false;
-        self.free_list.push(id);
+        assert!(!self.read_only, "free on a read-only pager");
+        let e = self
+            .map
+            .remove(&id)
+            .unwrap_or_else(|| panic!("free of unallocated page {id}"));
+        if e.phys != PHYS_NONE {
+            if e.epoch > self.epoch {
+                // Never committed: nothing can roll back to it.
+                self.free_phys.push(e.phys);
+            } else {
+                self.deferred_phys.push(e.phys);
+            }
+        }
+        self.free_logical.push(id);
         self.stats.bump_free();
     }
 
@@ -503,65 +696,28 @@ impl Pager for FilePager {
         self.stats.reset();
     }
 
+    fn sync(&mut self) -> std::io::Result<()> {
+        self.commit_state()
+    }
+
     fn commit_meta(&mut self, meta: &[u8]) -> std::io::Result<()> {
-        // Shadow protocol: build the new chain in the stale slot's space,
-        // sync, then flip the header. The current slot's pages are never
-        // touched, so a crash anywhere leaves the previous commit readable.
-        let target = match self.current_slot() {
-            Some(cur) => 1 - cur,
-            None => 0,
-        };
-        if let Some(old) = self.meta_pages[target].take() {
-            for p in old {
-                if self.allocated[p as usize] {
-                    self.free(p);
-                }
+        if self.read_only {
+            return Err(read_only_err());
+        }
+        let previous = self.user_meta.replace(meta.to_vec());
+        match self.commit_state() {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                // The commit never became durable; keep advertising the
+                // blob that is actually on disk.
+                self.user_meta = previous;
+                Err(e)
             }
         }
-        let payload = self.page_size - 4;
-        let n = meta.len().div_ceil(payload);
-        let pages: Vec<PageId> = (0..n).map(|_| self.allocate()).collect();
-        for (i, chunk) in meta.chunks(payload).enumerate() {
-            let mut page = vec![0u8; self.page_size];
-            put_u32(&mut page, 0, pages.get(i + 1).copied().unwrap_or(0));
-            page[4..4 + chunk.len()].copy_from_slice(chunk);
-            self.write(pages[i], &page);
-        }
-        // Make the blob (and every preceding data-page write) durable
-        // before the header can name it.
-        self.file.sync_all()?;
-        let epoch = self.meta_slots.iter().map(|s| s.epoch).max().unwrap_or(0) + 1;
-        self.meta_slots[target] = MetaSlot {
-            first: pages.first().copied().unwrap_or(0),
-            len: meta.len() as u32,
-            epoch,
-            crc: crc32(meta),
-        };
-        self.meta_pages[target] = Some(pages);
-        self.write_header()?;
-        self.file.sync_all()
     }
 
     fn read_meta(&self) -> std::io::Result<Option<Vec<u8>>> {
-        let Some(idx) = self.current_slot() else {
-            return Ok(None);
-        };
-        let slot = self.meta_slots[idx];
-        let Some(pages) = self.meta_pages[idx].as_ref() else {
-            return Err(invalid_data("metadata chain unreadable"));
-        };
-        let payload = self.page_size - 4;
-        let mut blob = Vec::with_capacity(slot.len as usize);
-        let mut page = vec![0u8; self.page_size];
-        for &p in pages {
-            self.file.read_exact_at(&mut page, self.offset(p))?;
-            let take = payload.min(slot.len as usize - blob.len());
-            blob.extend_from_slice(&page[4..4 + take]);
-        }
-        if blob.len() != slot.len as usize || crc32(&blob) != slot.crc {
-            return Err(invalid_data("metadata checksum mismatch"));
-        }
-        Ok(Some(blob))
+        Ok(self.user_meta.clone())
     }
 }
 
@@ -579,13 +735,14 @@ mod tests {
     fn round_trip() {
         let path = tmp("rt");
         let mut p = FilePager::create(&path, 128).unwrap();
-        let a = p.allocate();
+        let a = p.allocate().unwrap();
         let mut data = vec![0u8; 128];
         data[3] = 99;
-        p.write(a, &data);
+        p.write(a, &data).unwrap();
         let mut buf = vec![0u8; 128];
-        p.read(a, &mut buf);
+        p.read(a, &mut buf).unwrap();
         assert_eq!(buf, data);
+        drop(p);
         std::fs::remove_file(&path).unwrap();
     }
 
@@ -595,50 +752,111 @@ mod tests {
         let (a, b);
         {
             let mut p = FilePager::create(&path, 128).unwrap();
-            a = p.allocate();
-            b = p.allocate();
-            p.write(a, &[7u8; 128]);
+            a = p.allocate().unwrap();
+            b = p.allocate().unwrap();
+            p.write(a, &[7u8; 128]).unwrap();
             p.free(b);
             p.sync().unwrap();
         }
         {
             let mut p = FilePager::open(&path).unwrap();
             assert_eq!(p.page_size(), 128);
+            assert_eq!(p.recovery(), PagerRecovery::Clean);
             assert_eq!(p.live_pages(), 1);
             let mut buf = vec![0u8; 128];
-            p.read(a, &mut buf);
+            p.read(a, &mut buf).unwrap();
             assert!(buf.iter().all(|&x| x == 7));
-            // The freed page is reused.
-            let c = p.allocate();
+            // The freed logical id is reused.
+            let c = p.allocate().unwrap();
             assert_eq!(c, b);
         }
         std::fs::remove_file(&path).unwrap();
     }
 
     #[test]
-    fn open_rejects_garbage() {
-        let path = tmp("garbage");
-        std::fs::write(&path, vec![1u8; 256]).unwrap();
-        assert!(FilePager::open(&path).is_err());
+    fn uncommitted_writes_vanish_on_reopen() {
+        let path = tmp("crashdrop");
+        let a;
+        {
+            let mut p = FilePager::create(&path, 128).unwrap();
+            a = p.allocate().unwrap();
+            p.write(a, &[1u8; 128]).unwrap();
+            p.sync().unwrap();
+            // Not synced: must not survive the (simulated) crash below.
+            p.write(a, &[2u8; 128]).unwrap();
+            drop(p); // no close — crash semantics
+        }
+        let p = FilePager::open(&path).unwrap();
+        let mut buf = vec![0u8; 128];
+        p.read(a, &mut buf).unwrap();
+        assert!(
+            buf.iter().all(|&x| x == 1),
+            "un-synced write must roll back to the committed image"
+        );
+        drop(p);
         std::fs::remove_file(&path).unwrap();
     }
 
     #[test]
-    fn open_rejects_torn_header() {
-        let path = tmp("torn_header");
+    fn open_rejects_garbage() {
+        let path = tmp("garbage");
+        std::fs::write(&path, vec![1u8; 2048]).unwrap();
+        let err = FilePager::open(&path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_newest_header_falls_back_to_previous_commit() {
+        let path = tmp("torn_fallback");
+        let a;
         {
             let mut p = FilePager::create(&path, 128).unwrap();
-            let _ = p.allocate();
-            p.sync().unwrap();
+            a = p.allocate().unwrap();
+            p.write(a, &[1u8; 128]).unwrap();
+            p.commit_meta(b"old").unwrap(); // epoch 2, slot 1
+            p.write(a, &[2u8; 128]).unwrap();
+            p.commit_meta(b"new").unwrap(); // epoch 3, slot 0
+            drop(p); // everything committed; drop leaves the file untouched
         }
-        // Flip a byte inside the checksummed header region.
+        // Tear the newest header slot (slot 0 holds the odd epoch 3).
         let mut bytes = std::fs::read(&path).unwrap();
-        bytes[9] ^= 0xFF; // page_count field
+        bytes[9] ^= 0xFF;
         std::fs::write(&path, &bytes).unwrap();
-        let err = match FilePager::open(&path) {
-            Err(e) => e,
-            Ok(_) => panic!("torn header must not open"),
-        };
+        let p = FilePager::open(&path).unwrap();
+        assert_eq!(
+            p.recovery(),
+            PagerRecovery::FellBack {
+                recovered_epoch: 2,
+                lost_epoch: 0, // the torn slot no longer parses at all
+            },
+            "recovery must report the fallback"
+        );
+        assert_eq!(p.read_meta().unwrap().as_deref(), Some(&b"old"[..]));
+        let mut buf = vec![0u8; 128];
+        p.read(a, &mut buf).unwrap();
+        assert!(
+            buf.iter().all(|&x| x == 1),
+            "fallback must see the epoch-2 image, not the newer bytes"
+        );
+        drop(p);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn both_headers_torn_is_invalid_data() {
+        let path = tmp("torn_both");
+        {
+            let p = FilePager::create(&path, 128).unwrap();
+            drop(p);
+        }
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[1] ^= 0xFF;
+        if bytes.len() > HEADER_SLOT {
+            bytes[HEADER_SLOT + 1] ^= 0xFF;
+        }
+        std::fs::write(&path, &bytes).unwrap();
+        let err = FilePager::open(&path).unwrap_err();
         assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
         std::fs::remove_file(&path).unwrap();
     }
@@ -647,13 +865,13 @@ mod tests {
     fn recycled_page_is_zeroed() {
         let path = tmp("zero");
         let mut p = FilePager::create(&path, 128).unwrap();
-        let a = p.allocate();
-        p.write(a, &[5u8; 128]);
+        let a = p.allocate().unwrap();
+        p.write(a, &[5u8; 128]).unwrap();
         p.free(a);
-        let b = p.allocate();
+        let b = p.allocate().unwrap();
         assert_eq!(a, b);
         let mut buf = vec![9u8; 128];
-        p.read(b, &mut buf);
+        p.read(b, &mut buf).unwrap();
         assert!(buf.iter().all(|&x| x == 0));
         drop(p);
         std::fs::remove_file(&path).unwrap();
@@ -663,30 +881,53 @@ mod tests {
     fn close_reports_success_and_reopens() {
         let path = tmp("close");
         let mut p = FilePager::create(&path, 128).unwrap();
-        let a = p.allocate();
-        p.write(a, &[1u8; 128]);
+        let a = p.allocate().unwrap();
+        p.write(a, &[1u8; 128]).unwrap();
         p.close().unwrap();
         let p = FilePager::open(&path).unwrap();
         let mut buf = vec![0u8; 128];
-        p.read(a, &mut buf);
+        p.read(a, &mut buf).unwrap();
         assert!(buf.iter().all(|&x| x == 1));
         drop(p);
         std::fs::remove_file(&path).unwrap();
     }
 
     #[test]
-    fn large_free_list_spills_and_survives_reopen() {
-        let path = tmp("spill");
-        // With 64-byte pages the header holds only 2 inline free entries;
-        // freeing hundreds of pages exercises the chained spill that
-        // replaced the old overflow panic.
+    fn corrupted_data_page_reads_as_invalid_data() {
+        let path = tmp("rot");
+        let a;
+        {
+            let mut p = FilePager::create(&path, 128).unwrap();
+            a = p.allocate().unwrap();
+            p.write(a, &[6u8; 128]).unwrap();
+            p.close().unwrap();
+        }
+        let (off, disk_len) = {
+            let p = FilePager::open(&path).unwrap();
+            (p.page_disk_offset(a).unwrap(), p.disk_page_len())
+        };
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[off as usize + 17] ^= 0x20; // flip a body bit
+        std::fs::write(&path, &bytes).unwrap();
+        let p = FilePager::open(&path).unwrap();
+        let mut buf = vec![0u8; 128];
+        let err = p.read(a, &mut buf).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert_eq!(disk_len, 128 + PAGE_TRAILER);
+        drop(p);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn many_freed_pages_survive_reopen_without_double_allocation() {
+        let path = tmp("manyfree");
         let total = 400usize;
         let ids: Vec<PageId>;
         {
             let mut p = FilePager::create(&path, 64).unwrap();
-            ids = (0..total).map(|_| p.allocate()).collect();
+            ids = (0..total).map(|_| p.allocate().unwrap()).collect();
             let keep = ids[0];
-            p.write(keep, &[42u8; 64]);
+            p.write(keep, &[42u8; 64]).unwrap();
             for &id in &ids[1..] {
                 p.free(id);
             }
@@ -695,27 +936,14 @@ mod tests {
         {
             let mut p = FilePager::open(&path).unwrap();
             let mut buf = vec![0u8; 64];
-            p.read(ids[0], &mut buf);
+            p.read(ids[0], &mut buf).unwrap();
             assert!(buf.iter().all(|&x| x == 42));
-            // Reallocate as many pages as were freed. Some free entries are
-            // consumed by the spill chain itself (ceil(399/12) + slack), so
-            // a few allocations grow the file instead — but nothing may be
-            // handed out that is neither previously freed nor fresh.
             let reused: std::collections::BTreeSet<PageId> =
-                (0..total - 1).map(|_| p.allocate()).collect();
+                (0..total - 1).map(|_| p.allocate().unwrap()).collect();
             assert_eq!(reused.len(), total - 1, "no page handed out twice");
-            let fresh = reused
-                .iter()
-                .filter(|id| !ids[1..].contains(id))
-                .collect::<Vec<_>>();
             assert!(
-                fresh.iter().all(|&&id| id as usize > total),
-                "non-recycled allocations must be fresh growth, got {fresh:?}"
-            );
-            assert!(
-                fresh.len() <= 40,
-                "most spilled entries must be reusable, {} were not",
-                fresh.len()
+                reused.iter().all(|id| ids[1..].contains(id)),
+                "every freed logical id must be recycled before growing"
             );
             p.close().unwrap();
         }
@@ -723,19 +951,25 @@ mod tests {
     }
 
     #[test]
-    fn repeated_sync_with_large_free_list_is_stable() {
-        let path = tmp("spill_stable");
+    fn repeated_sync_is_space_stable() {
+        let path = tmp("sync_stable");
         let mut p = FilePager::create(&path, 64).unwrap();
-        let ids: Vec<PageId> = (0..100).map(|_| p.allocate()).collect();
+        let ids: Vec<PageId> = (0..100).map(|_| p.allocate().unwrap()).collect();
         for &id in &ids {
-            p.free(id);
+            p.write(id, &[3u8; 64]).unwrap();
         }
         for _ in 0..5 {
             p.sync().unwrap();
         }
-        let live_before = p.live_pages();
-        p.sync().unwrap();
-        assert_eq!(p.live_pages(), live_before, "chain selection must converge");
+        let len_before = std::fs::metadata(&path).unwrap().len();
+        for _ in 0..5 {
+            p.sync().unwrap();
+        }
+        assert_eq!(
+            std::fs::metadata(&path).unwrap().len(),
+            len_before,
+            "alternating commits must recycle chain pages, not grow the file"
+        );
         p.close().unwrap();
         std::fs::remove_file(&path).unwrap();
     }
@@ -759,71 +993,158 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_meta_chain_is_invalid_data_not_empty() {
+    fn sole_commit_with_corrupt_chain_is_invalid_data() {
         let path = tmp("meta_corrupt");
         let blob = vec![0xABu8; 500];
-        let victim;
+        let offsets;
         {
             let mut p = FilePager::create(&path, 128).unwrap();
             p.commit_meta(&blob).unwrap();
-            victim = p.current_meta_pages()[1];
-            p.close().unwrap();
+            offsets = p.meta_chain_offsets();
+            drop(p); // keeps the exact committed bytes
         }
-        // Flip a payload byte in the middle of the committed chain.
+        // Flip a payload byte mid-chain. The epoch-1 create commit's slot
+        // was overwritten by... no: create used slot 0 (epoch 1), the blob
+        // commit used slot 1 (epoch 2). Corrupting epoch 2's chain makes
+        // open fall back to epoch 1 — whose meta is empty. To exercise the
+        // no-fallback path, corrupt the epoch-1 slot header as well.
         let mut bytes = std::fs::read(&path).unwrap();
-        bytes[victim as usize * 128 + 60] ^= 0x01;
+        bytes[offsets[1] as usize + 60] ^= 0x01;
+        bytes[1] ^= 0xFF; // slot 0 header (epoch 1) no longer parses
+        std::fs::write(&path, &bytes).unwrap();
+        let err = FilePager::open(&path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corrupt_newest_chain_falls_back_to_previous_meta() {
+        let path = tmp("meta_fallback");
+        let offsets;
+        {
+            let mut p = FilePager::create(&path, 128).unwrap();
+            p.commit_meta(b"genesis").unwrap();
+            p.commit_meta(b"doomed").unwrap();
+            offsets = p.meta_chain_offsets();
+            drop(p);
+        }
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[offsets[0] as usize + 40] ^= 0x10;
         std::fs::write(&path, &bytes).unwrap();
         let p = FilePager::open(&path).unwrap();
-        let err = p.read_meta().unwrap_err();
-        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(matches!(p.recovery(), PagerRecovery::FellBack { .. }));
+        assert_eq!(p.read_meta().unwrap().as_deref(), Some(&b"genesis"[..]));
         drop(p);
         std::fs::remove_file(&path).unwrap();
     }
 
     #[test]
-    fn unpublished_commit_leaves_prior_meta_readable() {
+    fn torn_append_leaves_prior_meta_readable() {
         let path = tmp("meta_torn");
         {
             let mut p = FilePager::create(&path, 128).unwrap();
             p.commit_meta(b"committed state").unwrap();
             p.close().unwrap();
         }
-        // Simulate a crash mid-commit: garbage lands in fresh pages past
-        // the committed region, but the header was never flipped.
+        // Simulate a crash mid-commit: garbage lands past the committed
+        // region, but no header was flipped.
         {
             let mut bytes = std::fs::read(&path).unwrap();
-            bytes.extend_from_slice(&[0x5Au8; 256]);
+            bytes.extend_from_slice(&[0x5Au8; 300]);
             std::fs::write(&path, &bytes).unwrap();
         }
         let p = FilePager::open(&path).unwrap();
         assert_eq!(
             p.read_meta().unwrap().as_deref(),
             Some(&b"committed state"[..]),
-            "the prior commit must survive a torn write"
+            "the prior commit must survive a torn append"
         );
         drop(p);
         std::fs::remove_file(&path).unwrap();
     }
 
     #[test]
-    fn alternating_commits_keep_exactly_two_chains() {
+    fn alternating_commits_do_not_leak_space() {
         let path = tmp("meta_alt");
         let mut p = FilePager::create(&path, 128).unwrap();
-        let data = p.allocate();
-        p.write(data, &[9u8; 128]);
-        let baseline = p.live_pages();
+        let data = p.allocate().unwrap();
+        p.write(data, &[9u8; 128]).unwrap();
         for round in 0u8..6 {
             p.commit_meta(&vec![round; 300]).unwrap();
             assert_eq!(p.read_meta().unwrap().as_deref(), Some(&[round; 300][..]));
         }
-        // Two shadow chains of ceil(300/124) = 3 pages each stay resident;
-        // older chains must have been recycled, not leaked.
-        assert!(
-            p.live_pages() <= baseline + 6,
-            "stale meta chains must be recycled (live={})",
-            p.live_pages()
+        let len_before = std::fs::metadata(&path).unwrap().len();
+        for round in 6u8..12 {
+            p.commit_meta(&vec![round; 300]).unwrap();
+        }
+        assert_eq!(
+            std::fs::metadata(&path).unwrap().len(),
+            len_before,
+            "stale meta chains must be recycled, not leaked"
         );
         p.close().unwrap();
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn cow_protects_committed_images_until_next_commit() {
+        let path = tmp("cow");
+        let a;
+        {
+            let mut p = FilePager::create(&path, 128).unwrap();
+            a = p.allocate().unwrap();
+            p.write(a, &[1u8; 128]).unwrap();
+            p.sync().unwrap();
+            let committed_off = p.page_disk_offset(a).unwrap();
+            // Overwrite after the commit: must land on a different physical
+            // page, leaving the committed image untouched.
+            p.write(a, &[2u8; 128]).unwrap();
+            assert_ne!(
+                p.page_disk_offset(a).unwrap(),
+                committed_off,
+                "post-commit write must be copy-on-write"
+            );
+            // A second write within the same epoch may go in place.
+            let shadow_off = p.page_disk_offset(a).unwrap();
+            p.write(a, &[3u8; 128]).unwrap();
+            assert_eq!(p.page_disk_offset(a).unwrap(), shadow_off);
+            drop(p); // crash
+        }
+        let p = FilePager::open(&path).unwrap();
+        let mut buf = vec![0u8; 128];
+        p.read(a, &mut buf).unwrap();
+        assert!(buf.iter().all(|&x| x == 1), "committed image intact");
+        drop(p);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn read_only_open_serves_reads_and_rejects_writes() {
+        let path = tmp("ro");
+        let a;
+        {
+            let mut p = FilePager::create(&path, 128).unwrap();
+            a = p.allocate().unwrap();
+            p.write(a, &[4u8; 128]).unwrap();
+            p.close().unwrap();
+        }
+        let mut p = FilePager::open_read_only(&path).unwrap();
+        assert!(p.is_read_only());
+        let mut buf = vec![0u8; 128];
+        p.read(a, &mut buf).unwrap();
+        assert!(buf.iter().all(|&x| x == 4));
+        let err = p.write(a, &[5u8; 128]).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::PermissionDenied);
+        let err = p.allocate().unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::PermissionDenied);
+        let err = p.commit_meta(b"nope").unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::PermissionDenied);
+        p.close().unwrap();
+        // Nothing was written: the file still opens with the old content.
+        let p = FilePager::open(&path).unwrap();
+        p.read(a, &mut buf).unwrap();
+        assert!(buf.iter().all(|&x| x == 4));
+        drop(p);
         std::fs::remove_file(&path).unwrap();
     }
 }

@@ -14,6 +14,12 @@
 //!
 //! Deleted slots keep their directory entry with `len = 0xFFFF` (tombstone)
 //! so record ids remain stable.
+//!
+//! Every operation that touches a page is fallible: over a durable pager a
+//! read can fail with an I/O error or a checksum mismatch, and the heap
+//! propagates it instead of panicking — the heap's *own* invariants (a
+//! foreign page id, an out-of-range slot) still panic, because they are
+//! caller bugs rather than storage conditions.
 
 use crate::codec::{get_u16, put_u16};
 use crate::pager::{PageId, PageReader, Pager};
@@ -74,7 +80,7 @@ impl HeapFile {
     ///
     /// # Panics
     /// Panics if `data.len() > max_record_len()` or `data` is empty.
-    pub fn insert(&mut self, pager: &mut dyn Pager, data: &[u8]) -> RecordId {
+    pub fn insert(&mut self, pager: &mut dyn Pager, data: &[u8]) -> std::io::Result<RecordId> {
         assert!(!data.is_empty(), "empty records are not supported");
         assert!(
             data.len() <= self.max_record_len(),
@@ -85,45 +91,49 @@ impl HeapFile {
         let mut buf = vec![0u8; self.page_size];
         // Try the last page first (append-mostly workloads).
         if let Some(&last) = self.pages.last() {
-            pager.read(last, &mut buf);
+            pager.read(last, &mut buf)?;
             if let Some(slot) = try_insert(&mut buf, data, self.page_size) {
-                pager.write(last, &buf);
-                return RecordId { page: last, slot };
+                pager.write(last, &buf)?;
+                return Ok(RecordId { page: last, slot });
             }
         }
         // Fresh page.
-        let id = pager.allocate();
+        let id = pager.allocate()?;
         buf.fill(0);
         put_u16(&mut buf, 2, self.page_size as u16); // free_off = page end
         let slot = try_insert(&mut buf, data, self.page_size).expect("fits in a fresh page");
-        pager.write(id, &buf);
+        pager.write(id, &buf)?;
         self.pages.push(id);
-        RecordId { page: id, slot }
+        Ok(RecordId { page: id, slot })
     }
 
-    /// Reads a record. Returns `None` for a tombstoned slot.
+    /// Reads a record. Returns `Ok(None)` for a tombstoned slot.
     ///
     /// # Panics
     /// Panics if the id does not refer to a heap page/slot.
-    pub fn get(&self, pager: &dyn PageReader, id: RecordId) -> Option<Vec<u8>> {
+    pub fn get(&self, pager: &dyn PageReader, id: RecordId) -> std::io::Result<Option<Vec<u8>>> {
         assert!(self.pages.contains(&id.page), "foreign page in RecordId");
         let mut buf = vec![0u8; self.page_size];
-        pager.read(id.page, &mut buf);
+        pager.read(id.page, &mut buf)?;
         let n = get_u16(&buf, 0);
         assert!(id.slot < n, "slot {} out of range {n}", id.slot);
         let off = get_u16(&buf, HDR + id.slot as usize * SLOT) as usize;
         let len = get_u16(&buf, HDR + id.slot as usize * SLOT + 2);
         if len == TOMBSTONE {
-            return None;
+            return Ok(None);
         }
-        Some(buf[off..off + len as usize].to_vec())
+        Ok(Some(buf[off..off + len as usize].to_vec()))
     }
 
     /// Reads many records with one page access per *distinct page*: the
     /// batched fetch used by query refinement (candidates are grouped by
     /// page before reading). Results align with `ids`; tombstoned slots
     /// yield `None`.
-    pub fn get_many(&self, pager: &dyn PageReader, ids: &[RecordId]) -> Vec<Option<Vec<u8>>> {
+    pub fn get_many(
+        &self,
+        pager: &dyn PageReader,
+        ids: &[RecordId],
+    ) -> std::io::Result<Vec<Option<Vec<u8>>>> {
         let mut order: Vec<usize> = (0..ids.len()).collect();
         order.sort_by_key(|&i| (ids[i].page, ids[i].slot));
         let mut out: Vec<Option<Vec<u8>>> = vec![None; ids.len()];
@@ -133,7 +143,7 @@ impl HeapFile {
             let id = ids[i];
             assert!(self.pages.contains(&id.page), "foreign page in RecordId");
             if loaded != Some(id.page) {
-                pager.read(id.page, &mut buf);
+                pager.read(id.page, &mut buf)?;
                 loaded = Some(id.page);
             }
             let n = get_u16(&buf, 0);
@@ -144,31 +154,31 @@ impl HeapFile {
                 out[i] = Some(buf[off..off + len as usize].to_vec());
             }
         }
-        out
+        Ok(out)
     }
 
     /// Tombstones a record. Returns `true` if it was live.
-    pub fn delete(&mut self, pager: &mut dyn Pager, id: RecordId) -> bool {
+    pub fn delete(&mut self, pager: &mut dyn Pager, id: RecordId) -> std::io::Result<bool> {
         assert!(self.pages.contains(&id.page), "foreign page in RecordId");
         let mut buf = vec![0u8; self.page_size];
-        pager.read(id.page, &mut buf);
+        pager.read(id.page, &mut buf)?;
         let n = get_u16(&buf, 0);
         assert!(id.slot < n, "slot out of range");
         let len_off = HDR + id.slot as usize * SLOT + 2;
         if get_u16(&buf, len_off) == TOMBSTONE {
-            return false;
+            return Ok(false);
         }
         put_u16(&mut buf, len_off, TOMBSTONE);
-        pager.write(id.page, &buf);
-        true
+        pager.write(id.page, &buf)?;
+        Ok(true)
     }
 
     /// Scans all live records in storage order.
-    pub fn scan(&self, pager: &dyn PageReader) -> Vec<(RecordId, Vec<u8>)> {
+    pub fn scan(&self, pager: &dyn PageReader) -> std::io::Result<Vec<(RecordId, Vec<u8>)>> {
         let mut out = Vec::new();
         let mut buf = vec![0u8; self.page_size];
         for &page in &self.pages {
-            pager.read(page, &mut buf);
+            pager.read(page, &mut buf)?;
             let n = get_u16(&buf, 0);
             for slot in 0..n {
                 let off = get_u16(&buf, HDR + slot as usize * SLOT) as usize;
@@ -181,7 +191,7 @@ impl HeapFile {
                 }
             }
         }
-        out
+        Ok(out)
     }
 
     /// Frees every heap page back to the pager.
@@ -225,10 +235,10 @@ mod tests {
     fn insert_and_get() {
         let mut pager = MemPager::new(128);
         let mut heap = HeapFile::new(&mut pager);
-        let a = heap.insert(&mut pager, b"hello");
-        let b = heap.insert(&mut pager, b"world!");
-        assert_eq!(heap.get(&pager, a).unwrap(), b"hello");
-        assert_eq!(heap.get(&pager, b).unwrap(), b"world!");
+        let a = heap.insert(&mut pager, b"hello").unwrap();
+        let b = heap.insert(&mut pager, b"world!").unwrap();
+        assert_eq!(heap.get(&pager, a).unwrap().unwrap(), b"hello");
+        assert_eq!(heap.get(&pager, b).unwrap().unwrap(), b"world!");
         assert_eq!(heap.page_count(), 1);
     }
 
@@ -237,10 +247,12 @@ mod tests {
         let mut pager = MemPager::new(128);
         let mut heap = HeapFile::new(&mut pager);
         let payload = vec![7u8; 40];
-        let ids: Vec<_> = (0..10).map(|_| heap.insert(&mut pager, &payload)).collect();
+        let ids: Vec<_> = (0..10)
+            .map(|_| heap.insert(&mut pager, &payload).unwrap())
+            .collect();
         assert!(heap.page_count() > 1, "should overflow a 128-byte page");
         for id in ids {
-            assert_eq!(heap.get(&pager, id).unwrap(), payload);
+            assert_eq!(heap.get(&pager, id).unwrap().unwrap(), payload);
         }
     }
 
@@ -248,12 +260,15 @@ mod tests {
     fn delete_tombstones() {
         let mut pager = MemPager::new(128);
         let mut heap = HeapFile::new(&mut pager);
-        let a = heap.insert(&mut pager, b"abc");
-        let b = heap.insert(&mut pager, b"def");
-        assert!(heap.delete(&mut pager, a));
-        assert!(!heap.delete(&mut pager, a), "second delete is a no-op");
-        assert!(heap.get(&pager, a).is_none());
-        assert_eq!(heap.get(&pager, b).unwrap(), b"def");
+        let a = heap.insert(&mut pager, b"abc").unwrap();
+        let b = heap.insert(&mut pager, b"def").unwrap();
+        assert!(heap.delete(&mut pager, a).unwrap());
+        assert!(
+            !heap.delete(&mut pager, a).unwrap(),
+            "second delete is a no-op"
+        );
+        assert!(heap.get(&pager, a).unwrap().is_none());
+        assert_eq!(heap.get(&pager, b).unwrap().unwrap(), b"def");
     }
 
     #[test]
@@ -261,10 +276,10 @@ mod tests {
         let mut pager = MemPager::new(256);
         let mut heap = HeapFile::new(&mut pager);
         let ids: Vec<_> = (0..5u8)
-            .map(|i| heap.insert(&mut pager, &[i; 10]))
+            .map(|i| heap.insert(&mut pager, &[i; 10]).unwrap())
             .collect();
-        heap.delete(&mut pager, ids[2]);
-        let all = heap.scan(&pager);
+        heap.delete(&mut pager, ids[2]).unwrap();
+        let all = heap.scan(&pager).unwrap();
         assert_eq!(all.len(), 4);
         assert_eq!(all[0].1, vec![0u8; 10]);
         assert_eq!(all[2].1, vec![3u8; 10], "deleted record skipped");
@@ -275,8 +290,8 @@ mod tests {
         let mut pager = MemPager::new(128);
         let mut heap = HeapFile::new(&mut pager);
         let big = vec![1u8; heap.max_record_len()];
-        let id = heap.insert(&mut pager, &big);
-        assert_eq!(heap.get(&pager, id).unwrap(), big);
+        let id = heap.insert(&mut pager, &big).unwrap();
+        assert_eq!(heap.get(&pager, id).unwrap().unwrap(), big);
     }
 
     #[test]
@@ -284,7 +299,7 @@ mod tests {
     fn oversized_record_panics() {
         let mut pager = MemPager::new(128);
         let mut heap = HeapFile::new(&mut pager);
-        heap.insert(&mut pager, &vec![0u8; 1000]);
+        let _ = heap.insert(&mut pager, &vec![0u8; 1000]);
     }
 
     #[test]
@@ -292,7 +307,7 @@ mod tests {
         let mut pager = MemPager::new(128);
         let mut heap = HeapFile::new(&mut pager);
         for i in 0..20u8 {
-            heap.insert(&mut pager, &[i; 30]);
+            heap.insert(&mut pager, &[i; 30]).unwrap();
         }
         let pages = heap.page_count();
         assert!(pages > 0);
@@ -305,14 +320,14 @@ mod tests {
         let mut pager = MemPager::new(256);
         let mut heap = HeapFile::new(&mut pager);
         let ids: Vec<_> = (0..30u8)
-            .map(|i| heap.insert(&mut pager, &[i; 10]))
+            .map(|i| heap.insert(&mut pager, &[i; 10]).unwrap())
             .collect();
-        heap.delete(&mut pager, ids[7]);
+        heap.delete(&mut pager, ids[7]).unwrap();
         pager.reset_stats();
         // Fetch everything in a scrambled order.
         let mut order: Vec<RecordId> = ids.clone();
         order.reverse();
-        let got = heap.get_many(&pager, &order);
+        let got = heap.get_many(&pager, &order).unwrap();
         assert_eq!(got.len(), 30);
         assert_eq!(got[29], Some(vec![0u8; 10]), "alignment with input order");
         assert_eq!(got[30 - 1 - 7], None, "tombstone yields None");
@@ -327,9 +342,9 @@ mod tests {
     fn reads_cost_io() {
         let mut pager = MemPager::new(128);
         let mut heap = HeapFile::new(&mut pager);
-        let id = heap.insert(&mut pager, b"x");
+        let id = heap.insert(&mut pager, b"x").unwrap();
         pager.reset_stats();
-        heap.get(&pager, id);
+        heap.get(&pager, id).unwrap();
         assert_eq!(pager.stats().reads, 1, "each fetch is one page read");
     }
 }

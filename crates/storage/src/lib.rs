@@ -8,21 +8,31 @@
 //! I/O, so the access counts are the experiment metric.
 //!
 //! * [`MemPager`] — in-memory page store (the default for experiments);
-//! * [`file::FilePager`] — the same interface persisted to a real file;
+//! * [`file::FilePager`] — the same interface persisted to a real file with
+//!   shadow-paged (copy-on-write) commits, per-page CRC-32 seals and
+//!   dual-slot headers so a torn write can never produce a silently mixed
+//!   on-disk state;
 //! * [`buffer::BufferPool`] — an LRU cache decorating any pager, separating
 //!   logical from physical I/O;
+//! * [`fault::FaultPager`] — a decorator that injects planned I/O errors,
+//!   torn writes and crash points, for deterministic recovery testing;
 //! * [`heap::HeapFile`] — a slotted-page heap for variable-length records
 //!   (tuple payloads fetched by the refinement step);
 //! * [`codec`] — little-endian page field helpers shared by the tree crates,
-//!   plus the fallible record codec and CRC-32 behind the durable catalog.
+//!   the fallible record codec and CRC-32 behind the durable catalog, and
+//!   the [`seal_page`]/[`check_page`] page-trailer pair behind torn-page
+//!   detection.
 //!
 //! The pager interface is split into a read half ([`PageReader`], `&self`)
 //! and a write half ([`Pager`], `&mut self`), so a built structure can serve
 //! concurrent queries as a shared snapshot; [`tracked::TrackedReader`] gives
 //! each query its own exact access counts on top of the shared reader.
+//! Every operation that can touch a device is fallible (`io::Result`);
+//! panics are reserved for caller bugs, as documented per method.
 
 pub mod buffer;
 pub mod codec;
+pub mod fault;
 pub mod file;
 pub mod heap;
 pub mod pager;
@@ -30,8 +40,11 @@ pub mod stats;
 pub mod tracked;
 
 pub use buffer::BufferPool;
-pub use codec::{crc32, CodecError, RecordReader, RecordWriter};
-pub use file::FilePager;
+pub use codec::{
+    check_page, crc32, seal_page, CodecError, RecordReader, RecordWriter, PAGE_TRAILER,
+};
+pub use fault::{FaultOp, FaultPager, FaultPlan, TraceEntry};
+pub use file::{FilePager, PagerRecovery};
 pub use heap::{HeapFile, RecordId};
 pub use pager::{MemPager, PageId, PageReader, Pager, DEFAULT_PAGE_SIZE};
 pub use stats::IoStats;

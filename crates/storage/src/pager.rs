@@ -4,6 +4,17 @@
 //! ([`Pager`]). Reads take `&self` — I/O accounting uses interior mutability
 //! — so an immutable index can be shared across query threads; structure
 //! *modification* still requires `&mut` exclusivity through [`Pager`].
+//!
+//! # Errors vs. invariants
+//!
+//! Every operation that can touch a device returns [`std::io::Result`]: a
+//! failed read, a failed write, a checksum mismatch on a durable pager, or
+//! an injected fault from [`FaultPager`](crate::fault::FaultPager) all
+//! surface as errors the caller must handle. *Contract violations* — a
+//! wrong-sized buffer, an access to a page id that was never allocated —
+//! remain panics: they are bugs in the calling structure, not conditions a
+//! production system can encounter on a healthy code path, and turning them
+//! into errors would only teach callers to ignore them.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -28,9 +39,14 @@ pub trait PageReader {
 
     /// Reads page `id` into `buf` (`buf.len() == page_size()`).
     ///
+    /// # Errors
+    /// Device failures and integrity failures (a page whose checksum does
+    /// not verify reads as [`std::io::ErrorKind::InvalidData`]).
+    ///
     /// # Panics
-    /// Panics if `id` is not an allocated page or `buf` has the wrong size.
-    fn read(&self, id: PageId, buf: &mut [u8]);
+    /// Panics if `id` is not an allocated page or `buf` has the wrong size
+    /// — both are caller bugs, not runtime conditions.
+    fn read(&self, id: PageId, buf: &mut [u8]) -> std::io::Result<()>;
 
     /// Number of live (allocated, not freed) pages — the space metric.
     fn live_pages(&self) -> usize;
@@ -47,19 +63,31 @@ pub trait PageReader {
 /// read-only snapshot between write phases.
 pub trait Pager: PageReader + Send + Sync {
     /// Allocates a zeroed page and returns its id.
-    fn allocate(&mut self) -> PageId;
+    fn allocate(&mut self) -> std::io::Result<PageId>;
 
     /// Writes `data` (`data.len() == page_size()`) to page `id`.
     ///
     /// # Panics
     /// Panics if `id` is not an allocated page or `data` has the wrong size.
-    fn write(&mut self, id: PageId, data: &[u8]);
+    fn write(&mut self, id: PageId, data: &[u8]) -> std::io::Result<()>;
 
     /// Frees page `id`, making it available for reallocation.
+    ///
+    /// Freeing is pure bookkeeping in every implementation — no device
+    /// access — so it is infallible.
+    ///
+    /// # Panics
+    /// Panics on a double free or an id that was never allocated.
     fn free(&mut self, id: PageId);
 
     /// Zeroes the access counters (not the space usage).
     fn reset_stats(&mut self);
+
+    /// Flushes buffered page data to stable storage without publishing a
+    /// new metadata blob. The default is a no-op for volatile pagers.
+    fn sync(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
 
     /// Durably installs `meta` as the pager's metadata blob.
     ///
@@ -123,6 +151,11 @@ impl AtomicStats {
 }
 
 /// In-memory pager: the experiment substrate.
+///
+/// Memory cannot fail, so every operation returns `Ok`; the fallible
+/// signatures exist so the same structures run unchanged over
+/// [`FilePager`](crate::FilePager) and under
+/// [`FaultPager`](crate::fault::FaultPager) fault injection.
 #[derive(Debug)]
 pub struct MemPager {
     page_size: usize,
@@ -165,7 +198,9 @@ impl PageReader for MemPager {
         self.page_size
     }
 
-    fn read(&self, id: PageId, buf: &mut [u8]) {
+    fn read(&self, id: PageId, buf: &mut [u8]) -> std::io::Result<()> {
+        // Invariant, not I/O: a mis-sized buffer or an unallocated id is a
+        // bug in the calling structure and must fail loudly in every build.
         assert_eq!(buf.len(), self.page_size, "read buffer size mismatch");
         let page = self
             .pages
@@ -174,6 +209,7 @@ impl PageReader for MemPager {
             .unwrap_or_else(|| panic!("read of unallocated page {id}"));
         buf.copy_from_slice(page);
         self.stats.bump_read();
+        Ok(())
     }
 
     fn live_pages(&self) -> usize {
@@ -186,19 +222,20 @@ impl PageReader for MemPager {
 }
 
 impl Pager for MemPager {
-    fn allocate(&mut self) -> PageId {
+    fn allocate(&mut self) -> std::io::Result<PageId> {
         self.stats.bump_allocation();
         if let Some(id) = self.free_list.pop() {
             self.pages[id as usize] = Some(vec![0u8; self.page_size].into_boxed_slice());
-            return id;
+            return Ok(id);
         }
         let id = self.pages.len() as PageId;
         self.pages
             .push(Some(vec![0u8; self.page_size].into_boxed_slice()));
-        id
+        Ok(id)
     }
 
-    fn write(&mut self, id: PageId, data: &[u8]) {
+    fn write(&mut self, id: PageId, data: &[u8]) -> std::io::Result<()> {
+        // Invariant, not I/O: see `read`.
         assert_eq!(data.len(), self.page_size, "write size mismatch");
         let page = self
             .pages
@@ -207,6 +244,7 @@ impl Pager for MemPager {
             .unwrap_or_else(|| panic!("write of unallocated page {id}"));
         page.copy_from_slice(data);
         self.stats.bump_write();
+        Ok(())
     }
 
     fn free(&mut self, id: PageId) {
@@ -241,13 +279,13 @@ mod tests {
     #[test]
     fn allocate_read_write_round_trip() {
         let mut p = MemPager::new(128);
-        let a = p.allocate();
+        let a = p.allocate().unwrap();
         let mut data = vec![0u8; 128];
         data[0] = 42;
         data[127] = 7;
-        p.write(a, &data);
+        p.write(a, &data).unwrap();
         let mut buf = vec![0u8; 128];
-        p.read(a, &mut buf);
+        p.read(a, &mut buf).unwrap();
         assert_eq!(buf, data);
         assert_eq!(p.stats().reads, 1);
         assert_eq!(p.stats().writes, 1);
@@ -257,35 +295,35 @@ mod tests {
     #[test]
     fn fresh_pages_are_zeroed() {
         let mut p = MemPager::new(64);
-        let a = p.allocate();
+        let a = p.allocate().unwrap();
         let mut buf = vec![1u8; 64];
-        p.read(a, &mut buf);
+        p.read(a, &mut buf).unwrap();
         assert!(buf.iter().all(|&b| b == 0));
     }
 
     #[test]
     fn free_and_reuse() {
         let mut p = MemPager::new(64);
-        let a = p.allocate();
-        let _b = p.allocate();
+        let a = p.allocate().unwrap();
+        let _b = p.allocate().unwrap();
         assert_eq!(p.live_pages(), 2);
         // Dirty the page, free, reallocate: must come back zeroed.
-        p.write(a, &[9u8; 64]);
+        p.write(a, &[9u8; 64]).unwrap();
         p.free(a);
         assert_eq!(p.live_pages(), 1);
-        let c = p.allocate();
+        let c = p.allocate().unwrap();
         assert_eq!(c, a, "free list reuses page ids");
         let mut buf = vec![1u8; 64];
-        p.read(c, &mut buf);
+        p.read(c, &mut buf).unwrap();
         assert!(buf.iter().all(|&b| b == 0), "recycled page must be zeroed");
     }
 
     #[test]
     fn stats_reset() {
         let mut p = MemPager::new(64);
-        let a = p.allocate();
+        let a = p.allocate().unwrap();
         let mut buf = vec![0u8; 64];
-        p.read(a, &mut buf);
+        p.read(a, &mut buf).unwrap();
         p.reset_stats();
         assert_eq!(p.stats(), IoStats::default());
         assert_eq!(p.live_pages(), 1, "reset does not touch space usage");
@@ -294,15 +332,15 @@ mod tests {
     #[test]
     fn concurrent_shared_reads() {
         let mut p = MemPager::new(64);
-        let a = p.allocate();
-        p.write(a, &[3u8; 64]);
+        let a = p.allocate().unwrap();
+        p.write(a, &[3u8; 64]).unwrap();
         let reader: &(dyn PageReader + Sync) = &p;
         std::thread::scope(|s| {
             for _ in 0..4 {
                 s.spawn(move || {
                     let mut buf = vec![0u8; 64];
                     for _ in 0..25 {
-                        reader.read(a, &mut buf);
+                        reader.read(a, &mut buf).unwrap();
                         assert_eq!(buf[0], 3);
                     }
                 });
@@ -325,17 +363,17 @@ mod tests {
     #[should_panic]
     fn read_unallocated_panics() {
         let mut p = MemPager::new(64);
-        let a = p.allocate();
+        let a = p.allocate().unwrap();
         p.free(a);
         let mut buf = vec![0u8; 64];
-        p.read(5, &mut buf);
+        let _ = p.read(5, &mut buf);
     }
 
     #[test]
     #[should_panic]
     fn double_free_panics() {
         let mut p = MemPager::new(64);
-        let a = p.allocate();
+        let a = p.allocate().unwrap();
         p.free(a);
         p.free(a);
     }
@@ -344,8 +382,8 @@ mod tests {
     #[should_panic]
     fn wrong_buffer_size_panics() {
         let mut p = MemPager::new(64);
-        let a = p.allocate();
+        let a = p.allocate().unwrap();
         let mut buf = vec![0u8; 32];
-        p.read(a, &mut buf);
+        let _ = p.read(a, &mut buf);
     }
 }

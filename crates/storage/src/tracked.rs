@@ -39,9 +39,11 @@ impl PageReader for TrackedReader<'_> {
         self.inner.page_size()
     }
 
-    fn read(&self, id: PageId, buf: &mut [u8]) {
+    fn read(&self, id: PageId, buf: &mut [u8]) -> std::io::Result<()> {
+        // A failed read still cost an access attempt; count it either way
+        // so fault-injected runs account the same as healthy ones.
         self.reads.set(self.reads.get() + 1);
-        self.inner.read(id, buf);
+        self.inner.read(id, buf)
     }
 
     fn live_pages(&self) -> usize {
@@ -66,16 +68,16 @@ mod tests {
     #[test]
     fn counts_only_own_reads() {
         let mut p = MemPager::new(64);
-        let a = p.allocate();
-        p.write(a, &[1u8; 64]);
+        let a = p.allocate().unwrap();
+        p.write(a, &[1u8; 64]).unwrap();
         let mut buf = vec![0u8; 64];
-        p.read(a, &mut buf); // global read outside the tracker
+        p.read(a, &mut buf).unwrap(); // global read outside the tracker
 
         let t1 = TrackedReader::new(&p);
         let t2 = TrackedReader::new(&p);
-        t1.read(a, &mut buf);
-        t1.read(a, &mut buf);
-        t2.read(a, &mut buf);
+        t1.read(a, &mut buf).unwrap();
+        t1.read(a, &mut buf).unwrap();
+        t2.read(a, &mut buf).unwrap();
         assert_eq!(t1.reads(), 2);
         assert_eq!(t2.reads(), 1);
         assert_eq!(t1.stats().reads, 2);
@@ -86,14 +88,14 @@ mod tests {
     #[test]
     fn since_windows_isolate_phases() {
         let mut p = MemPager::new(64);
-        let a = p.allocate();
-        p.write(a, &[1u8; 64]);
+        let a = p.allocate().unwrap();
+        p.write(a, &[1u8; 64]).unwrap();
         let t = TrackedReader::new(&p);
         let mut buf = vec![0u8; 64];
-        t.read(a, &mut buf);
+        t.read(a, &mut buf).unwrap();
         let mid = t.stats();
-        t.read(a, &mut buf);
-        t.read(a, &mut buf);
+        t.read(a, &mut buf).unwrap();
+        t.read(a, &mut buf).unwrap();
         assert_eq!(t.stats().since(&mid).reads, 2);
     }
 }

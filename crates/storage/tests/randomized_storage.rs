@@ -42,19 +42,23 @@ fn heap_matches_hashmap() {
         for op in ops {
             match op {
                 Op::Insert(data) => {
-                    let id = heap.insert(&mut pager, &data);
+                    let id = heap.insert(&mut pager, &data).unwrap();
                     ids.push(id);
                     oracle.insert(id, Some(data));
                 }
                 Op::Delete(i) if !ids.is_empty() => {
                     let id = ids[i % ids.len()];
                     let was_live = oracle[&id].is_some();
-                    assert_eq!(heap.delete(&mut pager, id), was_live, "seed {seed}");
+                    assert_eq!(
+                        heap.delete(&mut pager, id).unwrap(),
+                        was_live,
+                        "seed {seed}"
+                    );
                     oracle.insert(id, None);
                 }
                 Op::Get(i) if !ids.is_empty() => {
                     let id = ids[i % ids.len()];
-                    assert_eq!(&heap.get(&pager, id), &oracle[&id], "seed {seed}");
+                    assert_eq!(&heap.get(&pager, id).unwrap(), &oracle[&id], "seed {seed}");
                 }
                 _ => {}
             }
@@ -65,11 +69,11 @@ fn heap_matches_hashmap() {
             .filter_map(|(id, v)| v.clone().map(|v| (*id, v)))
             .collect();
         live.sort_by_key(|(id, _)| *id);
-        let mut scanned = heap.scan(&pager);
+        let mut scanned = heap.scan(&pager).unwrap();
         scanned.sort_by_key(|(id, _)| *id);
         assert_eq!(scanned, live, "seed {seed}");
         // Batched get agrees with singles.
-        let batch = heap.get_many(&pager, &ids);
+        let batch = heap.get_many(&pager, &ids).unwrap();
         for (id, got) in ids.iter().zip(batch) {
             assert_eq!(&got, &oracle[id], "seed {seed}");
         }
@@ -90,20 +94,20 @@ fn buffer_pool_is_transparent() {
             .collect();
         let mut raw = MemPager::new(64);
         let mut pooled = BufferPool::new(MemPager::new(64), capacity);
-        let raw_ids: Vec<_> = (0..n_pages).map(|_| raw.allocate()).collect();
-        let pool_ids: Vec<_> = (0..n_pages).map(|_| pooled.allocate()).collect();
+        let raw_ids: Vec<_> = (0..n_pages).map(|_| raw.allocate().unwrap()).collect();
+        let pool_ids: Vec<_> = (0..n_pages).map(|_| pooled.allocate().unwrap()).collect();
         assert_eq!(&raw_ids, &pool_ids);
         for &(page, byte) in &writes {
             let data = vec![byte; 64];
-            raw.write(raw_ids[page], &data);
-            pooled.write(pool_ids[page], &data);
+            raw.write(raw_ids[page], &data).unwrap();
+            pooled.write(pool_ids[page], &data).unwrap();
         }
-        pooled.flush();
+        pooled.flush().unwrap();
         let mut a = vec![0u8; 64];
         let mut b = vec![0u8; 64];
         for page in 0..n_pages {
-            raw.read(raw_ids[page], &mut a);
-            pooled.read(pool_ids[page], &mut b);
+            raw.read(raw_ids[page], &mut a).unwrap();
+            pooled.read(pool_ids[page], &mut b).unwrap();
             assert_eq!(&a, &b, "page {page} differs (seed {seed})");
         }
         // Physical reads through the pool never exceed logical reads.
@@ -124,17 +128,17 @@ fn file_pager_matches_mem_pager() {
         {
             let mut fp = cdb_storage::file::FilePager::create(&path, 64).unwrap();
             let mut mp = MemPager::new(64);
-            let fids: Vec<_> = (0..8).map(|_| fp.allocate()).collect();
-            let mids: Vec<_> = (0..8).map(|_| mp.allocate()).collect();
+            let fids: Vec<_> = (0..8).map(|_| fp.allocate().unwrap()).collect();
+            let mids: Vec<_> = (0..8).map(|_| mp.allocate().unwrap()).collect();
             for &(page, byte) in &writes {
-                fp.write(fids[page], &[byte; 64]);
-                mp.write(mids[page], &[byte; 64]);
+                fp.write(fids[page], &[byte; 64]).unwrap();
+                mp.write(mids[page], &[byte; 64]).unwrap();
             }
             let mut a = vec![0u8; 64];
             let mut b = vec![0u8; 64];
             for i in 0..8 {
-                fp.read(fids[i], &mut a);
-                mp.read(mids[i], &mut b);
+                fp.read(fids[i], &mut a).unwrap();
+                mp.read(mids[i], &mut b).unwrap();
                 assert_eq!(&a, &b, "seed {seed}");
             }
         }

@@ -50,7 +50,7 @@ fn main() {
     // 9 predefined slope points on a grid over terrain gradients.
     let points = SlopePoints::grid(3, 3, 0.2);
     let k = points.len();
-    let idx = DualIndexD::build(&mut pager, points, &tuples);
+    let idx = DualIndexD::build(&mut pager, points, &tuples).unwrap();
     println!(
         "indexed {} corridors in E^3 over k={k} slope points: {} pages",
         tuples.len(),

@@ -17,9 +17,26 @@
 use std::io::{BufRead, Write};
 
 use constraint_db::index::query::Strategy;
+use constraint_db::index::RelationHealth;
 use constraint_db::prelude::*;
+use constraint_db::storage::PagerRecovery;
 
 fn main() {
+    // `cdb fsck <path> [--rebuild-indexes]` works as a one-shot CLI, so an
+    // operator (or ci.sh) can health-check a file without entering the shell.
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("fsck") {
+        match fsck(&args[1..].join(" ")) {
+            Ok(msg) => {
+                println!("{msg}");
+                return;
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
     let mut db = ConstraintDb::in_memory(DbConfig::paper_1999());
     let interactive = std::env::args().len() == 1 && atty_stdin();
     let source: Box<dyn BufRead> = match std::env::args().nth(1) {
@@ -242,8 +259,82 @@ fn run_command(db: &mut ConstraintDb, line: &str) -> Result<String, String> {
             db.checkpoint().map_err(|e| e.to_string())?;
             Ok("catalog checkpointed".into())
         }
+        "fsck" => fsck(rest),
         other => Err(format!("unknown command '{other}' — try 'help'")),
     }
+}
+
+/// Verifies every page of an on-disk database through the checksumming
+/// pager and reports per-relation health. With `--rebuild-indexes`, corrupt
+/// indexes of degraded relations are re-derived from the (verified) heap and
+/// the repair is committed.
+fn fsck(rest: &str) -> Result<String, String> {
+    const USAGE: &str = "usage: fsck <path> [--rebuild-indexes]";
+    let mut path: Option<&str> = None;
+    let mut rebuild = false;
+    for tok in rest.split_whitespace() {
+        match tok {
+            "--rebuild-indexes" => rebuild = true,
+            p if path.is_none() => path = Some(p),
+            _ => return Err(USAGE.into()),
+        }
+    }
+    let path = std::path::Path::new(path.ok_or(USAGE)?);
+    let mut db = if rebuild {
+        ConstraintDb::open(path).map_err(|e| e.to_string())?
+    } else {
+        ConstraintDb::open_read_only(path).map_err(|e| e.to_string())?
+    };
+    let report = db.recovery_report().clone();
+    let mut out = String::new();
+    match report.pager {
+        PagerRecovery::Clean => out.push_str("pager: clean\n"),
+        PagerRecovery::FellBack {
+            recovered_epoch,
+            lost_epoch,
+        } => out.push_str(&format!(
+            "pager: commit {lost_epoch} was torn; fell back to epoch {recovered_epoch}\n"
+        )),
+    }
+    if report.relations.is_empty() {
+        out.push_str("no relations\n");
+    }
+    for (name, health) in &report.relations {
+        out.push_str(&format!("  {name}: {health}\n"));
+    }
+    if rebuild {
+        let degraded: Vec<String> = report
+            .relations
+            .iter()
+            .filter(|(_, h)| matches!(h, RelationHealth::Degraded { .. }))
+            .map(|(n, _)| n.clone())
+            .collect();
+        for name in &degraded {
+            let rebuilt = db.rebuild_indexes(name).map_err(|e| e.to_string())?;
+            out.push_str(&format!("  rebuilt {name}: {}\n", rebuilt.join(", ")));
+        }
+        db.close().map_err(|e| e.to_string())?;
+        if degraded.is_empty() {
+            out.push_str("nothing to rebuild\n");
+        }
+    }
+    let verdict = if report
+        .relations
+        .iter()
+        .any(|(_, h)| *h != RelationHealth::Healthy)
+    {
+        if rebuild {
+            "fsck: repairs applied (quarantined relations, if any, need manual attention)"
+        } else {
+            "fsck: problems found"
+        }
+    } else if matches!(report.pager, PagerRecovery::FellBack { .. }) {
+        "fsck: ok (after fallback to the previous commit)"
+    } else {
+        "fsck: ok"
+    };
+    out.push_str(verdict);
+    Ok(out)
 }
 
 /// Parses a half-plane in solved form, e.g. `y >= 0.3x - 5`.
@@ -278,5 +369,9 @@ commands:
   open <path>               open (or create) an on-disk database file;
                             replaces the current in-memory session
   save                      checkpoint the catalog to the open file
+  fsck <path> [--rebuild-indexes]
+                            verify every page checksum of an on-disk file and
+                            report per-relation health; optionally re-derive
+                            corrupt indexes from the checksummed heap
   quit
 "#;

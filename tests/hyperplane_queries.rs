@@ -39,7 +39,7 @@ fn random_lines_agree_with_oracle_across_strategies() {
         let pairs = mixed_relation(seed, 250, 50);
         let mut pager = MemPager::paper_1999();
         let slopes = SlopeSet::uniform_tan(4);
-        let idx = DualIndex::build(&mut pager, slopes.clone(), &pairs);
+        let idx = DualIndex::build(&mut pager, slopes.clone(), &pairs).unwrap();
         let lookup: HashMap<u32, GeneralizedTuple> = pairs.iter().cloned().collect();
         let fetch = |_: &dyn PageReader, id: u32| -> GeneralizedTuple { lookup[&id].clone() };
 
@@ -85,7 +85,7 @@ fn unbounded_tuples_are_found_by_line_queries() {
     // contained in a line).
     let pairs = mixed_relation(91, 0, 60);
     let mut pager = MemPager::paper_1999();
-    let idx = DualIndex::build(&mut pager, SlopeSet::uniform_tan(3), &pairs);
+    let idx = DualIndex::build(&mut pager, SlopeSet::uniform_tan(3), &pairs).unwrap();
     let lookup: HashMap<u32, GeneralizedTuple> = pairs.iter().cloned().collect();
     let fetch = |_: &dyn PageReader, id: u32| -> GeneralizedTuple { lookup[&id].clone() };
     let mut rng = cdb_prng::StdRng::seed_from_u64(0x11E);

@@ -154,7 +154,7 @@ fn rplustree_agrees_with_dual_index_on_bounded_data() {
         .enumerate()
         .map(|(i, t)| (tuple_mbr(t), i as u32))
         .collect();
-    let tree = RPlusTree::pack(&mut pager, &items, 1.0);
+    let tree = RPlusTree::pack(&mut pager, &items, 1.0).unwrap();
     let mut qg = QueryGen::new(43);
     for q in qg.battery(&tuples, 4, 0.1, 0.3) {
         let sel = Selection {
@@ -167,7 +167,7 @@ fn rplustree_agrees_with_dual_index_on_bounded_data() {
         };
         let want = db.query_with("r", sel.clone(), Strategy::Scan).unwrap();
         // R+ candidates + exact refinement.
-        let (candidates, _) = tree.search_halfplane(&pager, &q.halfplane);
+        let (candidates, _) = tree.search_halfplane(&pager, &q.halfplane).unwrap();
         let refined: Vec<u32> = candidates
             .into_iter()
             .filter(|&id| {

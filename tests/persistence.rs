@@ -49,14 +49,14 @@ fn heap_records_survive_reopen() {
         let mut pager = FilePager::create(&path, 1024).unwrap();
         let mut heap = HeapFile::new(&mut pager);
         for t in &tuples {
-            rids.push(heap.insert(&mut pager, &t.encode()));
+            rids.push(heap.insert(&mut pager, &t.encode()).unwrap());
         }
         pager.sync().unwrap();
         // The heap's page list is in-memory metadata; re-read through the
         // same mapping after reopening the pager.
-        let mut pager = FilePager::open(&path).unwrap();
+        let pager = FilePager::open(&path).unwrap();
         for (t, rid) in tuples.iter().zip(&rids) {
-            let bytes = pager_read_record(&mut pager, *rid);
+            let bytes = pager_read_record(&pager, *rid);
             let back = GeneralizedTuple::decode(&bytes).unwrap();
             assert_eq!(&back, t);
         }
@@ -65,9 +65,9 @@ fn heap_records_survive_reopen() {
 }
 
 /// Reads a slotted-page record directly (the heap's page layout is stable).
-fn pager_read_record(pager: &mut FilePager, rid: constraint_db::storage::RecordId) -> Vec<u8> {
+fn pager_read_record(pager: &FilePager, rid: constraint_db::storage::RecordId) -> Vec<u8> {
     let mut buf = vec![0u8; pager.page_size()];
-    pager.read(rid.page, &mut buf);
+    pager.read(rid.page, &mut buf).unwrap();
     let off = u16::from_le_bytes([
         buf[4 + rid.slot as usize * 4],
         buf[5 + rid.slot as usize * 4],
@@ -85,22 +85,23 @@ fn btree_on_file_pager_matches_mem_pager() {
     {
         let mut fpager = FilePager::create(&path, 512).unwrap();
         let mut mpager = constraint_db::storage::MemPager::new(512);
-        let mut ft = BTree::new(&mut fpager);
-        let mut mt = BTree::new(&mut mpager);
+        let mut ft = BTree::new(&mut fpager).unwrap();
+        let mut mt = BTree::new(&mut mpager).unwrap();
         let mut seed = 99u64;
         for i in 0..800u32 {
             seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
             let k = ((seed >> 40) % 1000) as f64 / 3.0;
-            ft.insert(&mut fpager, k, i);
-            mt.insert(&mut mpager, k, i);
+            ft.insert(&mut fpager, k, i).unwrap();
+            mt.insert(&mut mpager, k, i).unwrap();
         }
-        ft.validate(&fpager);
+        ft.validate(&fpager).unwrap();
         let collect = |t: &BTree, p: &mut dyn Pager| {
             let mut out = Vec::new();
             t.sweep_up(p, f64::NEG_INFINITY, |s| {
                 out.extend_from_slice(&s.entries);
                 SweepControl::Continue
-            });
+            })
+            .unwrap();
             out
         };
         assert_eq!(collect(&ft, &mut fpager), collect(&mt, &mut mpager));

@@ -229,33 +229,44 @@ fn opening_missing_file_is_io_not_corrupt() {
     }
 }
 
-#[test]
-fn corrupted_catalog_page_is_reported_not_served_empty() {
-    let path = tmp("flip");
-    let (db, _) = build_workload(&path, 0xF119);
-    db.close().unwrap();
-
-    // Locate a committed catalog page through the pager and flip one byte
-    // in its payload.
+/// Flips one byte inside the committed catalog chain of `path`.
+fn corrupt_current_meta_chain(path: &std::path::Path) {
     let victim = {
-        let pager = FilePager::open(&path).unwrap();
-        let pages = pager.current_meta_pages();
-        assert!(!pages.is_empty(), "catalog chain exists");
-        pages[pages.len() / 2]
+        let pager = FilePager::open(path).unwrap();
+        let offsets = pager.meta_chain_offsets();
+        assert!(!offsets.is_empty(), "catalog chain exists");
+        offsets[offsets.len() / 2]
     };
-    let page_size = 1024u64;
-    let off = victim as u64 * page_size + 200;
-    let mut f = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+    let off = victim + 50;
     let mut byte = [0u8];
     {
         use std::io::Read as _;
-        let mut rf = std::fs::File::open(&path).unwrap();
+        let mut rf = std::fs::File::open(path).unwrap();
         rf.seek(SeekFrom::Start(off)).unwrap();
         rf.read_exact(&mut byte).unwrap();
     }
+    let mut f = std::fs::OpenOptions::new().write(true).open(path).unwrap();
     f.seek(SeekFrom::Start(off)).unwrap();
     f.write_all(&[byte[0] ^ 0x40]).unwrap();
     f.sync_all().unwrap();
+}
+
+#[test]
+fn corrupting_the_sole_commit_is_reported_not_served_empty() {
+    let path = tmp("flip");
+    // `with_pager` defers the first catalog commit to `close`, so the file
+    // holds exactly one commit and there is no older catalog to fall back
+    // to once it is damaged.
+    {
+        let pager = FilePager::create(&path, 1024).unwrap();
+        let mut db = ConstraintDb::with_pager(Box::new(pager), DbConfig::paper_1999());
+        db.create_relation("r", 2).unwrap();
+        for t in DatasetSpec::paper_1999(50, ObjectSize::Small, 0xF119).generate() {
+            db.insert("r", t).unwrap();
+        }
+        db.close().unwrap();
+    }
+    corrupt_current_meta_chain(&path);
 
     match ConstraintDb::open(&path) {
         Err(CdbError::CorruptRecord(id)) => assert_eq!(id, CATALOG_RECORD),
@@ -265,6 +276,31 @@ fn corrupted_catalog_page_is_reported_not_served_empty() {
         ),
         Err(other) => panic!("expected CorruptRecord, got {other:?}"),
     }
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn corrupting_the_newest_commit_falls_back_to_the_previous_one() {
+    use constraint_db::storage::PagerRecovery;
+    let path = tmp("fallback");
+    // `ConstraintDb::create` commits an empty catalog at birth; `close`
+    // commits the full workload on the other header slot. Damaging the
+    // newest chain must recover the older (empty) commit, not fail.
+    let (db, _) = build_workload(&path, 0xF119);
+    db.close().unwrap();
+    corrupt_current_meta_chain(&path);
+
+    let db = ConstraintDb::open(&path).unwrap();
+    assert!(
+        matches!(db.recovery_report().pager, PagerRecovery::FellBack { .. }),
+        "recovery is reported, got {:?}",
+        db.recovery_report().pager
+    );
+    assert!(!db.recovery_report().is_clean());
+    assert!(
+        db.relation_names().is_empty(),
+        "the recovered commit is the empty birth catalog"
+    );
     std::fs::remove_file(&path).unwrap();
 }
 
