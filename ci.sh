@@ -43,6 +43,52 @@ fsck_smoke() {
   rm -f "$f"
 }
 step fsck fsck_smoke
+
+# Wire-protocol smoke: serve a file on an ephemeral port, drive a client
+# workload over TCP, ask for a graceful shutdown, then verify the served
+# file's checksums offline.
+server_smoke() {
+  local f="${TMPDIR:-/tmp}/cdb_ci_server_$$.db"
+  local log="${TMPDIR:-/tmp}/cdb_ci_server_$$.log"
+  rm -f "$f" "$log"
+  ./target/release/cdb-server "$f" --checkpoint-every 8 >"$log" &
+  local pid=$!
+  local addr=""
+  for _ in $(seq 1 50); do
+    addr=$(sed -n 's/^listening on //p' "$log")
+    [ -n "$addr" ] && break
+    sleep 0.1
+  done
+  if [ -z "$addr" ]; then
+    echo "ci: cdb-server never announced its address" >&2
+    kill -9 "$pid" 2>/dev/null || true
+    rm -f "$f" "$log"
+    return 1
+  fi
+  {
+    printf 'create parcels 2\n'
+    printf 'insert parcels y >= 0 && y <= 2 && x >= 0 && x + y <= 4\n'
+    printf 'insert parcels y >= x && y <= x + 1 && x >= 10\n'
+    printf 'index parcels 4\n'
+    printf 'exist parcels y >= 0.3x - 5\n'
+    printf 'explain exist parcels y >= 0.3x - 5\n'
+    printf 'stats\n'
+    printf 'save\n'
+    printf 'shutdown\n'
+  } | TERM= ./target/release/cdb-client "$addr" >/dev/null
+  # Graceful shutdown must be a clean exit, not a timeout or a crash.
+  local code=0
+  wait "$pid" || code=$?
+  if [ "$code" -ne 0 ]; then
+    echo "ci: cdb-server exited with code $code" >&2
+    rm -f "$f" "$log"
+    return 1
+  fi
+  ./target/release/cdb fsck "$f" | grep -q 'fsck: ok'
+  rm -f "$f" "$log"
+}
+step server server_smoke
+
 step clippy cargo clippy --workspace --all-targets -- -D warnings
 step doc env RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 step fmt cargo fmt --all --check

@@ -14,6 +14,7 @@
 //! ```
 
 use cdb_core::ddim::{DualIndexD, SlopePoints};
+use cdb_core::plan::{AccessMethod, DualDAccess, MethodContext};
 use cdb_core::{Selection, SelectionKind};
 use cdb_geometry::constraint::{LinearConstraint, RelOp};
 use cdb_geometry::halfplane::HalfPlane;
@@ -50,6 +51,7 @@ fn main() {
     );
     let mut csv =
         String::from("d,k,t2_exist_accesses,t2_all_accesses,t1_exist,t1_all,scan_accesses\n");
+    let mut accuracy: Vec<(usize, f64, f64, f64, f64)> = Vec::new();
     for dim in [2usize, 3, 4] {
         let pairs = random_boxes(dim, n, 0xD1 + dim as u64);
         let mut pager = MemPager::paper_1999();
@@ -60,11 +62,31 @@ fn main() {
         let idx = DualIndexD::build(&mut pager, points, &pairs).unwrap();
         let lookup: std::collections::HashMap<u32, GeneralizedTuple> =
             pairs.iter().cloned().collect();
+        // Scan baseline sizing (also the heap size for the cost formulas):
+        // every tuple page is read once per query, estimated from record
+        // sizes on the paper's 1024-byte pages.
+        let rec = pairs[0].1.encode().len() + 4;
+        let per_page = (1024 - 4) / rec;
+        let scan_pages = n.div_ceil(per_page) as u64;
+        let access = DualDAccess {
+            index: &idx,
+            ctx: MethodContext {
+                n: n as u64,
+                heap_pages: scan_pages,
+                page_size: 1024,
+            },
+        };
         let mut rng = StdRng::seed_from_u64(0xD2 + dim as u64);
         let mut exist_io = 0u64;
         let mut all_io = 0u64;
         let mut t1_exist_io = 0u64;
         let mut t1_all_io = 0u64;
+        // Planner-validation accumulators: estimated vs observed candidates
+        // and index page accesses, per technique.
+        let (mut t2_est_cand, mut t2_act_cand) = (0.0f64, 0.0f64);
+        let (mut t2_est_io, mut t2_act_io) = (0.0f64, 0.0f64);
+        let (mut t1_est_cand, mut t1_act_cand) = (0.0f64, 0.0f64);
+        let (mut t1_est_io, mut t1_act_io) = (0.0f64, 0.0f64);
         let queries = 12;
         for qi in 0..queries {
             let slope: Vec<f64> = (0..dim - 1).map(|_| rng.gen_range(-0.9..0.9)).collect();
@@ -98,6 +120,15 @@ fn main() {
             } else {
                 all_io += io;
             }
+            // Validate the planner's cost model at the query's *true*
+            // selectivity: does the formula predict the observed candidate
+            // count and index I/O?
+            let frac = want.len() as f64 / n as f64;
+            let est = access.estimate_at(&sel, frac);
+            t2_est_cand += est.candidates;
+            t2_act_cand += r.stats.candidates as f64;
+            t2_est_io += est.index_pages;
+            t2_act_io += io as f64;
             // The simplex-covering path, for comparison.
             let before = pager.stats();
             let fetch = |_: &dyn PageReader, id: u32| -> GeneralizedTuple { lookup[&id].clone() };
@@ -111,12 +142,12 @@ fn main() {
             } else {
                 t1_all_io += io1;
             }
+            let est1 = access.simplex_estimate(&sel, frac);
+            t1_est_cand += est1.candidates;
+            t1_act_cand += r1.stats.candidates as f64;
+            t1_est_io += est1.index_pages;
+            t1_act_io += io1 as f64;
         }
-        // Scan baseline: every tuple page is read once per query. Estimate
-        // from record sizes on the paper's 1024-byte pages.
-        let rec = pairs[0].1.encode().len() + 4;
-        let per_page = (1024 - 4) / rec;
-        let scan_pages = n.div_ceil(per_page) as u64;
         let e = exist_io as f64 / (queries / 2) as f64;
         let a = all_io as f64 / (queries / 2) as f64;
         let e1 = t1_exist_io as f64 / (queries / 2) as f64;
@@ -125,8 +156,26 @@ fn main() {
         csv.push_str(&format!(
             "{dim},{k},{e:.1},{a:.1},{e1:.1},{a1:.1},{scan_pages}\n"
         ));
+        accuracy.push((
+            dim,
+            t2_est_cand / t2_act_cand,
+            t2_est_io / t2_act_io,
+            t1_est_cand / t1_act_cand,
+            t1_est_io / t1_act_io,
+        ));
+    }
+    println!("\nCost-model accuracy (estimate / actual, 1.0 = perfect):");
+    println!(
+        "{:>4}{:>14}{:>14}{:>14}{:>14}",
+        "d", "T2 cand", "T2 index-IO", "T1 cand", "T1 index-IO"
+    );
+    let mut acc_csv = String::from("d,t2_cand_ratio,t2_io_ratio,t1_cand_ratio,t1_io_ratio\n");
+    for (d, tc, ti, sc, si) in &accuracy {
+        println!("{d:>4}{tc:>14.2}{ti:>14.2}{sc:>14.2}{si:>14.2}");
+        acc_csv.push_str(&format!("{d},{tc:.3},{ti:.3},{sc:.3},{si:.3}\n"));
     }
     std::fs::create_dir_all("results").expect("results dir");
     std::fs::write("results/dimension_sweep.csv", csv).expect("write CSV");
-    println!("\nwrote results/dimension_sweep.csv");
+    std::fs::write("results/dimension_cost_model.csv", acc_csv).expect("write CSV");
+    println!("\nwrote results/dimension_sweep.csv and results/dimension_cost_model.csv");
 }

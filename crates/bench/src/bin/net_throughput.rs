@@ -1,0 +1,111 @@
+//! Wire-protocol query throughput: the cost of putting `cdb-net` between
+//! the client and the snapshot read path.
+//!
+//! An in-process [`cdb_net::Server`] serves the paper's largest 2-D
+//! configuration (N = 12000, k = 4, small objects, 10–15 % selectivity);
+//! 1, 2, 4 and 8 wire clients replay a calibrated T2 batch over loopback
+//! TCP, each answer cross-checked against the in-process result. Compare
+//! queries/sec here with the `throughput` bin to read off the protocol +
+//! scheduling overhead.
+//!
+//! ```text
+//! cargo run --release -p cdb-bench --bin net_throughput [--quick]
+//! ```
+
+use std::time::Instant;
+
+use cdb_bench::{selection_of, T2Bed};
+use cdb_core::{Selection, Strategy};
+use cdb_net::server::{Server, ServerConfig};
+use cdb_net::Client;
+use cdb_workload::{DatasetSpec, ObjectSize, QueryGen};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let n = if quick { 2000 } else { 12000 };
+    let k = 4;
+    let batch_len = if quick { 48 } else { 192 };
+    let repeats = 3;
+
+    let spec = DatasetSpec::paper_1999(n, ObjectSize::Small, 0x7412);
+    let bed = T2Bed::build(spec, k);
+    let mut qg = QueryGen::new(0x7413);
+    let battery = qg.battery(&bed.tuples, batch_len / 2, 0.10, 0.15);
+    let batch: Vec<Selection> = battery.iter().map(selection_of).collect();
+
+    // In-process truth before the db moves into the server.
+    let expected: Vec<Vec<u32>> = batch
+        .iter()
+        .map(|sel| {
+            bed.db
+                .query_with("r", sel.clone(), Strategy::T2)
+                .expect("calibrated query")
+                .ids()
+                .to_vec()
+        })
+        .collect();
+
+    let server = Server::bind(
+        "127.0.0.1:0",
+        bed.db,
+        ServerConfig {
+            workers: 8,
+            max_connections: 16,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind loopback");
+    let addr = server.local_addr();
+    let server_thread = std::thread::spawn(move || server.run().expect("clean shutdown"));
+
+    let cores = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(1);
+    println!(
+        "Net throughput — N={n}, k={k}, {} T2 queries/batch over loopback TCP, \
+         best of {repeats} runs, {cores} core(s) available",
+        batch.len()
+    );
+
+    println!("{:>10}{:>16}{:>12}", "clients", "queries/sec", "speedup");
+    let mut csv = String::from("clients,queries_per_sec,speedup\n");
+    let mut base_qps = 0.0;
+    for clients in [1usize, 2, 4, 8] {
+        let mut best_qps = 0.0f64;
+        for _ in 0..repeats {
+            let start = Instant::now();
+            std::thread::scope(|scope| {
+                for c in 0..clients {
+                    let batch = &batch;
+                    let expected = &expected;
+                    scope.spawn(move || {
+                        let mut client = Client::connect(addr).expect("connect");
+                        for i in 0..batch.len() {
+                            let qi = (i + c * 7) % batch.len();
+                            let r = client
+                                .query("r", batch[qi].clone(), Strategy::T2)
+                                .expect("wire query");
+                            assert_eq!(r.ids(), expected[qi].as_slice(), "client {c} query {qi}");
+                        }
+                    });
+                }
+            });
+            let total = (clients * batch.len()) as f64;
+            best_qps = best_qps.max(total / start.elapsed().as_secs_f64());
+        }
+        if base_qps == 0.0 {
+            base_qps = best_qps;
+        }
+        let speedup = best_qps / base_qps;
+        println!("{clients:>10}{best_qps:>16.0}{speedup:>11.2}x");
+        csv.push_str(&format!("{clients},{best_qps:.0},{speedup:.2}\n"));
+    }
+
+    let mut closer = Client::connect(addr).expect("connect");
+    closer.shutdown().expect("graceful shutdown");
+    server_thread.join().expect("server thread");
+
+    std::fs::create_dir_all("results").expect("results dir");
+    std::fs::write("results/net_throughput.csv", csv).expect("write CSV");
+    println!("\nwrote results/net_throughput.csv");
+}

@@ -139,6 +139,42 @@ fn clean_recovery() -> RecoveryReport {
     }
 }
 
+/// Point-in-time operational statistics for one relation, as reported by
+/// [`ConstraintDb::stats_snapshot`] (and served over the wire by the STATS
+/// operation).
+#[derive(Clone, Debug, PartialEq)]
+pub struct RelationStats {
+    /// Relation name.
+    pub name: String,
+    /// Tuple dimension.
+    pub dim: usize,
+    /// Live tuple count.
+    pub live: u64,
+    /// Pages of the heap file alone.
+    pub heap_pages: u64,
+    /// Heap + index pages owned.
+    pub total_pages: u64,
+    /// Built access structures: any of `"dual"`, `"dual-d"`, `"rplus"`.
+    pub indexes: Vec<String>,
+    /// Verdict of the last verification pass.
+    pub health: RelationHealth,
+}
+
+/// Point-in-time snapshot of the whole engine's operational state.
+/// Taken through `&self`, so a server can serve it from a shared read
+/// lock while queries are in flight.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DbStats {
+    /// Per-relation statistics, sorted by name.
+    pub relations: Vec<RelationStats>,
+    /// Live pages across all relations and indexes.
+    pub live_pages: u64,
+    /// Cumulative I/O accounting of the underlying pager.
+    pub io: IoStats,
+    /// Whether the handle refuses mutations.
+    pub read_only: bool,
+}
+
 /// The Section 5 baseline as a relation-level index: a packed R⁺-tree over
 /// the MBRs of *bounded* tuples, plus an overflow list of unbounded tuple
 /// ids (no finite MBR exists for those — they are always refined) and a
@@ -666,6 +702,64 @@ impl ConstraintDb {
     /// Live pages across all relations and indexes (the space metric).
     pub fn live_pages(&self) -> usize {
         self.pager.live_pages()
+    }
+
+    /// Point-in-time operational snapshot: per-relation sizes, built
+    /// indexes, health verdicts, and pager-level I/O counters. `&self`, so
+    /// a server can answer STATS from a shared read lock while queries run.
+    pub fn stats_snapshot(&self) -> DbStats {
+        let mut relations: Vec<RelationStats> = self
+            .relations
+            .values()
+            .map(|rel| {
+                let mut indexes = Vec::new();
+                if rel.index.is_some() {
+                    indexes.push("dual".to_string());
+                }
+                if rel.index_d.is_some() {
+                    indexes.push("dual-d".to_string());
+                }
+                if rel.rplus.is_some() {
+                    indexes.push("rplus".to_string());
+                }
+                RelationStats {
+                    name: rel.name.clone(),
+                    dim: rel.dim,
+                    live: rel.live,
+                    heap_pages: rel.heap_pages(),
+                    total_pages: rel.page_count(),
+                    indexes,
+                    health: rel.health.clone(),
+                }
+            })
+            .collect();
+        relations.sort_by(|a, b| a.name.cmp(&b.name));
+        DbStats {
+            relations,
+            live_pages: self.live_pages() as u64,
+            io: self.io_stats(),
+            read_only: self.read_only,
+        }
+    }
+
+    /// Re-runs the open-time page verification pass over every relation,
+    /// returning a fresh report without mutating any stored health verdict
+    /// (repair still goes through [`rebuild_indexes`](Self::rebuild_indexes)
+    /// or [`drop_relation`](Self::drop_relation)). `&self`, so a server can
+    /// serve an online FSCK from a shared read lock. The pager verdict is
+    /// carried over from open — header recovery only happens there.
+    pub fn verify_now(&self) -> RecoveryReport {
+        let reader = self.reader();
+        let mut relations: Vec<(String, RelationHealth)> = self
+            .relations
+            .values()
+            .map(|rel| (rel.name.clone(), verify_relation(&reader, rel)))
+            .collect();
+        relations.sort_by(|a, b| a.0.cmp(&b.0));
+        RecoveryReport {
+            pager: self.recovery.pager,
+            relations,
+        }
     }
 
     /// Creates an empty relation of the given dimension.

@@ -240,6 +240,39 @@ impl SlopePoints {
     /// midpoints toward the neighbouring coordinates (clipped to the hull at
     /// the boundary).
     pub fn cell_corners(&self, i: usize) -> Option<Vec<Vec<f64>>> {
+        let ranges = self.cell_ranges(i)?;
+        // Odometer over the corner choices.
+        let d1 = ranges.len();
+        let mut corners = Vec::with_capacity(1 << d1);
+        for mask in 0..(1usize << d1) {
+            corners.push(
+                ranges
+                    .iter()
+                    .enumerate()
+                    .map(|(j, &(lo, hi))| if mask & (1 << j) != 0 { hi } else { lo })
+                    .collect(),
+            );
+        }
+        Some(corners)
+    }
+
+    /// Per-axis slope-space extent of grid point `i`'s Voronoi cell — the
+    /// band the whole-cell handicaps over-cover by. Boundary cells are
+    /// clipped to the hull, so their widths (and the planner's estimated
+    /// T2 overshoot) are smaller.
+    pub fn cell_widths(&self, i: usize) -> Option<Vec<f64>> {
+        Some(
+            self.cell_ranges(i)?
+                .iter()
+                .map(|(lo, hi)| hi - lo)
+                .collect(),
+        )
+    }
+
+    /// Per-axis `[lo, hi]` bounds of grid point `i`'s Voronoi cell: the
+    /// midpoints toward the neighbouring coordinates, clipped to the hull
+    /// at the boundary.
+    fn cell_ranges(&self, i: usize) -> Option<Vec<(f64, f64)>> {
         let axes = self.grid_axes.as_ref()?;
         let mut ranges: Vec<(f64, f64)> = Vec::with_capacity(axes.len());
         let mut rest = i;
@@ -259,19 +292,7 @@ impl SlopePoints {
             };
             ranges.push((lo, hi));
         }
-        // Odometer over the corner choices.
-        let d1 = ranges.len();
-        let mut corners = Vec::with_capacity(1 << d1);
-        for mask in 0..(1usize << d1) {
-            corners.push(
-                ranges
-                    .iter()
-                    .enumerate()
-                    .map(|(j, &(lo, hi))| if mask & (1 << j) != 0 { hi } else { lo })
-                    .collect(),
-            );
-        }
-        Some(corners)
+        Some(ranges)
     }
 }
 

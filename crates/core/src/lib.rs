@@ -52,7 +52,9 @@ pub mod plan;
 pub mod query;
 pub mod slopes;
 
-pub use db::{ConstraintDb, DbConfig, RecoveryReport, Relation, RelationHealth};
+pub use db::{
+    ConstraintDb, DbConfig, DbStats, RecoveryReport, Relation, RelationHealth, RelationStats,
+};
 pub use error::{CdbError, CATALOG_RECORD};
 pub use exec::QueryExecutor;
 pub use index::DualIndex;

@@ -50,6 +50,25 @@ use crate::slopes::Bracket;
 /// experiments run at 10–15% selectivity; 1/8 sits in that band).
 pub const DEFAULT_SELECTIVITY: f64 = 0.125;
 
+/// How fast the d-dimensional T2 over-coverage grows with the slope-space
+/// extent of the query's Voronoi cell. The whole-cell handicaps admit every
+/// tuple whose `TOP`/`BOT` surface can cross the intercept *somewhere* in
+/// the cell, a band of near-boundary tuples whose size is a fraction of the
+/// whole relation — additive in `n`, independent of the query's own
+/// selectivity — proportional to the sum of the cell's per-axis half-widths
+/// (grids keep per-axis resolution, so the band gains an axis, not just
+/// width, per dimension). Calibrated on `dimension_sweep` (uniform boxes,
+/// 10–15% selectivity, d ∈ {2,3,4}); see EXPERIMENTS.md.
+pub const T2_CELL_OVERSHOOT: f64 = 0.5;
+
+/// Per-app-query surplus of the simplex covering, as a fraction of `n` per
+/// unit of slope-space distance between the query slope and the simplex
+/// vertex serving the leg. A leg sweeps exact keys at its *vertex* slope,
+/// so its surplus is the (signed, half-cancelling) drift of the dual
+/// surface between vertex and query — much smaller than T2's whole-cell
+/// band. Calibrated on `dimension_sweep`; see EXPERIMENTS.md.
+pub const SIMPLEX_LEG_OVERSHOOT: f64 = 0.06;
+
 /// EWMA weight of the newest observation in the feedback catalog.
 const EWMA_ALPHA: f64 = 0.3;
 
@@ -490,6 +509,46 @@ pub struct DualDAccess<'a> {
     pub ctx: MethodContext,
 }
 
+impl DualDAccess<'_> {
+    /// Cost of the simplex covering (generalized T1): `d` descents and `d`
+    /// sweeps against `d` different trees. Each leg over-covers in
+    /// proportion to how far its vertex sits from the query slope
+    /// ([`SIMPLEX_LEG_OVERSHOOT`]), and the legs overlap heavily —
+    /// `candidates` is the pre-dedup total the executor reports, but the
+    /// heap only pays for the deduped union of the legs.
+    pub fn simplex_estimate(&self, sel: &Selection, frac: f64) -> CostEstimate {
+        let h = self.index.tree_height() as f64;
+        let leaf = self.ctx.dual_leaf_pages();
+        let d = self.index.dim() as f64;
+        let n = self.ctx.n as f64;
+        let slope = &sel.halfplane.slope;
+        let points = self.index.points();
+        let mean_dist = points
+            .containing_simplex(slope)
+            .map(|vs| {
+                vs.iter()
+                    .map(|&i| {
+                        points.as_slice()[i]
+                            .iter()
+                            .zip(slope)
+                            .map(|(a, b)| (a - b) * (a - b))
+                            .sum::<f64>()
+                            .sqrt()
+                    })
+                    .sum::<f64>()
+                    / vs.len() as f64
+            })
+            .unwrap_or(0.0);
+        let leg = (frac + SIMPLEX_LEG_OVERSHOOT * mean_dist).min(1.0);
+        let union = n * (1.0 - (1.0 - leg).powf(d));
+        CostEstimate {
+            index_pages: d * (h + leg * leaf),
+            heap_pages: self.ctx.heap_fetch_pages(union),
+            candidates: d * leg * n,
+        }
+    }
+}
+
 impl AccessMethod for DualDAccess<'_> {
     fn kind(&self) -> MethodKind {
         MethodKind::DualD
@@ -525,23 +584,27 @@ impl AccessMethod for DualDAccess<'_> {
                 heap_pages: self.ctx.heap_fetch_pages(2.0_f64.min(c)),
                 candidates: c,
             }
-        } else if self.index.points().nearest_grid(slope).is_some() {
-            // d-dimensional T2: single tree, two disjoint sweeps.
-            let c = 1.2 * frac * self.ctx.n as f64;
+        } else if let Some(cell) = self.index.points().nearest_grid(slope) {
+            // d-dimensional T2: one descent, two disjoint handicap-guided
+            // sweeps over one tree. The whole-cell handicaps admit an extra
+            // band of near-boundary tuples sized by the cell's slope-space
+            // extent — additive in n, per-cell (boundary cells are clipped
+            // smaller) — not the fixed 2-D strip factor.
+            let band: f64 = self
+                .index
+                .points()
+                .cell_widths(cell)
+                .map(|ws| ws.iter().map(|w| w / 2.0).sum())
+                .unwrap_or(0.0);
+            let covered = (frac + T2_CELL_OVERSHOOT * band).min(1.0);
+            let c = covered * self.ctx.n as f64;
             CostEstimate {
-                index_pages: h + 1.2 * frac * leaf,
+                index_pages: h + covered * leaf,
                 heap_pages: self.ctx.heap_fetch_pages(c),
                 candidates: c,
             }
         } else {
-            // Simplex covering: d searches against d different trees.
-            let d = self.index.dim() as f64;
-            let c = d * frac * self.ctx.n as f64;
-            CostEstimate {
-                index_pages: d * (h + frac * leaf),
-                heap_pages: self.ctx.heap_fetch_pages(c),
-                candidates: c,
-            }
+            self.simplex_estimate(sel, frac)
         }
     }
 

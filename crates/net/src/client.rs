@@ -1,0 +1,310 @@
+//! Blocking client for the `cdb` wire protocol.
+//!
+//! One [`Client`] is one TCP session: connect performs the versioned
+//! handshake, every call sends one request frame and blocks for its
+//! response frame, pairing by request id. Typed helpers mirror the engine
+//! facade; [`Client::call`] exposes the raw request/response layer for
+//! anything else.
+
+use std::io::Write as _;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use cdb_core::query::{QueryResult, Selection, Strategy};
+use cdb_core::DbStats;
+use cdb_geometry::tuple::GeneralizedTuple;
+use cdb_storage::codec::{read_frame, write_frame, FrameError, DEFAULT_MAX_FRAME};
+
+use crate::proto::{
+    decode_greeting, decode_response, encode_hello, encode_request, HandshakeStatus, NetError,
+    Request, RequestEnvelope, Response, WireQueryResult, WireRecoveryReport, PROTOCOL_VERSION,
+};
+
+/// A connected wire-protocol session.
+pub struct Client {
+    stream: TcpStream,
+    next_id: u64,
+    deadline_ms: u32,
+}
+
+impl Client {
+    /// Connects and performs the handshake: read the server's greeting
+    /// (refusals — overloaded, shutting down, version skew — surface as
+    /// typed errors), then send our hello.
+    ///
+    /// # Errors
+    /// [`NetError::Transport`] for socket/frame failures,
+    /// [`NetError::Overloaded`] / [`NetError::ShuttingDown`] /
+    /// [`NetError::VersionMismatch`] when the server refuses the session.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, NetError> {
+        let stream = TcpStream::connect(addr).map_err(transport)?;
+        stream.set_nodelay(true).map_err(transport)?;
+        let mut client = Client {
+            stream,
+            next_id: 1,
+            deadline_ms: 0,
+        };
+        let greeting = client.read_payload()?;
+        let (server_version, status) = decode_greeting(&greeting)
+            .map_err(|e| NetError::Transport(format!("bad greeting: {e}")))?;
+        match status {
+            HandshakeStatus::Ok => {}
+            HandshakeStatus::Overloaded => return Err(NetError::Overloaded),
+            HandshakeStatus::ShuttingDown => return Err(NetError::ShuttingDown),
+            HandshakeStatus::VersionMismatch => {
+                return Err(NetError::VersionMismatch { server_version })
+            }
+        }
+        if server_version != PROTOCOL_VERSION {
+            return Err(NetError::VersionMismatch { server_version });
+        }
+        client.write_payload(&encode_hello(PROTOCOL_VERSION))?;
+        Ok(client)
+    }
+
+    /// Sets the relative deadline attached to every subsequent request,
+    /// in milliseconds (0 = none).
+    pub fn set_deadline_ms(&mut self, ms: u32) {
+        self.deadline_ms = ms;
+    }
+
+    /// Bounds how long a single call may block on the socket (dead-server
+    /// detection). `None` restores indefinite blocking.
+    ///
+    /// # Errors
+    /// [`NetError::Transport`] when the socket option cannot be set.
+    pub fn set_io_timeout(&mut self, timeout: Option<Duration>) -> Result<(), NetError> {
+        self.stream.set_read_timeout(timeout).map_err(transport)?;
+        self.stream.set_write_timeout(timeout).map_err(transport)
+    }
+
+    fn write_payload(&mut self, payload: &[u8]) -> Result<(), NetError> {
+        write_frame(&mut self.stream, payload).map_err(transport)?;
+        self.stream.flush().map_err(transport)
+    }
+
+    fn read_payload(&mut self) -> Result<Vec<u8>, NetError> {
+        match read_frame(&mut self.stream, DEFAULT_MAX_FRAME) {
+            Ok(p) => Ok(p),
+            Err(FrameError::Closed) => {
+                Err(NetError::Transport("server closed the connection".into()))
+            }
+            Err(FrameError::Corrupt(e)) => Err(NetError::Transport(format!("corrupt frame: {e}"))),
+            Err(FrameError::Io(e)) => Err(transport(e)),
+        }
+    }
+
+    /// Sends one request and blocks for its response.
+    ///
+    /// # Errors
+    /// Any [`NetError`] the server answers with, or
+    /// [`NetError::Transport`] when the session itself fails.
+    pub fn call(&mut self, request: Request) -> Result<Response, NetError> {
+        let env = RequestEnvelope {
+            request_id: self.next_id,
+            deadline_ms: self.deadline_ms,
+            request,
+        };
+        self.next_id += 1;
+        self.write_payload(&encode_request(&env))?;
+        let payload = self.read_payload()?;
+        let (id, outcome) = decode_response(&payload)
+            .map_err(|e| NetError::Transport(format!("bad response: {e}")))?;
+        if id != env.request_id {
+            return Err(NetError::Transport(format!(
+                "response id {id} does not match request id {}",
+                env.request_id
+            )));
+        }
+        outcome
+    }
+
+    fn expect_unit(&mut self, request: Request) -> Result<(), NetError> {
+        match self.call(request)? {
+            Response::Unit => Ok(()),
+            other => Err(protocol_violation(&other)),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), NetError> {
+        self.expect_unit(Request::Ping)
+    }
+
+    /// Creates a relation of the given dimension.
+    pub fn create_relation(&mut self, relation: &str, dim: u32) -> Result<(), NetError> {
+        self.expect_unit(Request::CreateRelation {
+            relation: relation.into(),
+            dim,
+        })
+    }
+
+    /// Drops a relation and frees its pages.
+    pub fn drop_relation(&mut self, relation: &str) -> Result<(), NetError> {
+        self.expect_unit(Request::DropRelation {
+            relation: relation.into(),
+        })
+    }
+
+    /// Inserts a tuple; returns its assigned id.
+    pub fn insert(&mut self, relation: &str, tuple: GeneralizedTuple) -> Result<u32, NetError> {
+        match self.call(Request::Insert {
+            relation: relation.into(),
+            tuple,
+        })? {
+            Response::Inserted(id) => Ok(id),
+            other => Err(protocol_violation(&other)),
+        }
+    }
+
+    /// Deletes a tuple; returns the removed tuple.
+    pub fn delete(&mut self, relation: &str, id: u32) -> Result<GeneralizedTuple, NetError> {
+        match self.call(Request::Delete {
+            relation: relation.into(),
+            id,
+        })? {
+            Response::Tuple(t) => Ok(t),
+            other => Err(protocol_violation(&other)),
+        }
+    }
+
+    /// Builds the 2-D dual index over an explicit slope set.
+    pub fn build_dual(&mut self, relation: &str, slopes: Vec<f64>) -> Result<(), NetError> {
+        self.expect_unit(Request::BuildDual {
+            relation: relation.into(),
+            slopes,
+        })
+    }
+
+    /// Builds the d-dimensional dual index over a regular slope grid.
+    pub fn build_dual_d(
+        &mut self,
+        relation: &str,
+        per_axis: u32,
+        range: f64,
+    ) -> Result<(), NetError> {
+        self.expect_unit(Request::BuildDualD {
+            relation: relation.into(),
+            per_axis,
+            range,
+        })
+    }
+
+    /// Packs the R⁺-tree baseline at the given fill factor.
+    pub fn build_rplus(&mut self, relation: &str, fill: f64) -> Result<(), NetError> {
+        self.expect_unit(Request::BuildRPlus {
+            relation: relation.into(),
+            fill,
+        })
+    }
+
+    /// Runs an ALL/EXIST selection with the given strategy.
+    pub fn query(
+        &mut self,
+        relation: &str,
+        selection: Selection,
+        strategy: Strategy,
+    ) -> Result<QueryResult, NetError> {
+        match self.call(Request::Query {
+            relation: relation.into(),
+            selection,
+            strategy,
+        })? {
+            Response::Query(WireQueryResult { ids, stats }) => Ok(QueryResult::new(ids, stats)),
+            other => Err(protocol_violation(&other)),
+        }
+    }
+
+    /// EXPLAIN ANALYZE: returns the rendered report and the executed
+    /// result.
+    pub fn explain(
+        &mut self,
+        relation: &str,
+        selection: Selection,
+    ) -> Result<(String, QueryResult), NetError> {
+        match self.call(Request::Explain {
+            relation: relation.into(),
+            selection,
+        })? {
+            Response::Explain { rendered, result } => {
+                let WireQueryResult { ids, stats } = result;
+                Ok((rendered, QueryResult::new(ids, stats)))
+            }
+            other => Err(protocol_violation(&other)),
+        }
+    }
+
+    /// Equality (line) query: EXIST tuples intersecting `y = a·x + c`, or
+    /// ALL tuples lying entirely on it.
+    pub fn query_line(
+        &mut self,
+        relation: &str,
+        kind: cdb_core::query::SelectionKind,
+        a: f64,
+        c: f64,
+    ) -> Result<QueryResult, NetError> {
+        match self.call(Request::QueryLine {
+            relation: relation.into(),
+            kind,
+            a,
+            c,
+        })? {
+            Response::Query(WireQueryResult { ids, stats }) => Ok(QueryResult::new(ids, stats)),
+            other => Err(protocol_violation(&other)),
+        }
+    }
+
+    /// Fetches a stored tuple by id.
+    pub fn fetch_tuple(&mut self, relation: &str, id: u32) -> Result<GeneralizedTuple, NetError> {
+        match self.call(Request::FetchTuple {
+            relation: relation.into(),
+            id,
+        })? {
+            Response::Tuple(t) => Ok(t),
+            other => Err(protocol_violation(&other)),
+        }
+    }
+
+    /// Relation names, sorted.
+    pub fn relations(&mut self) -> Result<Vec<String>, NetError> {
+        match self.call(Request::ListRelations)? {
+            Response::Relations(names) => Ok(names),
+            other => Err(protocol_violation(&other)),
+        }
+    }
+
+    /// Engine statistics snapshot.
+    pub fn stats(&mut self) -> Result<DbStats, NetError> {
+        match self.call(Request::Stats)? {
+            Response::Stats(s) => Ok(s),
+            other => Err(protocol_violation(&other)),
+        }
+    }
+
+    /// Online page-verification report.
+    pub fn fsck(&mut self) -> Result<WireRecoveryReport, NetError> {
+        match self.call(Request::Fsck)? {
+            Response::Fsck(rep) => Ok(rep),
+            other => Err(protocol_violation(&other)),
+        }
+    }
+
+    /// Forces a durable checkpoint.
+    pub fn checkpoint(&mut self) -> Result<(), NetError> {
+        self.expect_unit(Request::Checkpoint)
+    }
+
+    /// Asks the server to shut down gracefully (drain, checkpoint, exit).
+    /// The acknowledgement arrives before the server exits.
+    pub fn shutdown(&mut self) -> Result<(), NetError> {
+        self.expect_unit(Request::Shutdown)
+    }
+}
+
+fn transport(e: std::io::Error) -> NetError {
+    NetError::Transport(e.to_string())
+}
+
+fn protocol_violation(got: &Response) -> NetError {
+    NetError::Transport(format!("unexpected response variant: {got:?}"))
+}

@@ -1,0 +1,33 @@
+//! `cdb-net` — wire protocol and threaded query server for the constraint
+//! database.
+//!
+//! The engine so far is a library: PR 1 made the whole query path `&self`
+//! over a shared snapshot, the planner unified every access method behind
+//! one facade, and the storage layer made the on-disk state durable and
+//! self-healing. This crate adds the serving layer the north star assumes:
+//!
+//! * [`proto`] — a dependency-free, length-prefixed binary protocol built
+//!   from the same fallible record codec and CRC-32 framing the durable
+//!   catalog uses ([`cdb_storage::write_frame`] / [`cdb_storage::read_frame`]),
+//!   with a versioned handshake, request ids, typed frames for every engine
+//!   operation, and structured [`cdb_core::CdbError`] transport so
+//!   `Quarantined` / `Degraded` / `ReadOnly` survive the wire;
+//! * [`server`] — a [`std::net::TcpListener`] accept loop feeding a fixed
+//!   pool of session workers that share one [`cdb_core::ConstraintDb`]
+//!   behind an `RwLock`: reads run concurrently on the existing `&self`
+//!   query path, writes serialize through a single writer lane with
+//!   periodic checkpoints, admission control answers overload with an
+//!   explicit frame instead of queueing without bound, and shutdown drains
+//!   in-flight requests and checkpoints before exit;
+//! * [`client`] — a blocking client speaking the same protocol, used by the
+//!   `cdb-client` binary and the shell's `connect` command.
+//!
+//! Everything is `std`-only: no async runtime, no serialization crates.
+
+pub mod client;
+pub mod proto;
+pub mod server;
+
+pub use client::Client;
+pub use proto::{NetError, Request, Response, PROTOCOL_VERSION};
+pub use server::{Server, ServerConfig, ShutdownHandle};

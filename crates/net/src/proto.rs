@@ -1,0 +1,1353 @@
+//! The `cdb` wire protocol: typed requests/responses over crc-framed
+//! record payloads.
+//!
+//! Every message is one frame ([`cdb_storage::write_frame`] /
+//! [`cdb_storage::read_frame`]: `[len u32][payload][crc32 u32]`), whose
+//! payload is encoded with the same fallible [`RecordWriter`] /
+//! [`RecordReader`] codec the durable catalog uses — little-endian,
+//! length-prefixed strings, explicit tags. Decoding therefore *fails*
+//! (never panics, never over-allocates) on torn, malicious or
+//! version-skewed bytes, exactly like catalog reads.
+//!
+//! Connection lifecycle:
+//!
+//! 1. **Greeting** (server → client, immediately on accept):
+//!    `[magic "CDBN"][version u16][status u8]`. A non-zero status
+//!    (version-mismatch / overloaded / shutting-down) means the server is
+//!    refusing the session and will close the socket.
+//! 2. **Hello** (client → server): `[magic "CDBN"][version u16]`. The
+//!    server verifies magic and version before serving any request.
+//! 3. **Requests** (client → server):
+//!    `[request_id u64][deadline_ms u32][op u8][op body]`. `deadline_ms`
+//!    is relative to receipt; 0 means no deadline.
+//! 4. **Responses** (server → client):
+//!    `[request_id u64][status u8][body]` where status 0 carries a tagged
+//!    [`Response`] and any other status carries a [`NetError`] body. The
+//!    request id is echoed verbatim.
+//!
+//! Structured errors survive the wire: every [`CdbError`] variant —
+//! including `Quarantined`, `ReadOnly` and `CorruptRecord` — has a stable
+//! tag, so a client can distinguish "your query is wrong" from "the
+//! relation is quarantined" without parsing message strings.
+
+use cdb_core::plan::{CostEstimate, MethodKind};
+use cdb_core::query::{QueryResult, QueryStats, Selection, SelectionKind, Strategy};
+use cdb_core::{CdbError, DbStats, RelationHealth, RelationStats};
+use cdb_geometry::constraint::RelOp;
+use cdb_geometry::halfplane::HalfPlane;
+use cdb_geometry::tuple::GeneralizedTuple;
+use cdb_storage::{CodecError, IoStats, PagerRecovery, RecordReader, RecordWriter};
+
+/// Protocol magic, first bytes of both greeting and hello.
+pub const MAGIC: [u8; 4] = *b"CDBN";
+
+/// Protocol version spoken by this build. Bumped on any frame-layout or
+/// tag change; the handshake refuses mismatched peers.
+pub const PROTOCOL_VERSION: u16 = 1;
+
+/// Handshake verdict carried by the server's greeting.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HandshakeStatus {
+    /// Session admitted; requests may follow.
+    Ok,
+    /// The server speaks a different protocol version.
+    VersionMismatch,
+    /// Admission control refused the session (connection limit or request
+    /// queue full). Retry later.
+    Overloaded,
+    /// The server is draining for shutdown and accepts no new sessions.
+    ShuttingDown,
+}
+
+impl HandshakeStatus {
+    fn tag(self) -> u8 {
+        match self {
+            HandshakeStatus::Ok => 0,
+            HandshakeStatus::VersionMismatch => 1,
+            HandshakeStatus::Overloaded => 2,
+            HandshakeStatus::ShuttingDown => 3,
+        }
+    }
+
+    fn from_tag(t: u8) -> Result<Self, CodecError> {
+        Ok(match t {
+            0 => HandshakeStatus::Ok,
+            1 => HandshakeStatus::VersionMismatch,
+            2 => HandshakeStatus::Overloaded,
+            3 => HandshakeStatus::ShuttingDown,
+            _ => return Err(CodecError::Invalid("handshake status tag")),
+        })
+    }
+}
+
+/// Encodes the server's greeting payload.
+pub fn encode_greeting(version: u16, status: HandshakeStatus) -> Vec<u8> {
+    let mut w = RecordWriter::new();
+    w.put_bytes(&MAGIC);
+    w.put_u16(version);
+    w.put_u8(status.tag());
+    w.into_bytes()
+}
+
+/// Decodes a greeting payload into `(server_version, status)`.
+pub fn decode_greeting(buf: &[u8]) -> Result<(u16, HandshakeStatus), CodecError> {
+    let mut r = RecordReader::new(buf);
+    if r.get_bytes()? != MAGIC {
+        return Err(CodecError::Invalid("greeting magic"));
+    }
+    let version = r.get_u16()?;
+    let status = HandshakeStatus::from_tag(r.get_u8()?)?;
+    expect_end(&r)?;
+    Ok((version, status))
+}
+
+/// Encodes the client's hello payload.
+pub fn encode_hello(version: u16) -> Vec<u8> {
+    let mut w = RecordWriter::new();
+    w.put_bytes(&MAGIC);
+    w.put_u16(version);
+    w.into_bytes()
+}
+
+/// Decodes a hello payload into the client's version.
+pub fn decode_hello(buf: &[u8]) -> Result<u16, CodecError> {
+    let mut r = RecordReader::new(buf);
+    if r.get_bytes()? != MAGIC {
+        return Err(CodecError::Invalid("hello magic"));
+    }
+    let version = r.get_u16()?;
+    expect_end(&r)?;
+    Ok(version)
+}
+
+/// One operation a client can ask the server to perform. Mirrors the
+/// engine facade (and through it, every `cdb` shell command).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Liveness probe; answered with [`Response::Unit`].
+    Ping,
+    /// `ConstraintDb::create_relation`.
+    CreateRelation {
+        /// Relation name.
+        relation: String,
+        /// Tuple dimension.
+        dim: u32,
+    },
+    /// `ConstraintDb::drop_relation`.
+    DropRelation {
+        /// Relation name.
+        relation: String,
+    },
+    /// `ConstraintDb::insert`; answered with [`Response::Inserted`].
+    Insert {
+        /// Target relation.
+        relation: String,
+        /// The tuple to store.
+        tuple: GeneralizedTuple,
+    },
+    /// `ConstraintDb::delete`; answered with the removed tuple.
+    Delete {
+        /// Target relation.
+        relation: String,
+        /// Tuple id.
+        id: u32,
+    },
+    /// `ConstraintDb::build_dual_index` over an explicit slope set.
+    BuildDual {
+        /// Target relation.
+        relation: String,
+        /// Slopes of `S` (≥ 2 distinct finite values).
+        slopes: Vec<f64>,
+    },
+    /// `ConstraintDb::build_dual_index_d` over a regular slope grid.
+    BuildDualD {
+        /// Target relation.
+        relation: String,
+        /// Grid points per slope axis (≥ 2).
+        per_axis: u32,
+        /// Grid half-extent per axis.
+        range: f64,
+    },
+    /// `ConstraintDb::build_rplus_index`.
+    BuildRPlus {
+        /// Target relation.
+        relation: String,
+        /// Packing fill factor.
+        fill: f64,
+    },
+    /// `ConstraintDb::query_with`; answered with [`Response::Query`].
+    Query {
+        /// Target relation.
+        relation: String,
+        /// The ALL/EXIST half-plane selection.
+        selection: Selection,
+        /// Execution strategy (`Auto` = planner).
+        strategy: Strategy,
+    },
+    /// `ConstraintDb::explain`; answered with the rendered report plus the
+    /// executed result.
+    Explain {
+        /// Target relation.
+        relation: String,
+        /// The selection to plan and execute.
+        selection: Selection,
+    },
+    /// `ConstraintDb::exist_line` / `all_line` — the paper's equality
+    /// (line) query convenience; answered with [`Response::Query`].
+    QueryLine {
+        /// Target relation.
+        relation: String,
+        /// EXIST (intersects the line) or ALL (lies on the line).
+        kind: SelectionKind,
+        /// Line slope in `y = a·x + c`.
+        a: f64,
+        /// Line intercept in `y = a·x + c`.
+        c: f64,
+    },
+    /// `ConstraintDb::fetch_tuple`; answered with [`Response::Tuple`].
+    FetchTuple {
+        /// Target relation.
+        relation: String,
+        /// Tuple id.
+        id: u32,
+    },
+    /// `ConstraintDb::relation_names`.
+    ListRelations,
+    /// `ConstraintDb::stats_snapshot`.
+    Stats,
+    /// `ConstraintDb::verify_now` — online page verification.
+    Fsck,
+    /// `ConstraintDb::checkpoint` — explicit durable commit.
+    Checkpoint,
+    /// Begin graceful shutdown: the server stops admitting sessions,
+    /// drains in-flight requests, checkpoints, and exits.
+    Shutdown,
+}
+
+impl Request {
+    /// `true` when the operation mutates the database and must go through
+    /// the server's single writer lane.
+    pub fn is_write(&self) -> bool {
+        matches!(
+            self,
+            Request::CreateRelation { .. }
+                | Request::DropRelation { .. }
+                | Request::Insert { .. }
+                | Request::Delete { .. }
+                | Request::BuildDual { .. }
+                | Request::BuildDualD { .. }
+                | Request::BuildRPlus { .. }
+                | Request::Checkpoint
+        )
+    }
+
+    /// Operation name for logs and metrics.
+    pub fn op_name(&self) -> &'static str {
+        match self {
+            Request::Ping => "ping",
+            Request::CreateRelation { .. } => "create",
+            Request::DropRelation { .. } => "drop",
+            Request::Insert { .. } => "insert",
+            Request::Delete { .. } => "delete",
+            Request::BuildDual { .. } => "index",
+            Request::BuildDualD { .. } => "index-d",
+            Request::BuildRPlus { .. } => "rplus",
+            Request::Query { .. } => "query",
+            Request::Explain { .. } => "explain",
+            Request::QueryLine { .. } => "line",
+            Request::FetchTuple { .. } => "show",
+            Request::ListRelations => "relations",
+            Request::Stats => "stats",
+            Request::Fsck => "fsck",
+            Request::Checkpoint => "checkpoint",
+            Request::Shutdown => "shutdown",
+        }
+    }
+}
+
+/// A request frame: id, relative deadline, operation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RequestEnvelope {
+    /// Client-chosen id, echoed verbatim in the response.
+    pub request_id: u64,
+    /// Relative deadline in milliseconds from server receipt; 0 = none.
+    pub deadline_ms: u32,
+    /// The operation.
+    pub request: Request,
+}
+
+/// Successful response bodies, tagged so the decoder is self-describing.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// Acknowledgement with no payload.
+    Unit,
+    /// Id assigned by an insert.
+    Inserted(u32),
+    /// A stored tuple (delete returns the removed one, show a fetched one).
+    Tuple(GeneralizedTuple),
+    /// Query outcome: matching ids plus full cost accounting.
+    Query(WireQueryResult),
+    /// EXPLAIN ANALYZE outcome: rendered report plus the executed result.
+    Explain {
+        /// The report as rendered by `ExplainReport::render`.
+        rendered: String,
+        /// The executed query result.
+        result: WireQueryResult,
+    },
+    /// Relation names, sorted.
+    Relations(Vec<String>),
+    /// Engine statistics snapshot.
+    Stats(DbStats),
+    /// Online verification report.
+    Fsck(WireRecoveryReport),
+}
+
+/// A [`QueryResult`] in transportable form: ids are sorted and unique
+/// (validated on decode), stats carry the full planner accounting.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WireQueryResult {
+    /// Matching tuple ids, ascending.
+    pub ids: Vec<u32>,
+    /// Execution statistics, including method and estimate when planned.
+    pub stats: QueryStats,
+}
+
+impl From<&QueryResult> for WireQueryResult {
+    fn from(r: &QueryResult) -> Self {
+        WireQueryResult {
+            ids: r.ids().to_vec(),
+            stats: r.stats,
+        }
+    }
+}
+
+/// `ConstraintDb::verify_now` report in transportable form.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WireRecoveryReport {
+    /// Header recovery performed at open.
+    pub pager: PagerRecovery,
+    /// `(relation, health)` pairs, sorted by name.
+    pub relations: Vec<(String, RelationHealth)>,
+}
+
+/// Failure responses. `Db` carries the engine's structured error; the
+/// rest are conditions of the serving layer itself.
+#[derive(Clone, Debug, PartialEq)]
+pub enum NetError {
+    /// The engine refused the operation.
+    Db(CdbError),
+    /// Admission control refused the request (queue full). Retry later.
+    Overloaded,
+    /// The request's deadline expired before execution began.
+    DeadlineExceeded,
+    /// The request frame failed to decode; the session is closed.
+    Malformed(String),
+    /// The server is draining for shutdown.
+    ShuttingDown,
+    /// Handshake failure: the server speaks `server_version`.
+    VersionMismatch {
+        /// Version advertised by the server's greeting.
+        server_version: u16,
+    },
+    /// Client-side transport failure (connection reset, frame corruption).
+    /// Never sent over the wire.
+    Transport(String),
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Db(e) => write!(f, "{e}"),
+            NetError::Overloaded => write!(f, "server overloaded, retry later"),
+            NetError::DeadlineExceeded => write!(f, "request deadline exceeded"),
+            NetError::Malformed(m) => write!(f, "malformed request: {m}"),
+            NetError::ShuttingDown => write!(f, "server is shutting down"),
+            NetError::VersionMismatch { server_version } => {
+                write!(
+                    f,
+                    "protocol version mismatch: server speaks v{server_version}, client v{PROTOCOL_VERSION}"
+                )
+            }
+            NetError::Transport(m) => write!(f, "transport failure: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+// --------------------------------------------------------------- tag tables
+
+fn strategy_tag(s: Strategy) -> u8 {
+    match s {
+        Strategy::Restricted => 0,
+        Strategy::T1 => 1,
+        Strategy::T2 => 2,
+        Strategy::Auto => 3,
+        Strategy::Scan => 4,
+        Strategy::RPlus => 5,
+    }
+}
+
+fn strategy_from_tag(t: u8) -> Result<Strategy, CodecError> {
+    Ok(match t {
+        0 => Strategy::Restricted,
+        1 => Strategy::T1,
+        2 => Strategy::T2,
+        3 => Strategy::Auto,
+        4 => Strategy::Scan,
+        5 => Strategy::RPlus,
+        _ => return Err(CodecError::Invalid("strategy tag")),
+    })
+}
+
+fn method_tag(m: MethodKind) -> u8 {
+    match m {
+        MethodKind::Restricted => 0,
+        MethodKind::T1 => 1,
+        MethodKind::T2 => 2,
+        MethodKind::DualD => 3,
+        MethodKind::SeqScan => 4,
+        MethodKind::RPlus => 5,
+    }
+}
+
+fn method_from_tag(t: u8) -> Result<MethodKind, CodecError> {
+    Ok(match t {
+        0 => MethodKind::Restricted,
+        1 => MethodKind::T1,
+        2 => MethodKind::T2,
+        3 => MethodKind::DualD,
+        4 => MethodKind::SeqScan,
+        5 => MethodKind::RPlus,
+        _ => return Err(CodecError::Invalid("method tag")),
+    })
+}
+
+// ----------------------------------------------------------- field helpers
+
+fn expect_end(r: &RecordReader<'_>) -> Result<(), CodecError> {
+    if r.remaining() != 0 {
+        return Err(CodecError::Invalid("trailing bytes"));
+    }
+    Ok(())
+}
+
+fn get_finite_f64(r: &mut RecordReader<'_>) -> Result<f64, CodecError> {
+    let v = r.get_f64()?;
+    if !v.is_finite() {
+        return Err(CodecError::Invalid("non-finite coefficient"));
+    }
+    Ok(v)
+}
+
+/// Reads a count-prefixed vector without trusting the count for
+/// allocation: elements are pushed as their bytes actually arrive, so a
+/// forged count fails with `Truncated` after at most the real buffer.
+fn get_counted<T>(
+    r: &mut RecordReader<'_>,
+    mut read: impl FnMut(&mut RecordReader<'_>) -> Result<T, CodecError>,
+) -> Result<Vec<T>, CodecError> {
+    let n = r.get_u32()? as usize;
+    let mut v = Vec::new();
+    for _ in 0..n {
+        v.push(read(r)?);
+    }
+    Ok(v)
+}
+
+fn put_halfplane(w: &mut RecordWriter, h: &HalfPlane) {
+    w.put_u8(match h.op {
+        RelOp::Le => 0,
+        RelOp::Ge => 1,
+    });
+    w.put_f64(h.intercept);
+    w.put_u32(h.slope.len() as u32);
+    for &s in &h.slope {
+        w.put_f64(s);
+    }
+}
+
+fn get_halfplane(r: &mut RecordReader<'_>) -> Result<HalfPlane, CodecError> {
+    let op = match r.get_u8()? {
+        0 => RelOp::Le,
+        1 => RelOp::Ge,
+        _ => return Err(CodecError::Invalid("relop tag")),
+    };
+    let intercept = get_finite_f64(r)?;
+    let slope = get_counted(r, get_finite_f64)?;
+    // Coefficients are finite by construction above, so `new` cannot panic.
+    Ok(HalfPlane::new(slope, intercept, op))
+}
+
+fn put_selection(w: &mut RecordWriter, s: &Selection) {
+    w.put_u8(match s.kind {
+        SelectionKind::All => 0,
+        SelectionKind::Exist => 1,
+    });
+    put_halfplane(w, &s.halfplane);
+}
+
+fn get_selection(r: &mut RecordReader<'_>) -> Result<Selection, CodecError> {
+    let kind = match r.get_u8()? {
+        0 => SelectionKind::All,
+        1 => SelectionKind::Exist,
+        _ => return Err(CodecError::Invalid("selection kind tag")),
+    };
+    let halfplane = get_halfplane(r)?;
+    Ok(Selection { kind, halfplane })
+}
+
+fn put_tuple(w: &mut RecordWriter, t: &GeneralizedTuple) {
+    w.put_bytes(&t.encode());
+}
+
+fn get_tuple(r: &mut RecordReader<'_>) -> Result<GeneralizedTuple, CodecError> {
+    GeneralizedTuple::decode(r.get_bytes()?).ok_or(CodecError::Invalid("tuple bytes"))
+}
+
+fn put_iostats(w: &mut RecordWriter, s: &IoStats) {
+    w.put_u64(s.reads);
+    w.put_u64(s.writes);
+    w.put_u64(s.allocations);
+    w.put_u64(s.frees);
+}
+
+fn get_iostats(r: &mut RecordReader<'_>) -> Result<IoStats, CodecError> {
+    Ok(IoStats {
+        reads: r.get_u64()?,
+        writes: r.get_u64()?,
+        allocations: r.get_u64()?,
+        frees: r.get_u64()?,
+    })
+}
+
+fn put_query_stats(w: &mut RecordWriter, s: &QueryStats) {
+    put_iostats(w, &s.index_io);
+    put_iostats(w, &s.heap_io);
+    w.put_u64(s.candidates);
+    w.put_u64(s.duplicates);
+    w.put_u64(s.false_hits);
+    w.put_u64(s.accepted_by_key);
+    match s.method {
+        None => w.put_u8(0),
+        Some(m) => {
+            w.put_u8(1);
+            w.put_u8(method_tag(m));
+        }
+    }
+    match &s.estimate {
+        None => w.put_u8(0),
+        Some(e) => {
+            w.put_u8(1);
+            w.put_f64(e.index_pages);
+            w.put_f64(e.heap_pages);
+            w.put_f64(e.candidates);
+        }
+    }
+}
+
+fn get_query_stats(r: &mut RecordReader<'_>) -> Result<QueryStats, CodecError> {
+    let index_io = get_iostats(r)?;
+    let heap_io = get_iostats(r)?;
+    let candidates = r.get_u64()?;
+    let duplicates = r.get_u64()?;
+    let false_hits = r.get_u64()?;
+    let accepted_by_key = r.get_u64()?;
+    let method = match r.get_u8()? {
+        0 => None,
+        1 => Some(method_from_tag(r.get_u8()?)?),
+        _ => return Err(CodecError::Invalid("method option tag")),
+    };
+    let estimate = match r.get_u8()? {
+        0 => None,
+        1 => Some(CostEstimate {
+            index_pages: r.get_f64()?,
+            heap_pages: r.get_f64()?,
+            candidates: r.get_f64()?,
+        }),
+        _ => return Err(CodecError::Invalid("estimate option tag")),
+    };
+    Ok(QueryStats {
+        index_io,
+        heap_io,
+        candidates,
+        duplicates,
+        false_hits,
+        accepted_by_key,
+        method,
+        estimate,
+    })
+}
+
+fn put_wire_result(w: &mut RecordWriter, res: &WireQueryResult) {
+    w.put_u32(res.ids.len() as u32);
+    for &id in &res.ids {
+        w.put_u32(id);
+    }
+    put_query_stats(w, &res.stats);
+}
+
+fn get_wire_result(r: &mut RecordReader<'_>) -> Result<WireQueryResult, CodecError> {
+    let ids = get_counted(r, |r| r.get_u32())?;
+    if ids.windows(2).any(|w| w[0] >= w[1]) {
+        return Err(CodecError::Invalid("result ids not sorted-unique"));
+    }
+    let stats = get_query_stats(r)?;
+    Ok(WireQueryResult { ids, stats })
+}
+
+fn put_health(w: &mut RecordWriter, h: &RelationHealth) {
+    match h {
+        RelationHealth::Healthy => w.put_u8(0),
+        RelationHealth::Degraded { corrupt_indexes } => {
+            w.put_u8(1);
+            w.put_u32(corrupt_indexes.len() as u32);
+            for c in corrupt_indexes {
+                w.put_str(c);
+            }
+        }
+        RelationHealth::Quarantined { detail } => {
+            w.put_u8(2);
+            w.put_str(detail);
+        }
+    }
+}
+
+fn get_health(r: &mut RecordReader<'_>) -> Result<RelationHealth, CodecError> {
+    Ok(match r.get_u8()? {
+        0 => RelationHealth::Healthy,
+        1 => RelationHealth::Degraded {
+            corrupt_indexes: get_counted(r, |r| Ok(r.get_str()?.to_string()))?,
+        },
+        2 => RelationHealth::Quarantined {
+            detail: r.get_str()?.to_string(),
+        },
+        _ => return Err(CodecError::Invalid("health tag")),
+    })
+}
+
+fn put_pager_recovery(w: &mut RecordWriter, p: &PagerRecovery) {
+    match p {
+        PagerRecovery::Clean => w.put_u8(0),
+        PagerRecovery::FellBack {
+            recovered_epoch,
+            lost_epoch,
+        } => {
+            w.put_u8(1);
+            w.put_u32(*recovered_epoch);
+            w.put_u32(*lost_epoch);
+        }
+    }
+}
+
+fn get_pager_recovery(r: &mut RecordReader<'_>) -> Result<PagerRecovery, CodecError> {
+    Ok(match r.get_u8()? {
+        0 => PagerRecovery::Clean,
+        1 => PagerRecovery::FellBack {
+            recovered_epoch: r.get_u32()?,
+            lost_epoch: r.get_u32()?,
+        },
+        _ => return Err(CodecError::Invalid("pager recovery tag")),
+    })
+}
+
+fn put_db_stats(w: &mut RecordWriter, s: &DbStats) {
+    w.put_u32(s.relations.len() as u32);
+    for rel in &s.relations {
+        w.put_str(&rel.name);
+        w.put_u32(rel.dim as u32);
+        w.put_u64(rel.live);
+        w.put_u64(rel.heap_pages);
+        w.put_u64(rel.total_pages);
+        w.put_u32(rel.indexes.len() as u32);
+        for i in &rel.indexes {
+            w.put_str(i);
+        }
+        put_health(w, &rel.health);
+    }
+    w.put_u64(s.live_pages);
+    put_iostats(w, &s.io);
+    w.put_u8(u8::from(s.read_only));
+}
+
+fn get_db_stats(r: &mut RecordReader<'_>) -> Result<DbStats, CodecError> {
+    let relations = get_counted(r, |r| {
+        Ok(RelationStats {
+            name: r.get_str()?.to_string(),
+            dim: r.get_u32()? as usize,
+            live: r.get_u64()?,
+            heap_pages: r.get_u64()?,
+            total_pages: r.get_u64()?,
+            indexes: get_counted(r, |r| Ok(r.get_str()?.to_string()))?,
+            health: get_health(r)?,
+        })
+    })?;
+    let live_pages = r.get_u64()?;
+    let io = get_iostats(r)?;
+    let read_only = match r.get_u8()? {
+        0 => false,
+        1 => true,
+        _ => return Err(CodecError::Invalid("read-only flag")),
+    };
+    Ok(DbStats {
+        relations,
+        live_pages,
+        io,
+        read_only,
+    })
+}
+
+// ------------------------------------------------------- request envelope
+
+const OP_PING: u8 = 0;
+const OP_CREATE: u8 = 1;
+const OP_DROP: u8 = 2;
+const OP_INSERT: u8 = 3;
+const OP_DELETE: u8 = 4;
+const OP_BUILD_DUAL: u8 = 5;
+const OP_BUILD_DUAL_D: u8 = 6;
+const OP_BUILD_RPLUS: u8 = 7;
+const OP_QUERY: u8 = 8;
+const OP_EXPLAIN: u8 = 9;
+const OP_FETCH: u8 = 10;
+const OP_RELATIONS: u8 = 11;
+const OP_STATS: u8 = 12;
+const OP_FSCK: u8 = 13;
+const OP_CHECKPOINT: u8 = 14;
+const OP_SHUTDOWN: u8 = 15;
+const OP_QUERY_LINE: u8 = 16;
+
+/// Encodes a request envelope into a frame payload.
+pub fn encode_request(env: &RequestEnvelope) -> Vec<u8> {
+    let mut w = RecordWriter::new();
+    w.put_u64(env.request_id);
+    w.put_u32(env.deadline_ms);
+    match &env.request {
+        Request::Ping => w.put_u8(OP_PING),
+        Request::CreateRelation { relation, dim } => {
+            w.put_u8(OP_CREATE);
+            w.put_str(relation);
+            w.put_u32(*dim);
+        }
+        Request::DropRelation { relation } => {
+            w.put_u8(OP_DROP);
+            w.put_str(relation);
+        }
+        Request::Insert { relation, tuple } => {
+            w.put_u8(OP_INSERT);
+            w.put_str(relation);
+            put_tuple(&mut w, tuple);
+        }
+        Request::Delete { relation, id } => {
+            w.put_u8(OP_DELETE);
+            w.put_str(relation);
+            w.put_u32(*id);
+        }
+        Request::BuildDual { relation, slopes } => {
+            w.put_u8(OP_BUILD_DUAL);
+            w.put_str(relation);
+            w.put_u32(slopes.len() as u32);
+            for &s in slopes {
+                w.put_f64(s);
+            }
+        }
+        Request::BuildDualD {
+            relation,
+            per_axis,
+            range,
+        } => {
+            w.put_u8(OP_BUILD_DUAL_D);
+            w.put_str(relation);
+            w.put_u32(*per_axis);
+            w.put_f64(*range);
+        }
+        Request::BuildRPlus { relation, fill } => {
+            w.put_u8(OP_BUILD_RPLUS);
+            w.put_str(relation);
+            w.put_f64(*fill);
+        }
+        Request::Query {
+            relation,
+            selection,
+            strategy,
+        } => {
+            w.put_u8(OP_QUERY);
+            w.put_str(relation);
+            w.put_u8(strategy_tag(*strategy));
+            put_selection(&mut w, selection);
+        }
+        Request::Explain {
+            relation,
+            selection,
+        } => {
+            w.put_u8(OP_EXPLAIN);
+            w.put_str(relation);
+            put_selection(&mut w, selection);
+        }
+        Request::QueryLine {
+            relation,
+            kind,
+            a,
+            c,
+        } => {
+            w.put_u8(OP_QUERY_LINE);
+            w.put_str(relation);
+            w.put_u8(match kind {
+                SelectionKind::All => 0,
+                SelectionKind::Exist => 1,
+            });
+            w.put_f64(*a);
+            w.put_f64(*c);
+        }
+        Request::FetchTuple { relation, id } => {
+            w.put_u8(OP_FETCH);
+            w.put_str(relation);
+            w.put_u32(*id);
+        }
+        Request::ListRelations => w.put_u8(OP_RELATIONS),
+        Request::Stats => w.put_u8(OP_STATS),
+        Request::Fsck => w.put_u8(OP_FSCK),
+        Request::Checkpoint => w.put_u8(OP_CHECKPOINT),
+        Request::Shutdown => w.put_u8(OP_SHUTDOWN),
+    }
+    w.into_bytes()
+}
+
+/// Decodes a request frame payload.
+pub fn decode_request(buf: &[u8]) -> Result<RequestEnvelope, CodecError> {
+    let mut r = RecordReader::new(buf);
+    let request_id = r.get_u64()?;
+    let deadline_ms = r.get_u32()?;
+    let op = r.get_u8()?;
+    let request = match op {
+        OP_PING => Request::Ping,
+        OP_CREATE => Request::CreateRelation {
+            relation: r.get_str()?.to_string(),
+            dim: r.get_u32()?,
+        },
+        OP_DROP => Request::DropRelation {
+            relation: r.get_str()?.to_string(),
+        },
+        OP_INSERT => Request::Insert {
+            relation: r.get_str()?.to_string(),
+            tuple: get_tuple(&mut r)?,
+        },
+        OP_DELETE => Request::Delete {
+            relation: r.get_str()?.to_string(),
+            id: r.get_u32()?,
+        },
+        OP_BUILD_DUAL => Request::BuildDual {
+            relation: r.get_str()?.to_string(),
+            slopes: get_counted(&mut r, get_finite_f64)?,
+        },
+        OP_BUILD_DUAL_D => Request::BuildDualD {
+            relation: r.get_str()?.to_string(),
+            per_axis: r.get_u32()?,
+            range: get_finite_f64(&mut r)?,
+        },
+        OP_BUILD_RPLUS => Request::BuildRPlus {
+            relation: r.get_str()?.to_string(),
+            fill: get_finite_f64(&mut r)?,
+        },
+        OP_QUERY => {
+            let relation = r.get_str()?.to_string();
+            let strategy = strategy_from_tag(r.get_u8()?)?;
+            let selection = get_selection(&mut r)?;
+            Request::Query {
+                relation,
+                selection,
+                strategy,
+            }
+        }
+        OP_EXPLAIN => Request::Explain {
+            relation: r.get_str()?.to_string(),
+            selection: get_selection(&mut r)?,
+        },
+        OP_QUERY_LINE => Request::QueryLine {
+            relation: r.get_str()?.to_string(),
+            kind: match r.get_u8()? {
+                0 => SelectionKind::All,
+                1 => SelectionKind::Exist,
+                _ => return Err(CodecError::Invalid("selection kind tag")),
+            },
+            a: get_finite_f64(&mut r)?,
+            c: get_finite_f64(&mut r)?,
+        },
+        OP_FETCH => Request::FetchTuple {
+            relation: r.get_str()?.to_string(),
+            id: r.get_u32()?,
+        },
+        OP_RELATIONS => Request::ListRelations,
+        OP_STATS => Request::Stats,
+        OP_FSCK => Request::Fsck,
+        OP_CHECKPOINT => Request::Checkpoint,
+        OP_SHUTDOWN => Request::Shutdown,
+        _ => return Err(CodecError::Invalid("request op tag")),
+    };
+    expect_end(&r)?;
+    Ok(RequestEnvelope {
+        request_id,
+        deadline_ms,
+        request,
+    })
+}
+
+// ------------------------------------------------------ response envelope
+
+const STATUS_OK: u8 = 0;
+const STATUS_DB: u8 = 1;
+const STATUS_OVERLOADED: u8 = 2;
+const STATUS_DEADLINE: u8 = 3;
+const STATUS_MALFORMED: u8 = 4;
+const STATUS_SHUTTING_DOWN: u8 = 5;
+const STATUS_VERSION: u8 = 6;
+
+const RESP_UNIT: u8 = 0;
+const RESP_INSERTED: u8 = 1;
+const RESP_TUPLE: u8 = 2;
+const RESP_QUERY: u8 = 3;
+const RESP_EXPLAIN: u8 = 4;
+const RESP_RELATIONS: u8 = 5;
+const RESP_STATS: u8 = 6;
+const RESP_FSCK: u8 = 7;
+
+const DBERR_NOT_FOUND: u8 = 0;
+const DBERR_EXISTS: u8 = 1;
+const DBERR_DIM: u8 = 2;
+const DBERR_UNSAT: u8 = 3;
+const DBERR_NO_TUPLE: u8 = 4;
+const DBERR_NO_INDEX: u8 = 5;
+const DBERR_UNSUPPORTED: u8 = 6;
+const DBERR_CORRUPT: u8 = 7;
+const DBERR_IO: u8 = 8;
+const DBERR_QUARANTINED: u8 = 9;
+const DBERR_READ_ONLY: u8 = 10;
+
+fn put_db_error(w: &mut RecordWriter, e: &CdbError) {
+    match e {
+        CdbError::RelationNotFound(n) => {
+            w.put_u8(DBERR_NOT_FOUND);
+            w.put_str(n);
+        }
+        CdbError::RelationExists(n) => {
+            w.put_u8(DBERR_EXISTS);
+            w.put_str(n);
+        }
+        CdbError::DimensionMismatch { expected, got } => {
+            w.put_u8(DBERR_DIM);
+            w.put_u32(*expected as u32);
+            w.put_u32(*got as u32);
+        }
+        CdbError::UnsatisfiableTuple => w.put_u8(DBERR_UNSAT),
+        CdbError::NoSuchTuple(id) => {
+            w.put_u8(DBERR_NO_TUPLE);
+            w.put_u32(*id);
+        }
+        CdbError::NoIndex(n) => {
+            w.put_u8(DBERR_NO_INDEX);
+            w.put_str(n);
+        }
+        CdbError::UnsupportedQuery(m) => {
+            w.put_u8(DBERR_UNSUPPORTED);
+            w.put_str(m);
+        }
+        CdbError::CorruptRecord(id) => {
+            w.put_u8(DBERR_CORRUPT);
+            w.put_u32(*id);
+        }
+        CdbError::Io(m) => {
+            w.put_u8(DBERR_IO);
+            w.put_str(m);
+        }
+        CdbError::Quarantined(n) => {
+            w.put_u8(DBERR_QUARANTINED);
+            w.put_str(n);
+        }
+        CdbError::ReadOnly => w.put_u8(DBERR_READ_ONLY),
+    }
+}
+
+fn get_db_error(r: &mut RecordReader<'_>) -> Result<CdbError, CodecError> {
+    Ok(match r.get_u8()? {
+        DBERR_NOT_FOUND => CdbError::RelationNotFound(r.get_str()?.to_string()),
+        DBERR_EXISTS => CdbError::RelationExists(r.get_str()?.to_string()),
+        DBERR_DIM => CdbError::DimensionMismatch {
+            expected: r.get_u32()? as usize,
+            got: r.get_u32()? as usize,
+        },
+        DBERR_UNSAT => CdbError::UnsatisfiableTuple,
+        DBERR_NO_TUPLE => CdbError::NoSuchTuple(r.get_u32()?),
+        DBERR_NO_INDEX => CdbError::NoIndex(r.get_str()?.to_string()),
+        DBERR_UNSUPPORTED => CdbError::UnsupportedQuery(r.get_str()?.to_string()),
+        DBERR_CORRUPT => CdbError::CorruptRecord(r.get_u32()?),
+        DBERR_IO => CdbError::Io(r.get_str()?.to_string()),
+        DBERR_QUARANTINED => CdbError::Quarantined(r.get_str()?.to_string()),
+        DBERR_READ_ONLY => CdbError::ReadOnly,
+        _ => return Err(CodecError::Invalid("db error tag")),
+    })
+}
+
+/// Encodes a response frame payload: `Ok(response)` or `Err(error)` for
+/// the given request id.
+pub fn encode_response(request_id: u64, outcome: &Result<Response, NetError>) -> Vec<u8> {
+    let mut w = RecordWriter::new();
+    w.put_u64(request_id);
+    match outcome {
+        Ok(resp) => {
+            w.put_u8(STATUS_OK);
+            match resp {
+                Response::Unit => w.put_u8(RESP_UNIT),
+                Response::Inserted(id) => {
+                    w.put_u8(RESP_INSERTED);
+                    w.put_u32(*id);
+                }
+                Response::Tuple(t) => {
+                    w.put_u8(RESP_TUPLE);
+                    put_tuple(&mut w, t);
+                }
+                Response::Query(res) => {
+                    w.put_u8(RESP_QUERY);
+                    put_wire_result(&mut w, res);
+                }
+                Response::Explain { rendered, result } => {
+                    w.put_u8(RESP_EXPLAIN);
+                    w.put_str(rendered);
+                    put_wire_result(&mut w, result);
+                }
+                Response::Relations(names) => {
+                    w.put_u8(RESP_RELATIONS);
+                    w.put_u32(names.len() as u32);
+                    for n in names {
+                        w.put_str(n);
+                    }
+                }
+                Response::Stats(s) => {
+                    w.put_u8(RESP_STATS);
+                    put_db_stats(&mut w, s);
+                }
+                Response::Fsck(rep) => {
+                    w.put_u8(RESP_FSCK);
+                    put_pager_recovery(&mut w, &rep.pager);
+                    w.put_u32(rep.relations.len() as u32);
+                    for (name, health) in &rep.relations {
+                        w.put_str(name);
+                        put_health(&mut w, health);
+                    }
+                }
+            }
+        }
+        Err(err) => match err {
+            NetError::Db(e) => {
+                w.put_u8(STATUS_DB);
+                put_db_error(&mut w, e);
+            }
+            NetError::Overloaded => w.put_u8(STATUS_OVERLOADED),
+            NetError::DeadlineExceeded => w.put_u8(STATUS_DEADLINE),
+            NetError::Malformed(m) => {
+                w.put_u8(STATUS_MALFORMED);
+                w.put_str(m);
+            }
+            NetError::ShuttingDown => w.put_u8(STATUS_SHUTTING_DOWN),
+            NetError::VersionMismatch { server_version } => {
+                w.put_u8(STATUS_VERSION);
+                w.put_u16(*server_version);
+            }
+            NetError::Transport(_) => {
+                // Transport failures describe the client's own socket;
+                // encode defensively as a malformed-session close.
+                w.put_u8(STATUS_MALFORMED);
+                w.put_str("transport error");
+            }
+        },
+    }
+    w.into_bytes()
+}
+
+/// Decodes a response frame payload into `(request_id, outcome)`.
+pub fn decode_response(buf: &[u8]) -> Result<(u64, Result<Response, NetError>), CodecError> {
+    let mut r = RecordReader::new(buf);
+    let request_id = r.get_u64()?;
+    let status = r.get_u8()?;
+    let outcome = match status {
+        STATUS_OK => Ok(match r.get_u8()? {
+            RESP_UNIT => Response::Unit,
+            RESP_INSERTED => Response::Inserted(r.get_u32()?),
+            RESP_TUPLE => Response::Tuple(get_tuple(&mut r)?),
+            RESP_QUERY => Response::Query(get_wire_result(&mut r)?),
+            RESP_EXPLAIN => Response::Explain {
+                rendered: r.get_str()?.to_string(),
+                result: get_wire_result(&mut r)?,
+            },
+            RESP_RELATIONS => {
+                Response::Relations(get_counted(&mut r, |r| Ok(r.get_str()?.to_string()))?)
+            }
+            RESP_STATS => Response::Stats(get_db_stats(&mut r)?),
+            RESP_FSCK => {
+                let pager = get_pager_recovery(&mut r)?;
+                let relations =
+                    get_counted(&mut r, |r| Ok((r.get_str()?.to_string(), get_health(r)?)))?;
+                Response::Fsck(WireRecoveryReport { pager, relations })
+            }
+            _ => return Err(CodecError::Invalid("response tag")),
+        }),
+        STATUS_DB => Err(NetError::Db(get_db_error(&mut r)?)),
+        STATUS_OVERLOADED => Err(NetError::Overloaded),
+        STATUS_DEADLINE => Err(NetError::DeadlineExceeded),
+        STATUS_MALFORMED => Err(NetError::Malformed(r.get_str()?.to_string())),
+        STATUS_SHUTTING_DOWN => Err(NetError::ShuttingDown),
+        STATUS_VERSION => Err(NetError::VersionMismatch {
+            server_version: r.get_u16()?,
+        }),
+        _ => return Err(CodecError::Invalid("response status tag")),
+    };
+    expect_end(&r)?;
+    Ok((request_id, outcome))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdb_geometry::constraint::LinearConstraint;
+
+    fn sample_tuple() -> GeneralizedTuple {
+        GeneralizedTuple::new(vec![
+            LinearConstraint::new(vec![0.0, 1.0], -1.0, RelOp::Ge),
+            LinearConstraint::new(vec![0.0, 1.0], 3.0, RelOp::Le),
+            LinearConstraint::new(vec![1.0, 1.0], 5.0, RelOp::Le),
+        ])
+    }
+
+    fn roundtrip_request(req: Request) {
+        let env = RequestEnvelope {
+            request_id: 42,
+            deadline_ms: 250,
+            request: req,
+        };
+        let bytes = encode_request(&env);
+        assert_eq!(decode_request(&bytes).unwrap(), env);
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        roundtrip_request(Request::Ping);
+        roundtrip_request(Request::CreateRelation {
+            relation: "r".into(),
+            dim: 3,
+        });
+        roundtrip_request(Request::DropRelation {
+            relation: "r".into(),
+        });
+        roundtrip_request(Request::Insert {
+            relation: "r".into(),
+            tuple: sample_tuple(),
+        });
+        roundtrip_request(Request::Delete {
+            relation: "r".into(),
+            id: 7,
+        });
+        roundtrip_request(Request::BuildDual {
+            relation: "r".into(),
+            slopes: vec![-1.0, 0.5, 2.0],
+        });
+        roundtrip_request(Request::BuildDualD {
+            relation: "r".into(),
+            per_axis: 3,
+            range: 2.0,
+        });
+        roundtrip_request(Request::BuildRPlus {
+            relation: "r".into(),
+            fill: 0.7,
+        });
+        roundtrip_request(Request::Query {
+            relation: "r".into(),
+            selection: Selection::exist(HalfPlane::above(0.3, -5.0)),
+            strategy: Strategy::Auto,
+        });
+        roundtrip_request(Request::Explain {
+            relation: "r".into(),
+            selection: Selection::all(HalfPlane::new(vec![0.1, -0.2], 1.0, RelOp::Le)),
+        });
+        roundtrip_request(Request::QueryLine {
+            relation: "r".into(),
+            kind: SelectionKind::Exist,
+            a: 0.5,
+            c: 2.0,
+        });
+        roundtrip_request(Request::FetchTuple {
+            relation: "r".into(),
+            id: 9,
+        });
+        roundtrip_request(Request::ListRelations);
+        roundtrip_request(Request::Stats);
+        roundtrip_request(Request::Fsck);
+        roundtrip_request(Request::Checkpoint);
+        roundtrip_request(Request::Shutdown);
+    }
+
+    fn roundtrip_outcome(outcome: Result<Response, NetError>) {
+        let bytes = encode_response(7, &outcome);
+        let (id, got) = decode_response(&bytes).unwrap();
+        assert_eq!(id, 7);
+        assert_eq!(got, outcome);
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        roundtrip_outcome(Ok(Response::Unit));
+        roundtrip_outcome(Ok(Response::Inserted(11)));
+        roundtrip_outcome(Ok(Response::Tuple(sample_tuple())));
+        let stats = QueryStats {
+            index_io: IoStats {
+                reads: 5,
+                ..IoStats::default()
+            },
+            heap_io: IoStats {
+                reads: 3,
+                ..IoStats::default()
+            },
+            candidates: 9,
+            duplicates: 1,
+            false_hits: 2,
+            accepted_by_key: 0,
+            method: Some(MethodKind::T2),
+            estimate: Some(CostEstimate {
+                index_pages: 4.5,
+                heap_pages: 2.5,
+                candidates: 8.0,
+            }),
+        };
+        roundtrip_outcome(Ok(Response::Query(WireQueryResult {
+            ids: vec![1, 4, 9],
+            stats,
+        })));
+        roundtrip_outcome(Ok(Response::Explain {
+            rendered: "plan ...".into(),
+            result: WireQueryResult {
+                ids: vec![],
+                stats: QueryStats::default(),
+            },
+        }));
+        roundtrip_outcome(Ok(Response::Relations(vec!["a".into(), "b".into()])));
+        roundtrip_outcome(Ok(Response::Stats(DbStats {
+            relations: vec![RelationStats {
+                name: "r".into(),
+                dim: 2,
+                live: 100,
+                heap_pages: 7,
+                total_pages: 19,
+                indexes: vec!["dual".into(), "rplus".into()],
+                health: RelationHealth::Degraded {
+                    corrupt_indexes: vec!["rplus".into()],
+                },
+            }],
+            live_pages: 20,
+            io: IoStats {
+                reads: 1,
+                writes: 2,
+                allocations: 3,
+                frees: 0,
+            },
+            read_only: true,
+        })));
+        roundtrip_outcome(Ok(Response::Fsck(WireRecoveryReport {
+            pager: PagerRecovery::FellBack {
+                recovered_epoch: 4,
+                lost_epoch: 5,
+            },
+            relations: vec![
+                ("a".into(), RelationHealth::Healthy),
+                (
+                    "b".into(),
+                    RelationHealth::Quarantined {
+                        detail: "heap page 3".into(),
+                    },
+                ),
+            ],
+        })));
+    }
+
+    #[test]
+    fn every_db_error_survives_the_wire() {
+        let errors = vec![
+            CdbError::RelationNotFound("r".into()),
+            CdbError::RelationExists("r".into()),
+            CdbError::DimensionMismatch {
+                expected: 2,
+                got: 3,
+            },
+            CdbError::UnsatisfiableTuple,
+            CdbError::NoSuchTuple(5),
+            CdbError::NoIndex("r".into()),
+            CdbError::UnsupportedQuery("vertical".into()),
+            CdbError::CorruptRecord(cdb_core::CATALOG_RECORD),
+            CdbError::Io("disk gone".into()),
+            CdbError::Quarantined("r".into()),
+            CdbError::ReadOnly,
+        ];
+        for e in errors {
+            roundtrip_outcome(Err(NetError::Db(e)));
+        }
+        roundtrip_outcome(Err(NetError::Overloaded));
+        roundtrip_outcome(Err(NetError::DeadlineExceeded));
+        roundtrip_outcome(Err(NetError::Malformed("bad tag".into())));
+        roundtrip_outcome(Err(NetError::ShuttingDown));
+        roundtrip_outcome(Err(NetError::VersionMismatch { server_version: 2 }));
+    }
+
+    #[test]
+    fn handshake_round_trips_and_rejects_bad_magic() {
+        let g = encode_greeting(PROTOCOL_VERSION, HandshakeStatus::Ok);
+        assert_eq!(
+            decode_greeting(&g).unwrap(),
+            (PROTOCOL_VERSION, HandshakeStatus::Ok)
+        );
+        let h = encode_hello(PROTOCOL_VERSION);
+        assert_eq!(decode_hello(&h).unwrap(), PROTOCOL_VERSION);
+        let mut bad = h.clone();
+        bad[4] ^= 0xFF; // corrupt the magic bytes (after the length prefix)
+        assert!(decode_hello(&bad).is_err());
+    }
+
+    #[test]
+    fn non_finite_coefficients_are_rejected() {
+        // Hand-craft a query whose intercept is NaN: the decoder must fail
+        // cleanly instead of constructing a HalfPlane (whose constructor
+        // would panic).
+        let mut w = RecordWriter::new();
+        w.put_u64(1);
+        w.put_u32(0);
+        w.put_u8(OP_QUERY);
+        w.put_str("r");
+        w.put_u8(strategy_tag(Strategy::Auto));
+        w.put_u8(1); // Exist
+        w.put_u8(1); // Ge
+        w.put_f64(f64::NAN);
+        w.put_u32(1);
+        w.put_f64(0.5);
+        assert!(decode_request(&w.into_bytes()).is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut bytes = encode_request(&RequestEnvelope {
+            request_id: 1,
+            deadline_ms: 0,
+            request: Request::Ping,
+        });
+        bytes.push(0);
+        assert!(decode_request(&bytes).is_err());
+    }
+
+    #[test]
+    fn unsorted_result_ids_are_rejected() {
+        let mut w = RecordWriter::new();
+        w.put_u64(1);
+        w.put_u8(STATUS_OK);
+        w.put_u8(RESP_QUERY);
+        w.put_u32(2);
+        w.put_u32(9);
+        w.put_u32(3);
+        put_query_stats(&mut w, &QueryStats::default());
+        assert!(decode_response(&w.into_bytes()).is_err());
+    }
+}

@@ -1,0 +1,570 @@
+//! The threaded query server: one shared [`ConstraintDb`], many sessions.
+//!
+//! ## Architecture
+//!
+//! ```text
+//!            accept loop (non-blocking, polls shutdown flag)
+//!                 │  greeting + admission control
+//!                 ▼
+//!        channel of admitted sockets ──► N session workers
+//!                                          │ reads: RwLock::read  ──►  &self query path
+//!                                          │ writes: bounded lane ──►  single writer thread
+//!                                          ▼                             RwLock::write +
+//!                                     response frames                    periodic checkpoint
+//! ```
+//!
+//! * **Reads run concurrently.** Query/EXPLAIN/stats/fsck execute under a
+//!   shared read lock on the engine — the `&self` snapshot read path built
+//!   in PR 1 does the rest.
+//! * **Writes serialize through one lane.** Mutations are `try_send`-ed
+//!   into a bounded queue consumed by a dedicated writer thread; a full
+//!   queue answers [`NetError::Overloaded`] instead of growing without
+//!   bound. The writer checkpoints every `checkpoint_every` successful
+//!   mutations, so a crash loses at most that window (and recovery falls
+//!   back to the last durable commit, PR 3/4's guarantee).
+//! * **Admission control.** At most `max_connections` admitted sessions at
+//!   a time; beyond that the greeting itself says
+//!   [`HandshakeStatus::Overloaded`] and the socket is closed.
+//! * **Deadlines.** Each request carries a relative deadline; it is
+//!   checked before execution starts (reads) and again when the writer
+//!   dequeues the job — an expired request answers
+//!   [`NetError::DeadlineExceeded`] without touching the engine.
+//! * **Graceful shutdown.** The `Shutdown` op (or a [`ShutdownHandle`])
+//!   raises a flag: the accept loop refuses new sessions, session workers
+//!   finish the request in flight and close, the writer drains its queue,
+//!   and [`Server::run`] takes a final checkpoint before returning the
+//!   engine.
+
+use std::io::Write as _;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc, Mutex, RwLock};
+use std::time::{Duration, Instant};
+
+use cdb_core::db::ConstraintDb;
+use cdb_core::slopes::SlopeSet;
+use cdb_core::CdbError;
+use cdb_storage::codec::{read_frame, write_frame, FrameError, DEFAULT_MAX_FRAME};
+
+use crate::proto::{
+    decode_hello, decode_request, encode_greeting, encode_response, HandshakeStatus, NetError,
+    Request, Response, WireRecoveryReport, PROTOCOL_VERSION,
+};
+
+/// How often idle sessions and the accept loop re-check the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(100);
+/// Patience for the rest of a frame once its first byte has arrived.
+const FRAME_TIMEOUT: Duration = Duration::from_secs(30);
+/// Patience for the client's hello after the greeting.
+const HELLO_TIMEOUT: Duration = Duration::from_secs(10);
+/// Patience for response writes (a stalled client should not pin a worker).
+const WRITE_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Tunables of the serving layer.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerConfig {
+    /// Session worker threads (concurrent sessions actually served).
+    pub workers: usize,
+    /// Admitted-session ceiling; beyond it the greeting answers
+    /// `Overloaded` and the socket closes.
+    pub max_connections: usize,
+    /// Depth of the bounded writer lane; a full lane answers `Overloaded`.
+    pub write_queue: usize,
+    /// Checkpoint after this many successful mutations.
+    pub checkpoint_every: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 4,
+            max_connections: 64,
+            write_queue: 64,
+            checkpoint_every: 64,
+        }
+    }
+}
+
+/// Raises the server's shutdown flag from outside a session (signal
+/// handlers, tests). Requesting shutdown is idempotent.
+#[derive(Clone, Debug)]
+pub struct ShutdownHandle(Arc<AtomicBool>);
+
+impl ShutdownHandle {
+    /// Begins graceful shutdown: stop admitting, drain, checkpoint, exit.
+    pub fn shutdown(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_shutting_down(&self) -> bool {
+        self.0.load(Ordering::SeqCst)
+    }
+}
+
+/// A mutation queued for the single writer lane.
+struct WriteJob {
+    request: Request,
+    deadline: Option<Instant>,
+    reply: mpsc::Sender<Result<Response, NetError>>,
+}
+
+/// State shared by the accept loop, session workers and the writer.
+struct Shared {
+    db: RwLock<ConstraintDb>,
+    shutdown: Arc<AtomicBool>,
+    /// Admitted sessions not yet finished (accept-loop admission control).
+    active_sessions: AtomicUsize,
+}
+
+/// The server: a bound listener plus the shared engine. [`Server::run`]
+/// blocks until graceful shutdown completes and returns the engine.
+pub struct Server {
+    listener: TcpListener,
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+    config: ServerConfig,
+}
+
+impl Server {
+    /// Binds a listener and wraps the engine for serving. Pass port 0 for
+    /// an ephemeral port and read it back with [`local_addr`].
+    ///
+    /// [`local_addr`]: Server::local_addr
+    ///
+    /// # Errors
+    /// [`CdbError::Io`] when the address cannot be bound.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        db: ConstraintDb,
+        config: ServerConfig,
+    ) -> Result<Server, CdbError> {
+        let listener = TcpListener::bind(addr).map_err(CdbError::from)?;
+        let local_addr = listener.local_addr().map_err(CdbError::from)?;
+        Ok(Server {
+            listener,
+            local_addr,
+            shared: Arc::new(Shared {
+                db: RwLock::new(db),
+                shutdown: Arc::new(AtomicBool::new(false)),
+                active_sessions: AtomicUsize::new(0),
+            }),
+            config,
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// A handle that can request shutdown from another thread.
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle(Arc::clone(&self.shared.shutdown))
+    }
+
+    /// Serves until shutdown is requested (by a `Shutdown` request or a
+    /// [`ShutdownHandle`]), then drains in-flight work, takes a final
+    /// checkpoint and returns the engine.
+    ///
+    /// # Errors
+    /// [`CdbError::Io`] when the final checkpoint fails; everything served
+    /// before the last successful checkpoint is still durable.
+    pub fn run(self) -> Result<ConstraintDb, CdbError> {
+        let Server {
+            listener,
+            shared,
+            config,
+            ..
+        } = self;
+        listener.set_nonblocking(true).map_err(CdbError::from)?;
+
+        // Writer lane: bounded job queue into one writer thread.
+        let (write_tx, write_rx) = mpsc::sync_channel::<WriteJob>(config.write_queue.max(1));
+        let writer = {
+            let shared = Arc::clone(&shared);
+            let every = config.checkpoint_every.max(1);
+            std::thread::spawn(move || writer_loop(&shared, &write_rx, every))
+        };
+
+        // Session workers: a fixed pool draining admitted sockets.
+        let (conn_tx, conn_rx) = mpsc::channel::<TcpStream>();
+        let conn_rx = Arc::new(Mutex::new(conn_rx));
+        let workers: Vec<_> = (0..config.workers.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                let conn_rx = Arc::clone(&conn_rx);
+                let write_tx = write_tx.clone();
+                std::thread::spawn(move || loop {
+                    let next = conn_rx.lock().unwrap_or_else(|e| e.into_inner()).recv();
+                    match next {
+                        Ok(stream) => {
+                            serve_session(&shared, &write_tx, stream);
+                            shared.active_sessions.fetch_sub(1, Ordering::SeqCst);
+                        }
+                        Err(_) => return, // accept loop gone: drain complete
+                    }
+                })
+            })
+            .collect();
+
+        // Accept loop: greet, admit or refuse, hand off.
+        while !shared.shutdown.load(Ordering::SeqCst) {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let admitted =
+                        shared.active_sessions.load(Ordering::SeqCst) < config.max_connections;
+                    let status = if !admitted {
+                        HandshakeStatus::Overloaded
+                    } else {
+                        HandshakeStatus::Ok
+                    };
+                    if greet(&stream, status).is_err() || !admitted {
+                        continue; // refused or unreachable: drop the socket
+                    }
+                    shared.active_sessions.fetch_add(1, Ordering::SeqCst);
+                    if conn_tx.send(stream).is_err() {
+                        shared.active_sessions.fetch_sub(1, Ordering::SeqCst);
+                        break; // workers gone — nothing left to serve with
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(POLL_INTERVAL);
+                }
+                Err(_) => std::thread::sleep(POLL_INTERVAL),
+            }
+        }
+
+        // Refuse the sockets the OS already queued, then drain.
+        while let Ok((stream, _)) = listener.accept() {
+            let _ = greet(&stream, HandshakeStatus::ShuttingDown);
+        }
+        drop(conn_tx); // workers finish queued sessions, then exit
+        for w in workers {
+            let _ = w.join();
+        }
+        drop(write_tx); // writer drains remaining jobs, then exits
+        let _ = writer.join();
+
+        let shared =
+            Arc::try_unwrap(shared).unwrap_or_else(|_| unreachable!("all server threads joined"));
+        let mut db = shared.db.into_inner().unwrap_or_else(|e| e.into_inner());
+        db.checkpoint()?;
+        Ok(db)
+    }
+}
+
+/// Sends the greeting frame on a fresh socket (with a write timeout so a
+/// wedged peer cannot pin the accept loop).
+fn greet(stream: &TcpStream, status: HandshakeStatus) -> std::io::Result<()> {
+    stream.set_write_timeout(Some(WRITE_TIMEOUT))?;
+    let mut s = stream;
+    write_frame(&mut s, &encode_greeting(PROTOCOL_VERSION, status))?;
+    s.flush()
+}
+
+fn would_block(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
+fn respond(
+    stream: &mut TcpStream,
+    request_id: u64,
+    outcome: &Result<Response, NetError>,
+) -> std::io::Result<()> {
+    write_frame(stream, &encode_response(request_id, outcome))?;
+    stream.flush()
+}
+
+/// Serves one admitted session to completion. All transport failures end
+/// the session silently — the peer is gone or out of sync; the engine's
+/// state is untouched by transport trouble.
+fn serve_session(shared: &Shared, write_tx: &SyncSender<WriteJob>, mut stream: TcpStream) {
+    let _ = session_loop(shared, write_tx, &mut stream);
+}
+
+fn session_loop(
+    shared: &Shared,
+    write_tx: &SyncSender<WriteJob>,
+    stream: &mut TcpStream,
+) -> std::io::Result<()> {
+    stream.set_nodelay(true)?;
+    stream.set_write_timeout(Some(WRITE_TIMEOUT))?;
+
+    // Hello: verify the peer speaks our protocol before serving anything.
+    stream.set_read_timeout(Some(HELLO_TIMEOUT))?;
+    let hello = match read_frame(stream, DEFAULT_MAX_FRAME) {
+        Ok(p) => p,
+        Err(_) => return Ok(()),
+    };
+    match decode_hello(&hello) {
+        Ok(v) if v == PROTOCOL_VERSION => {}
+        Ok(_) => {
+            let _ = respond(
+                stream,
+                0,
+                &Err(NetError::VersionMismatch {
+                    server_version: PROTOCOL_VERSION,
+                }),
+            );
+            return Ok(());
+        }
+        Err(e) => {
+            let _ = respond(stream, 0, &Err(NetError::Malformed(e.to_string())));
+            return Ok(());
+        }
+    }
+
+    loop {
+        // Idle poll: wait for the first byte of a frame without consuming
+        // it, so the shutdown flag is observed between requests and a
+        // timeout can never desynchronize the frame stream.
+        loop {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                return Ok(()); // drained: nothing in flight on this session
+            }
+            stream.set_read_timeout(Some(POLL_INTERVAL))?;
+            let mut probe = [0u8; 1];
+            match stream.peek(&mut probe) {
+                Ok(0) => return Ok(()), // peer hung up
+                Ok(_) => break,
+                Err(e) if would_block(&e) => continue,
+                Err(_) => return Ok(()),
+            }
+        }
+
+        stream.set_read_timeout(Some(FRAME_TIMEOUT))?;
+        let payload = match read_frame(stream, DEFAULT_MAX_FRAME) {
+            Ok(p) => p,
+            Err(FrameError::Closed) => return Ok(()),
+            Err(FrameError::Corrupt(e)) => {
+                // The stream is out of sync; report and close.
+                let _ = respond(stream, 0, &Err(NetError::Malformed(e.to_string())));
+                return Ok(());
+            }
+            Err(FrameError::Io(_)) => return Ok(()),
+        };
+        let env = match decode_request(&payload) {
+            Ok(env) => env,
+            Err(e) => {
+                let _ = respond(stream, 0, &Err(NetError::Malformed(e.to_string())));
+                return Ok(());
+            }
+        };
+        let deadline = (env.deadline_ms > 0)
+            .then(|| Instant::now() + Duration::from_millis(u64::from(env.deadline_ms)));
+
+        let outcome = dispatch(shared, write_tx, env.request, deadline);
+        respond(stream, env.request_id, &outcome)?;
+    }
+}
+
+fn expired(deadline: Option<Instant>) -> bool {
+    deadline.is_some_and(|d| Instant::now() >= d)
+}
+
+fn dispatch(
+    shared: &Shared,
+    write_tx: &SyncSender<WriteJob>,
+    request: Request,
+    deadline: Option<Instant>,
+) -> Result<Response, NetError> {
+    if request == Request::Shutdown {
+        shared.shutdown.store(true, Ordering::SeqCst);
+        return Ok(Response::Unit);
+    }
+    if expired(deadline) {
+        return Err(NetError::DeadlineExceeded);
+    }
+    if request.is_write() {
+        let (reply_tx, reply_rx) = mpsc::channel();
+        let job = WriteJob {
+            request,
+            deadline,
+            reply: reply_tx,
+        };
+        match write_tx.try_send(job) {
+            Ok(()) => reply_rx.recv().unwrap_or(Err(NetError::ShuttingDown)),
+            Err(TrySendError::Full(_)) => Err(NetError::Overloaded),
+            Err(TrySendError::Disconnected(_)) => Err(NetError::ShuttingDown),
+        }
+    } else {
+        let db = shared.db.read().unwrap_or_else(|e| e.into_inner());
+        apply_read(&db, &request)
+    }
+}
+
+/// Executes a read-only request under the shared read lock.
+fn apply_read(db: &ConstraintDb, request: &Request) -> Result<Response, NetError> {
+    match request {
+        Request::Ping => Ok(Response::Unit),
+        Request::Query {
+            relation,
+            selection,
+            strategy,
+        } => db
+            .query_with(relation, selection.clone(), *strategy)
+            .map(|r| Response::Query((&r).into()))
+            .map_err(NetError::Db),
+        Request::Explain {
+            relation,
+            selection,
+        } => db
+            .explain(relation, selection.clone())
+            .map(|rep| Response::Explain {
+                rendered: rep.render(),
+                result: (&rep.result).into(),
+            })
+            .map_err(NetError::Db),
+        Request::QueryLine {
+            relation,
+            kind,
+            a,
+            c,
+        } => {
+            let res = match kind {
+                cdb_core::query::SelectionKind::Exist => db.exist_line(relation, *a, *c),
+                cdb_core::query::SelectionKind::All => db.all_line(relation, *a, *c),
+            };
+            res.map(|r| Response::Query((&r).into()))
+                .map_err(NetError::Db)
+        }
+        Request::FetchTuple { relation, id } => db
+            .fetch_tuple(relation, *id)
+            .map(Response::Tuple)
+            .map_err(NetError::Db),
+        Request::ListRelations => Ok(Response::Relations(db.relation_names())),
+        Request::Stats => Ok(Response::Stats(db.stats_snapshot())),
+        Request::Fsck => {
+            let rep = db.verify_now();
+            Ok(Response::Fsck(WireRecoveryReport {
+                pager: rep.pager,
+                relations: rep.relations,
+            }))
+        }
+        other => Err(NetError::Malformed(format!(
+            "'{}' is not a read operation",
+            other.op_name()
+        ))),
+    }
+}
+
+/// The single writer lane: applies mutations in arrival order under the
+/// write lock, answering each session through its reply channel, and
+/// checkpoints every `checkpoint_every` successful mutations.
+fn writer_loop(shared: &Shared, jobs: &Receiver<WriteJob>, checkpoint_every: u64) {
+    let mut since_checkpoint = 0u64;
+    while let Ok(job) = jobs.recv() {
+        let outcome = if expired(job.deadline) {
+            Err(NetError::DeadlineExceeded)
+        } else {
+            let mut db = shared.db.write().unwrap_or_else(|e| e.into_inner());
+            apply_write(&mut db, job.request)
+        };
+        let mutated = outcome.is_ok();
+        let _ = job.reply.send(outcome); // a vanished session is not an error
+        if mutated {
+            since_checkpoint += 1;
+        }
+        if since_checkpoint >= checkpoint_every {
+            let mut db = shared.db.write().unwrap_or_else(|e| e.into_inner());
+            if let Err(e) = db.checkpoint() {
+                // The op itself succeeded in memory; durability catches up
+                // at the next checkpoint (or degrades to the last commit on
+                // crash — exactly the recovery contract).
+                eprintln!("cdb-server: periodic checkpoint failed: {e}");
+            }
+            since_checkpoint = 0;
+        }
+    }
+    // Queue disconnected: every session is gone. The final checkpoint
+    // happens in Server::run after the writer joins.
+}
+
+/// Applies one mutation under the write lock. Engine preconditions that
+/// would panic (`assert!`s guarding constructor contracts) are validated
+/// here first and answered as errors — a wire peer must never be able to
+/// panic the server.
+fn apply_write(db: &mut ConstraintDb, request: Request) -> Result<Response, NetError> {
+    match request {
+        Request::CreateRelation { relation, dim } => {
+            if dim == 0 {
+                return Err(NetError::Malformed("dimension must be positive".into()));
+            }
+            db.create_relation(&relation, dim as usize)
+                .map(|_| Response::Unit)
+                .map_err(NetError::Db)
+        }
+        Request::DropRelation { relation } => db
+            .drop_relation(&relation)
+            .map(|_| Response::Unit)
+            .map_err(NetError::Db),
+        Request::Insert { relation, tuple } => db
+            .insert(&relation, tuple)
+            .map(Response::Inserted)
+            .map_err(NetError::Db),
+        Request::Delete { relation, id } => db
+            .delete(&relation, id)
+            .map(Response::Tuple)
+            .map_err(NetError::Db),
+        Request::BuildDual { relation, slopes } => {
+            let mut distinct = slopes.clone();
+            distinct.sort_by(|a, b| a.partial_cmp(b).expect("finite by decode"));
+            distinct.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+            if distinct.len() < 2 {
+                return Err(NetError::Malformed(
+                    "a slope set needs at least 2 distinct slopes".into(),
+                ));
+            }
+            db.build_dual_index(&relation, SlopeSet::new(slopes))
+                .map(|_| Response::Unit)
+                .map_err(NetError::Db)
+        }
+        Request::BuildDualD {
+            relation,
+            per_axis,
+            range,
+        } => {
+            if per_axis < 2 {
+                return Err(NetError::Malformed("grid needs per_axis >= 2".into()));
+            }
+            if range <= 0.0 {
+                return Err(NetError::Malformed("grid range must be positive".into()));
+            }
+            let dim = db.relation(&relation).map_err(NetError::Db)?.dim();
+            if dim < 2 {
+                return Err(NetError::Db(CdbError::UnsupportedQuery(
+                    "the d-dimensional dual index needs a relation of dimension >= 2".into(),
+                )));
+            }
+            db.build_dual_index_d(
+                &relation,
+                cdb_core::ddim::SlopePoints::grid(dim, per_axis as usize, range),
+            )
+            .map(|_| Response::Unit)
+            .map_err(NetError::Db)
+        }
+        Request::BuildRPlus { relation, fill } => {
+            if !(0.5..=1.0).contains(&fill) {
+                return Err(NetError::Malformed(
+                    "fill factor must be in [0.5, 1.0]".into(),
+                ));
+            }
+            db.build_rplus_index(&relation, fill)
+                .map(|_| Response::Unit)
+                .map_err(NetError::Db)
+        }
+        Request::Checkpoint => db
+            .checkpoint()
+            .map(|_| Response::Unit)
+            .map_err(NetError::Db),
+        other => Err(NetError::Malformed(format!(
+            "'{}' is not a write operation",
+            other.op_name()
+        ))),
+    }
+}

@@ -230,6 +230,147 @@ impl<'a> RecordReader<'a> {
     }
 }
 
+// ----------------------------------------------------------- frame streaming
+
+/// Largest frame payload [`read_frame`] accepts unless the caller tightens
+/// the limit: 16 MiB, far above any catalog blob or wire message the engine
+/// produces, far below anything that could exhaust memory.
+pub const DEFAULT_MAX_FRAME: usize = 16 << 20;
+
+/// Granularity of the incremental payload reads in [`read_frame`]: memory is
+/// committed as bytes actually arrive, so a length prefix lying about a huge
+/// payload costs at most one chunk before the stream runs dry.
+const FRAME_CHUNK: usize = 64 << 10;
+
+/// Why a streamed frame could not be read.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The stream ended cleanly on a frame boundary (no bytes of a next
+    /// frame had arrived) — a peer hanging up politely, not corruption.
+    Closed,
+    /// The frame is structurally bad: truncated mid-frame, a length prefix
+    /// over the limit, or a checksum mismatch. The stream is out of sync
+    /// and must be dropped.
+    Corrupt(CodecError),
+    /// The underlying reader failed.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Closed => write!(f, "stream closed on a frame boundary"),
+            FrameError::Corrupt(e) => write!(f, "corrupt frame: {e}"),
+            FrameError::Io(e) => write!(f, "i/o error reading frame: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<CodecError> for FrameError {
+    fn from(e: CodecError) -> Self {
+        FrameError::Corrupt(e)
+    }
+}
+
+/// Writes one length-prefixed, checksummed frame:
+/// `[len: u32][payload: len bytes][crc32(payload): u32]`.
+///
+/// The payload is typically [`RecordWriter`] output; the mirror image is
+/// [`read_frame`]. The caller flushes when message boundaries matter.
+pub fn write_frame<W: std::io::Write>(w: &mut W, payload: &[u8]) -> std::io::Result<()> {
+    let len = u32::try_from(payload.len()).expect("frame payload over 4 GiB");
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(payload)?;
+    w.write_all(&crc32(payload).to_le_bytes())?;
+    Ok(())
+}
+
+/// Reads one frame written by [`write_frame`], incrementally and with an
+/// explicit size limit, so a malicious or truncated stream yields
+/// [`FrameError::Corrupt`] — never a panic or an attacker-sized allocation.
+///
+/// * A clean EOF *before any byte* of the frame reads as
+///   [`FrameError::Closed`] (peer done).
+/// * EOF anywhere inside the frame reads as `Corrupt(Truncated)`.
+/// * A length prefix above `max_len` reads as `Corrupt(Invalid)` without
+///   buffering a single payload byte.
+/// * Memory is committed in 64 KiB steps as bytes actually arrive.
+///
+/// `ErrorKind::Interrupted` is retried; every other I/O error (including
+/// read timeouts — `WouldBlock`/`TimedOut`) is surfaced as
+/// [`FrameError::Io`] with whatever was consumed discarded, so callers that
+/// poll with timeouts should only do so *between* frames.
+pub fn read_frame<R: std::io::Read>(r: &mut R, max_len: usize) -> Result<Vec<u8>, FrameError> {
+    let mut len_buf = [0u8; 4];
+    match read_exact_or_eof(r, &mut len_buf)? {
+        ReadOutcome::Eof0 => return Err(FrameError::Closed),
+        ReadOutcome::EofPartial => return Err(FrameError::Corrupt(CodecError::Truncated)),
+        ReadOutcome::Full => {}
+    }
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > max_len {
+        return Err(FrameError::Corrupt(CodecError::Invalid(
+            "frame length exceeds the configured limit",
+        )));
+    }
+    let mut payload = Vec::new();
+    while payload.len() < len {
+        let take = FRAME_CHUNK.min(len - payload.len());
+        let start = payload.len();
+        payload.resize(start + take, 0);
+        match read_exact_or_eof(r, &mut payload[start..])? {
+            ReadOutcome::Full => {}
+            _ => return Err(FrameError::Corrupt(CodecError::Truncated)),
+        }
+    }
+    let mut crc_buf = [0u8; 4];
+    match read_exact_or_eof(r, &mut crc_buf)? {
+        ReadOutcome::Full => {}
+        _ => return Err(FrameError::Corrupt(CodecError::Truncated)),
+    }
+    if crc32(&payload) != u32::from_le_bytes(crc_buf) {
+        return Err(FrameError::Corrupt(CodecError::Invalid(
+            "frame checksum mismatch",
+        )));
+    }
+    Ok(payload)
+}
+
+enum ReadOutcome {
+    /// The buffer was filled.
+    Full,
+    /// EOF before a single byte landed.
+    Eof0,
+    /// EOF after some bytes landed.
+    EofPartial,
+}
+
+/// `read_exact`, but distinguishing clean EOF (0 bytes) from a torn one and
+/// retrying `Interrupted`.
+fn read_exact_or_eof<R: std::io::Read>(
+    r: &mut R,
+    buf: &mut [u8],
+) -> Result<ReadOutcome, FrameError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Ok(if filled == 0 {
+                    ReadOutcome::Eof0
+                } else {
+                    ReadOutcome::EofPartial
+                })
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    Ok(ReadOutcome::Full)
+}
+
 /// IEEE CRC-32 (the ubiquitous reflected 0xEDB88320 polynomial), table-driven.
 ///
 /// Used to checksum the catalog blob and the pager's metadata descriptors so
@@ -436,6 +577,73 @@ mod tests {
         let page = vec![0xA5u8; 64];
         assert!(check_page(&page).is_err());
         assert!(check_page(&[1, 2, 3]).is_err(), "shorter than a trailer");
+    }
+
+    #[test]
+    fn frames_round_trip_in_sequence() {
+        let mut buf = Vec::new();
+        let payloads: Vec<Vec<u8>> = vec![vec![], vec![7], vec![1; 200_000], b"catalog".to_vec()];
+        for p in &payloads {
+            write_frame(&mut buf, p).unwrap();
+        }
+        let mut r = std::io::Cursor::new(buf);
+        for p in &payloads {
+            assert_eq!(&read_frame(&mut r, DEFAULT_MAX_FRAME).unwrap(), p);
+        }
+        assert!(matches!(
+            read_frame(&mut r, DEFAULT_MAX_FRAME),
+            Err(FrameError::Closed)
+        ));
+    }
+
+    #[test]
+    fn oversized_frame_is_rejected_before_buffering() {
+        // A length prefix claiming 1 GiB over an empty stream: the reader
+        // must refuse on the prefix alone, without trying to allocate.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(1u32 << 30).to_le_bytes());
+        let mut r = std::io::Cursor::new(&buf);
+        assert!(matches!(
+            read_frame(&mut r, 1 << 20),
+            Err(FrameError::Corrupt(CodecError::Invalid(_)))
+        ));
+        assert_eq!(r.position(), 4, "no payload bytes were consumed");
+    }
+
+    #[test]
+    fn truncated_frames_are_corrupt_not_closed() {
+        let mut full = Vec::new();
+        write_frame(&mut full, b"some payload").unwrap();
+        for cut in 1..full.len() {
+            let mut r = std::io::Cursor::new(&full[..cut]);
+            assert!(
+                matches!(
+                    read_frame(&mut r, DEFAULT_MAX_FRAME),
+                    Err(FrameError::Corrupt(CodecError::Truncated))
+                ),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn frame_bit_flips_fail_the_checksum() {
+        let mut full = Vec::new();
+        write_frame(&mut full, b"wire message body").unwrap();
+        // Flip bits in the payload and crc regions (offsets 4..) — every
+        // one must surface as a checksum mismatch.
+        for pos in 4..full.len() {
+            full[pos] ^= 0x10;
+            let mut r = std::io::Cursor::new(&full);
+            assert!(
+                matches!(
+                    read_frame(&mut r, DEFAULT_MAX_FRAME),
+                    Err(FrameError::Corrupt(_))
+                ),
+                "flip at {pos} undetected"
+            );
+            full[pos] ^= 0x10;
+        }
     }
 
     #[test]

@@ -41,7 +41,8 @@ pub mod tracked;
 
 pub use buffer::BufferPool;
 pub use codec::{
-    check_page, crc32, seal_page, CodecError, RecordReader, RecordWriter, PAGE_TRAILER,
+    check_page, crc32, read_frame, seal_page, write_frame, CodecError, FrameError, RecordReader,
+    RecordWriter, DEFAULT_MAX_FRAME, PAGE_TRAILER,
 };
 pub use fault::{FaultOp, FaultPager, FaultPlan, TraceEntry};
 pub use file::{FilePager, PagerRecovery};

@@ -13,13 +13,13 @@
 //! ```
 //!
 //! Also usable non-interactively: `echo "..." | cdb` or `cdb script.cdb`.
+//! Commands run against an in-memory engine until `open <path>` (on-disk
+//! file) or `connect <host:port>` (a running `cdb-server`) redirects them.
 
-use std::io::{BufRead, Write};
+use std::io::BufRead;
 
-use constraint_db::index::query::Strategy;
-use constraint_db::index::RelationHealth;
 use constraint_db::prelude::*;
-use constraint_db::storage::PagerRecovery;
+use constraint_db::shell::{fsck, repl, Session};
 
 fn main() {
     // `cdb fsck <path> [--rebuild-indexes]` works as a one-shot CLI, so an
@@ -37,7 +37,6 @@ fn main() {
             }
         }
     }
-    let mut db = ConstraintDb::in_memory(DbConfig::paper_1999());
     let interactive = std::env::args().len() == 1 && atty_stdin();
     let source: Box<dyn BufRead> = match std::env::args().nth(1) {
         Some(path) => match std::fs::File::open(&path) {
@@ -52,25 +51,8 @@ fn main() {
     if interactive {
         println!("constraint-db shell — 'help' for commands, 'quit' to exit");
     }
-    let mut out = std::io::stdout();
-    for line in source.lines() {
-        if interactive {
-            print!("cdb> ");
-            let _ = out.flush();
-        }
-        let Ok(line) = line else { break };
-        let line = line.trim();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
-        }
-        if line == "quit" || line == "exit" {
-            break;
-        }
-        match run_command(&mut db, line) {
-            Ok(msg) => println!("{msg}"),
-            Err(e) => println!("error: {e}"),
-        }
-    }
+    let session = Session::Local(ConstraintDb::in_memory(DbConfig::paper_1999()));
+    repl(session, source, interactive);
 }
 
 /// Best-effort TTY detection without external crates.
@@ -81,297 +63,3 @@ fn atty_stdin() -> bool {
     // TERM variable is present.
     std::env::var_os("TERM").is_some()
 }
-
-fn run_command(db: &mut ConstraintDb, line: &str) -> Result<String, String> {
-    let (cmd, rest) = line.split_once(' ').unwrap_or((line, ""));
-    match cmd {
-        "help" => Ok(HELP.trim().to_string()),
-        "create" => {
-            let mut it = rest.split_whitespace();
-            let name = it.next().ok_or("usage: create <name> <dim>")?;
-            let dim: usize = it
-                .next()
-                .ok_or("usage: create <name> <dim>")?
-                .parse()
-                .map_err(|_| "dim must be a number")?;
-            db.create_relation(name, dim).map_err(|e| e.to_string())?;
-            Ok(format!("created {dim}-D relation '{name}'"))
-        }
-        "insert" => {
-            let (name, expr) = rest.split_once(' ').ok_or("usage: insert <rel> <tuple>")?;
-            let t = parse_tuple(expr).map_err(|e| e.to_string())?;
-            let id = db.insert(name, t).map_err(|e| e.to_string())?;
-            Ok(format!("tuple {id}"))
-        }
-        "delete" => {
-            let mut it = rest.split_whitespace();
-            let name = it.next().ok_or("usage: delete <rel> <id>")?;
-            let id: u32 = it
-                .next()
-                .ok_or("usage: delete <rel> <id>")?
-                .parse()
-                .map_err(|_| "id must be a number")?;
-            db.delete(name, id).map_err(|e| e.to_string())?;
-            Ok(format!("deleted tuple {id}"))
-        }
-        "index" => {
-            let mut it = rest.split_whitespace();
-            let name = it.next().ok_or("usage: index <rel> <k>")?;
-            let k: usize = it
-                .next()
-                .ok_or("usage: index <rel> <k>")?
-                .parse()
-                .map_err(|_| "k must be a number >= 2")?;
-            db.build_dual_index(name, SlopeSet::uniform_tan(k))
-                .map_err(|e| e.to_string())?;
-            Ok(format!("dual index built over {k} slopes"))
-        }
-        "line" => {
-            let (name, expr) = rest
-                .split_once(' ')
-                .ok_or("usage: line <rel> <y = ax + c>")?;
-            let t = parse_tuple(expr).map_err(|e| e.to_string())?;
-            if t.constraints().len() != 2 {
-                return Err("a line query must be a single equality, e.g. y = 0.5x + 2".into());
-            }
-            let h = HalfPlane::from_constraint(&t.constraints()[0])
-                .ok_or("vertical lines are not supported by the dual transform")?;
-            let r = db
-                .exist_line(name, h.slope2d(), h.intercept)
-                .map_err(|e| e.to_string())?;
-            Ok(format!(
-                "{} matches: {:?} ({} index + {} heap page accesses)",
-                r.len(),
-                preview(r.ids()),
-                r.stats.index_io.accesses(),
-                r.stats.heap_io.accesses(),
-            ))
-        }
-        "rplus" => {
-            let mut it = rest.split_whitespace();
-            let name = it.next().ok_or("usage: rplus <rel> [fill]")?;
-            let fill: f64 = it
-                .next()
-                .map(str::parse)
-                .transpose()
-                .unwrap_or(None)
-                .unwrap_or(1.0);
-            db.build_rplus_index(name, fill)
-                .map_err(|e| e.to_string())?;
-            Ok(format!("R+-tree baseline packed at fill {fill}"))
-        }
-        "explain" => {
-            let mut it = rest.splitn(3, ' ');
-            let kind = it
-                .next()
-                .ok_or("usage: explain <all|exist> <rel> <halfplane>")?;
-            let name = it
-                .next()
-                .ok_or("usage: explain <all|exist> <rel> <halfplane>")?;
-            let expr = it
-                .next()
-                .ok_or("usage: explain <all|exist> <rel> <halfplane>")?;
-            let q = parse_halfplane(expr)?;
-            let sel = match kind {
-                "all" => Selection::all(q),
-                "exist" => Selection::exist(q),
-                _ => return Err("explain kind must be 'all' or 'exist'".into()),
-            };
-            let report = db.explain(name, sel).map_err(|e| e.to_string())?;
-            Ok(report.to_string().trim_end().to_string())
-        }
-        "exist" | "all" | "scan" => {
-            let (name, expr) = rest
-                .split_once(' ')
-                .ok_or("usage: <kind> <rel> <halfplane>")?;
-            let q = parse_halfplane(expr)?;
-            let sel = if cmd == "all" {
-                Selection::all(q)
-            } else {
-                Selection::exist(q)
-            };
-            let strategy = if cmd == "scan" {
-                Strategy::Scan
-            } else {
-                Strategy::Auto
-            };
-            let r = db
-                .query_with(name, sel, strategy)
-                .map_err(|e| e.to_string())?;
-            Ok(format!(
-                "{} matches: {:?}\n  {} index + {} heap page accesses, {} candidates, {} false hits, {} duplicates",
-                r.len(),
-                preview(r.ids()),
-                r.stats.index_io.accesses(),
-                r.stats.heap_io.accesses(),
-                r.stats.candidates,
-                r.stats.false_hits,
-                r.stats.duplicates,
-            ))
-        }
-        "show" => {
-            let mut it = rest.split_whitespace();
-            let name = it.next().ok_or("usage: show <rel> <id>")?;
-            let id: u32 = it
-                .next()
-                .ok_or("usage: show <rel> <id>")?
-                .parse()
-                .map_err(|_| "id must be a number")?;
-            let t = db.fetch_tuple(name, id).map_err(|e| e.to_string())?;
-            Ok(format!("{t}"))
-        }
-        "stats" => {
-            let io = db.io_stats();
-            Ok(format!(
-                "pager: {} live pages, {} reads, {} writes since start",
-                db.live_pages(),
-                io.reads,
-                io.writes
-            ))
-        }
-        "open" => {
-            let path = std::path::Path::new(rest.trim());
-            if path.as_os_str().is_empty() {
-                return Err("usage: open <path>".into());
-            }
-            let (opened, verb) = if path.exists() {
-                (
-                    ConstraintDb::open(path).map_err(|e| e.to_string())?,
-                    "opened",
-                )
-            } else {
-                (
-                    ConstraintDb::create(path, DbConfig::paper_1999())
-                        .map_err(|e| e.to_string())?,
-                    "created",
-                )
-            };
-            let rels = opened.relation_names();
-            *db = opened;
-            Ok(format!(
-                "{verb} {} ({} relations: {:?})",
-                path.display(),
-                rels.len(),
-                rels
-            ))
-        }
-        "save" => {
-            db.checkpoint().map_err(|e| e.to_string())?;
-            Ok("catalog checkpointed".into())
-        }
-        "fsck" => fsck(rest),
-        other => Err(format!("unknown command '{other}' — try 'help'")),
-    }
-}
-
-/// Verifies every page of an on-disk database through the checksumming
-/// pager and reports per-relation health. With `--rebuild-indexes`, corrupt
-/// indexes of degraded relations are re-derived from the (verified) heap and
-/// the repair is committed.
-fn fsck(rest: &str) -> Result<String, String> {
-    const USAGE: &str = "usage: fsck <path> [--rebuild-indexes]";
-    let mut path: Option<&str> = None;
-    let mut rebuild = false;
-    for tok in rest.split_whitespace() {
-        match tok {
-            "--rebuild-indexes" => rebuild = true,
-            p if path.is_none() => path = Some(p),
-            _ => return Err(USAGE.into()),
-        }
-    }
-    let path = std::path::Path::new(path.ok_or(USAGE)?);
-    let mut db = if rebuild {
-        ConstraintDb::open(path).map_err(|e| e.to_string())?
-    } else {
-        ConstraintDb::open_read_only(path).map_err(|e| e.to_string())?
-    };
-    let report = db.recovery_report().clone();
-    let mut out = String::new();
-    match report.pager {
-        PagerRecovery::Clean => out.push_str("pager: clean\n"),
-        PagerRecovery::FellBack {
-            recovered_epoch,
-            lost_epoch,
-        } => out.push_str(&format!(
-            "pager: commit {lost_epoch} was torn; fell back to epoch {recovered_epoch}\n"
-        )),
-    }
-    if report.relations.is_empty() {
-        out.push_str("no relations\n");
-    }
-    for (name, health) in &report.relations {
-        out.push_str(&format!("  {name}: {health}\n"));
-    }
-    if rebuild {
-        let degraded: Vec<String> = report
-            .relations
-            .iter()
-            .filter(|(_, h)| matches!(h, RelationHealth::Degraded { .. }))
-            .map(|(n, _)| n.clone())
-            .collect();
-        for name in &degraded {
-            let rebuilt = db.rebuild_indexes(name).map_err(|e| e.to_string())?;
-            out.push_str(&format!("  rebuilt {name}: {}\n", rebuilt.join(", ")));
-        }
-        db.close().map_err(|e| e.to_string())?;
-        if degraded.is_empty() {
-            out.push_str("nothing to rebuild\n");
-        }
-    }
-    let verdict = if report
-        .relations
-        .iter()
-        .any(|(_, h)| *h != RelationHealth::Healthy)
-    {
-        if rebuild {
-            "fsck: repairs applied (quarantined relations, if any, need manual attention)"
-        } else {
-            "fsck: problems found"
-        }
-    } else if matches!(report.pager, PagerRecovery::FellBack { .. }) {
-        "fsck: ok (after fallback to the previous commit)"
-    } else {
-        "fsck: ok"
-    };
-    out.push_str(verdict);
-    Ok(out)
-}
-
-/// Parses a half-plane in solved form, e.g. `y >= 0.3x - 5`.
-fn parse_halfplane(expr: &str) -> Result<HalfPlane, String> {
-    let t = parse_tuple(expr).map_err(|e| e.to_string())?;
-    if t.constraints().len() != 1 {
-        return Err("a query must be a single half-plane".into());
-    }
-    HalfPlane::from_constraint(&t.constraints()[0])
-        .ok_or_else(|| "vertical query boundaries are not supported by the dual transform".into())
-}
-
-fn preview(ids: &[u32]) -> Vec<u32> {
-    ids.iter().take(20).copied().collect()
-}
-
-const HELP: &str = r#"
-commands:
-  create <rel> <dim>        create a relation (dim 2 for the 2-D index)
-  insert <rel> <tuple>      e.g. insert r y >= 0 && y <= 2 && x + y <= 4
-  delete <rel> <id>
-  index <rel> <k>           build the dual index over k predefined slopes
-  exist <rel> <halfplane>   EXIST selection, e.g. exist r y >= 0.3x - 5
-  all <rel> <halfplane>     ALL (containment) selection
-  line <rel> <y = ax + c>   EXIST against an equality (line) query
-  scan <rel> <halfplane>    sequential-scan EXIST (no index needed)
-  rplus <rel> [fill]        pack the R+-tree baseline (Section 5)
-  explain <all|exist> <rel> <halfplane>
-                            plan + execute: chosen method, estimate vs actual
-  show <rel> <id>           print a stored tuple
-  stats                     pager statistics
-  open <path>               open (or create) an on-disk database file;
-                            replaces the current in-memory session
-  save                      checkpoint the catalog to the open file
-  fsck <path> [--rebuild-indexes]
-                            verify every page checksum of an on-disk file and
-                            report per-relation health; optionally re-derive
-                            corrupt indexes from the checksummed heap
-  quit
-"#;

@@ -63,9 +63,12 @@
 pub use cdb_btree as btree;
 pub use cdb_core as index;
 pub use cdb_geometry as geometry;
+pub use cdb_net as net;
 pub use cdb_rplustree as rplustree;
 pub use cdb_storage as storage;
 pub use cdb_workload as workload;
+
+pub mod shell;
 
 /// The most commonly used items, re-exported flat.
 pub mod prelude {

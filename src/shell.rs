@@ -1,0 +1,536 @@
+//! Shared implementation of the interactive shells: command parsing and
+//! routing over either an in-process engine ([`Session::Local`]) or a wire
+//! connection to a `cdb-server` ([`Session::Remote`]).
+//!
+//! The `cdb` binary starts local and can `connect <addr>` mid-session; the
+//! `cdb-client` binary starts connected. Every command works in both modes
+//! except where the distinction is inherent (`open` needs to own a file,
+//! `shutdown` needs a server).
+
+use std::io::{BufRead, Write};
+
+use cdb_core::db::{ConstraintDb, DbConfig, DbStats};
+use cdb_core::ddim::SlopePoints;
+use cdb_core::query::{QueryResult, Selection, SelectionKind, Strategy};
+use cdb_core::slopes::SlopeSet;
+use cdb_core::RelationHealth;
+use cdb_geometry::halfplane::HalfPlane;
+use cdb_geometry::parse::parse_tuple;
+use cdb_net::proto::WireRecoveryReport;
+use cdb_net::Client;
+use cdb_storage::PagerRecovery;
+
+/// Where commands execute: in-process or over the wire.
+pub enum Session {
+    /// An owned engine in this process.
+    Local(ConstraintDb),
+    /// A connected `cdb-server` session.
+    Remote(Client),
+}
+
+/// Runs the read-eval-print loop over `source` until EOF or `quit`.
+pub fn repl(mut session: Session, source: Box<dyn BufRead>, interactive: bool) {
+    let mut out = std::io::stdout();
+    for line in source.lines() {
+        if interactive {
+            print!("cdb> ");
+            let _ = out.flush();
+        }
+        let Ok(line) = line else { break };
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "quit" || line == "exit" {
+            break;
+        }
+        match run_command(&mut session, line) {
+            Ok(msg) => println!("{msg}"),
+            Err(e) => println!("error: {e}"),
+        }
+    }
+}
+
+/// Executes one shell command against the session, returning the text to
+/// print or an error message.
+pub fn run_command(session: &mut Session, line: &str) -> Result<String, String> {
+    let (cmd, rest) = line.split_once(' ').unwrap_or((line, ""));
+    match cmd {
+        "help" => Ok(HELP.trim().to_string()),
+        "connect" => {
+            let addr = rest.trim();
+            if addr.is_empty() {
+                return Err("usage: connect <host:port>".into());
+            }
+            let client = Client::connect(addr).map_err(|e| e.to_string())?;
+            *session = Session::Remote(client);
+            Ok(format!("connected to {addr}"))
+        }
+        "disconnect" => {
+            *session = Session::Local(ConstraintDb::in_memory(DbConfig::paper_1999()));
+            Ok("disconnected; now on a fresh in-memory database".into())
+        }
+        "ping" => match session {
+            Session::Local(_) => Ok("pong (local)".into()),
+            Session::Remote(c) => {
+                c.ping().map_err(|e| e.to_string())?;
+                Ok("pong".into())
+            }
+        },
+        "create" => {
+            let mut it = rest.split_whitespace();
+            let name = it.next().ok_or("usage: create <name> <dim>")?;
+            let dim: u32 = it
+                .next()
+                .ok_or("usage: create <name> <dim>")?
+                .parse()
+                .map_err(|_| "dim must be a number")?;
+            if dim == 0 {
+                return Err("dim must be positive".into());
+            }
+            match session {
+                Session::Local(db) => {
+                    db.create_relation(name, dim as usize)
+                        .map_err(|e| e.to_string())?;
+                }
+                Session::Remote(c) => c.create_relation(name, dim).map_err(|e| e.to_string())?,
+            }
+            Ok(format!("created {dim}-D relation '{name}'"))
+        }
+        "insert" => {
+            let (name, expr) = rest.split_once(' ').ok_or("usage: insert <rel> <tuple>")?;
+            let t = parse_tuple(expr).map_err(|e| e.to_string())?;
+            let id = match session {
+                Session::Local(db) => db.insert(name, t).map_err(|e| e.to_string())?,
+                Session::Remote(c) => c.insert(name, t).map_err(|e| e.to_string())?,
+            };
+            Ok(format!("tuple {id}"))
+        }
+        "delete" => {
+            let mut it = rest.split_whitespace();
+            let name = it.next().ok_or("usage: delete <rel> <id>")?;
+            let id: u32 = it
+                .next()
+                .ok_or("usage: delete <rel> <id>")?
+                .parse()
+                .map_err(|_| "id must be a number")?;
+            match session {
+                Session::Local(db) => {
+                    db.delete(name, id).map_err(|e| e.to_string())?;
+                }
+                Session::Remote(c) => {
+                    c.delete(name, id).map_err(|e| e.to_string())?;
+                }
+            }
+            Ok(format!("deleted tuple {id}"))
+        }
+        "index" => {
+            let mut it = rest.split_whitespace();
+            let name = it.next().ok_or("usage: index <rel> <k>")?;
+            let k: usize = it
+                .next()
+                .ok_or("usage: index <rel> <k>")?
+                .parse()
+                .map_err(|_| "k must be a number >= 2")?;
+            if k < 2 {
+                return Err("k must be a number >= 2".into());
+            }
+            match session {
+                Session::Local(db) => db
+                    .build_dual_index(name, SlopeSet::uniform_tan(k))
+                    .map_err(|e| e.to_string())?,
+                Session::Remote(c) => c
+                    .build_dual(name, SlopeSet::uniform_tan(k).as_slice().to_vec())
+                    .map_err(|e| e.to_string())?,
+            }
+            Ok(format!("dual index built over {k} slopes"))
+        }
+        "indexd" => {
+            let mut it = rest.split_whitespace();
+            let name = it.next().ok_or("usage: indexd <rel> <per_axis> [range]")?;
+            let per_axis: usize = it
+                .next()
+                .ok_or("usage: indexd <rel> <per_axis> [range]")?
+                .parse()
+                .map_err(|_| "per_axis must be a number >= 2")?;
+            if per_axis < 2 {
+                return Err("per_axis must be a number >= 2".into());
+            }
+            let range: f64 = it
+                .next()
+                .map(str::parse)
+                .transpose()
+                .map_err(|_| "range must be a number")?
+                .unwrap_or(1.0);
+            if !range.is_finite() || range <= 0.0 {
+                return Err("range must be positive".into());
+            }
+            match session {
+                Session::Local(db) => {
+                    let dim = db.relation(name).map_err(|e| e.to_string())?.dim();
+                    if dim < 2 {
+                        return Err("the d-dimensional index needs dim >= 2".into());
+                    }
+                    db.build_dual_index_d(name, SlopePoints::grid(dim, per_axis, range))
+                        .map_err(|e| e.to_string())?;
+                }
+                Session::Remote(c) => c
+                    .build_dual_d(name, per_axis as u32, range)
+                    .map_err(|e| e.to_string())?,
+            }
+            Ok(format!(
+                "d-dimensional dual index built over a {per_axis}-per-axis grid (range {range})"
+            ))
+        }
+        "line" => {
+            let (name, expr) = rest
+                .split_once(' ')
+                .ok_or("usage: line <rel> <y = ax + c>")?;
+            let t = parse_tuple(expr).map_err(|e| e.to_string())?;
+            if t.constraints().len() != 2 {
+                return Err("a line query must be a single equality, e.g. y = 0.5x + 2".into());
+            }
+            let h = HalfPlane::from_constraint(&t.constraints()[0])
+                .ok_or("vertical lines are not supported by the dual transform")?;
+            let r = match session {
+                Session::Local(db) => db
+                    .exist_line(name, h.slope2d(), h.intercept)
+                    .map_err(|e| e.to_string())?,
+                Session::Remote(c) => c
+                    .query_line(name, SelectionKind::Exist, h.slope2d(), h.intercept)
+                    .map_err(|e| e.to_string())?,
+            };
+            Ok(format!(
+                "{} matches: {:?} ({} index + {} heap page accesses)",
+                r.len(),
+                preview(r.ids()),
+                r.stats.index_io.accesses(),
+                r.stats.heap_io.accesses(),
+            ))
+        }
+        "rplus" => {
+            let mut it = rest.split_whitespace();
+            let name = it.next().ok_or("usage: rplus <rel> [fill]")?;
+            let fill: f64 = it
+                .next()
+                .map(str::parse)
+                .transpose()
+                .unwrap_or(None)
+                .unwrap_or(1.0);
+            match session {
+                Session::Local(db) => db
+                    .build_rplus_index(name, fill)
+                    .map_err(|e| e.to_string())?,
+                Session::Remote(c) => c.build_rplus(name, fill).map_err(|e| e.to_string())?,
+            }
+            Ok(format!("R+-tree baseline packed at fill {fill}"))
+        }
+        "explain" => {
+            let mut it = rest.splitn(3, ' ');
+            let usage = "usage: explain <all|exist> <rel> <halfplane>";
+            let kind = it.next().ok_or(usage)?;
+            let name = it.next().ok_or(usage)?;
+            let expr = it.next().ok_or(usage)?;
+            let q = parse_halfplane(expr)?;
+            let sel = match kind {
+                "all" => Selection::all(q),
+                "exist" => Selection::exist(q),
+                _ => return Err("explain kind must be 'all' or 'exist'".into()),
+            };
+            let rendered = match session {
+                Session::Local(db) => db.explain(name, sel).map_err(|e| e.to_string())?.render(),
+                Session::Remote(c) => c.explain(name, sel).map_err(|e| e.to_string())?.0,
+            };
+            Ok(rendered.trim_end().to_string())
+        }
+        "exist" | "all" | "scan" => {
+            let (name, expr) = rest
+                .split_once(' ')
+                .ok_or("usage: <kind> <rel> <halfplane>")?;
+            let q = parse_halfplane(expr)?;
+            let sel = if cmd == "all" {
+                Selection::all(q)
+            } else {
+                Selection::exist(q)
+            };
+            let strategy = if cmd == "scan" {
+                Strategy::Scan
+            } else {
+                Strategy::Auto
+            };
+            let r = match session {
+                Session::Local(db) => db
+                    .query_with(name, sel, strategy)
+                    .map_err(|e| e.to_string())?,
+                Session::Remote(c) => c.query(name, sel, strategy).map_err(|e| e.to_string())?,
+            };
+            Ok(render_result(&r))
+        }
+        "show" => {
+            let mut it = rest.split_whitespace();
+            let name = it.next().ok_or("usage: show <rel> <id>")?;
+            let id: u32 = it
+                .next()
+                .ok_or("usage: show <rel> <id>")?
+                .parse()
+                .map_err(|_| "id must be a number")?;
+            let t = match session {
+                Session::Local(db) => db.fetch_tuple(name, id).map_err(|e| e.to_string())?,
+                Session::Remote(c) => c.fetch_tuple(name, id).map_err(|e| e.to_string())?,
+            };
+            Ok(format!("{t}"))
+        }
+        "relations" => {
+            let names = match session {
+                Session::Local(db) => db.relation_names(),
+                Session::Remote(c) => c.relations().map_err(|e| e.to_string())?,
+            };
+            Ok(format!("{names:?}"))
+        }
+        "stats" => {
+            let stats = match session {
+                Session::Local(db) => db.stats_snapshot(),
+                Session::Remote(c) => c.stats().map_err(|e| e.to_string())?,
+            };
+            Ok(render_stats(&stats))
+        }
+        "open" => match session {
+            Session::Remote(_) => {
+                Err("open is unavailable over a connection — the server owns its file".into())
+            }
+            Session::Local(db) => {
+                let path = std::path::Path::new(rest.trim());
+                if path.as_os_str().is_empty() {
+                    return Err("usage: open <path>".into());
+                }
+                let (opened, verb) = if path.exists() {
+                    (
+                        ConstraintDb::open(path).map_err(|e| e.to_string())?,
+                        "opened",
+                    )
+                } else {
+                    (
+                        ConstraintDb::create(path, DbConfig::paper_1999())
+                            .map_err(|e| e.to_string())?,
+                        "created",
+                    )
+                };
+                let rels = opened.relation_names();
+                *db = opened;
+                Ok(format!(
+                    "{verb} {} ({} relations: {:?})",
+                    path.display(),
+                    rels.len(),
+                    rels
+                ))
+            }
+        },
+        "save" => {
+            match session {
+                Session::Local(db) => db.checkpoint().map_err(|e| e.to_string())?,
+                Session::Remote(c) => c.checkpoint().map_err(|e| e.to_string())?,
+            }
+            Ok("catalog checkpointed".into())
+        }
+        "fsck" => match session {
+            Session::Remote(c) if rest.trim().is_empty() => {
+                let rep = c.fsck().map_err(|e| e.to_string())?;
+                Ok(render_remote_fsck(&rep))
+            }
+            _ => fsck(rest),
+        },
+        "shutdown" => match session {
+            Session::Local(_) => Err("shutdown needs a connection — see 'connect'".into()),
+            Session::Remote(c) => {
+                c.shutdown().map_err(|e| e.to_string())?;
+                Ok("server is draining and will checkpoint before exit".into())
+            }
+        },
+        other => Err(format!("unknown command '{other}' — try 'help'")),
+    }
+}
+
+fn render_result(r: &QueryResult) -> String {
+    format!(
+        "{} matches: {:?}\n  {} index + {} heap page accesses, {} candidates, {} false hits, {} duplicates",
+        r.len(),
+        preview(r.ids()),
+        r.stats.index_io.accesses(),
+        r.stats.heap_io.accesses(),
+        r.stats.candidates,
+        r.stats.false_hits,
+        r.stats.duplicates,
+    )
+}
+
+fn render_stats(s: &DbStats) -> String {
+    let mut out = format!(
+        "pager: {} live pages, {} reads, {} writes since start{}",
+        s.live_pages,
+        s.io.reads,
+        s.io.writes,
+        if s.read_only { " (read-only)" } else { "" }
+    );
+    for rel in &s.relations {
+        out.push_str(&format!(
+            "\n  {}: {}-D, {} tuples, {} heap / {} total pages, indexes [{}], {}",
+            rel.name,
+            rel.dim,
+            rel.live,
+            rel.heap_pages,
+            rel.total_pages,
+            rel.indexes.join(", "),
+            rel.health,
+        ));
+    }
+    out
+}
+
+fn render_remote_fsck(rep: &WireRecoveryReport) -> String {
+    let mut out = String::new();
+    match rep.pager {
+        PagerRecovery::Clean => out.push_str("pager: clean\n"),
+        PagerRecovery::FellBack {
+            recovered_epoch,
+            lost_epoch,
+        } => out.push_str(&format!(
+            "pager: commit {lost_epoch} was torn; fell back to epoch {recovered_epoch}\n"
+        )),
+    }
+    if rep.relations.is_empty() {
+        out.push_str("no relations\n");
+    }
+    for (name, health) in &rep.relations {
+        out.push_str(&format!("  {name}: {health}\n"));
+    }
+    let verdict = if rep
+        .relations
+        .iter()
+        .any(|(_, h)| *h != RelationHealth::Healthy)
+    {
+        "fsck: problems found"
+    } else {
+        "fsck: ok"
+    };
+    out.push_str(verdict);
+    out
+}
+
+/// Verifies every page of an on-disk database through the checksumming
+/// pager and reports per-relation health. With `--rebuild-indexes`, corrupt
+/// indexes of degraded relations are re-derived from the (verified) heap and
+/// the repair is committed.
+pub fn fsck(rest: &str) -> Result<String, String> {
+    const USAGE: &str = "usage: fsck <path> [--rebuild-indexes]";
+    let mut path: Option<&str> = None;
+    let mut rebuild = false;
+    for tok in rest.split_whitespace() {
+        match tok {
+            "--rebuild-indexes" => rebuild = true,
+            p if path.is_none() => path = Some(p),
+            _ => return Err(USAGE.into()),
+        }
+    }
+    let path = std::path::Path::new(path.ok_or(USAGE)?);
+    let mut db = if rebuild {
+        ConstraintDb::open(path).map_err(|e| e.to_string())?
+    } else {
+        ConstraintDb::open_read_only(path).map_err(|e| e.to_string())?
+    };
+    let report = db.recovery_report().clone();
+    let mut out = String::new();
+    match report.pager {
+        PagerRecovery::Clean => out.push_str("pager: clean\n"),
+        PagerRecovery::FellBack {
+            recovered_epoch,
+            lost_epoch,
+        } => out.push_str(&format!(
+            "pager: commit {lost_epoch} was torn; fell back to epoch {recovered_epoch}\n"
+        )),
+    }
+    if report.relations.is_empty() {
+        out.push_str("no relations\n");
+    }
+    for (name, health) in &report.relations {
+        out.push_str(&format!("  {name}: {health}\n"));
+    }
+    if rebuild {
+        let degraded: Vec<String> = report
+            .relations
+            .iter()
+            .filter(|(_, h)| matches!(h, RelationHealth::Degraded { .. }))
+            .map(|(n, _)| n.clone())
+            .collect();
+        for name in &degraded {
+            let rebuilt = db.rebuild_indexes(name).map_err(|e| e.to_string())?;
+            out.push_str(&format!("  rebuilt {name}: {}\n", rebuilt.join(", ")));
+        }
+        db.close().map_err(|e| e.to_string())?;
+        if degraded.is_empty() {
+            out.push_str("nothing to rebuild\n");
+        }
+    }
+    let verdict = if report
+        .relations
+        .iter()
+        .any(|(_, h)| *h != RelationHealth::Healthy)
+    {
+        if rebuild {
+            "fsck: repairs applied (quarantined relations, if any, need manual attention)"
+        } else {
+            "fsck: problems found"
+        }
+    } else if matches!(report.pager, PagerRecovery::FellBack { .. }) {
+        "fsck: ok (after fallback to the previous commit)"
+    } else {
+        "fsck: ok"
+    };
+    out.push_str(verdict);
+    Ok(out)
+}
+
+/// Parses a half-plane in solved form, e.g. `y >= 0.3x - 5`.
+pub fn parse_halfplane(expr: &str) -> Result<HalfPlane, String> {
+    let t = parse_tuple(expr).map_err(|e| e.to_string())?;
+    if t.constraints().len() != 1 {
+        return Err("a query must be a single half-plane".into());
+    }
+    HalfPlane::from_constraint(&t.constraints()[0])
+        .ok_or_else(|| "vertical query boundaries are not supported by the dual transform".into())
+}
+
+fn preview(ids: &[u32]) -> Vec<u32> {
+    ids.iter().take(20).copied().collect()
+}
+
+/// The shell's command reference.
+pub const HELP: &str = r#"
+commands:
+  create <rel> <dim>        create a relation (dim 2 for the 2-D index)
+  insert <rel> <tuple>      e.g. insert r y >= 0 && y <= 2 && x + y <= 4
+  delete <rel> <id>
+  index <rel> <k>           build the dual index over k predefined slopes
+  indexd <rel> <p> [range]  build the d-dimensional dual index over a
+                            p-per-axis slope grid (relations with dim > 2)
+  exist <rel> <halfplane>   EXIST selection, e.g. exist r y >= 0.3x - 5
+  all <rel> <halfplane>     ALL (containment) selection
+  line <rel> <y = ax + c>   EXIST against an equality (line) query
+  scan <rel> <halfplane>    sequential-scan EXIST (no index needed)
+  rplus <rel> [fill]        pack the R+-tree baseline (Section 5)
+  explain <all|exist> <rel> <halfplane>
+                            plan + execute: chosen method, estimate vs actual
+  show <rel> <id>           print a stored tuple
+  relations                 list relations
+  stats                     pager + per-relation statistics
+  open <path>               open (or create) an on-disk database file;
+                            replaces the current in-memory session (local)
+  save                      checkpoint the catalog (local file or server)
+  fsck [<path>] [--rebuild-indexes]
+                            verify page checksums; with no path on a
+                            connected session, asks the server to verify
+  connect <host:port>       proxy all commands to a cdb-server
+  disconnect                drop the connection, back to local in-memory
+  ping                      liveness probe
+  shutdown                  ask the connected server to drain and exit
+  quit
+"#;

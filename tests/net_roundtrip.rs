@@ -1,0 +1,268 @@
+//! End-to-end wire-protocol tests: concurrent clients against a live
+//! server must answer bit-identically to the in-process engine, and a
+//! SIGKILLed server must leave its database recoverable.
+
+use std::io::BufRead;
+use std::sync::Arc;
+
+use cdb_prng::StdRng;
+use constraint_db::index::db::{ConstraintDb, DbConfig};
+use constraint_db::index::ddim::SlopePoints;
+use constraint_db::net::server::{Server, ServerConfig};
+use constraint_db::net::Client;
+use constraint_db::prelude::*;
+
+/// Random axis-aligned boxes, the workload of `dimension_sweep`.
+fn random_boxes(dim: usize, n: usize, seed: u64) -> Vec<GeneralizedTuple> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let mut cs = Vec::new();
+            for k in 0..dim {
+                let lo: f64 = rng.gen_range(-50.0..45.0);
+                let hi = lo + rng.gen_range(1.0..6.0);
+                let mut a = vec![0.0; dim];
+                a[k] = 1.0;
+                cs.push(LinearConstraint::new(a.clone(), -lo, RelOp::Ge));
+                cs.push(LinearConstraint::new(a, -hi, RelOp::Le));
+            }
+            GeneralizedTuple::new(cs)
+        })
+        .collect()
+}
+
+/// Seeded query mix over both selection kinds and both operators.
+fn query_mix(dim: usize, count: usize, seed: u64) -> Vec<Selection> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|qi| {
+            let slope: Vec<f64> = (0..dim - 1).map(|_| rng.gen_range(-0.9..0.9)).collect();
+            let b = rng.gen_range(-35.0..35.0);
+            let op = if qi % 2 == 0 { RelOp::Ge } else { RelOp::Le };
+            let kind = if qi % 4 < 2 {
+                SelectionKind::Exist
+            } else {
+                SelectionKind::All
+            };
+            Selection {
+                kind,
+                halfplane: HalfPlane::new(slope, b, op),
+            }
+        })
+        .collect()
+}
+
+fn populate(db: &mut ConstraintDb) {
+    db.create_relation("r2", 2).unwrap();
+    for t in random_boxes(2, 300, 0xA1) {
+        db.insert("r2", t).unwrap();
+    }
+    db.build_dual_index("r2", SlopeSet::uniform_tan(6)).unwrap();
+    db.build_rplus_index("r2", 0.8).unwrap();
+    db.create_relation("r3", 3).unwrap();
+    for t in random_boxes(3, 200, 0xA2) {
+        db.insert("r3", t).unwrap();
+    }
+    db.build_dual_index_d("r3", SlopePoints::grid(3, 2, 1.0))
+        .unwrap();
+}
+
+/// N concurrent wire clients run the full query mix (both selection kinds,
+/// d = 2 and d = 3, `Strategy::Auto`) and every response must match the
+/// in-process oracle's ids exactly. The database served over the wire is
+/// itself populated over the wire, exercising the writer lane.
+#[test]
+fn concurrent_clients_match_in_process_oracle() {
+    // In-process oracle.
+    let mut oracle = ConstraintDb::in_memory(DbConfig::paper_1999());
+    populate(&mut oracle);
+
+    let queries: Vec<(&str, Selection)> = query_mix(2, 12, 0xB1)
+        .into_iter()
+        .map(|s| ("r2", s))
+        .chain(query_mix(3, 8, 0xB2).into_iter().map(|s| ("r3", s)))
+        .collect();
+    let expected: Vec<Vec<u32>> = queries
+        .iter()
+        .map(|(rel, sel)| {
+            oracle
+                .query_with(rel, sel.clone(), Strategy::Auto)
+                .unwrap()
+                .ids()
+                .to_vec()
+        })
+        .collect();
+
+    // Serve a second, identically-populated database.
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ConstraintDb::in_memory(DbConfig::paper_1999()),
+        ServerConfig {
+            workers: 4,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+    let server_thread = std::thread::spawn(move || server.run().unwrap());
+
+    // Populate over the wire (single client: deterministic insert order,
+    // so tuple ids match the oracle's).
+    let mut setup = Client::connect(addr).unwrap();
+    setup.create_relation("r2", 2).unwrap();
+    for t in random_boxes(2, 300, 0xA1) {
+        setup.insert("r2", t).unwrap();
+    }
+    setup
+        .build_dual("r2", SlopeSet::uniform_tan(6).as_slice().to_vec())
+        .unwrap();
+    setup.build_rplus("r2", 0.8).unwrap();
+    setup.create_relation("r3", 3).unwrap();
+    for t in random_boxes(3, 200, 0xA2) {
+        setup.insert("r3", t).unwrap();
+    }
+    setup.build_dual_d("r3", 2, 1.0).unwrap();
+
+    // Concurrent query phase.
+    let queries = Arc::new(queries);
+    let expected = Arc::new(expected);
+    let clients = 4;
+    let mut handles = Vec::new();
+    for c in 0..clients {
+        let queries = Arc::clone(&queries);
+        let expected = Arc::clone(&expected);
+        handles.push(std::thread::spawn(move || {
+            let mut client = Client::connect(addr).unwrap();
+            // Stagger the starting offset so clients overlap on different
+            // queries at any instant.
+            for i in 0..queries.len() {
+                let qi = (i + c * 5) % queries.len();
+                let (rel, sel) = &queries[qi];
+                let got = client.query(rel, sel.clone(), Strategy::Auto).unwrap();
+                assert_eq!(
+                    got.ids(),
+                    expected[qi].as_slice(),
+                    "client {c} query {qi} diverged from the oracle"
+                );
+                // EXPLAIN must execute to the same answer.
+                if qi.is_multiple_of(7) {
+                    let (_, r) = client.explain(rel, sel.clone()).unwrap();
+                    assert_eq!(r.ids(), expected[qi].as_slice());
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    // Line queries (a separate engine entry point) also round-trip.
+    let mut client = Client::connect(addr).unwrap();
+    let wire = client
+        .query_line("r2", SelectionKind::Exist, 0.25, 3.0)
+        .unwrap();
+    let local = oracle.exist_line("r2", 0.25, 3.0).unwrap();
+    assert_eq!(wire.ids(), local.ids());
+
+    // Stats agree on the logical state.
+    let stats = client.stats().unwrap();
+    assert_eq!(
+        stats
+            .relations
+            .iter()
+            .map(|r| (r.name.clone(), r.dim, r.live))
+            .collect::<Vec<_>>(),
+        oracle
+            .stats_snapshot()
+            .relations
+            .iter()
+            .map(|r| (r.name.clone(), r.dim, r.live))
+            .collect::<Vec<_>>()
+    );
+
+    client.shutdown().unwrap();
+    let returned = server_thread.join().unwrap();
+    assert_eq!(returned.relation_names(), oracle.relation_names());
+}
+
+/// SIGKILL the server process mid-write-stream: the database file must
+/// reopen cleanly, containing a consistent prefix of the acknowledged
+/// inserts (everything up to the last durable checkpoint, nothing torn).
+#[test]
+fn kill_nine_mid_write_stream_recovers_to_checkpoint() {
+    let path = std::env::temp_dir().join(format!("cdb_it_kill9_{}.db", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+
+    let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_cdb-server"))
+        .arg(&path)
+        .args(["--checkpoint-every", "4"])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn cdb-server");
+    let stdout = child.stdout.take().unwrap();
+    let mut lines = std::io::BufReader::new(stdout).lines();
+    let banner = lines.next().expect("server banner").unwrap();
+    let addr = banner
+        .strip_prefix("listening on ")
+        .expect("banner format")
+        .to_string();
+
+    let mut client = Client::connect(addr.as_str()).unwrap();
+    client.create_relation("boxes", 2).unwrap();
+    let tuples = random_boxes(2, 400, 0xC1);
+    // A durable baseline: 40 inserts, then an explicit checkpoint.
+    for t in &tuples[..40] {
+        client.insert("boxes", t.clone()).unwrap();
+    }
+    client.checkpoint().unwrap();
+
+    // Stream the rest from another thread, and SIGKILL mid-stream.
+    let streamed = std::thread::spawn(move || {
+        let mut acked = 40u32;
+        for t in &tuples[40..] {
+            match client.insert("boxes", t.clone()) {
+                Ok(_) => acked += 1,
+                Err(_) => break, // the kill landed
+            }
+        }
+        acked
+    });
+    std::thread::sleep(std::time::Duration::from_millis(60));
+    child.kill().expect("SIGKILL server");
+    child.wait().unwrap();
+    let acked = streamed.join().unwrap();
+    assert!(acked >= 40, "baseline inserts were acknowledged");
+
+    // The file must reopen without panic and hold a clean prefix.
+    let db = ConstraintDb::open(&path).expect("recover after SIGKILL");
+    assert_eq!(db.relation_names(), vec!["boxes".to_string()]);
+    let snap = db.stats_snapshot();
+    let live = snap.relations[0].live;
+    assert!(
+        (40..=acked as u64).contains(&live),
+        "recovered {live} tuples, expected between the checkpointed 40 \
+         and the {acked} acknowledged"
+    );
+    for rel in &snap.relations {
+        assert_eq!(
+            rel.health,
+            constraint_db::index::RelationHealth::Healthy,
+            "recovered relation is healthy"
+        );
+    }
+    // No uncommitted data: the survivors are exactly the first `live` ids,
+    // and every stored tuple is readable.
+    let everything = Selection::exist(HalfPlane::new(vec![0.0], -1e9, RelOp::Ge));
+    let r = db.query_with("boxes", everything, Strategy::Scan).unwrap();
+    let want: Vec<u32> = (0..live as u32).collect();
+    assert_eq!(
+        r.ids(),
+        want.as_slice(),
+        "recovered ids form a clean prefix"
+    );
+    for id in r.ids() {
+        db.fetch_tuple("boxes", *id).unwrap();
+    }
+    drop(db);
+    std::fs::remove_file(&path).unwrap();
+}
