@@ -50,7 +50,7 @@ step fsck fsck_smoke
 server_smoke() {
   local f="${TMPDIR:-/tmp}/cdb_ci_server_$$.db"
   local log="${TMPDIR:-/tmp}/cdb_ci_server_$$.log"
-  rm -f "$f" "$log"
+  rm -f "$f" "$f.wal" "$log"
   ./target/release/cdb-server "$f" --checkpoint-every 8 >"$log" &
   local pid=$!
   local addr=""
@@ -62,7 +62,7 @@ server_smoke() {
   if [ -z "$addr" ]; then
     echo "ci: cdb-server never announced its address" >&2
     kill -9 "$pid" 2>/dev/null || true
-    rm -f "$f" "$log"
+    rm -f "$f" "$f.wal" "$log"
     return 1
   fi
   {
@@ -81,13 +81,58 @@ server_smoke() {
   wait "$pid" || code=$?
   if [ "$code" -ne 0 ]; then
     echo "ci: cdb-server exited with code $code" >&2
-    rm -f "$f" "$log"
+    rm -f "$f" "$f.wal" "$log"
     return 1
   fi
   ./target/release/cdb fsck "$f" | grep -q 'fsck: ok'
-  rm -f "$f" "$log"
+  rm -f "$f" "$f.wal" "$log"
 }
 step server server_smoke
+
+# Durability smoke: SIGKILL cdb-server under write load before anything
+# checkpointed, then reopen. Every acknowledged insert must come back —
+# the WAL, not the checkpoint cadence, is what backs the acks.
+wal_smoke() {
+  local f="${TMPDIR:-/tmp}/cdb_ci_wal_$$.db"
+  local log="${TMPDIR:-/tmp}/cdb_ci_wal_$$.log"
+  rm -f "$f" "$f.wal" "$log"
+  # A checkpoint interval far beyond the workload: only the log is durable.
+  ./target/release/cdb-server "$f" --checkpoint-every 100000 >"$log" &
+  local pid=$!
+  local addr=""
+  for _ in $(seq 1 50); do
+    addr=$(sed -n 's/^listening on //p' "$log")
+    [ -n "$addr" ] && break
+    sleep 0.1
+  done
+  if [ -z "$addr" ]; then
+    echo "ci: cdb-server never announced its address" >&2
+    kill -9 "$pid" 2>/dev/null || true
+    rm -f "$f" "$f.wal" "$log"
+    return 1
+  fi
+  # 12 acked inserts: the client shell is synchronous, so when it exits,
+  # every insert was acknowledged — and acknowledged means fsynced.
+  {
+    printf 'create parcels 2\n'
+    for i in $(seq 1 12); do
+      printf 'insert parcels y >= 0 && y <= 2 && x >= %s && x <= %s\n' "$i" "$((i + 3))"
+    done
+  } | TERM= ./target/release/cdb-client "$addr" >/dev/null
+  kill -9 "$pid"
+  wait "$pid" 2>/dev/null || true
+  # Read-only fsck surfaces the un-replayed log; writable fsck replays it.
+  # (Full-read grep, not -q: quitting on first match would SIGPIPE cdb.)
+  ./target/release/cdb fsck "$f" | grep 'logged mutations not replayed' >/dev/null
+  ./target/release/cdb fsck "$f" --rebuild-indexes \
+    | grep 'wal: replayed 13 record(s)' >/dev/null
+  # After replay the file is clean and holds all 12 acked inserts.
+  ./target/release/cdb fsck "$f" | grep 'fsck: ok' >/dev/null
+  printf 'open %s\nstats\nquit\n' "$f" \
+    | ./target/release/cdb | grep 'parcels: 2-D, 12 tuples' >/dev/null
+  rm -f "$f" "$f.wal" "$log"
+}
+step wal wal_smoke
 
 step clippy cargo clippy --workspace --all-targets -- -D warnings
 step doc env RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace

@@ -7,7 +7,8 @@
 //! [`cdb_storage::RecordWriter`]):
 //!
 //! ```text
-//! magic "CDBC" u32 | version u16 | strategy u8 | relation count u32
+//! magic "CDBC" u32 | version u16 | durable_lsn u64 | strategy u8
+//!                  | relation count u32
 //! per relation (sorted by name):
 //!   name str | dim u32
 //!   heap:   page count u32, page u32 ...
@@ -50,8 +51,10 @@ use crate::slopes::SlopeSet;
 
 /// Catalog magic: `"CDBC"`.
 const MAGIC: u32 = 0x4344_4243;
-/// Current catalog format version.
-const VERSION: u16 = 1;
+/// Current catalog format version. Version 2 added the `durable_lsn`
+/// WAL watermark: every mutation with an LSN at or below it is covered by
+/// this blob, so replay applies only the strictly newer log suffix.
+const VERSION: u16 = 2;
 
 fn corrupt() -> CdbError {
     CdbError::CorruptRecord(CATALOG_RECORD)
@@ -160,13 +163,18 @@ fn get_finite_f64(r: &mut RecordReader<'_>) -> Result<f64, CdbError> {
 
 // ----------------------------------------------------------------- encode
 
-/// Serializes the default strategy and every relation into one catalog
-/// blob. Relations are written in name order, so identical database states
-/// produce identical bytes.
-pub(crate) fn encode(strategy: Strategy, relations: &HashMap<String, Relation>) -> Vec<u8> {
+/// Serializes the default strategy, the WAL durability watermark and every
+/// relation into one catalog blob. Relations are written in name order, so
+/// identical database states produce identical bytes.
+pub(crate) fn encode(
+    strategy: Strategy,
+    durable_lsn: u64,
+    relations: &HashMap<String, Relation>,
+) -> Vec<u8> {
     let mut w = RecordWriter::new();
     w.put_u32(MAGIC);
     w.put_u16(VERSION);
+    w.put_u64(durable_lsn);
     w.put_u8(strategy_code(strategy));
     w.put_u32(relations.len() as u32);
     let mut names: Vec<&String> = relations.keys().collect();
@@ -288,7 +296,7 @@ pub(crate) fn encode(strategy: Strategy, relations: &HashMap<String, Relation>) 
 pub(crate) fn decode(
     blob: &[u8],
     page_size: usize,
-) -> Result<(Strategy, HashMap<String, Relation>), CdbError> {
+) -> Result<(Strategy, u64, HashMap<String, Relation>), CdbError> {
     let mut r = RecordReader::new(blob);
     if r.get_u32()? != MAGIC {
         return Err(corrupt());
@@ -296,6 +304,7 @@ pub(crate) fn decode(
     if r.get_u16()? != VERSION {
         return Err(corrupt());
     }
+    let durable_lsn = r.get_u64()?;
     let strategy = strategy_from(r.get_u8()?)?;
     let nrel = r.get_u32()?;
     let mut relations = HashMap::new();
@@ -498,14 +507,14 @@ pub(crate) fn decode(
     if r.remaining() != 0 {
         return Err(corrupt()); // trailing garbage
     }
-    Ok((strategy, relations))
+    Ok((strategy, durable_lsn, relations))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn is_corrupt(r: Result<(Strategy, HashMap<String, Relation>), CdbError>) -> bool {
+    fn is_corrupt(r: Result<(Strategy, u64, HashMap<String, Relation>), CdbError>) -> bool {
         matches!(r, Err(CdbError::CorruptRecord(CATALOG_RECORD)))
     }
 
@@ -524,20 +533,22 @@ mod tests {
         let mut w = RecordWriter::new();
         w.put_u32(MAGIC);
         w.put_u16(VERSION + 1);
+        w.put_u64(0);
         w.put_u8(0);
         w.put_u32(0);
         assert!(is_corrupt(decode(&w.into_bytes(), 1024)));
 
-        let mut bytes = encode(Strategy::Auto, &HashMap::new());
+        let mut bytes = encode(Strategy::Auto, 0, &HashMap::new());
         bytes.push(0);
         assert!(is_corrupt(decode(&bytes, 1024)));
     }
 
     #[test]
     fn empty_catalog_round_trips() {
-        let bytes = encode(Strategy::T2, &HashMap::new());
-        let (strategy, relations) = decode(&bytes, 1024).unwrap();
+        let bytes = encode(Strategy::T2, 17, &HashMap::new());
+        let (strategy, durable_lsn, relations) = decode(&bytes, 1024).unwrap();
         assert_eq!(strategy, Strategy::T2);
+        assert_eq!(durable_lsn, 17);
         assert!(relations.is_empty());
     }
 

@@ -24,6 +24,7 @@ use cdb_geometry::halfplane::HalfPlane;
 use cdb_geometry::tuple::GeneralizedTuple;
 use cdb_geometry::Rect;
 use cdb_rplustree::RPlusTree;
+use cdb_storage::wal::{wal_path, Wal, WalFaultPlan};
 use cdb_storage::{
     FilePager, HeapFile, IoStats, MemPager, PageId, PageReader, Pager, PagerRecovery, RecordId,
     DEFAULT_PAGE_SIZE,
@@ -38,6 +39,7 @@ use crate::plan::{
 };
 use crate::query::{QueryResult, Selection, SelectionKind, Strategy};
 use crate::slopes::SlopeSet;
+use crate::wal::WalRecord;
 
 /// Engine configuration.
 #[derive(Clone, Copy, Debug)]
@@ -101,25 +103,52 @@ impl std::fmt::Display for RelationHealth {
     }
 }
 
+/// What the write-ahead-log replay pass of [`ConstraintDb::open`] found
+/// and did.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WalReplay {
+    /// The LSN the log file starts at (its header promise).
+    pub start_lsn: u64,
+    /// Records applied over the checkpointed base state.
+    pub replayed: u64,
+    /// LSN of the first applied record (0 when none).
+    pub first_lsn: u64,
+    /// LSN of the last applied record (0 when none).
+    pub last_lsn: u64,
+    /// The log ended in a half-written record (bad CRC / broken LSN
+    /// chain). Not an error: a torn record was never synced, so its
+    /// mutation was never acknowledged.
+    pub torn_tail: bool,
+    /// A record that decoded but failed to re-apply, or a replay that
+    /// could not be absorbed. The log is kept on disk in that case.
+    pub error: Option<String>,
+}
+
 /// What [`ConstraintDb::open`] found and did: the pager's header-slot
-/// recovery plus the per-relation verification verdicts.
+/// recovery, the WAL replay (which runs *before* verification), and the
+/// per-relation verification verdicts.
 #[derive(Clone, Debug)]
 pub struct RecoveryReport {
     /// Header recovery performed by the file pager.
     pub pager: PagerRecovery,
     /// `(relation, health)` pairs, sorted by name.
     pub relations: Vec<(String, RelationHealth)>,
+    /// Write-ahead-log replay, when a log file was present.
+    pub wal: Option<WalReplay>,
 }
 
 impl RecoveryReport {
-    /// `true` when the pager opened on its newest commit and every
-    /// relation verified healthy.
+    /// `true` when the pager opened on its newest commit, every relation
+    /// verified healthy, and WAL replay (if any) fully absorbed the log.
+    /// A torn log tail is still clean — a torn record was never
+    /// acknowledged, so nothing promised was lost.
     pub fn is_clean(&self) -> bool {
         self.pager == PagerRecovery::Clean
             && self
                 .relations
                 .iter()
                 .all(|(_, h)| *h == RelationHealth::Healthy)
+            && self.wal.as_ref().is_none_or(|w| w.error.is_none())
     }
 
     /// Names of quarantined relations.
@@ -136,6 +165,7 @@ fn clean_recovery() -> RecoveryReport {
     RecoveryReport {
         pager: PagerRecovery::Clean,
         relations: Vec::new(),
+        wal: None,
     }
 }
 
@@ -173,6 +203,23 @@ pub struct DbStats {
     pub io: IoStats,
     /// Whether the handle refuses mutations.
     pub read_only: bool,
+    /// Consecutive [`ConstraintDb::checkpoint`] failures since the last
+    /// success (0 while checkpoints land).
+    pub checkpoint_failures: u64,
+    /// Write-ahead-log state, when a log is armed.
+    pub wal: Option<WalStats>,
+}
+
+/// Point-in-time state of an armed write-ahead log.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WalStats {
+    /// Every mutation with an LSN at or below this is covered by the
+    /// durable catalog.
+    pub durable_lsn: u64,
+    /// The LSN the next mutation will be assigned.
+    pub next_lsn: u64,
+    /// Records appended but not yet fsynced (not yet acknowledgeable).
+    pub pending: u64,
 }
 
 /// The Section 5 baseline as a relation-level index: a packed R⁺-tree over
@@ -514,6 +561,18 @@ pub struct ConstraintDb {
     read_only: bool,
     /// What `open` found; trivially clean for in-memory engines.
     recovery: RecoveryReport,
+    /// The write-ahead log, once [`ConstraintDb::begin_wal`] arms it.
+    wal: Option<Wal>,
+    /// Database file path for file-backed engines — where the `.wal`
+    /// sidecar lives. `None` for in-memory and caller-supplied pagers,
+    /// which therefore cannot arm a log.
+    wal_base: Option<std::path::PathBuf>,
+    /// Every mutation with an LSN at or below this is covered by the
+    /// durable catalog (persisted in the catalog header; see
+    /// `crate::catalog`).
+    durable_lsn: u64,
+    /// Consecutive checkpoint failures since the last success.
+    checkpoint_failures: u64,
 }
 
 impl ConstraintDb {
@@ -534,6 +593,10 @@ impl ConstraintDb {
             committed_plan_version: 0,
             read_only: false,
             recovery: clean_recovery(),
+            wal: None,
+            wal_base: None,
+            durable_lsn: 0,
+            checkpoint_failures: 0,
         }
     }
 
@@ -547,20 +610,35 @@ impl ConstraintDb {
     pub fn create(path: &std::path::Path, config: DbConfig) -> Result<Self, CdbError> {
         let pager =
             FilePager::create(path, config.page_size).map_err(|e| CdbError::Io(e.to_string()))?;
+        // A database that lived at this path before may have left a log
+        // behind; its records belong to the overwritten file.
+        let _ = std::fs::remove_file(wal_path(path));
         let mut db = Self::with_pager(Box::new(pager), config);
+        db.wal_base = Some(path.to_path_buf());
         db.dirty = true;
         db.checkpoint()?;
         Ok(db)
     }
 
-    /// Opens an existing database file: rebuilds every relation — heaps,
-    /// slot tables, dual indexes, R⁺-tree, planner EWMAs — from the
-    /// committed catalog, then verifies every page each relation owns
-    /// through the checksumming pager and classifies the damage (see
-    /// [`RecoveryReport`] / [`ConstraintDb::recovery_report`]). A corrupt
-    /// index degrades its relation; a corrupt heap quarantines it; sibling
-    /// relations are unaffected either way, so `open` succeeds whenever
-    /// the catalog itself is intact.
+    /// Opens an existing database file in three recovery stages:
+    ///
+    /// 1. rebuilds every relation — heaps, slot tables, dual indexes,
+    ///    R⁺-tree, planner EWMAs — from the committed catalog (the header
+    ///    flip already happened inside [`FilePager::open`]);
+    /// 2. replays any write-ahead-log suffix newer than the catalog's
+    ///    durable-LSN watermark through the normal mutation paths, then
+    ///    checkpoints and deletes the absorbed log — so an acknowledged
+    ///    mutation survives a crash that outran the last checkpoint;
+    /// 3. verifies every page each relation owns through the checksumming
+    ///    pager and classifies the damage (see [`RecoveryReport`] /
+    ///    [`ConstraintDb::recovery_report`]).
+    ///
+    /// A corrupt index degrades its relation; a corrupt heap quarantines
+    /// it; sibling relations are unaffected either way, so `open` succeeds
+    /// whenever the catalog itself is intact. A torn WAL tail (a record
+    /// that never finished hitting the disk) is skipped silently — it was
+    /// never acknowledged; a record that fails to *re-apply* stops replay,
+    /// keeps the log on disk, and is surfaced in the report.
     ///
     /// # Errors
     /// [`CdbError::CorruptRecord`] (with id [`crate::error::CATALOG_RECORD`])
@@ -568,16 +646,46 @@ impl ConstraintDb {
     /// torn or tampered file is reported, never served as an empty
     /// database. [`CdbError::Io`] for operating-system failures.
     pub fn open(path: &std::path::Path) -> Result<Self, CdbError> {
-        Self::from_file(FilePager::open(path).map_err(Self::lift)?)
+        let mut db = Self::decode_file(FilePager::open(path).map_err(Self::lift)?)?;
+        db.wal_base = Some(path.to_path_buf());
+        db.replay_wal()?;
+        db.classify_relations();
+        Ok(db)
     }
 
     /// [`open`](Self::open), but the file is mapped read-only and every
     /// mutating entry point (DDL, inserts/deletes, index builds,
     /// checkpoints) refuses with [`CdbError::ReadOnly`]. Queries work as
     /// usual; planner feedback accumulates in memory only and is never
-    /// persisted.
+    /// persisted. A pending write-ahead-log suffix is *not* replayed (the
+    /// file is someone else's to write) — it is reported in the
+    /// [`RecoveryReport`] instead, and the handle serves the state as of
+    /// the last checkpoint.
     pub fn open_read_only(path: &std::path::Path) -> Result<Self, CdbError> {
-        Self::from_file(FilePager::open_read_only(path).map_err(Self::lift)?)
+        let mut db = Self::decode_file(FilePager::open_read_only(path).map_err(Self::lift)?)?;
+        if let Some(scan) = Wal::read(&wal_path(path)).map_err(|e| CdbError::Io(e.to_string()))? {
+            let pending: Vec<u64> = scan
+                .records
+                .iter()
+                .map(|(lsn, _)| *lsn)
+                .filter(|&lsn| lsn > db.durable_lsn)
+                .collect();
+            db.recovery.wal = Some(WalReplay {
+                start_lsn: scan.start_lsn,
+                replayed: 0,
+                first_lsn: pending.first().copied().unwrap_or(0),
+                last_lsn: pending.last().copied().unwrap_or(0),
+                torn_tail: scan.torn_tail,
+                error: (!pending.is_empty()).then(|| {
+                    format!(
+                        "{} logged mutations not replayed (read-only handle)",
+                        pending.len()
+                    )
+                }),
+            });
+        }
+        db.classify_relations();
+        Ok(db)
     }
 
     fn lift(e: std::io::Error) -> CdbError {
@@ -591,27 +699,21 @@ impl ConstraintDb {
         }
     }
 
-    fn from_file(pager: FilePager) -> Result<Self, CdbError> {
+    /// Stage 1 of `open`: decode the committed catalog into an engine.
+    /// Relations come out nominally `Healthy`; `classify_relations` runs
+    /// the verification pass after any WAL replay.
+    fn decode_file(pager: FilePager) -> Result<Self, CdbError> {
         let blob = pager
             .read_meta()
             .map_err(Self::lift)?
             .ok_or(CdbError::CorruptRecord(crate::error::CATALOG_RECORD))?;
         let page_size = pager.page_size();
-        let (strategy, mut relations) = crate::catalog::decode(&blob, page_size)?;
-        let mut names: Vec<String> = relations.keys().cloned().collect();
-        names.sort();
-        let mut verdicts = Vec::with_capacity(names.len());
-        for name in names {
-            // Never fails: `names` was collected from this very map.
-            let rel = relations.get_mut(&name).expect("name from the key set");
-            let health = verify_relation(&pager, rel);
-            rel.health = health.clone();
-            verdicts.push((name, health));
-        }
+        let (strategy, durable_lsn, relations) = crate::catalog::decode(&blob, page_size)?;
         let read_only = pager.is_read_only();
         let recovery = RecoveryReport {
             pager: pager.recovery(),
-            relations: verdicts,
+            relations: Vec::new(),
+            wal: None,
         };
         Ok(ConstraintDb {
             pager: Box::new(pager),
@@ -626,7 +728,109 @@ impl ConstraintDb {
             committed_plan_version: 0,
             read_only,
             recovery,
+            wal: None,
+            wal_base: None,
+            durable_lsn,
+            checkpoint_failures: 0,
         })
+    }
+
+    /// Stage 2 of `open`: replay the write-ahead-log suffix beyond the
+    /// catalog's durable-LSN watermark through the normal mutation paths
+    /// (the log is not armed yet, so nothing is re-logged; tuple ids are
+    /// deterministic because `insert` assigns `slots.len()`). A fully
+    /// absorbed log is checkpointed and deleted; any failure keeps it on
+    /// disk for the next open and is recorded in the report.
+    fn replay_wal(&mut self) -> Result<(), CdbError> {
+        let Some(base) = self.wal_base.clone() else {
+            return Ok(());
+        };
+        let wpath = wal_path(&base);
+        let scan = match Wal::read(&wpath).map_err(|e| CdbError::Io(e.to_string()))? {
+            Some(scan) => scan,
+            None => return Ok(()),
+        };
+        let mut replay = WalReplay {
+            start_lsn: scan.start_lsn,
+            replayed: 0,
+            first_lsn: 0,
+            last_lsn: 0,
+            torn_tail: scan.torn_tail,
+            error: None,
+        };
+        for (lsn, bytes) in &scan.records {
+            if *lsn <= self.durable_lsn {
+                continue; // already covered by the committed catalog
+            }
+            match WalRecord::decode(bytes).and_then(|rec| self.apply_wal_record(rec)) {
+                Ok(()) => {
+                    if replay.replayed == 0 {
+                        replay.first_lsn = *lsn;
+                    }
+                    replay.last_lsn = *lsn;
+                    replay.replayed += 1;
+                    self.durable_lsn = *lsn;
+                }
+                Err(e) => {
+                    replay.error = Some(format!("replay stopped at lsn {lsn}: {e}"));
+                    break;
+                }
+            }
+        }
+        if replay.replayed > 0 && replay.error.is_none() {
+            // Absorb the suffix into the shadow-paged state; only then is
+            // the log redundant.
+            if let Err(e) = self.checkpoint() {
+                replay.error = Some(format!("replayed but not checkpointed: {e}"));
+            }
+        }
+        if replay.error.is_none() {
+            let _ = std::fs::remove_file(&wpath);
+        }
+        self.recovery.wal = Some(replay);
+        Ok(())
+    }
+
+    /// Re-runs one logged mutation through its public entry point.
+    fn apply_wal_record(&mut self, rec: WalRecord) -> Result<(), CdbError> {
+        match rec {
+            WalRecord::CreateRelation { name, dim } => {
+                if dim == 0 {
+                    return Err(CdbError::CorruptRecord(crate::error::WAL_RECORD));
+                }
+                self.create_relation(&name, dim as usize).map(|_| ())
+            }
+            WalRecord::DropRelation { name } => self.drop_relation(&name),
+            WalRecord::Insert { relation, tuple } => self.insert(&relation, tuple).map(|_| ()),
+            WalRecord::Delete { relation, id } => self.delete(&relation, id).map(|_| ()),
+            WalRecord::BuildDual { relation, slopes } => self.build_dual_index(&relation, slopes),
+            WalRecord::BuildDualD { relation, points } => {
+                self.build_dual_index_d(&relation, points)
+            }
+            WalRecord::BuildRPlus { relation, fill } => self.build_rplus_index(&relation, fill),
+            WalRecord::TightenIndex { relation } => self.tighten_index(&relation),
+        }
+    }
+
+    /// Stage 3 of `open`: the per-page verification pass, classifying
+    /// every relation's health into the recovery report.
+    fn classify_relations(&mut self) {
+        let mut names: Vec<String> = self.relations.keys().cloned().collect();
+        names.sort();
+        let mut verdicts = Vec::with_capacity(names.len());
+        for name in names {
+            let health = {
+                // Never fails: `names` was collected from this very map.
+                let rel = self.relations.get(&name).expect("name from the key set");
+                verify_relation(&self.reader(), rel)
+            };
+            self.relations
+                .get_mut(&name)
+                .expect("name from the key set")
+                .health = health.clone();
+            verdicts.push((name, health));
+        }
+        self.recovery.relations = verdicts;
     }
 
     /// What the last `open` found and did. Trivially clean for in-memory
@@ -648,19 +852,91 @@ impl ConstraintDb {
         Ok(())
     }
 
+    /// Arms the write-ahead log: checkpoints the current state (the log's
+    /// base), then creates `<path>.wal` starting at the next LSN. From
+    /// here on every successful mutation appends one record, and a
+    /// [`wal_sync`](Self::wal_sync) makes the batch durable — the
+    /// group-commit contract a server acknowledges against. Returns
+    /// `Ok(false)` for engines with no backing file (in-memory or
+    /// caller-supplied pagers), which have no durability to promise.
+    /// Idempotent once armed.
+    ///
+    /// # Errors
+    /// [`CdbError::ReadOnly`] on a read-only handle; [`CdbError::Io`] when
+    /// the base checkpoint or the log file creation fails.
+    pub fn begin_wal(&mut self) -> Result<bool, CdbError> {
+        self.ensure_writable()?;
+        if self.wal.is_some() {
+            return Ok(true);
+        }
+        let Some(base) = self.wal_base.clone() else {
+            return Ok(false);
+        };
+        self.checkpoint()?;
+        let wal = Wal::create(&wal_path(&base), self.durable_lsn + 1)
+            .map_err(|e| CdbError::Io(e.to_string()))?;
+        self.wal = Some(wal);
+        Ok(true)
+    }
+
+    /// The group-commit barrier: flushes every record logged since the
+    /// last sync with one `fsync`. After `Ok(())`, every mutation applied
+    /// before this call survives any crash — acknowledge them now, not
+    /// earlier. A no-op when no log is armed.
+    ///
+    /// # Errors
+    /// [`CdbError::Io`] when the flush fails; the affected mutations must
+    /// not be acknowledged (reopening the file recovers the state as of
+    /// the last successful sync).
+    pub fn wal_sync(&mut self) -> Result<(), CdbError> {
+        match self.wal.as_mut() {
+            Some(w) => w.sync().map_err(|e| CdbError::Io(e.to_string())),
+            None => Ok(()),
+        }
+    }
+
+    /// Installs a fault schedule on the armed log (testing hook; no-op
+    /// when no log is armed).
+    pub fn set_wal_fault_plan(&mut self, plan: WalFaultPlan) {
+        if let Some(w) = self.wal.as_mut() {
+            w.set_fault_plan(plan);
+        }
+    }
+
+    /// Appends one typed record for a mutation that just succeeded in
+    /// memory. On append failure the mutation's entry point returns the
+    /// error: the caller must not acknowledge, and the standard failure
+    /// contract applies (durable state untouched; reopen to recover).
+    fn log_mutation(&mut self, rec: WalRecord) -> Result<(), CdbError> {
+        if let Some(w) = self.wal.as_mut() {
+            w.append(&rec.encode())
+                .map_err(|e| CdbError::Io(e.to_string()))?;
+        }
+        Ok(())
+    }
+
     fn plan_version_sum(&self) -> u64 {
         self.relations.values().map(|r| r.catalog.version()).sum()
     }
 
-    /// Serializes the catalog (relations, index metadata, planner EWMAs)
-    /// and commits it through the pager's shadow-page protocol. A no-op
-    /// when nothing changed since the last checkpoint, and on read-only
-    /// handles (whose durable state cannot move). After a crash, a reader
-    /// sees either the previous catalog or this one — never a mixture.
+    /// Serializes the catalog (relations, index metadata, planner EWMAs,
+    /// WAL watermark) and commits it through the pager's shadow-page
+    /// protocol. A no-op when nothing changed since the last checkpoint,
+    /// and on read-only handles (whose durable state cannot move). After a
+    /// crash, a reader sees either the previous catalog or this one —
+    /// never a mixture.
+    ///
+    /// With a log armed, the committed watermark covers every mutation
+    /// logged so far, and the now-redundant log is truncated afterwards
+    /// (best-effort: a failed truncation downs the log — later mutations
+    /// error instead of logging into a file in an unknown state — but
+    /// loses nothing, because replay filters by the watermark).
     ///
     /// # Errors
     /// [`CdbError::Io`] when a page write or sync fails; the previously
-    /// committed catalog stays readable.
+    /// committed catalog stays readable, and the consecutive-failure
+    /// counter surfaced by [`stats_snapshot`](Self::stats_snapshot) is
+    /// bumped.
     pub fn checkpoint(&mut self) -> Result<(), CdbError> {
         if self.read_only {
             // Plan-catalog EWMAs may drift in memory, but a read-only
@@ -671,22 +947,40 @@ impl ConstraintDb {
         if !self.dirty && vsum == self.committed_plan_version {
             return Ok(());
         }
-        let blob = crate::catalog::encode(self.config.strategy, &self.relations);
-        self.pager
-            .commit_meta(&blob)
-            .map_err(|e| CdbError::Io(e.to_string()))?;
+        if let Some(w) = self.wal.as_ref() {
+            // Every logged mutation is part of the state being committed,
+            // synced or not — the commit itself is their durability.
+            self.durable_lsn = w.next_lsn() - 1;
+        }
+        let blob = crate::catalog::encode(self.config.strategy, self.durable_lsn, &self.relations);
+        if let Err(e) = self.pager.commit_meta(&blob) {
+            self.checkpoint_failures += 1;
+            return Err(CdbError::Io(e.to_string()));
+        }
         self.dirty = false;
         self.committed_plan_version = vsum;
+        self.checkpoint_failures = 0;
+        if let Some(w) = self.wal.as_mut() {
+            let _ = w.truncate(self.durable_lsn + 1);
+        }
         Ok(())
     }
 
     /// Checkpoints and consumes the engine. `commit_meta` syncs the file,
-    /// so a successful `close` means everything is durable.
+    /// so a successful `close` means everything is durable — the
+    /// write-ahead log, fully absorbed by that final checkpoint, is
+    /// deleted rather than left as an empty sidecar.
     ///
     /// # Errors
     /// [`CdbError::Io`] when the final checkpoint fails.
     pub fn close(mut self) -> Result<(), CdbError> {
-        self.checkpoint()
+        self.checkpoint()?;
+        if self.wal.take().is_some() {
+            if let Some(base) = &self.wal_base {
+                let _ = std::fs::remove_file(wal_path(base));
+            }
+        }
+        Ok(())
     }
 
     /// I/O accounting of the underlying pager.
@@ -739,6 +1033,12 @@ impl ConstraintDb {
             live_pages: self.live_pages() as u64,
             io: self.io_stats(),
             read_only: self.read_only,
+            checkpoint_failures: self.checkpoint_failures,
+            wal: self.wal.as_ref().map(|w| WalStats {
+                durable_lsn: self.durable_lsn,
+                next_lsn: w.next_lsn(),
+                pending: w.pending_records(),
+            }),
         }
     }
 
@@ -759,6 +1059,7 @@ impl ConstraintDb {
         RecoveryReport {
             pager: self.recovery.pager,
             relations,
+            wal: self.recovery.wal.clone(),
         }
     }
 
@@ -791,6 +1092,10 @@ impl ConstraintDb {
                 health: RelationHealth::Healthy,
             },
         );
+        self.log_mutation(WalRecord::CreateRelation {
+            name: name.to_string(),
+            dim: dim as u32,
+        })?;
         Ok(&self.relations[name])
     }
 
@@ -833,6 +1138,9 @@ impl ConstraintDb {
                 freed.map_err(CdbError::from)?;
             }
         }
+        self.log_mutation(WalRecord::DropRelation {
+            name: name.to_string(),
+        })?;
         Ok(())
     }
 
@@ -917,6 +1225,10 @@ impl ConstraintDb {
                 }
             }
         }
+        self.log_mutation(WalRecord::Insert {
+            relation: name.to_string(),
+            tuple,
+        })?;
         Ok(id)
     }
 
@@ -960,6 +1272,10 @@ impl ConstraintDb {
                 }
             }
         }
+        self.log_mutation(WalRecord::Delete {
+            relation: name.to_string(),
+            id,
+        })?;
         Ok(tuple)
     }
 
@@ -990,8 +1306,12 @@ impl ConstraintDb {
                 freed?;
             }
         }
-        rel.index = Some(DualIndex::build(pager, slopes, &tuples)?);
+        rel.index = Some(DualIndex::build(pager, slopes.clone(), &tuples)?);
         rel.mark_repaired("dual");
+        self.log_mutation(WalRecord::BuildDual {
+            relation: name.to_string(),
+            slopes,
+        })?;
         Ok(())
     }
 
@@ -1020,8 +1340,12 @@ impl ConstraintDb {
                 freed?;
             }
         }
-        rel.index_d = Some(DualIndexD::build(pager, points, &tuples)?);
+        rel.index_d = Some(DualIndexD::build(pager, points.clone(), &tuples)?);
         rel.mark_repaired("dual-d");
+        self.log_mutation(WalRecord::BuildDualD {
+            relation: name.to_string(),
+            points,
+        })?;
         Ok(())
     }
 
@@ -1065,6 +1389,10 @@ impl ConstraintDb {
             fill,
         });
         rel.mark_repaired("rplus");
+        self.log_mutation(WalRecord::BuildRPlus {
+            relation: name.to_string(),
+            fill,
+        })?;
         Ok(())
     }
 
@@ -1141,6 +1469,9 @@ impl ConstraintDb {
         }
         idx.refresh_handicaps(pager, &tuples)?;
         self.dirty = true;
+        self.log_mutation(WalRecord::TightenIndex {
+            relation: name.to_string(),
+        })?;
         Ok(())
     }
 

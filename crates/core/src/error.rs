@@ -5,6 +5,11 @@
 /// (bad magic, checksum mismatch, truncated blob, torn meta chain).
 pub const CATALOG_RECORD: u32 = u32::MAX;
 
+/// Sentinel tuple id carried by [`CdbError::CorruptRecord`] when a
+/// write-ahead-log record fails validation during replay. Replay treats it
+/// as the end of the usable log suffix, not as a fatal open error.
+pub const WAL_RECORD: u32 = u32::MAX - 1;
+
 /// Errors surfaced by the `cdb-core` public API.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum CdbError {
@@ -64,6 +69,9 @@ impl std::fmt::Display for CdbError {
             CdbError::UnsupportedQuery(m) => write!(f, "unsupported query: {m}"),
             CdbError::CorruptRecord(id) if *id == CATALOG_RECORD => {
                 write!(f, "database catalog is corrupt (failed to decode)")
+            }
+            CdbError::CorruptRecord(id) if *id == WAL_RECORD => {
+                write!(f, "write-ahead-log record is corrupt (failed to decode)")
             }
             CdbError::CorruptRecord(id) => {
                 write!(f, "heap record of tuple {id} is corrupt (failed to decode)")

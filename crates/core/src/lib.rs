@@ -51,11 +51,13 @@ pub mod index;
 pub mod plan;
 pub mod query;
 pub mod slopes;
+pub(crate) mod wal;
 
 pub use db::{
     ConstraintDb, DbConfig, DbStats, RecoveryReport, Relation, RelationHealth, RelationStats,
+    WalReplay, WalStats,
 };
-pub use error::{CdbError, CATALOG_RECORD};
+pub use error::{CdbError, CATALOG_RECORD, WAL_RECORD};
 pub use exec::QueryExecutor;
 pub use index::DualIndex;
 pub use plan::{

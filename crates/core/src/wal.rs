@@ -1,0 +1,344 @@
+//! Typed write-ahead-log mutation records.
+//!
+//! Every mutating entry point of [`crate::db::ConstraintDb`] — DDL,
+//! inserts/deletes, index builds — logs one [`WalRecord`] carrying exactly
+//! the parameters needed to re-run the call. Replaying the same record
+//! sequence over the same checkpointed base state reproduces the same
+//! engine state bit-for-bit: in particular, tuple ids are deterministic
+//! because `insert` assigns `slots.len()` and the slot table only grows.
+//!
+//! The encoding reuses the little-endian [`RecordWriter`]/[`RecordReader`]
+//! pair behind the catalog: a tag byte, then the variant's fields. The
+//! framing, CRC and LSN stamping live one layer down in
+//! [`cdb_storage::wal`] — this module only sees payload bytes. Decoding
+//! never panics: every invariant a constructor would `assert!` (slope
+//! ordering, simplex coverage, finite floats) is checked first and
+//! surfaced as [`CdbError::CorruptRecord`] with the [`WAL_RECORD`]
+//! sentinel, which replay treats as the end of the usable log.
+
+use cdb_geometry::tuple::GeneralizedTuple;
+use cdb_storage::{RecordReader, RecordWriter};
+
+use crate::ddim::SlopePoints;
+use crate::error::{CdbError, WAL_RECORD};
+use crate::slopes::SlopeSet;
+
+fn corrupt() -> CdbError {
+    CdbError::CorruptRecord(WAL_RECORD)
+}
+
+const TAG_CREATE_RELATION: u8 = 1;
+const TAG_DROP_RELATION: u8 = 2;
+const TAG_INSERT: u8 = 3;
+const TAG_DELETE: u8 = 4;
+const TAG_BUILD_DUAL: u8 = 5;
+const TAG_BUILD_DUAL_D: u8 = 6;
+const TAG_BUILD_RPLUS: u8 = 7;
+const TAG_TIGHTEN_INDEX: u8 = 8;
+
+/// One logged mutation, carrying the parameters of the engine call that
+/// produced it.
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) enum WalRecord {
+    /// `create_relation(name, dim)`.
+    CreateRelation { name: String, dim: u32 },
+    /// `drop_relation(name)`.
+    DropRelation { name: String },
+    /// `insert(relation, tuple)`.
+    Insert {
+        relation: String,
+        tuple: GeneralizedTuple,
+    },
+    /// `delete(relation, id)`.
+    Delete { relation: String, id: u32 },
+    /// `build_dual_index(relation, slopes)`.
+    BuildDual { relation: String, slopes: SlopeSet },
+    /// `build_dual_index_d(relation, points)`.
+    BuildDualD {
+        relation: String,
+        points: SlopePoints,
+    },
+    /// `build_rplus_index(relation, fill)`.
+    BuildRPlus { relation: String, fill: f64 },
+    /// `tighten_index(relation)`.
+    TightenIndex { relation: String },
+}
+
+impl WalRecord {
+    /// Serializes the record for the log.
+    pub(crate) fn encode(&self) -> Vec<u8> {
+        let mut w = RecordWriter::new();
+        match self {
+            WalRecord::CreateRelation { name, dim } => {
+                w.put_u8(TAG_CREATE_RELATION);
+                w.put_str(name);
+                w.put_u32(*dim);
+            }
+            WalRecord::DropRelation { name } => {
+                w.put_u8(TAG_DROP_RELATION);
+                w.put_str(name);
+            }
+            WalRecord::Insert { relation, tuple } => {
+                w.put_u8(TAG_INSERT);
+                w.put_str(relation);
+                w.put_bytes(&tuple.encode());
+            }
+            WalRecord::Delete { relation, id } => {
+                w.put_u8(TAG_DELETE);
+                w.put_str(relation);
+                w.put_u32(*id);
+            }
+            WalRecord::BuildDual { relation, slopes } => {
+                w.put_u8(TAG_BUILD_DUAL);
+                w.put_str(relation);
+                let s = slopes.as_slice();
+                w.put_u32(s.len() as u32);
+                for &v in s {
+                    w.put_f64(v);
+                }
+            }
+            WalRecord::BuildDualD { relation, points } => {
+                w.put_u8(TAG_BUILD_DUAL_D);
+                w.put_str(relation);
+                w.put_u32(points.dim() as u32);
+                w.put_u32(points.len() as u32);
+                for p in points.as_slice() {
+                    for &c in p {
+                        w.put_f64(c);
+                    }
+                }
+                match points.grid_axes() {
+                    Some(axes) => {
+                        w.put_u8(1);
+                        for axis in axes {
+                            w.put_u32(axis.len() as u32);
+                            for &c in axis {
+                                w.put_f64(c);
+                            }
+                        }
+                    }
+                    None => w.put_u8(0),
+                }
+            }
+            WalRecord::BuildRPlus { relation, fill } => {
+                w.put_u8(TAG_BUILD_RPLUS);
+                w.put_str(relation);
+                w.put_f64(*fill);
+            }
+            WalRecord::TightenIndex { relation } => {
+                w.put_u8(TAG_TIGHTEN_INDEX);
+                w.put_str(relation);
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Deserializes a logged record, validating every constructor
+    /// invariant so replay can never panic on bad bytes.
+    ///
+    /// # Errors
+    /// [`CdbError::CorruptRecord`] (id [`WAL_RECORD`]) on an unknown tag,
+    /// truncation, trailing garbage, or values a constructor would refuse.
+    pub(crate) fn decode(bytes: &[u8]) -> Result<WalRecord, CdbError> {
+        let mut r = RecordReader::new(bytes);
+        let on_err = |_| corrupt();
+        let rec = match r.get_u8().map_err(on_err)? {
+            TAG_CREATE_RELATION => WalRecord::CreateRelation {
+                name: r.get_str().map_err(on_err)?.to_string(),
+                dim: r.get_u32().map_err(on_err)?,
+            },
+            TAG_DROP_RELATION => WalRecord::DropRelation {
+                name: r.get_str().map_err(on_err)?.to_string(),
+            },
+            TAG_INSERT => {
+                let relation = r.get_str().map_err(on_err)?.to_string();
+                let tuple =
+                    GeneralizedTuple::decode(r.get_bytes().map_err(on_err)?).ok_or(corrupt())?;
+                WalRecord::Insert { relation, tuple }
+            }
+            TAG_DELETE => WalRecord::Delete {
+                relation: r.get_str().map_err(on_err)?.to_string(),
+                id: r.get_u32().map_err(on_err)?,
+            },
+            TAG_BUILD_DUAL => {
+                let relation = r.get_str().map_err(on_err)?.to_string();
+                let k = r.get_u32().map_err(on_err)? as usize;
+                if k < 2 {
+                    return Err(corrupt());
+                }
+                let mut slopes = Vec::with_capacity(k.min(r.remaining() / 8));
+                for _ in 0..k {
+                    let s = r.get_f64().map_err(on_err)?;
+                    // Ascending, distinct and finite, or SlopeSet::new
+                    // would panic.
+                    if !s.is_finite() || slopes.last().is_some_and(|&prev| s <= prev) {
+                        return Err(corrupt());
+                    }
+                    slopes.push(s);
+                }
+                WalRecord::BuildDual {
+                    relation,
+                    slopes: SlopeSet::new(slopes),
+                }
+            }
+            TAG_BUILD_DUAL_D => {
+                let relation = r.get_str().map_err(on_err)?.to_string();
+                let dim = r.get_u32().map_err(on_err)? as usize;
+                if dim < 2 {
+                    return Err(corrupt());
+                }
+                let k = r.get_u32().map_err(on_err)? as usize;
+                if k < dim {
+                    return Err(corrupt()); // SlopePoints needs a covering simplex
+                }
+                let mut points = Vec::with_capacity(k.min(r.remaining() / 8));
+                for _ in 0..k {
+                    let mut p = Vec::with_capacity(dim - 1);
+                    for _ in 0..dim - 1 {
+                        let c = r.get_f64().map_err(on_err)?;
+                        if !c.is_finite() {
+                            return Err(corrupt());
+                        }
+                        p.push(c);
+                    }
+                    points.push(p);
+                }
+                let grid_axes = match r.get_u8().map_err(on_err)? {
+                    0 => None,
+                    1 => {
+                        let mut axes = Vec::with_capacity(dim - 1);
+                        for _ in 0..dim - 1 {
+                            let n = r.get_u32().map_err(on_err)? as usize;
+                            let mut axis = Vec::with_capacity(n.min(r.remaining() / 8));
+                            for _ in 0..n {
+                                let c = r.get_f64().map_err(on_err)?;
+                                if !c.is_finite() {
+                                    return Err(corrupt());
+                                }
+                                axis.push(c);
+                            }
+                            axes.push(axis);
+                        }
+                        Some(axes)
+                    }
+                    _ => return Err(corrupt()),
+                };
+                WalRecord::BuildDualD {
+                    relation,
+                    points: SlopePoints::from_parts(dim, points, grid_axes),
+                }
+            }
+            TAG_BUILD_RPLUS => {
+                let relation = r.get_str().map_err(on_err)?.to_string();
+                let fill = r.get_f64().map_err(on_err)?;
+                if !fill.is_finite() {
+                    return Err(corrupt());
+                }
+                WalRecord::BuildRPlus { relation, fill }
+            }
+            TAG_TIGHTEN_INDEX => WalRecord::TightenIndex {
+                relation: r.get_str().map_err(on_err)?.to_string(),
+            },
+            _ => return Err(corrupt()),
+        };
+        if r.remaining() != 0 {
+            return Err(corrupt()); // trailing garbage
+        }
+        Ok(rec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdb_geometry::{LinearConstraint, RelOp};
+
+    fn box_tuple() -> GeneralizedTuple {
+        GeneralizedTuple::new(vec![
+            LinearConstraint::new(vec![1.0, 0.0], 0.0, RelOp::Ge),
+            LinearConstraint::new(vec![1.0, 0.0], -2.0, RelOp::Le),
+            LinearConstraint::new(vec![0.0, 1.0], 0.0, RelOp::Ge),
+            LinearConstraint::new(vec![0.0, 1.0], -2.0, RelOp::Le),
+        ])
+    }
+
+    #[test]
+    fn every_variant_round_trips() {
+        let records = vec![
+            WalRecord::CreateRelation {
+                name: "r".into(),
+                dim: 2,
+            },
+            WalRecord::DropRelation { name: "r".into() },
+            WalRecord::Insert {
+                relation: "r".into(),
+                tuple: box_tuple(),
+            },
+            WalRecord::Delete {
+                relation: "r".into(),
+                id: 7,
+            },
+            WalRecord::BuildDual {
+                relation: "r".into(),
+                slopes: SlopeSet::uniform_tan(6),
+            },
+            WalRecord::BuildDualD {
+                relation: "r".into(),
+                points: SlopePoints::grid(3, 2, 1.0),
+            },
+            WalRecord::BuildDualD {
+                relation: "r".into(),
+                points: SlopePoints::new(3, vec![vec![0.0, 0.0], vec![1.0, 0.0], vec![0.0, 1.0]]),
+            },
+            WalRecord::BuildRPlus {
+                relation: "r".into(),
+                fill: 0.8,
+            },
+            WalRecord::TightenIndex {
+                relation: "r".into(),
+            },
+        ];
+        for rec in records {
+            let bytes = rec.encode();
+            assert_eq!(WalRecord::decode(&bytes).unwrap(), rec, "{rec:?}");
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage_without_panicking() {
+        let is_corrupt = |b: &[u8]| {
+            matches!(
+                WalRecord::decode(b),
+                Err(CdbError::CorruptRecord(WAL_RECORD))
+            )
+        };
+        assert!(is_corrupt(&[]));
+        assert!(is_corrupt(&[0xFF]));
+        assert!(is_corrupt(b"\x01truncated"));
+        // Trailing garbage after a valid record.
+        let mut bytes = WalRecord::DropRelation { name: "r".into() }.encode();
+        bytes.push(0);
+        assert!(is_corrupt(&bytes));
+        // Non-ascending slopes would make SlopeSet::new panic.
+        let mut w = RecordWriter::new();
+        w.put_u8(TAG_BUILD_DUAL);
+        w.put_str("r");
+        w.put_u32(2);
+        w.put_f64(1.0);
+        w.put_f64(0.5);
+        assert!(is_corrupt(&w.into_bytes()));
+        // Too few points for a covering simplex.
+        let mut w = RecordWriter::new();
+        w.put_u8(TAG_BUILD_DUAL_D);
+        w.put_str("r");
+        w.put_u32(3);
+        w.put_u32(2);
+        assert!(is_corrupt(&w.into_bytes()));
+        // Non-finite fill factor.
+        let mut w = RecordWriter::new();
+        w.put_u8(TAG_BUILD_RPLUS);
+        w.put_str("r");
+        w.put_f64(f64::NAN);
+        assert!(is_corrupt(&w.into_bytes()));
+    }
+}

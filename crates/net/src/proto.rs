@@ -32,7 +32,7 @@
 
 use cdb_core::plan::{CostEstimate, MethodKind};
 use cdb_core::query::{QueryResult, QueryStats, Selection, SelectionKind, Strategy};
-use cdb_core::{CdbError, DbStats, RelationHealth, RelationStats};
+use cdb_core::{CdbError, DbStats, RelationHealth, RelationStats, WalReplay, WalStats};
 use cdb_geometry::constraint::RelOp;
 use cdb_geometry::halfplane::HalfPlane;
 use cdb_geometry::tuple::GeneralizedTuple;
@@ -42,8 +42,9 @@ use cdb_storage::{CodecError, IoStats, PagerRecovery, RecordReader, RecordWriter
 pub const MAGIC: [u8; 4] = *b"CDBN";
 
 /// Protocol version spoken by this build. Bumped on any frame-layout or
-/// tag change; the handshake refuses mismatched peers.
-pub const PROTOCOL_VERSION: u16 = 1;
+/// tag change; the handshake refuses mismatched peers. Version 2 added
+/// the WAL fields to `Stats` and `Fsck` responses.
+pub const PROTOCOL_VERSION: u16 = 2;
 
 /// Handshake verdict carried by the server's greeting.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -326,6 +327,8 @@ impl From<&QueryResult> for WireQueryResult {
 pub struct WireRecoveryReport {
     /// Header recovery performed at open.
     pub pager: PagerRecovery,
+    /// Write-ahead-log replay performed at open, if a log was present.
+    pub wal: Option<WalReplay>,
     /// `(relation, health)` pairs, sorted by name.
     pub relations: Vec<(String, RelationHealth)>,
 }
@@ -651,6 +654,54 @@ fn get_pager_recovery(r: &mut RecordReader<'_>) -> Result<PagerRecovery, CodecEr
     })
 }
 
+fn put_wal_replay(w: &mut RecordWriter, rep: &Option<WalReplay>) {
+    match rep {
+        None => w.put_u8(0),
+        Some(rep) => {
+            w.put_u8(1);
+            w.put_u64(rep.start_lsn);
+            w.put_u64(rep.replayed);
+            w.put_u64(rep.first_lsn);
+            w.put_u64(rep.last_lsn);
+            w.put_u8(u8::from(rep.torn_tail));
+            match &rep.error {
+                None => w.put_u8(0),
+                Some(msg) => {
+                    w.put_u8(1);
+                    w.put_str(msg);
+                }
+            }
+        }
+    }
+}
+
+fn get_wal_replay(r: &mut RecordReader<'_>) -> Result<Option<WalReplay>, CodecError> {
+    Ok(match r.get_u8()? {
+        0 => None,
+        1 => Some(WalReplay {
+            start_lsn: r.get_u64()?,
+            replayed: r.get_u64()?,
+            first_lsn: r.get_u64()?,
+            last_lsn: r.get_u64()?,
+            torn_tail: get_bool(r, "wal torn-tail flag")?,
+            error: match r.get_u8()? {
+                0 => None,
+                1 => Some(r.get_str()?.to_string()),
+                _ => return Err(CodecError::Invalid("wal error presence")),
+            },
+        }),
+        _ => return Err(CodecError::Invalid("wal replay presence")),
+    })
+}
+
+fn get_bool(r: &mut RecordReader<'_>, what: &'static str) -> Result<bool, CodecError> {
+    match r.get_u8()? {
+        0 => Ok(false),
+        1 => Ok(true),
+        _ => Err(CodecError::Invalid(what)),
+    }
+}
+
 fn put_db_stats(w: &mut RecordWriter, s: &DbStats) {
     w.put_u32(s.relations.len() as u32);
     for rel in &s.relations {
@@ -668,6 +719,16 @@ fn put_db_stats(w: &mut RecordWriter, s: &DbStats) {
     w.put_u64(s.live_pages);
     put_iostats(w, &s.io);
     w.put_u8(u8::from(s.read_only));
+    w.put_u64(s.checkpoint_failures);
+    match &s.wal {
+        None => w.put_u8(0),
+        Some(wal) => {
+            w.put_u8(1);
+            w.put_u64(wal.durable_lsn);
+            w.put_u64(wal.next_lsn);
+            w.put_u64(wal.pending);
+        }
+    }
 }
 
 fn get_db_stats(r: &mut RecordReader<'_>) -> Result<DbStats, CodecError> {
@@ -684,16 +745,24 @@ fn get_db_stats(r: &mut RecordReader<'_>) -> Result<DbStats, CodecError> {
     })?;
     let live_pages = r.get_u64()?;
     let io = get_iostats(r)?;
-    let read_only = match r.get_u8()? {
-        0 => false,
-        1 => true,
-        _ => return Err(CodecError::Invalid("read-only flag")),
+    let read_only = get_bool(r, "read-only flag")?;
+    let checkpoint_failures = r.get_u64()?;
+    let wal = match r.get_u8()? {
+        0 => None,
+        1 => Some(WalStats {
+            durable_lsn: r.get_u64()?,
+            next_lsn: r.get_u64()?,
+            pending: r.get_u64()?,
+        }),
+        _ => return Err(CodecError::Invalid("wal stats presence")),
     };
     Ok(DbStats {
         relations,
         live_pages,
         io,
         read_only,
+        checkpoint_failures,
+        wal,
     })
 }
 
@@ -1028,6 +1097,7 @@ pub fn encode_response(request_id: u64, outcome: &Result<Response, NetError>) ->
                 Response::Fsck(rep) => {
                     w.put_u8(RESP_FSCK);
                     put_pager_recovery(&mut w, &rep.pager);
+                    put_wal_replay(&mut w, &rep.wal);
                     w.put_u32(rep.relations.len() as u32);
                     for (name, health) in &rep.relations {
                         w.put_str(name);
@@ -1084,9 +1154,14 @@ pub fn decode_response(buf: &[u8]) -> Result<(u64, Result<Response, NetError>), 
             RESP_STATS => Response::Stats(get_db_stats(&mut r)?),
             RESP_FSCK => {
                 let pager = get_pager_recovery(&mut r)?;
+                let wal = get_wal_replay(&mut r)?;
                 let relations =
                     get_counted(&mut r, |r| Ok((r.get_str()?.to_string(), get_health(r)?)))?;
-                Response::Fsck(WireRecoveryReport { pager, relations })
+                Response::Fsck(WireRecoveryReport {
+                    pager,
+                    wal,
+                    relations,
+                })
             }
             _ => return Err(CodecError::Invalid("response tag")),
         }),
@@ -1248,12 +1323,26 @@ mod tests {
                 frees: 0,
             },
             read_only: true,
+            checkpoint_failures: 3,
+            wal: Some(WalStats {
+                durable_lsn: 41,
+                next_lsn: 44,
+                pending: 2,
+            }),
         })));
         roundtrip_outcome(Ok(Response::Fsck(WireRecoveryReport {
             pager: PagerRecovery::FellBack {
                 recovered_epoch: 4,
                 lost_epoch: 5,
             },
+            wal: Some(WalReplay {
+                start_lsn: 7,
+                replayed: 2,
+                first_lsn: 7,
+                last_lsn: 8,
+                torn_tail: true,
+                error: Some("replay stopped at lsn 9: boom".into()),
+            }),
             relations: vec![
                 ("a".into(), RelationHealth::Healthy),
                 (

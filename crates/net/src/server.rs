@@ -8,26 +8,30 @@
 //!                 ▼
 //!        channel of admitted sockets ──► N session workers
 //!                                          │ reads: RwLock::read  ──►  &self query path
-//!                                          │ writes: bounded lane ──►  single writer thread
-//!                                          ▼                             RwLock::write +
-//!                                     response frames                    periodic checkpoint
+//!                                          │ writes: bounded lane ──►  group-commit writer
+//!                                          ▼                             apply batch, one
+//!                                     response frames                    fsync, then reply
 //! ```
 //!
 //! * **Reads run concurrently.** Query/EXPLAIN/stats/fsck execute under a
 //!   shared read lock on the engine — the `&self` snapshot read path built
 //!   in PR 1 does the rest.
-//! * **Writes serialize through one lane.** Mutations are `try_send`-ed
-//!   into a bounded queue consumed by a dedicated writer thread; a full
-//!   queue answers [`NetError::Overloaded`] instead of growing without
-//!   bound. The writer checkpoints every `checkpoint_every` successful
-//!   mutations, so a crash loses at most that window (and recovery falls
-//!   back to the last durable commit, PR 3/4's guarantee).
+//! * **Writes group-commit through one lane.** Mutations are
+//!   `try_send`-ed into a bounded queue consumed by a dedicated writer
+//!   thread; a full queue answers [`NetError::Overloaded`] instead of
+//!   growing without bound. The writer drains the queue into a batch,
+//!   applies it under one write-lock acquisition, appends the mutations'
+//!   WAL records and fsyncs *once*, and only then sends the replies: an
+//!   acknowledged write is durable, full stop. Checkpoints every
+//!   `checkpoint_every` successful mutations fold the log into the
+//!   shadow-paged commit and truncate it.
 //! * **Admission control.** At most `max_connections` admitted sessions at
 //!   a time; beyond that the greeting itself says
 //!   [`HandshakeStatus::Overloaded`] and the socket is closed.
 //! * **Deadlines.** Each request carries a relative deadline; it is
-//!   checked before execution starts (reads) and again when the writer
-//!   dequeues the job — an expired request answers
+//!   checked before execution starts (reads) and again once the writer
+//!   actually holds the write lock — a job that waited out its deadline
+//!   behind a slow batch or checkpoint answers
 //!   [`NetError::DeadlineExceeded`] without touching the engine.
 //! * **Graceful shutdown.** The `Shutdown` op (or a [`ShutdownHandle`])
 //!   raises a flag: the accept loop refuses new sessions, session workers
@@ -129,17 +133,24 @@ pub struct Server {
 
 impl Server {
     /// Binds a listener and wraps the engine for serving. Pass port 0 for
-    /// an ephemeral port and read it back with [`local_addr`].
+    /// an ephemeral port and read it back with [`local_addr`]. A writable
+    /// file-backed engine gets its write-ahead log armed here, so every
+    /// acknowledgement the server sends names a durable mutation;
+    /// in-memory engines serve without one (nothing to promise).
     ///
     /// [`local_addr`]: Server::local_addr
     ///
     /// # Errors
-    /// [`CdbError::Io`] when the address cannot be bound.
+    /// [`CdbError::Io`] when the address cannot be bound or the
+    /// write-ahead log cannot be created.
     pub fn bind(
         addr: impl ToSocketAddrs,
-        db: ConstraintDb,
+        mut db: ConstraintDb,
         config: ServerConfig,
     ) -> Result<Server, CdbError> {
+        if !db.is_read_only() {
+            db.begin_wal()?;
+        }
         let listener = TcpListener::bind(addr).map_err(CdbError::from)?;
         let local_addr = listener.local_addr().map_err(CdbError::from)?;
         Ok(Server {
@@ -443,6 +454,7 @@ fn apply_read(db: &ConstraintDb, request: &Request) -> Result<Response, NetError
             let rep = db.verify_now();
             Ok(Response::Fsck(WireRecoveryReport {
                 pager: rep.pager,
+                wal: rep.wal,
                 relations: rep.relations,
             }))
         }
@@ -453,32 +465,61 @@ fn apply_read(db: &ConstraintDb, request: &Request) -> Result<Response, NetError
     }
 }
 
-/// The single writer lane: applies mutations in arrival order under the
-/// write lock, answering each session through its reply channel, and
-/// checkpoints every `checkpoint_every` successful mutations.
+/// The group-commit writer lane: drains every queued job into one batch,
+/// applies the batch in arrival order under a single write-lock
+/// acquisition, makes it durable with one [`ConstraintDb::wal_sync`], and
+/// only then sends the replies — so an acknowledgement always names a
+/// mutation that survives a crash. Checkpoints every `checkpoint_every`
+/// successful mutations (which also truncates the log).
 fn writer_loop(shared: &Shared, jobs: &Receiver<WriteJob>, checkpoint_every: u64) {
     let mut since_checkpoint = 0u64;
-    while let Ok(job) = jobs.recv() {
-        let outcome = if expired(job.deadline) {
-            Err(NetError::DeadlineExceeded)
-        } else {
-            let mut db = shared.db.write().unwrap_or_else(|e| e.into_inner());
-            apply_write(&mut db, job.request)
-        };
-        let mutated = outcome.is_ok();
-        let _ = job.reply.send(outcome); // a vanished session is not an error
-        if mutated {
-            since_checkpoint += 1;
+    while let Ok(first) = jobs.recv() {
+        // Everything already queued behind this job joins its batch.
+        let mut batch = vec![first];
+        while let Ok(job) = jobs.try_recv() {
+            batch.push(job);
         }
-        if since_checkpoint >= checkpoint_every {
+        let mut replies = Vec::with_capacity(batch.len());
+        {
             let mut db = shared.db.write().unwrap_or_else(|e| e.into_inner());
-            if let Err(e) = db.checkpoint() {
-                // The op itself succeeded in memory; durability catches up
-                // at the next checkpoint (or degrades to the last commit on
-                // crash — exactly the recovery contract).
-                eprintln!("cdb-server: periodic checkpoint failed: {e}");
+            for job in batch {
+                // Re-check the deadline now that the lock is held: a job
+                // can wait out its deadline behind a slow batch or
+                // checkpoint, and must then be refused without mutating.
+                let outcome = if expired(job.deadline) {
+                    Err(NetError::DeadlineExceeded)
+                } else {
+                    apply_write(&mut db, job.request)
+                };
+                replies.push((job.reply, outcome));
             }
-            since_checkpoint = 0;
+            // One fsync covers the whole batch. If it fails, nothing in
+            // the batch is durable — withdraw every success before anyone
+            // hears about it.
+            if let Err(e) = db.wal_sync() {
+                for (_, outcome) in replies.iter_mut() {
+                    if outcome.is_ok() {
+                        *outcome = Err(NetError::Db(CdbError::Io(format!(
+                            "write-ahead log sync failed: {e}"
+                        ))));
+                    }
+                }
+            }
+            since_checkpoint += replies.iter().filter(|(_, o)| o.is_ok()).count() as u64;
+            if since_checkpoint >= checkpoint_every {
+                match db.checkpoint() {
+                    // Only success resets the counter: after a failure the
+                    // very next mutation retries instead of waiting out a
+                    // whole window, and the failure streak is surfaced by
+                    // stats_snapshot().
+                    Ok(()) => since_checkpoint = 0,
+                    Err(e) => eprintln!("cdb-server: periodic checkpoint failed: {e}"),
+                }
+            }
+        }
+        // The lock is released and the batch is durable: acknowledge.
+        for (reply, outcome) in replies {
+            let _ = reply.send(outcome); // a vanished session is not an error
         }
     }
     // Queue disconnected: every session is gone. The final checkpoint

@@ -18,6 +18,9 @@
 //!   torn writes and crash points, for deterministic recovery testing;
 //! * [`heap::HeapFile`] — a slotted-page heap for variable-length records
 //!   (tuple payloads fetched by the refinement step);
+//! * [`wal::Wal`] — an append-only, crc-framed write-ahead log with
+//!   group-commit batching and torn-tail-tolerant replay, closing the
+//!   durability gap between shadow-paged checkpoints;
 //! * [`codec`] — little-endian page field helpers shared by the tree crates,
 //!   the fallible record codec and CRC-32 behind the durable catalog, and
 //!   the [`seal_page`]/[`check_page`] page-trailer pair behind torn-page
@@ -38,6 +41,7 @@ pub mod heap;
 pub mod pager;
 pub mod stats;
 pub mod tracked;
+pub mod wal;
 
 pub use buffer::BufferPool;
 pub use codec::{
@@ -50,3 +54,4 @@ pub use heap::{HeapFile, RecordId};
 pub use pager::{MemPager, PageId, PageReader, Pager, DEFAULT_PAGE_SIZE};
 pub use stats::IoStats;
 pub use tracked::TrackedReader;
+pub use wal::{wal_path, Wal, WalFaultPlan, WalScan};

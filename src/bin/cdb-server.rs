@@ -82,8 +82,10 @@ fn run() -> Result<(), String> {
     std::io::stdout().flush().map_err(|e| e.to_string())?;
 
     // run() blocks until a client requests shutdown, then drains, checkpoints
-    // and hands the database back; dropping it closes any on-disk file.
-    let _db = server.run().map_err(|e| e.to_string())?;
+    // and hands the database back; close() absorbs and removes the WAL so a
+    // graceful exit leaves only the committed database file.
+    let db = server.run().map_err(|e| e.to_string())?;
+    db.close().map_err(|e| e.to_string())?;
     Ok(())
 }
 

@@ -51,7 +51,7 @@ fn main() {
     if interactive {
         println!("constraint-db shell — 'help' for commands, 'quit' to exit");
     }
-    let session = Session::Local(ConstraintDb::in_memory(DbConfig::paper_1999()));
+    let session = Session::Local(Box::new(ConstraintDb::in_memory(DbConfig::paper_1999())));
     repl(session, source, interactive);
 }
 

@@ -13,7 +13,7 @@ use cdb_core::db::{ConstraintDb, DbConfig, DbStats};
 use cdb_core::ddim::SlopePoints;
 use cdb_core::query::{QueryResult, Selection, SelectionKind, Strategy};
 use cdb_core::slopes::SlopeSet;
-use cdb_core::RelationHealth;
+use cdb_core::{RelationHealth, WalReplay};
 use cdb_geometry::halfplane::HalfPlane;
 use cdb_geometry::parse::parse_tuple;
 use cdb_net::proto::WireRecoveryReport;
@@ -22,8 +22,9 @@ use cdb_storage::PagerRecovery;
 
 /// Where commands execute: in-process or over the wire.
 pub enum Session {
-    /// An owned engine in this process.
-    Local(ConstraintDb),
+    /// An owned engine in this process (boxed: the engine is much larger
+    /// than a client handle).
+    Local(Box<ConstraintDb>),
     /// A connected `cdb-server` session.
     Remote(Client),
 }
@@ -67,7 +68,7 @@ pub fn run_command(session: &mut Session, line: &str) -> Result<String, String> 
             Ok(format!("connected to {addr}"))
         }
         "disconnect" => {
-            *session = Session::Local(ConstraintDb::in_memory(DbConfig::paper_1999()));
+            *session = Session::Local(Box::new(ConstraintDb::in_memory(DbConfig::paper_1999())));
             Ok("disconnected; now on a fresh in-memory database".into())
         }
         "ping" => match session {
@@ -316,7 +317,7 @@ pub fn run_command(session: &mut Session, line: &str) -> Result<String, String> 
                     )
                 };
                 let rels = opened.relation_names();
-                *db = opened;
+                **db = opened;
                 Ok(format!(
                     "{verb} {} ({} relations: {:?})",
                     path.display(),
@@ -371,6 +372,18 @@ fn render_stats(s: &DbStats) -> String {
         s.io.writes,
         if s.read_only { " (read-only)" } else { "" }
     );
+    if let Some(wal) = &s.wal {
+        out.push_str(&format!(
+            "\nwal: durable through lsn {}, next lsn {}, {} pending record(s)",
+            wal.durable_lsn, wal.next_lsn, wal.pending
+        ));
+    }
+    if s.checkpoint_failures > 0 {
+        out.push_str(&format!(
+            "\nwarning: {} consecutive checkpoint failure(s)",
+            s.checkpoint_failures
+        ));
+    }
     for rel in &s.relations {
         out.push_str(&format!(
             "\n  {}: {}-D, {} tuples, {} heap / {} total pages, indexes [{}], {}",
@@ -386,6 +399,34 @@ fn render_stats(s: &DbStats) -> String {
     out
 }
 
+/// Renders the WAL-replay section of a recovery report: how many records
+/// were replayed over the last checkpoint, their LSN range, whether the log
+/// ended in a torn tail, and any replay error.
+fn render_wal_replay(out: &mut String, wal: &Option<WalReplay>) {
+    let Some(wal) = wal else {
+        out.push_str("wal: none\n");
+        return;
+    };
+    if wal.replayed > 0 || wal.error.is_none() {
+        let mut line = if wal.replayed > 0 {
+            format!(
+                "wal: replayed {} record(s), lsn {}..={}",
+                wal.replayed, wal.first_lsn, wal.last_lsn
+            )
+        } else {
+            format!("wal: empty (starts at lsn {})", wal.start_lsn)
+        };
+        if wal.torn_tail {
+            line.push_str(", torn tail dropped");
+        }
+        out.push_str(&line);
+        out.push('\n');
+    }
+    if let Some(err) = &wal.error {
+        out.push_str(&format!("wal: {err}\n"));
+    }
+}
+
 fn render_remote_fsck(rep: &WireRecoveryReport) -> String {
     let mut out = String::new();
     match rep.pager {
@@ -397,6 +438,7 @@ fn render_remote_fsck(rep: &WireRecoveryReport) -> String {
             "pager: commit {lost_epoch} was torn; fell back to epoch {recovered_epoch}\n"
         )),
     }
+    render_wal_replay(&mut out, &rep.wal);
     if rep.relations.is_empty() {
         out.push_str("no relations\n");
     }
@@ -407,6 +449,7 @@ fn render_remote_fsck(rep: &WireRecoveryReport) -> String {
         .relations
         .iter()
         .any(|(_, h)| *h != RelationHealth::Healthy)
+        || rep.wal.as_ref().is_some_and(|w| w.error.is_some())
     {
         "fsck: problems found"
     } else {
@@ -448,6 +491,7 @@ pub fn fsck(rest: &str) -> Result<String, String> {
             "pager: commit {lost_epoch} was torn; fell back to epoch {recovered_epoch}\n"
         )),
     }
+    render_wal_replay(&mut out, &report.wal);
     if report.relations.is_empty() {
         out.push_str("no relations\n");
     }
@@ -474,6 +518,7 @@ pub fn fsck(rest: &str) -> Result<String, String> {
         .relations
         .iter()
         .any(|(_, h)| *h != RelationHealth::Healthy)
+        || report.wal.as_ref().is_some_and(|w| w.error.is_some())
     {
         if rebuild {
             "fsck: repairs applied (quarantined relations, if any, need manual attention)"

@@ -17,7 +17,7 @@ use constraint_db::index::query::Strategy;
 use constraint_db::index::RelationHealth;
 use constraint_db::prelude::*;
 use constraint_db::storage::file::FilePager;
-use constraint_db::storage::{FaultPager, FaultPlan, PageId};
+use constraint_db::storage::{wal_path, FaultPager, FaultPlan, PageId, WalFaultPlan};
 
 use std::io::{Seek, SeekFrom, Write as _};
 
@@ -401,6 +401,185 @@ fn corrupt_index_degrades_and_rebuild_indexes_repairs_from_the_heap() {
         db.query_with("r", sel, Strategy::T1).unwrap().ids(),
         &oracle[..]
     );
+    let _ = std::fs::remove_file(&path);
+}
+
+/// The WAL-armed scripted workload for the crash matrix: a relation plus a
+/// stream of inserts, group-commit syncs every third insert and one
+/// mid-stream checkpoint, so the fault counter sweeps appends, fsyncs and
+/// the truncate-on-checkpoint. Returns the **acked oracle** — the sorted
+/// live set that durability was confirmed for (a batch is acked only when
+/// its `wal_sync` returned Ok; a successful checkpoint acks everything
+/// applied so far) — and whether the run completed without the crash
+/// firing.
+fn wal_faulted_run(
+    path: &std::path::Path,
+    plan: WalFaultPlan,
+) -> (Vec<(u32, GeneralizedTuple)>, bool) {
+    let _ = std::fs::remove_file(path);
+    let _ = std::fs::remove_file(wal_path(path));
+    let mut db = ConstraintDb::create(path, DbConfig::paper_1999()).unwrap();
+    assert!(db.begin_wal().unwrap(), "file-backed engines arm the wal");
+    db.set_wal_fault_plan(plan);
+
+    let mut ok = true;
+    let mut acked: Vec<(u32, GeneralizedTuple)> = Vec::new();
+    let mut pending: Vec<(u32, GeneralizedTuple)> = Vec::new();
+    ok &= db.create_relation("r", 2).is_ok();
+    ok &= db.wal_sync().is_ok();
+    for (i, t) in DatasetSpec::paper_1999(18, ObjectSize::Small, 31)
+        .generate()
+        .into_iter()
+        .enumerate()
+    {
+        match db.insert("r", t.clone()) {
+            Ok(id) => pending.push((id, t)),
+            Err(_) => ok = false,
+        }
+        if i % 3 == 2 {
+            // Group-commit boundary: the fsync is what acknowledges.
+            if db.wal_sync().is_ok() {
+                acked.append(&mut pending);
+            } else {
+                ok = false;
+                pending.clear();
+            }
+        }
+        if i == 8 {
+            // A checkpoint commits everything applied so far — including
+            // mutations whose log append failed — so the engine's own scan
+            // is the authoritative acked set from here.
+            match db.checkpoint() {
+                Ok(()) => {
+                    acked = live_set(&db);
+                    pending.clear();
+                }
+                Err(_) => ok = false,
+            }
+        }
+    }
+    acked.sort_by_key(|(id, _)| *id);
+    (acked, ok)
+    // db dropped without close ≡ crash
+}
+
+/// Crash at every WAL op index in turn — append, fsync, and the
+/// truncate-on-checkpoint — and assert that `open` never panics and that
+/// the recovered state contains **every acknowledged mutation**. Recovery
+/// may exceed the acked set (a torn fsync can land complete frames whose
+/// acknowledgement was never sent); it must never fall short of it.
+#[test]
+fn wal_crash_at_every_op_loses_no_acked_mutation() {
+    let path = tmp("walmatrix");
+    let mut k = 1u64;
+    loop {
+        let (acked, complete) = wal_faulted_run(&path, WalFaultPlan::new().crash_at(k));
+        let db = ConstraintDb::open(&path)
+            .unwrap_or_else(|e| panic!("wal crash at op {k}: open failed: {e}"));
+        assert!(
+            db.recovery_report().is_clean(),
+            "wal crash at op {k}: recovery is not clean: {:?}",
+            db.recovery_report()
+        );
+        let got = live_set(&db);
+        // Insert-only workload: replay re-assigns the same dense ids, so
+        // the recovered set is a clean prefix at least as long as the acked
+        // set, agreeing with it tuple for tuple.
+        assert!(
+            got.len() >= acked.len(),
+            "wal crash at op {k}: lost acked mutations ({} recovered < {} acked)",
+            got.len(),
+            acked.len()
+        );
+        assert_eq!(
+            &got[..acked.len()],
+            acked.as_slice(),
+            "wal crash at op {k}: recovered state diverges from the acked set"
+        );
+        for (i, (id, _)) in got.iter().enumerate() {
+            assert_eq!(*id as usize, i, "wal crash at op {k}: ids are not dense");
+        }
+        if !got.is_empty() {
+            let sel = Selection::exist(HalfPlane::above(0.37, 0.0));
+            let scan = db.query_with("r", sel.clone(), Strategy::Scan).unwrap();
+            let auto = db.query_with("r", sel, Strategy::Auto).unwrap();
+            assert_eq!(scan.ids(), auto.ids(), "wal crash at op {k}");
+        }
+        drop(db);
+        if complete {
+            break;
+        }
+        k += 1;
+        assert!(k < 10_000, "wal crash matrix failed to terminate");
+    }
+    assert!(k > 20, "the workload exercises a real spread of wal ops");
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(wal_path(&path));
+}
+
+/// A WAL whose tail frame is physically torn (the classic partial write)
+/// must not poison recovery: replay keeps every complete frame, reports
+/// `torn_tail`, stays clean, and absorbs the log so the next open starts
+/// fresh.
+#[test]
+fn torn_wal_tail_is_dropped_cleanly() {
+    let path = tmp("waltear");
+    let wpath = wal_path(&path);
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(&wpath);
+
+    let mut db = ConstraintDb::create(&path, DbConfig::paper_1999()).unwrap();
+    db.begin_wal().unwrap();
+    db.create_relation("r", 2).unwrap();
+    let tuples = DatasetSpec::paper_1999(6, ObjectSize::Small, 41).generate();
+    let mut first = Vec::new();
+    for t in &tuples[..3] {
+        first.push((db.insert("r", t.clone()).unwrap(), t.clone()));
+    }
+    db.wal_sync().unwrap();
+    for t in &tuples[3..] {
+        db.insert("r", t.clone()).unwrap();
+    }
+    db.wal_sync().unwrap();
+    drop(db); // crash without checkpoint: the wal is the only durable copy
+
+    // Tear the tail: chop bytes out of the last record's frame.
+    let len = std::fs::metadata(&wpath).unwrap().len();
+    let f = std::fs::OpenOptions::new()
+        .write(true)
+        .open(&wpath)
+        .unwrap();
+    f.set_len(len - 5).unwrap();
+    f.sync_all().unwrap();
+    drop(f);
+
+    let db = ConstraintDb::open(&path).unwrap();
+    let report = db.recovery_report().clone();
+    let wal = report.wal.clone().expect("replay report is present");
+    assert!(wal.torn_tail, "the tear is detected");
+    assert!(wal.error.is_none(), "a torn tail is not a replay error");
+    assert!(report.is_clean(), "torn-tail recovery is clean");
+    // Everything before the torn frame survives: the create, the three
+    // synced inserts, and the two complete frames of the second batch.
+    assert_eq!(wal.replayed, 6, "create + five complete insert frames");
+    let got = live_set(&db);
+    assert_eq!(
+        got.len(),
+        5,
+        "all complete frames replay; the torn one drops"
+    );
+    assert_eq!(&got[..3], first.as_slice(), "every acked insert survives");
+    assert!(
+        !wpath.exists(),
+        "a clean replay absorbs the log into a checkpoint and deletes it"
+    );
+    drop(db);
+
+    // The recovered state is itself durable: a second open is a no-op.
+    let db = ConstraintDb::open(&path).unwrap();
+    assert!(db.recovery_report().wal.is_none(), "no log left to replay");
+    assert_eq!(live_set(&db), got);
+    drop(db);
     let _ = std::fs::remove_file(&path);
 }
 

@@ -186,10 +186,13 @@ fn concurrent_clients_match_in_process_oracle() {
 }
 
 /// SIGKILL the server process mid-write-stream: the database file must
-/// reopen cleanly, containing a consistent prefix of the acknowledged
-/// inserts (everything up to the last durable checkpoint, nothing torn).
+/// reopen cleanly and contain **every acknowledged insert** — the server
+/// fsyncs the write-ahead log before replying, so an ack means durable.
+/// Recovery may additionally surface logged-but-unacknowledged inserts
+/// (the sync landed, the reply didn't); the recovered set is a clean
+/// prefix that is a superset of the acked set, never a subset.
 #[test]
-fn kill_nine_mid_write_stream_recovers_to_checkpoint() {
+fn kill_nine_loses_no_acknowledged_insert() {
     let path = std::env::temp_dir().join(format!("cdb_it_kill9_{}.db", std::process::id()));
     let _ = std::fs::remove_file(&path);
 
@@ -239,9 +242,9 @@ fn kill_nine_mid_write_stream_recovers_to_checkpoint() {
     let snap = db.stats_snapshot();
     let live = snap.relations[0].live;
     assert!(
-        (40..=acked as u64).contains(&live),
-        "recovered {live} tuples, expected between the checkpointed 40 \
-         and the {acked} acknowledged"
+        live >= acked as u64,
+        "lost acknowledged writes: recovered {live} tuples but {acked} \
+         inserts were acknowledged before the kill"
     );
     for rel in &snap.relations {
         assert_eq!(
@@ -265,4 +268,5 @@ fn kill_nine_mid_write_stream_recovers_to_checkpoint() {
     }
     drop(db);
     std::fs::remove_file(&path).unwrap();
+    let _ = std::fs::remove_file(constraint_db::storage::wal_path(&path));
 }
