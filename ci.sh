@@ -29,6 +29,7 @@ step test cargo test -q --workspace
 step persistence cargo test -q --test persistence
 step reopen cargo test -q --test reopen
 step fault-injection cargo test -q --test fault_injection
+step snapshot-isolation cargo test -q --test snapshot_isolation
 
 # End-to-end health check: build a small database with the shell, then
 # verify every page checksum through `cdb fsck` (read-only and repair
@@ -133,6 +134,81 @@ wal_smoke() {
   rm -f "$f" "$f.wal" "$log"
 }
 step wal wal_smoke
+
+# Mixed-workload durability smoke: reader clients stream snapshot queries
+# while a writer streams inserts, and the server is SIGKILLed mid-write.
+# Reopening must be healthy — WAL replay restores every insert that was
+# acknowledged before the kill — and the reader fleet must neither see
+# nor cause a torn state. Like every smoke, this opens its own fresh
+# listener on its own ephemeral port.
+mixed_smoke() {
+  local f="${TMPDIR:-/tmp}/cdb_ci_mixed_$$.db"
+  local log="${TMPDIR:-/tmp}/cdb_ci_mixed_$$.log"
+  rm -f "$f" "$f.wal" "$log"
+  ./target/release/cdb-server "$f" --checkpoint-every 100000 >"$log" &
+  local pid=$!
+  local addr=""
+  for _ in $(seq 1 50); do
+    addr=$(sed -n 's/^listening on //p' "$log")
+    [ -n "$addr" ] && break
+    sleep 0.1
+  done
+  if [ -z "$addr" ]; then
+    echo "ci: cdb-server never announced its address" >&2
+    kill -9 "$pid" 2>/dev/null || true
+    rm -f "$f" "$f.wal" "$log"
+    return 1
+  fi
+  # Base state, fully acknowledged: the client shell is synchronous, so
+  # these 12 inserts are fsynced by the time it exits.
+  {
+    printf 'create parcels 2\n'
+    for i in $(seq 1 12); do
+      printf 'insert parcels y >= 0 && y <= 2 && x >= %s && x <= %s\n' "$i" "$((i + 3))"
+    done
+    printf 'index parcels 4\n'
+  } | TERM= ./target/release/cdb-client "$addr" >/dev/null
+  # Reader fleet: two clients stream queries against published snapshots
+  # while the server dies under them. Bounded scripts, not `while :`: the
+  # client shell reports per-command transport errors without exiting, so
+  # an unbounded feed would leave orphan loops spinning after the kill.
+  local readers=()
+  for _ in 1 2; do
+    (
+      for _ in $(seq 1 2000); do
+        printf 'exist parcels y >= 0.3x - 5\n'
+      done | TERM= ./target/release/cdb-client "$addr" >/dev/null 2>&1 || true
+    ) &
+    readers+=($!)
+  done
+  # Writer stream, killed mid-flight: only its acked prefix is promised.
+  (
+    for i in $(seq 1 1000); do
+      printf 'insert parcels y >= 0 && y <= 2 && x >= %s && x <= %s\n' "$i" "$((i + 3))"
+    done | TERM= ./target/release/cdb-client "$addr" >/dev/null 2>&1 || true
+  ) &
+  local writer=$!
+  sleep 0.5
+  kill -9 "$pid"
+  wait "$pid" 2>/dev/null || true
+  # The workload clients drain their remaining script against the dead
+  # address (fast transport errors) and exit on their own.
+  wait "$writer" "${readers[@]}" 2>/dev/null || true
+  # Writable fsck replays the log; the file must come back clean with at
+  # least the 12 inserts acknowledged before the writer stream began.
+  ./target/release/cdb fsck "$f" --rebuild-indexes | grep 'wal: replayed' >/dev/null
+  ./target/release/cdb fsck "$f" | grep 'fsck: ok' >/dev/null
+  local count
+  count=$(printf 'open %s\nstats\nquit\n' "$f" | ./target/release/cdb \
+    | sed -n 's/.*parcels: 2-D, \([0-9]*\) tuples.*/\1/p')
+  if [ -z "$count" ] || [ "$count" -lt 12 ]; then
+    echo "ci: mixed smoke lost acked inserts (recovered ${count:-none})" >&2
+    rm -f "$f" "$f.wal" "$log"
+    return 1
+  fi
+  rm -f "$f" "$f.wal" "$log"
+}
+step mixed mixed_smoke
 
 step clippy cargo clippy --workspace --all-targets -- -D warnings
 step doc env RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace

@@ -1,0 +1,215 @@
+//! Mixed read/write throughput: do writers stall readers?
+//!
+//! The MVCC claim of the serving layer is that a continuous write stream
+//! never blocks the read fleet — readers query pinned snapshot epochs
+//! while the writer lane mutates and publishes the next one. This bench
+//! measures exactly that: N wire readers replay a calibrated T2 battery
+//! against relation `"r"` and record per-query latency, first on an
+//! otherwise idle server (baseline), then with one wire writer streaming
+//! inserts/deletes into a sibling relation of the same engine — same
+//! pager, same WAL, same writer lane, same snapshot publication path.
+//! Under the old `RwLock<ConstraintDb>` design every WAL group-commit
+//! (an fsync under the write lock) stalled all readers; under snapshot
+//! epochs the read p99 should stay within ~2× of the read-only baseline.
+//!
+//! Each measured phase re-opens a fresh listener on a fresh ephemeral
+//! port (via [`cdb_bench::net`]).
+//!
+//! ```text
+//! cargo run --release -p cdb-bench --bin mixed_throughput [--quick]
+//! ```
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Instant;
+
+use cdb_bench::{net, selection_of, T2Bed};
+use cdb_core::{ConstraintDb, Selection, Strategy};
+use cdb_net::server::ServerConfig;
+use cdb_net::Client;
+use cdb_workload::{DatasetSpec, ObjectSize, QueryGen};
+
+/// Shape of one measured phase.
+#[derive(Clone, Copy)]
+struct Phase {
+    /// Concurrent reader clients.
+    readers: usize,
+    /// Battery replays per reader.
+    rounds: usize,
+    /// Whether one extra client streams mutations for the whole phase.
+    write: bool,
+}
+
+/// Runs one phase: `phase.readers` clients replay the battery
+/// `phase.rounds` times each; with `phase.write`, one more client
+/// streams mutations into relation `"w"` until the readers finish.
+/// Returns `(latencies_us, qps, writes_applied)`.
+fn run_phase(
+    db: ConstraintDb,
+    config: ServerConfig,
+    batch: &[Selection],
+    expected: &[Vec<u32>],
+    phase: Phase,
+    writer_tuples: &[cdb_geometry::tuple::GeneralizedTuple],
+) -> (ConstraintDb, Vec<f64>, f64, u64) {
+    let Phase {
+        readers,
+        rounds,
+        write,
+    } = phase;
+    let server = net::spawn(db, config);
+    let addr = server.addr();
+    let stop = AtomicBool::new(false);
+    let writes = AtomicU64::new(0);
+    let mut all_lat: Vec<f64> = Vec::new();
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        let mut readers_joined = Vec::new();
+        for c in 0..readers {
+            let batch = &batch;
+            let expected = &expected;
+            readers_joined.push(scope.spawn(move || {
+                let mut lat = Vec::with_capacity(rounds * batch.len());
+                for _ in 0..rounds {
+                    lat.extend(net::replay_t2(addr, batch, expected, c));
+                }
+                lat
+            }));
+        }
+        if write {
+            let stop = &stop;
+            let writes = &writes;
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).expect("writer connect");
+                let mut live: Vec<u32> = Vec::new();
+                let mut i = 0usize;
+                while !stop.load(Ordering::Relaxed) {
+                    let id = client
+                        .insert("w", writer_tuples[i % writer_tuples.len()].clone())
+                        .expect("writer insert");
+                    live.push(id);
+                    // Keep the sibling relation bounded: every 4th write
+                    // deletes the oldest survivor, exercising free+GC.
+                    if i % 4 == 3 {
+                        let victim = live.remove(0);
+                        client.delete("w", victim).expect("writer delete");
+                    }
+                    writes.fetch_add(1, Ordering::Relaxed);
+                    i += 1;
+                }
+            });
+        }
+        for r in readers_joined {
+            all_lat.extend(r.join().expect("reader thread"));
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+    let qps = all_lat.len() as f64 / elapsed;
+    let db = server.shutdown();
+    (db, all_lat, qps, writes.load(Ordering::Relaxed))
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let n = if quick { 2000 } else { 12000 };
+    let k = 4;
+    let batch_len = if quick { 32 } else { 96 };
+    let readers = 4;
+    let rounds = if quick { 2 } else { 4 };
+
+    let spec = DatasetSpec::paper_1999(n, ObjectSize::Small, 0x3A11);
+    let mut bed = T2Bed::build(spec, k);
+    // The writer's sibling relation: same engine, same pager, same lane.
+    bed.db.create_relation("w", 2).expect("fresh relation");
+    let writer_tuples = DatasetSpec::paper_1999(256, ObjectSize::Small, 0x3A12).generate();
+
+    let mut qg = QueryGen::new(0x3A13);
+    let battery = qg.battery(&bed.tuples, batch_len / 2, 0.10, 0.15);
+    let batch: Vec<Selection> = battery.iter().map(selection_of).collect();
+    let expected: Vec<Vec<u32>> = batch
+        .iter()
+        .map(|sel| {
+            bed.db
+                .query_with("r", sel.clone(), Strategy::T2)
+                .expect("calibrated query")
+                .ids()
+                .to_vec()
+        })
+        .collect();
+
+    let config = ServerConfig {
+        workers: readers + 2,
+        max_connections: readers + 4,
+        ..ServerConfig::default()
+    };
+
+    println!(
+        "Mixed throughput — N={n}, k={k}, {readers} readers × {} T2 queries × {rounds} rounds, \
+         fresh listener per phase",
+        batch.len()
+    );
+
+    let (db, ro_lat, ro_qps, _) = run_phase(
+        bed.db,
+        config,
+        &batch,
+        &expected,
+        Phase {
+            readers,
+            rounds,
+            write: false,
+        },
+        &writer_tuples,
+    );
+    let (db, rw_lat, rw_qps, writes) = run_phase(
+        db,
+        config,
+        &batch,
+        &expected,
+        Phase {
+            readers,
+            rounds,
+            write: true,
+        },
+        &writer_tuples,
+    );
+    drop(db);
+
+    let (ro_p50, ro_p99) = (
+        net::percentile(&ro_lat, 0.50),
+        net::percentile(&ro_lat, 0.99),
+    );
+    let (rw_p50, rw_p99) = (
+        net::percentile(&rw_lat, 0.50),
+        net::percentile(&rw_lat, 0.99),
+    );
+
+    println!(
+        "{:>22}{:>10}{:>12}{:>12}{:>12}{:>10}",
+        "phase", "queries", "p50(us)", "p99(us)", "reads/sec", "writes"
+    );
+    println!(
+        "{:>22}{:>10}{ro_p50:>12.0}{ro_p99:>12.0}{ro_qps:>12.0}{:>10}",
+        "read-only",
+        ro_lat.len(),
+        0
+    );
+    println!(
+        "{:>22}{:>10}{rw_p50:>12.0}{rw_p99:>12.0}{rw_qps:>12.0}{writes:>10}",
+        "mixed (1 writer)",
+        rw_lat.len(),
+    );
+    let ratio = rw_p99 / ro_p99;
+    println!("\nread p99 under writes / read-only p99 = {ratio:.2}x (target: <= 2x)");
+
+    std::fs::create_dir_all("results").expect("results dir");
+    let csv = format!(
+        "phase,readers,queries,p50_us,p99_us,reads_per_sec,writes_applied\n\
+         read_only,{readers},{},{ro_p50:.1},{ro_p99:.1},{ro_qps:.0},0\n\
+         mixed,{readers},{},{rw_p50:.1},{rw_p99:.1},{rw_qps:.0},{writes}\n",
+        ro_lat.len(),
+        rw_lat.len(),
+    );
+    std::fs::write("results/mixed_throughput.csv", csv).expect("write CSV");
+    println!("wrote results/mixed_throughput.csv");
+}

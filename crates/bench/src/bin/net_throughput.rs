@@ -4,9 +4,11 @@
 //! An in-process [`cdb_net::Server`] serves the paper's largest 2-D
 //! configuration (N = 12000, k = 4, small objects, 10–15 % selectivity);
 //! 1, 2, 4 and 8 wire clients replay a calibrated T2 batch over loopback
-//! TCP, each answer cross-checked against the in-process result. Compare
-//! queries/sec here with the `throughput` bin to read off the protocol +
-//! scheduling overhead.
+//! TCP, each answer cross-checked against the in-process result. Every
+//! measured run re-opens a fresh listener on a fresh ephemeral port (via
+//! [`cdb_bench::net`]), so no run inherits the previous run's sockets,
+//! sessions or cache state. Compare queries/sec here with the
+//! `throughput` bin to read off the protocol + scheduling overhead.
 //!
 //! ```text
 //! cargo run --release -p cdb-bench --bin net_throughput [--quick]
@@ -14,10 +16,9 @@
 
 use std::time::Instant;
 
-use cdb_bench::{selection_of, T2Bed};
+use cdb_bench::{net, selection_of, T2Bed};
 use cdb_core::{Selection, Strategy};
-use cdb_net::server::{Server, ServerConfig};
-use cdb_net::Client;
+use cdb_net::server::ServerConfig;
 use cdb_workload::{DatasetSpec, ObjectSize, QueryGen};
 
 fn main() {
@@ -45,53 +46,43 @@ fn main() {
         })
         .collect();
 
-    let server = Server::bind(
-        "127.0.0.1:0",
-        bed.db,
-        ServerConfig {
-            workers: 8,
-            max_connections: 16,
-            ..ServerConfig::default()
-        },
-    )
-    .expect("bind loopback");
-    let addr = server.local_addr();
-    let server_thread = std::thread::spawn(move || server.run().expect("clean shutdown"));
+    let config = ServerConfig {
+        workers: 8,
+        max_connections: 16,
+        ..ServerConfig::default()
+    };
 
     let cores = std::thread::available_parallelism()
         .map(|c| c.get())
         .unwrap_or(1);
     println!(
         "Net throughput — N={n}, k={k}, {} T2 queries/batch over loopback TCP, \
-         best of {repeats} runs, {cores} core(s) available",
+         best of {repeats} runs (fresh listener each), {cores} core(s) available",
         batch.len()
     );
 
     println!("{:>10}{:>16}{:>12}", "clients", "queries/sec", "speedup");
     let mut csv = String::from("clients,queries_per_sec,speedup\n");
     let mut base_qps = 0.0;
+    // The engine shuttles between runs: each run binds a fresh listener,
+    // serves, shuts down gracefully, and hands the engine back.
+    let mut db = Some(bed.db);
     for clients in [1usize, 2, 4, 8] {
         let mut best_qps = 0.0f64;
         for _ in 0..repeats {
+            let server = net::spawn(db.take().expect("engine between runs"), config);
+            let addr = server.addr();
             let start = Instant::now();
             std::thread::scope(|scope| {
                 for c in 0..clients {
                     let batch = &batch;
                     let expected = &expected;
-                    scope.spawn(move || {
-                        let mut client = Client::connect(addr).expect("connect");
-                        for i in 0..batch.len() {
-                            let qi = (i + c * 7) % batch.len();
-                            let r = client
-                                .query("r", batch[qi].clone(), Strategy::T2)
-                                .expect("wire query");
-                            assert_eq!(r.ids(), expected[qi].as_slice(), "client {c} query {qi}");
-                        }
-                    });
+                    scope.spawn(move || net::replay_t2(addr, batch, expected, c));
                 }
             });
             let total = (clients * batch.len()) as f64;
             best_qps = best_qps.max(total / start.elapsed().as_secs_f64());
+            db = Some(server.shutdown());
         }
         if base_qps == 0.0 {
             base_qps = best_qps;
@@ -100,10 +91,6 @@ fn main() {
         println!("{clients:>10}{best_qps:>16.0}{speedup:>11.2}x");
         csv.push_str(&format!("{clients},{best_qps:.0},{speedup:.2}\n"));
     }
-
-    let mut closer = Client::connect(addr).expect("connect");
-    closer.shutdown().expect("graceful shutdown");
-    server_thread.join().expect("server thread");
 
     std::fs::create_dir_all("results").expect("results dir");
     std::fs::write("results/net_throughput.csv", csv).expect("write CSV");

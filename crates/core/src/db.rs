@@ -26,8 +26,8 @@ use cdb_geometry::Rect;
 use cdb_rplustree::RPlusTree;
 use cdb_storage::wal::{wal_path, Wal, WalFaultPlan};
 use cdb_storage::{
-    FilePager, HeapFile, IoStats, MemPager, PageId, PageReader, Pager, PagerRecovery, RecordId,
-    DEFAULT_PAGE_SIZE,
+    EpochStats, FilePager, HeapFile, IoStats, MemPager, PageId, PageReader, Pager, PagerRecovery,
+    RecordId, SnapshotReader, DEFAULT_PAGE_SIZE,
 };
 
 use crate::ddim::{DualIndexD, SlopePoints};
@@ -208,6 +208,10 @@ pub struct DbStats {
     pub checkpoint_failures: u64,
     /// Write-ahead-log state, when a log is armed.
     pub wal: Option<WalStats>,
+    /// MVCC epoch machinery: current publish generation, live pinned
+    /// reader views, freed pages awaiting GC. All zero on pagers that have
+    /// never published a view.
+    pub epochs: EpochStats,
 }
 
 /// Point-in-time state of an armed write-ahead log.
@@ -228,6 +232,7 @@ pub struct WalStats {
 /// tombstone list for deleted bounded tuples (the packed tree supports
 /// inserts but not deletes; rebuild with
 /// [`ConstraintDb::build_rplus_index`] to compact).
+#[derive(Clone)]
 pub struct RPlusIndex {
     /// The packed tree.
     pub tree: RPlusTree,
@@ -243,6 +248,12 @@ pub struct RPlusIndex {
 /// A stored generalized relation: tuples in a heap file, optional access
 /// structures (2-D dual index, d-dimensional dual index, R⁺-tree), and the
 /// planner's per-relation feedback catalog.
+///
+/// `Clone` copies the in-memory descriptors (slot table, tree roots,
+/// catalog EWMAs) but not the pages themselves — a clone paired with a
+/// frozen [`SnapshotReader`] view of the pager is exactly what a
+/// [`Snapshot`] serves queries from.
+#[derive(Clone)]
 pub struct Relation {
     pub(crate) name: String,
     pub(crate) dim: usize,
@@ -540,6 +551,114 @@ impl PageReader for ReadHalf<'_> {
     fn stats(&self) -> IoStats {
         self.0.stats()
     }
+}
+
+/// Maps a legacy [`Strategy`] to the planner's forced-method argument,
+/// preserving the historical `NoIndex` errors for explicitly requested
+/// index techniques on index-less relations. A structure marked corrupt
+/// counts as absent.
+fn forced_kind(strategy: Strategy, rel: &Relation) -> Result<Option<MethodKind>, CdbError> {
+    let (c_dual, _, c_rplus) = rel.corrupt_flags();
+    match strategy {
+        Strategy::Auto => Ok(None),
+        Strategy::Scan => Ok(Some(MethodKind::SeqScan)),
+        Strategy::Restricted | Strategy::T1 | Strategy::T2 => {
+            if rel.index.is_none() || c_dual {
+                return Err(CdbError::NoIndex(rel.name.clone()));
+            }
+            Ok(Some(match strategy {
+                Strategy::Restricted => MethodKind::Restricted,
+                Strategy::T1 => MethodKind::T1,
+                _ => MethodKind::T2,
+            }))
+        }
+        Strategy::RPlus => {
+            if rel.rplus.is_none() || c_rplus {
+                return Err(CdbError::NoIndex(rel.name.clone()));
+            }
+            Ok(Some(MethodKind::RPlus))
+        }
+    }
+}
+
+/// The planned-execution core shared by the live engine and its snapshots:
+/// the planner chooses (or validates the forced) access method, the method
+/// runs against `reader`, estimate and method are stamped into the
+/// result's stats, and the actuals feed the relation's catalog.
+fn planned_on(
+    rel: &Relation,
+    reader: &dyn PageReader,
+    page_size: usize,
+    sel: &Selection,
+    strategy: Strategy,
+) -> Result<(QueryPlan, QueryResult), CdbError> {
+    rel.ensure_usable()?;
+    if rel.dim != sel.halfplane.dim() {
+        return Err(CdbError::DimensionMismatch {
+            expected: rel.dim,
+            got: sel.halfplane.dim(),
+        });
+    }
+    let forced = forced_kind(strategy, rel)?;
+    let methods = rel.access_methods(page_size);
+    let refs: Vec<&dyn AccessMethod> = methods.iter().map(|m| m.as_ref()).collect();
+    let (mi, plan) = Planner::choose(&refs, sel, forced, rel.catalog(), true)?;
+    let source = HeapSource {
+        heap: &rel.heap,
+        slots: &rel.slots,
+    };
+    let mut result = methods[mi].execute(reader, sel, &source)?;
+    result.stats.method = Some(plan.method);
+    result.stats.estimate = Some(plan.estimate);
+    rel.catalog()
+        .record(plan.method, sel.kind, &result.stats, rel.live);
+    Ok((plan, result))
+}
+
+/// Plan-only core of EXPLAIN (no execution, no probe ticks).
+fn plan_on(rel: &Relation, page_size: usize, sel: &Selection) -> Result<QueryPlan, CdbError> {
+    rel.ensure_usable()?;
+    if rel.dim != sel.halfplane.dim() {
+        return Err(CdbError::DimensionMismatch {
+            expected: rel.dim,
+            got: sel.halfplane.dim(),
+        });
+    }
+    let methods = rel.access_methods(page_size);
+    let refs: Vec<&dyn AccessMethod> = methods.iter().map(|m| m.as_ref()).collect();
+    // `explore = false`: EXPLAIN must be deterministic and side-effect
+    // free, so planning never burns an exploration probe tick.
+    Planner::choose(&refs, sel, None, rel.catalog(), false).map(|(_, p)| p)
+}
+
+/// Line-query core shared by the engine and its snapshots.
+fn hyperplane_on(
+    rel: &Relation,
+    reader: &dyn PageReader,
+    a: f64,
+    c: f64,
+    kind: SelectionKind,
+    strategy: Strategy,
+) -> Result<QueryResult, CdbError> {
+    rel.ensure_usable()?;
+    if rel.dim != 2 {
+        return Err(CdbError::DimensionMismatch {
+            expected: rel.dim,
+            got: 2,
+        });
+    }
+    let (c_dual, _, _) = rel.corrupt_flags();
+    let Some(idx) = rel.index.as_ref() else {
+        return Err(CdbError::NoIndex(rel.name.clone()));
+    };
+    if c_dual {
+        return Err(CdbError::NoIndex(rel.name.clone()));
+    }
+    let source = HeapSource {
+        heap: &rel.heap,
+        slots: &rel.slots,
+    };
+    idx.execute_hyperplane(reader, a, c, kind, strategy, &source)
 }
 
 /// The engine: a pager, a catalog of relations, and planned query
@@ -966,6 +1085,36 @@ impl ConstraintDb {
         Ok(())
     }
 
+    /// Publishes the current state as a pinned, immutable [`Snapshot`].
+    ///
+    /// The pager freezes its page table at the current epoch — subsequent
+    /// writes through this handle copy-on-write onto fresh pages, so the
+    /// frozen pages stay exactly as published until the snapshot drops —
+    /// and the in-memory catalog (relation descriptors, index roots,
+    /// planner state) is cloned so the snapshot's query surface is fully
+    /// self-contained. `&mut self` because publication advances the
+    /// writer's working generation; the returned snapshot is `Send + Sync`
+    /// and never blocks this handle.
+    ///
+    /// Publication is a visibility event, not a durability one: the
+    /// snapshot sees every mutation applied so far (acked-but-uncommitted
+    /// WAL state included), while crash durability still comes from
+    /// [`checkpoint`](Self::checkpoint) and the log.
+    ///
+    /// # Errors
+    /// [`CdbError::Io`] when flushing buffered pages for publication fails.
+    pub fn snapshot(&mut self) -> Result<Snapshot, CdbError> {
+        let reader = self
+            .pager
+            .publish_view()
+            .map_err(|e| CdbError::Io(e.to_string()))?;
+        Ok(Snapshot {
+            reader,
+            config: self.config,
+            relations: self.relations.clone(),
+        })
+    }
+
     /// Checkpoints and consumes the engine. `commit_meta` syncs the file,
     /// so a successful `close` means everything is durable — the
     /// write-ahead log, fully absorbed by that final checkpoint, is
@@ -1039,6 +1188,7 @@ impl ConstraintDb {
                 next_lsn: w.next_lsn(),
                 pending: w.pending_records(),
             }),
+            epochs: self.pager.epoch_stats(),
         }
     }
 
@@ -1061,6 +1211,14 @@ impl ConstraintDb {
             relations,
             wal: self.recovery.wal.clone(),
         }
+    }
+
+    /// Cross-checks the pager's deferred-reclaim bookkeeping: `Some(true)`
+    /// when every quarantined page is genuinely non-live, `Some(false)`
+    /// on a violation, `None` for engines without a durable quarantine
+    /// (in-memory pagers reclaim by refcount). Part of the FSCK surface.
+    pub fn quarantine_clean(&self) -> Option<bool> {
+        self.pager.quarantine_clean()
     }
 
     /// Creates an empty relation of the given dimension.
@@ -1475,38 +1633,6 @@ impl ConstraintDb {
         Ok(())
     }
 
-    /// Maps a legacy [`Strategy`] to the planner's forced-method argument,
-    /// preserving the historical `NoIndex` errors for explicitly requested
-    /// index techniques on index-less relations. A structure marked
-    /// corrupt counts as absent.
-    fn forced_kind(
-        strategy: Strategy,
-        rel: &Relation,
-        name: &str,
-    ) -> Result<Option<MethodKind>, CdbError> {
-        let (c_dual, _, c_rplus) = rel.corrupt_flags();
-        match strategy {
-            Strategy::Auto => Ok(None),
-            Strategy::Scan => Ok(Some(MethodKind::SeqScan)),
-            Strategy::Restricted | Strategy::T1 | Strategy::T2 => {
-                if rel.index.is_none() || c_dual {
-                    return Err(CdbError::NoIndex(name.into()));
-                }
-                Ok(Some(match strategy {
-                    Strategy::Restricted => MethodKind::Restricted,
-                    Strategy::T1 => MethodKind::T1,
-                    _ => MethodKind::T2,
-                }))
-            }
-            Strategy::RPlus => {
-                if rel.rplus.is_none() || c_rplus {
-                    return Err(CdbError::NoIndex(name.into()));
-                }
-                Ok(Some(MethodKind::RPlus))
-            }
-        }
-    }
-
     /// Plans and executes one selection: the planner chooses (or validates
     /// the forced) access method, the method runs, estimate and method are
     /// stamped into the result's stats, and the actuals feed the
@@ -1518,28 +1644,7 @@ impl ConstraintDb {
         strategy: Strategy,
     ) -> Result<(QueryPlan, QueryResult), CdbError> {
         let rel = self.relation(name)?;
-        rel.ensure_usable()?;
-        if rel.dim != sel.halfplane.dim() {
-            return Err(CdbError::DimensionMismatch {
-                expected: rel.dim,
-                got: sel.halfplane.dim(),
-            });
-        }
-        let forced = Self::forced_kind(strategy, rel, name)?;
-        let methods = rel.access_methods(self.config.page_size);
-        let refs: Vec<&dyn AccessMethod> = methods.iter().map(|m| m.as_ref()).collect();
-        let (mi, plan) = Planner::choose(&refs, sel, forced, rel.catalog(), true)?;
-        let source = HeapSource {
-            heap: &rel.heap,
-            slots: &rel.slots,
-        };
-        let reader = self.reader();
-        let mut result = methods[mi].execute(&reader, sel, &source)?;
-        result.stats.method = Some(plan.method);
-        result.stats.estimate = Some(plan.estimate);
-        rel.catalog()
-            .record(plan.method, sel.kind, &result.stats, rel.live);
-        Ok((plan, result))
+        planned_on(rel, &self.reader(), self.config.page_size, sel, strategy)
     }
 
     /// Executes a selection with the engine's default strategy.
@@ -1565,19 +1670,7 @@ impl ConstraintDb {
     /// Plans a selection without executing it: which access method the
     /// planner would choose, its cost estimate, and why the others lost.
     pub fn plan_query(&self, name: &str, sel: &Selection) -> Result<QueryPlan, CdbError> {
-        let rel = self.relation(name)?;
-        rel.ensure_usable()?;
-        if rel.dim != sel.halfplane.dim() {
-            return Err(CdbError::DimensionMismatch {
-                expected: rel.dim,
-                got: sel.halfplane.dim(),
-            });
-        }
-        let methods = rel.access_methods(self.config.page_size);
-        let refs: Vec<&dyn AccessMethod> = methods.iter().map(|m| m.as_ref()).collect();
-        // `explore = false`: EXPLAIN must be deterministic and side-effect
-        // free, so planning never burns an exploration probe tick.
-        Planner::choose(&refs, sel, None, rel.catalog(), false).map(|(_, p)| p)
+        plan_on(self.relation(name)?, self.config.page_size, sel)
     }
 
     /// EXPLAIN ANALYZE: plans with the engine's default strategy, executes
@@ -1632,27 +1725,14 @@ impl ConstraintDb {
         c: f64,
         kind: SelectionKind,
     ) -> Result<QueryResult, CdbError> {
-        let strategy = self.config.strategy;
-        let rel = self.relation(name)?;
-        rel.ensure_usable()?;
-        if rel.dim != 2 {
-            return Err(CdbError::DimensionMismatch {
-                expected: rel.dim,
-                got: 2,
-            });
-        }
-        let (c_dual, _, _) = rel.corrupt_flags();
-        let Some(idx) = rel.index.as_ref() else {
-            return Err(CdbError::NoIndex(name.into()));
-        };
-        if c_dual {
-            return Err(CdbError::NoIndex(name.into()));
-        }
-        let source = HeapSource {
-            heap: &rel.heap,
-            slots: &rel.slots,
-        };
-        idx.execute_hyperplane(&self.reader(), a, c, kind, strategy, &source)
+        hyperplane_on(
+            self.relation(name)?,
+            &self.reader(),
+            a,
+            c,
+            kind,
+            self.config.strategy,
+        )
     }
 
     /// Convenience: EXIST selection via the default strategy.
@@ -1663,6 +1743,195 @@ impl ConstraintDb {
     /// Convenience: ALL selection via the default strategy.
     pub fn all(&self, name: &str, q: HalfPlane) -> Result<QueryResult, CdbError> {
         self.query(name, Selection::all(q))
+    }
+}
+
+/// A pinned, immutable view of the database at one published epoch.
+///
+/// Created by [`ConstraintDb::snapshot`]. Holds a frozen page-table view
+/// from the pager (the pin keeps every page the epoch references out of
+/// reuse until the snapshot drops) plus a clone of the in-memory catalog,
+/// so the full read-side query surface — planned selections, EXPLAIN,
+/// batches, line queries, stats — runs here with no coordination with the
+/// writer: the writer mutates the *next* epoch on copied pages and never
+/// touches these.
+///
+/// `Send + Sync`: one snapshot can serve any number of reader threads
+/// (see [`ConstraintDb::query_batch`] semantics via
+/// [`Snapshot::query_batch`]). Planner feedback recorded during snapshot
+/// queries lands in the snapshot's cloned catalog and is discarded with
+/// it — observation continuity belongs to the live engine.
+pub struct Snapshot {
+    reader: Box<dyn SnapshotReader>,
+    config: DbConfig,
+    relations: HashMap<String, Relation>,
+}
+
+impl Snapshot {
+    /// The named relation.
+    pub fn relation(&self, name: &str) -> Result<&Relation, CdbError> {
+        self.relations
+            .get(name)
+            .ok_or_else(|| CdbError::RelationNotFound(name.into()))
+    }
+
+    /// Names of all relations, sorted.
+    pub fn relation_names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.relations.keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    fn reader(&self) -> &dyn PageReader {
+        self.reader.as_ref()
+    }
+
+    /// Fetches one tuple by id, as of this snapshot's epoch.
+    pub fn fetch_tuple(&self, name: &str, id: u32) -> Result<GeneralizedTuple, CdbError> {
+        let rel = self.relation(name)?;
+        rel.ensure_usable()?;
+        rel.fetch(self.reader(), id)
+    }
+
+    /// All live `(id, tuple)` pairs of a relation at this epoch.
+    pub fn scan_relation(&self, name: &str) -> Result<Vec<(u32, GeneralizedTuple)>, CdbError> {
+        let rel = self.relation(name)?;
+        rel.ensure_usable()?;
+        rel.scan(self.reader())
+    }
+
+    /// Executes a selection with the snapshot's default strategy.
+    pub fn query(&self, name: &str, sel: Selection) -> Result<QueryResult, CdbError> {
+        self.query_with(name, sel, self.config.strategy)
+    }
+
+    /// Executes a selection with an explicit strategy against the frozen
+    /// epoch; semantics match [`ConstraintDb::query_with`].
+    pub fn query_with(
+        &self,
+        name: &str,
+        sel: Selection,
+        strategy: Strategy,
+    ) -> Result<QueryResult, CdbError> {
+        let rel = self.relation(name)?;
+        planned_on(rel, self.reader(), self.config.page_size, &sel, strategy).map(|(_, r)| r)
+    }
+
+    /// Plans a selection without executing it.
+    pub fn plan_query(&self, name: &str, sel: &Selection) -> Result<QueryPlan, CdbError> {
+        plan_on(self.relation(name)?, self.config.page_size, sel)
+    }
+
+    /// EXPLAIN ANALYZE against the frozen epoch.
+    pub fn explain(&self, name: &str, sel: Selection) -> Result<ExplainReport, CdbError> {
+        self.explain_with(name, sel, self.config.strategy)
+    }
+
+    /// [`explain`](Self::explain) with an explicit strategy.
+    pub fn explain_with(
+        &self,
+        name: &str,
+        sel: Selection,
+        strategy: Strategy,
+    ) -> Result<ExplainReport, CdbError> {
+        let rel = self.relation(name)?;
+        let (plan, result) = planned_on(rel, self.reader(), self.config.page_size, &sel, strategy)?;
+        Ok(ExplainReport { plan, result })
+    }
+
+    /// Executes a batch of selections concurrently over this snapshot,
+    /// mirroring [`ConstraintDb::query_batch`].
+    pub fn query_batch(
+        &self,
+        name: &str,
+        batch: &[(Selection, Strategy)],
+        threads: usize,
+    ) -> Result<Vec<Result<QueryResult, CdbError>>, CdbError> {
+        self.relation(name)?; // surface missing relations once, up front
+        let exec = crate::exec::QueryExecutor::new(self, name);
+        Ok(exec.run(batch, threads))
+    }
+
+    /// Equality-query convenience: tuples intersecting `y = a·x + c`.
+    pub fn exist_line(&self, name: &str, a: f64, c: f64) -> Result<QueryResult, CdbError> {
+        hyperplane_on(
+            self.relation(name)?,
+            self.reader(),
+            a,
+            c,
+            SelectionKind::Exist,
+            self.config.strategy,
+        )
+    }
+
+    /// Tuples lying entirely on `y = a·x + c`.
+    pub fn all_line(&self, name: &str, a: f64, c: f64) -> Result<QueryResult, CdbError> {
+        hyperplane_on(
+            self.relation(name)?,
+            self.reader(),
+            a,
+            c,
+            SelectionKind::All,
+            self.config.strategy,
+        )
+    }
+
+    /// Convenience: EXIST selection via the default strategy.
+    pub fn exist(&self, name: &str, q: HalfPlane) -> Result<QueryResult, CdbError> {
+        self.query(name, Selection::exist(q))
+    }
+
+    /// Convenience: ALL selection via the default strategy.
+    pub fn all(&self, name: &str, q: HalfPlane) -> Result<QueryResult, CdbError> {
+        self.query(name, Selection::all(q))
+    }
+
+    /// Epoch bookkeeping as seen by this snapshot's pager hub: the
+    /// current published generation, pinned-reader count (including this
+    /// snapshot) and freed pages still quarantined for draining readers.
+    pub fn epoch_stats(&self) -> EpochStats {
+        self.reader.epoch_stats()
+    }
+
+    /// Operational stats of the frozen view. `read_only` is always true;
+    /// WAL and checkpoint-failure fields belong to the live writer and
+    /// are reported as absent/zero here.
+    pub fn stats_snapshot(&self) -> DbStats {
+        let mut relations: Vec<RelationStats> = self
+            .relations
+            .values()
+            .map(|rel| {
+                let mut indexes = Vec::new();
+                if rel.index.is_some() {
+                    indexes.push("dual".to_string());
+                }
+                if rel.index_d.is_some() {
+                    indexes.push("dual-d".to_string());
+                }
+                if rel.rplus.is_some() {
+                    indexes.push("rplus".to_string());
+                }
+                RelationStats {
+                    name: rel.name.clone(),
+                    dim: rel.dim,
+                    live: rel.live,
+                    heap_pages: rel.heap_pages(),
+                    total_pages: rel.page_count(),
+                    indexes,
+                    health: rel.health.clone(),
+                }
+            })
+            .collect();
+        relations.sort_by(|a, b| a.name.cmp(&b.name));
+        DbStats {
+            relations,
+            live_pages: self.reader.live_pages() as u64,
+            io: self.reader.stats(),
+            read_only: true,
+            checkpoint_failures: 0,
+            wal: None,
+            epochs: self.reader.epoch_stats(),
+        }
     }
 }
 

@@ -369,6 +369,7 @@ fn combinations(n: usize, k: usize) -> Vec<Vec<usize>> {
 }
 
 /// Dual-representation index over a d-dimensional generalized relation.
+#[derive(Clone, Debug)]
 pub struct DualIndexD {
     points: SlopePoints,
     trees: Vec<(BTree, BTree)>, // (up, down) per slope point

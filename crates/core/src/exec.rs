@@ -21,9 +21,50 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-use crate::db::ConstraintDb;
+use crate::db::{ConstraintDb, Snapshot};
 use crate::error::CdbError;
 use crate::query::{QueryResult, Selection, Strategy};
+
+/// A read surface the executor can fan out over: anything that plans and
+/// executes one selection from `&self`. Implemented by the live engine
+/// (queries see its current state) and by [`Snapshot`] (queries see one
+/// pinned epoch). `Sync` because workers share one engine across threads.
+pub trait QueryEngine: Sync {
+    /// Plans and executes one selection; semantics of
+    /// [`ConstraintDb::query_with`].
+    ///
+    /// # Errors
+    /// Whatever planning or execution surfaces — unknown relation,
+    /// dimension mismatch, missing forced index, I/O.
+    fn query_with(
+        &self,
+        relation: &str,
+        sel: Selection,
+        strategy: Strategy,
+    ) -> Result<QueryResult, CdbError>;
+}
+
+impl QueryEngine for ConstraintDb {
+    fn query_with(
+        &self,
+        relation: &str,
+        sel: Selection,
+        strategy: Strategy,
+    ) -> Result<QueryResult, CdbError> {
+        ConstraintDb::query_with(self, relation, sel, strategy)
+    }
+}
+
+impl QueryEngine for Snapshot {
+    fn query_with(
+        &self,
+        relation: &str,
+        sel: Selection,
+        strategy: Strategy,
+    ) -> Result<QueryResult, CdbError> {
+        Snapshot::query_with(self, relation, sel, strategy)
+    }
+}
 
 /// Runs batches of selections across OS threads sharing one immutable
 /// engine snapshot, each query individually planned.
@@ -49,13 +90,14 @@ use crate::query::{QueryResult, Selection, Strategy};
 /// assert_eq!(results[1].as_ref().unwrap().ids(), &[0]);
 /// ```
 pub struct QueryExecutor<'a> {
-    db: &'a ConstraintDb,
+    db: &'a dyn QueryEngine,
     relation: &'a str,
 }
 
 impl<'a> QueryExecutor<'a> {
-    /// An executor over one relation of an engine snapshot.
-    pub fn new(db: &'a ConstraintDb, relation: &'a str) -> Self {
+    /// An executor over one relation of an engine snapshot (the live
+    /// [`ConstraintDb`] or a pinned [`Snapshot`]).
+    pub fn new<D: QueryEngine>(db: &'a D, relation: &'a str) -> Self {
         QueryExecutor { db, relation }
     }
 

@@ -55,10 +55,10 @@ pub(crate) mod wal;
 
 pub use db::{
     ConstraintDb, DbConfig, DbStats, RecoveryReport, Relation, RelationHealth, RelationStats,
-    WalReplay, WalStats,
+    Snapshot, WalReplay, WalStats,
 };
 pub use error::{CdbError, CATALOG_RECORD, WAL_RECORD};
-pub use exec::QueryExecutor;
+pub use exec::{QueryEngine, QueryExecutor};
 pub use index::DualIndex;
 pub use plan::{
     AccessMethod, Capability, CostEstimate, ExplainReport, MethodKind, PlanCatalog, Planner,

@@ -846,6 +846,19 @@ pub struct PlanCatalog {
     probe_clock: AtomicU64,
 }
 
+impl Clone for PlanCatalog {
+    /// Deep copy of the feedback state (for database snapshots). The
+    /// clone's counters continue independently; feedback recorded against
+    /// a snapshot is not folded back into the live catalog.
+    fn clone(&self) -> Self {
+        PlanCatalog {
+            inner: Mutex::new(self.inner.lock().expect("catalog poisoned").clone()),
+            version: AtomicU64::new(self.version()),
+            probe_clock: AtomicU64::new(self.probe_clock()),
+        }
+    }
+}
+
 impl PlanCatalog {
     /// An empty catalog.
     pub fn new() -> Self {

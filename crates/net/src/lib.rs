@@ -13,10 +13,12 @@
 //!   operation, and structured [`cdb_core::CdbError`] transport so
 //!   `Quarantined` / `Degraded` / `ReadOnly` survive the wire;
 //! * [`server`] — a [`std::net::TcpListener`] accept loop feeding a fixed
-//!   pool of session workers that share one [`cdb_core::ConstraintDb`]
-//!   behind an `RwLock`: reads run concurrently on the existing `&self`
-//!   query path, writes serialize through a single writer lane with
-//!   periodic checkpoints, admission control answers overload with an
+//!   pool of session workers that serve reads from the latest published
+//!   [`cdb_core::Snapshot`] (pinned epochs: no lock on the query path,
+//!   writers never block readers), while mutations serialize through a
+//!   single writer lane that owns the [`cdb_core::ConstraintDb`],
+//!   group-commits the WAL, publishes the next snapshot per batch, and
+//!   checkpoints periodically; admission control answers overload with an
 //!   explicit frame instead of queueing without bound, and shutdown drains
 //!   in-flight requests and checkpoints before exit;
 //! * [`client`] — a blocking client speaking the same protocol, used by the

@@ -36,15 +36,16 @@ use cdb_core::{CdbError, DbStats, RelationHealth, RelationStats, WalReplay, WalS
 use cdb_geometry::constraint::RelOp;
 use cdb_geometry::halfplane::HalfPlane;
 use cdb_geometry::tuple::GeneralizedTuple;
-use cdb_storage::{CodecError, IoStats, PagerRecovery, RecordReader, RecordWriter};
+use cdb_storage::{CodecError, EpochStats, IoStats, PagerRecovery, RecordReader, RecordWriter};
 
 /// Protocol magic, first bytes of both greeting and hello.
 pub const MAGIC: [u8; 4] = *b"CDBN";
 
 /// Protocol version spoken by this build. Bumped on any frame-layout or
 /// tag change; the handshake refuses mismatched peers. Version 2 added
-/// the WAL fields to `Stats` and `Fsck` responses.
-pub const PROTOCOL_VERSION: u16 = 2;
+/// the WAL fields to `Stats` and `Fsck` responses; version 3 added the
+/// epoch counters to `Stats` and the quarantine verdict to `Fsck`.
+pub const PROTOCOL_VERSION: u16 = 3;
 
 /// Handshake verdict carried by the server's greeting.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -331,6 +332,10 @@ pub struct WireRecoveryReport {
     pub wal: Option<WalReplay>,
     /// `(relation, health)` pairs, sorted by name.
     pub relations: Vec<(String, RelationHealth)>,
+    /// Deferred-reclaim (quarantine) cross-check: `Some(true)` when every
+    /// quarantined page is non-live, `Some(false)` on a violation, `None`
+    /// for engines without a durable quarantine.
+    pub quarantine: Option<bool>,
 }
 
 /// Failure responses. `Db` carries the engine's structured error; the
@@ -729,6 +734,9 @@ fn put_db_stats(w: &mut RecordWriter, s: &DbStats) {
             w.put_u64(wal.pending);
         }
     }
+    w.put_u64(s.epochs.current_epoch);
+    w.put_u64(s.epochs.pinned_epochs);
+    w.put_u64(s.epochs.quarantined_pages);
 }
 
 fn get_db_stats(r: &mut RecordReader<'_>) -> Result<DbStats, CodecError> {
@@ -756,6 +764,11 @@ fn get_db_stats(r: &mut RecordReader<'_>) -> Result<DbStats, CodecError> {
         }),
         _ => return Err(CodecError::Invalid("wal stats presence")),
     };
+    let epochs = EpochStats {
+        current_epoch: r.get_u64()?,
+        pinned_epochs: r.get_u64()?,
+        quarantined_pages: r.get_u64()?,
+    };
     Ok(DbStats {
         relations,
         live_pages,
@@ -763,6 +776,7 @@ fn get_db_stats(r: &mut RecordReader<'_>) -> Result<DbStats, CodecError> {
         read_only,
         checkpoint_failures,
         wal,
+        epochs,
     })
 }
 
@@ -1103,6 +1117,10 @@ pub fn encode_response(request_id: u64, outcome: &Result<Response, NetError>) ->
                         w.put_str(name);
                         put_health(&mut w, health);
                     }
+                    match rep.quarantine {
+                        None => w.put_u8(0),
+                        Some(clean) => w.put_u8(if clean { 1 } else { 2 }),
+                    }
                 }
             }
         }
@@ -1157,10 +1175,17 @@ pub fn decode_response(buf: &[u8]) -> Result<(u64, Result<Response, NetError>), 
                 let wal = get_wal_replay(&mut r)?;
                 let relations =
                     get_counted(&mut r, |r| Ok((r.get_str()?.to_string(), get_health(r)?)))?;
+                let quarantine = match r.get_u8()? {
+                    0 => None,
+                    1 => Some(true),
+                    2 => Some(false),
+                    _ => return Err(CodecError::Invalid("quarantine verdict")),
+                };
                 Response::Fsck(WireRecoveryReport {
                     pager,
                     wal,
                     relations,
+                    quarantine,
                 })
             }
             _ => return Err(CodecError::Invalid("response tag")),
@@ -1329,6 +1354,11 @@ mod tests {
                 next_lsn: 44,
                 pending: 2,
             }),
+            epochs: EpochStats {
+                current_epoch: 9,
+                pinned_epochs: 2,
+                quarantined_pages: 5,
+            },
         })));
         roundtrip_outcome(Ok(Response::Fsck(WireRecoveryReport {
             pager: PagerRecovery::FellBack {
@@ -1352,6 +1382,7 @@ mod tests {
                     },
                 ),
             ],
+            quarantine: Some(false),
         })));
     }
 

@@ -1,4 +1,5 @@
-//! The threaded query server: one shared [`ConstraintDb`], many sessions.
+//! The threaded query server: MVCC reads over published snapshots, one
+//! owning writer.
 //!
 //! ## Architecture
 //!
@@ -7,24 +8,32 @@
 //!                 │  greeting + admission control
 //!                 ▼
 //!        channel of admitted sockets ──► N session workers
-//!                                          │ reads: RwLock::read  ──►  &self query path
-//!                                          │ writes: bounded lane ──►  group-commit writer
-//!                                          ▼                             apply batch, one
-//!                                     response frames                    fsync, then reply
+//!                                          │ reads: Arc<Snapshot> clone ──► pinned-epoch query path
+//!                                          │ engine ops: bounded lane  ──► group-commit writer
+//!                                          ▼                               (owns the ConstraintDb)
+//!                                     response frames                      apply batch, one fsync,
+//!                                                                          publish snapshot, reply
 //! ```
 //!
-//! * **Reads run concurrently.** Query/EXPLAIN/stats/fsck execute under a
-//!   shared read lock on the engine — the `&self` snapshot read path built
-//!   in PR 1 does the rest.
+//! * **Reads never block, and are never blocked.** The writer thread owns
+//!   the engine outright; after every applied batch it publishes a fresh
+//!   [`Snapshot`] into a shared slot. A read request clones the `Arc` out
+//!   of the slot (a mutex held for nanoseconds — never across a query, and
+//!   never held by the writer while applying a batch) and runs the full
+//!   `&self` query path against that pinned epoch. A long scan holds its
+//!   epoch's pages via the storage-layer pin; concurrent commits proceed
+//!   and recycle nothing the scan can still see.
 //! * **Writes group-commit through one lane.** Mutations are
-//!   `try_send`-ed into a bounded queue consumed by a dedicated writer
-//!   thread; a full queue answers [`NetError::Overloaded`] instead of
-//!   growing without bound. The writer drains the queue into a batch,
-//!   applies it under one write-lock acquisition, appends the mutations'
-//!   WAL records and fsyncs *once*, and only then sends the replies: an
-//!   acknowledged write is durable, full stop. Checkpoints every
-//!   `checkpoint_every` successful mutations fold the log into the
-//!   shadow-paged commit and truncate it.
+//!   `try_send`-ed into a bounded queue consumed by the writer thread; a
+//!   full queue answers [`NetError::Overloaded`] instead of growing
+//!   without bound. The writer drains the queue into a batch, applies it
+//!   in arrival order, appends the mutations' WAL records and fsyncs
+//!   *once*, publishes the new snapshot, and only then sends the replies:
+//!   an acknowledged write is durable and visible, full stop. Checkpoints
+//!   every `checkpoint_every` successful mutations fold the log into the
+//!   shadow-paged commit and truncate it. `Stats` and `Fsck` also ride
+//!   this lane — they report the live engine (WAL watermarks, quarantine
+//!   cross-check), which only its owner can see.
 //! * **Admission control.** At most `max_connections` admitted sessions at
 //!   a time; beyond that the greeting itself says
 //!   [`HandshakeStatus::Overloaded`] and the socket is closed.
@@ -43,10 +52,10 @@ use std::io::Write as _;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
-use std::sync::{mpsc, Arc, Mutex, RwLock};
+use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use cdb_core::db::ConstraintDb;
+use cdb_core::db::{ConstraintDb, Snapshot};
 use cdb_core::slopes::SlopeSet;
 use cdb_core::CdbError;
 use cdb_storage::codec::{read_frame, write_frame, FrameError, DEFAULT_MAX_FRAME};
@@ -116,10 +125,32 @@ struct WriteJob {
 
 /// State shared by the accept loop, session workers and the writer.
 struct Shared {
-    db: RwLock<ConstraintDb>,
+    /// Latest published snapshot. The lock guards only the `Arc` swap —
+    /// readers clone it out and query lock-free; the writer replaces it
+    /// after each applied batch.
+    snapshot: Mutex<Arc<Snapshot>>,
     shutdown: Arc<AtomicBool>,
     /// Admitted sessions not yet finished (accept-loop admission control).
     active_sessions: AtomicUsize,
+}
+
+impl Shared {
+    /// The latest published snapshot (one mutex-guarded `Arc` clone).
+    fn latest(&self) -> Arc<Snapshot> {
+        Arc::clone(&self.snapshot.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// Publishes the engine's current state for readers. A failed
+    /// publication keeps the previous snapshot serving — readers fall
+    /// behind rather than erroring.
+    fn publish(&self, db: &mut ConstraintDb) {
+        match db.snapshot() {
+            Ok(s) => {
+                *self.snapshot.lock().unwrap_or_else(|e| e.into_inner()) = Arc::new(s);
+            }
+            Err(e) => eprintln!("cdb-server: snapshot publication failed: {e}"),
+        }
+    }
 }
 
 /// The server: a bound listener plus the shared engine. [`Server::run`]
@@ -127,6 +158,7 @@ struct Shared {
 pub struct Server {
     listener: TcpListener,
     local_addr: SocketAddr,
+    db: ConstraintDb,
     shared: Arc<Shared>,
     config: ServerConfig,
 }
@@ -153,11 +185,13 @@ impl Server {
         }
         let listener = TcpListener::bind(addr).map_err(CdbError::from)?;
         let local_addr = listener.local_addr().map_err(CdbError::from)?;
+        let initial = Arc::new(db.snapshot()?);
         Ok(Server {
             listener,
             local_addr,
+            db,
             shared: Arc::new(Shared {
-                db: RwLock::new(db),
+                snapshot: Mutex::new(initial),
                 shutdown: Arc::new(AtomicBool::new(false)),
                 active_sessions: AtomicUsize::new(0),
             }),
@@ -185,18 +219,21 @@ impl Server {
     pub fn run(self) -> Result<ConstraintDb, CdbError> {
         let Server {
             listener,
+            db,
             shared,
             config,
             ..
         } = self;
         listener.set_nonblocking(true).map_err(CdbError::from)?;
 
-        // Writer lane: bounded job queue into one writer thread.
+        // Writer lane: bounded job queue into one writer thread, which
+        // owns the engine for the server's whole life and hands it back
+        // when the lane disconnects.
         let (write_tx, write_rx) = mpsc::sync_channel::<WriteJob>(config.write_queue.max(1));
         let writer = {
             let shared = Arc::clone(&shared);
             let every = config.checkpoint_every.max(1);
-            std::thread::spawn(move || writer_loop(&shared, &write_rx, every))
+            std::thread::spawn(move || writer_loop(db, &shared, &write_rx, every))
         };
 
         // Session workers: a fixed pool draining admitted sockets.
@@ -256,11 +293,7 @@ impl Server {
             let _ = w.join();
         }
         drop(write_tx); // writer drains remaining jobs, then exits
-        let _ = writer.join();
-
-        let shared =
-            Arc::try_unwrap(shared).unwrap_or_else(|_| unreachable!("all server threads joined"));
-        let mut db = shared.db.into_inner().unwrap_or_else(|e| e.into_inner());
+        let mut db = writer.join().expect("writer thread panicked");
         db.checkpoint()?;
         Ok(db)
     }
@@ -391,7 +424,12 @@ fn dispatch(
     if expired(deadline) {
         return Err(NetError::DeadlineExceeded);
     }
-    if request.is_write() {
+    // Mutations must reach the engine's owner; Stats and Fsck report the
+    // live engine (WAL watermarks, quarantine cross-check) and ride the
+    // same lane. Everything else is answered from the latest published
+    // snapshot without ever waiting on the writer.
+    let needs_engine = request.is_write() || matches!(request, Request::Stats | Request::Fsck);
+    if needs_engine {
         let (reply_tx, reply_rx) = mpsc::channel();
         let job = WriteJob {
             request,
@@ -404,27 +442,28 @@ fn dispatch(
             Err(TrySendError::Disconnected(_)) => Err(NetError::ShuttingDown),
         }
     } else {
-        let db = shared.db.read().unwrap_or_else(|e| e.into_inner());
-        apply_read(&db, &request)
+        apply_read(&shared.latest(), &request)
     }
 }
 
-/// Executes a read-only request under the shared read lock.
-fn apply_read(db: &ConstraintDb, request: &Request) -> Result<Response, NetError> {
+/// Executes a read-only request against one pinned snapshot. No lock is
+/// held while this runs: the snapshot's epoch keeps every page it can
+/// reach stable regardless of what the writer commits meanwhile.
+fn apply_read(snap: &Snapshot, request: &Request) -> Result<Response, NetError> {
     match request {
         Request::Ping => Ok(Response::Unit),
         Request::Query {
             relation,
             selection,
             strategy,
-        } => db
+        } => snap
             .query_with(relation, selection.clone(), *strategy)
             .map(|r| Response::Query((&r).into()))
             .map_err(NetError::Db),
         Request::Explain {
             relation,
             selection,
-        } => db
+        } => snap
             .explain(relation, selection.clone())
             .map(|rep| Response::Explain {
                 rendered: rep.render(),
@@ -438,26 +477,17 @@ fn apply_read(db: &ConstraintDb, request: &Request) -> Result<Response, NetError
             c,
         } => {
             let res = match kind {
-                cdb_core::query::SelectionKind::Exist => db.exist_line(relation, *a, *c),
-                cdb_core::query::SelectionKind::All => db.all_line(relation, *a, *c),
+                cdb_core::query::SelectionKind::Exist => snap.exist_line(relation, *a, *c),
+                cdb_core::query::SelectionKind::All => snap.all_line(relation, *a, *c),
             };
             res.map(|r| Response::Query((&r).into()))
                 .map_err(NetError::Db)
         }
-        Request::FetchTuple { relation, id } => db
+        Request::FetchTuple { relation, id } => snap
             .fetch_tuple(relation, *id)
             .map(Response::Tuple)
             .map_err(NetError::Db),
-        Request::ListRelations => Ok(Response::Relations(db.relation_names())),
-        Request::Stats => Ok(Response::Stats(db.stats_snapshot())),
-        Request::Fsck => {
-            let rep = db.verify_now();
-            Ok(Response::Fsck(WireRecoveryReport {
-                pager: rep.pager,
-                wal: rep.wal,
-                relations: rep.relations,
-            }))
-        }
+        Request::ListRelations => Ok(Response::Relations(snap.relation_names())),
         other => Err(NetError::Malformed(format!(
             "'{}' is not a read operation",
             other.op_name()
@@ -465,13 +495,20 @@ fn apply_read(db: &ConstraintDb, request: &Request) -> Result<Response, NetError
     }
 }
 
-/// The group-commit writer lane: drains every queued job into one batch,
-/// applies the batch in arrival order under a single write-lock
-/// acquisition, makes it durable with one [`ConstraintDb::wal_sync`], and
-/// only then sends the replies — so an acknowledgement always names a
-/// mutation that survives a crash. Checkpoints every `checkpoint_every`
-/// successful mutations (which also truncates the log).
-fn writer_loop(shared: &Shared, jobs: &Receiver<WriteJob>, checkpoint_every: u64) {
+/// The group-commit writer lane. Owns the engine: drains every queued job
+/// into one batch, applies the batch in arrival order, makes it durable
+/// with one [`ConstraintDb::wal_sync`], publishes the resulting state as
+/// the readers' new snapshot, and only then sends the replies — so an
+/// acknowledgement always names a mutation that both survives a crash and
+/// is visible to every later read. Checkpoints every `checkpoint_every`
+/// successful mutations (which also truncates the log). Returns the
+/// engine when the lane disconnects.
+fn writer_loop(
+    mut db: ConstraintDb,
+    shared: &Shared,
+    jobs: &Receiver<WriteJob>,
+    checkpoint_every: u64,
+) -> ConstraintDb {
     let mut since_checkpoint = 0u64;
     while let Ok(first) = jobs.recv() {
         // Everything already queued behind this job joins its batch.
@@ -480,58 +517,79 @@ fn writer_loop(shared: &Shared, jobs: &Receiver<WriteJob>, checkpoint_every: u64
             batch.push(job);
         }
         let mut replies = Vec::with_capacity(batch.len());
-        {
-            let mut db = shared.db.write().unwrap_or_else(|e| e.into_inner());
-            for job in batch {
-                // Re-check the deadline now that the lock is held: a job
-                // can wait out its deadline behind a slow batch or
-                // checkpoint, and must then be refused without mutating.
-                let outcome = if expired(job.deadline) {
-                    Err(NetError::DeadlineExceeded)
-                } else {
-                    apply_write(&mut db, job.request)
-                };
-                replies.push((job.reply, outcome));
+        let mut mutated = false;
+        for job in batch {
+            // Re-check the deadline now that the job is being applied: it
+            // can wait out its deadline behind a slow batch or
+            // checkpoint, and must then be refused without mutating.
+            let is_write = job.request.is_write();
+            let outcome = if expired(job.deadline) {
+                Err(NetError::DeadlineExceeded)
+            } else {
+                apply_engine(&mut db, job.request)
+            };
+            if is_write && outcome.is_ok() {
+                mutated = true;
+                since_checkpoint += 1;
             }
-            // One fsync covers the whole batch. If it fails, nothing in
-            // the batch is durable — withdraw every success before anyone
-            // hears about it.
-            if let Err(e) = db.wal_sync() {
-                for (_, outcome) in replies.iter_mut() {
-                    if outcome.is_ok() {
-                        *outcome = Err(NetError::Db(CdbError::Io(format!(
-                            "write-ahead log sync failed: {e}"
-                        ))));
-                    }
-                }
-            }
-            since_checkpoint += replies.iter().filter(|(_, o)| o.is_ok()).count() as u64;
-            if since_checkpoint >= checkpoint_every {
-                match db.checkpoint() {
-                    // Only success resets the counter: after a failure the
-                    // very next mutation retries instead of waiting out a
-                    // whole window, and the failure streak is surfaced by
-                    // stats_snapshot().
-                    Ok(()) => since_checkpoint = 0,
-                    Err(e) => eprintln!("cdb-server: periodic checkpoint failed: {e}"),
+            replies.push((job.reply, outcome));
+        }
+        // One fsync covers the whole batch. If it fails, nothing in the
+        // batch is durable — withdraw every success before anyone hears
+        // about it.
+        if let Err(e) = db.wal_sync() {
+            for (_, outcome) in replies.iter_mut() {
+                if outcome.is_ok() {
+                    *outcome = Err(NetError::Db(CdbError::Io(format!(
+                        "write-ahead log sync failed: {e}"
+                    ))));
                 }
             }
         }
-        // The lock is released and the batch is durable: acknowledge.
+        if since_checkpoint >= checkpoint_every {
+            match db.checkpoint() {
+                // Only success resets the counter: after a failure the
+                // very next mutation retries instead of waiting out a
+                // whole window, and the failure streak is surfaced by
+                // stats_snapshot().
+                Ok(()) => since_checkpoint = 0,
+                Err(e) => eprintln!("cdb-server: periodic checkpoint failed: {e}"),
+            }
+        }
+        // Publish before acknowledging: a client that hears its ack and
+        // immediately reads must see its own write. Published even when
+        // the sync failed — visibility tracks the in-memory engine, and
+        // the withdrawn jobs were applied to it either way.
+        if mutated {
+            shared.publish(&mut db);
+        }
+        // The batch is durable and visible: acknowledge.
         for (reply, outcome) in replies {
             let _ = reply.send(outcome); // a vanished session is not an error
         }
     }
     // Queue disconnected: every session is gone. The final checkpoint
     // happens in Server::run after the writer joins.
+    db
 }
 
-/// Applies one mutation under the write lock. Engine preconditions that
-/// would panic (`assert!`s guarding constructor contracts) are validated
-/// here first and answered as errors — a wire peer must never be able to
-/// panic the server.
-fn apply_write(db: &mut ConstraintDb, request: Request) -> Result<Response, NetError> {
+/// Applies one engine-lane job (a mutation, or a Stats/Fsck report that
+/// must see the live engine). Engine preconditions that would panic
+/// (`assert!`s guarding constructor contracts) are validated here first
+/// and answered as errors — a wire peer must never be able to panic the
+/// server.
+fn apply_engine(db: &mut ConstraintDb, request: Request) -> Result<Response, NetError> {
     match request {
+        Request::Stats => Ok(Response::Stats(db.stats_snapshot())),
+        Request::Fsck => {
+            let rep = db.verify_now();
+            Ok(Response::Fsck(WireRecoveryReport {
+                pager: rep.pager,
+                wal: rep.wal,
+                relations: rep.relations,
+                quarantine: db.quarantine_clean(),
+            }))
+        }
         Request::CreateRelation { relation, dim } => {
             if dim == 0 {
                 return Err(NetError::Malformed("dimension must be positive".into()));
@@ -604,7 +662,7 @@ fn apply_write(db: &mut ConstraintDb, request: Request) -> Result<Response, NetE
             .map(|_| Response::Unit)
             .map_err(NetError::Db),
         other => Err(NetError::Malformed(format!(
-            "'{}' is not a write operation",
+            "'{}' is not an engine-lane operation",
             other.op_name()
         ))),
     }

@@ -24,6 +24,7 @@
 use std::collections::HashMap;
 use std::sync::Mutex;
 
+use crate::epoch::{EpochStats, SnapshotReader};
 use crate::pager::{PageId, PageReader, Pager};
 use crate::stats::IoStats;
 
@@ -264,6 +265,23 @@ impl<P: Pager> Pager for BufferPool<P> {
 
     fn read_meta(&self) -> std::io::Result<Option<Vec<u8>>> {
         self.lock().inner.read_meta()
+    }
+
+    fn publish_view(&mut self) -> std::io::Result<Box<dyn SnapshotReader>> {
+        // A view reads the inner pager directly, so every buffered write
+        // must reach it first — otherwise the view would miss data that
+        // exists only in dirty frames.
+        let st = self.state_mut();
+        st.flush()?;
+        st.inner.publish_view()
+    }
+
+    fn epoch_stats(&self) -> EpochStats {
+        self.lock().inner.epoch_stats()
+    }
+
+    fn quarantine_clean(&self) -> Option<bool> {
+        self.lock().inner.quarantine_clean()
     }
 }
 

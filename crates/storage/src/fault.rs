@@ -36,6 +36,7 @@ use std::sync::Mutex;
 
 use cdb_prng::StdRng;
 
+use crate::epoch::{EpochStats, SnapshotReader};
 use crate::pager::{PageId, PageReader, Pager};
 use crate::stats::IoStats;
 
@@ -459,6 +460,26 @@ impl<P: Pager> Pager for FaultPager<P> {
             Verdict::Tear(_) => unreachable!("tear verdicts only on writes"),
             Verdict::Crash => Err(st.crash()),
         }
+    }
+
+    fn publish_view(&mut self) -> io::Result<Box<dyn SnapshotReader>> {
+        // Not a numbered op: publishing is pure in-memory bookkeeping. A
+        // crashed pager still refuses, but note that reads through an
+        // already-published view bypass fault injection entirely — views
+        // talk to the inner pager's file handle directly.
+        let st = self.state_mut();
+        if st.crashed {
+            return Err(io::Error::other("simulated crash: pager is down"));
+        }
+        st.inner.publish_view()
+    }
+
+    fn epoch_stats(&self) -> EpochStats {
+        self.lock().inner.epoch_stats()
+    }
+
+    fn quarantine_clean(&self) -> Option<bool> {
+        self.lock().inner.quarantine_clean()
     }
 }
 

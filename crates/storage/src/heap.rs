@@ -38,6 +38,7 @@ pub struct RecordId {
 }
 
 /// A heap file over a pager. Pages are owned exclusively by the heap.
+#[derive(Clone, Debug)]
 pub struct HeapFile {
     pages: Vec<PageId>,
     page_size: usize,

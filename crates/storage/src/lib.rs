@@ -35,6 +35,7 @@
 
 pub mod buffer;
 pub mod codec;
+pub mod epoch;
 pub mod fault;
 pub mod file;
 pub mod heap;
@@ -48,6 +49,7 @@ pub use codec::{
     check_page, crc32, read_frame, seal_page, write_frame, CodecError, FrameError, RecordReader,
     RecordWriter, DEFAULT_MAX_FRAME, PAGE_TRAILER,
 };
+pub use epoch::{EpochStats, SnapshotReader};
 pub use fault::{FaultOp, FaultPager, FaultPlan, TraceEntry};
 pub use file::{FilePager, PagerRecovery};
 pub use heap::{HeapFile, RecordId};

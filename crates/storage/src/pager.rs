@@ -17,7 +17,9 @@
 //! into errors would only teach callers to ignore them.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
+use crate::epoch::{EpochHub, EpochStats, PinGuard, SnapshotReader};
 use crate::stats::IoStats;
 
 /// Page identifier. `u32` keeps on-page child pointers at 4 bytes, matching
@@ -99,6 +101,31 @@ pub trait Pager: PageReader + Send + Sync {
     /// preceding page writes are on stable storage.
     fn commit_meta(&mut self, meta: &[u8]) -> std::io::Result<()>;
 
+    /// Freezes the current page table into an immutable
+    /// [`SnapshotReader`] usable from any thread, and starts a new
+    /// generation: later writes never disturb a page the view maps, and
+    /// pages freed afterwards are quarantined until the view (and every
+    /// older one) is dropped.
+    ///
+    /// Buffered decorators flush before delegating, so the view observes
+    /// everything written so far.
+    fn publish_view(&mut self) -> std::io::Result<Box<dyn SnapshotReader>>;
+
+    /// Live epoch counters: current generation, pinned views, quarantined
+    /// pages. All zero for pagers that never published a view.
+    fn epoch_stats(&self) -> EpochStats {
+        EpochStats::default()
+    }
+
+    /// Cross-checks the deferred-reclaim bookkeeping: `Some(true)` when
+    /// every quarantined physical page is genuinely non-live (referenced
+    /// by no page-table entry and no committed chain), `Some(false)` when
+    /// the invariant is violated, `None` for pagers without a durable
+    /// quarantine (in-memory pagers reclaim by refcount).
+    fn quarantine_clean(&self) -> Option<bool> {
+        None
+    }
+
     /// Returns the most recently committed metadata blob, if any.
     ///
     /// A checksum or structural failure while reading the current blob is
@@ -156,12 +183,20 @@ impl AtomicStats {
 /// signatures exist so the same structures run unchanged over
 /// [`FilePager`](crate::FilePager) and under
 /// [`FaultPager`](crate::fault::FaultPager) fault injection.
+///
+/// Pages are reference-counted so [`publish_view`](Pager::publish_view)
+/// is a shallow clone: a published view shares the page images, and a
+/// later write to a shared page copies it first (`Arc::make_mut`), leaving
+/// every view's image untouched. GC is automatic — a page's memory is
+/// released when the last view sharing it drops — so the quarantine
+/// machinery reports no backlog for this pager.
 #[derive(Debug)]
 pub struct MemPager {
     page_size: usize,
-    pages: Vec<Option<Box<[u8]>>>,
+    pages: Vec<Option<Arc<Vec<u8>>>>,
     free_list: Vec<PageId>,
     meta: Option<Vec<u8>>,
+    hub: EpochHub,
     stats: AtomicStats,
 }
 
@@ -177,6 +212,7 @@ impl MemPager {
             pages: Vec::new(),
             free_list: Vec::new(),
             meta: None,
+            hub: EpochHub::new(),
             stats: AtomicStats::default(),
         }
     }
@@ -225,12 +261,11 @@ impl Pager for MemPager {
     fn allocate(&mut self) -> std::io::Result<PageId> {
         self.stats.bump_allocation();
         if let Some(id) = self.free_list.pop() {
-            self.pages[id as usize] = Some(vec![0u8; self.page_size].into_boxed_slice());
+            self.pages[id as usize] = Some(Arc::new(vec![0u8; self.page_size]));
             return Ok(id);
         }
         let id = self.pages.len() as PageId;
-        self.pages
-            .push(Some(vec![0u8; self.page_size].into_boxed_slice()));
+        self.pages.push(Some(Arc::new(vec![0u8; self.page_size])));
         Ok(id)
     }
 
@@ -242,7 +277,9 @@ impl Pager for MemPager {
             .get_mut(id as usize)
             .and_then(|p| p.as_mut())
             .unwrap_or_else(|| panic!("write of unallocated page {id}"));
-        page.copy_from_slice(data);
+        // Copy-on-write: a page shared with a published view is replaced,
+        // not mutated, so the view keeps its frozen image.
+        Arc::make_mut(page).copy_from_slice(data);
         self.stats.bump_write();
         Ok(())
     }
@@ -269,6 +306,67 @@ impl Pager for MemPager {
 
     fn read_meta(&self) -> std::io::Result<Option<Vec<u8>>> {
         Ok(self.meta.clone())
+    }
+
+    fn publish_view(&mut self) -> std::io::Result<Box<dyn SnapshotReader>> {
+        // Reference counting is the GC: nothing to sweep, but the
+        // generation bump and pin keep the epoch counters honest.
+        let _ = self.hub.sweep();
+        self.hub.publish();
+        Ok(Box::new(MemView {
+            page_size: self.page_size,
+            pages: self.pages.clone(),
+            hub: self.hub.clone(),
+            _pin: self.hub.pin(),
+            stats: AtomicStats::default(),
+        }))
+    }
+
+    fn epoch_stats(&self) -> EpochStats {
+        self.hub.stats()
+    }
+}
+
+/// A frozen [`MemPager`] view: shares the page images it was published
+/// with; the writer's later copy-on-write updates never touch them.
+#[derive(Debug)]
+struct MemView {
+    page_size: usize,
+    pages: Vec<Option<Arc<Vec<u8>>>>,
+    hub: EpochHub,
+    _pin: PinGuard,
+    stats: AtomicStats,
+}
+
+impl PageReader for MemView {
+    fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    fn read(&self, id: PageId, buf: &mut [u8]) -> std::io::Result<()> {
+        assert_eq!(buf.len(), self.page_size, "read buffer size mismatch");
+        let page = self
+            .pages
+            .get(id as usize)
+            .and_then(|p| p.as_ref())
+            .unwrap_or_else(|| panic!("read of page {id} not in this view"));
+        buf.copy_from_slice(page);
+        self.stats.bump_read();
+        Ok(())
+    }
+
+    fn live_pages(&self) -> usize {
+        self.pages.iter().filter(|p| p.is_some()).count()
+    }
+
+    fn stats(&self) -> IoStats {
+        self.stats.snapshot()
+    }
+}
+
+impl SnapshotReader for MemView {
+    fn epoch_stats(&self) -> EpochStats {
+        self.hub.stats()
     }
 }
 
@@ -385,5 +483,60 @@ mod tests {
         let a = p.allocate().unwrap();
         let mut buf = vec![0u8; 32];
         let _ = p.read(a, &mut buf);
+    }
+
+    #[test]
+    fn published_view_is_isolated_from_later_writes() {
+        let mut p = MemPager::new(64);
+        let a = p.allocate().unwrap();
+        p.write(a, &[1u8; 64]).unwrap();
+        let view = p.publish_view().unwrap();
+        p.write(a, &[2u8; 64]).unwrap();
+        let mut buf = vec![0u8; 64];
+        view.read(a, &mut buf).unwrap();
+        assert!(buf.iter().all(|&x| x == 1), "view keeps its frozen image");
+        p.read(a, &mut buf).unwrap();
+        assert!(buf.iter().all(|&x| x == 2), "writer sees the new bytes");
+        assert_eq!(p.epoch_stats().pinned_epochs, 1);
+        drop(view);
+        assert_eq!(p.epoch_stats().pinned_epochs, 0);
+    }
+
+    #[test]
+    fn view_keeps_freed_pages_readable() {
+        let mut p = MemPager::new(64);
+        let a = p.allocate().unwrap();
+        p.write(a, &[7u8; 64]).unwrap();
+        let view = p.publish_view().unwrap();
+        p.free(a);
+        let mut buf = vec![0u8; 64];
+        view.read(a, &mut buf).unwrap();
+        assert!(
+            buf.iter().all(|&x| x == 7),
+            "freed page must stay readable through the pinned view"
+        );
+    }
+
+    #[test]
+    fn concurrent_view_reads_during_writes() {
+        let mut p = MemPager::new(64);
+        let a = p.allocate().unwrap();
+        p.write(a, &[1u8; 64]).unwrap();
+        let view = p.publish_view().unwrap();
+        std::thread::scope(|s| {
+            let view = &view;
+            for _ in 0..4 {
+                s.spawn(move || {
+                    let mut buf = vec![0u8; 64];
+                    for _ in 0..50 {
+                        view.read(a, &mut buf).unwrap();
+                        assert_eq!(buf[0], 1);
+                    }
+                });
+            }
+            for round in 2..50u8 {
+                p.write(a, &[round; 64]).unwrap();
+            }
+        });
     }
 }

@@ -72,7 +72,7 @@ pub mod shell;
 
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
-    pub use cdb_core::db::{ConstraintDb, DbConfig};
+    pub use cdb_core::db::{ConstraintDb, DbConfig, Snapshot};
     pub use cdb_core::plan::{
         AccessMethod, Capability, CostEstimate, ExplainReport, MethodKind, PlanCatalog, Planner,
         QueryPlan,

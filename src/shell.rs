@@ -378,6 +378,12 @@ fn render_stats(s: &DbStats) -> String {
             wal.durable_lsn, wal.next_lsn, wal.pending
         ));
     }
+    if s.epochs.current_epoch > 0 || s.epochs.pinned_epochs > 0 || s.epochs.quarantined_pages > 0 {
+        out.push_str(&format!(
+            "\nepochs: current {}, {} pinned reader(s), {} page(s) awaiting gc",
+            s.epochs.current_epoch, s.epochs.pinned_epochs, s.epochs.quarantined_pages
+        ));
+    }
     if s.checkpoint_failures > 0 {
         out.push_str(&format!(
             "\nwarning: {} consecutive checkpoint failure(s)",
@@ -445,11 +451,17 @@ fn render_remote_fsck(rep: &WireRecoveryReport) -> String {
     for (name, health) in &rep.relations {
         out.push_str(&format!("  {name}: {health}\n"));
     }
+    match rep.quarantine {
+        Some(true) => out.push_str("quarantine: clean (no freed page is still live)\n"),
+        Some(false) => out.push_str("quarantine: VIOLATION — a quarantined page is still live\n"),
+        None => {}
+    }
     let verdict = if rep
         .relations
         .iter()
         .any(|(_, h)| *h != RelationHealth::Healthy)
         || rep.wal.as_ref().is_some_and(|w| w.error.is_some())
+        || rep.quarantine == Some(false)
     {
         "fsck: problems found"
     } else {
@@ -498,6 +510,12 @@ pub fn fsck(rest: &str) -> Result<String, String> {
     for (name, health) in &report.relations {
         out.push_str(&format!("  {name}: {health}\n"));
     }
+    let quarantine = db.quarantine_clean();
+    match quarantine {
+        Some(true) => out.push_str("quarantine: clean (no freed page is still live)\n"),
+        Some(false) => out.push_str("quarantine: VIOLATION — a quarantined page is still live\n"),
+        None => {}
+    }
     if rebuild {
         let degraded: Vec<String> = report
             .relations
@@ -519,6 +537,7 @@ pub fn fsck(rest: &str) -> Result<String, String> {
         .iter()
         .any(|(_, h)| *h != RelationHealth::Healthy)
         || report.wal.as_ref().is_some_and(|w| w.error.is_some())
+        || quarantine == Some(false)
     {
         if rebuild {
             "fsck: repairs applied (quarantined relations, if any, need manual attention)"
