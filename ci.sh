@@ -30,6 +30,7 @@ step persistence cargo test -q --test persistence
 step reopen cargo test -q --test reopen
 step fault-injection cargo test -q --test fault_injection
 step snapshot-isolation cargo test -q --test snapshot_isolation
+step sql-equivalence cargo test -q --test sql_equivalence
 
 # End-to-end health check: build a small database with the shell, then
 # verify every page checksum through `cdb fsck` (read-only and repair
@@ -89,6 +90,66 @@ server_smoke() {
   rm -f "$f" "$f.wal" "$log"
 }
 step server server_smoke
+
+# Constraint-SQL smoke: serve a fresh file, run DDL + inserts + SQL
+# selects (single-relation, join, projection) and EXPLAIN/EXPLAIN ANALYZE
+# through the scripted client shell, assert row counts and plan shapes,
+# then shut down gracefully and fsck the file.
+sql_smoke() {
+  local f="${TMPDIR:-/tmp}/cdb_ci_sql_$$.db"
+  local log="${TMPDIR:-/tmp}/cdb_ci_sql_$$.log"
+  local out="${TMPDIR:-/tmp}/cdb_ci_sql_$$.out"
+  rm -f "$f" "$f.wal" "$log" "$out"
+  ./target/release/cdb-server "$f" >"$log" &
+  local pid=$!
+  local addr=""
+  for _ in $(seq 1 50); do
+    addr=$(sed -n 's/^listening on //p' "$log")
+    [ -n "$addr" ] && break
+    sleep 0.1
+  done
+  if [ -z "$addr" ]; then
+    echo "ci: cdb-server never announced its address" >&2
+    kill -9 "$pid" 2>/dev/null || true
+    rm -f "$f" "$f.wal" "$log" "$out"
+    return 1
+  fi
+  {
+    printf 'create parcels 2\n'
+    printf 'insert parcels y >= 0 && y <= 2 && x >= 0 && x + y <= 4\n'
+    printf 'insert parcels y >= x && y <= x + 1 && x >= 10\n'
+    printf 'insert parcels y >= -1 && y <= 1 && x >= -3 && x <= -1\n'
+    printf 'index parcels 4\n'
+    printf 'create lots 2\n'
+    printf 'insert lots y >= 0 && y <= 1 && x >= 0 && x <= 1\n'
+    printf 'sql SELECT * FROM parcels WHERE y >= 0.3x - 5 EXIST\n'
+    printf 'sql SELECT * FROM parcels WHERE y <= 2 ALL\n'
+    printf 'sql SELECT x FROM parcels JOIN lots WHERE y <= 0.5 EXIST LIMIT 10\n'
+    printf 'explain SELECT * FROM parcels WHERE y >= 0.3x - 5 EXIST\n'
+    printf 'explain analyze SELECT * FROM parcels WHERE y >= 0.3x - 5 AND x >= 0 EXIST\n'
+    printf 'save\n'
+    printf 'shutdown\n'
+  } | TERM= ./target/release/cdb-client "$addr" >"$out"
+  local code=0
+  wait "$pid" || code=$?
+  if [ "$code" -ne 0 ]; then
+    echo "ci: cdb-server exited with code $code" >&2
+    rm -f "$f" "$f.wal" "$log" "$out"
+    return 1
+  fi
+  # Row counts: EXIST hits all 3 parcels; ALL(y<=2) keeps the two bounded
+  # ones; the join pairs each parcel touching y<=0.5 with the single lot.
+  grep -q '3 row(s): id(parcels)' "$out"
+  grep -q '2 row(s): id(parcels)' "$out"
+  grep -q 'row(s): id(parcels) | id(lots) | region(x)' "$out"
+  # EXPLAIN shows the chosen access method; ANALYZE adds observed timings.
+  grep -q 'IndexScan parcels' "$out"
+  grep -q 'Filter' "$out"
+  grep -q 'time: ' "$out"
+  ./target/release/cdb fsck "$f" | grep -q 'fsck: ok'
+  rm -f "$f" "$f.wal" "$log" "$out"
+}
+step sql sql_smoke
 
 # Durability smoke: SIGKILL cdb-server under write load before anything
 # checkpointed, then reopen. Every acknowledged insert must come back —

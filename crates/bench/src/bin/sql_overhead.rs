@@ -1,0 +1,134 @@
+//! Pipeline overhead of the SQL front end over the direct typed path.
+//!
+//! PR 8 re-expressed the typed `query` entry point as a one-node physical
+//! plan, and SQL adds parse + lowering + rewrite on top. This run measures
+//! both against the paper's largest configuration (N = 12000, k = 4, small
+//! objects, 10–15 % selectivity): the same calibrated battery executed via
+//! `query_with(…, Strategy::Auto)` and via `sql("SELECT * FROM r WHERE …")`,
+//! with the answers cross-checked query-for-query. The budget for the SQL
+//! wrapper is ≤ 10 % wall-clock overhead.
+//!
+//! ```text
+//! cargo run --release -p cdb-bench --bin sql_overhead [--quick]
+//! ```
+
+use std::time::Instant;
+
+use cdb_bench::{selection_of, T2Bed};
+use cdb_core::query::{SelectionKind, Strategy};
+use cdb_core::sql::SqlMode;
+use cdb_workload::{DatasetSpec, ObjectSize, QueryGen};
+
+/// Renders a calibrated half-plane selection as constraint-SQL. `Display`
+/// for `f64` is shortest-round-trip, so the parsed constraint is bit-equal.
+fn sql_of(sel: &cdb_core::query::Selection) -> String {
+    let c = sel.halfplane.to_constraint();
+    let mut lhs = String::new();
+    for (i, &coeff) in c.coeffs.iter().enumerate() {
+        if coeff == 0.0 {
+            continue;
+        }
+        let var = cdb_core::sql::var_name(i);
+        if lhs.is_empty() {
+            lhs.push_str(&format!("{coeff}*{var}"));
+        } else if coeff < 0.0 {
+            lhs.push_str(&format!(" - {}*{var}", -coeff));
+        } else {
+            lhs.push_str(&format!(" + {coeff}*{var}"));
+        }
+    }
+    let cmp = match c.op {
+        cdb_geometry::RelOp::Le => "<=",
+        cdb_geometry::RelOp::Ge => ">=",
+    };
+    let kind = match sel.kind {
+        SelectionKind::Exist => "EXIST",
+        SelectionKind::All => "ALL",
+    };
+    format!("SELECT * FROM r WHERE {lhs} {cmp} {} {kind}", -c.constant)
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let n = if quick { 2000 } else { 12000 };
+    let k = 4;
+    let batch_len = if quick { 48 } else { 192 };
+    let repeats = 5;
+
+    let spec = DatasetSpec::paper_1999(n, ObjectSize::Small, 0x8A01);
+    let bed = T2Bed::build(spec, k);
+    let mut qg = QueryGen::new(0x8A02);
+    let battery = qg.battery(&bed.tuples, batch_len / 2, 0.10, 0.15);
+    let work: Vec<(cdb_core::query::Selection, String)> = battery
+        .iter()
+        .map(|q| {
+            let sel = selection_of(q);
+            let text = sql_of(&sel);
+            (sel, text)
+        })
+        .collect();
+
+    println!(
+        "SQL pipeline overhead — N={n}, k={k}, {} queries/batch, best of {repeats}",
+        work.len()
+    );
+
+    // Cross-check once: both paths must return the same ids per query.
+    for (sel, text) in &work {
+        let typed = bed
+            .db
+            .query_with("r", sel.clone(), Strategy::Auto)
+            .expect("indexed relation");
+        let via_sql = bed.db.sql(text, SqlMode::Execute).expect("valid SQL");
+        let sql_ids: Vec<u32> = via_sql.rows.iter().map(|r| r.ids[0]).collect();
+        assert_eq!(typed.ids(), sql_ids.as_slice(), "mismatch on {text}");
+    }
+
+    let mut typed_best = f64::INFINITY;
+    let mut sql_best = f64::INFINITY;
+    for _ in 0..repeats {
+        let t0 = Instant::now();
+        for (sel, _) in &work {
+            let r = bed
+                .db
+                .query_with("r", sel.clone(), Strategy::Auto)
+                .expect("indexed relation");
+            std::hint::black_box(r.ids().len());
+        }
+        typed_best = typed_best.min(t0.elapsed().as_secs_f64());
+
+        let t1 = Instant::now();
+        for (_, text) in &work {
+            let o = bed.db.sql(text, SqlMode::Execute).expect("valid SQL");
+            std::hint::black_box(o.rows.len());
+        }
+        sql_best = sql_best.min(t1.elapsed().as_secs_f64());
+    }
+
+    let per_typed_us = typed_best / work.len() as f64 * 1e6;
+    let per_sql_us = sql_best / work.len() as f64 * 1e6;
+    let overhead = (sql_best / typed_best - 1.0) * 100.0;
+    println!("{:>24}{:>16}{:>12}", "path", "us/query", "overhead");
+    println!(
+        "{:>24}{per_typed_us:>16.1}{:>12}",
+        "typed Strategy::Auto", "—"
+    );
+    println!(
+        "{:>24}{per_sql_us:>16.1}{overhead:>+11.1}%",
+        "SQL one-node plan"
+    );
+
+    std::fs::create_dir_all("results").expect("results dir");
+    std::fs::write(
+        "results/sql_overhead.csv",
+        format!(
+            "path,us_per_query,overhead_pct\ntyped_auto,{per_typed_us:.2},0\nsql,{per_sql_us:.2},{overhead:.2}\n"
+        ),
+    )
+    .expect("write CSV");
+    println!("\nall SQL answers matched the typed path");
+    println!("wrote results/sql_overhead.csv");
+    if overhead > 10.0 {
+        println!("WARNING: overhead exceeds the 10% budget");
+    }
+}

@@ -34,10 +34,10 @@ use crate::ddim::{DualIndexD, SlopePoints};
 use crate::error::CdbError;
 use crate::index::DualIndex;
 use crate::plan::{
-    AccessMethod, DualDAccess, ExplainReport, MethodContext, MethodKind, PlanCatalog, Planner,
-    QueryPlan, RPlusAccess, RestrictedAccess, SeqScanAccess, T1Access, T2Access,
+    AccessMethod, DualDAccess, ExplainReport, MethodContext, MethodKind, PlanCatalog, QueryPlan,
+    RPlusAccess, RestrictedAccess, SeqScanAccess, T1Access, T2Access,
 };
-use crate::query::{QueryResult, Selection, SelectionKind, Strategy};
+use crate::query::{QueryResult, QueryStats, Selection, SelectionKind, Strategy};
 use crate::slopes::SlopeSet;
 use crate::wal::WalRecord;
 
@@ -325,7 +325,7 @@ impl Relation {
 
     /// Refuses quarantined relations; every query and mutation path goes
     /// through this gate.
-    fn ensure_usable(&self) -> Result<(), CdbError> {
+    pub(crate) fn ensure_usable(&self) -> Result<(), CdbError> {
         if matches!(self.health, RelationHealth::Quarantined { .. }) {
             return Err(CdbError::Quarantined(self.name.clone()));
         }
@@ -418,6 +418,15 @@ impl Relation {
             .collect()
     }
 
+    /// Page-batched candidate fetcher over this relation's heap, for
+    /// access-method execution.
+    pub(crate) fn tuple_source(&self) -> HeapSource<'_> {
+        HeapSource {
+            heap: &self.heap,
+            slots: &self.slots,
+        }
+    }
+
     /// Every access method currently available on this relation, boxed as
     /// planner inputs. The sequential scan is always present; index-backed
     /// methods appear once their structure is built — and disappear while
@@ -498,7 +507,7 @@ fn verify_relation(pager: &dyn PageReader, rel: &Relation) -> RelationHealth {
 
 /// Page-batched [`crate::index::TupleSource`] over a relation's heap:
 /// candidate fetches cost one page access per *distinct* heap page.
-struct HeapSource<'a> {
+pub(crate) struct HeapSource<'a> {
     heap: &'a HeapFile,
     slots: &'a [Option<RecordId>],
 }
@@ -557,7 +566,10 @@ impl PageReader for ReadHalf<'_> {
 /// preserving the historical `NoIndex` errors for explicitly requested
 /// index techniques on index-less relations. A structure marked corrupt
 /// counts as absent.
-fn forced_kind(strategy: Strategy, rel: &Relation) -> Result<Option<MethodKind>, CdbError> {
+pub(crate) fn forced_kind(
+    strategy: Strategy,
+    rel: &Relation,
+) -> Result<Option<MethodKind>, CdbError> {
     let (c_dual, _, c_rplus) = rel.corrupt_flags();
     match strategy {
         Strategy::Auto => Ok(None),
@@ -592,43 +604,113 @@ fn planned_on(
     sel: &Selection,
     strategy: Strategy,
 ) -> Result<(QueryPlan, QueryResult), CdbError> {
-    rel.ensure_usable()?;
-    if rel.dim != sel.halfplane.dim() {
-        return Err(CdbError::DimensionMismatch {
-            expected: rel.dim,
-            got: sel.halfplane.dim(),
-        });
+    use crate::physical::Operator;
+    let mut op =
+        crate::physical::IndexScanOp::new(rel, reader, page_size, sel.clone(), strategy, false);
+    op.open()?;
+    let mut ids = Vec::new();
+    while let Some(row) = op.next()? {
+        ids.extend_from_slice(&row.ids);
     }
-    let forced = forced_kind(strategy, rel)?;
-    let methods = rel.access_methods(page_size);
-    let refs: Vec<&dyn AccessMethod> = methods.iter().map(|m| m.as_ref()).collect();
-    let (mi, plan) = Planner::choose(&refs, sel, forced, rel.catalog(), true)?;
-    let source = HeapSource {
-        heap: &rel.heap,
-        slots: &rel.slots,
-    };
-    let mut result = methods[mi].execute(reader, sel, &source)?;
-    result.stats.method = Some(plan.method);
-    result.stats.estimate = Some(plan.estimate);
-    rel.catalog()
-        .record(plan.method, sel.kind, &result.stats, rel.live);
-    Ok((plan, result))
+    op.close();
+    let (plan, stats) = op.into_plan_stats();
+    let plan = plan.expect("open() stamps the chosen plan");
+    Ok((plan, QueryResult::new(ids, stats)))
 }
 
-/// Plan-only core of EXPLAIN (no execution, no probe ticks).
-fn plan_on(rel: &Relation, page_size: usize, sel: &Selection) -> Result<QueryPlan, CdbError> {
-    rel.ensure_usable()?;
-    if rel.dim != sel.halfplane.dim() {
-        return Err(CdbError::DimensionMismatch {
-            expected: rel.dim,
-            got: sel.halfplane.dim(),
+/// Plan-only core of EXPLAIN (no execution, no probe ticks): the
+/// pipeline's `describe` pass over a one-node plan.
+fn plan_on(
+    rel: &Relation,
+    reader: &dyn PageReader,
+    page_size: usize,
+    sel: &Selection,
+) -> Result<QueryPlan, CdbError> {
+    use crate::physical::Operator;
+    let mut op = crate::physical::IndexScanOp::new(
+        rel,
+        reader,
+        page_size,
+        sel.clone(),
+        Strategy::Auto,
+        false,
+    );
+    op.describe()?;
+    let (plan, _) = op.into_plan_stats();
+    Ok(plan.expect("describe() stamps the chosen plan"))
+}
+
+/// Constraint-SQL core shared by the engine and its snapshots: parse →
+/// lower → rewrite → build the operator tree → execute or describe.
+fn sql_on(
+    relations: &HashMap<String, Relation>,
+    reader: &dyn PageReader,
+    page_size: usize,
+    text: &str,
+    mode: crate::sql::SqlMode,
+) -> Result<crate::sql::SqlOutcome, CdbError> {
+    use crate::sql::{Projection, SqlMode, SqlOutcome, SqlRow};
+    let query = crate::sql::parse(text).map_err(|e| CdbError::UnsupportedQuery(e.to_string()))?;
+    let plan = crate::logical::lower(&query, |name| {
+        relations
+            .get(name)
+            .map(|r| r.dim())
+            .ok_or_else(|| CdbError::RelationNotFound(name.to_string()))
+    })?;
+    let plan = crate::logical::rewrite(plan);
+    let mut columns: Vec<String> = query
+        .relations
+        .iter()
+        .map(|(n, _)| format!("id({n})"))
+        .collect();
+    let keep_regions = match &query.projection {
+        Projection::Star => false,
+        Projection::Vars(vars) => {
+            let names: Vec<String> = vars.iter().map(|(v, _)| crate::sql::var_name(*v)).collect();
+            columns.push(format!("region({})", names.join(", ")));
+            true
+        }
+    };
+    let ctx = crate::physical::ExecCtx {
+        relations,
+        reader,
+        page_size,
+    };
+    let mut op = crate::physical::build(&plan, &ctx, keep_regions)?;
+    if matches!(mode, SqlMode::Explain) {
+        op.describe()?;
+        return Ok(SqlOutcome {
+            columns,
+            rows: Vec::new(),
+            plan: Some(crate::pretty::render(&op.node(false))),
+            stats: QueryStats::default(),
         });
     }
-    let methods = rel.access_methods(page_size);
-    let refs: Vec<&dyn AccessMethod> = methods.iter().map(|m| m.as_ref()).collect();
-    // `explore = false`: EXPLAIN must be deterministic and side-effect
-    // free, so planning never burns an exploration probe tick.
-    Planner::choose(&refs, sel, None, rel.catalog(), false).map(|(_, p)| p)
+    op.open()?;
+    let mut rows = Vec::new();
+    while let Some(row) = op.next()? {
+        rows.push(SqlRow {
+            ids: row.ids,
+            region: if keep_regions { row.region } else { None },
+        });
+    }
+    op.close();
+    let mut stats = QueryStats::default();
+    op.add_stats(&mut stats);
+    if matches!(mode, SqlMode::ExplainAnalyze) {
+        return Ok(SqlOutcome {
+            columns,
+            rows: Vec::new(),
+            plan: Some(crate::pretty::render(&op.node(true))),
+            stats,
+        });
+    }
+    Ok(SqlOutcome {
+        columns,
+        rows,
+        plan: None,
+        stats,
+    })
 }
 
 /// Line-query core shared by the engine and its snapshots.
@@ -1670,7 +1752,12 @@ impl ConstraintDb {
     /// Plans a selection without executing it: which access method the
     /// planner would choose, its cost estimate, and why the others lost.
     pub fn plan_query(&self, name: &str, sel: &Selection) -> Result<QueryPlan, CdbError> {
-        plan_on(self.relation(name)?, self.config.page_size, sel)
+        plan_on(
+            self.relation(name)?,
+            &self.reader(),
+            self.config.page_size,
+            sel,
+        )
     }
 
     /// EXPLAIN ANALYZE: plans with the engine's default strategy, executes
@@ -1689,6 +1776,24 @@ impl ConstraintDb {
     ) -> Result<ExplainReport, CdbError> {
         let (plan, result) = self.planned(name, &sel, strategy)?;
         Ok(ExplainReport { plan, result })
+    }
+
+    /// Runs one constraint-SQL statement through the operator pipeline:
+    /// `SELECT <vars|*> FROM <rel> [JOIN <rel> …] WHERE <constraints>
+    /// [EXIST|ALL] [LIMIT n]`. Reads from `&self` over the read half of
+    /// the pager, like every query path.
+    pub fn sql(
+        &self,
+        text: &str,
+        mode: crate::sql::SqlMode,
+    ) -> Result<crate::sql::SqlOutcome, CdbError> {
+        sql_on(
+            &self.relations,
+            &self.reader(),
+            self.config.page_size,
+            text,
+            mode,
+        )
     }
 
     /// Executes a batch of selections concurrently over the shared engine
@@ -1819,7 +1924,12 @@ impl Snapshot {
 
     /// Plans a selection without executing it.
     pub fn plan_query(&self, name: &str, sel: &Selection) -> Result<QueryPlan, CdbError> {
-        plan_on(self.relation(name)?, self.config.page_size, sel)
+        plan_on(
+            self.relation(name)?,
+            self.reader(),
+            self.config.page_size,
+            sel,
+        )
     }
 
     /// EXPLAIN ANALYZE against the frozen epoch.
@@ -1837,6 +1947,22 @@ impl Snapshot {
         let rel = self.relation(name)?;
         let (plan, result) = planned_on(rel, self.reader(), self.config.page_size, &sel, strategy)?;
         Ok(ExplainReport { plan, result })
+    }
+
+    /// Runs one constraint-SQL statement against the frozen epoch;
+    /// semantics match [`ConstraintDb::sql`].
+    pub fn sql(
+        &self,
+        text: &str,
+        mode: crate::sql::SqlMode,
+    ) -> Result<crate::sql::SqlOutcome, CdbError> {
+        sql_on(
+            &self.relations,
+            self.reader(),
+            self.config.page_size,
+            text,
+            mode,
+        )
     }
 
     /// Executes a batch of selections concurrently over this snapshot,

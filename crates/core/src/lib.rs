@@ -48,9 +48,13 @@ pub mod error;
 pub mod exec;
 pub mod handicap;
 pub mod index;
+pub mod logical;
+pub mod physical;
 pub mod plan;
+pub mod pretty;
 pub mod query;
 pub mod slopes;
+pub mod sql;
 pub(crate) mod wal;
 
 pub use db::{
@@ -64,5 +68,7 @@ pub use plan::{
     AccessMethod, Capability, CostEstimate, ExplainReport, MethodKind, PlanCatalog, Planner,
     QueryPlan,
 };
+pub use pretty::PlanNode;
 pub use query::{QueryResult, QueryStats, Selection, SelectionKind, Strategy};
 pub use slopes::SlopeSet;
+pub use sql::{SqlError, SqlMode, SqlOutcome, SqlQuery, SqlRow};

@@ -1,0 +1,878 @@
+//! The Volcano execution layer: pull-based operators over constraint
+//! relations.
+//!
+//! Every query — typed or SQL — executes as a tree of [`Operator`]s with
+//! the classic `open`/`next`/`close` contract:
+//!
+//! * `open` acquires resources and runs any eager work (planner choice and
+//!   access-method execution for [`IndexScanOp`], the heap scan for
+//!   [`SeqScanOp`], buffering the inner side for [`NestedLoopJoinOp`]);
+//! * `next` yields one [`Row`] at a time, or `None` when drained;
+//! * `close` releases state; operators may be closed early (`LIMIT`).
+//!
+//! Rows carry the matched tuple id per source relation plus, when a
+//! downstream operator needs geometry (filter, join, project), the row's
+//! constraint region. Leaf operators only materialize regions when asked,
+//! so a one-node plan built by the typed `query()` wrapper stays id-only
+//! and pays no extra heap traffic.
+//!
+//! Each operator renders itself as a [`PlanNode`] for `EXPLAIN`
+//! ([`Operator::node`]); with `analyze` set the node also reports observed
+//! rows and inclusive wall-clock time.
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use cdb_geometry::eliminate;
+use cdb_geometry::halfplane::HalfPlane;
+use cdb_geometry::predicates;
+use cdb_geometry::simplex::LpResult;
+use cdb_geometry::tuple::GeneralizedTuple;
+use cdb_geometry::{LinearConstraint, RelOp};
+use cdb_storage::{PageReader, TrackedReader};
+
+use crate::db::Relation;
+use crate::error::CdbError;
+use crate::logical::LogicalPlan;
+use crate::plan::{Planner, QueryPlan};
+use crate::pretty::{actual_line, plan_detail_lines, PlanNode};
+use crate::query::{QueryStats, Selection, SelectionKind, Strategy};
+use crate::sql::var_name;
+
+/// One intermediate result row.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Matched tuple ids, one per source relation in `FROM` order.
+    pub ids: Vec<u32>,
+    /// The row's constraint region (combined across joins, projected by
+    /// `Project`). `None` when no downstream operator asked for geometry.
+    pub region: Option<GeneralizedTuple>,
+}
+
+/// The Volcano operator contract.
+pub trait Operator {
+    /// Prepares the operator (and its inputs) for iteration.
+    fn open(&mut self) -> Result<(), CdbError>;
+    /// Produces the next row, or `None` when drained.
+    fn next(&mut self) -> Result<Option<Row>, CdbError>;
+    /// Releases per-execution state; safe to call before drain (`LIMIT`).
+    fn close(&mut self);
+    /// Plans without executing, so `EXPLAIN` can render cost estimates.
+    fn describe(&mut self) -> Result<(), CdbError>;
+    /// Renders this operator (and subtree) for `EXPLAIN`; with `analyze`,
+    /// includes observed row counts and inclusive timings.
+    fn node(&self, analyze: bool) -> PlanNode;
+    /// Accumulates I/O and candidate accounting from every scan in the
+    /// subtree.
+    fn add_stats(&self, agg: &mut QueryStats);
+}
+
+fn kind_word(kind: SelectionKind) -> &'static str {
+    match kind {
+        SelectionKind::All => "all",
+        SelectionKind::Exist => "exist",
+    }
+}
+
+fn ms(d: Duration) -> String {
+    format!("time: {:.3} ms", d.as_secs_f64() * 1e3)
+}
+
+/// Lifts a constraint into `dim` coordinates by zero-padding.
+fn lift(c: &LinearConstraint, dim: usize) -> LinearConstraint {
+    if c.coeffs.len() == dim {
+        return c.clone();
+    }
+    let mut coeffs = c.coeffs.clone();
+    coeffs.resize(dim, 0.0);
+    LinearConstraint::new(coeffs, c.constant, c.op)
+}
+
+/// Lifts a whole region into `dim` coordinates.
+fn lift_region(t: &GeneralizedTuple, dim: usize) -> GeneralizedTuple {
+    if t.dim() == dim {
+        return t.clone();
+    }
+    GeneralizedTuple::new(t.constraints().iter().map(|c| lift(c, dim)).collect())
+}
+
+/// Rows produced under a filter, join or projection must carry geometry;
+/// the plan builder guarantees it, and this converts a violation into an
+/// error instead of a panic (the server must never panic on a query).
+fn require_region(row: &Row) -> Result<&GeneralizedTuple, CdbError> {
+    row.region.as_ref().ok_or_else(|| {
+        CdbError::UnsupportedQuery("internal: operator input is missing its region".into())
+    })
+}
+
+// --------------------------------------------------------------- EmptyOp
+
+/// A statically-empty plan (unsatisfiable or false `WHERE`).
+pub struct EmptyOp {
+    reason: String,
+}
+
+impl Operator for EmptyOp {
+    fn open(&mut self) -> Result<(), CdbError> {
+        Ok(())
+    }
+
+    fn next(&mut self) -> Result<Option<Row>, CdbError> {
+        Ok(None)
+    }
+
+    fn close(&mut self) {}
+
+    fn describe(&mut self) -> Result<(), CdbError> {
+        Ok(())
+    }
+
+    fn node(&self, _analyze: bool) -> PlanNode {
+        PlanNode {
+            label: "Empty".into(),
+            detail: vec![self.reason.clone()],
+            children: vec![],
+        }
+    }
+
+    fn add_stats(&self, _agg: &mut QueryStats) {}
+}
+
+// ------------------------------------------------------------ IndexScanOp
+
+/// Planned access-method execution on one relation: the cost-based
+/// planner picks among every available method (seq-scan, dual index
+/// techniques, R⁺-tree) exactly as the typed query path always has —
+/// now as one operator inside the pipeline.
+pub struct IndexScanOp<'a> {
+    rel: &'a Relation,
+    reader: &'a dyn PageReader,
+    page_size: usize,
+    sel: Selection,
+    strategy: Strategy,
+    fetch_regions: bool,
+    plan: Option<QueryPlan>,
+    stats: QueryStats,
+    queue: std::vec::IntoIter<u32>,
+    rows_out: u64,
+    elapsed: Duration,
+}
+
+impl<'a> IndexScanOp<'a> {
+    /// Creates the operator; `fetch_regions` asks `next` to materialize
+    /// each row's constraint region (needed under filters/joins).
+    pub fn new(
+        rel: &'a Relation,
+        reader: &'a dyn PageReader,
+        page_size: usize,
+        sel: Selection,
+        strategy: Strategy,
+        fetch_regions: bool,
+    ) -> IndexScanOp<'a> {
+        IndexScanOp {
+            rel,
+            reader,
+            page_size,
+            sel,
+            strategy,
+            fetch_regions,
+            plan: None,
+            stats: QueryStats::default(),
+            queue: Vec::new().into_iter(),
+            rows_out: 0,
+            elapsed: Duration::ZERO,
+        }
+    }
+
+    fn check(&self) -> Result<(), CdbError> {
+        self.rel.ensure_usable()?;
+        if self.rel.dim() != self.sel.halfplane.dim() {
+            return Err(CdbError::DimensionMismatch {
+                expected: self.rel.dim(),
+                got: self.sel.halfplane.dim(),
+            });
+        }
+        Ok(())
+    }
+
+    /// The chosen plan and accumulated stats, for the typed wrappers that
+    /// re-package pipeline output as a [`crate::query::QueryResult`].
+    pub fn into_plan_stats(self) -> (Option<QueryPlan>, QueryStats) {
+        (self.plan, self.stats)
+    }
+}
+
+impl Operator for IndexScanOp<'_> {
+    fn open(&mut self) -> Result<(), CdbError> {
+        let t0 = Instant::now();
+        self.check()?;
+        let forced = crate::db::forced_kind(self.strategy, self.rel)?;
+        let methods = self.rel.access_methods(self.page_size);
+        let refs: Vec<&dyn crate::plan::AccessMethod> =
+            methods.iter().map(|m| m.as_ref()).collect();
+        let (mi, plan) = Planner::choose(&refs, &self.sel, forced, self.rel.catalog(), true)?;
+        let source = self.rel.tuple_source();
+        let mut result = methods[mi].execute(self.reader, &self.sel, &source)?;
+        result.stats.method = Some(plan.method);
+        result.stats.estimate = Some(plan.estimate);
+        self.rel
+            .catalog()
+            .record(plan.method, self.sel.kind, &result.stats, self.rel.len());
+        self.stats = result.stats;
+        self.queue = result.ids().to_vec().into_iter();
+        self.plan = Some(plan);
+        self.elapsed += t0.elapsed();
+        Ok(())
+    }
+
+    fn next(&mut self) -> Result<Option<Row>, CdbError> {
+        let t0 = Instant::now();
+        let out = match self.queue.next() {
+            None => None,
+            Some(id) => {
+                let region = if self.fetch_regions {
+                    let tracked = TrackedReader::new(self.reader);
+                    let t = self.rel.fetch(&tracked, id)?;
+                    self.stats.heap_io.reads += tracked.reads();
+                    Some(t)
+                } else {
+                    None
+                };
+                self.rows_out += 1;
+                Some(Row {
+                    ids: vec![id],
+                    region,
+                })
+            }
+        };
+        self.elapsed += t0.elapsed();
+        Ok(out)
+    }
+
+    fn close(&mut self) {
+        self.queue = Vec::new().into_iter();
+    }
+
+    fn describe(&mut self) -> Result<(), CdbError> {
+        self.check()?;
+        let methods = self.rel.access_methods(self.page_size);
+        let refs: Vec<&dyn crate::plan::AccessMethod> =
+            methods.iter().map(|m| m.as_ref()).collect();
+        // `explore = false`: EXPLAIN is deterministic and side-effect free.
+        let (_, plan) = Planner::choose(&refs, &self.sel, None, self.rel.catalog(), false)?;
+        self.plan = Some(plan);
+        Ok(())
+    }
+
+    fn node(&self, analyze: bool) -> PlanNode {
+        let mut detail = match &self.plan {
+            Some(p) => plan_detail_lines(p),
+            None => vec!["(not planned)".into()],
+        };
+        if analyze {
+            detail.push(actual_line(&self.stats, self.rows_out));
+            detail.push(ms(self.elapsed));
+        }
+        PlanNode {
+            label: format!(
+                "IndexScan {} [{} {}]",
+                self.rel.name(),
+                kind_word(self.sel.kind),
+                self.sel.halfplane
+            ),
+            detail,
+            children: vec![],
+        }
+    }
+
+    fn add_stats(&self, agg: &mut QueryStats) {
+        merge_stats(agg, &self.stats);
+    }
+}
+
+/// Component-wise accumulation of scan-node stats into an aggregate.
+fn merge_stats(agg: &mut QueryStats, s: &QueryStats) {
+    agg.index_io.reads += s.index_io.reads;
+    agg.index_io.writes += s.index_io.writes;
+    agg.heap_io.reads += s.heap_io.reads;
+    agg.heap_io.writes += s.heap_io.writes;
+    agg.candidates += s.candidates;
+    agg.duplicates += s.duplicates;
+    agg.false_hits += s.false_hits;
+    agg.accepted_by_key += s.accepted_by_key;
+}
+
+// -------------------------------------------------------------- SeqScanOp
+
+/// Full relation scan, emitting every live tuple with its region.
+pub struct SeqScanOp<'a> {
+    rel: &'a Relation,
+    reader: &'a dyn PageReader,
+    rows: std::vec::IntoIter<(u32, GeneralizedTuple)>,
+    stats: QueryStats,
+    rows_out: u64,
+    elapsed: Duration,
+}
+
+impl<'a> SeqScanOp<'a> {
+    /// Creates a scan over `rel` through `reader`.
+    pub fn new(rel: &'a Relation, reader: &'a dyn PageReader) -> SeqScanOp<'a> {
+        SeqScanOp {
+            rel,
+            reader,
+            rows: Vec::new().into_iter(),
+            stats: QueryStats::default(),
+            rows_out: 0,
+            elapsed: Duration::ZERO,
+        }
+    }
+}
+
+impl Operator for SeqScanOp<'_> {
+    fn open(&mut self) -> Result<(), CdbError> {
+        let t0 = Instant::now();
+        self.rel.ensure_usable()?;
+        let tracked = TrackedReader::new(self.reader);
+        let rows = self.rel.scan(&tracked)?;
+        self.stats.heap_io.reads += tracked.reads();
+        self.stats.candidates += rows.len() as u64;
+        self.rows = rows.into_iter();
+        self.elapsed += t0.elapsed();
+        Ok(())
+    }
+
+    fn next(&mut self) -> Result<Option<Row>, CdbError> {
+        let t0 = Instant::now();
+        let out = self.rows.next().map(|(id, t)| {
+            self.rows_out += 1;
+            Row {
+                ids: vec![id],
+                region: Some(t),
+            }
+        });
+        self.elapsed += t0.elapsed();
+        Ok(out)
+    }
+
+    fn close(&mut self) {
+        self.rows = Vec::new().into_iter();
+    }
+
+    fn describe(&mut self) -> Result<(), CdbError> {
+        self.rel.ensure_usable()
+    }
+
+    fn node(&self, analyze: bool) -> PlanNode {
+        let mut detail = vec![format!(
+            "estimate: {} heap pages, {} tuples",
+            self.rel.heap_pages(),
+            self.rel.len()
+        )];
+        if analyze {
+            detail.push(actual_line(&self.stats, self.rows_out));
+            detail.push(ms(self.elapsed));
+        }
+        PlanNode {
+            label: format!("SeqScan {}", self.rel.name()),
+            detail,
+            children: vec![],
+        }
+    }
+
+    fn add_stats(&self, agg: &mut QueryStats) {
+        merge_stats(agg, &self.stats);
+    }
+}
+
+// --------------------------------------------------------------- FilterOp
+
+/// Exact predicate over the full `WHERE` conjunction.
+///
+/// * `EXIST`: the row's region conjoined with every constraint must be
+///   satisfiable (one phase-1 LP) — joint satisfiability, which does not
+///   decompose over conjuncts.
+/// * `ALL`: containment distributes, so each conjunct is checked on its
+///   own — through the paper's exact dual predicate when the constraint
+///   is non-vertical, and through support-function LPs otherwise.
+pub struct FilterOp<'a> {
+    input: Box<dyn Operator + 'a>,
+    kind: SelectionKind,
+    constraints: Vec<LinearConstraint>,
+    dim: usize,
+    rows_in: u64,
+    rows_out: u64,
+    elapsed: Duration,
+}
+
+impl<'a> FilterOp<'a> {
+    /// Wraps `input` with the conjunction predicate.
+    pub fn new(
+        input: Box<dyn Operator + 'a>,
+        kind: SelectionKind,
+        constraints: Vec<LinearConstraint>,
+        dim: usize,
+    ) -> FilterOp<'a> {
+        FilterOp {
+            input,
+            kind,
+            constraints,
+            dim,
+            rows_in: 0,
+            rows_out: 0,
+            elapsed: Duration::ZERO,
+        }
+    }
+
+    fn keep(&self, region: &GeneralizedTuple) -> bool {
+        match self.kind {
+            SelectionKind::Exist => {
+                let mut sys = lift_region(region, self.dim);
+                for c in &self.constraints {
+                    sys.push(lift(c, self.dim));
+                }
+                sys.is_satisfiable()
+            }
+            SelectionKind::All => {
+                let lifted = lift_region(region, self.dim);
+                self.constraints.iter().all(|c| contained(&lifted, c))
+            }
+        }
+    }
+}
+
+/// `region ⊆ {x : c holds}`, exactly.
+fn contained(region: &GeneralizedTuple, c: &LinearConstraint) -> bool {
+    let fitted = lift(c, region.dim());
+    if let Some(hp) = HalfPlane::from_constraint(&fitted) {
+        return predicates::all(&hp, region);
+    }
+    // Vertical constraint: bound the support function by LP.
+    let eps = cdb_geometry::scalar::EPS;
+    match fitted.op {
+        RelOp::Le => match region.maximize(&fitted.coeffs) {
+            LpResult::Optimal { value, .. } => value + fitted.constant <= eps,
+            LpResult::Unbounded => false,
+            LpResult::Infeasible => true,
+        },
+        RelOp::Ge => match region.minimize(&fitted.coeffs) {
+            LpResult::Optimal { value, .. } => value + fitted.constant >= -eps,
+            LpResult::Unbounded => false,
+            LpResult::Infeasible => true,
+        },
+    }
+}
+
+impl Operator for FilterOp<'_> {
+    fn open(&mut self) -> Result<(), CdbError> {
+        self.input.open()
+    }
+
+    fn next(&mut self) -> Result<Option<Row>, CdbError> {
+        loop {
+            let Some(row) = self.input.next()? else {
+                return Ok(None);
+            };
+            let t0 = Instant::now();
+            self.rows_in += 1;
+            let keep = self.keep(require_region(&row)?);
+            self.elapsed += t0.elapsed();
+            if keep {
+                self.rows_out += 1;
+                return Ok(Some(row));
+            }
+        }
+    }
+
+    fn close(&mut self) {
+        self.input.close();
+    }
+
+    fn describe(&mut self) -> Result<(), CdbError> {
+        self.input.describe()
+    }
+
+    fn node(&self, analyze: bool) -> PlanNode {
+        let pred = self
+            .constraints
+            .iter()
+            .map(|c| c.to_string())
+            .collect::<Vec<_>>()
+            .join(" && ");
+        let mut detail = vec![match self.kind {
+            SelectionKind::Exist => "joint satisfiability (phase-1 LP) over region ∧ WHERE".into(),
+            SelectionKind::All => {
+                "per-conjunct containment (dual predicate / support LP)".to_string()
+            }
+        }];
+        if analyze {
+            detail.push(format!("rows: {} in, {} out", self.rows_in, self.rows_out));
+            detail.push(ms(self.elapsed));
+        }
+        PlanNode {
+            label: format!("Filter [{}: {pred}]", kind_word(self.kind)),
+            detail,
+            children: vec![self.input.node(analyze)],
+        }
+    }
+
+    fn add_stats(&self, agg: &mut QueryStats) {
+        self.input.add_stats(agg);
+    }
+}
+
+// ------------------------------------------------------- NestedLoopJoinOp
+
+/// Conjunction join: every satisfiable pairing of a left and a right
+/// region survives, carrying the combined constraint system. The inner
+/// (right) side is buffered at `open`.
+pub struct NestedLoopJoinOp<'a> {
+    left: Box<dyn Operator + 'a>,
+    right: Box<dyn Operator + 'a>,
+    dim: usize,
+    inner: Vec<Row>,
+    cur: Option<Row>,
+    ri: usize,
+    rows_out: u64,
+    pairs: u64,
+    elapsed: Duration,
+}
+
+impl<'a> NestedLoopJoinOp<'a> {
+    /// Builds the join over already-constructed inputs.
+    pub fn new(
+        left: Box<dyn Operator + 'a>,
+        right: Box<dyn Operator + 'a>,
+        dim: usize,
+    ) -> NestedLoopJoinOp<'a> {
+        NestedLoopJoinOp {
+            left,
+            right,
+            dim,
+            inner: Vec::new(),
+            cur: None,
+            ri: 0,
+            rows_out: 0,
+            pairs: 0,
+            elapsed: Duration::ZERO,
+        }
+    }
+}
+
+impl Operator for NestedLoopJoinOp<'_> {
+    fn open(&mut self) -> Result<(), CdbError> {
+        self.left.open()?;
+        self.right.open()?;
+        let t0 = Instant::now();
+        while let Some(row) = self.right.next()? {
+            require_region(&row)?;
+            self.inner.push(row);
+        }
+        self.right.close();
+        self.elapsed += t0.elapsed();
+        Ok(())
+    }
+
+    fn next(&mut self) -> Result<Option<Row>, CdbError> {
+        loop {
+            if self.cur.is_none() {
+                let Some(row) = self.left.next()? else {
+                    return Ok(None);
+                };
+                require_region(&row)?;
+                self.cur = Some(row);
+                self.ri = 0;
+            }
+            let t0 = Instant::now();
+            let left = self.cur.as_ref().expect("set above");
+            let lregion = left.region.as_ref().expect("checked above");
+            while self.ri < self.inner.len() {
+                let right = &self.inner[self.ri];
+                self.ri += 1;
+                self.pairs += 1;
+                let mut sys: Vec<LinearConstraint> = lregion
+                    .constraints()
+                    .iter()
+                    .map(|c| lift(c, self.dim))
+                    .collect();
+                let rregion = right.region.as_ref().expect("buffered with region");
+                sys.extend(rregion.constraints().iter().map(|c| lift(c, self.dim)));
+                let combined = GeneralizedTuple::new(sys);
+                if combined.is_satisfiable() {
+                    let mut ids = left.ids.clone();
+                    ids.extend_from_slice(&right.ids);
+                    self.rows_out += 1;
+                    self.elapsed += t0.elapsed();
+                    return Ok(Some(Row {
+                        ids,
+                        region: Some(combined),
+                    }));
+                }
+            }
+            self.cur = None;
+            self.elapsed += t0.elapsed();
+        }
+    }
+
+    fn close(&mut self) {
+        self.left.close();
+        self.right.close();
+        self.inner.clear();
+    }
+
+    fn describe(&mut self) -> Result<(), CdbError> {
+        self.left.describe()?;
+        self.right.describe()
+    }
+
+    fn node(&self, analyze: bool) -> PlanNode {
+        let mut detail = vec!["conjunction of regions; satisfiable pairs survive".to_string()];
+        if analyze {
+            detail.push(format!(
+                "pairs tested: {}, rows out: {}",
+                self.pairs, self.rows_out
+            ));
+            detail.push(ms(self.elapsed));
+        }
+        PlanNode {
+            label: "NestedLoopJoin".into(),
+            detail,
+            children: vec![self.left.node(analyze), self.right.node(analyze)],
+        }
+    }
+
+    fn add_stats(&self, agg: &mut QueryStats) {
+        self.left.add_stats(agg);
+        self.right.add_stats(agg);
+    }
+}
+
+// -------------------------------------------------------------- ProjectOp
+
+/// Projection as existential variable elimination (Fourier–Motzkin).
+pub struct ProjectOp<'a> {
+    input: Box<dyn Operator + 'a>,
+    keep: Vec<usize>,
+    dim: usize,
+    rows_out: u64,
+    elapsed: Duration,
+}
+
+impl<'a> ProjectOp<'a> {
+    /// Projects rows of width `dim` onto `keep` (in output order).
+    pub fn new(input: Box<dyn Operator + 'a>, keep: Vec<usize>, dim: usize) -> ProjectOp<'a> {
+        ProjectOp {
+            input,
+            keep,
+            dim,
+            rows_out: 0,
+            elapsed: Duration::ZERO,
+        }
+    }
+}
+
+impl Operator for ProjectOp<'_> {
+    fn open(&mut self) -> Result<(), CdbError> {
+        self.input.open()
+    }
+
+    fn next(&mut self) -> Result<Option<Row>, CdbError> {
+        let Some(row) = self.input.next()? else {
+            return Ok(None);
+        };
+        let t0 = Instant::now();
+        let region = lift_region(require_region(&row)?, self.dim);
+        let projected = eliminate::project(&region, &self.keep);
+        self.rows_out += 1;
+        self.elapsed += t0.elapsed();
+        Ok(Some(Row {
+            ids: row.ids,
+            region: Some(projected),
+        }))
+    }
+
+    fn close(&mut self) {
+        self.input.close();
+    }
+
+    fn describe(&mut self) -> Result<(), CdbError> {
+        self.input.describe()
+    }
+
+    fn node(&self, analyze: bool) -> PlanNode {
+        let vars = self
+            .keep
+            .iter()
+            .map(|v| var_name(*v))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let dropped = (0..self.dim)
+            .filter(|v| !self.keep.contains(v))
+            .map(var_name)
+            .collect::<Vec<_>>()
+            .join(", ");
+        let mut detail = vec![if dropped.is_empty() {
+            "no variables eliminated (reorder only)".to_string()
+        } else {
+            format!("Fourier–Motzkin elimination of {dropped}")
+        }];
+        if analyze {
+            detail.push(format!("rows: {}", self.rows_out));
+            detail.push(ms(self.elapsed));
+        }
+        PlanNode {
+            label: format!("Project [{vars}]"),
+            detail,
+            children: vec![self.input.node(analyze)],
+        }
+    }
+
+    fn add_stats(&self, agg: &mut QueryStats) {
+        self.input.add_stats(agg);
+    }
+}
+
+// ---------------------------------------------------------------- LimitOp
+
+/// Stops pulling after `n` rows (and closes its input early).
+pub struct LimitOp<'a> {
+    input: Box<dyn Operator + 'a>,
+    n: u64,
+    produced: u64,
+}
+
+impl<'a> LimitOp<'a> {
+    /// Caps `input` at `n` rows.
+    pub fn new(input: Box<dyn Operator + 'a>, n: u64) -> LimitOp<'a> {
+        LimitOp {
+            input,
+            n,
+            produced: 0,
+        }
+    }
+}
+
+impl Operator for LimitOp<'_> {
+    fn open(&mut self) -> Result<(), CdbError> {
+        self.input.open()
+    }
+
+    fn next(&mut self) -> Result<Option<Row>, CdbError> {
+        if self.produced >= self.n {
+            return Ok(None);
+        }
+        match self.input.next()? {
+            Some(row) => {
+                self.produced += 1;
+                Ok(Some(row))
+            }
+            None => Ok(None),
+        }
+    }
+
+    fn close(&mut self) {
+        self.input.close();
+    }
+
+    fn describe(&mut self) -> Result<(), CdbError> {
+        self.input.describe()
+    }
+
+    fn node(&self, analyze: bool) -> PlanNode {
+        let mut detail = Vec::new();
+        if analyze {
+            detail.push(format!("rows: {}", self.produced));
+        }
+        PlanNode {
+            label: format!("Limit {}", self.n),
+            detail,
+            children: vec![self.input.node(analyze)],
+        }
+    }
+
+    fn add_stats(&self, agg: &mut QueryStats) {
+        self.input.add_stats(agg);
+    }
+}
+
+// ---------------------------------------------------------------- builder
+
+/// Everything the plan builder needs from the engine (or a snapshot).
+pub struct ExecCtx<'a> {
+    /// The relation catalog.
+    pub relations: &'a HashMap<String, Relation>,
+    /// The read half of the pager.
+    pub reader: &'a dyn PageReader,
+    /// Page size, for the cost formulas.
+    pub page_size: usize,
+}
+
+/// Builds the physical operator tree for a rewritten logical plan.
+///
+/// `need_regions` says whether the *parent* needs this subtree's rows to
+/// carry geometry; filters, joins and projections always demand it of
+/// their inputs.
+pub fn build<'a>(
+    plan: &LogicalPlan,
+    ctx: &ExecCtx<'a>,
+    need_regions: bool,
+) -> Result<Box<dyn Operator + 'a>, CdbError> {
+    let rel = |name: &str| -> Result<&'a Relation, CdbError> {
+        ctx.relations
+            .get(name)
+            .ok_or_else(|| CdbError::RelationNotFound(name.to_string()))
+    };
+    Ok(match plan {
+        LogicalPlan::Empty { reason, .. } => Box::new(EmptyOp {
+            reason: reason.clone(),
+        }),
+        LogicalPlan::Scan { relation, .. } => Box::new(SeqScanOp::new(rel(relation)?, ctx.reader)),
+        LogicalPlan::IndexSelection {
+            relation,
+            selection,
+            ..
+        } => Box::new(IndexScanOp::new(
+            rel(relation)?,
+            ctx.reader,
+            ctx.page_size,
+            selection.clone(),
+            Strategy::Auto,
+            need_regions,
+        )),
+        LogicalPlan::Filter {
+            kind,
+            constraints,
+            dim,
+            input,
+        } => Box::new(FilterOp::new(
+            build(input, ctx, true)?,
+            *kind,
+            constraints.clone(),
+            *dim,
+        )),
+        LogicalPlan::Join { left, right, dim } => Box::new(NestedLoopJoinOp::new(
+            build(left, ctx, true)?,
+            build(right, ctx, true)?,
+            *dim,
+        )),
+        LogicalPlan::Project { keep, input } => {
+            let dim = logical_dim(input);
+            Box::new(ProjectOp::new(build(input, ctx, true)?, keep.clone(), dim))
+        }
+        LogicalPlan::Limit { n, input } => {
+            Box::new(LimitOp::new(build(input, ctx, need_regions)?, *n))
+        }
+    })
+}
+
+/// Row width a logical node produces (max across join branches).
+fn logical_dim(plan: &LogicalPlan) -> usize {
+    match plan {
+        LogicalPlan::Empty { .. } => 0,
+        LogicalPlan::Scan { dim, .. }
+        | LogicalPlan::IndexSelection { dim, .. }
+        | LogicalPlan::Filter { dim, .. }
+        | LogicalPlan::Join { dim, .. } => *dim,
+        LogicalPlan::Project { keep, .. } => keep.len(),
+        LogicalPlan::Limit { input, .. } => logical_dim(input),
+    }
+}

@@ -1176,19 +1176,17 @@ pub struct ExplainReport {
 
 impl ExplainReport {
     /// Renders plan + actual page accesses for side-by-side comparison.
+    /// The observed-cost line comes from the shared pretty-printer
+    /// ([`crate::pretty::actual_line`]) so typed EXPLAIN and SQL
+    /// `EXPLAIN ANALYZE` agree on its shape.
     pub fn render(&self) -> String {
-        let s = &self.result.stats;
         let mut out = self.plan.explain();
-        out.push_str(&format!(
-            "  actual:   {} index + {} heap = {} pages, {} candidates ({} duplicates, {} false hits), {} rows\n",
-            s.index_io.accesses(),
-            s.heap_io.accesses(),
-            s.total_accesses(),
-            s.candidates,
-            s.duplicates,
-            s.false_hits,
-            self.result.len()
+        out.push_str("  ");
+        out.push_str(&crate::pretty::actual_line(
+            &self.result.stats,
+            self.result.len() as u64,
         ));
+        out.push('\n');
         out
     }
 }

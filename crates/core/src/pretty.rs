@@ -1,0 +1,122 @@
+//! The one shared plan pretty-printer.
+//!
+//! Every surface that shows a plan — `EXPLAIN` over the typed API, SQL
+//! `EXPLAIN [ANALYZE]` in the shell, and the wire protocol's rendered
+//! plan — goes through [`render`] over a [`PlanNode`] tree, so local and
+//! remote sessions print byte-identical output and there is exactly one
+//! place that decides how plans look.
+
+use crate::plan::QueryPlan;
+use crate::query::QueryStats;
+
+/// One rendered operator: a label line, indented detail lines, and child
+/// operators.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PlanNode {
+    /// The operator headline, e.g. `IndexScan parcels [exist y >= 0.3x - 5]`.
+    pub label: String,
+    /// Indented annotation lines (estimates, actuals, method choice).
+    pub detail: Vec<String>,
+    /// Child operators, rendered below with tree connectors.
+    pub children: Vec<PlanNode>,
+}
+
+/// Renders a plan tree with box-drawing connectors:
+///
+/// ```text
+/// NestedLoopJoin
+/// ├─ IndexScan r [exist y >= 0.3x - 5]
+/// │      method=T2 (cost-based)  case: …
+/// └─ SeqScan s
+///        est: 4 heap pages, 120 tuples
+/// ```
+pub fn render(root: &PlanNode) -> String {
+    let mut out = String::new();
+    render_into(root, "", "", &mut out);
+    out
+}
+
+fn render_into(node: &PlanNode, prefix: &str, cont: &str, out: &mut String) {
+    out.push_str(prefix);
+    out.push_str(&node.label);
+    out.push('\n');
+    let bar = if node.children.is_empty() {
+        "  "
+    } else {
+        "│ "
+    };
+    for d in &node.detail {
+        out.push_str(cont);
+        out.push_str(bar);
+        out.push_str("  ");
+        out.push_str(d);
+        out.push('\n');
+    }
+    for (i, child) in node.children.iter().enumerate() {
+        let last = i + 1 == node.children.len();
+        let p = format!("{cont}{}", if last { "└─ " } else { "├─ " });
+        let c = format!("{cont}{}", if last { "   " } else { "│  " });
+        render_into(child, &p, &c, out);
+    }
+}
+
+/// The planner-choice annotation lines for an access-method decision
+/// (method, case, refinement, estimate, alternatives considered).
+pub fn plan_detail_lines(plan: &QueryPlan) -> Vec<String> {
+    plan.explain().lines().map(|l| l.to_string()).collect()
+}
+
+/// The observed-cost line appended under `ANALYZE` (and by the typed
+/// `EXPLAIN`, which always executes).
+pub fn actual_line(stats: &QueryStats, rows: u64) -> String {
+    format!(
+        "actual:   {} index + {} heap = {} pages, {} candidates ({} duplicates, {} false hits), {} rows",
+        stats.index_io.accesses(),
+        stats.heap_io.accesses(),
+        stats.total_accesses(),
+        stats.candidates,
+        stats.duplicates,
+        stats.false_hits,
+        rows
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn golden_tree_layout() {
+        let tree = PlanNode {
+            label: "Filter [exist: 2 constraints]".into(),
+            detail: vec!["joint satisfiability via LP".into()],
+            children: vec![PlanNode {
+                label: "NestedLoopJoin".into(),
+                detail: vec![],
+                children: vec![
+                    PlanNode {
+                        label: "IndexScan r".into(),
+                        detail: vec!["method=T2".into(), "estimate: 3.0 pages".into()],
+                        children: vec![],
+                    },
+                    PlanNode {
+                        label: "SeqScan s".into(),
+                        detail: vec!["est: 4 heap pages".into()],
+                        children: vec![],
+                    },
+                ],
+            }],
+        };
+        let expected = "\
+Filter [exist: 2 constraints]
+│   joint satisfiability via LP
+└─ NestedLoopJoin
+   ├─ IndexScan r
+   │      method=T2
+   │      estimate: 3.0 pages
+   └─ SeqScan s
+          est: 4 heap pages
+";
+        assert_eq!(render(&tree), expected);
+    }
+}

@@ -1,0 +1,340 @@
+//! Fourier–Motzkin variable elimination: the exact projection of a
+//! (possibly unbounded) convex polyhedron onto a subset of its variables.
+//!
+//! Constraint-query languages treat projection as *existential variable
+//! elimination* (Giusti–Heintz–Kuijpers semantics): `π_{x,z}(t)` is the set
+//! of `(x, z)` for which some `y` makes `(x, y, z) ∈ t`. For conjunctions
+//! of closed linear constraints this projection is again a conjunction of
+//! closed linear constraints, and Fourier–Motzkin computes it exactly: to
+//! eliminate `x_v`, every upper bound on `x_v` is combined with every lower
+//! bound, and constraints not mentioning `x_v` pass through unchanged.
+//!
+//! The combination step can square the constraint count per eliminated
+//! variable, so results are normalized, deduplicated, and — beyond a small
+//! size threshold — pruned of LP-redundant rows to keep the output usable
+//! as a stored generalized tuple.
+
+use crate::constraint::{LinearConstraint, RelOp};
+use crate::scalar::{approx_eq, EPS};
+use crate::tuple::GeneralizedTuple;
+
+/// Constraint-count threshold above which LP-based redundancy pruning runs
+/// after each elimination round. Below it, normalization + dedup is enough
+/// and the LPs are not worth their cost.
+const PRUNE_THRESHOLD: usize = 24;
+
+/// Internal row form: `coeffs · x ≤ rhs` (every constraint normalized to
+/// `≤` with the constant moved to the right-hand side).
+#[derive(Clone, Debug)]
+struct Row {
+    coeffs: Vec<f64>,
+    rhs: f64,
+}
+
+impl Row {
+    fn from_constraint(c: &LinearConstraint) -> Row {
+        let (coeffs, rhs) = c.as_le();
+        Row { coeffs, rhs }
+    }
+
+    fn to_constraint(&self) -> LinearConstraint {
+        LinearConstraint::new(self.coeffs.clone(), -self.rhs, RelOp::Le)
+    }
+
+    /// `true` when no variable has a non-negligible coefficient.
+    fn is_constant(&self) -> bool {
+        self.coeffs.iter().all(|a| a.abs() <= EPS)
+    }
+
+    /// For a constant row: `true` when `0 ≤ rhs` holds (row is vacuous).
+    fn constant_holds(&self) -> bool {
+        self.rhs >= -EPS
+    }
+
+    /// Scales so the largest |coefficient| is 1, giving dedup a canonical
+    /// form. Constant rows are left untouched.
+    fn normalize(&mut self) {
+        let m = self.coeffs.iter().fold(0.0_f64, |m, a| m.max(a.abs()));
+        if m > EPS {
+            for a in &mut self.coeffs {
+                *a /= m;
+            }
+            self.rhs /= m;
+        }
+    }
+
+    fn approx_same(&self, other: &Row) -> bool {
+        approx_eq(self.rhs, other.rhs)
+            && self
+                .coeffs
+                .iter()
+                .zip(&other.coeffs)
+                .all(|(a, b)| approx_eq(*a, *b))
+    }
+}
+
+/// A single always-false row over `dim` variables (`0 ≤ -1`), the canonical
+/// representation of an empty projection.
+fn infeasible_row(dim: usize) -> Row {
+    Row {
+        coeffs: vec![0.0; dim],
+        rhs: -1.0,
+    }
+}
+
+/// One Fourier–Motzkin round: eliminates variable `v` (an index into the
+/// rows' coefficient vectors), returning rows over the same indexing with
+/// column `v` removed.
+fn eliminate_rows(rows: &[Row], v: usize) -> Vec<Row> {
+    let mut uppers: Vec<&Row> = Vec::new(); // coeff > 0: upper bounds on x_v
+    let mut lowers: Vec<&Row> = Vec::new(); // coeff < 0: lower bounds on x_v
+    let mut out: Vec<Row> = Vec::new();
+    let drop_col = |coeffs: &[f64]| {
+        let mut c = coeffs.to_vec();
+        c.remove(v);
+        c
+    };
+    for row in rows {
+        let a = row.coeffs[v];
+        if a > EPS {
+            uppers.push(row);
+        } else if a < -EPS {
+            lowers.push(row);
+        } else {
+            out.push(Row {
+                coeffs: drop_col(&row.coeffs),
+                rhs: row.rhs,
+            });
+        }
+    }
+    for u in &uppers {
+        let us = u.coeffs[v];
+        for l in &lowers {
+            let ls = -l.coeffs[v];
+            // u/us gives x_v ≤ ...; l/ls gives -x_v ≤ ...; their sum drops v.
+            let coeffs: Vec<f64> = u
+                .coeffs
+                .iter()
+                .zip(&l.coeffs)
+                .map(|(a, b)| a / us + b / ls)
+                .collect();
+            out.push(Row {
+                coeffs: drop_col(&coeffs),
+                rhs: u.rhs / us + l.rhs / ls,
+            });
+        }
+    }
+    out
+}
+
+/// Normalizes, drops vacuous constant rows, collapses contradictions to a
+/// single infeasible marker, and deduplicates.
+fn tidy(mut rows: Vec<Row>, dim: usize) -> Vec<Row> {
+    let mut kept: Vec<Row> = Vec::new();
+    for row in &mut rows {
+        if row.is_constant() {
+            if !row.constant_holds() {
+                return vec![infeasible_row(dim)];
+            }
+            continue;
+        }
+        row.normalize();
+        if !kept.iter().any(|k| k.approx_same(row)) {
+            kept.push(row.clone());
+        }
+    }
+    kept
+}
+
+/// Drops rows implied by the remaining system (an LP per candidate row).
+/// Only invoked when the row count crosses [`PRUNE_THRESHOLD`].
+fn prune_redundant(rows: Vec<Row>) -> Vec<Row> {
+    let mut kept = rows;
+    let mut i = 0;
+    while i < kept.len() && kept.len() > 1 {
+        let candidate = kept[i].clone();
+        let others: Vec<LinearConstraint> = kept
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| *j != i)
+            .map(|(_, r)| r.to_constraint())
+            .collect();
+        let rest = GeneralizedTuple::new(others);
+        let redundant = match rest.maximize(&candidate.coeffs) {
+            crate::simplex::LpResult::Optimal { value, .. } => value <= candidate.rhs + EPS,
+            // Unbounded: the row genuinely cuts; infeasible: everything is
+            // implied, but then the system is empty and tidy() already
+            // produced a marker upstream — keep the row to stay safe.
+            _ => false,
+        };
+        if redundant {
+            kept.remove(i);
+        } else {
+            i += 1;
+        }
+    }
+    kept
+}
+
+/// Eliminates the variables in `drop` (0-based coordinate indices) from
+/// `t`, returning the exact projection onto the remaining variables in
+/// their original order.
+///
+/// # Panics
+/// Panics if any index in `drop` is out of range for `t.dim()`, or if
+/// `drop` covers every variable (a zero-dimensional tuple cannot be
+/// represented).
+pub fn eliminate(t: &GeneralizedTuple, drop: &[usize]) -> GeneralizedTuple {
+    let dim = t.dim();
+    assert!(
+        drop.iter().all(|&v| v < dim),
+        "eliminate: variable index out of range"
+    );
+    let mut order: Vec<usize> = drop.to_vec();
+    order.sort_unstable();
+    order.dedup();
+    assert!(
+        order.len() < dim,
+        "eliminate: cannot project away every variable"
+    );
+    let mut rows: Vec<Row> = t.constraints().iter().map(Row::from_constraint).collect();
+    let mut cur_dim = dim;
+    // Highest index first, so lower indices stay valid across rounds.
+    for &v in order.iter().rev() {
+        cur_dim -= 1;
+        rows = tidy(eliminate_rows(&rows, v), cur_dim);
+        if rows.len() > PRUNE_THRESHOLD {
+            rows = prune_redundant(rows);
+        }
+    }
+    if rows.is_empty() {
+        return GeneralizedTuple::whole_space(cur_dim);
+    }
+    GeneralizedTuple::new(rows.iter().map(Row::to_constraint).collect())
+}
+
+/// Projects `t` onto the variables in `keep`, **in the order given**: the
+/// result's coordinate `i` is `t`'s coordinate `keep[i]`. Duplicated or
+/// out-of-range indices panic.
+pub fn project(t: &GeneralizedTuple, keep: &[usize]) -> GeneralizedTuple {
+    let dim = t.dim();
+    assert!(!keep.is_empty(), "project: empty keep list");
+    assert!(
+        keep.iter().all(|&v| v < dim),
+        "project: variable index out of range"
+    );
+    let mut seen = vec![false; dim];
+    for &v in keep {
+        assert!(!seen[v], "project: duplicate variable index");
+        seen[v] = true;
+    }
+    let drop: Vec<usize> = (0..dim).filter(|&v| !seen[v]).collect();
+    let reduced = if drop.is_empty() {
+        t.clone()
+    } else {
+        eliminate(t, &drop)
+    };
+    // `reduced` is over the kept variables in ascending original order;
+    // permute columns into the caller's order.
+    let mut asc: Vec<usize> = keep.to_vec();
+    asc.sort_unstable();
+    let pos_in_reduced = |v: usize| asc.iter().position(|&a| a == v).unwrap();
+    let permuted: Vec<LinearConstraint> = reduced
+        .constraints()
+        .iter()
+        .map(|c| {
+            let mut coeffs = vec![0.0; keep.len()];
+            for (i, &v) in keep.iter().enumerate() {
+                coeffs[i] = c.coeffs[pos_in_reduced(v)];
+            }
+            LinearConstraint::new(coeffs, c.constant, c.op)
+        })
+        .collect();
+    if permuted.is_empty() {
+        return GeneralizedTuple::whole_space(keep.len());
+    }
+    GeneralizedTuple::new(permuted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_tuple;
+
+    fn box2(x0: f64, x1: f64, y0: f64, y1: f64) -> GeneralizedTuple {
+        parse_tuple(&format!("x >= {x0} && x <= {x1} && y >= {y0} && y <= {y1}")).unwrap()
+    }
+
+    #[test]
+    fn box_projects_to_interval() {
+        let t = box2(1.0, 3.0, -2.0, 5.0);
+        let p = project(&t, &[0]);
+        assert_eq!(p.dim(), 1);
+        assert!(p.contains(&[1.0]) && p.contains(&[3.0]) && p.contains(&[2.0]));
+        assert!(!p.contains(&[0.5]) && !p.contains(&[3.5]));
+    }
+
+    #[test]
+    fn triangle_shadow_is_exact() {
+        // x >= 0, y >= 0, x + y <= 4: shadow on x is [0, 4].
+        let t = parse_tuple("x >= 0 && y >= 0 && x + y <= 4").unwrap();
+        let p = project(&t, &[0]);
+        assert!(p.contains(&[0.0]) && p.contains(&[4.0]));
+        assert!(!p.contains(&[4.1]) && !p.contains(&[-0.1]));
+    }
+
+    #[test]
+    fn unbounded_strip_projects_to_whole_line() {
+        // y between x and x+1, x unconstrained: shadow on y is all of R.
+        let t = parse_tuple("y >= x && y <= x + 1").unwrap();
+        let p = project(&t, &[1]);
+        assert!(p.contains(&[-1e6]) && p.contains(&[1e6]));
+    }
+
+    #[test]
+    fn empty_input_projects_to_empty() {
+        let t = parse_tuple("x <= 0 && x >= 1 && y >= 0").unwrap();
+        let p = project(&t, &[1]);
+        assert!(!p.is_satisfiable());
+    }
+
+    #[test]
+    fn keep_order_permutes_columns() {
+        let t = box2(1.0, 2.0, 10.0, 20.0);
+        let p = project(&t, &[1, 0]); // (y, x)
+        assert!(p.contains(&[15.0, 1.5]));
+        assert!(!p.contains(&[1.5, 15.0]));
+    }
+
+    #[test]
+    fn projection_matches_point_membership_randomly() {
+        // 3-D box with a diagonal cut; project to (x, z) and cross-check
+        // membership against direct satisfiability of the unprojected
+        // system with y eliminated by LP feasibility.
+        let t = parse_tuple(
+            "x >= 0 && x <= 4 && y >= 1 && y <= 3 && z >= -2 && z <= 2 && x + y + z <= 6",
+        )
+        .unwrap();
+        let p = project(&t, &[0, 2]);
+        let probe = |x: f64, z: f64| {
+            let mut sys = t.clone();
+            // x = x0, z = z0 as equality pairs over (x, y, z).
+            for c in LinearConstraint::equality_pair(vec![1.0, 0.0, 0.0], -x) {
+                sys.push(c);
+            }
+            for c in LinearConstraint::equality_pair(vec![0.0, 0.0, 1.0], -z) {
+                sys.push(c);
+            }
+            assert_eq!(
+                p.contains(&[x, z]),
+                sys.is_satisfiable(),
+                "disagreement at ({x}, {z})"
+            );
+        };
+        for x in [-0.5, 0.0, 1.0, 2.5, 4.0, 4.5] {
+            for z in [-2.5, -2.0, 0.0, 1.9, 2.0, 2.4] {
+                probe(x, z);
+            }
+        }
+    }
+}

@@ -30,6 +30,7 @@
 
 pub mod constraint;
 pub mod dual;
+pub mod eliminate;
 pub mod halfplane;
 pub mod parse;
 pub mod polygon;

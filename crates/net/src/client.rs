@@ -11,6 +11,7 @@ use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 use cdb_core::query::{QueryResult, Selection, Strategy};
+use cdb_core::sql::{SqlMode, SqlOutcome};
 use cdb_core::DbStats;
 use cdb_geometry::tuple::GeneralizedTuple;
 use cdb_storage::codec::{read_frame, write_frame, FrameError, DEFAULT_MAX_FRAME};
@@ -250,6 +251,20 @@ impl Client {
             c,
         })? {
             Response::Query(WireQueryResult { ids, stats }) => Ok(QueryResult::new(ids, stats)),
+            other => Err(protocol_violation(&other)),
+        }
+    }
+
+    /// Runs one constraint-SQL statement on the server's latest snapshot.
+    /// `mode` selects execution, `EXPLAIN`, or `EXPLAIN ANALYZE`; the
+    /// rendered plan (when present) is byte-identical to what a local
+    /// session would print.
+    pub fn sql(&mut self, text: &str, mode: SqlMode) -> Result<SqlOutcome, NetError> {
+        match self.call(Request::Sql {
+            text: text.into(),
+            mode,
+        })? {
+            Response::Sql(o) => Ok(o.into()),
             other => Err(protocol_violation(&other)),
         }
     }

@@ -32,6 +32,7 @@
 
 use cdb_core::plan::{CostEstimate, MethodKind};
 use cdb_core::query::{QueryResult, QueryStats, Selection, SelectionKind, Strategy};
+use cdb_core::sql::{SqlMode, SqlOutcome, SqlRow};
 use cdb_core::{CdbError, DbStats, RelationHealth, RelationStats, WalReplay, WalStats};
 use cdb_geometry::constraint::RelOp;
 use cdb_geometry::halfplane::HalfPlane;
@@ -44,8 +45,9 @@ pub const MAGIC: [u8; 4] = *b"CDBN";
 /// Protocol version spoken by this build. Bumped on any frame-layout or
 /// tag change; the handshake refuses mismatched peers. Version 2 added
 /// the WAL fields to `Stats` and `Fsck` responses; version 3 added the
-/// epoch counters to `Stats` and the quarantine verdict to `Fsck`.
-pub const PROTOCOL_VERSION: u16 = 3;
+/// epoch counters to `Stats` and the quarantine verdict to `Fsck`;
+/// version 4 added the `Sql` request/response pair.
+pub const PROTOCOL_VERSION: u16 = 4;
 
 /// Handshake verdict carried by the server's greeting.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -206,6 +208,16 @@ pub enum Request {
         /// Line intercept in `y = a·x + c`.
         c: f64,
     },
+    /// `ConstraintDb::sql` / `Snapshot::sql` — one constraint-SQL
+    /// statement through the operator pipeline; answered with
+    /// [`Response::Sql`]. A read: the server runs it against the latest
+    /// snapshot, never the writer lane.
+    Sql {
+        /// The SQL text.
+        text: String,
+        /// Execute / explain / explain-analyze.
+        mode: SqlMode,
+    },
     /// `ConstraintDb::fetch_tuple`; answered with [`Response::Tuple`].
     FetchTuple {
         /// Target relation.
@@ -257,6 +269,7 @@ impl Request {
             Request::Query { .. } => "query",
             Request::Explain { .. } => "explain",
             Request::QueryLine { .. } => "line",
+            Request::Sql { .. } => "sql",
             Request::FetchTuple { .. } => "show",
             Request::ListRelations => "relations",
             Request::Stats => "stats",
@@ -296,6 +309,8 @@ pub enum Response {
         /// The executed query result.
         result: WireQueryResult,
     },
+    /// Constraint-SQL outcome: columns, rows and/or a rendered plan.
+    Sql(WireSqlOutcome),
     /// Relation names, sorted.
     Relations(Vec<String>),
     /// Engine statistics snapshot.
@@ -319,6 +334,65 @@ impl From<&QueryResult> for WireQueryResult {
         WireQueryResult {
             ids: r.ids().to_vec(),
             stats: r.stats,
+        }
+    }
+}
+
+/// A [`SqlOutcome`] in transportable form. Identical shape; the wire type
+/// exists so the codec layer owns validation on decode.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WireSqlOutcome {
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Result rows (empty for explain modes).
+    pub rows: Vec<WireSqlRow>,
+    /// Rendered operator tree (explain modes).
+    pub plan: Option<String>,
+    /// Aggregated scan accounting.
+    pub stats: QueryStats,
+}
+
+/// One [`SqlRow`] on the wire.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WireSqlRow {
+    /// Tuple ids, one per `FROM` relation.
+    pub ids: Vec<u32>,
+    /// The projected region, when the query projects variables.
+    pub region: Option<GeneralizedTuple>,
+}
+
+impl From<&SqlOutcome> for WireSqlOutcome {
+    fn from(o: &SqlOutcome) -> Self {
+        WireSqlOutcome {
+            columns: o.columns.clone(),
+            rows: o
+                .rows
+                .iter()
+                .map(|r| WireSqlRow {
+                    ids: r.ids.clone(),
+                    region: r.region.clone(),
+                })
+                .collect(),
+            plan: o.plan.clone(),
+            stats: o.stats,
+        }
+    }
+}
+
+impl From<WireSqlOutcome> for SqlOutcome {
+    fn from(o: WireSqlOutcome) -> Self {
+        SqlOutcome {
+            columns: o.columns,
+            rows: o
+                .rows
+                .into_iter()
+                .map(|r| SqlRow {
+                    ids: r.ids,
+                    region: r.region,
+                })
+                .collect(),
+            plan: o.plan,
+            stats: o.stats,
         }
     }
 }
@@ -405,6 +479,23 @@ fn strategy_from_tag(t: u8) -> Result<Strategy, CodecError> {
         4 => Strategy::Scan,
         5 => Strategy::RPlus,
         _ => return Err(CodecError::Invalid("strategy tag")),
+    })
+}
+
+fn sql_mode_tag(m: SqlMode) -> u8 {
+    match m {
+        SqlMode::Execute => 0,
+        SqlMode::Explain => 1,
+        SqlMode::ExplainAnalyze => 2,
+    }
+}
+
+fn sql_mode_from_tag(t: u8) -> Result<SqlMode, CodecError> {
+    Ok(match t {
+        0 => SqlMode::Execute,
+        1 => SqlMode::Explain,
+        2 => SqlMode::ExplainAnalyze,
+        _ => return Err(CodecError::Invalid("sql mode tag")),
     })
 }
 
@@ -604,6 +695,60 @@ fn get_wire_result(r: &mut RecordReader<'_>) -> Result<WireQueryResult, CodecErr
     Ok(WireQueryResult { ids, stats })
 }
 
+fn put_sql_outcome(w: &mut RecordWriter, o: &WireSqlOutcome) {
+    w.put_u32(o.columns.len() as u32);
+    for c in &o.columns {
+        w.put_str(c);
+    }
+    w.put_u32(o.rows.len() as u32);
+    for row in &o.rows {
+        w.put_u32(row.ids.len() as u32);
+        for &id in &row.ids {
+            w.put_u32(id);
+        }
+        match &row.region {
+            None => w.put_u8(0),
+            Some(t) => {
+                w.put_u8(1);
+                put_tuple(w, t);
+            }
+        }
+    }
+    match &o.plan {
+        None => w.put_u8(0),
+        Some(p) => {
+            w.put_u8(1);
+            w.put_str(p);
+        }
+    }
+    put_query_stats(w, &o.stats);
+}
+
+fn get_sql_outcome(r: &mut RecordReader<'_>) -> Result<WireSqlOutcome, CodecError> {
+    let columns = get_counted(r, |r| Ok(r.get_str()?.to_string()))?;
+    let rows = get_counted(r, |r| {
+        let ids = get_counted(r, |r| r.get_u32())?;
+        let region = match r.get_u8()? {
+            0 => None,
+            1 => Some(get_tuple(r)?),
+            _ => return Err(CodecError::Invalid("sql region presence")),
+        };
+        Ok(WireSqlRow { ids, region })
+    })?;
+    let plan = match r.get_u8()? {
+        0 => None,
+        1 => Some(r.get_str()?.to_string()),
+        _ => return Err(CodecError::Invalid("sql plan presence")),
+    };
+    let stats = get_query_stats(r)?;
+    Ok(WireSqlOutcome {
+        columns,
+        rows,
+        plan,
+        stats,
+    })
+}
+
 fn put_health(w: &mut RecordWriter, h: &RelationHealth) {
     match h {
         RelationHealth::Healthy => w.put_u8(0),
@@ -799,6 +944,7 @@ const OP_FSCK: u8 = 13;
 const OP_CHECKPOINT: u8 = 14;
 const OP_SHUTDOWN: u8 = 15;
 const OP_QUERY_LINE: u8 = 16;
+const OP_SQL: u8 = 17;
 
 /// Encodes a request envelope into a frame payload.
 pub fn encode_request(env: &RequestEnvelope) -> Vec<u8> {
@@ -882,6 +1028,11 @@ pub fn encode_request(env: &RequestEnvelope) -> Vec<u8> {
             w.put_f64(*a);
             w.put_f64(*c);
         }
+        Request::Sql { text, mode } => {
+            w.put_u8(OP_SQL);
+            w.put_str(text);
+            w.put_u8(sql_mode_tag(*mode));
+        }
         Request::FetchTuple { relation, id } => {
             w.put_u8(OP_FETCH);
             w.put_str(relation);
@@ -956,6 +1107,10 @@ pub fn decode_request(buf: &[u8]) -> Result<RequestEnvelope, CodecError> {
             a: get_finite_f64(&mut r)?,
             c: get_finite_f64(&mut r)?,
         },
+        OP_SQL => Request::Sql {
+            text: r.get_str()?.to_string(),
+            mode: sql_mode_from_tag(r.get_u8()?)?,
+        },
         OP_FETCH => Request::FetchTuple {
             relation: r.get_str()?.to_string(),
             id: r.get_u32()?,
@@ -993,6 +1148,7 @@ const RESP_EXPLAIN: u8 = 4;
 const RESP_RELATIONS: u8 = 5;
 const RESP_STATS: u8 = 6;
 const RESP_FSCK: u8 = 7;
+const RESP_SQL: u8 = 8;
 
 const DBERR_NOT_FOUND: u8 = 0;
 const DBERR_EXISTS: u8 = 1;
@@ -1097,6 +1253,10 @@ pub fn encode_response(request_id: u64, outcome: &Result<Response, NetError>) ->
                     w.put_str(rendered);
                     put_wire_result(&mut w, result);
                 }
+                Response::Sql(o) => {
+                    w.put_u8(RESP_SQL);
+                    put_sql_outcome(&mut w, o);
+                }
                 Response::Relations(names) => {
                     w.put_u8(RESP_RELATIONS);
                     w.put_u32(names.len() as u32);
@@ -1166,6 +1326,7 @@ pub fn decode_response(buf: &[u8]) -> Result<(u64, Result<Response, NetError>), 
                 rendered: r.get_str()?.to_string(),
                 result: get_wire_result(&mut r)?,
             },
+            RESP_SQL => Response::Sql(get_sql_outcome(&mut r)?),
             RESP_RELATIONS => {
                 Response::Relations(get_counted(&mut r, |r| Ok(r.get_str()?.to_string()))?)
             }
@@ -1273,6 +1434,10 @@ mod tests {
             a: 0.5,
             c: 2.0,
         });
+        roundtrip_request(Request::Sql {
+            text: "SELECT x, y FROM r JOIN s WHERE x <= 1 EXIST".into(),
+            mode: SqlMode::ExplainAnalyze,
+        });
         roundtrip_request(Request::FetchTuple {
             relation: "r".into(),
             id: 9,
@@ -1327,6 +1492,21 @@ mod tests {
                 stats: QueryStats::default(),
             },
         }));
+        roundtrip_outcome(Ok(Response::Sql(WireSqlOutcome {
+            columns: vec!["id(r)".into(), "id(s)".into(), "region(x, y)".into()],
+            rows: vec![
+                WireSqlRow {
+                    ids: vec![3, 7],
+                    region: Some(sample_tuple()),
+                },
+                WireSqlRow {
+                    ids: vec![4, 1],
+                    region: None,
+                },
+            ],
+            plan: Some("NestedLoopJoin\n├─ IndexScan r\n└─ SeqScan s\n".into()),
+            stats: QueryStats::default(),
+        })));
         roundtrip_outcome(Ok(Response::Relations(vec!["a".into(), "b".into()])));
         roundtrip_outcome(Ok(Response::Stats(DbStats {
             relations: vec![RelationStats {

@@ -483,6 +483,10 @@ fn apply_read(snap: &Snapshot, request: &Request) -> Result<Response, NetError> 
             res.map(|r| Response::Query((&r).into()))
                 .map_err(NetError::Db)
         }
+        Request::Sql { text, mode } => snap
+            .sql(text, *mode)
+            .map(|o| Response::Sql((&o).into()))
+            .map_err(NetError::Db),
         Request::FetchTuple { relation, id } => snap
             .fetch_tuple(relation, *id)
             .map(Response::Tuple)

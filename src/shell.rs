@@ -13,6 +13,7 @@ use cdb_core::db::{ConstraintDb, DbConfig, DbStats};
 use cdb_core::ddim::SlopePoints;
 use cdb_core::query::{QueryResult, Selection, SelectionKind, Strategy};
 use cdb_core::slopes::SlopeSet;
+use cdb_core::sql::{SqlMode, SqlOutcome};
 use cdb_core::{RelationHealth, WalReplay};
 use cdb_geometry::halfplane::HalfPlane;
 use cdb_geometry::parse::parse_tuple;
@@ -226,9 +227,36 @@ pub fn run_command(session: &mut Session, line: &str) -> Result<String, String> 
             }
             Ok(format!("R+-tree baseline packed at fill {fill}"))
         }
+        "sql" => {
+            let text = rest.trim();
+            if text.is_empty() {
+                return Err("usage: sql <SELECT ...>".into());
+            }
+            let o = run_sql(session, text, SqlMode::Execute)?;
+            Ok(render_sql_outcome(&o))
+        }
         "explain" => {
+            // Three forms: `explain analyze <sql>`, `explain <sql>`, and
+            // the legacy typed `explain <all|exist> <rel> <halfplane>`.
+            // Local and remote sessions share the SQL paths end to end, so
+            // the rendered plan is identical either way.
+            let trimmed = rest.trim();
+            let lower = trimmed.to_ascii_lowercase();
+            if let Some(stripped) = lower
+                .strip_prefix("analyze")
+                .filter(|s| s.starts_with(char::is_whitespace))
+            {
+                let text = trimmed[trimmed.len() - stripped.len()..].trim();
+                let o = run_sql(session, text, SqlMode::ExplainAnalyze)?;
+                return Ok(render_sql_outcome(&o));
+            }
+            if lower.starts_with("select") {
+                let o = run_sql(session, trimmed, SqlMode::Explain)?;
+                return Ok(render_sql_outcome(&o));
+            }
             let mut it = rest.splitn(3, ' ');
-            let usage = "usage: explain <all|exist> <rel> <halfplane>";
+            let usage =
+                "usage: explain [analyze] <SELECT ...>  or  explain <all|exist> <rel> <halfplane>";
             let kind = it.next().ok_or(usage)?;
             let name = it.next().ok_or(usage)?;
             let expr = it.next().ok_or(usage)?;
@@ -349,6 +377,41 @@ pub fn run_command(session: &mut Session, line: &str) -> Result<String, String> 
         },
         other => Err(format!("unknown command '{other}' — try 'help'")),
     }
+}
+
+/// Runs one SQL statement on whichever side of the session holds the
+/// data. Both arms return the same [`SqlOutcome`] type, so every caller —
+/// `sql`, `explain <sql>`, `explain analyze <sql>` — renders through one
+/// printer and local/remote output is byte-identical.
+fn run_sql(session: &mut Session, text: &str, mode: SqlMode) -> Result<SqlOutcome, String> {
+    match session {
+        Session::Local(db) => db.sql(text, mode).map_err(|e| e.to_string()),
+        Session::Remote(c) => c.sql(text, mode).map_err(|e| e.to_string()),
+    }
+}
+
+fn render_sql_outcome(o: &SqlOutcome) -> String {
+    if let Some(plan) = &o.plan {
+        return plan.trim_end().to_string();
+    }
+    let mut out = format!("{} row(s): {}", o.rows.len(), o.columns.join(" | "));
+    for row in o.rows.iter().take(20) {
+        let mut cells: Vec<String> = row.ids.iter().map(|id| id.to_string()).collect();
+        if let Some(region) = &row.region {
+            cells.push(region.to_string());
+        }
+        out.push_str(&format!("\n  {}", cells.join(" | ")));
+    }
+    if o.rows.len() > 20 {
+        out.push_str(&format!("\n  … {} more row(s)", o.rows.len() - 20));
+    }
+    out.push_str(&format!(
+        "\n  {} index + {} heap page accesses, {} candidates",
+        o.stats.index_io.accesses(),
+        o.stats.heap_io.accesses(),
+        o.stats.candidates,
+    ));
+    out
 }
 
 fn render_result(r: &QueryResult) -> String {
@@ -581,6 +644,14 @@ commands:
   line <rel> <y = ax + c>   EXIST against an equality (line) query
   scan <rel> <halfplane>    sequential-scan EXIST (no index needed)
   rplus <rel> [fill]        pack the R+-tree baseline (Section 5)
+  sql <SELECT ...>          constraint-SQL over the operator pipeline, e.g.
+                            sql SELECT x, y FROM r WHERE y >= 0.3x - 5 EXIST
+                            (joins: FROM r JOIN s; ALL for containment;
+                            LIMIT n caps the row count)
+  explain <SELECT ...>      render the operator tree with cost estimates
+  explain analyze <SELECT ...>
+                            execute, then annotate the tree with observed
+                            rows and timings per operator
   explain <all|exist> <rel> <halfplane>
                             plan + execute: chosen method, estimate vs actual
   show <rel> <id>           print a stored tuple
