@@ -774,6 +774,11 @@ pub struct ConstraintDb {
     durable_lsn: u64,
     /// Consecutive checkpoint failures since the last success.
     checkpoint_failures: u64,
+    /// Keep the full WAL history on disk — checkpoints skip truncation,
+    /// close and replay keep the file — so a replication primary can ship
+    /// any suffix a lagging follower still needs (see
+    /// [`ConstraintDb::open_retaining`]).
+    retain_wal: bool,
 }
 
 impl ConstraintDb {
@@ -798,6 +803,7 @@ impl ConstraintDb {
             wal_base: None,
             durable_lsn: 0,
             checkpoint_failures: 0,
+            retain_wal: false,
         }
     }
 
@@ -852,6 +858,33 @@ impl ConstraintDb {
         db.replay_wal()?;
         db.classify_relations();
         Ok(db)
+    }
+
+    /// [`open`](Self::open) for a replication primary: identical recovery,
+    /// but the engine is put in *WAL-retention* mode — the absorbed log is
+    /// kept on disk (instead of deleted), [`begin_wal`](Self::begin_wal)
+    /// reopens it in append mode, and checkpoints stop truncating it — so
+    /// the full record history from the log's birth stays shippable and a
+    /// follower that went dark can still catch up from its LSN gap after a
+    /// primary restart. The trade-off (the log only shrinks when retention
+    /// ends) is the replication primary's to make.
+    ///
+    /// # Errors
+    /// Exactly those of [`open`](Self::open).
+    pub fn open_retaining(path: &std::path::Path) -> Result<Self, CdbError> {
+        let mut db = Self::decode_file(FilePager::open(path).map_err(Self::lift)?)?;
+        db.wal_base = Some(path.to_path_buf());
+        db.retain_wal = true;
+        db.replay_wal()?;
+        db.classify_relations();
+        Ok(db)
+    }
+
+    /// Switches a freshly created or in-memory engine into WAL-retention
+    /// mode (see [`open_retaining`](Self::open_retaining)); must be called
+    /// before [`begin_wal`](Self::begin_wal) arms the log.
+    pub fn set_wal_retention(&mut self, retain: bool) {
+        self.retain_wal = retain;
     }
 
     /// [`open`](Self::open), but the file is mapped read-only and every
@@ -933,6 +966,7 @@ impl ConstraintDb {
             wal_base: None,
             durable_lsn,
             checkpoint_failures: 0,
+            retain_wal: false,
         })
     }
 
@@ -985,7 +1019,7 @@ impl ConstraintDb {
                 replay.error = Some(format!("replayed but not checkpointed: {e}"));
             }
         }
-        if replay.error.is_none() {
+        if replay.error.is_none() && !self.retain_wal {
             let _ = std::fs::remove_file(&wpath);
         }
         self.recovery.wal = Some(replay);
@@ -1074,8 +1108,15 @@ impl ConstraintDb {
             return Ok(false);
         };
         self.checkpoint()?;
-        let wal = Wal::create(&wal_path(&base), self.durable_lsn + 1)
-            .map_err(|e| CdbError::Io(e.to_string()))?;
+        let wpath = wal_path(&base);
+        let wal = if self.retain_wal {
+            // Retention mode appends to the existing history (torn tails
+            // trimmed) so shipped LSNs stay addressable across restarts.
+            Wal::open_or_create(&wpath, self.durable_lsn + 1)
+        } else {
+            Wal::create(&wpath, self.durable_lsn + 1)
+        }
+        .map_err(|e| CdbError::Io(e.to_string()))?;
         self.wal = Some(wal);
         Ok(true)
     }
@@ -1093,6 +1134,53 @@ impl ConstraintDb {
         match self.wal.as_mut() {
             Some(w) => w.sync().map_err(|e| CdbError::Io(e.to_string())),
             None => Ok(()),
+        }
+    }
+
+    /// Applies one replicated WAL record — raw bytes shipped from a
+    /// primary's log — through the same typed-decode + public-entry-point
+    /// path recovery uses, so a follower's state is bit-for-bit what replay
+    /// of the primary's log would build. With the follower's own log armed,
+    /// the mutation is re-logged locally (one record in, one record out:
+    /// LSNs stay aligned with the primary's as long as records are applied
+    /// gaplessly in order, which the shipping protocol guarantees).
+    ///
+    /// # Errors
+    /// [`CdbError::CorruptRecord`] when the bytes don't decode as a record,
+    /// or whatever the underlying mutation returns — either means the
+    /// stream is damaged or divergent and the subscription must restart.
+    pub fn apply_replicated(&mut self, record: &[u8]) -> Result<(), CdbError> {
+        let rec = WalRecord::decode(record)?;
+        self.apply_wal_record(rec)
+    }
+
+    /// The LSN of the last mutation *applied* in memory (acked-but-
+    /// unsynced included): what a published snapshot reflects. Falls back
+    /// to the durable watermark when no log is armed.
+    pub fn applied_lsn(&self) -> u64 {
+        match self.wal.as_ref() {
+            Some(w) => w.next_lsn().saturating_sub(1),
+            None => self.durable_lsn,
+        }
+    }
+
+    /// The LSN of the last mutation a successful
+    /// [`wal_sync`](Self::wal_sync) made durable: what a primary may
+    /// acknowledge — and ship. Falls back to the durable watermark when no
+    /// log is armed.
+    pub fn wal_synced_lsn(&self) -> u64 {
+        match self.wal.as_ref() {
+            Some(w) => w.synced_lsn(),
+            None => self.durable_lsn,
+        }
+    }
+
+    /// The sidecar log path, once a log is armed on a file-backed engine —
+    /// where a replication shipping loop tails records from.
+    pub fn wal_file_path(&self) -> Option<std::path::PathBuf> {
+        match (&self.wal, &self.wal_base) {
+            (Some(_), Some(base)) => Some(wal_path(base)),
+            _ => None,
         }
     }
 
@@ -1161,8 +1249,10 @@ impl ConstraintDb {
         self.dirty = false;
         self.committed_plan_version = vsum;
         self.checkpoint_failures = 0;
-        if let Some(w) = self.wal.as_mut() {
-            let _ = w.truncate(self.durable_lsn + 1);
+        if !self.retain_wal {
+            if let Some(w) = self.wal.as_mut() {
+                let _ = w.truncate(self.durable_lsn + 1);
+            }
         }
         Ok(())
     }
@@ -1206,7 +1296,7 @@ impl ConstraintDb {
     /// [`CdbError::Io`] when the final checkpoint fails.
     pub fn close(mut self) -> Result<(), CdbError> {
         self.checkpoint()?;
-        if self.wal.take().is_some() {
+        if self.wal.take().is_some() && !self.retain_wal {
             if let Some(base) = &self.wal_base {
                 let _ = std::fs::remove_file(wal_path(base));
             }

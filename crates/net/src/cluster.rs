@@ -1,0 +1,557 @@
+//! A resilient multi-node client: writes go to the primary, reads are
+//! load-balanced across followers, failures are retried with seeded
+//! jittered backoff, and read-your-writes staleness is bounded.
+//!
+//! [`ClusterClient`] holds the member list and one lazy connection per
+//! member. It discovers the primary by probing members' `stats` (each
+//! replica names its primary, so one probe usually resolves the whole
+//! topology) and follows [`NetError::NotPrimary`] leader hints on
+//! redirect — including to addresses it has never heard of, which it
+//! adds to the member list.
+//!
+//! **Retry discipline.** Reads are idempotent: a retryable failure
+//! ([`NetError::is_retryable`]) moves the read to a different member
+//! after a backoff, up to the configured attempt budget, then falls back
+//! to the primary. Writes are not: a write is retried only when it
+//! provably never reached an engine — a connection that could not be
+//! established, or a [`NetError::NotPrimary`] redirect (the replica
+//! rejected it before the lane). A transport error *after* a write was
+//! sent is returned to the caller, who knows whether the operation is
+//! safe to repeat.
+//!
+//! **Read-your-writes.** Every response carries the LSN of the state it
+//! reflects; the client remembers the durable LSN of its last
+//! acknowledged write. With `read_your_writes` on, a follower answer
+//! reflecting an older LSN is discarded: retried on another member while
+//! the lag is within `staleness_bound`, or served by the primary
+//! (which is never stale) once it exceeds it.
+
+use std::time::Duration;
+
+use cdb_core::db::DbStats;
+use cdb_core::query::{QueryResult, Selection, SelectionKind, Strategy};
+use cdb_core::sql::{SqlMode, SqlOutcome};
+use cdb_geometry::tuple::GeneralizedTuple;
+use cdb_prng::StdRng;
+
+use crate::client::{protocol_violation, Client};
+use crate::proto::{
+    NetError, ReplicationInfo, Request, Response, WireQueryResult, WireRecoveryReport,
+};
+
+/// Tunables for [`ClusterClient`]. The defaults suit tests and
+/// interactive use; long-haul deployments should raise the backoff cap.
+#[derive(Clone, Copy, Debug)]
+pub struct ClusterConfig {
+    /// Seeds the backoff jitter and nothing else — two clients with
+    /// different seeds desynchronize their retry storms.
+    pub seed: u64,
+    /// Per-request deadline in milliseconds (0: none), enforced
+    /// server-side and stamped on every request.
+    pub deadline_ms: u32,
+    /// Read attempts across distinct members before falling back to the
+    /// primary.
+    pub read_retries: u32,
+    /// First retry delay; doubles per attempt.
+    pub backoff_base: Duration,
+    /// Retry delay ceiling.
+    pub backoff_cap: Duration,
+    /// Discard follower answers older than this client's last
+    /// acknowledged write.
+    pub read_your_writes: bool,
+    /// With read-your-writes: a follower lagging more than this many
+    /// LSNs behind the last write stops being retried — the primary
+    /// serves the read directly.
+    pub staleness_bound: u64,
+    /// Socket I/O timeout applied to every member connection (None: the
+    /// client default). Chaos tests shorten this so blackholed links
+    /// resolve to [`NetError::Timeout`] quickly.
+    pub io_timeout: Option<Duration>,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            seed: 0xC1D8,
+            deadline_ms: 0,
+            read_retries: 3,
+            backoff_base: Duration::from_millis(50),
+            backoff_cap: Duration::from_secs(1),
+            read_your_writes: true,
+            staleness_bound: 0,
+            io_timeout: None,
+        }
+    }
+}
+
+/// Bound on leader-hint hops per write: a flapping or circular topology
+/// surfaces as an error instead of a spin.
+const MAX_WRITE_HOPS: u32 = 4;
+
+struct Member {
+    addr: String,
+    conn: Option<Client>,
+}
+
+/// A client for a replicated deployment. See the module docs for the
+/// routing and retry rules.
+pub struct ClusterClient {
+    members: Vec<Member>,
+    primary: Option<usize>,
+    cursor: usize,
+    rng: StdRng,
+    last_write_lsn: u64,
+    config: ClusterConfig,
+}
+
+impl ClusterClient {
+    /// Builds a client over the given member addresses. Connections are
+    /// lazy — nothing is dialed until the first request — so a cluster
+    /// client can be constructed while some members are down.
+    ///
+    /// # Errors
+    /// [`NetError::Malformed`] when the member list is empty.
+    pub fn new(
+        members: impl IntoIterator<Item = impl Into<String>>,
+        config: ClusterConfig,
+    ) -> Result<ClusterClient, NetError> {
+        let members: Vec<Member> = members
+            .into_iter()
+            .map(|a| Member {
+                addr: a.into(),
+                conn: None,
+            })
+            .collect();
+        if members.is_empty() {
+            return Err(NetError::Malformed(
+                "a cluster client needs at least one member address".into(),
+            ));
+        }
+        Ok(ClusterClient {
+            members,
+            primary: None,
+            cursor: 0,
+            rng: StdRng::seed_from_u64(config.seed),
+            last_write_lsn: 0,
+            config,
+        })
+    }
+
+    /// The member addresses currently known (grows when leader hints
+    /// name new nodes).
+    pub fn members(&self) -> Vec<String> {
+        self.members.iter().map(|m| m.addr.clone()).collect()
+    }
+
+    /// The durable LSN of this client's last acknowledged write — the
+    /// watermark read-your-writes enforces.
+    pub fn last_write_lsn(&self) -> u64 {
+        self.last_write_lsn
+    }
+
+    /// The address currently believed to be the primary, if discovered.
+    pub fn primary_addr(&self) -> Option<&str> {
+        self.primary.map(|i| self.members[i].addr.as_str())
+    }
+
+    /// Routes a mutation to the primary, following leader hints and
+    /// re-probing the member list on connection failures. See the module
+    /// docs for what is — and deliberately is not — retried.
+    ///
+    /// # Errors
+    /// Any [`NetError`] from the winning attempt, or the error that
+    /// exhausted the hop budget.
+    pub fn write(&mut self, request: Request) -> Result<Response, NetError> {
+        let mut hops = 0u32;
+        loop {
+            let idx = match self.primary {
+                Some(i) => i,
+                None => self.reprobe()?,
+            };
+            let sent = match self.conn(idx) {
+                Ok(c) => c.call(request.clone()),
+                Err(e) => {
+                    // Never dialed: provably not applied, safe to retry.
+                    self.primary = None;
+                    hops += 1;
+                    if hops > MAX_WRITE_HOPS {
+                        return Err(e);
+                    }
+                    self.backoff(hops);
+                    continue;
+                }
+            };
+            match sent {
+                Ok(resp) => {
+                    if let Some(c) = self.members[idx].conn.as_ref() {
+                        self.last_write_lsn = self.last_write_lsn.max(c.last_seen_lsn());
+                    }
+                    return Ok(resp);
+                }
+                Err(NetError::NotPrimary { leader_hint }) => {
+                    // Rejected before the engine lane: retry at the leader.
+                    self.primary = leader_hint.map(|hint| self.member_index(&hint));
+                    hops += 1;
+                    if hops > MAX_WRITE_HOPS {
+                        return Err(NetError::NotPrimary { leader_hint: None });
+                    }
+                    continue;
+                }
+                Err(e) => {
+                    if matches!(e, NetError::Transport(_) | NetError::Timeout) {
+                        // The request may or may not have been applied —
+                        // drop the connection and our primary belief, but
+                        // surface the ambiguity instead of re-sending.
+                        self.members[idx].conn = None;
+                        self.primary = None;
+                    }
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    /// Serves a read from a follower, load-balanced round-robin, with
+    /// retryable failures moved to a different member after a backoff.
+    /// Falls back to the primary when followers are exhausted or (under
+    /// read-your-writes) too stale.
+    ///
+    /// # Errors
+    /// The first non-retryable [`NetError`], or the primary fallback's
+    /// error once follower attempts are spent.
+    pub fn read(&mut self, request: Request) -> Result<Response, NetError> {
+        let candidates: Vec<usize> = {
+            let followers: Vec<usize> = (0..self.members.len())
+                .filter(|i| Some(*i) != self.primary)
+                .collect();
+            if followers.is_empty() {
+                (0..self.members.len()).collect()
+            } else {
+                followers
+            }
+        };
+        let attempts = self.config.read_retries.max(1);
+        for attempt in 1..=attempts {
+            let idx = candidates[self.cursor % candidates.len()];
+            self.cursor = self.cursor.wrapping_add(1);
+            let outcome = match self.conn(idx) {
+                Ok(c) => c.call(request.clone()),
+                Err(e) => Err(e),
+            };
+            let seen = self.members[idx]
+                .conn
+                .as_ref()
+                .map_or(0, |c| c.last_seen_lsn());
+            if outcome.is_err() {
+                // A timed-out or broken session may deliver a late
+                // response and desynchronize request ids — never reuse it.
+                self.members[idx].conn = None;
+            }
+            if self.config.read_your_writes && seen < self.last_write_lsn {
+                // This follower has not caught up to our own write — even
+                // an error (e.g. "no such tuple") could be from before it.
+                if self.last_write_lsn - seen > self.config.staleness_bound {
+                    return self.read_at_primary(request);
+                }
+                self.backoff(attempt);
+                continue;
+            }
+            match outcome {
+                Ok(resp) => return Ok(resp),
+                Err(e) if e.is_retryable() => {
+                    self.backoff(attempt);
+                    continue;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        self.read_at_primary(request)
+    }
+
+    /// Routes a read to the primary — never stale, so this is both the
+    /// read-your-writes escape hatch and the last-resort fallback.
+    fn read_at_primary(&mut self, request: Request) -> Result<Response, NetError> {
+        let idx = match self.primary {
+            Some(i) => i,
+            None => self.reprobe()?,
+        };
+        match self.conn(idx) {
+            Ok(c) => c.call(request),
+            Err(e) => {
+                self.primary = None;
+                Err(e)
+            }
+        }
+    }
+
+    /// Finds the primary by probing members' `stats`: a standalone or
+    /// primary node answers for itself; a replica names its primary,
+    /// which is probed next (and remembered, even if previously
+    /// unknown).
+    ///
+    /// # Errors
+    /// The last probe error when no member resolves to a primary.
+    fn reprobe(&mut self) -> Result<usize, NetError> {
+        let mut last_err = NetError::Transport("no cluster member is reachable".into());
+        for start in 0..self.members.len() {
+            let mut idx = start;
+            // Follow at most one hint chain per starting member.
+            for _ in 0..=MAX_WRITE_HOPS {
+                let probe = match self.conn(idx) {
+                    Ok(c) => c.stats(),
+                    Err(e) => {
+                        last_err = e;
+                        break;
+                    }
+                };
+                match probe {
+                    Ok((_, Some(ReplicationInfo::Replica { primary, .. }))) => {
+                        idx = self.member_index(&primary);
+                    }
+                    Ok((_, _)) => {
+                        // Primary role, or a standalone server: writes go
+                        // here either way.
+                        self.primary = Some(idx);
+                        return Ok(idx);
+                    }
+                    Err(e) => {
+                        self.members[idx].conn = None;
+                        last_err = e;
+                        break;
+                    }
+                }
+            }
+        }
+        Err(last_err)
+    }
+
+    /// The index of `addr` in the member list, adding it when unknown.
+    fn member_index(&mut self, addr: &str) -> usize {
+        if let Some(i) = self.members.iter().position(|m| m.addr == addr) {
+            return i;
+        }
+        self.members.push(Member {
+            addr: addr.to_string(),
+            conn: None,
+        });
+        self.members.len() - 1
+    }
+
+    /// The (possibly freshly dialed) connection to member `idx`.
+    fn conn(&mut self, idx: usize) -> Result<&mut Client, NetError> {
+        if self.members[idx].conn.is_none() {
+            let mut c = Client::connect(&self.members[idx].addr)?;
+            c.set_deadline_ms(self.config.deadline_ms);
+            if let Some(t) = self.config.io_timeout {
+                c.set_io_timeout(Some(t))?;
+            }
+            self.members[idx].conn = Some(c);
+        }
+        Ok(self.members[idx].conn.as_mut().expect("just installed"))
+    }
+
+    /// Exponential backoff with 0.5x–1.5x jitter, capped.
+    fn backoff(&mut self, attempt: u32) {
+        let base = self
+            .config
+            .backoff_base
+            .saturating_mul(1u32 << attempt.min(6).saturating_sub(1))
+            .min(self.config.backoff_cap);
+        std::thread::sleep(base.mul_f64(0.5 + self.rng.next_f64()));
+    }
+}
+
+/// Typed helpers mirroring [`Client`]'s surface, routed through the
+/// cluster's read/write discipline. Errors are the same as
+/// [`ClusterClient::read`] / [`ClusterClient::write`].
+impl ClusterClient {
+    /// Liveness probe against whichever member the read rotation picks.
+    pub fn ping(&mut self) -> Result<(), NetError> {
+        match self.read(Request::Ping)? {
+            Response::Unit => Ok(()),
+            other => Err(protocol_violation(&other)),
+        }
+    }
+
+    /// Creates a relation of the given dimension (on the primary).
+    pub fn create_relation(&mut self, relation: &str, dim: u32) -> Result<(), NetError> {
+        match self.write(Request::CreateRelation {
+            relation: relation.into(),
+            dim,
+        })? {
+            Response::Unit => Ok(()),
+            other => Err(protocol_violation(&other)),
+        }
+    }
+
+    /// Inserts a tuple (on the primary); returns its assigned id.
+    pub fn insert(&mut self, relation: &str, tuple: GeneralizedTuple) -> Result<u32, NetError> {
+        match self.write(Request::Insert {
+            relation: relation.into(),
+            tuple,
+        })? {
+            Response::Inserted(id) => Ok(id),
+            other => Err(protocol_violation(&other)),
+        }
+    }
+
+    /// Deletes a tuple (on the primary); returns the removed tuple.
+    pub fn delete(&mut self, relation: &str, id: u32) -> Result<GeneralizedTuple, NetError> {
+        match self.write(Request::Delete {
+            relation: relation.into(),
+            id,
+        })? {
+            Response::Tuple(t) => Ok(t),
+            other => Err(protocol_violation(&other)),
+        }
+    }
+
+    /// Builds the 2-D dual index (on the primary).
+    pub fn build_dual(&mut self, relation: &str, slopes: Vec<f64>) -> Result<(), NetError> {
+        match self.write(Request::BuildDual {
+            relation: relation.into(),
+            slopes,
+        })? {
+            Response::Unit => Ok(()),
+            other => Err(protocol_violation(&other)),
+        }
+    }
+
+    /// Builds the d-dimensional dual index (on the primary).
+    pub fn build_dual_d(
+        &mut self,
+        relation: &str,
+        per_axis: u32,
+        range: f64,
+    ) -> Result<(), NetError> {
+        match self.write(Request::BuildDualD {
+            relation: relation.into(),
+            per_axis,
+            range,
+        })? {
+            Response::Unit => Ok(()),
+            other => Err(protocol_violation(&other)),
+        }
+    }
+
+    /// Packs the R⁺-tree baseline (on the primary).
+    pub fn build_rplus(&mut self, relation: &str, fill: f64) -> Result<(), NetError> {
+        match self.write(Request::BuildRPlus {
+            relation: relation.into(),
+            fill,
+        })? {
+            Response::Unit => Ok(()),
+            other => Err(protocol_violation(&other)),
+        }
+    }
+
+    /// Runs an ALL/EXIST selection on a follower (primary fallback).
+    pub fn query(
+        &mut self,
+        relation: &str,
+        selection: Selection,
+        strategy: Strategy,
+    ) -> Result<QueryResult, NetError> {
+        match self.read(Request::Query {
+            relation: relation.into(),
+            selection,
+            strategy,
+        })? {
+            Response::Query(WireQueryResult { ids, stats }) => Ok(QueryResult::new(ids, stats)),
+            other => Err(protocol_violation(&other)),
+        }
+    }
+
+    /// Equality (line) query on a follower (primary fallback).
+    pub fn query_line(
+        &mut self,
+        relation: &str,
+        kind: SelectionKind,
+        a: f64,
+        c: f64,
+    ) -> Result<QueryResult, NetError> {
+        match self.read(Request::QueryLine {
+            relation: relation.into(),
+            kind,
+            a,
+            c,
+        })? {
+            Response::Query(WireQueryResult { ids, stats }) => Ok(QueryResult::new(ids, stats)),
+            other => Err(protocol_violation(&other)),
+        }
+    }
+
+    /// EXPLAIN ANALYZE on a follower: rendered report plus the result.
+    pub fn explain(
+        &mut self,
+        relation: &str,
+        selection: Selection,
+    ) -> Result<(String, QueryResult), NetError> {
+        match self.read(Request::Explain {
+            relation: relation.into(),
+            selection,
+        })? {
+            Response::Explain { rendered, result } => {
+                let WireQueryResult { ids, stats } = result;
+                Ok((rendered, QueryResult::new(ids, stats)))
+            }
+            other => Err(protocol_violation(&other)),
+        }
+    }
+
+    /// Runs one constraint-SQL statement on a follower's latest snapshot.
+    pub fn sql(&mut self, text: &str, mode: SqlMode) -> Result<SqlOutcome, NetError> {
+        match self.read(Request::Sql {
+            text: text.into(),
+            mode,
+        })? {
+            Response::Sql(o) => Ok(o.into()),
+            other => Err(protocol_violation(&other)),
+        }
+    }
+
+    /// Fetches a stored tuple by id from a follower.
+    pub fn fetch_tuple(&mut self, relation: &str, id: u32) -> Result<GeneralizedTuple, NetError> {
+        match self.read(Request::FetchTuple {
+            relation: relation.into(),
+            id,
+        })? {
+            Response::Tuple(t) => Ok(t),
+            other => Err(protocol_violation(&other)),
+        }
+    }
+
+    /// Relation names from a follower, sorted.
+    pub fn relations(&mut self) -> Result<Vec<String>, NetError> {
+        match self.read(Request::ListRelations)? {
+            Response::Relations(names) => Ok(names),
+            other => Err(protocol_violation(&other)),
+        }
+    }
+
+    /// Statistics from whichever member the read rotation picks — the
+    /// replication section names the member's role, so asking repeatedly
+    /// walks the topology.
+    pub fn stats(&mut self) -> Result<(DbStats, Option<ReplicationInfo>), NetError> {
+        match self.read(Request::Stats)? {
+            Response::Stats { db, replication } => Ok((db, replication)),
+            other => Err(protocol_violation(&other)),
+        }
+    }
+
+    /// Online page-verification report from one member.
+    pub fn fsck(&mut self) -> Result<WireRecoveryReport, NetError> {
+        match self.read(Request::Fsck)? {
+            Response::Fsck(rep) => Ok(rep),
+            other => Err(protocol_violation(&other)),
+        }
+    }
+
+    /// Forces a durable checkpoint on the primary.
+    pub fn checkpoint(&mut self) -> Result<(), NetError> {
+        match self.write(Request::Checkpoint)? {
+            Response::Unit => Ok(()),
+            other => Err(protocol_violation(&other)),
+        }
+    }
+}

@@ -21,9 +21,16 @@
 //!    `[request_id u64][deadline_ms u32][op u8][op body]`. `deadline_ms`
 //!    is relative to receipt; 0 means no deadline.
 //! 4. **Responses** (server → client):
-//!    `[request_id u64][status u8][body]` where status 0 carries a tagged
-//!    [`Response`] and any other status carries a [`NetError`] body. The
-//!    request id is echoed verbatim.
+//!    `[request_id u64][lsn u64][status u8][body]` where status 0 carries
+//!    a tagged [`Response`] and any other status carries a [`NetError`]
+//!    body. The request id is echoed verbatim. `lsn` stamps the state the
+//!    answer reflects — the snapshot's applied LSN for reads, the durable
+//!    LSN after the batch for writes — which is what a cluster client's
+//!    read-your-writes mode compares against.
+//! 5. **Replication** (after a [`Request::Subscribe`] is answered with
+//!    [`Response::Subscribed`]): the server pushes [`WalBatch`] frames and
+//!    reads `ReplAck` frames until either side disconnects; see
+//!    [`encode_wal_batch`] / [`encode_repl_ack`].
 //!
 //! Structured errors survive the wire: every [`CdbError`] variant —
 //! including `Quarantined`, `ReadOnly` and `CorruptRecord` — has a stable
@@ -46,8 +53,11 @@ pub const MAGIC: [u8; 4] = *b"CDBN";
 /// tag change; the handshake refuses mismatched peers. Version 2 added
 /// the WAL fields to `Stats` and `Fsck` responses; version 3 added the
 /// epoch counters to `Stats` and the quarantine verdict to `Fsck`;
-/// version 4 added the `Sql` request/response pair.
-pub const PROTOCOL_VERSION: u16 = 4;
+/// version 4 added the `Sql` request/response pair; version 5 added
+/// replication (the `Subscribe` request and the `WalBatch`/`ReplAck`
+/// stream frames), the `NotPrimary` redirect error, a replication section
+/// in `Stats`, and an LSN stamp on every response envelope.
+pub const PROTOCOL_VERSION: u16 = 5;
 
 /// Handshake verdict carried by the server's greeting.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -236,6 +246,18 @@ pub enum Request {
     /// Begin graceful shutdown: the server stops admitting sessions,
     /// drains in-flight requests, checkpoints, and exits.
     Shutdown,
+    /// A follower asks the primary to stream WAL records from `from_lsn`
+    /// on. Answered with [`Response::Subscribed`], after which the session
+    /// leaves the request/response discipline: the server pushes
+    /// [`WalBatch`] frames and reads `ReplAck` frames until either side
+    /// disconnects.
+    Subscribe {
+        /// First LSN the follower still needs (its applied LSN + 1).
+        from_lsn: u64,
+        /// Stable follower identity (its serving address), keyed in the
+        /// primary's per-follower `stats` so reconnects resume one entry.
+        follower_id: String,
+    },
 }
 
 impl Request {
@@ -276,6 +298,7 @@ impl Request {
             Request::Fsck => "fsck",
             Request::Checkpoint => "checkpoint",
             Request::Shutdown => "shutdown",
+            Request::Subscribe { .. } => "subscribe",
         }
     }
 }
@@ -313,10 +336,74 @@ pub enum Response {
     Sql(WireSqlOutcome),
     /// Relation names, sorted.
     Relations(Vec<String>),
-    /// Engine statistics snapshot.
-    Stats(DbStats),
+    /// Engine statistics snapshot plus the serving node's replication
+    /// role, when it has one.
+    Stats {
+        /// Engine statistics.
+        db: DbStats,
+        /// Replication role and progress (`None` on a standalone server).
+        replication: Option<ReplicationInfo>,
+    },
     /// Online verification report.
     Fsck(WireRecoveryReport),
+    /// Subscription accepted: WAL shipping begins with the next frame.
+    Subscribed {
+        /// First LSN the primary's retained log can ship.
+        start_lsn: u64,
+        /// The primary's durable (synced) LSN at accept time.
+        durable_lsn: u64,
+    },
+}
+
+/// Replication role and progress, carried inside [`Response::Stats`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ReplicationInfo {
+    /// This node is a primary shipping its WAL.
+    Primary {
+        /// One entry per follower that ever subscribed, keyed by the
+        /// follower's self-reported id.
+        followers: Vec<FollowerInfo>,
+    },
+    /// This node is a read-only follower applying a primary's WAL.
+    Replica {
+        /// Address of the primary it follows (also the `NotPrimary`
+        /// leader hint it hands to misrouted writers).
+        primary: String,
+        /// Whether the subscription is currently connected.
+        connected: bool,
+        /// LSN of the last record applied and locally synced.
+        applied_lsn: u64,
+        /// Batches applied since this process started.
+        batches: u64,
+        /// The primary's durable LSN as of the last batch or heartbeat —
+        /// `source_lsn - applied_lsn` is the staleness bound in records.
+        source_lsn: u64,
+    },
+}
+
+/// Per-follower shipping progress tracked by a primary.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FollowerInfo {
+    /// The follower's self-reported id (its serving address).
+    pub id: String,
+    /// Whether its subscription is currently connected.
+    pub connected: bool,
+    /// Last LSN the follower acknowledged as applied and synced.
+    pub acked_lsn: u64,
+    /// Batches shipped and acknowledged over the entry's lifetime.
+    pub batches: u64,
+}
+
+/// One shipped batch of WAL records (primary → follower, after
+/// [`Response::Subscribed`]). An empty `records` is a heartbeat carrying
+/// a fresh `durable_lsn`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WalBatch {
+    /// The primary's durable LSN when the batch was cut.
+    pub durable_lsn: u64,
+    /// `(lsn, record bytes)` in LSN order, gapless from the follower's
+    /// last acknowledged LSN + 1.
+    pub records: Vec<(u64, Vec<u8>)>,
 }
 
 /// A [`QueryResult`] in transportable form: ids are sorted and unique
@@ -431,9 +518,36 @@ pub enum NetError {
         /// Version advertised by the server's greeting.
         server_version: u16,
     },
+    /// The node is a read-only follower; writes belong on the primary.
+    NotPrimary {
+        /// Address of the primary, when the follower knows it — a
+        /// redirect, not just a refusal.
+        leader_hint: Option<String>,
+    },
     /// Client-side transport failure (connection reset, frame corruption).
     /// Never sent over the wire.
     Transport(String),
+    /// A client-side socket timeout: the peer was slow, hung or
+    /// blackholed. The request may or may not have executed, so only
+    /// idempotent operations should be retried. Never sent over the wire.
+    Timeout,
+}
+
+impl NetError {
+    /// `true` for failures worth retrying — on the same node after a
+    /// backoff (`Overloaded`), or transparently on a *different* replica
+    /// for idempotent reads (`Timeout`, `Transport`, `ShuttingDown`).
+    /// `NotPrimary` is a redirect, not a retry, and the rest are
+    /// deterministic refusals.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            NetError::Overloaded
+                | NetError::Timeout
+                | NetError::Transport(_)
+                | NetError::ShuttingDown
+        )
+    }
 }
 
 impl std::fmt::Display for NetError {
@@ -450,7 +564,12 @@ impl std::fmt::Display for NetError {
                     "protocol version mismatch: server speaks v{server_version}, client v{PROTOCOL_VERSION}"
                 )
             }
+            NetError::NotPrimary { leader_hint } => match leader_hint {
+                Some(addr) => write!(f, "not the primary: writes go to {addr}"),
+                None => write!(f, "not the primary: this node is a read-only follower"),
+            },
             NetError::Transport(m) => write!(f, "transport failure: {m}"),
+            NetError::Timeout => write!(f, "request timed out"),
         }
     }
 }
@@ -945,6 +1064,7 @@ const OP_CHECKPOINT: u8 = 14;
 const OP_SHUTDOWN: u8 = 15;
 const OP_QUERY_LINE: u8 = 16;
 const OP_SQL: u8 = 17;
+const OP_SUBSCRIBE: u8 = 18;
 
 /// Encodes a request envelope into a frame payload.
 pub fn encode_request(env: &RequestEnvelope) -> Vec<u8> {
@@ -1043,6 +1163,14 @@ pub fn encode_request(env: &RequestEnvelope) -> Vec<u8> {
         Request::Fsck => w.put_u8(OP_FSCK),
         Request::Checkpoint => w.put_u8(OP_CHECKPOINT),
         Request::Shutdown => w.put_u8(OP_SHUTDOWN),
+        Request::Subscribe {
+            from_lsn,
+            follower_id,
+        } => {
+            w.put_u8(OP_SUBSCRIBE);
+            w.put_u64(*from_lsn);
+            w.put_str(follower_id);
+        }
     }
     w.into_bytes()
 }
@@ -1120,6 +1248,10 @@ pub fn decode_request(buf: &[u8]) -> Result<RequestEnvelope, CodecError> {
         OP_FSCK => Request::Fsck,
         OP_CHECKPOINT => Request::Checkpoint,
         OP_SHUTDOWN => Request::Shutdown,
+        OP_SUBSCRIBE => Request::Subscribe {
+            from_lsn: r.get_u64()?,
+            follower_id: r.get_str()?.to_string(),
+        },
         _ => return Err(CodecError::Invalid("request op tag")),
     };
     expect_end(&r)?;
@@ -1139,6 +1271,7 @@ const STATUS_DEADLINE: u8 = 3;
 const STATUS_MALFORMED: u8 = 4;
 const STATUS_SHUTTING_DOWN: u8 = 5;
 const STATUS_VERSION: u8 = 6;
+const STATUS_NOT_PRIMARY: u8 = 7;
 
 const RESP_UNIT: u8 = 0;
 const RESP_INSERTED: u8 = 1;
@@ -1149,6 +1282,12 @@ const RESP_RELATIONS: u8 = 5;
 const RESP_STATS: u8 = 6;
 const RESP_FSCK: u8 = 7;
 const RESP_SQL: u8 = 8;
+const RESP_SUBSCRIBED: u8 = 9;
+
+/// Stream-frame markers after a subscription handshake; distinct from
+/// every response status so a desynced stream fails decode immediately.
+const REPL_BATCH: u8 = 0xB1;
+const REPL_ACK: u8 = 0xA1;
 
 const DBERR_NOT_FOUND: u8 = 0;
 const DBERR_EXISTS: u8 = 1;
@@ -1226,11 +1365,118 @@ fn get_db_error(r: &mut RecordReader<'_>) -> Result<CdbError, CodecError> {
     })
 }
 
+fn put_replication(w: &mut RecordWriter, info: &Option<ReplicationInfo>) {
+    match info {
+        None => w.put_u8(0),
+        Some(ReplicationInfo::Primary { followers }) => {
+            w.put_u8(1);
+            w.put_u32(followers.len() as u32);
+            for f in followers {
+                w.put_str(&f.id);
+                w.put_u8(u8::from(f.connected));
+                w.put_u64(f.acked_lsn);
+                w.put_u64(f.batches);
+            }
+        }
+        Some(ReplicationInfo::Replica {
+            primary,
+            connected,
+            applied_lsn,
+            batches,
+            source_lsn,
+        }) => {
+            w.put_u8(2);
+            w.put_str(primary);
+            w.put_u8(u8::from(*connected));
+            w.put_u64(*applied_lsn);
+            w.put_u64(*batches);
+            w.put_u64(*source_lsn);
+        }
+    }
+}
+
+fn get_replication(r: &mut RecordReader<'_>) -> Result<Option<ReplicationInfo>, CodecError> {
+    Ok(match r.get_u8()? {
+        0 => None,
+        1 => Some(ReplicationInfo::Primary {
+            followers: get_counted(r, |r| {
+                Ok(FollowerInfo {
+                    id: r.get_str()?.to_string(),
+                    connected: get_bool(r, "follower connected flag")?,
+                    acked_lsn: r.get_u64()?,
+                    batches: r.get_u64()?,
+                })
+            })?,
+        }),
+        2 => Some(ReplicationInfo::Replica {
+            primary: r.get_str()?.to_string(),
+            connected: get_bool(r, "replica connected flag")?,
+            applied_lsn: r.get_u64()?,
+            batches: r.get_u64()?,
+            source_lsn: r.get_u64()?,
+        }),
+        _ => return Err(CodecError::Invalid("replication info tag")),
+    })
+}
+
+/// Encodes one shipped batch of WAL records as a stream-frame payload.
+pub fn encode_wal_batch(batch: &WalBatch) -> Vec<u8> {
+    let mut w = RecordWriter::new();
+    w.put_u8(REPL_BATCH);
+    w.put_u64(batch.durable_lsn);
+    w.put_u32(batch.records.len() as u32);
+    for (lsn, bytes) in &batch.records {
+        w.put_u64(*lsn);
+        w.put_bytes(bytes);
+    }
+    w.into_bytes()
+}
+
+/// Decodes a shipped batch, validating the marker and LSN contiguity.
+pub fn decode_wal_batch(buf: &[u8]) -> Result<WalBatch, CodecError> {
+    let mut r = RecordReader::new(buf);
+    if r.get_u8()? != REPL_BATCH {
+        return Err(CodecError::Invalid("wal batch marker"));
+    }
+    let durable_lsn = r.get_u64()?;
+    let records = get_counted(&mut r, |r| Ok((r.get_u64()?, r.get_bytes()?.to_vec())))?;
+    if records.windows(2).any(|p| p[1].0 != p[0].0 + 1) {
+        return Err(CodecError::Invalid("wal batch lsn gap"));
+    }
+    expect_end(&r)?;
+    Ok(WalBatch {
+        durable_lsn,
+        records,
+    })
+}
+
+/// Encodes a follower's acknowledgement: every record up to and including
+/// `applied_lsn` is applied and locally synced.
+pub fn encode_repl_ack(applied_lsn: u64) -> Vec<u8> {
+    let mut w = RecordWriter::new();
+    w.put_u8(REPL_ACK);
+    w.put_u64(applied_lsn);
+    w.into_bytes()
+}
+
+/// Decodes a follower's acknowledgement.
+pub fn decode_repl_ack(buf: &[u8]) -> Result<u64, CodecError> {
+    let mut r = RecordReader::new(buf);
+    if r.get_u8()? != REPL_ACK {
+        return Err(CodecError::Invalid("repl ack marker"));
+    }
+    let lsn = r.get_u64()?;
+    expect_end(&r)?;
+    Ok(lsn)
+}
+
 /// Encodes a response frame payload: `Ok(response)` or `Err(error)` for
-/// the given request id.
-pub fn encode_response(request_id: u64, outcome: &Result<Response, NetError>) -> Vec<u8> {
+/// the given request id. `lsn` stamps the state the answer reflects (see
+/// the module docs).
+pub fn encode_response(request_id: u64, lsn: u64, outcome: &Result<Response, NetError>) -> Vec<u8> {
     let mut w = RecordWriter::new();
     w.put_u64(request_id);
+    w.put_u64(lsn);
     match outcome {
         Ok(resp) => {
             w.put_u8(STATUS_OK);
@@ -1264,9 +1510,18 @@ pub fn encode_response(request_id: u64, outcome: &Result<Response, NetError>) ->
                         w.put_str(n);
                     }
                 }
-                Response::Stats(s) => {
+                Response::Stats { db, replication } => {
                     w.put_u8(RESP_STATS);
-                    put_db_stats(&mut w, s);
+                    put_db_stats(&mut w, db);
+                    put_replication(&mut w, replication);
+                }
+                Response::Subscribed {
+                    start_lsn,
+                    durable_lsn,
+                } => {
+                    w.put_u8(RESP_SUBSCRIBED);
+                    w.put_u64(*start_lsn);
+                    w.put_u64(*durable_lsn);
                 }
                 Response::Fsck(rep) => {
                     w.put_u8(RESP_FSCK);
@@ -1300,9 +1555,20 @@ pub fn encode_response(request_id: u64, outcome: &Result<Response, NetError>) ->
                 w.put_u8(STATUS_VERSION);
                 w.put_u16(*server_version);
             }
-            NetError::Transport(_) => {
-                // Transport failures describe the client's own socket;
-                // encode defensively as a malformed-session close.
+            NetError::NotPrimary { leader_hint } => {
+                w.put_u8(STATUS_NOT_PRIMARY);
+                match leader_hint {
+                    None => w.put_u8(0),
+                    Some(addr) => {
+                        w.put_u8(1);
+                        w.put_str(addr);
+                    }
+                }
+            }
+            NetError::Transport(_) | NetError::Timeout => {
+                // Both describe the client's own socket and are never
+                // generated server-side; encode defensively as a
+                // malformed-session close.
                 w.put_u8(STATUS_MALFORMED);
                 w.put_str("transport error");
             }
@@ -1311,10 +1577,12 @@ pub fn encode_response(request_id: u64, outcome: &Result<Response, NetError>) ->
     w.into_bytes()
 }
 
-/// Decodes a response frame payload into `(request_id, outcome)`.
-pub fn decode_response(buf: &[u8]) -> Result<(u64, Result<Response, NetError>), CodecError> {
+/// Decodes a response frame payload into `(request_id, lsn, outcome)`.
+#[allow(clippy::type_complexity)]
+pub fn decode_response(buf: &[u8]) -> Result<(u64, u64, Result<Response, NetError>), CodecError> {
     let mut r = RecordReader::new(buf);
     let request_id = r.get_u64()?;
+    let lsn = r.get_u64()?;
     let status = r.get_u8()?;
     let outcome = match status {
         STATUS_OK => Ok(match r.get_u8()? {
@@ -1330,7 +1598,14 @@ pub fn decode_response(buf: &[u8]) -> Result<(u64, Result<Response, NetError>), 
             RESP_RELATIONS => {
                 Response::Relations(get_counted(&mut r, |r| Ok(r.get_str()?.to_string()))?)
             }
-            RESP_STATS => Response::Stats(get_db_stats(&mut r)?),
+            RESP_STATS => Response::Stats {
+                db: get_db_stats(&mut r)?,
+                replication: get_replication(&mut r)?,
+            },
+            RESP_SUBSCRIBED => Response::Subscribed {
+                start_lsn: r.get_u64()?,
+                durable_lsn: r.get_u64()?,
+            },
             RESP_FSCK => {
                 let pager = get_pager_recovery(&mut r)?;
                 let wal = get_wal_replay(&mut r)?;
@@ -1359,10 +1634,17 @@ pub fn decode_response(buf: &[u8]) -> Result<(u64, Result<Response, NetError>), 
         STATUS_VERSION => Err(NetError::VersionMismatch {
             server_version: r.get_u16()?,
         }),
+        STATUS_NOT_PRIMARY => Err(NetError::NotPrimary {
+            leader_hint: match r.get_u8()? {
+                0 => None,
+                1 => Some(r.get_str()?.to_string()),
+                _ => return Err(CodecError::Invalid("leader hint presence")),
+            },
+        }),
         _ => return Err(CodecError::Invalid("response status tag")),
     };
     expect_end(&r)?;
-    Ok((request_id, outcome))
+    Ok((request_id, lsn, outcome))
 }
 
 #[cfg(test)]
@@ -1376,6 +1658,22 @@ mod tests {
             LinearConstraint::new(vec![0.0, 1.0], 3.0, RelOp::Le),
             LinearConstraint::new(vec![1.0, 1.0], 5.0, RelOp::Le),
         ])
+    }
+
+    fn empty_db_stats() -> DbStats {
+        DbStats {
+            relations: Vec::new(),
+            live_pages: 0,
+            io: IoStats::default(),
+            read_only: false,
+            checkpoint_failures: 0,
+            wal: None,
+            epochs: EpochStats {
+                current_epoch: 0,
+                pinned_epochs: 0,
+                quarantined_pages: 0,
+            },
+        }
     }
 
     fn roundtrip_request(req: Request) {
@@ -1447,12 +1745,17 @@ mod tests {
         roundtrip_request(Request::Fsck);
         roundtrip_request(Request::Checkpoint);
         roundtrip_request(Request::Shutdown);
+        roundtrip_request(Request::Subscribe {
+            from_lsn: 1234,
+            follower_id: "127.0.0.1:9999".into(),
+        });
     }
 
     fn roundtrip_outcome(outcome: Result<Response, NetError>) {
-        let bytes = encode_response(7, &outcome);
-        let (id, got) = decode_response(&bytes).unwrap();
+        let bytes = encode_response(7, 99, &outcome);
+        let (id, lsn, got) = decode_response(&bytes).unwrap();
         assert_eq!(id, 7);
+        assert_eq!(lsn, 99, "the lsn stamp is echoed");
         assert_eq!(got, outcome);
     }
 
@@ -1508,38 +1811,66 @@ mod tests {
             stats: QueryStats::default(),
         })));
         roundtrip_outcome(Ok(Response::Relations(vec!["a".into(), "b".into()])));
-        roundtrip_outcome(Ok(Response::Stats(DbStats {
-            relations: vec![RelationStats {
-                name: "r".into(),
-                dim: 2,
-                live: 100,
-                heap_pages: 7,
-                total_pages: 19,
-                indexes: vec!["dual".into(), "rplus".into()],
-                health: RelationHealth::Degraded {
-                    corrupt_indexes: vec!["rplus".into()],
+        roundtrip_outcome(Ok(Response::Subscribed {
+            start_lsn: 1,
+            durable_lsn: 77,
+        }));
+        roundtrip_outcome(Ok(Response::Stats {
+            replication: None,
+            db: DbStats {
+                relations: vec![RelationStats {
+                    name: "r".into(),
+                    dim: 2,
+                    live: 100,
+                    heap_pages: 7,
+                    total_pages: 19,
+                    indexes: vec!["dual".into(), "rplus".into()],
+                    health: RelationHealth::Degraded {
+                        corrupt_indexes: vec!["rplus".into()],
+                    },
+                }],
+                live_pages: 20,
+                io: IoStats {
+                    reads: 1,
+                    writes: 2,
+                    allocations: 3,
+                    frees: 0,
                 },
-            }],
-            live_pages: 20,
-            io: IoStats {
-                reads: 1,
-                writes: 2,
-                allocations: 3,
-                frees: 0,
+                read_only: true,
+                checkpoint_failures: 3,
+                wal: Some(WalStats {
+                    durable_lsn: 41,
+                    next_lsn: 44,
+                    pending: 2,
+                }),
+                epochs: EpochStats {
+                    current_epoch: 9,
+                    pinned_epochs: 2,
+                    quarantined_pages: 5,
+                },
             },
-            read_only: true,
-            checkpoint_failures: 3,
-            wal: Some(WalStats {
-                durable_lsn: 41,
-                next_lsn: 44,
-                pending: 2,
+        }));
+        roundtrip_outcome(Ok(Response::Stats {
+            db: empty_db_stats(),
+            replication: Some(ReplicationInfo::Primary {
+                followers: vec![FollowerInfo {
+                    id: "127.0.0.1:4000".into(),
+                    connected: true,
+                    acked_lsn: 812,
+                    batches: 40,
+                }],
             }),
-            epochs: EpochStats {
-                current_epoch: 9,
-                pinned_epochs: 2,
-                quarantined_pages: 5,
-            },
-        })));
+        }));
+        roundtrip_outcome(Ok(Response::Stats {
+            db: empty_db_stats(),
+            replication: Some(ReplicationInfo::Replica {
+                primary: "127.0.0.1:3000".into(),
+                connected: false,
+                applied_lsn: 810,
+                batches: 39,
+                source_lsn: 812,
+            }),
+        }));
         roundtrip_outcome(Ok(Response::Fsck(WireRecoveryReport {
             pager: PagerRecovery::FellBack {
                 recovered_epoch: 4,
@@ -1592,6 +1923,52 @@ mod tests {
         roundtrip_outcome(Err(NetError::Malformed("bad tag".into())));
         roundtrip_outcome(Err(NetError::ShuttingDown));
         roundtrip_outcome(Err(NetError::VersionMismatch { server_version: 2 }));
+        roundtrip_outcome(Err(NetError::NotPrimary { leader_hint: None }));
+        roundtrip_outcome(Err(NetError::NotPrimary {
+            leader_hint: Some("10.0.0.1:7878".into()),
+        }));
+    }
+
+    #[test]
+    fn replication_stream_frames_round_trip() {
+        let batch = WalBatch {
+            durable_lsn: 42,
+            records: vec![(40, b"a".to_vec()), (41, b"bb".to_vec()), (42, vec![])],
+        };
+        assert_eq!(decode_wal_batch(&encode_wal_batch(&batch)).unwrap(), batch);
+
+        // A heartbeat is an empty batch with a fresh durable lsn.
+        let hb = WalBatch {
+            durable_lsn: 99,
+            records: vec![],
+        };
+        assert_eq!(decode_wal_batch(&encode_wal_batch(&hb)).unwrap(), hb);
+
+        assert_eq!(decode_repl_ack(&encode_repl_ack(41)).unwrap(), 41);
+
+        // Gapped LSNs inside a batch are a protocol violation.
+        let gapped = WalBatch {
+            durable_lsn: 5,
+            records: vec![(1, vec![]), (3, vec![])],
+        };
+        assert!(decode_wal_batch(&encode_wal_batch(&gapped)).is_err());
+
+        // Markers keep the two stream directions from decoding as each
+        // other after a desync.
+        assert!(decode_repl_ack(&encode_wal_batch(&hb)).is_err());
+        assert!(decode_wal_batch(&encode_repl_ack(7)).is_err());
+    }
+
+    #[test]
+    fn retryable_errors_are_exactly_the_transient_ones() {
+        assert!(NetError::Timeout.is_retryable());
+        assert!(NetError::Overloaded.is_retryable());
+        assert!(NetError::Transport("reset".into()).is_retryable());
+        assert!(NetError::ShuttingDown.is_retryable());
+        assert!(!NetError::DeadlineExceeded.is_retryable());
+        assert!(!NetError::NotPrimary { leader_hint: None }.is_retryable());
+        assert!(!NetError::Db(CdbError::ReadOnly).is_retryable());
+        assert!(!NetError::Malformed("x".into()).is_retryable());
     }
 
     #[test]
@@ -1642,6 +2019,7 @@ mod tests {
     fn unsorted_result_ids_are_rejected() {
         let mut w = RecordWriter::new();
         w.put_u64(1);
+        w.put_u64(0); // lsn stamp
         w.put_u8(STATUS_OK);
         w.put_u8(RESP_QUERY);
         w.put_u32(2);

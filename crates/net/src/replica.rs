@@ -1,0 +1,210 @@
+//! The replica's fetcher: subscribes to the primary, applies shipped WAL
+//! batches through the engine lane, and acks its own durable progress.
+//!
+//! The fetcher is a single background thread owned by a
+//! [`Server`](crate::server::Server) running in the replica role. It
+//! keeps one subscription alive at a time (stop-and-wait, like the
+//! primary's shipping side), reconnecting with seeded, jittered
+//! exponential backoff whenever the link drops — a partitioned follower
+//! resumes from its own durably-applied LSN, so re-shipping covers
+//! exactly the gap. Unrecoverable conditions (the primary's retained
+//! history no longer covers our resume point, or a shipped record fails
+//! to apply) stop the fetcher and leave the divergence in the log and in
+//! `stats`; serving reads continues from the last applied state.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::SyncSender;
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
+
+use cdb_prng::StdRng;
+
+use crate::client::Client;
+use crate::proto::NetError;
+use crate::server::EngineJob;
+
+/// Patience for the next batch (the primary heartbeats every second, so
+/// several missed heartbeats in a row mean the link is dead).
+const BATCH_TIMEOUT: Duration = Duration::from_secs(5);
+/// First reconnect delay; doubles per consecutive failure.
+const BACKOFF_BASE: Duration = Duration::from_millis(100);
+/// Reconnect delay ceiling.
+const BACKOFF_CAP: Duration = Duration::from_secs(3);
+/// Granularity of backoff sleeps (each slice re-checks the shutdown flag).
+const SLEEP_SLICE: Duration = Duration::from_millis(50);
+
+/// The replica's replication progress, shared between the fetcher thread
+/// and the `stats` path.
+pub(crate) struct ReplicaStatus {
+    /// Whether a subscription to the primary is currently live.
+    pub connected: AtomicBool,
+    /// LSN of the last durably applied record.
+    pub applied_lsn: AtomicU64,
+    /// Non-empty batches applied since this process started.
+    pub batches: AtomicU64,
+    /// The primary's durable LSN as of the last batch (heartbeats
+    /// included) — `source_lsn - applied_lsn` is the staleness gap.
+    pub source_lsn: AtomicU64,
+}
+
+impl ReplicaStatus {
+    pub fn new(applied_lsn: u64) -> ReplicaStatus {
+        ReplicaStatus {
+            connected: AtomicBool::new(false),
+            applied_lsn: AtomicU64::new(applied_lsn),
+            batches: AtomicU64::new(0),
+            source_lsn: AtomicU64::new(0),
+        }
+    }
+}
+
+enum FetchErr {
+    /// The stream broke; reconnect and resume.
+    Transient(String),
+    /// Replication cannot continue (history gap, apply failure).
+    Fatal(String),
+}
+
+/// Runs until shutdown: keep a subscription to `primary` alive, feed its
+/// batches into the engine lane, back off between attempts.
+pub(crate) fn fetcher_loop(
+    primary: &str,
+    follower_id: &str,
+    status: &Arc<ReplicaStatus>,
+    jobs: &SyncSender<EngineJob>,
+    shutdown: &Arc<AtomicBool>,
+) {
+    // Deterministic jitter: seeded from the follower's identity so two
+    // replicas of the same primary don't reconnect in lockstep.
+    let seed = follower_id.bytes().fold(0x6b7_5ca1u64, |h, b| {
+        h.wrapping_mul(1099511628211) ^ u64::from(b)
+    });
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut failures: u32 = 0;
+    while !shutdown.load(Ordering::SeqCst) {
+        match stream_once(primary, follower_id, status, jobs, shutdown) {
+            Ok(()) => return, // shutdown observed mid-stream
+            Err(FetchErr::Transient(why)) => {
+                status.connected.store(false, Ordering::SeqCst);
+                failures = failures.saturating_add(1);
+                let base = BACKOFF_BASE
+                    .saturating_mul(1u32 << failures.min(5).saturating_sub(1))
+                    .min(BACKOFF_CAP);
+                // 0.5x..1.5x jitter around the exponential step.
+                let jittered = base.mul_f64(0.5 + rng.next_f64());
+                eprintln!("cdb-replica: link to {primary} lost ({why}); retrying in {jittered:?}");
+                sleep_interruptible(jittered, shutdown);
+            }
+            Err(FetchErr::Fatal(why)) => {
+                status.connected.store(false, Ordering::SeqCst);
+                eprintln!(
+                    "cdb-replica: replication from {primary} stopped: {why}; \
+                     serving reads from the last applied state"
+                );
+                return;
+            }
+        }
+    }
+}
+
+fn sleep_interruptible(total: Duration, shutdown: &Arc<AtomicBool>) {
+    let mut remaining = total;
+    while remaining > Duration::ZERO && !shutdown.load(Ordering::SeqCst) {
+        let slice = remaining.min(SLEEP_SLICE);
+        std::thread::sleep(slice);
+        remaining = remaining.saturating_sub(slice);
+    }
+}
+
+/// One subscription lifetime: connect, subscribe from our durable resume
+/// point, apply batches until the link drops or shutdown.
+fn stream_once(
+    primary: &str,
+    follower_id: &str,
+    status: &Arc<ReplicaStatus>,
+    jobs: &SyncSender<EngineJob>,
+    shutdown: &Arc<AtomicBool>,
+) -> Result<(), FetchErr> {
+    let from = status.applied_lsn.load(Ordering::SeqCst) + 1;
+    let client =
+        Client::connect(primary).map_err(|e| FetchErr::Transient(format!("connect: {e}")))?;
+    let sub = match client.subscribe(from, follower_id) {
+        Ok(sub) => sub,
+        // A demoted primary tells us where the leader went; one hop is
+        // enough — a stale hint comes back here as another error.
+        Err(NetError::NotPrimary {
+            leader_hint: Some(hint),
+        }) => {
+            let redirected = Client::connect(&hint)
+                .map_err(|e| FetchErr::Transient(format!("connect to leader hint {hint}: {e}")))?;
+            redirected
+                .subscribe(from, follower_id)
+                .map_err(subscribe_err)?
+        }
+        Err(e) => return Err(subscribe_err(e)),
+    };
+    if sub.start_lsn > from {
+        return Err(FetchErr::Fatal(format!(
+            "the primary's retained history starts at lsn {} but we need {from}: \
+             reseed this replica from a base copy",
+            sub.start_lsn
+        )));
+    }
+    let mut sub = sub;
+    sub.set_read_timeout(Some(BATCH_TIMEOUT))
+        .map_err(|e| FetchErr::Transient(format!("socket: {e}")))?;
+    status.connected.store(true, Ordering::SeqCst);
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        let batch = sub
+            .next_batch()
+            .map_err(|e| FetchErr::Transient(format!("batch: {e}")))?;
+        status.source_lsn.store(batch.durable_lsn, Ordering::SeqCst);
+        let applied = status.applied_lsn.load(Ordering::SeqCst);
+        if batch.records.is_empty() {
+            // Heartbeat: acknowledge liveness with our current progress.
+            sub.ack(applied)
+                .map_err(|e| FetchErr::Transient(format!("ack: {e}")))?;
+            continue;
+        }
+        // decode_wal_batch already guarantees the batch itself is gapless;
+        // verify it starts exactly where we left off.
+        let first = batch.records[0].0;
+        if first != applied + 1 {
+            return Err(FetchErr::Fatal(format!(
+                "shipped batch starts at lsn {first} but lsn {} is next: \
+                 replication stream out of order",
+                applied + 1
+            )));
+        }
+        let (done_tx, done_rx) = mpsc::channel();
+        // A blocking send is safe: the fetcher is stop-and-wait (at most
+        // one Apply in flight) and the writer drains the lane until the
+        // fetcher has already been joined at shutdown.
+        jobs.send(EngineJob::Apply {
+            records: batch.records,
+            done: done_tx,
+        })
+        .map_err(|_| FetchErr::Transient("engine lane unavailable".into()))?;
+        let new_applied = match done_rx.recv() {
+            Ok(Ok(lsn)) => lsn,
+            Ok(Err(why)) => return Err(FetchErr::Fatal(format!("apply failed: {why}"))),
+            Err(_) => return Ok(()), // writer gone: shutdown in progress
+        };
+        status.applied_lsn.store(new_applied, Ordering::SeqCst);
+        status.batches.fetch_add(1, Ordering::SeqCst);
+        // Ack only after our own group commit made the records durable —
+        // the primary's per-follower acked LSN means replica-durable.
+        sub.ack(new_applied)
+            .map_err(|e| FetchErr::Transient(format!("ack: {e}")))?;
+    }
+}
+
+fn subscribe_err(e: NetError) -> FetchErr {
+    match e {
+        NetError::Malformed(why) => FetchErr::Fatal(why),
+        other => FetchErr::Transient(other.to_string()),
+    }
+}

@@ -18,7 +18,7 @@ use cdb_core::{RelationHealth, WalReplay};
 use cdb_geometry::halfplane::HalfPlane;
 use cdb_geometry::parse::parse_tuple;
 use cdb_net::proto::WireRecoveryReport;
-use cdb_net::Client;
+use cdb_net::{Client, ClusterClient, ClusterConfig, ReplicationInfo};
 use cdb_storage::PagerRecovery;
 
 /// Where commands execute: in-process or over the wire.
@@ -28,6 +28,9 @@ pub enum Session {
     Local(Box<ConstraintDb>),
     /// A connected `cdb-server` session.
     Remote(Client),
+    /// A replicated deployment: writes go to the primary, reads are
+    /// load-balanced across followers with retry and read-your-writes.
+    Cluster(ClusterClient),
 }
 
 /// Runs the read-eval-print loop over `source` until EOF or `quit`.
@@ -68,6 +71,23 @@ pub fn run_command(session: &mut Session, line: &str) -> Result<String, String> 
             *session = Session::Remote(client);
             Ok(format!("connected to {addr}"))
         }
+        "cluster" => {
+            let members: Vec<&str> = rest
+                .trim()
+                .split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .collect();
+            if members.is_empty() {
+                return Err("usage: cluster <host:port>[,<host:port>...]".into());
+            }
+            let n = members.len();
+            let mut cc =
+                ClusterClient::new(members, ClusterConfig::default()).map_err(|e| e.to_string())?;
+            cc.ping().map_err(|e| e.to_string())?;
+            *session = Session::Cluster(cc);
+            Ok(format!("cluster session over {n} member(s)"))
+        }
         "disconnect" => {
             *session = Session::Local(Box::new(ConstraintDb::in_memory(DbConfig::paper_1999())));
             Ok("disconnected; now on a fresh in-memory database".into())
@@ -76,6 +96,10 @@ pub fn run_command(session: &mut Session, line: &str) -> Result<String, String> 
             Session::Local(_) => Ok("pong (local)".into()),
             Session::Remote(c) => {
                 c.ping().map_err(|e| e.to_string())?;
+                Ok("pong".into())
+            }
+            Session::Cluster(cc) => {
+                cc.ping().map_err(|e| e.to_string())?;
                 Ok("pong".into())
             }
         },
@@ -96,6 +120,9 @@ pub fn run_command(session: &mut Session, line: &str) -> Result<String, String> 
                         .map_err(|e| e.to_string())?;
                 }
                 Session::Remote(c) => c.create_relation(name, dim).map_err(|e| e.to_string())?,
+                Session::Cluster(cc) => {
+                    cc.create_relation(name, dim).map_err(|e| e.to_string())?;
+                }
             }
             Ok(format!("created {dim}-D relation '{name}'"))
         }
@@ -105,6 +132,7 @@ pub fn run_command(session: &mut Session, line: &str) -> Result<String, String> 
             let id = match session {
                 Session::Local(db) => db.insert(name, t).map_err(|e| e.to_string())?,
                 Session::Remote(c) => c.insert(name, t).map_err(|e| e.to_string())?,
+                Session::Cluster(cc) => cc.insert(name, t).map_err(|e| e.to_string())?,
             };
             Ok(format!("tuple {id}"))
         }
@@ -122,6 +150,9 @@ pub fn run_command(session: &mut Session, line: &str) -> Result<String, String> 
                 }
                 Session::Remote(c) => {
                     c.delete(name, id).map_err(|e| e.to_string())?;
+                }
+                Session::Cluster(cc) => {
+                    cc.delete(name, id).map_err(|e| e.to_string())?;
                 }
             }
             Ok(format!("deleted tuple {id}"))
@@ -142,6 +173,9 @@ pub fn run_command(session: &mut Session, line: &str) -> Result<String, String> 
                     .build_dual_index(name, SlopeSet::uniform_tan(k))
                     .map_err(|e| e.to_string())?,
                 Session::Remote(c) => c
+                    .build_dual(name, SlopeSet::uniform_tan(k).as_slice().to_vec())
+                    .map_err(|e| e.to_string())?,
+                Session::Cluster(cc) => cc
                     .build_dual(name, SlopeSet::uniform_tan(k).as_slice().to_vec())
                     .map_err(|e| e.to_string())?,
             }
@@ -179,6 +213,9 @@ pub fn run_command(session: &mut Session, line: &str) -> Result<String, String> 
                 Session::Remote(c) => c
                     .build_dual_d(name, per_axis as u32, range)
                     .map_err(|e| e.to_string())?,
+                Session::Cluster(cc) => cc
+                    .build_dual_d(name, per_axis as u32, range)
+                    .map_err(|e| e.to_string())?,
             }
             Ok(format!(
                 "d-dimensional dual index built over a {per_axis}-per-axis grid (range {range})"
@@ -199,6 +236,9 @@ pub fn run_command(session: &mut Session, line: &str) -> Result<String, String> 
                     .exist_line(name, h.slope2d(), h.intercept)
                     .map_err(|e| e.to_string())?,
                 Session::Remote(c) => c
+                    .query_line(name, SelectionKind::Exist, h.slope2d(), h.intercept)
+                    .map_err(|e| e.to_string())?,
+                Session::Cluster(cc) => cc
                     .query_line(name, SelectionKind::Exist, h.slope2d(), h.intercept)
                     .map_err(|e| e.to_string())?,
             };
@@ -224,6 +264,7 @@ pub fn run_command(session: &mut Session, line: &str) -> Result<String, String> 
                     .build_rplus_index(name, fill)
                     .map_err(|e| e.to_string())?,
                 Session::Remote(c) => c.build_rplus(name, fill).map_err(|e| e.to_string())?,
+                Session::Cluster(cc) => cc.build_rplus(name, fill).map_err(|e| e.to_string())?,
             }
             Ok(format!("R+-tree baseline packed at fill {fill}"))
         }
@@ -269,6 +310,7 @@ pub fn run_command(session: &mut Session, line: &str) -> Result<String, String> 
             let rendered = match session {
                 Session::Local(db) => db.explain(name, sel).map_err(|e| e.to_string())?.render(),
                 Session::Remote(c) => c.explain(name, sel).map_err(|e| e.to_string())?.0,
+                Session::Cluster(cc) => cc.explain(name, sel).map_err(|e| e.to_string())?.0,
             };
             Ok(rendered.trim_end().to_string())
         }
@@ -292,6 +334,7 @@ pub fn run_command(session: &mut Session, line: &str) -> Result<String, String> 
                     .query_with(name, sel, strategy)
                     .map_err(|e| e.to_string())?,
                 Session::Remote(c) => c.query(name, sel, strategy).map_err(|e| e.to_string())?,
+                Session::Cluster(cc) => cc.query(name, sel, strategy).map_err(|e| e.to_string())?,
             };
             Ok(render_result(&r))
         }
@@ -306,6 +349,7 @@ pub fn run_command(session: &mut Session, line: &str) -> Result<String, String> 
             let t = match session {
                 Session::Local(db) => db.fetch_tuple(name, id).map_err(|e| e.to_string())?,
                 Session::Remote(c) => c.fetch_tuple(name, id).map_err(|e| e.to_string())?,
+                Session::Cluster(cc) => cc.fetch_tuple(name, id).map_err(|e| e.to_string())?,
             };
             Ok(format!("{t}"))
         }
@@ -313,18 +357,25 @@ pub fn run_command(session: &mut Session, line: &str) -> Result<String, String> 
             let names = match session {
                 Session::Local(db) => db.relation_names(),
                 Session::Remote(c) => c.relations().map_err(|e| e.to_string())?,
+                Session::Cluster(cc) => cc.relations().map_err(|e| e.to_string())?,
             };
             Ok(format!("{names:?}"))
         }
         "stats" => {
-            let stats = match session {
-                Session::Local(db) => db.stats_snapshot(),
+            let (stats, replication) = match session {
+                Session::Local(db) => (db.stats_snapshot(), None),
                 Session::Remote(c) => c.stats().map_err(|e| e.to_string())?,
+                Session::Cluster(cc) => cc.stats().map_err(|e| e.to_string())?,
             };
-            Ok(render_stats(&stats))
+            let mut out = render_stats(&stats);
+            if let Some(info) = replication {
+                out.push('\n');
+                out.push_str(&render_replication(&info));
+            }
+            Ok(out)
         }
         "open" => match session {
-            Session::Remote(_) => {
+            Session::Remote(_) | Session::Cluster(_) => {
                 Err("open is unavailable over a connection — the server owns its file".into())
             }
             Session::Local(db) => {
@@ -358,12 +409,17 @@ pub fn run_command(session: &mut Session, line: &str) -> Result<String, String> 
             match session {
                 Session::Local(db) => db.checkpoint().map_err(|e| e.to_string())?,
                 Session::Remote(c) => c.checkpoint().map_err(|e| e.to_string())?,
+                Session::Cluster(cc) => cc.checkpoint().map_err(|e| e.to_string())?,
             }
             Ok("catalog checkpointed".into())
         }
         "fsck" => match session {
             Session::Remote(c) if rest.trim().is_empty() => {
                 let rep = c.fsck().map_err(|e| e.to_string())?;
+                Ok(render_remote_fsck(&rep))
+            }
+            Session::Cluster(cc) if rest.trim().is_empty() => {
+                let rep = cc.fsck().map_err(|e| e.to_string())?;
                 Ok(render_remote_fsck(&rep))
             }
             _ => fsck(rest),
@@ -373,6 +429,9 @@ pub fn run_command(session: &mut Session, line: &str) -> Result<String, String> 
             Session::Remote(c) => {
                 c.shutdown().map_err(|e| e.to_string())?;
                 Ok("server is draining and will checkpoint before exit".into())
+            }
+            Session::Cluster(_) => {
+                Err("shutdown over a cluster session is ambiguous — connect to one member".into())
             }
         },
         other => Err(format!("unknown command '{other}' — try 'help'")),
@@ -387,6 +446,7 @@ fn run_sql(session: &mut Session, text: &str, mode: SqlMode) -> Result<SqlOutcom
     match session {
         Session::Local(db) => db.sql(text, mode).map_err(|e| e.to_string()),
         Session::Remote(c) => c.sql(text, mode).map_err(|e| e.to_string()),
+        Session::Cluster(cc) => cc.sql(text, mode).map_err(|e| e.to_string()),
     }
 }
 
@@ -466,6 +526,45 @@ fn render_stats(s: &DbStats) -> String {
         ));
     }
     out
+}
+
+/// Renders the node's replication role and progress, as returned in the
+/// `stats` response of a protocol-v5 server.
+fn render_replication(info: &ReplicationInfo) -> String {
+    match info {
+        ReplicationInfo::Primary { followers } => {
+            let mut out = format!("replication: primary, {} follower(s)", followers.len());
+            for f in followers {
+                out.push_str(&format!(
+                    "\n  {}: {}, acked through lsn {}, {} batch(es)",
+                    f.id,
+                    if f.connected {
+                        "connected"
+                    } else {
+                        "disconnected"
+                    },
+                    f.acked_lsn,
+                    f.batches
+                ));
+            }
+            out
+        }
+        ReplicationInfo::Replica {
+            primary,
+            connected,
+            applied_lsn,
+            batches,
+            source_lsn,
+        } => format!(
+            "replication: replica of {primary} ({}), applied through lsn {applied_lsn} \
+             (primary durable at {source_lsn}), {batches} batch(es)",
+            if *connected {
+                "connected"
+            } else {
+                "disconnected"
+            },
+        ),
+    }
 }
 
 /// Renders the WAL-replay section of a recovery report: how many records
@@ -664,6 +763,9 @@ commands:
                             verify page checksums; with no path on a
                             connected session, asks the server to verify
   connect <host:port>       proxy all commands to a cdb-server
+  cluster <a:p,b:p,...>     replicated deployment: writes to the primary,
+                            reads load-balanced across followers with
+                            retry and read-your-writes
   disconnect                drop the connection, back to local in-memory
   ping                      liveness probe
   shutdown                  ask the connected server to drain and exit
