@@ -1,0 +1,169 @@
+//! Sharded deployment throughput: what partitioning buys (and costs) on
+//! one machine.
+//!
+//! Boots K ∈ {1, 2, 4} shard deployments — each shard a file-backed
+//! `cdb-server` on an ephemeral loopback port — and drives them through
+//! a [`ShardedClient`]: the full insert stream first (routed to each
+//! id's owning shard, fsynced WAL on every shard), then a calibrated
+//! EXIST/ALL query batch (fanned out to every shard and merged). K = 1
+//! is the unsharded baseline; every K answers the query batch with
+//! bit-identical ids.
+//!
+//! All shards share this machine's cores, so these are *overhead*
+//! numbers — the fan-out tax, not a scaling claim. On a single core
+//! expect queries to get slower with K (every query pays K socket
+//! round-trips and a merge); the interesting read is how small that tax
+//! is, and that inserts hold steady (each insert still lands on exactly
+//! one shard).
+//!
+//! ```text
+//! cargo run --release -p cdb-bench --bin shard_throughput [--quick]
+//! ```
+
+use std::time::Instant;
+
+use cdb_bench::selection_of;
+use cdb_core::db::{ConstraintDb, DbConfig};
+use cdb_core::{PartitionSpec, Selection, SlopeSet, Strategy};
+use cdb_net::server::{Server, ServerConfig};
+use cdb_net::shard::ShardMap;
+use cdb_net::{ClusterConfig, ShardedClient};
+use cdb_workload::{DatasetSpec, ObjectSize, QueryGen};
+
+const SEED: u64 = 0xC0DB;
+
+struct Deployment {
+    addrs: Vec<String>,
+    stops: Vec<cdb_net::server::ShutdownHandle>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+    paths: Vec<std::path::PathBuf>,
+}
+
+fn boot(shards: u32, dir: &std::path::Path) -> Deployment {
+    let mut d = Deployment {
+        addrs: Vec::new(),
+        stops: Vec::new(),
+        threads: Vec::new(),
+        paths: Vec::new(),
+    };
+    for k in 0..shards {
+        let path = dir.join(format!("shard-{k}-of-{shards}.cdb"));
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(cdb_storage::wal_path(&path));
+        let mut db = ConstraintDb::create(&path, DbConfig::paper_1999()).expect("bench db");
+        db.set_partition(PartitionSpec::new(shards, k, SEED).expect("valid spec"))
+            .expect("fresh engine");
+        let server = Server::bind("127.0.0.1:0", db, ServerConfig::default()).expect("bind");
+        d.addrs.push(server.local_addr().to_string());
+        d.stops.push(server.shutdown_handle());
+        d.threads.push(std::thread::spawn(move || {
+            server.run().expect("serve");
+        }));
+        d.paths.push(path);
+    }
+    d
+}
+
+impl Deployment {
+    fn client(&self) -> ShardedClient {
+        let map = ShardMap::parse(&self.addrs.join(";"), SEED, 0).expect("own spec");
+        ShardedClient::new(map, ClusterConfig::default()).expect("connectable")
+    }
+
+    fn stop(self) {
+        for s in &self.stops {
+            s.shutdown();
+        }
+        for t in self.threads {
+            t.join().expect("clean server exit");
+        }
+        for p in self.paths {
+            let _ = std::fs::remove_file(cdb_storage::wal_path(&p));
+            let _ = std::fs::remove_file(p);
+        }
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let n = if quick { 1500 } else { 8000 };
+    let batch_len = if quick { 32 } else { 128 };
+    let repeats = if quick { 2 } else { 3 };
+
+    let spec = DatasetSpec::paper_1999(n, ObjectSize::Small, 0x51AD);
+    let tuples = spec.generate();
+    let mut qg = QueryGen::new(0x51AE);
+    let battery = qg.battery(&tuples, batch_len / 2, 0.10, 0.15);
+    let batch: Vec<Selection> = battery.iter().map(selection_of).collect();
+
+    let cores = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(1);
+    let dir = std::env::temp_dir().join(format!("cdb_shard_bench_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("bench dir");
+    println!(
+        "Shard throughput — N={n} file-backed inserts, {} calibrated queries/batch, \
+         best of {repeats} runs, {cores} core(s) available",
+        batch.len()
+    );
+    println!(
+        "{:>8}{:>16}{:>16}{:>12}{:>12}",
+        "shards", "inserts/sec", "queries/sec", "ins. rel.", "qry. rel."
+    );
+
+    let mut csv = String::from("shards,inserts_per_sec,queries_per_sec\n");
+    let mut baseline: Option<(f64, Vec<Vec<u32>>)> = None;
+    let mut base_ins = 0.0f64;
+    for shards in [1u32, 2, 4] {
+        let mut best_ins = 0.0f64;
+        let mut best_qps = 0.0f64;
+        let mut answers: Vec<Vec<u32>> = Vec::new();
+        for _ in 0..repeats {
+            let deployment = boot(shards, &dir);
+            let mut sc = deployment.client();
+            sc.create_relation("r", 2).expect("fresh deployment");
+
+            let start = Instant::now();
+            for t in &tuples {
+                sc.insert("r", t.clone()).expect("routed insert");
+            }
+            best_ins = best_ins.max(n as f64 / start.elapsed().as_secs_f64());
+
+            sc.build_dual("r", SlopeSet::uniform_tan(4).as_slice().to_vec())
+                .expect("2-D relation");
+            let start = Instant::now();
+            answers = batch
+                .iter()
+                .map(|sel| {
+                    sc.query("r", sel.clone(), Strategy::Auto)
+                        .expect("fanned-out query")
+                        .ids()
+                        .to_vec()
+                })
+                .collect();
+            best_qps = best_qps.max(batch.len() as f64 / start.elapsed().as_secs_f64());
+            deployment.stop();
+        }
+        match &baseline {
+            None => {
+                baseline = Some((best_qps, answers));
+                base_ins = best_ins;
+            }
+            Some((_, expected)) => {
+                assert_eq!(&answers, expected, "{shards} shards diverged from K=1");
+            }
+        }
+        let (base_qps, _) = baseline.as_ref().expect("set on K=1");
+        println!(
+            "{shards:>8}{best_ins:>16.0}{best_qps:>16.0}{:>11.2}x{:>11.2}x",
+            best_ins / base_ins,
+            best_qps / base_qps
+        );
+        csv.push_str(&format!("{shards},{best_ins:.0},{best_qps:.0}\n"));
+    }
+
+    let _ = std::fs::remove_dir(&dir);
+    std::fs::create_dir_all("results").expect("results dir");
+    std::fs::write("results/shard_throughput.csv", csv).expect("write CSV");
+    println!("\nwrote results/shard_throughput.csv");
+}

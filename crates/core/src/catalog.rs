@@ -8,6 +8,7 @@
 //!
 //! ```text
 //! magic "CDBC" u32 | version u16 | durable_lsn u64 | strategy u8
+//!                  | partition u8 [shards u32, shard u32, seed u64]
 //!                  | relation count u32
 //! per relation (sorted by name):
 //!   name str | dim u32
@@ -45,6 +46,7 @@ use crate::db::{RPlusIndex, Relation, RelationHealth};
 use crate::ddim::{DualIndexD, SlopePoints};
 use crate::error::{CdbError, CATALOG_RECORD};
 use crate::index::DualIndex;
+use crate::partition::PartitionSpec;
 use crate::plan::{MethodKind, Observation, PlanCatalog};
 use crate::query::{SelectionKind, Strategy};
 use crate::slopes::SlopeSet;
@@ -54,7 +56,9 @@ const MAGIC: u32 = 0x4344_4243;
 /// Current catalog format version. Version 2 added the `durable_lsn`
 /// WAL watermark: every mutation with an LSN at or below it is covered by
 /// this blob, so replay applies only the strictly newer log suffix.
-const VERSION: u16 = 2;
+/// Version 3 added the optional partition spec, persisted so a sharded
+/// engine allocates exactly the same tuple ids after a reopen.
+const VERSION: u16 = 3;
 
 fn corrupt() -> CdbError {
     CdbError::CorruptRecord(CATALOG_RECORD)
@@ -163,12 +167,14 @@ fn get_finite_f64(r: &mut RecordReader<'_>) -> Result<f64, CdbError> {
 
 // ----------------------------------------------------------------- encode
 
-/// Serializes the default strategy, the WAL durability watermark and every
+/// Serializes the default strategy, the WAL durability watermark, the
+/// partition spec (when the engine is one shard of a deployment) and every
 /// relation into one catalog blob. Relations are written in name order, so
 /// identical database states produce identical bytes.
 pub(crate) fn encode(
     strategy: Strategy,
     durable_lsn: u64,
+    partition: Option<PartitionSpec>,
     relations: &HashMap<String, Relation>,
 ) -> Vec<u8> {
     let mut w = RecordWriter::new();
@@ -176,6 +182,15 @@ pub(crate) fn encode(
     w.put_u16(VERSION);
     w.put_u64(durable_lsn);
     w.put_u8(strategy_code(strategy));
+    match partition {
+        Some(spec) => {
+            w.put_u8(1);
+            w.put_u32(spec.shards);
+            w.put_u32(spec.shard);
+            w.put_u64(spec.seed);
+        }
+        None => w.put_u8(0),
+    }
     w.put_u32(relations.len() as u32);
     let mut names: Vec<&String> = relations.keys().collect();
     names.sort();
@@ -293,10 +308,7 @@ pub(crate) fn encode(
 /// [`CdbError::CorruptRecord`] (id [`CATALOG_RECORD`]) on any structural
 /// violation: bad magic, unknown version or enum code, truncation,
 /// non-finite floats where finite ones are required, or trailing garbage.
-pub(crate) fn decode(
-    blob: &[u8],
-    page_size: usize,
-) -> Result<(Strategy, u64, HashMap<String, Relation>), CdbError> {
+pub(crate) fn decode(blob: &[u8], page_size: usize) -> Result<DecodedCatalog, CdbError> {
     let mut r = RecordReader::new(blob);
     if r.get_u32()? != MAGIC {
         return Err(corrupt());
@@ -306,6 +318,18 @@ pub(crate) fn decode(
     }
     let durable_lsn = r.get_u64()?;
     let strategy = strategy_from(r.get_u8()?)?;
+    let partition = match r.get_u8()? {
+        0 => None,
+        1 => {
+            let shards = r.get_u32()?;
+            let shard = r.get_u32()?;
+            let seed = r.get_u64()?;
+            // PartitionSpec::new validates range; a violation here means
+            // the blob is damaged, not that the caller mis-called.
+            Some(PartitionSpec::new(shards, shard, seed).map_err(|_| corrupt())?)
+        }
+        _ => return Err(corrupt()),
+    };
     let nrel = r.get_u32()?;
     let mut relations = HashMap::new();
     for _ in 0..nrel {
@@ -507,14 +531,27 @@ pub(crate) fn decode(
     if r.remaining() != 0 {
         return Err(corrupt()); // trailing garbage
     }
-    Ok((strategy, durable_lsn, relations))
+    Ok(DecodedCatalog {
+        strategy,
+        durable_lsn,
+        partition,
+        relations,
+    })
+}
+
+/// Everything [`decode`] rebuilds from one catalog blob.
+pub(crate) struct DecodedCatalog {
+    pub strategy: Strategy,
+    pub durable_lsn: u64,
+    pub partition: Option<PartitionSpec>,
+    pub relations: HashMap<String, Relation>,
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn is_corrupt(r: Result<(Strategy, u64, HashMap<String, Relation>), CdbError>) -> bool {
+    fn is_corrupt(r: Result<DecodedCatalog, CdbError>) -> bool {
         matches!(r, Err(CdbError::CorruptRecord(CATALOG_RECORD)))
     }
 
@@ -535,21 +572,63 @@ mod tests {
         w.put_u16(VERSION + 1);
         w.put_u64(0);
         w.put_u8(0);
+        w.put_u8(0);
         w.put_u32(0);
         assert!(is_corrupt(decode(&w.into_bytes(), 1024)));
 
-        let mut bytes = encode(Strategy::Auto, 0, &HashMap::new());
+        let mut bytes = encode(Strategy::Auto, 0, None, &HashMap::new());
         bytes.push(0);
         assert!(is_corrupt(decode(&bytes, 1024)));
     }
 
     #[test]
     fn empty_catalog_round_trips() {
-        let bytes = encode(Strategy::T2, 17, &HashMap::new());
-        let (strategy, durable_lsn, relations) = decode(&bytes, 1024).unwrap();
-        assert_eq!(strategy, Strategy::T2);
-        assert_eq!(durable_lsn, 17);
-        assert!(relations.is_empty());
+        let bytes = encode(Strategy::T2, 17, None, &HashMap::new());
+        let cat = decode(&bytes, 1024).unwrap();
+        assert_eq!(cat.strategy, Strategy::T2);
+        assert_eq!(cat.durable_lsn, 17);
+        assert_eq!(cat.partition, None);
+        assert!(cat.relations.is_empty());
+    }
+
+    #[test]
+    fn partition_spec_round_trips_byte_exact() {
+        let spec = PartitionSpec::new(8, 5, 0xFEED_FACE_CAFE_BEEF).unwrap();
+        let bytes = encode(Strategy::Auto, 3, Some(spec), &HashMap::new());
+        let cat = decode(&bytes, 1024).unwrap();
+        assert_eq!(cat.partition, Some(spec));
+        // Re-encoding the decoded state reproduces the exact bytes — the
+        // persisted seed/params survive any number of reopen cycles
+        // unchanged.
+        let again = encode(cat.strategy, cat.durable_lsn, cat.partition, &cat.relations);
+        assert_eq!(again, bytes);
+    }
+
+    #[test]
+    fn rejects_damaged_partition_spec() {
+        // shard index out of range: structurally well-formed, semantically
+        // impossible — decode must refuse rather than build a spec that
+        // PartitionSpec::new would have rejected.
+        let mut w = RecordWriter::new();
+        w.put_u32(MAGIC);
+        w.put_u16(VERSION);
+        w.put_u64(0);
+        w.put_u8(0);
+        w.put_u8(1);
+        w.put_u32(2); // shards
+        w.put_u32(7); // shard — out of range
+        w.put_u64(1);
+        w.put_u32(0);
+        assert!(is_corrupt(decode(&w.into_bytes(), 1024)));
+        // Unknown presence byte.
+        let mut w = RecordWriter::new();
+        w.put_u32(MAGIC);
+        w.put_u16(VERSION);
+        w.put_u64(0);
+        w.put_u8(0);
+        w.put_u8(9);
+        w.put_u32(0);
+        assert!(is_corrupt(decode(&w.into_bytes(), 1024)));
     }
 
     #[test]

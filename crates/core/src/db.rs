@@ -33,6 +33,7 @@ use cdb_storage::{
 use crate::ddim::{DualIndexD, SlopePoints};
 use crate::error::CdbError;
 use crate::index::DualIndex;
+use crate::partition::PartitionSpec;
 use crate::plan::{
     AccessMethod, DualDAccess, ExplainReport, MethodContext, MethodKind, PlanCatalog, QueryPlan,
     RPlusAccess, RestrictedAccess, SeqScanAccess, T1Access, T2Access,
@@ -779,6 +780,9 @@ pub struct ConstraintDb {
     /// any suffix a lagging follower still needs (see
     /// [`ConstraintDb::open_retaining`]).
     retain_wal: bool,
+    /// When this engine is one shard of a partitioned deployment: which
+    /// tuple ids it may allocate (see [`ConstraintDb::set_partition`]).
+    partition: Option<PartitionSpec>,
 }
 
 impl ConstraintDb {
@@ -804,6 +808,7 @@ impl ConstraintDb {
             durable_lsn: 0,
             checkpoint_failures: 0,
             retain_wal: false,
+            partition: None,
         }
     }
 
@@ -942,7 +947,7 @@ impl ConstraintDb {
             .map_err(Self::lift)?
             .ok_or(CdbError::CorruptRecord(crate::error::CATALOG_RECORD))?;
         let page_size = pager.page_size();
-        let (strategy, durable_lsn, relations) = crate::catalog::decode(&blob, page_size)?;
+        let cat = crate::catalog::decode(&blob, page_size)?;
         let read_only = pager.is_read_only();
         let recovery = RecoveryReport {
             pager: pager.recovery(),
@@ -953,9 +958,9 @@ impl ConstraintDb {
             pager: Box::new(pager),
             config: DbConfig {
                 page_size,
-                strategy,
+                strategy: cat.strategy,
             },
-            relations,
+            relations: cat.relations,
             dirty: false,
             // Restored catalogs start at version 0 (see
             // `PlanCatalog::from_entries`), so the committed sum is 0.
@@ -964,9 +969,10 @@ impl ConstraintDb {
             recovery,
             wal: None,
             wal_base: None,
-            durable_lsn,
+            durable_lsn: cat.durable_lsn,
             checkpoint_failures: 0,
             retain_wal: false,
+            partition: cat.partition,
         })
     }
 
@@ -1044,6 +1050,11 @@ impl ConstraintDb {
             }
             WalRecord::BuildRPlus { relation, fill } => self.build_rplus_index(&relation, fill),
             WalRecord::TightenIndex { relation } => self.tighten_index(&relation),
+            WalRecord::SetPartition {
+                shards,
+                shard,
+                seed,
+            } => self.set_partition(PartitionSpec::new(shards, shard, seed)?),
         }
     }
 
@@ -1241,7 +1252,12 @@ impl ConstraintDb {
             // synced or not — the commit itself is their durability.
             self.durable_lsn = w.next_lsn() - 1;
         }
-        let blob = crate::catalog::encode(self.config.strategy, self.durable_lsn, &self.relations);
+        let blob = crate::catalog::encode(
+            self.config.strategy,
+            self.durable_lsn,
+            self.partition,
+            &self.relations,
+        );
         if let Err(e) = self.pager.commit_meta(&blob) {
             self.checkpoint_failures += 1;
             return Err(CdbError::Io(e.to_string()));
@@ -1393,6 +1409,54 @@ impl ConstraintDb {
         self.pager.quarantine_clean()
     }
 
+    /// Installs this engine's partition spec: from now on,
+    /// [`insert`](Self::insert) allocates only tuple ids the spec owns
+    /// (skipping foreign ids by pushing absent slots), so the id spaces
+    /// of the deployment's shards are disjoint by construction and query
+    /// answers merge by plain union.
+    ///
+    /// The spec must be installed before any tuple ids exist — already-
+    /// assigned ids can't be re-homed — and can never change afterwards
+    /// (re-installing the identical spec is a no-op, which makes WAL
+    /// replay and replicated re-application idempotent). It is persisted
+    /// in the catalog and write-ahead-logged, so allocation stays
+    /// deterministic across restarts, reopens, and crash replay.
+    ///
+    /// # Errors
+    /// [`CdbError::UnsupportedQuery`] when tuples already exist or a
+    /// different spec is already installed; [`CdbError::ReadOnly`] on a
+    /// read-only handle.
+    pub fn set_partition(&mut self, spec: PartitionSpec) -> Result<(), CdbError> {
+        self.ensure_writable()?;
+        if let Some(current) = self.partition {
+            if current == spec {
+                return Ok(());
+            }
+            return Err(CdbError::UnsupportedQuery(format!(
+                "partition spec is already {current} and cannot change"
+            )));
+        }
+        if self.relations.values().any(|r| !r.slots.is_empty()) {
+            return Err(CdbError::UnsupportedQuery(
+                "a partition spec must be installed before any tuple ids are assigned".into(),
+            ));
+        }
+        self.partition = Some(spec);
+        self.dirty = true;
+        self.log_mutation(WalRecord::SetPartition {
+            shards: spec.shards,
+            shard: spec.shard,
+            seed: spec.seed,
+        })?;
+        Ok(())
+    }
+
+    /// The installed partition spec, when this engine is one shard of a
+    /// partitioned deployment.
+    pub fn partition(&self) -> Option<PartitionSpec> {
+        self.partition
+    }
+
     /// Creates an empty relation of the given dimension.
     ///
     /// # Errors
@@ -1530,6 +1594,16 @@ impl ConstraintDb {
         let rel = self.relations.get_mut(name).expect("checked above");
         let (c_dual, c_duald, c_rplus) = rel.corrupt_flags();
         let rid = rel.heap.insert(pager, &tuple.encode())?;
+        if let Some(spec) = self.partition {
+            // One shard of a partitioned deployment allocates only ids it
+            // owns: foreign ids are skipped with absent slots (they live
+            // on their owning shard), keeping the shards' id spaces
+            // disjoint. Ids stay deterministic — the next owned id is a
+            // pure function of the slot count and the persisted spec.
+            while !spec.owns(rel.slots.len() as u32) {
+                rel.slots.push(None);
+            }
+        }
         let id = rel.slots.len() as u32;
         rel.slots.push(Some(rid));
         rel.by_record.insert(rid, id);

@@ -49,6 +49,7 @@ pub mod exec;
 pub mod handicap;
 pub mod index;
 pub mod logical;
+pub mod partition;
 pub mod physical;
 pub mod plan;
 pub mod pretty;
@@ -64,6 +65,7 @@ pub use db::{
 pub use error::{CdbError, CATALOG_RECORD, WAL_RECORD};
 pub use exec::{QueryEngine, QueryExecutor};
 pub use index::DualIndex;
+pub use partition::{hash_owner, PartitionSpec, Partitioner};
 pub use plan::{
     AccessMethod, Capability, CostEstimate, ExplainReport, MethodKind, PlanCatalog, Planner,
     QueryPlan,

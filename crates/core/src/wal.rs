@@ -35,6 +35,7 @@ const TAG_BUILD_DUAL: u8 = 5;
 const TAG_BUILD_DUAL_D: u8 = 6;
 const TAG_BUILD_RPLUS: u8 = 7;
 const TAG_TIGHTEN_INDEX: u8 = 8;
+const TAG_SET_PARTITION: u8 = 9;
 
 /// One logged mutation, carrying the parameters of the engine call that
 /// produced it.
@@ -62,6 +63,11 @@ pub(crate) enum WalRecord {
     BuildRPlus { relation: String, fill: f64 },
     /// `tighten_index(relation)`.
     TightenIndex { relation: String },
+    /// `set_partition(PartitionSpec { shards, shard, seed })` — logged so
+    /// crash replay (and a follower applying the shipped stream) installs
+    /// the spec before re-running any insert, keeping id allocation
+    /// deterministic.
+    SetPartition { shards: u32, shard: u32, seed: u64 },
 }
 
 impl WalRecord {
@@ -128,6 +134,16 @@ impl WalRecord {
             WalRecord::TightenIndex { relation } => {
                 w.put_u8(TAG_TIGHTEN_INDEX);
                 w.put_str(relation);
+            }
+            WalRecord::SetPartition {
+                shards,
+                shard,
+                seed,
+            } => {
+                w.put_u8(TAG_SET_PARTITION);
+                w.put_u32(*shards);
+                w.put_u32(*shard);
+                w.put_u64(*seed);
             }
         }
         w.into_bytes()
@@ -239,6 +255,20 @@ impl WalRecord {
             TAG_TIGHTEN_INDEX => WalRecord::TightenIndex {
                 relation: r.get_str().map_err(on_err)?.to_string(),
             },
+            TAG_SET_PARTITION => {
+                let shards = r.get_u32().map_err(on_err)?;
+                let shard = r.get_u32().map_err(on_err)?;
+                let seed = r.get_u64().map_err(on_err)?;
+                // PartitionSpec::new would refuse these; reject them here.
+                if shards == 0 || shard >= shards {
+                    return Err(corrupt());
+                }
+                WalRecord::SetPartition {
+                    shards,
+                    shard,
+                    seed,
+                }
+            }
             _ => return Err(corrupt()),
         };
         if r.remaining() != 0 {
@@ -297,6 +327,11 @@ mod tests {
             WalRecord::TightenIndex {
                 relation: "r".into(),
             },
+            WalRecord::SetPartition {
+                shards: 4,
+                shard: 2,
+                seed: 0xC0FFEE,
+            },
         ];
         for rec in records {
             let bytes = rec.encode();
@@ -339,6 +374,13 @@ mod tests {
         w.put_u8(TAG_BUILD_RPLUS);
         w.put_str("r");
         w.put_f64(f64::NAN);
+        assert!(is_corrupt(&w.into_bytes()));
+        // Out-of-range shard index (would make PartitionSpec::new refuse).
+        let mut w = RecordWriter::new();
+        w.put_u8(TAG_SET_PARTITION);
+        w.put_u32(2);
+        w.put_u32(2);
+        w.put_u64(1);
         assert!(is_corrupt(&w.into_bytes()));
     }
 }

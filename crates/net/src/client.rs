@@ -19,9 +19,22 @@ use cdb_storage::codec::{read_frame, write_frame, FrameError, DEFAULT_MAX_FRAME}
 use crate::proto::{
     decode_greeting, decode_repl_ack, decode_response, decode_wal_batch, encode_hello,
     encode_repl_ack, encode_request, encode_wal_batch, HandshakeStatus, NetError, ReplicationInfo,
-    Request, RequestEnvelope, Response, WalBatch, WireQueryResult, WireRecoveryReport,
-    PROTOCOL_VERSION,
+    Request, RequestEnvelope, Response, ShardIdentity, WalBatch, WireQueryResult,
+    WireRecoveryReport, PROTOCOL_VERSION,
 };
+
+/// Everything a node's `stats` reports, as one typed reply.
+#[derive(Clone, Debug)]
+pub struct StatsReply {
+    /// Engine statistics.
+    pub db: DbStats,
+    /// Replication role and progress (`None` on a standalone server).
+    pub replication: Option<ReplicationInfo>,
+    /// Client sessions currently admitted on the node.
+    pub connections: u32,
+    /// The node's shard identity (`None` outside a sharded deployment).
+    pub shard: Option<ShardIdentity>,
+}
 
 /// Patience for establishing the TCP connection itself.
 const CONNECT_TIMEOUT: Duration = Duration::from_secs(10);
@@ -336,11 +349,21 @@ impl Client {
         }
     }
 
-    /// Engine statistics snapshot, plus the node's replication role and
-    /// progress (None on a standalone server without a shippable log).
-    pub fn stats(&mut self) -> Result<(DbStats, Option<ReplicationInfo>), NetError> {
+    /// Engine statistics snapshot, plus the node's replication role,
+    /// session count and shard identity.
+    pub fn stats(&mut self) -> Result<StatsReply, NetError> {
         match self.call(Request::Stats)? {
-            Response::Stats { db, replication } => Ok((db, replication)),
+            Response::Stats {
+                db,
+                replication,
+                connections,
+                shard,
+            } => Ok(StatsReply {
+                db,
+                replication,
+                connections,
+                shard,
+            }),
             other => Err(protocol_violation(&other)),
         }
     }

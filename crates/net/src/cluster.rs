@@ -26,15 +26,14 @@
 //! the lag is within `staleness_bound`, or served by the primary
 //! (which is never stale) once it exceeds it.
 
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use cdb_core::db::DbStats;
 use cdb_core::query::{QueryResult, Selection, SelectionKind, Strategy};
 use cdb_core::sql::{SqlMode, SqlOutcome};
 use cdb_geometry::tuple::GeneralizedTuple;
 use cdb_prng::StdRng;
 
-use crate::client::{protocol_violation, Client};
+use crate::client::{protocol_violation, Client, StatsReply};
 use crate::proto::{
     NetError, ReplicationInfo, Request, Response, WireQueryResult, WireRecoveryReport,
 };
@@ -156,12 +155,16 @@ impl ClusterClient {
 
     /// Routes a mutation to the primary, following leader hints and
     /// re-probing the member list on connection failures. See the module
-    /// docs for what is — and deliberately is not — retried.
+    /// docs for what is — and deliberately is not — retried. The retry
+    /// loop's total wall clock is capped by the configured per-request
+    /// deadline: once it expires, the attempt budget no longer buys
+    /// another round and [`NetError::Timeout`] surfaces instead.
     ///
     /// # Errors
     /// Any [`NetError`] from the winning attempt, or the error that
     /// exhausted the hop budget.
     pub fn write(&mut self, request: Request) -> Result<Response, NetError> {
+        let deadline = self.request_deadline();
         let mut hops = 0u32;
         loop {
             let idx = match self.primary {
@@ -177,7 +180,7 @@ impl ClusterClient {
                     if hops > MAX_WRITE_HOPS {
                         return Err(e);
                     }
-                    self.backoff(hops);
+                    self.backoff(hops, deadline)?;
                     continue;
                 }
             };
@@ -194,6 +197,9 @@ impl ClusterClient {
                     hops += 1;
                     if hops > MAX_WRITE_HOPS {
                         return Err(NetError::NotPrimary { leader_hint: None });
+                    }
+                    if expired(deadline) {
+                        return Err(NetError::Timeout);
                     }
                     continue;
                 }
@@ -214,12 +220,15 @@ impl ClusterClient {
     /// Serves a read from a follower, load-balanced round-robin, with
     /// retryable failures moved to a different member after a backoff.
     /// Falls back to the primary when followers are exhausted or (under
-    /// read-your-writes) too stale.
+    /// read-your-writes) too stale. Like [`write`](Self::write), the
+    /// configured per-request deadline caps the loop's total wall clock,
+    /// not just its attempt count.
     ///
     /// # Errors
     /// The first non-retryable [`NetError`], or the primary fallback's
     /// error once follower attempts are spent.
     pub fn read(&mut self, request: Request) -> Result<Response, NetError> {
+        let deadline = self.request_deadline();
         let candidates: Vec<usize> = {
             let followers: Vec<usize> = (0..self.members.len())
                 .filter(|i| Some(*i) != self.primary)
@@ -253,17 +262,20 @@ impl ClusterClient {
                 if self.last_write_lsn - seen > self.config.staleness_bound {
                     return self.read_at_primary(request);
                 }
-                self.backoff(attempt);
+                self.backoff(attempt, deadline)?;
                 continue;
             }
             match outcome {
                 Ok(resp) => return Ok(resp),
                 Err(e) if e.is_retryable() => {
-                    self.backoff(attempt);
+                    self.backoff(attempt, deadline)?;
                     continue;
                 }
                 Err(e) => return Err(e),
             }
+        }
+        if expired(deadline) {
+            return Err(NetError::Timeout);
         }
         self.read_at_primary(request)
     }
@@ -305,15 +317,17 @@ impl ClusterClient {
                     }
                 };
                 match probe {
-                    Ok((_, Some(ReplicationInfo::Replica { primary, .. }))) => {
-                        idx = self.member_index(&primary);
-                    }
-                    Ok((_, _)) => {
-                        // Primary role, or a standalone server: writes go
-                        // here either way.
-                        self.primary = Some(idx);
-                        return Ok(idx);
-                    }
+                    Ok(reply) => match reply.replication {
+                        Some(ReplicationInfo::Replica { primary, .. }) => {
+                            idx = self.member_index(&primary);
+                        }
+                        _ => {
+                            // Primary role, or a standalone server: writes
+                            // go here either way.
+                            self.primary = Some(idx);
+                            return Ok(idx);
+                        }
+                    },
                     Err(e) => {
                         self.members[idx].conn = None;
                         last_err = e;
@@ -350,15 +364,43 @@ impl ClusterClient {
         Ok(self.members[idx].conn.as_mut().expect("just installed"))
     }
 
-    /// Exponential backoff with 0.5x–1.5x jitter, capped.
-    fn backoff(&mut self, attempt: u32) {
+    /// The wall-clock instant the current request must conclude by, from
+    /// the configured per-request deadline (`None`: unlimited).
+    fn request_deadline(&self) -> Option<Instant> {
+        (self.config.deadline_ms > 0)
+            .then(|| Instant::now() + Duration::from_millis(u64::from(self.config.deadline_ms)))
+    }
+
+    /// Exponential backoff with 0.5x–1.5x jitter, capped — by the
+    /// configured ceiling *and* by the request deadline: the sleep never
+    /// overshoots the deadline, and a deadline already spent refuses
+    /// another round with [`NetError::Timeout`] instead of sleeping at
+    /// all.
+    fn backoff(&mut self, attempt: u32, deadline: Option<Instant>) -> Result<(), NetError> {
         let base = self
             .config
             .backoff_base
             .saturating_mul(1u32 << attempt.min(6).saturating_sub(1))
             .min(self.config.backoff_cap);
-        std::thread::sleep(base.mul_f64(0.5 + self.rng.next_f64()));
+        let mut delay = base.mul_f64(0.5 + self.rng.next_f64());
+        if let Some(d) = deadline {
+            let remaining = d.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Err(NetError::Timeout);
+            }
+            delay = delay.min(remaining);
+        }
+        std::thread::sleep(delay);
+        if expired(deadline) {
+            return Err(NetError::Timeout);
+        }
+        Ok(())
     }
+}
+
+/// Whether a request deadline has passed (`false` when there is none).
+fn expired(deadline: Option<Instant>) -> bool {
+    deadline.is_some_and(|d| Instant::now() >= d)
 }
 
 /// Typed helpers mirroring [`Client`]'s surface, routed through the
@@ -532,11 +574,43 @@ impl ClusterClient {
     /// Statistics from whichever member the read rotation picks — the
     /// replication section names the member's role, so asking repeatedly
     /// walks the topology.
-    pub fn stats(&mut self) -> Result<(DbStats, Option<ReplicationInfo>), NetError> {
+    pub fn stats(&mut self) -> Result<StatsReply, NetError> {
         match self.read(Request::Stats)? {
-            Response::Stats { db, replication } => Ok((db, replication)),
+            Response::Stats {
+                db,
+                replication,
+                connections,
+                shard,
+            } => Ok(StatsReply {
+                db,
+                replication,
+                connections,
+                shard,
+            }),
             other => Err(protocol_violation(&other)),
         }
+    }
+
+    /// `stats` from *every* known member, keyed by address — the fan-in
+    /// behind the shell's `cluster stats` table. One sweep, one row per
+    /// member; an unreachable member contributes its error instead of
+    /// poisoning the sweep.
+    pub fn member_stats(&mut self) -> Vec<(String, Result<StatsReply, NetError>)> {
+        (0..self.members.len())
+            .map(|idx| {
+                let addr = self.members[idx].addr.clone();
+                let reply = match self.conn(idx) {
+                    Ok(c) => c.stats(),
+                    Err(e) => Err(e),
+                };
+                if reply.is_err() {
+                    // Same hygiene as read(): a failed session may deliver
+                    // a late response and desynchronize request ids.
+                    self.members[idx].conn = None;
+                }
+                (addr, reply)
+            })
+            .collect()
     }
 
     /// Online page-verification report from one member.

@@ -44,9 +44,11 @@ pub mod cluster;
 pub mod proto;
 mod replica;
 pub mod server;
+pub mod shard;
 
 pub use chaos::{ChaosPlan, ChaosProxy};
-pub use client::{Client, Subscription};
+pub use client::{Client, StatsReply, Subscription};
 pub use cluster::{ClusterClient, ClusterConfig};
-pub use proto::{NetError, ReplicationInfo, Request, Response, PROTOCOL_VERSION};
+pub use proto::{NetError, ReplicationInfo, Request, Response, ShardIdentity, PROTOCOL_VERSION};
 pub use server::{Server, ServerConfig, ShutdownHandle};
+pub use shard::{ShardMap, ShardedClient};

@@ -56,8 +56,10 @@ pub const MAGIC: [u8; 4] = *b"CDBN";
 /// version 4 added the `Sql` request/response pair; version 5 added
 /// replication (the `Subscribe` request and the `WalBatch`/`ReplAck`
 /// stream frames), the `NotPrimary` redirect error, a replication section
-/// in `Stats`, and an LSN stamp on every response envelope.
-pub const PROTOCOL_VERSION: u16 = 5;
+/// in `Stats`, and an LSN stamp on every response envelope; version 6
+/// added sharding (the `WrongShard` redirect error, and the active-session
+/// count plus shard identity in `Stats`).
+pub const PROTOCOL_VERSION: u16 = 6;
 
 /// Handshake verdict carried by the server's greeting.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -337,12 +339,17 @@ pub enum Response {
     /// Relation names, sorted.
     Relations(Vec<String>),
     /// Engine statistics snapshot plus the serving node's replication
-    /// role, when it has one.
+    /// role and shard identity, when it has them.
     Stats {
         /// Engine statistics.
         db: DbStats,
         /// Replication role and progress (`None` on a standalone server).
         replication: Option<ReplicationInfo>,
+        /// Client sessions currently admitted (the serving layer's
+        /// connection count, the one admission control caps).
+        connections: u32,
+        /// This node's place in a sharded deployment (`None` outside one).
+        shard: Option<ShardIdentity>,
     },
     /// Online verification report.
     Fsck(WireRecoveryReport),
@@ -379,6 +386,21 @@ pub enum ReplicationInfo {
         /// `source_lsn - applied_lsn` is the staleness bound in records.
         source_lsn: u64,
     },
+}
+
+/// One node's place in a sharded deployment, carried inside
+/// [`Response::Stats`] so clients can verify their shard map against what
+/// the node believes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardIdentity {
+    /// This node's shard index.
+    pub shard: u32,
+    /// Total shards in the deployment.
+    pub shards: u32,
+    /// The deployment-wide partition hash seed.
+    pub seed: u64,
+    /// The shard-map epoch this node was booted under.
+    pub epoch: u64,
 }
 
 /// Per-follower shipping progress tracked by a primary.
@@ -524,6 +546,15 @@ pub enum NetError {
         /// redirect, not just a refusal.
         leader_hint: Option<String>,
     },
+    /// The addressed tuple id belongs to a different shard of the
+    /// deployment — a routing correction, not a failure. A client whose
+    /// map epoch differs from `map_epoch` is holding a stale shard map.
+    WrongShard {
+        /// The shard-map epoch the serving node was booted under.
+        map_epoch: u64,
+        /// The shard index that owns the addressed id.
+        hint: u32,
+    },
     /// Client-side transport failure (connection reset, frame corruption).
     /// Never sent over the wire.
     Transport(String),
@@ -537,8 +568,8 @@ impl NetError {
     /// `true` for failures worth retrying — on the same node after a
     /// backoff (`Overloaded`), or transparently on a *different* replica
     /// for idempotent reads (`Timeout`, `Transport`, `ShuttingDown`).
-    /// `NotPrimary` is a redirect, not a retry, and the rest are
-    /// deterministic refusals.
+    /// `NotPrimary` and `WrongShard` are redirects, not retries, and the
+    /// rest are deterministic refusals.
     pub fn is_retryable(&self) -> bool {
         matches!(
             self,
@@ -568,6 +599,10 @@ impl std::fmt::Display for NetError {
                 Some(addr) => write!(f, "not the primary: writes go to {addr}"),
                 None => write!(f, "not the primary: this node is a read-only follower"),
             },
+            NetError::WrongShard { map_epoch, hint } => write!(
+                f,
+                "wrong shard: the id belongs to shard {hint} (map epoch {map_epoch})"
+            ),
             NetError::Transport(m) => write!(f, "transport failure: {m}"),
             NetError::Timeout => write!(f, "request timed out"),
         }
@@ -1272,6 +1307,7 @@ const STATUS_MALFORMED: u8 = 4;
 const STATUS_SHUTTING_DOWN: u8 = 5;
 const STATUS_VERSION: u8 = 6;
 const STATUS_NOT_PRIMARY: u8 = 7;
+const STATUS_WRONG_SHARD: u8 = 8;
 
 const RESP_UNIT: u8 = 0;
 const RESP_INSERTED: u8 = 1;
@@ -1510,10 +1546,26 @@ pub fn encode_response(request_id: u64, lsn: u64, outcome: &Result<Response, Net
                         w.put_str(n);
                     }
                 }
-                Response::Stats { db, replication } => {
+                Response::Stats {
+                    db,
+                    replication,
+                    connections,
+                    shard,
+                } => {
                     w.put_u8(RESP_STATS);
                     put_db_stats(&mut w, db);
                     put_replication(&mut w, replication);
+                    w.put_u32(*connections);
+                    match shard {
+                        None => w.put_u8(0),
+                        Some(identity) => {
+                            w.put_u8(1);
+                            w.put_u32(identity.shard);
+                            w.put_u32(identity.shards);
+                            w.put_u64(identity.seed);
+                            w.put_u64(identity.epoch);
+                        }
+                    }
                 }
                 Response::Subscribed {
                     start_lsn,
@@ -1565,6 +1617,11 @@ pub fn encode_response(request_id: u64, lsn: u64, outcome: &Result<Response, Net
                     }
                 }
             }
+            NetError::WrongShard { map_epoch, hint } => {
+                w.put_u8(STATUS_WRONG_SHARD);
+                w.put_u64(*map_epoch);
+                w.put_u32(*hint);
+            }
             NetError::Transport(_) | NetError::Timeout => {
                 // Both describe the client's own socket and are never
                 // generated server-side; encode defensively as a
@@ -1601,6 +1658,17 @@ pub fn decode_response(buf: &[u8]) -> Result<(u64, u64, Result<Response, NetErro
             RESP_STATS => Response::Stats {
                 db: get_db_stats(&mut r)?,
                 replication: get_replication(&mut r)?,
+                connections: r.get_u32()?,
+                shard: match r.get_u8()? {
+                    0 => None,
+                    1 => Some(ShardIdentity {
+                        shard: r.get_u32()?,
+                        shards: r.get_u32()?,
+                        seed: r.get_u64()?,
+                        epoch: r.get_u64()?,
+                    }),
+                    _ => return Err(CodecError::Invalid("shard identity presence")),
+                },
             },
             RESP_SUBSCRIBED => Response::Subscribed {
                 start_lsn: r.get_u64()?,
@@ -1640,6 +1708,10 @@ pub fn decode_response(buf: &[u8]) -> Result<(u64, u64, Result<Response, NetErro
                 1 => Some(r.get_str()?.to_string()),
                 _ => return Err(CodecError::Invalid("leader hint presence")),
             },
+        }),
+        STATUS_WRONG_SHARD => Err(NetError::WrongShard {
+            map_epoch: r.get_u64()?,
+            hint: r.get_u32()?,
         }),
         _ => return Err(CodecError::Invalid("response status tag")),
     };
@@ -1817,6 +1889,13 @@ mod tests {
         }));
         roundtrip_outcome(Ok(Response::Stats {
             replication: None,
+            connections: 3,
+            shard: Some(ShardIdentity {
+                shard: 1,
+                shards: 4,
+                seed: 0xFEED_FACE_CAFE_BEEF,
+                epoch: 7,
+            }),
             db: DbStats {
                 relations: vec![RelationStats {
                     name: "r".into(),
@@ -1860,6 +1939,8 @@ mod tests {
                     batches: 40,
                 }],
             }),
+            connections: 0,
+            shard: None,
         }));
         roundtrip_outcome(Ok(Response::Stats {
             db: empty_db_stats(),
@@ -1870,6 +1951,8 @@ mod tests {
                 batches: 39,
                 source_lsn: 812,
             }),
+            connections: 17,
+            shard: None,
         }));
         roundtrip_outcome(Ok(Response::Fsck(WireRecoveryReport {
             pager: PagerRecovery::FellBack {
@@ -1927,6 +2010,10 @@ mod tests {
         roundtrip_outcome(Err(NetError::NotPrimary {
             leader_hint: Some("10.0.0.1:7878".into()),
         }));
+        roundtrip_outcome(Err(NetError::WrongShard {
+            map_epoch: 12,
+            hint: 3,
+        }));
     }
 
     #[test]
@@ -1967,6 +2054,11 @@ mod tests {
         assert!(NetError::ShuttingDown.is_retryable());
         assert!(!NetError::DeadlineExceeded.is_retryable());
         assert!(!NetError::NotPrimary { leader_hint: None }.is_retryable());
+        assert!(!NetError::WrongShard {
+            map_epoch: 1,
+            hint: 0
+        }
+        .is_retryable());
         assert!(!NetError::Db(CdbError::ReadOnly).is_retryable());
         assert!(!NetError::Malformed("x".into()).is_retryable());
     }

@@ -85,14 +85,15 @@ use std::time::{Duration, Instant};
 
 use cdb_core::db::{ConstraintDb, Snapshot};
 use cdb_core::slopes::SlopeSet;
-use cdb_core::CdbError;
+use cdb_core::{hash_owner, CdbError};
 use cdb_storage::codec::{read_frame, write_frame, FrameError, DEFAULT_MAX_FRAME};
 use cdb_storage::wal::Wal;
 
 use crate::client::ShipStream;
 use crate::proto::{
     decode_hello, decode_request, encode_greeting, encode_response, FollowerInfo, HandshakeStatus,
-    NetError, ReplicationInfo, Request, Response, WalBatch, WireRecoveryReport, PROTOCOL_VERSION,
+    NetError, ReplicationInfo, Request, Response, ShardIdentity, WalBatch, WireRecoveryReport,
+    PROTOCOL_VERSION,
 };
 use crate::replica::{fetcher_loop, ReplicaStatus};
 
@@ -126,6 +127,10 @@ pub struct ServerConfig {
     pub write_queue: usize,
     /// Checkpoint after this many successful mutations.
     pub checkpoint_every: u64,
+    /// Shard-map epoch this node was booted under, echoed in `WrongShard`
+    /// redirects and `stats` so clients can detect a stale map. Only
+    /// meaningful when the engine carries a partition spec.
+    pub map_epoch: u64,
 }
 
 impl Default for ServerConfig {
@@ -135,6 +140,7 @@ impl Default for ServerConfig {
             max_connections: 64,
             write_queue: 64,
             checkpoint_every: 64,
+            map_epoch: 0,
         }
     }
 }
@@ -216,6 +222,9 @@ struct Shared {
     /// session worker finishes (greeting failures included).
     active_sessions: AtomicUsize,
     role: RoleState,
+    /// This node's place in a sharded deployment, read from the engine's
+    /// persisted partition spec at bind (`None` outside one).
+    shard: Option<ShardIdentity>,
 }
 
 impl Shared {
@@ -253,6 +262,18 @@ impl Shared {
                 durable_cv.notify_all();
             }
         }
+    }
+
+    /// A `WrongShard` redirect when the addressed tuple id belongs to a
+    /// different shard of the deployment; `None` outside one, or when the
+    /// id is owned here.
+    fn wrong_shard(&self, id: u32) -> Option<NetError> {
+        let identity = self.shard?;
+        let owner = hash_owner(identity.seed, identity.shards, id);
+        (owner != identity.shard).then_some(NetError::WrongShard {
+            map_epoch: identity.epoch,
+            hint: owner,
+        })
     }
 
     /// This node's replication role and progress, as reported by `stats`.
@@ -364,6 +385,15 @@ impl Server {
         let local_addr = listener.local_addr().map_err(CdbError::from)?;
         let lsn = db.applied_lsn();
         let initial = (Arc::new(db.snapshot()?), lsn);
+        // The engine's persisted partition spec is the authority on shard
+        // identity; the config only stamps which shard-map epoch this
+        // process was launched under.
+        let shard = db.partition().map(|spec| ShardIdentity {
+            shard: spec.shard,
+            shards: spec.shards,
+            seed: spec.seed,
+            epoch: config.map_epoch,
+        });
         Ok(Server {
             listener,
             local_addr,
@@ -373,6 +403,7 @@ impl Server {
                 shutdown: Arc::new(AtomicBool::new(false)),
                 active_sessions: AtomicUsize::new(0),
                 role,
+                shard,
             }),
             config,
         })
@@ -662,6 +693,14 @@ fn dispatch(
             );
         }
     }
+    // An id-addressed request must land on the owning shard; anywhere else
+    // answers a redirect naming the owner — before the lane, so a misrouted
+    // delete can never touch a foreign shard's engine.
+    if let Request::Delete { id, .. } | Request::FetchTuple { id, .. } = &request {
+        if let Some(err) = shared.wrong_shard(*id) {
+            return (0, Err(err));
+        }
+    }
     // Mutations must reach the engine's owner; Stats and Fsck report the
     // live engine (WAL watermarks, quarantine cross-check) and ride the
     // same lane. Everything else is answered from the latest published
@@ -942,6 +981,9 @@ fn writer_loop(
     jobs: &Receiver<EngineJob>,
     checkpoint_every: u64,
 ) -> ConstraintDb {
+    // Client replies inline a full Response (Stats is ~250 bytes); the
+    // enum lives only for one batch, so the size skew is harmless.
+    #[allow(clippy::large_enum_variant)]
     enum Pending {
         Client(
             mpsc::Sender<(u64, Result<Response, NetError>)>,
@@ -1070,6 +1112,8 @@ fn apply_engine(
         Request::Stats => Ok(Response::Stats {
             db: db.stats_snapshot(),
             replication: shared.replication_info(),
+            connections: shared.active_sessions.load(Ordering::SeqCst) as u32,
+            shard: shared.shard,
         }),
         Request::Fsck => {
             let rep = db.verify_now();

@@ -1,0 +1,520 @@
+//! Sharding: a fan-out/merge client over hash-partitioned shard groups.
+//!
+//! A sharded deployment splits one logical constraint database across `K`
+//! independent shard groups, each a primary plus optional followers
+//! running the unmodified server. Partitioning is by **tuple id**: shard
+//! ownership is [`cdb_core::hash_owner`]`(seed, K, id)`, and every shard
+//! carries the same persisted [`cdb_core::PartitionSpec`], so an engine
+//! only ever *assigns* ids it owns (foreign ids are skipped at insert).
+//! The shards' id spaces are therefore disjoint by construction, which
+//! makes the merge rules trivial and exact:
+//!
+//! * **EXIST/ALL selections** — every shard evaluates the same selection
+//!   over its local tuples; the global answer is the sorted union of the
+//!   per-shard id sets (no duplicates possible), with I/O accounting
+//!   summed.
+//! * **Single-relation SQL** — rows emerge from each shard in ascending
+//!   id order, so per-shard `LIMIT n` + a merge sort by id + a final
+//!   truncation to `n` is equivalent to running `LIMIT n` on one node.
+//!   Cross-shard joins are refused with a typed error rather than
+//!   answered wrong.
+//! * **DML** — an insert is routed to the shard that owns the next
+//!   global id (so sharded deployments assign the *same* ids a single
+//!   node would, in the same order); deletes and point fetches are routed
+//!   by the id's owner. A node that receives a misrouted id answers
+//!   [`NetError::WrongShard`] naming the owner, which the client follows
+//!   once.
+//!
+//! Each shard group is driven by its own [`ClusterClient`], so failover,
+//! backoff and read-your-writes (per-shard LSN watermarks) compose with
+//! sharding instead of being reimplemented under it.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use cdb_core::query::{QueryResult, QueryStats, Selection, SelectionKind, Strategy};
+use cdb_core::sql::{SqlMode, SqlOutcome};
+use cdb_geometry::tuple::GeneralizedTuple;
+
+use crate::client::StatsReply;
+use crate::cluster::{ClusterClient, ClusterConfig};
+use crate::proto::NetError;
+
+/// An epoch-versioned map from shard id to that shard's member
+/// addresses: the first address of each group is the primary, the rest
+/// are followers. The epoch lets servers and clients detect that they
+/// disagree about the topology (a [`NetError::WrongShard`] redirect
+/// carries the server's epoch).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardMap {
+    epoch: u64,
+    seed: u64,
+    groups: Vec<Vec<String>>,
+}
+
+impl ShardMap {
+    /// Builds a map from a spec string: shard groups separated by `;`,
+    /// member addresses within a group by `,`, the first member of each
+    /// group being the primary — e.g.
+    /// `"127.0.0.1:4001,127.0.0.1:4002;127.0.0.1:4003"` is two shards,
+    /// the first with one follower.
+    ///
+    /// # Errors
+    /// [`NetError::Malformed`] for an empty spec, an empty group, or an
+    /// empty address.
+    pub fn parse(spec: &str, seed: u64, epoch: u64) -> Result<ShardMap, NetError> {
+        let mut groups = Vec::new();
+        for group in spec.split(';') {
+            let members: Vec<String> = group.split(',').map(|a| a.trim().to_string()).collect();
+            if members.iter().any(String::is_empty) {
+                return Err(NetError::Malformed(format!(
+                    "bad shard spec {spec:?}: every `;`-separated group needs \
+                     `,`-separated non-empty addresses"
+                )));
+            }
+            groups.push(members);
+        }
+        if groups.is_empty() {
+            return Err(NetError::Malformed(
+                "a shard map needs at least one shard group".into(),
+            ));
+        }
+        Ok(ShardMap {
+            epoch,
+            seed,
+            groups,
+        })
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> u32 {
+        self.groups.len() as u32
+    }
+
+    /// The map's topology epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The deployment-wide partition hash seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Member addresses of shard `i` (primary first).
+    pub fn group(&self, i: u32) -> &[String] {
+        &self.groups[i as usize]
+    }
+
+    /// The shard owning tuple id `id`.
+    pub fn owner(&self, id: u32) -> u32 {
+        cdb_core::hash_owner(self.seed, self.shards(), id)
+    }
+}
+
+impl fmt::Display for ShardMap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "shard map: {} shards, seed {:#x}, epoch {}",
+            self.shards(),
+            self.seed,
+            self.epoch
+        )?;
+        for (i, group) in self.groups.iter().enumerate() {
+            write!(f, "  shard {i}: {} (primary)", group[0])?;
+            for follower in &group[1..] {
+                write!(f, ", {follower}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// A client for a sharded deployment: owner-routed DML, concurrent
+/// fan-out reads, exact merges. See the module docs for the routing and
+/// merge rules.
+pub struct ShardedClient {
+    map: ShardMap,
+    clients: Vec<ClusterClient>,
+    /// Predicted next global id per relation, kept in lockstep with the
+    /// servers' assignments and resynced from every acknowledged insert.
+    next_ids: HashMap<String, u32>,
+}
+
+impl ShardedClient {
+    /// Builds a client over the map, one [`ClusterClient`] per shard
+    /// group (connections are lazy). The cluster config applies to every
+    /// group; the backoff seed is decorrelated per shard.
+    ///
+    /// # Errors
+    /// [`NetError::Malformed`] when a group's member list is empty
+    /// (already ruled out by [`ShardMap::parse`]).
+    pub fn new(map: ShardMap, config: ClusterConfig) -> Result<ShardedClient, NetError> {
+        let clients = map
+            .groups
+            .iter()
+            .enumerate()
+            .map(|(i, group)| {
+                let mut c = config;
+                c.seed ^= (i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                ClusterClient::new(group.iter().cloned(), c)
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(ShardedClient {
+            map,
+            clients,
+            next_ids: HashMap::new(),
+        })
+    }
+
+    /// The shard map this client routes by.
+    pub fn map(&self) -> &ShardMap {
+        &self.map
+    }
+
+    /// Runs `f` against every shard concurrently (scoped threads, one per
+    /// shard) and returns the outcomes in shard order.
+    fn fan_out<T, F>(&mut self, f: F) -> Vec<Result<T, NetError>>
+    where
+        T: Send,
+        F: Fn(&mut ClusterClient) -> Result<T, NetError> + Sync,
+    {
+        let f = &f;
+        std::thread::scope(|s| {
+            let handles: Vec<_> = self
+                .clients
+                .iter_mut()
+                .map(|c| s.spawn(move || f(c)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| {
+                    h.join().unwrap_or_else(|_| {
+                        Err(NetError::Transport("a shard worker panicked".into()))
+                    })
+                })
+                .collect()
+        })
+    }
+
+    /// Fans `f` out to every shard and demands success everywhere —
+    /// DDL and merged reads have no partial-success story.
+    fn all_shards<T, F>(&mut self, f: F) -> Result<Vec<T>, NetError>
+    where
+        T: Send,
+        F: Fn(&mut ClusterClient) -> Result<T, NetError> + Sync,
+    {
+        self.fan_out(f).into_iter().collect()
+    }
+
+    /// Liveness probe against every shard.
+    pub fn ping(&mut self) -> Result<(), NetError> {
+        self.all_shards(ClusterClient::ping)?;
+        Ok(())
+    }
+
+    /// Creates a relation on every shard.
+    pub fn create_relation(&mut self, relation: &str, dim: u32) -> Result<(), NetError> {
+        self.all_shards(|c| c.create_relation(relation, dim))?;
+        self.next_ids.insert(relation.to_string(), 0);
+        Ok(())
+    }
+
+    /// Drops a relation from every shard.
+    pub fn drop_relation(&mut self, relation: &str) -> Result<(), NetError> {
+        self.all_shards(|c| {
+            match c.write(crate::proto::Request::DropRelation {
+                relation: relation.into(),
+            })? {
+                crate::proto::Response::Unit => Ok(()),
+                other => Err(crate::client::protocol_violation(&other)),
+            }
+        })?;
+        self.next_ids.remove(relation);
+        Ok(())
+    }
+
+    /// Builds the 2-D dual index on every shard.
+    pub fn build_dual(&mut self, relation: &str, slopes: Vec<f64>) -> Result<(), NetError> {
+        let slopes = &slopes;
+        self.all_shards(|c| c.build_dual(relation, slopes.clone()))?;
+        Ok(())
+    }
+
+    /// Builds the d-dimensional dual index on every shard.
+    pub fn build_dual_d(
+        &mut self,
+        relation: &str,
+        per_axis: u32,
+        range: f64,
+    ) -> Result<(), NetError> {
+        self.all_shards(|c| c.build_dual_d(relation, per_axis, range))?;
+        Ok(())
+    }
+
+    /// Packs the R⁺-tree baseline on every shard.
+    pub fn build_rplus(&mut self, relation: &str, fill: f64) -> Result<(), NetError> {
+        self.all_shards(|c| c.build_rplus(relation, fill))?;
+        Ok(())
+    }
+
+    /// Forces a durable checkpoint on every shard's primary.
+    pub fn checkpoint(&mut self) -> Result<(), NetError> {
+        self.all_shards(ClusterClient::checkpoint)?;
+        Ok(())
+    }
+
+    /// Inserts a tuple, routed to the shard owning the next global id —
+    /// so a sharded deployment assigns exactly the ids a single node
+    /// would, in the same order. The counter resyncs from every
+    /// acknowledged id, which also recovers from other writers or
+    /// pre-existing data.
+    pub fn insert(&mut self, relation: &str, tuple: GeneralizedTuple) -> Result<u32, NetError> {
+        let next = self.next_ids.get(relation).copied().unwrap_or(0);
+        let shard = self.map.owner(next);
+        let id = self.clients[shard as usize].insert(relation, tuple)?;
+        self.next_ids.insert(relation.to_string(), id + 1);
+        Ok(id)
+    }
+
+    /// Deletes a tuple on the shard owning its id; a `WrongShard`
+    /// redirect (stale map) is followed once.
+    pub fn delete(&mut self, relation: &str, id: u32) -> Result<GeneralizedTuple, NetError> {
+        let shard = self.map.owner(id);
+        match self.clients[shard as usize].delete(relation, id) {
+            Err(NetError::WrongShard { hint, .. })
+                if hint != shard && (hint as usize) < self.clients.len() =>
+            {
+                self.clients[hint as usize].delete(relation, id)
+            }
+            outcome => outcome,
+        }
+    }
+
+    /// Fetches a tuple from the shard owning its id; a `WrongShard`
+    /// redirect is followed once.
+    pub fn fetch_tuple(&mut self, relation: &str, id: u32) -> Result<GeneralizedTuple, NetError> {
+        let shard = self.map.owner(id);
+        match self.clients[shard as usize].fetch_tuple(relation, id) {
+            Err(NetError::WrongShard { hint, .. })
+                if hint != shard && (hint as usize) < self.clients.len() =>
+            {
+                self.clients[hint as usize].fetch_tuple(relation, id)
+            }
+            outcome => outcome,
+        }
+    }
+
+    /// Runs an ALL/EXIST selection on every shard concurrently and
+    /// merges: the shards' id sets are disjoint, so the global answer is
+    /// their sorted union, with I/O accounting summed.
+    pub fn query(
+        &mut self,
+        relation: &str,
+        selection: Selection,
+        strategy: Strategy,
+    ) -> Result<QueryResult, NetError> {
+        let selection = &selection;
+        let parts = self.all_shards(|c| c.query(relation, selection.clone(), strategy))?;
+        Ok(merge_results(parts))
+    }
+
+    /// Equality (line) query fanned out and merged like [`query`].
+    ///
+    /// [`query`]: Self::query
+    pub fn query_line(
+        &mut self,
+        relation: &str,
+        kind: SelectionKind,
+        a: f64,
+        c: f64,
+    ) -> Result<QueryResult, NetError> {
+        let parts = self.all_shards(|cl| cl.query_line(relation, kind, a, c))?;
+        Ok(merge_results(parts))
+    }
+
+    /// EXPLAIN ANALYZE on every shard: the per-shard reports labeled and
+    /// concatenated, the results merged like [`query`](Self::query).
+    pub fn explain(
+        &mut self,
+        relation: &str,
+        selection: Selection,
+    ) -> Result<(String, QueryResult), NetError> {
+        let selection = &selection;
+        let parts = self.all_shards(|c| c.explain(relation, selection.clone()))?;
+        let mut rendered = Vec::new();
+        let mut results = Vec::new();
+        for (shard, (report, result)) in parts.into_iter().enumerate() {
+            rendered.push(format!("shard {shard}:\n{}", report.trim_end()));
+            results.push(result);
+        }
+        Ok((rendered.join("\n"), merge_results(results)))
+    }
+
+    /// Runs one constraint-SQL statement on every shard and merges the
+    /// rows by ascending id, re-applying `LIMIT` after the merge (exact:
+    /// each shard's rows are already its `LIMIT`-sized ascending-id
+    /// prefix). Multi-relation queries are refused — a per-shard join
+    /// would silently drop every cross-shard pair.
+    ///
+    /// # Errors
+    /// [`NetError::Malformed`] for a join; otherwise any shard's error.
+    pub fn sql(&mut self, text: &str, mode: SqlMode) -> Result<SqlOutcome, NetError> {
+        let query = match cdb_core::sql::parse(text) {
+            Ok(q) => q,
+            // Let one engine report the parse error with its own (richer)
+            // diagnostics — it will fail the same way everywhere.
+            Err(_) => return self.clients[0].sql(text, mode),
+        };
+        if query.relations.len() > 1 {
+            return Err(NetError::Malformed(format!(
+                "cross-shard joins are not supported: the query names {} relations \
+                 and shards hold disjoint id ranges of each",
+                query.relations.len()
+            )));
+        }
+        let parts = self.all_shards(|c| c.sql(text, mode))?;
+        Ok(merge_sql(parts, query.limit))
+    }
+
+    /// Relation names across the deployment (sorted union — normally
+    /// identical on every shard, since DDL fans out).
+    pub fn relations(&mut self) -> Result<Vec<String>, NetError> {
+        let parts = self.all_shards(|c| c.relations())?;
+        let mut names: Vec<String> = parts.into_iter().flatten().collect();
+        names.sort();
+        names.dedup();
+        Ok(names)
+    }
+
+    /// `stats` from every member of every shard: one `(shard, address,
+    /// outcome)` row per member, in map order — the fan-in behind the
+    /// shell's `cluster stats` table.
+    #[allow(clippy::type_complexity)]
+    pub fn member_stats(&mut self) -> Vec<(u32, String, Result<StatsReply, NetError>)> {
+        let rows = self.fan_out(|c| Ok(c.member_stats()));
+        rows.into_iter()
+            .enumerate()
+            .flat_map(|(shard, rows)| {
+                rows.unwrap_or_default()
+                    .into_iter()
+                    .map(move |(addr, reply)| (shard as u32, addr, reply))
+            })
+            .collect()
+    }
+
+    /// Per-shard durable LSNs of this client's last acknowledged writes —
+    /// the vector its read-your-writes guarantee is enforced against
+    /// (each shard's [`ClusterClient`] tracks its own watermark).
+    pub fn last_write_lsns(&self) -> Vec<u64> {
+        self.clients
+            .iter()
+            .map(ClusterClient::last_write_lsn)
+            .collect()
+    }
+}
+
+/// Sorted union of disjoint per-shard results, I/O accounting summed.
+fn merge_results(parts: Vec<QueryResult>) -> QueryResult {
+    let mut ids = Vec::new();
+    let mut stats = QueryStats::default();
+    for part in parts {
+        ids.extend_from_slice(part.ids());
+        add_stats(&mut stats, &part.stats);
+    }
+    QueryResult::new(ids, stats)
+}
+
+/// Merges per-shard SQL outcomes: rows sorted by their id vector and cut
+/// to `limit`, plans concatenated, accounting summed.
+fn merge_sql(parts: Vec<SqlOutcome>, limit: Option<u64>) -> SqlOutcome {
+    let mut merged = SqlOutcome {
+        columns: Vec::new(),
+        rows: Vec::new(),
+        plan: None,
+        stats: QueryStats::default(),
+    };
+    let mut plans = Vec::new();
+    for (shard, part) in parts.into_iter().enumerate() {
+        if merged.columns.is_empty() {
+            merged.columns = part.columns;
+        }
+        merged.rows.extend(part.rows);
+        if let Some(p) = part.plan {
+            plans.push(format!("shard {shard}:\n{p}"));
+        }
+        add_stats(&mut merged.stats, &part.stats);
+    }
+    merged.rows.sort_by(|a, b| a.ids.cmp(&b.ids));
+    if let Some(n) = limit {
+        merged.rows.truncate(n as usize);
+    }
+    if !plans.is_empty() {
+        merged.plan = Some(plans.join("\n"));
+    }
+    merged
+}
+
+fn add_stats(into: &mut QueryStats, part: &QueryStats) {
+    into.index_io.reads += part.index_io.reads;
+    into.index_io.writes += part.index_io.writes;
+    into.index_io.allocations += part.index_io.allocations;
+    into.index_io.frees += part.index_io.frees;
+    into.heap_io.reads += part.heap_io.reads;
+    into.heap_io.writes += part.heap_io.writes;
+    into.heap_io.allocations += part.heap_io.allocations;
+    into.heap_io.frees += part.heap_io.frees;
+    into.candidates += part.candidates;
+    into.duplicates += part.duplicates;
+    into.false_hits += part.false_hits;
+    into.accepted_by_key += part.accepted_by_key;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_map_parses_groups_and_rejects_garbage() {
+        let map = ShardMap::parse("a:1,b:2;c:3", 7, 2).unwrap();
+        assert_eq!(map.shards(), 2);
+        assert_eq!(map.epoch(), 2);
+        assert_eq!(map.group(0), ["a:1", "b:2"]);
+        assert_eq!(map.group(1), ["c:3"]);
+        assert!(ShardMap::parse("", 7, 0).is_err());
+        assert!(ShardMap::parse("a:1;;b:2", 7, 0).is_err());
+        assert!(ShardMap::parse("a:1,;b:2", 7, 0).is_err());
+    }
+
+    #[test]
+    fn shard_map_ownership_matches_the_engine_hash() {
+        let map = ShardMap::parse("a;b;c", 0xC0FFEE, 0).unwrap();
+        for id in 0..1000 {
+            assert_eq!(map.owner(id), cdb_core::hash_owner(0xC0FFEE, 3, id));
+            assert!(map.owner(id) < 3);
+        }
+    }
+
+    #[test]
+    fn merged_sql_rows_are_sorted_and_limited() {
+        use cdb_core::sql::SqlRow;
+        let outcome = |ids: &[u32]| SqlOutcome {
+            columns: vec!["r".into()],
+            rows: ids
+                .iter()
+                .map(|&i| SqlRow {
+                    ids: vec![i],
+                    region: None,
+                })
+                .collect(),
+            plan: None,
+            stats: QueryStats::default(),
+        };
+        let merged = merge_sql(vec![outcome(&[1, 5, 9]), outcome(&[0, 2, 4])], Some(4));
+        let ids: Vec<u32> = merged.rows.iter().map(|r| r.ids[0]).collect();
+        assert_eq!(ids, [0, 1, 2, 4]);
+        assert_eq!(merged.columns, ["r"]);
+    }
+}

@@ -1,0 +1,234 @@
+//! `cdb-shard` — boots a sharded deployment: N shard groups, each a
+//! `cdb-server` primary plus optional followers, all children of this
+//! process.
+//!
+//! ```text
+//! cdb-shard --shards 2 --data-dir /tmp/deploy
+//! cdb-shard --shards 4 --followers 1 --data-dir /tmp/deploy --seed 7
+//! ```
+//!
+//! Every child listens on an ephemeral port; the launcher parses each
+//! child's `listening on <addr>` banner and prints one machine-parseable
+//! line per member:
+//!
+//! ```text
+//! shard 0 primary pid=1234 addr=127.0.0.1:40001 db=/tmp/deploy/shard-0.cdb
+//! shard 0 follower pid=1235 addr=127.0.0.1:40002 db=/tmp/deploy/shard-0-f1.cdb
+//! ...
+//! spec 127.0.0.1:40001,127.0.0.1:40002;127.0.0.1:40003
+//! ```
+//!
+//! followed by the rendered shard map. The final `spec` line is exactly
+//! what `cdb-client --shards` and the shell's `shards` command take. The
+//! launcher then waits for its children: shut the deployment down by
+//! sending `shutdown` to every member (e.g. via `cdb-client`), and the
+//! launcher exits once all children have.
+
+use std::io::{BufRead, BufReader, Write as _};
+use std::process::{Child, Command, Stdio};
+
+use constraint_db::net::shard::ShardMap;
+
+const USAGE: &str = "usage: cdb-shard --shards N --data-dir DIR [--followers M] \
+[--seed SEED] [--map-epoch E] [--checkpoint-every N]";
+
+struct Member {
+    shard: u32,
+    role: &'static str,
+    child: Child,
+    addr: String,
+    db: String,
+}
+
+fn main() {
+    match run() {
+        Ok(code) => std::process::exit(code),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn run() -> Result<i32, String> {
+    let mut shards: u32 = 0;
+    let mut followers: u32 = 0;
+    let mut data_dir: Option<String> = None;
+    let mut seed: u64 = 0xC0DB;
+    let mut map_epoch: u64 = 0;
+    let mut checkpoint_every: Option<u64> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return Ok(0);
+            }
+            "--shards" => shards = parse_flag(&mut args, "--shards")?,
+            "--followers" => followers = parse_flag(&mut args, "--followers")?,
+            "--data-dir" => data_dir = Some(flag_value(&mut args, "--data-dir")?),
+            "--seed" => seed = parse_flag(&mut args, "--seed")?,
+            "--map-epoch" => map_epoch = parse_flag(&mut args, "--map-epoch")?,
+            "--checkpoint-every" => {
+                checkpoint_every = Some(parse_flag(&mut args, "--checkpoint-every")?);
+            }
+            other => return Err(format!("unexpected argument '{other}'\n{USAGE}")),
+        }
+    }
+    if shards == 0 {
+        return Err(format!("--shards must be at least 1\n{USAGE}"));
+    }
+    let dir = data_dir.ok_or_else(|| format!("--data-dir is required\n{USAGE}"))?;
+    std::fs::create_dir_all(&dir).map_err(|e| format!("cannot create {dir}: {e}"))?;
+
+    let server = std::env::current_exe()
+        .map_err(|e| e.to_string())?
+        .with_file_name("cdb-server");
+    if !server.exists() {
+        return Err(format!(
+            "cdb-server not found next to this binary ({})",
+            server.display()
+        ));
+    }
+
+    let mut members: Vec<Member> = Vec::new();
+    for k in 0..shards {
+        // Primary first: followers need its address to subscribe to.
+        let db = format!("{dir}/shard-{k}.cdb");
+        let mut cmd = Command::new(&server);
+        cmd.arg(&db)
+            .args(["--addr", "127.0.0.1:0"])
+            .args(["--shard", &format!("{k}/{shards}")])
+            .args(["--shard-seed", &seed.to_string()])
+            .args(["--map-epoch", &map_epoch.to_string()])
+            .arg("--retain-wal");
+        if let Some(n) = checkpoint_every {
+            cmd.args(["--checkpoint-every", &n.to_string()]);
+        }
+        let primary = spawn_member(cmd, k, "primary", &db, &mut members)?;
+        for f in 1..=followers {
+            let db = format!("{dir}/shard-{k}-f{f}.cdb");
+            let mut cmd = Command::new(&server);
+            cmd.arg(&db)
+                .args(["--addr", "127.0.0.1:0"])
+                .args(["--shard", &format!("{k}/{shards}")])
+                .args(["--shard-seed", &seed.to_string()])
+                .args(["--map-epoch", &map_epoch.to_string()])
+                .args(["--replica-of", &primary]);
+            spawn_member(cmd, k, "follower", &db, &mut members)?;
+        }
+    }
+
+    for m in &members {
+        println!(
+            "shard {} {} pid={} addr={} db={}",
+            m.shard,
+            m.role,
+            m.child.id(),
+            m.addr,
+            m.db
+        );
+    }
+    let spec = (0..shards)
+        .map(|k| {
+            members
+                .iter()
+                .filter(|m| m.shard == k)
+                .map(|m| m.addr.clone())
+                .collect::<Vec<_>>()
+                .join(",")
+        })
+        .collect::<Vec<_>>()
+        .join(";");
+    println!("spec {spec}");
+    let map = ShardMap::parse(&spec, seed, map_epoch).map_err(|e| e.to_string())?;
+    print!("{map}");
+    std::io::stdout().flush().map_err(|e| e.to_string())?;
+
+    // Supervise: the deployment is shut down member by member (a client
+    // sends `shutdown` to each); report how many children failed.
+    let mut failures = 0;
+    for m in &mut members {
+        match m.child.wait() {
+            Ok(status) if status.success() => {}
+            Ok(status) => {
+                eprintln!(
+                    "shard {} {} ({}) exited with {status}",
+                    m.shard, m.role, m.addr
+                );
+                failures += 1;
+            }
+            Err(e) => {
+                eprintln!(
+                    "shard {} {} ({}): wait failed: {e}",
+                    m.shard, m.role, m.addr
+                );
+                failures += 1;
+            }
+        }
+    }
+    Ok(if failures == 0 { 0 } else { 1 })
+}
+
+/// Spawns one `cdb-server`, waits for its `listening on <addr>` banner,
+/// and registers it; returns the bound address.
+fn spawn_member(
+    mut cmd: Command,
+    shard: u32,
+    role: &'static str,
+    db: &str,
+    members: &mut Vec<Member>,
+) -> Result<String, String> {
+    let mut child = cmd
+        .stdout(Stdio::piped())
+        .spawn()
+        .map_err(|e| format!("cannot spawn cdb-server: {e}"))?;
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut lines = BufReader::new(stdout).lines();
+    let addr = loop {
+        match lines.next() {
+            Some(Ok(line)) => {
+                if let Some(a) = line.strip_prefix("listening on ") {
+                    break a.trim().to_string();
+                }
+            }
+            Some(Err(e)) => {
+                let _ = child.kill();
+                return Err(format!("shard {shard} {role}: banner read failed: {e}"));
+            }
+            None => {
+                let _ = child.kill();
+                let status = child.wait().map(|s| s.to_string()).unwrap_or_default();
+                return Err(format!(
+                    "shard {shard} {role} exited before binding ({status}) — see its stderr"
+                ));
+            }
+        }
+    };
+    // Keep draining the child's stdout so it can never block on a full
+    // pipe; its later output is uninteresting to the launcher.
+    std::thread::spawn(move || for _ in lines {});
+    members.push(Member {
+        shard,
+        role,
+        child,
+        addr: addr.clone(),
+        db: db.to_string(),
+    });
+    Ok(addr)
+}
+
+fn flag_value(args: &mut impl Iterator<Item = String>, flag: &str) -> Result<String, String> {
+    args.next()
+        .ok_or_else(|| format!("{flag} needs a value\n{USAGE}"))
+}
+
+fn parse_flag<T: std::str::FromStr>(
+    args: &mut impl Iterator<Item = String>,
+    flag: &str,
+) -> Result<T, String> {
+    flag_value(args, flag)?
+        .parse()
+        .map_err(|_| format!("{flag} needs a number\n{USAGE}"))
+}

@@ -18,7 +18,10 @@ use cdb_core::{RelationHealth, WalReplay};
 use cdb_geometry::halfplane::HalfPlane;
 use cdb_geometry::parse::parse_tuple;
 use cdb_net::proto::WireRecoveryReport;
-use cdb_net::{Client, ClusterClient, ClusterConfig, ReplicationInfo};
+use cdb_net::{
+    Client, ClusterClient, ClusterConfig, NetError, ReplicationInfo, ShardMap, ShardedClient,
+    StatsReply,
+};
 use cdb_storage::PagerRecovery;
 
 /// Where commands execute: in-process or over the wire.
@@ -31,6 +34,9 @@ pub enum Session {
     /// A replicated deployment: writes go to the primary, reads are
     /// load-balanced across followers with retry and read-your-writes.
     Cluster(ClusterClient),
+    /// A sharded deployment: DML routed to the owning shard, queries
+    /// fanned out to every shard and merged.
+    Sharded(ShardedClient),
 }
 
 /// Runs the read-eval-print loop over `source` until EOF or `quit`.
@@ -72,6 +78,27 @@ pub fn run_command(session: &mut Session, line: &str) -> Result<String, String> 
             Ok(format!("connected to {addr}"))
         }
         "cluster" => {
+            if rest.trim() == "stats" {
+                // Fan-in: one table row per member of the deployment.
+                let rows = match session {
+                    Session::Cluster(cc) => cc
+                        .member_stats()
+                        .into_iter()
+                        .map(|(addr, reply)| (None, addr, reply))
+                        .collect::<Vec<_>>(),
+                    Session::Sharded(sc) => sc
+                        .member_stats()
+                        .into_iter()
+                        .map(|(shard, addr, reply)| (Some(shard), addr, reply))
+                        .collect(),
+                    _ => {
+                        return Err("cluster stats needs a cluster or sharded session — see \
+                             'cluster' and 'shards'"
+                            .into())
+                    }
+                };
+                return Ok(render_member_table(&rows));
+            }
             let members: Vec<&str> = rest
                 .trim()
                 .split(',')
@@ -79,7 +106,9 @@ pub fn run_command(session: &mut Session, line: &str) -> Result<String, String> 
                 .filter(|s| !s.is_empty())
                 .collect();
             if members.is_empty() {
-                return Err("usage: cluster <host:port>[,<host:port>...]".into());
+                return Err(
+                    "usage: cluster <host:port>[,<host:port>...]  or  cluster stats".into(),
+                );
             }
             let n = members.len();
             let mut cc =
@@ -87,6 +116,31 @@ pub fn run_command(session: &mut Session, line: &str) -> Result<String, String> 
             cc.ping().map_err(|e| e.to_string())?;
             *session = Session::Cluster(cc);
             Ok(format!("cluster session over {n} member(s)"))
+        }
+        "shards" => {
+            let mut it = rest.split_whitespace();
+            let spec = it
+                .next()
+                .ok_or("usage: shards <primary[,follower...];primary...> [seed] [epoch]")?;
+            let seed: u64 = it
+                .next()
+                .map(str::parse)
+                .transpose()
+                .map_err(|_| "seed must be a number")?
+                .unwrap_or(0xC0DB);
+            let epoch: u64 = it
+                .next()
+                .map(str::parse)
+                .transpose()
+                .map_err(|_| "epoch must be a number")?
+                .unwrap_or(0);
+            let map = ShardMap::parse(spec, seed, epoch).map_err(|e| e.to_string())?;
+            let shards = map.shards();
+            let mut sc =
+                ShardedClient::new(map, ClusterConfig::default()).map_err(|e| e.to_string())?;
+            sc.ping().map_err(|e| e.to_string())?;
+            *session = Session::Sharded(sc);
+            Ok(format!("sharded session over {shards} shard(s)"))
         }
         "disconnect" => {
             *session = Session::Local(Box::new(ConstraintDb::in_memory(DbConfig::paper_1999())));
@@ -100,6 +154,10 @@ pub fn run_command(session: &mut Session, line: &str) -> Result<String, String> 
             }
             Session::Cluster(cc) => {
                 cc.ping().map_err(|e| e.to_string())?;
+                Ok("pong".into())
+            }
+            Session::Sharded(sc) => {
+                sc.ping().map_err(|e| e.to_string())?;
                 Ok("pong".into())
             }
         },
@@ -123,6 +181,9 @@ pub fn run_command(session: &mut Session, line: &str) -> Result<String, String> 
                 Session::Cluster(cc) => {
                     cc.create_relation(name, dim).map_err(|e| e.to_string())?;
                 }
+                Session::Sharded(sc) => {
+                    sc.create_relation(name, dim).map_err(|e| e.to_string())?;
+                }
             }
             Ok(format!("created {dim}-D relation '{name}'"))
         }
@@ -133,6 +194,7 @@ pub fn run_command(session: &mut Session, line: &str) -> Result<String, String> 
                 Session::Local(db) => db.insert(name, t).map_err(|e| e.to_string())?,
                 Session::Remote(c) => c.insert(name, t).map_err(|e| e.to_string())?,
                 Session::Cluster(cc) => cc.insert(name, t).map_err(|e| e.to_string())?,
+                Session::Sharded(sc) => sc.insert(name, t).map_err(|e| e.to_string())?,
             };
             Ok(format!("tuple {id}"))
         }
@@ -153,6 +215,9 @@ pub fn run_command(session: &mut Session, line: &str) -> Result<String, String> 
                 }
                 Session::Cluster(cc) => {
                     cc.delete(name, id).map_err(|e| e.to_string())?;
+                }
+                Session::Sharded(sc) => {
+                    sc.delete(name, id).map_err(|e| e.to_string())?;
                 }
             }
             Ok(format!("deleted tuple {id}"))
@@ -176,6 +241,9 @@ pub fn run_command(session: &mut Session, line: &str) -> Result<String, String> 
                     .build_dual(name, SlopeSet::uniform_tan(k).as_slice().to_vec())
                     .map_err(|e| e.to_string())?,
                 Session::Cluster(cc) => cc
+                    .build_dual(name, SlopeSet::uniform_tan(k).as_slice().to_vec())
+                    .map_err(|e| e.to_string())?,
+                Session::Sharded(sc) => sc
                     .build_dual(name, SlopeSet::uniform_tan(k).as_slice().to_vec())
                     .map_err(|e| e.to_string())?,
             }
@@ -216,6 +284,9 @@ pub fn run_command(session: &mut Session, line: &str) -> Result<String, String> 
                 Session::Cluster(cc) => cc
                     .build_dual_d(name, per_axis as u32, range)
                     .map_err(|e| e.to_string())?,
+                Session::Sharded(sc) => sc
+                    .build_dual_d(name, per_axis as u32, range)
+                    .map_err(|e| e.to_string())?,
             }
             Ok(format!(
                 "d-dimensional dual index built over a {per_axis}-per-axis grid (range {range})"
@@ -239,6 +310,9 @@ pub fn run_command(session: &mut Session, line: &str) -> Result<String, String> 
                     .query_line(name, SelectionKind::Exist, h.slope2d(), h.intercept)
                     .map_err(|e| e.to_string())?,
                 Session::Cluster(cc) => cc
+                    .query_line(name, SelectionKind::Exist, h.slope2d(), h.intercept)
+                    .map_err(|e| e.to_string())?,
+                Session::Sharded(sc) => sc
                     .query_line(name, SelectionKind::Exist, h.slope2d(), h.intercept)
                     .map_err(|e| e.to_string())?,
             };
@@ -265,6 +339,7 @@ pub fn run_command(session: &mut Session, line: &str) -> Result<String, String> 
                     .map_err(|e| e.to_string())?,
                 Session::Remote(c) => c.build_rplus(name, fill).map_err(|e| e.to_string())?,
                 Session::Cluster(cc) => cc.build_rplus(name, fill).map_err(|e| e.to_string())?,
+                Session::Sharded(sc) => sc.build_rplus(name, fill).map_err(|e| e.to_string())?,
             }
             Ok(format!("R+-tree baseline packed at fill {fill}"))
         }
@@ -311,6 +386,7 @@ pub fn run_command(session: &mut Session, line: &str) -> Result<String, String> 
                 Session::Local(db) => db.explain(name, sel).map_err(|e| e.to_string())?.render(),
                 Session::Remote(c) => c.explain(name, sel).map_err(|e| e.to_string())?.0,
                 Session::Cluster(cc) => cc.explain(name, sel).map_err(|e| e.to_string())?.0,
+                Session::Sharded(sc) => sc.explain(name, sel).map_err(|e| e.to_string())?.0,
             };
             Ok(rendered.trim_end().to_string())
         }
@@ -335,6 +411,7 @@ pub fn run_command(session: &mut Session, line: &str) -> Result<String, String> 
                     .map_err(|e| e.to_string())?,
                 Session::Remote(c) => c.query(name, sel, strategy).map_err(|e| e.to_string())?,
                 Session::Cluster(cc) => cc.query(name, sel, strategy).map_err(|e| e.to_string())?,
+                Session::Sharded(sc) => sc.query(name, sel, strategy).map_err(|e| e.to_string())?,
             };
             Ok(render_result(&r))
         }
@@ -350,6 +427,7 @@ pub fn run_command(session: &mut Session, line: &str) -> Result<String, String> 
                 Session::Local(db) => db.fetch_tuple(name, id).map_err(|e| e.to_string())?,
                 Session::Remote(c) => c.fetch_tuple(name, id).map_err(|e| e.to_string())?,
                 Session::Cluster(cc) => cc.fetch_tuple(name, id).map_err(|e| e.to_string())?,
+                Session::Sharded(sc) => sc.fetch_tuple(name, id).map_err(|e| e.to_string())?,
             };
             Ok(format!("{t}"))
         }
@@ -358,24 +436,44 @@ pub fn run_command(session: &mut Session, line: &str) -> Result<String, String> 
                 Session::Local(db) => db.relation_names(),
                 Session::Remote(c) => c.relations().map_err(|e| e.to_string())?,
                 Session::Cluster(cc) => cc.relations().map_err(|e| e.to_string())?,
+                Session::Sharded(sc) => sc.relations().map_err(|e| e.to_string())?,
             };
             Ok(format!("{names:?}"))
         }
         "stats" => {
-            let (stats, replication) = match session {
-                Session::Local(db) => (db.stats_snapshot(), None),
+            let reply = match session {
+                Session::Local(db) => {
+                    return Ok(render_stats(&db.stats_snapshot()));
+                }
                 Session::Remote(c) => c.stats().map_err(|e| e.to_string())?,
                 Session::Cluster(cc) => cc.stats().map_err(|e| e.to_string())?,
+                // One node's stats are a fragment of a sharded deployment;
+                // answer with the whole topology instead.
+                Session::Sharded(sc) => {
+                    let rows: Vec<_> = sc
+                        .member_stats()
+                        .into_iter()
+                        .map(|(shard, addr, reply)| (Some(shard), addr, reply))
+                        .collect();
+                    return Ok(render_member_table(&rows));
+                }
             };
-            let mut out = render_stats(&stats);
-            if let Some(info) = replication {
+            let mut out = render_stats(&reply.db);
+            if let Some(identity) = reply.shard {
+                out.push_str(&format!(
+                    "\nshard: {} of {}, seed {:#x}, map epoch {}",
+                    identity.shard, identity.shards, identity.seed, identity.epoch
+                ));
+            }
+            out.push_str(&format!("\nconnections: {}", reply.connections));
+            if let Some(info) = reply.replication {
                 out.push('\n');
                 out.push_str(&render_replication(&info));
             }
             Ok(out)
         }
         "open" => match session {
-            Session::Remote(_) | Session::Cluster(_) => {
+            Session::Remote(_) | Session::Cluster(_) | Session::Sharded(_) => {
                 Err("open is unavailable over a connection — the server owns its file".into())
             }
             Session::Local(db) => {
@@ -410,6 +508,7 @@ pub fn run_command(session: &mut Session, line: &str) -> Result<String, String> 
                 Session::Local(db) => db.checkpoint().map_err(|e| e.to_string())?,
                 Session::Remote(c) => c.checkpoint().map_err(|e| e.to_string())?,
                 Session::Cluster(cc) => cc.checkpoint().map_err(|e| e.to_string())?,
+                Session::Sharded(sc) => sc.checkpoint().map_err(|e| e.to_string())?,
             }
             Ok("catalog checkpointed".into())
         }
@@ -430,7 +529,7 @@ pub fn run_command(session: &mut Session, line: &str) -> Result<String, String> 
                 c.shutdown().map_err(|e| e.to_string())?;
                 Ok("server is draining and will checkpoint before exit".into())
             }
-            Session::Cluster(_) => {
+            Session::Cluster(_) | Session::Sharded(_) => {
                 Err("shutdown over a cluster session is ambiguous — connect to one member".into())
             }
         },
@@ -447,6 +546,7 @@ fn run_sql(session: &mut Session, text: &str, mode: SqlMode) -> Result<SqlOutcom
         Session::Local(db) => db.sql(text, mode).map_err(|e| e.to_string()),
         Session::Remote(c) => c.sql(text, mode).map_err(|e| e.to_string()),
         Session::Cluster(cc) => cc.sql(text, mode).map_err(|e| e.to_string()),
+        Session::Sharded(sc) => sc.sql(text, mode).map_err(|e| e.to_string()),
     }
 }
 
@@ -565,6 +665,89 @@ fn render_replication(info: &ReplicationInfo) -> String {
             },
         ),
     }
+}
+
+/// Renders the `cluster stats` fan-in: one row per member of the
+/// deployment (shard column `-` on an unsharded cluster), column-aligned.
+/// Unreachable members keep their row, carrying the error.
+fn render_member_table(rows: &[(Option<u32>, String, Result<StatsReply, NetError>)]) -> String {
+    let mut table: Vec<[String; 7]> = vec![[
+        "shard".into(),
+        "address".into(),
+        "role".into(),
+        "durable".into(),
+        "lag".into(),
+        "epoch".into(),
+        "conns".into(),
+    ]];
+    for (shard, addr, reply) in rows {
+        let shard = shard.map_or_else(|| "-".to_string(), |s| s.to_string());
+        match reply {
+            Ok(r) => {
+                let (role, lag) = match &r.replication {
+                    Some(ReplicationInfo::Primary { .. }) => ("primary".to_string(), "-".into()),
+                    Some(ReplicationInfo::Replica {
+                        applied_lsn,
+                        source_lsn,
+                        connected,
+                        ..
+                    }) => (
+                        if *connected {
+                            "replica".to_string()
+                        } else {
+                            "replica (disconnected)".to_string()
+                        },
+                        source_lsn.saturating_sub(*applied_lsn).to_string(),
+                    ),
+                    None => ("standalone".to_string(), "-".into()),
+                };
+                let durable =
+                    r.db.wal
+                        .as_ref()
+                        .map_or_else(|| "-".to_string(), |w| w.durable_lsn.to_string());
+                let epoch = r
+                    .shard
+                    .map_or_else(|| "-".to_string(), |s| s.epoch.to_string());
+                table.push([
+                    shard,
+                    addr.clone(),
+                    role,
+                    durable,
+                    lag,
+                    epoch,
+                    r.connections.to_string(),
+                ]);
+            }
+            Err(e) => table.push([
+                shard,
+                addr.clone(),
+                format!("unreachable: {e}"),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ]),
+        }
+    }
+    let mut widths = [0usize; 7];
+    for row in &table {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    table
+        .iter()
+        .map(|row| {
+            row.iter()
+                .zip(widths)
+                .map(|(cell, w)| format!("{cell:w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+                .trim_end()
+                .to_string()
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
 }
 
 /// Renders the WAL-replay section of a recovery report: how many records
@@ -766,6 +949,14 @@ commands:
   cluster <a:p,b:p,...>     replicated deployment: writes to the primary,
                             reads load-balanced across followers with
                             retry and read-your-writes
+  cluster stats             one table row per member of the cluster or
+                            sharded deployment: role, durable LSN, lag,
+                            map epoch, connection count
+  shards <spec> [seed] [epoch]
+                            sharded deployment (spec as printed by
+                            cdb-shard: groups split by ';', members by
+                            ',', primary first): DML routed to the owning
+                            shard, queries fanned out and merged
   disconnect                drop the connection, back to local in-memory
   ping                      liveness probe
   shutdown                  ask the connected server to drain and exit

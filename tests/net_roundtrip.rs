@@ -165,7 +165,7 @@ fn concurrent_clients_match_in_process_oracle() {
     assert_eq!(wire.ids(), local.ids());
 
     // Stats agree on the logical state.
-    let (stats, _replication) = client.stats().unwrap();
+    let stats = client.stats().unwrap().db;
     assert_eq!(
         stats
             .relations

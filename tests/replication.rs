@@ -66,7 +66,11 @@ fn replica_server(path: &std::path::Path, primary: String, config: ServerConfig)
 }
 
 fn replica_info(client: &mut Client) -> ReplicationInfo {
-    client.stats().unwrap().1.expect("replication info")
+    client
+        .stats()
+        .unwrap()
+        .replication
+        .expect("replication info")
 }
 
 /// The fsynced WAL watermark as visible through stats. `WalStats.durable_lsn`
@@ -74,7 +78,7 @@ fn replica_info(client: &mut Client) -> ReplicationInfo {
 /// sync watermark, so derive the latter: every assigned LSN below `next_lsn`
 /// that is not still pending has been fsynced.
 fn durable_lsn(client: &mut Client) -> u64 {
-    let wal = client.stats().unwrap().0.wal.expect("wal stats");
+    let wal = client.stats().unwrap().db.wal.expect("wal stats");
     (wal.next_lsn - 1).saturating_sub(wal.pending)
 }
 

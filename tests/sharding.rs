@@ -1,0 +1,343 @@
+//! Sharding end to end: a fan-out/merge client over N single-shard
+//! servers must answer every query identically to one unsharded engine
+//! fed the same insert stream, misrouted requests must be redirected
+//! with `WrongShard`, and a shard's partition spec must pin id
+//! allocation across SIGKILL and recovery.
+
+use std::io::BufRead;
+use std::time::{Duration, Instant};
+
+use cdb_prng::StdRng;
+use constraint_db::index::db::{ConstraintDb, DbConfig};
+use constraint_db::index::{PartitionSpec, Partitioner as _};
+use constraint_db::net::server::{Server, ServerConfig};
+use constraint_db::net::shard::ShardMap;
+use constraint_db::net::{Client, ClusterClient, ClusterConfig, NetError, ShardedClient};
+use constraint_db::prelude::*;
+
+const SEED: u64 = 0xC0DB;
+
+fn random_boxes(n: usize, seed: u64) -> Vec<GeneralizedTuple> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let mut cs = Vec::new();
+            for k in 0..2 {
+                let lo: f64 = rng.gen_range(-50.0..45.0);
+                let hi = lo + rng.gen_range(1.0..6.0);
+                let mut a = vec![0.0; 2];
+                a[k] = 1.0;
+                cs.push(LinearConstraint::new(a.clone(), -lo, RelOp::Ge));
+                cs.push(LinearConstraint::new(a, -hi, RelOp::Le));
+            }
+            GeneralizedTuple::new(cs)
+        })
+        .collect()
+}
+
+/// Seeded query mix over both selection kinds and both operators.
+fn query_mix(count: usize, seed: u64) -> Vec<Selection> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|qi| {
+            let slope = vec![rng.gen_range(-0.9..0.9)];
+            let b = rng.gen_range(-35.0..35.0);
+            let op = if qi % 2 == 0 { RelOp::Ge } else { RelOp::Le };
+            let kind = if qi % 4 < 2 {
+                SelectionKind::Exist
+            } else {
+                SelectionKind::All
+            };
+            Selection {
+                kind,
+                halfplane: HalfPlane::new(slope, b, op),
+            }
+        })
+        .collect()
+}
+
+/// One running in-process shard deployment: N single-shard servers on
+/// ephemeral ports, plus the handles to stop them.
+struct Deployment {
+    addrs: Vec<String>,
+    stops: Vec<constraint_db::net::server::ShutdownHandle>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+fn boot(shards: u32, map_epoch: u64) -> Deployment {
+    let mut addrs = Vec::new();
+    let mut stops = Vec::new();
+    let mut threads = Vec::new();
+    for k in 0..shards {
+        let mut db = ConstraintDb::in_memory(DbConfig::paper_1999());
+        db.set_partition(PartitionSpec::new(shards, k, SEED).unwrap())
+            .unwrap();
+        let server = Server::bind(
+            "127.0.0.1:0",
+            db,
+            ServerConfig {
+                map_epoch,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        addrs.push(server.local_addr().to_string());
+        stops.push(server.shutdown_handle());
+        threads.push(std::thread::spawn(move || {
+            server.run().unwrap();
+        }));
+    }
+    Deployment {
+        addrs,
+        stops,
+        threads,
+    }
+}
+
+impl Deployment {
+    fn client(&self) -> ShardedClient {
+        let spec = self.addrs.join(";");
+        let map = ShardMap::parse(&spec, SEED, 0).unwrap();
+        ShardedClient::new(map, ClusterConfig::default()).unwrap()
+    }
+
+    fn stop(self) {
+        for s in &self.stops {
+            s.shutdown();
+        }
+        for t in self.threads {
+            t.join().unwrap();
+        }
+    }
+}
+
+/// The heart of the subsystem's contract: for 2- and 3-shard
+/// deployments, inserts through the sharded client assign exactly the
+/// ids a single node would, and every EXIST/ALL selection, line query,
+/// EXPLAIN, and single-relation SQL statement (LIMIT included) merges to
+/// the oracle's answer — before and after deletes.
+#[test]
+fn sharded_answers_match_a_single_node_oracle() {
+    for shards in [2u32, 3] {
+        let deployment = boot(shards, 0);
+        let mut sc = deployment.client();
+
+        let mut oracle = ConstraintDb::in_memory(DbConfig::paper_1999());
+        oracle.create_relation("r2", 2).unwrap();
+        sc.create_relation("r2", 2).unwrap();
+        for t in random_boxes(160, 0xA1) {
+            let want = oracle.insert("r2", t.clone()).unwrap();
+            let got = sc.insert("r2", t).unwrap();
+            assert_eq!(got, want, "{shards} shards: id allocation diverged");
+        }
+        oracle
+            .build_dual_index("r2", SlopeSet::uniform_tan(6))
+            .unwrap();
+        sc.build_dual("r2", SlopeSet::uniform_tan(6).as_slice().to_vec())
+            .unwrap();
+
+        let check = |sc: &mut ShardedClient, oracle: &ConstraintDb, phase: &str| {
+            for (qi, sel) in query_mix(16, 0xB1).into_iter().enumerate() {
+                let want = oracle
+                    .query_with("r2", sel.clone(), Strategy::Auto)
+                    .unwrap();
+                let got = sc.query("r2", sel.clone(), Strategy::Auto).unwrap();
+                assert_eq!(
+                    got.ids(),
+                    want.ids(),
+                    "{shards} shards, {phase}, query {qi} diverged"
+                );
+                if qi % 5 == 0 {
+                    let (report, r) = sc.explain("r2", sel).unwrap();
+                    assert_eq!(r.ids(), want.ids());
+                    // One labeled sub-report per shard.
+                    for k in 0..shards {
+                        assert!(report.contains(&format!("shard {k}:")));
+                    }
+                }
+            }
+            let want = oracle.exist_line("r2", 0.25, 3.0).unwrap();
+            let got = sc
+                .query_line("r2", SelectionKind::Exist, 0.25, 3.0)
+                .unwrap();
+            assert_eq!(got.ids(), want.ids(), "{shards} shards, {phase}: line");
+
+            for text in [
+                "SELECT * FROM r2 WHERE y >= 0.3x - 5",
+                "SELECT * FROM r2 WHERE y >= 0.3x - 5 LIMIT 7",
+                "SELECT * FROM r2 WHERE x <= 1 AND y <= 2 LIMIT 3",
+            ] {
+                let want = oracle.sql(text, SqlMode::Execute).unwrap();
+                let got = sc.sql(text, SqlMode::Execute).unwrap();
+                assert_eq!(got.columns, want.columns);
+                assert_eq!(
+                    got.rows.iter().map(|r| &r.ids).collect::<Vec<_>>(),
+                    want.rows.iter().map(|r| &r.ids).collect::<Vec<_>>(),
+                    "{shards} shards, {phase}: {text}"
+                );
+            }
+        };
+        check(&mut sc, &oracle, "initial");
+
+        // Deletes route to the owning shard; answers stay equal.
+        for id in [3u32, 7, 20, 55, 111] {
+            let want = oracle.delete("r2", id).unwrap();
+            let got = sc.delete("r2", id).unwrap();
+            assert_eq!(got, want);
+        }
+        check(&mut sc, &oracle, "post-delete");
+
+        // Inserting after deletes still matches the oracle's id choices.
+        for t in random_boxes(20, 0xA2) {
+            let want = oracle.insert("r2", t.clone()).unwrap();
+            assert_eq!(sc.insert("r2", t).unwrap(), want);
+        }
+        check(&mut sc, &oracle, "post-reinsert");
+
+        assert_eq!(sc.relations().unwrap(), vec!["r2".to_string()]);
+        deployment.stop();
+    }
+}
+
+/// A request that reaches the wrong shard is rejected before the engine
+/// sees it, with the owning shard and the server's map epoch in the
+/// redirect — and the sharded client never trips over it.
+#[test]
+fn misrouted_requests_get_a_wrong_shard_redirect() {
+    let deployment = boot(2, 9);
+    let mut sc = deployment.client();
+    sc.create_relation("boxes", 2).unwrap();
+    for t in random_boxes(12, 0xC1) {
+        sc.insert("boxes", t).unwrap();
+    }
+
+    // Find an id owned by shard 1 and ask shard 0 for it (and vice versa).
+    let spec = PartitionSpec::new(2, 0, SEED).unwrap();
+    for id in 0..12u32 {
+        let owner = spec.owner(id);
+        let wrong = 1 - owner;
+        let mut direct = Client::connect(deployment.addrs[wrong as usize].as_str()).unwrap();
+        match direct.fetch_tuple("boxes", id) {
+            Err(NetError::WrongShard { map_epoch, hint }) => {
+                assert_eq!(map_epoch, 9);
+                assert_eq!(hint, owner);
+            }
+            other => panic!("shard {wrong} served foreign id {id}: {other:?}"),
+        }
+        match direct.delete("boxes", id) {
+            Err(NetError::WrongShard { hint, .. }) => assert_eq!(hint, owner),
+            other => panic!("shard {wrong} deleted foreign id {id}: {other:?}"),
+        }
+        // The routed path works for every id.
+        sc.fetch_tuple("boxes", id).unwrap();
+    }
+    deployment.stop();
+}
+
+/// Joins name tuples from every relation pair across shards; a per-shard
+/// join would silently drop the cross-shard pairs, so the client refuses.
+#[test]
+fn cross_shard_joins_are_refused() {
+    let deployment = boot(2, 0);
+    let mut sc = deployment.client();
+    sc.create_relation("a", 2).unwrap();
+    sc.create_relation("b", 2).unwrap();
+    match sc.sql("SELECT * FROM a JOIN b WHERE x >= 0", SqlMode::Execute) {
+        Err(NetError::Malformed(msg)) => {
+            assert!(msg.contains("cross-shard joins"), "unexpected: {msg}")
+        }
+        other => panic!("join was not refused: {other:?}"),
+    }
+    deployment.stop();
+}
+
+/// A shard's partition spec is part of its durable identity: after a
+/// SIGKILL the reopened file still holds the spec, every surviving id is
+/// one the spec owns, and continued allocation picks up the same owned
+/// id sequence — so recovery can never leak another shard's id space.
+#[test]
+fn partition_survives_sigkill_and_pins_recovery() {
+    let path = std::env::temp_dir().join(format!("cdb_shard_kill_{}.db", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(constraint_db::storage::wal_path(&path));
+
+    let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_cdb-server"))
+        .arg(&path)
+        .args(["--shard", "0/2", "--shard-seed", "49371"]) // 49371 == 0xC0DB
+        .args(["--retain-wal", "--checkpoint-every", "4"])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn cdb-server");
+    let stdout = child.stdout.take().unwrap();
+    let banner = std::io::BufReader::new(stdout)
+        .lines()
+        .next()
+        .expect("server banner")
+        .unwrap();
+    let addr = banner.strip_prefix("listening on ").unwrap().to_string();
+
+    let spec = PartitionSpec::new(2, 0, SEED).unwrap();
+    let mut client = Client::connect(addr.as_str()).unwrap();
+    client.create_relation("boxes", 2).unwrap();
+    let mut acked = Vec::new();
+    for t in random_boxes(15, 0xD1) {
+        acked.push(client.insert("boxes", t).unwrap());
+    }
+    child.kill().expect("SIGKILL shard primary");
+    child.wait().unwrap();
+
+    let mut db = ConstraintDb::open(&path).expect("recover after SIGKILL");
+    assert_eq!(db.partition(), Some(spec), "spec lost in recovery");
+    for &id in &acked {
+        assert!(spec.owns(id), "acked id {id} is foreign to shard 0");
+        db.fetch_tuple("boxes", id)
+            .unwrap_or_else(|e| panic!("acked id {id} lost: {e}"));
+    }
+    // Allocation resumes exactly where the owned sequence left off.
+    let next = db.insert("boxes", random_boxes(1, 0xD2).remove(0)).unwrap();
+    let expected_next = (acked.last().unwrap() + 1..)
+        .find(|&id| spec.owns(id))
+        .unwrap();
+    assert_eq!(next, expected_next);
+    // Reopening must refuse to become a different shard.
+    assert!(db
+        .set_partition(PartitionSpec::new(2, 1, SEED).unwrap())
+        .is_err());
+    drop(db);
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(constraint_db::storage::wal_path(&path));
+}
+
+/// The per-request deadline caps the retry loop's *wall clock*, not just
+/// its attempt count: against an unreachable member with a generous
+/// attempt budget, a read surfaces `Timeout` close to the deadline
+/// instead of grinding through every backoff.
+#[test]
+fn cluster_deadline_caps_retry_wall_clock() {
+    // A port that refuses connections: bind, remember, release.
+    let dead = {
+        let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        l.local_addr().unwrap().to_string()
+    };
+    let mut cc = ClusterClient::new(
+        vec![dead.as_str()],
+        ClusterConfig {
+            deadline_ms: 300,
+            read_retries: 10_000,
+            backoff_base: Duration::from_millis(5),
+            backoff_cap: Duration::from_millis(40),
+            ..ClusterConfig::default()
+        },
+    )
+    .unwrap();
+    let start = Instant::now();
+    match cc.relations() {
+        Err(NetError::Timeout) => {}
+        other => panic!("expected Timeout, got {other:?}"),
+    }
+    let elapsed = start.elapsed();
+    assert!(
+        elapsed < Duration::from_secs(3),
+        "deadline did not cap the loop: took {elapsed:?}"
+    );
+}
